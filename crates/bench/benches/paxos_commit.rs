@@ -1,0 +1,140 @@
+//! Consensus micro-benchmarks: protocol CPU cost of committing values
+//! through the in-memory ensemble, classic vs fast, across the paper's
+//! ensemble sizes — the mechanism behind Figure 3's speedup limits.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paxos::{Effect, Msg, PaxosConfig, ProposalId, Replica, ReplicaId, Slot};
+
+struct Bus {
+    replicas: Vec<Replica<u64>>,
+    inboxes: Vec<VecDeque<(ReplicaId, Msg<u64>)>>,
+    delivered: usize,
+    now: u64,
+}
+
+impl Bus {
+    fn new(n: usize, fast: bool) -> Bus {
+        let config = if fast {
+            PaxosConfig::lan(n)
+        } else {
+            PaxosConfig::lan_classic_only(n)
+        };
+        let mut bus = Bus {
+            replicas: (0..n)
+                .map(|i| Replica::new(ReplicaId(i as u32), config.clone(), 0))
+                .collect(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            delivered: 0,
+            now: 0,
+        };
+        for _ in 0..30 {
+            bus.tick();
+        }
+        bus
+    }
+
+    fn apply(&mut self, node: usize, fx: Vec<Effect<u64>>) {
+        let mut q = VecDeque::from(fx);
+        while let Some(e) = q.pop_front() {
+            match e {
+                Effect::Send { to, msg } => self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg)),
+                Effect::Persist { token, .. } => {
+                    q.extend(self.replicas[node].on_persisted(token));
+                }
+                Effect::Deliver { .. } => self.delivered += 1,
+            }
+        }
+    }
+
+    fn settle(&mut self) {
+        loop {
+            let mut moved = false;
+            for i in 0..self.replicas.len() {
+                while let Some((from, msg)) = self.inboxes[i].pop_front() {
+                    moved = true;
+                    let fx = self.replicas[i].on_message(from, msg, self.now);
+                    self.apply(i, fx);
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    fn tick(&mut self) {
+        self.now += 20_000;
+        for i in 0..self.replicas.len() {
+            let fx = self.replicas[i].on_tick(self.now);
+            self.apply(i, fx);
+        }
+        self.settle();
+    }
+
+    fn commit(&mut self, node: usize, value: u64) {
+        let (pid, fx) = self.replicas[node].propose(value);
+        let _: ProposalId = pid;
+        self.apply(node, fx);
+        self.settle();
+    }
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paxos_commit");
+    for &n in &[3usize, 5, 8, 12] {
+        for &fast in &[false, true] {
+            let label = if fast { "fast" } else { "classic" };
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, fast),
+                |b, &(n, fast)| {
+                    let mut bus = Bus::new(n, fast);
+                    let mut v = 0u64;
+                    b.iter(|| {
+                        v += 1;
+                        bus.commit((v % n as u64) as usize, v);
+                    });
+                    assert!(bus.delivered > 0);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_recovery_replay(c: &mut Criterion) {
+    // Cost of rebuilding an acceptor from a durable log of the given
+    // length (the CPU side of the paper's log-replay recovery phase).
+    let mut group = c.benchmark_group("acceptor_replay");
+    for &len in &[1_000usize, 10_000, 50_000] {
+        let records: Vec<paxos::Record<u64>> = (0..len as u64)
+            .map(|i| paxos::Record::Accepted {
+                ballot: paxos::Ballot::fast(1, ReplicaId(0)),
+                slot: Slot(i),
+                decree: paxos::Decree::Value(
+                    ProposalId { node: ReplicaId(0), epoch: 0, seq: i },
+                    i,
+                ),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &records, |b, records| {
+            b.iter(|| {
+                let r: Replica<u64> = Replica::recover(
+                    ReplicaId(1),
+                    PaxosConfig::lan(5),
+                    records.iter(),
+                    Slot::ZERO,
+                    1,
+                    0,
+                );
+                std::hint::black_box(r.decided_upto());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_recovery_replay);
+criterion_main!(benches);

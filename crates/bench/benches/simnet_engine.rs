@@ -1,0 +1,33 @@
+//! Simulator micro-benchmarks: raw event throughput of the engine (the
+//! budget every experiment run spends from).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{Engine, NodeId, SimConfig, SimDuration, SimTime};
+
+fn bench_events(c: &mut Criterion) {
+    c.bench_function("message_roundtrip_x100", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new(4, SimConfig::default(), 1);
+            for i in 0..100u64 {
+                e.send(NodeId((i % 4) as usize), NodeId(((i + 1) % 4) as usize), i);
+            }
+            let mut n = 0;
+            while e.next_event_before(SimTime::from_secs(1)).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 100);
+        })
+    });
+    c.bench_function("timer_churn_x100", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new(1, SimConfig::default(), 1);
+            for i in 0..100u64 {
+                e.set_timer(NodeId(0), SimDuration::from_micros(i), i);
+            }
+            while e.next_event_before(SimTime::from_secs(1)).is_some() {}
+        })
+    });
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Checkpoint micro-benchmarks: snapshot/restore of the replicated
+//! bookstore at growing overlay sizes (the CPU side of the paper's
+//! recovery path; the disk side is simulated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robuststore::{Action, RobustStore};
+use tpcw::{CustomerId, ItemId, Payment, PopulationParams};
+use treplica::Application;
+
+fn grown_store(orders: u64) -> RobustStore {
+    let mut s = RobustStore::new(PopulationParams {
+        items: 2_000,
+        ebs: 1,
+        seed: 9,
+    });
+    for t in 0..orders {
+        let reply = s.apply(&Action::DoCart {
+            cart: None,
+            add: Some((ItemId((t % 2_000) as u32), 1)),
+            updates: vec![],
+            default_item: ItemId(0),
+            now: t,
+        });
+        let cart = match reply {
+            robuststore::Reply::Cart(id) => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        s.apply(&Action::BuyConfirm {
+            cart,
+            customer: CustomerId((t % 2_880) as u32),
+            payment: Payment {
+                cc_type: "VISA".into(),
+                cc_num: "4111".into(),
+                cc_name: "B".into(),
+                cc_expiry: 15_000,
+                auth_id: "A".into(),
+                country: 1,
+            },
+            ship_type: 0,
+            now: t,
+        });
+    }
+    s
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for &orders in &[0u64, 1_000, 5_000] {
+        let s = grown_store(orders);
+        group.bench_with_input(BenchmarkId::new("take", orders), &s, |b, s| {
+            b.iter(|| std::hint::black_box(s.snapshot()))
+        });
+        let snap = s.snapshot();
+        group.bench_with_input(BenchmarkId::new("restore", orders), &snap, |b, snap| {
+            b.iter(|| RobustStore::restore(std::hint::black_box(&snap.data)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Serialization micro-benchmarks: the codec that sizes every message
+//! and persists every record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxos::{Ballot, Decree, ProposalId, Record, ReplicaId, Slot};
+use robuststore::Action;
+use tpcw::{CartId, CartLine, CustomerId, ItemId, Payment};
+use treplica::Wire;
+
+fn action() -> Action {
+    Action::BuyConfirm {
+        cart: CartId(42),
+        customer: CustomerId(1234),
+        payment: Payment {
+            cc_type: "VISA".into(),
+            cc_num: "4111111111111111".into(),
+            cc_name: "Jane Q Customer".into(),
+            cc_expiry: 15_000,
+            auth_id: "AUTH0123456789ab".into(),
+            country: 17,
+        },
+        ship_type: 3,
+        now: 123_456_789,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let a = action();
+    let bytes = a.to_bytes();
+    c.bench_function("encode_buy_confirm", |b| {
+        b.iter(|| std::hint::black_box(a.to_bytes()))
+    });
+    c.bench_function("decode_buy_confirm", |b| {
+        b.iter(|| Action::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+
+    let record: Record<Action> = Record::Accepted {
+        ballot: Ballot::fast(7, ReplicaId(2)),
+        slot: Slot(123_456),
+        decree: Decree::Value(
+            ProposalId { node: ReplicaId(2), epoch: 1, seq: 999 },
+            action(),
+        ),
+    };
+    let rbytes = record.to_bytes();
+    c.bench_function("encode_log_record", |b| {
+        b.iter(|| std::hint::black_box(record.to_bytes()))
+    });
+    c.bench_function("decode_log_record", |b| {
+        b.iter(|| Record::<Action>::from_bytes(std::hint::black_box(&rbytes)).unwrap())
+    });
+    c.bench_function("wire_size_cart_update", |b| {
+        let a = Action::DoCart {
+            cart: Some(CartId(1)),
+            add: Some((ItemId(5), 2)),
+            updates: vec![CartLine { item: ItemId(9), qty: 0 }],
+            default_item: ItemId(0),
+            now: 1,
+        };
+        b.iter(|| std::hint::black_box(a.wire_size()))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

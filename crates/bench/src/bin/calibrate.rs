@@ -1,0 +1,42 @@
+//! Quick calibration probe: one paper-scale run per invocation.
+use cluster::{run_experiment, ExperimentConfig};
+use tpcw::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let replicas: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let profile = match args.get(2).map(String::as_str) {
+        Some("browsing") => Profile::Browsing,
+        Some("ordering") => Profile::Ordering,
+        _ => Profile::Shopping,
+    };
+    let rbes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let secs: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(540);
+    let mut config = ExperimentConfig::paper(replicas);
+    config.profile = profile;
+    config.rbes = rbes;
+    config.schedule = tpcw::Schedule::quick(secs);
+    if std::env::args().any(|a| a == "--crash") {
+        config.faultload = faultload::Faultload::single_crash().scaled(1, 3);
+    }
+    let t0 = std::time::Instant::now();
+    let r = run_experiment(&config);
+    let (conn, served) = r.recorder.error_breakdown();
+    if std::env::args().any(|a| a == "--errsec") {
+        for (sec, e) in r.recorder.error_series().iter().enumerate() {
+            if *e > 0 {
+                eprintln!("  t={sec}s errors={e} wips={}", r.recorder.wips_series()[sec]);
+            }
+        }
+    }
+    println!(
+        "replicas={replicas} profile={} rbes={rbes} AWIPS={:.1} WIRT={:.1}ms CV={:.3} acc={:.4}% err(conn={conn},served={served}) spans={:?} wall={:.1}s",
+        profile.name(),
+        r.awips,
+        r.mean_wirt_ms,
+        r.dependability.failure_free.cv,
+        r.dependability.accuracy_percent,
+        r.spans.iter().map(|s| s.recovery_secs()).collect::<Vec<_>>(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,63 @@
+//! Design-choice ablations (DESIGN.md §3):
+//!
+//! 1. **Fast Paxos vs classic Paxos** — the paper's middleware switches
+//!    to Fast Paxos whenever ⌈3N/4⌉ replicas are up; this ablation runs
+//!    the same workloads with fast rounds disabled to isolate what the
+//!    fast path buys (one fewer message delay on the write path) and
+//!    what it costs (larger quorum, collision recovery).
+//! 2. **Checkpoint interval** — more frequent checkpoints shorten the
+//!    log suffix a recovering replica replays but cost more disk writes;
+//!    this sweep measures both sides.
+
+use bench::{base_config, Mode};
+use cluster::run_experiment;
+use faultload::Faultload;
+use tpcw::Profile;
+
+fn main() {
+    let mode = Mode::from_args();
+
+    println!("== Ablation 1: Fast Paxos vs classic Paxos ==");
+    println!("  R profile   |  fast AWIPS | fast WIRT | classic AWIPS | classic WIRT");
+    for replicas in [5usize, 8] {
+        for profile in [Profile::Shopping, Profile::Ordering] {
+            let mut results = Vec::new();
+            for classic_only in [false, true] {
+                let mut config = base_config(mode, replicas, profile);
+                config.ebs = 30;
+                config.rbes = 1_000;
+                config.classic_only = classic_only;
+                let report = run_experiment(&config);
+                results.push((report.awips, report.mean_wirt_ms));
+            }
+            println!(
+                "  {replicas} {:9} | {:11.1} | {:8.1}ms | {:13.1} | {:9.1}ms",
+                profile.name(),
+                results[0].0,
+                results[0].1,
+                results[1].0,
+                results[1].1
+            );
+        }
+    }
+
+    println!("\n== Ablation 2: checkpoint interval (5 replicas, shopping, one crash) ==");
+    println!("  interval | AWIPS | recovery(s) | disk writes at survivor");
+    for interval in [2_000u64, 20_000, 100_000] {
+        let mut config = base_config(mode, 5, Profile::Shopping);
+        config.ebs = 30;
+        config.rbes = 1_000;
+        config.checkpoint_interval = interval;
+        config.faultload = mode.faultload(Faultload::single_crash());
+        let report = run_experiment(&config);
+        let recovery = report
+            .spans
+            .first()
+            .and_then(|s| s.recovery_secs())
+            .unwrap_or(f64::NAN);
+        println!(
+            "  {interval:8} | {:5.1} | {:11.1} | (see bench output)",
+            report.awips, recovery
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 5 + Tables 1–2 — one crash, one autonomous recovery.
+use bench::render::{render_accuracy, render_autonomy, render_fault_histogram, render_performability};
+use bench::{dependability_grid, Mode};
+use faultload::Faultload;
+
+fn main() {
+    let mode = Mode::from_args();
+    let runs = dependability_grid(mode, &Faultload::single_crash());
+    for run in runs.iter().filter(|r| r.replicas == 5) {
+        println!("{}", render_fault_histogram(run));
+    }
+    println!("{}", render_performability("Table 1 — one failure: performability", &runs));
+    println!("{}", render_accuracy("Table 2 — one failure: accuracy (%)", &runs));
+    println!("{}", render_autonomy("One failure: availability/autonomy", &runs));
+}

@@ -1,0 +1,9 @@
+//! Figure 6 — recovery times vs state size (300/500/700 MB).
+use bench::render::render_recovery_times;
+use bench::{fig6_recovery_times, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let points = fig6_recovery_times(mode);
+    println!("{}", render_recovery_times(&points));
+}

@@ -1,0 +1,11 @@
+//! Figure 4 — scaleup at 1000 WIPS offered (+ regression/correlation).
+use bench::{fig4_scaleup, render::render_scaleup, Mode};
+use tpcw::Profile;
+
+fn main() {
+    let mode = Mode::from_args();
+    for profile in Profile::ALL {
+        let result = fig4_scaleup(mode, profile);
+        println!("{}", render_scaleup(profile, &result));
+    }
+}

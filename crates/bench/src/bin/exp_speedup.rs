@@ -1,0 +1,11 @@
+//! Figure 3 — speedup experiments (saturated WIPS/WIRT vs replicas).
+use bench::{fig3_speedup, render::render_speedup, Mode};
+use tpcw::Profile;
+
+fn main() {
+    let mode = Mode::from_args();
+    for profile in Profile::ALL {
+        let points = fig3_speedup(mode, profile);
+        println!("{}", render_speedup(profile, &points));
+    }
+}

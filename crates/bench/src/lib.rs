@@ -1,0 +1,250 @@
+//! # bench — experiment harness regenerating every table and figure
+//!
+//! One function per paper artifact (Figures 3–8, Tables 1–6), each
+//! returning structured results and rendering the paper's layout. The
+//! `exp_*` binaries wrap these; `exp_all` runs the complete evaluation
+//! and writes an `EXPERIMENTS.md`-ready report.
+//!
+//! Two fidelity modes:
+//!
+//! * **quick** (default) — the measurement interval and faultload times
+//!   are scaled to ⅓ of the paper's (180 s interval, crashes at
+//!   80/90/130 s) so the whole evaluation runs in minutes;
+//! * **full** (`--full`) — the paper's exact schedule (30 s ramp-up,
+//!   540 s interval, crashes at 240/270/390 s).
+//!
+//! State sizes (300/500/700 MB) are never scaled: recovery times are a
+//! direct function of them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod render;
+
+use cluster::{run_experiment, ExperimentConfig, RunReport, ServiceModel};
+use faultload::Faultload;
+use tpcw::{linear_fit, r_squared, Profile, Schedule};
+
+/// Harness fidelity mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ⅓-scale schedule, coarser sweeps.
+    Quick,
+    /// The paper's exact schedule and sweeps.
+    Full,
+}
+
+impl Mode {
+    /// Parses `--full` from argv.
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "--full") {
+            Mode::Full
+        } else {
+            Mode::Quick
+        }
+    }
+
+    /// The measurement schedule for this mode.
+    pub fn schedule(self) -> Schedule {
+        match self {
+            Mode::Quick => Schedule::quick(180),
+            Mode::Full => Schedule::paper(),
+        }
+    }
+
+    /// Scales a paper faultload to this mode's schedule.
+    pub fn faultload(self, f: Faultload) -> Faultload {
+        match self {
+            Mode::Quick => f.scaled(1, 3),
+            Mode::Full => f,
+        }
+    }
+
+    /// Replica counts for sweep experiments.
+    pub fn sweep_replicas(self) -> Vec<usize> {
+        match self {
+            Mode::Quick => vec![4, 6, 8, 10, 12],
+            Mode::Full => (4..=12).collect(),
+        }
+    }
+}
+
+/// Base configuration shared by all experiments in a mode.
+pub fn base_config(mode: Mode, replicas: usize, profile: Profile) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper(replicas);
+    config.profile = profile;
+    config.schedule = mode.schedule();
+    config
+}
+
+/// One point of a sweep experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Replica count.
+    pub replicas: usize,
+    /// Measured throughput (interactions/s) over the interval.
+    pub wips: f64,
+    /// Mean response time (ms).
+    pub wirt_ms: f64,
+}
+
+/// Figure 3 — speedup: saturated WIPS and WIRT vs. replica count for
+/// each workload, 500 MB initial state.
+pub fn fig3_speedup(mode: Mode, profile: Profile) -> Vec<SweepPoint> {
+    let service = ServiceModel::default();
+    mode.sweep_replicas()
+        .into_iter()
+        .map(|replicas| {
+            let mut config = base_config(mode, replicas, profile);
+            config.ebs = 50;
+            // Saturating load: 1.35× the analytic capacity estimate.
+            config.rbes =
+                ((service.estimated_capacity(profile, replicas) * 1.35) as usize).max(600);
+            let report = run_experiment(&config);
+            SweepPoint {
+                replicas,
+                wips: report.awips,
+                wirt_ms: report.mean_wirt_ms,
+            }
+        })
+        .collect()
+}
+
+/// Figure 4 scaleup results: points plus the paper's regression and
+/// correlation analysis.
+pub struct ScaleupResult {
+    /// The sweep points.
+    pub points: Vec<SweepPoint>,
+    /// Linear fit `wips = a + b·replicas`.
+    pub fit: (f64, f64),
+    /// r² of WIPS ↔ WIRT across the sweep.
+    pub wips_wirt_r2: f64,
+}
+
+/// Figure 4 — scaleup: WIPS and WIRT at a fixed offered load of 1000
+/// WIPS (1000 RBEs at 1 s think time), 300 MB state.
+pub fn fig4_scaleup(mode: Mode, profile: Profile) -> ScaleupResult {
+    let points: Vec<SweepPoint> = mode
+        .sweep_replicas()
+        .into_iter()
+        .map(|replicas| {
+            let mut config = base_config(mode, replicas, profile);
+            config.ebs = 30;
+            config.rbes = 1_000;
+            let report = run_experiment(&config);
+            SweepPoint {
+                replicas,
+                wips: report.awips,
+                wirt_ms: report.mean_wirt_ms,
+            }
+        })
+        .collect();
+    let xy: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.replicas as f64, p.wips))
+        .collect();
+    let fit = linear_fit(&xy);
+    let ww: Vec<(f64, f64)> = points.iter().map(|p| (p.wips, p.wirt_ms)).collect();
+    ScaleupResult {
+        fit,
+        wips_wirt_r2: r_squared(&ww),
+        points,
+    }
+}
+
+/// One dependability run (a figure-5/7/8-style experiment).
+pub struct FaultRun {
+    /// Replica count.
+    pub replicas: usize,
+    /// Workload profile.
+    pub profile: Profile,
+    /// Initial state size (EB scale: 30/50/70).
+    pub ebs: u32,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+/// Runs one faultload experiment.
+pub fn fault_run(
+    mode: Mode,
+    replicas: usize,
+    profile: Profile,
+    ebs: u32,
+    faultload: Faultload,
+) -> FaultRun {
+    let mut config = base_config(mode, replicas, profile);
+    config.ebs = ebs;
+    config.rbes = 1_000;
+    config.faultload = mode.faultload(faultload);
+    let report = run_experiment(&config);
+    FaultRun {
+        replicas,
+        profile,
+        ebs,
+        report,
+    }
+}
+
+/// Figures 5/7/8 + Tables 1–6 — the full dependability grid for one
+/// faultload: replicas {5, 8} × the three profiles, 500 MB state.
+pub fn dependability_grid(mode: Mode, faultload: &Faultload) -> Vec<FaultRun> {
+    let mut out = Vec::new();
+    for replicas in [5usize, 8] {
+        for profile in Profile::ALL {
+            out.push(fault_run(mode, replicas, profile, 50, faultload.clone()));
+        }
+    }
+    out
+}
+
+/// One cell of the Figure 6 recovery-time grid.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryTimePoint {
+    /// Replica count (5 or 8).
+    pub replicas: usize,
+    /// Profile.
+    pub profile: Profile,
+    /// State-size scale (30/50/70 EB ≈ 300/500/700 MB).
+    pub ebs: u32,
+    /// Measured recovery time (s), restart → operational.
+    pub recovery_secs: f64,
+}
+
+/// Figure 6 — recovery times for the single-crash faultload across
+/// state sizes, profiles and replica counts.
+pub fn fig6_recovery_times(mode: Mode) -> Vec<RecoveryTimePoint> {
+    let mut out = Vec::new();
+    for replicas in [5usize, 8] {
+        for profile in Profile::ALL {
+            for ebs in [30u32, 50, 70] {
+                let run = fault_run(mode, replicas, profile, ebs, Faultload::single_crash());
+                let recovery_secs = run
+                    .report
+                    .spans
+                    .first()
+                    .and_then(|s| s.recovery_secs())
+                    .unwrap_or(f64::NAN);
+                out.push(RecoveryTimePoint {
+                    replicas,
+                    profile,
+                    ebs,
+                    recovery_secs,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Computes relative speedups `S_k = π_k / π_4` from a sweep.
+pub fn speedups(points: &[SweepPoint]) -> Vec<(usize, f64)> {
+    let base = points
+        .iter()
+        .find(|p| p.replicas == 4)
+        .map(|p| p.wips)
+        .unwrap_or(1.0);
+    points
+        .iter()
+        .map(|p| (p.replicas, p.wips / base))
+        .collect()
+}

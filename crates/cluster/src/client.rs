@@ -1,0 +1,161 @@
+//! A client node hosting remote browser emulators.
+//!
+//! The paper's setup (§5.1) dedicates five nodes to RBEs; each node
+//! runs an equal share and logs its performance samples. Here one
+//! [`ClientNode`] drives its browsers through think-time timers and
+//! records completions/errors into the experiment's [`Recorder`].
+
+use std::collections::HashMap;
+
+use simnet::{Engine, NodeId, SimDuration};
+use tpcw::{Interaction, Rbe, RbeConfig, Recorder};
+
+use crate::msg::ClusterMsg;
+
+/// Timer token for the stale-request sweep (RBE tokens are their
+/// indices, which stay far below this).
+const TOKEN_SWEEP: u64 = u64::MAX;
+
+/// Client-side request timeout (backstop behind the proxy's own).
+const CLIENT_TIMEOUT_US: u64 = 60_000_000;
+
+#[derive(Debug)]
+struct Slot {
+    rbe: Rbe,
+    waiting: Option<(u64, u64, Interaction)>,
+}
+
+/// One client machine running a set of RBEs.
+#[derive(Debug)]
+pub struct ClientNode {
+    node: NodeId,
+    proxy: NodeId,
+    slots: Vec<Slot>,
+    outstanding: HashMap<u64, usize>,
+    next_seq: u64,
+}
+
+impl ClientNode {
+    /// Creates a client node with `count` browsers and staggers their
+    /// first requests across the ramp-up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        proxy: NodeId,
+        count: usize,
+        first_client_id: u64,
+        config: RbeConfig,
+        seed: u64,
+        ramp_up_us: u64,
+        engine: &mut Engine<ClusterMsg>,
+    ) -> ClientNode {
+        let mut slots = Vec::with_capacity(count);
+        for k in 0..count {
+            let client_id = first_client_id + k as u64;
+            let mut rbe = Rbe::new(client_id, config.clone(), seed);
+            // Stagger the first arrival uniformly over the ramp-up plus
+            // one think time.
+            let stagger = (rbe.think_time_us().wrapping_mul(client_id + 1))
+                % ramp_up_us.max(config.think_mean_us);
+            engine.set_timer(node, SimDuration::from_micros(stagger), k as u64);
+            slots.push(Slot { rbe, waiting: None });
+        }
+        engine.set_timer(node, SimDuration::from_micros(5_000_000), TOKEN_SWEEP);
+        ClientNode {
+            node,
+            proxy,
+            slots,
+            outstanding: HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn issue(&mut self, engine: &mut Engine<ClusterMsg>, idx: usize) {
+        let now = engine.now().as_micros();
+        let slot = &mut self.slots[idx];
+        if slot.waiting.is_some() {
+            return; // already in flight (stale timer)
+        }
+        let request = slot.rbe.next_request();
+        self.next_seq += 1;
+        let req_id = (self.node.index() as u64) << 40 | self.next_seq;
+        slot.waiting = Some((req_id, now, request.interaction));
+        self.outstanding.insert(req_id, idx);
+        engine.send_sized(self.node, self.proxy, ClusterMsg::Request { req_id, request }, 500);
+    }
+
+    fn think_again(&mut self, engine: &mut Engine<ClusterMsg>, idx: usize) {
+        let think = self.slots[idx].rbe.think_time_us();
+        engine.set_timer(self.node, SimDuration::from_micros(think), idx as u64);
+    }
+
+    /// Handles a timer: an RBE finished thinking, or the sweep fired.
+    pub fn on_timer(&mut self, engine: &mut Engine<ClusterMsg>, token: u64, rec: &mut Recorder) {
+        if token == TOKEN_SWEEP {
+            let now = engine.now().as_micros();
+            let stale: Vec<u64> = self
+                .outstanding
+                .iter()
+                .filter(|(_, idx)| {
+                    self.slots[**idx]
+                        .waiting
+                        .map(|(_, sent, _)| now.saturating_sub(sent) > CLIENT_TIMEOUT_US)
+                        .unwrap_or(false)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for req_id in stale {
+                if let Some(idx) = self.outstanding.remove(&req_id) {
+                    self.slots[idx].waiting = None;
+                    rec.record_error(now);
+                    self.think_again(engine, idx);
+                }
+            }
+            engine.set_timer(self.node, SimDuration::from_micros(5_000_000), TOKEN_SWEEP);
+            return;
+        }
+        let idx = token as usize;
+        if idx < self.slots.len() {
+            self.issue(engine, idx);
+        }
+    }
+
+    /// Handles a response or error from the proxy.
+    pub fn on_message(&mut self, engine: &mut Engine<ClusterMsg>, msg: ClusterMsg, rec: &mut Recorder) {
+        let now = engine.now().as_micros();
+        match msg {
+            ClusterMsg::Response {
+                req_id,
+                interaction,
+                ok,
+                session,
+                ..
+            } => {
+                if let Some(idx) = self.outstanding.remove(&req_id) {
+                    if let Some((_, sent_at, sent_interaction)) = self.slots[idx].waiting.take() {
+                        if ok {
+                            rec.record_ok_typed(now, now - sent_at, sent_interaction);
+                        } else {
+                            rec.record_served_error(now);
+                        }
+                    }
+                    self.slots[idx].rbe.on_response(interaction, session);
+                    self.think_again(engine, idx);
+                }
+            }
+            ClusterMsg::ConnError { req_id } => {
+                if let Some(idx) = self.outstanding.remove(&req_id) {
+                    self.slots[idx].waiting = None;
+                    rec.record_error(now);
+                    self.think_again(engine, idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of requests currently awaiting responses.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}

@@ -1,0 +1,411 @@
+//! Whole-experiment orchestration.
+//!
+//! Builds the paper's experimental setup (Figure 2) on the simulated
+//! testbed — server replicas, one reverse proxy, client nodes running
+//! RBEs — runs the TPC-W schedule (ramp-up / measurement interval /
+//! ramp-down), injects the faultload at its prescribed times with the
+//! watchdog re-instantiating crashed servers, and returns the per-second
+//! WIPS histogram plus the dependability report.
+
+use faultload::{DependabilityReport, Faultload, RecoveryKind, RecoverySpan};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simnet::{Engine, Event, NodeId, SimConfig, SimTime};
+use tpcw::{PopulationParams, Profile, RbeConfig, Recorder, Schedule};
+use treplica::TreplicaConfig;
+
+use crate::client::ClientNode;
+use crate::msg::ClusterMsg;
+use crate::proxy::{ProxyConfig, ProxyNode};
+use crate::server::ServerNode;
+use crate::service::ServiceModel;
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of server replicas (paper: 4–12).
+    pub replicas: usize,
+    /// Workload profile.
+    pub profile: Profile,
+    /// Population scale in emulated browsers (30/50/70 → ≈300/500/700
+    /// MB states).
+    pub ebs: u32,
+    /// Item population (paper: 10 000; tests use less).
+    pub population_items: u32,
+    /// Number of RBEs generating load.
+    pub rbes: usize,
+    /// Mean think time (paper: reduced to 1 s).
+    pub think_us: u64,
+    /// Client machines hosting the RBEs (paper: 5).
+    pub client_nodes: usize,
+    /// Measurement schedule.
+    pub schedule: Schedule,
+    /// Injected faults.
+    pub faultload: Faultload,
+    /// Watchdog detection + process boot delay before a crashed server
+    /// is re-instantiated.
+    pub watchdog_delay_us: u64,
+    /// Run seed (drives all randomness).
+    pub seed: u64,
+    /// CPU service model.
+    pub service: ServiceModel,
+    /// Disable Fast Paxos (classic-only baseline).
+    pub classic_only: bool,
+    /// Actions between checkpoints.
+    pub checkpoint_interval: u64,
+}
+
+impl ExperimentConfig {
+    /// A paper-like configuration: `replicas` servers, shopping profile,
+    /// 30 EB population, 1000 RBEs with 1 s think time, full schedule,
+    /// no faults.
+    pub fn paper(replicas: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            replicas,
+            profile: Profile::Shopping,
+            ebs: 30,
+            population_items: 10_000,
+            rbes: 1_000,
+            think_us: 1_000_000,
+            client_nodes: 5,
+            schedule: Schedule::paper(),
+            faultload: Faultload::none(),
+            watchdog_delay_us: 3_000_000,
+            seed: 42,
+            service: ServiceModel::default(),
+            classic_only: false,
+            checkpoint_interval: 20_000,
+        }
+    }
+
+    /// A scaled-down configuration for tests: small population, short
+    /// schedule.
+    pub fn quick(replicas: usize, profile: Profile) -> ExperimentConfig {
+        ExperimentConfig {
+            replicas,
+            profile,
+            ebs: 1,
+            population_items: 1_000,
+            rbes: 200,
+            think_us: 1_000_000,
+            client_nodes: 2,
+            schedule: Schedule::quick(60),
+            faultload: Faultload::none(),
+            watchdog_delay_us: 3_000_000,
+            seed: 42,
+            service: ServiceModel::default(),
+            classic_only: false,
+            checkpoint_interval: 500,
+        }
+    }
+}
+
+/// The observables of one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-second completions/errors and WIRT samples.
+    pub recorder: Recorder,
+    /// Observed crash/recovery spans.
+    pub spans: Vec<RecoverySpan>,
+    /// The paper's dependability measures.
+    pub dependability: DependabilityReport,
+    /// AWIPS over the whole measurement interval.
+    pub awips: f64,
+    /// Mean WIRT (ms) over the measurement interval.
+    pub mean_wirt_ms: f64,
+    /// Schedule used (for downstream window math).
+    pub schedule: Schedule,
+    /// Middleware status per surviving server at run end.
+    pub server_status: Vec<Option<treplica::MwStatus>>,
+    /// Total network messages carried during the run.
+    pub net_messages: u64,
+    /// Total payload bytes carried.
+    pub net_bytes: u64,
+    /// Total durable disk writes across the server replicas.
+    pub disk_writes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Admin {
+    Crash { server: usize, span: usize },
+    Restart { server: usize, span: usize },
+    Cut { minority: Vec<usize> },
+    Heal,
+}
+
+/// Runs one experiment to completion (simulated time).
+pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
+    let params = PopulationParams {
+        items: config.population_items,
+        ebs: config.ebs,
+        seed: 0x7bc0_57a7e,
+    };
+    let replicas = config.replicas;
+    let proxy_node = NodeId(replicas);
+    let first_client = replicas + 1;
+    let total_nodes = replicas + 1 + config.client_nodes;
+
+    let mut engine: Engine<ClusterMsg> = Engine::new(total_nodes, SimConfig::default(), config.seed);
+    let mut recorder = Recorder::new(config.schedule.total_us());
+
+    let mut treplica_config = TreplicaConfig {
+        checkpoint_interval: config.checkpoint_interval,
+        ..TreplicaConfig::lan(replicas)
+    };
+    if config.classic_only {
+        treplica_config.paxos.fast_enabled = false;
+    }
+
+    let mut servers: Vec<Option<ServerNode>> = (0..replicas)
+        .map(|i| {
+            Some(ServerNode::new(
+                i,
+                params,
+                treplica_config.clone(),
+                config.service.clone(),
+                &mut engine,
+            ))
+        })
+        .collect();
+
+    let mut proxy = ProxyNode::new(
+        proxy_node,
+        (0..replicas).map(NodeId).collect(),
+        ProxyConfig::default(),
+        &mut engine,
+    );
+
+    let rbe_config = RbeConfig {
+        profile: config.profile,
+        think_mean_us: config.think_us,
+        items: params.items,
+        customers: params.customers(),
+    };
+    let mut clients: Vec<ClientNode> = Vec::new();
+    let per_node = config.rbes / config.client_nodes.max(1);
+    let mut assigned = 0;
+    for c in 0..config.client_nodes {
+        let count = if c + 1 == config.client_nodes {
+            config.rbes - assigned
+        } else {
+            per_node
+        };
+        clients.push(ClientNode::new(
+            NodeId(first_client + c),
+            proxy_node,
+            count,
+            assigned as u64,
+            rbe_config.clone(),
+            config.seed ^ 0xc11e,
+            config.schedule.ramp_up_us,
+            &mut engine,
+        ));
+        assigned += count;
+    }
+
+    // Faultload: pick distinct victims pseudo-randomly (paper §5.5:
+    // "replicas to be crashed were chosen at random").
+    let mut victim_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0xfau64);
+    let mut victims: Vec<usize> = (0..replicas).collect();
+    victims.shuffle(&mut victim_rng);
+
+    let mut spans: Vec<RecoverySpan> = Vec::new();
+    let mut admin: Vec<(u64, Admin)> = Vec::new();
+    for event in &config.faultload.events {
+        let server = victims[event.victim % victims.len()];
+        let span = spans.len();
+        spans.push(RecoverySpan {
+            server,
+            crash_at: event.at_us,
+            restart_at: 0,
+            recovered_at: None,
+            manual: matches!(event.recovery, RecoveryKind::Manual { .. }),
+        });
+        admin.push((event.at_us, Admin::Crash { server, span }));
+        let restart_at = match event.recovery {
+            RecoveryKind::Autonomous => event.at_us + config.watchdog_delay_us,
+            RecoveryKind::Manual { at_us } => at_us,
+        };
+        admin.push((restart_at, Admin::Restart { server, span }));
+    }
+    for partition in &config.faultload.partitions {
+        let minority: Vec<usize> = partition
+            .minority
+            .iter()
+            .map(|v| victims[*v % victims.len()])
+            .collect();
+        admin.push((partition.at_us, Admin::Cut { minority }));
+        admin.push((partition.heal_at_us, Admin::Heal));
+    }
+    admin.sort_by_key(|(t, _)| *t);
+    let mut admin_idx = 0usize;
+
+    let end = SimTime::from_micros(config.schedule.total_us());
+    loop {
+        let limit = match admin.get(admin_idx) {
+            Some((t, _)) => end.min(SimTime::from_micros(*t)),
+            None => end,
+        };
+        match engine.next_event_before(limit) {
+            Some((_, event)) => {
+                dispatch(
+                    event,
+                    &mut engine,
+                    &mut servers,
+                    &mut proxy,
+                    &mut clients,
+                    &mut recorder,
+                    replicas,
+                    first_client,
+                );
+            }
+            None => {
+                // Clock is at `limit`: apply due admin actions or finish.
+                if let Some((t, action)) = admin.get(admin_idx).cloned() {
+                    if engine.now() >= SimTime::from_micros(t) {
+                        admin_idx += 1;
+                        match action {
+                            Admin::Crash { server, span } => {
+                                if servers[server].is_some() {
+                                    engine.crash(NodeId(server));
+                                    servers[server] = None;
+                                    spans[span].crash_at = engine.now().as_micros();
+                                }
+                            }
+                            Admin::Restart { server, span } => {
+                                if servers[server].is_none() {
+                                    engine.restart(NodeId(server));
+                                    spans[span].restart_at = engine.now().as_micros();
+                                    servers[server] = Some(ServerNode::recover(
+                                        server,
+                                        params,
+                                        treplica_config.clone(),
+                                        config.service.clone(),
+                                        &mut engine,
+                                    ));
+                                }
+                            }
+                            Admin::Cut { minority } => {
+                                let majority: Vec<NodeId> = (0..replicas)
+                                    .filter(|i| !minority.contains(i))
+                                    .map(NodeId)
+                                    .collect();
+                                let isolated: Vec<NodeId> =
+                                    minority.iter().map(|i| NodeId(*i)).collect();
+                                engine.network_mut().partition(&majority, &isolated);
+                            }
+                            Admin::Heal => engine.network_mut().heal_all(),
+                        }
+                        continue;
+                    }
+                }
+                if engine.now() >= end {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Collect recovery completion times.
+    for span in &mut spans {
+        if let Some(server) = servers[span.server].as_ref() {
+            span.recovered_at = server.recovery_completed_at();
+        }
+    }
+
+    let dependability = DependabilityReport::build(
+        recorder.wips_series(),
+        config.schedule.measure_start_us(),
+        config.schedule.measure_end_us(),
+        spans.clone(),
+        recorder.total_errors(),
+        recorder.total_ok() + recorder.total_errors(),
+        config.faultload.fault_count(),
+        config.faultload.manual_recoveries(),
+    );
+    let awips = recorder.awips(
+        config.schedule.measure_start_us(),
+        config.schedule.measure_end_us(),
+    );
+    let mean_wirt_ms = recorder.mean_wirt(
+        config.schedule.measure_start_us(),
+        config.schedule.measure_end_us(),
+    ) / 1_000.0;
+    let server_status = servers
+        .iter()
+        .map(|s| s.as_ref().map(ServerNode::mw_status))
+        .collect();
+    let net_messages = engine.network().messages_sent();
+    let net_bytes = engine.network().bytes_carried();
+    let disk_writes = (0..replicas)
+        .map(|i| engine.disk(NodeId(i)).writes())
+        .sum();
+
+    RunReport {
+        recorder,
+        spans,
+        dependability,
+        awips,
+        mean_wirt_ms,
+        schedule: config.schedule,
+        server_status,
+        net_messages,
+        net_bytes,
+        disk_writes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    event: Event<ClusterMsg>,
+    engine: &mut Engine<ClusterMsg>,
+    servers: &mut [Option<ServerNode>],
+    proxy: &mut ProxyNode,
+    clients: &mut [ClientNode],
+    recorder: &mut Recorder,
+    replicas: usize,
+    first_client: usize,
+) {
+    match event {
+        Event::Message { from, to, payload } => {
+            let t = to.index();
+            if t < replicas {
+                if let Some(server) = servers[t].as_mut() {
+                    server.on_message(engine, from, payload);
+                }
+            } else if t == replicas {
+                proxy.on_message(engine, from, payload);
+            } else {
+                clients[t - first_client].on_message(engine, payload, recorder);
+            }
+        }
+        Event::Timer { node, token } => {
+            let t = node.index();
+            if t < replicas {
+                if let Some(server) = servers[t].as_mut() {
+                    server.on_timer(engine, token);
+                }
+            } else if t == replicas {
+                proxy.on_timer(engine, token);
+            } else {
+                clients[t - first_client].on_timer(engine, token, recorder);
+            }
+        }
+        Event::DiskWriteDone { node, token } => {
+            let t = node.index();
+            if t < replicas {
+                if let Some(server) = servers[t].as_mut() {
+                    server.on_disk_write_done(engine, token);
+                }
+            }
+        }
+        Event::DiskReadDone { node, token, value } => {
+            let t = node.index();
+            if t < replicas {
+                if let Some(server) = servers[t].as_mut() {
+                    server.on_disk_read_done(engine, token, value);
+                }
+            }
+        }
+    }
+}

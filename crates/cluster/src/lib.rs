@@ -1,0 +1,39 @@
+//! # cluster — the simulated experimental setup
+//!
+//! The paper's testbed (§5.1, Figure 2) on the `simnet` discrete-event
+//! engine: 4–12 server replicas running the RobustStore application
+//! over Treplica, one reverse proxy with health-probe failover and
+//! client-id hash balancing, and client nodes running remote browser
+//! emulators. [`run_experiment`] executes a full TPC-W dependability
+//! run — ramp-up, measurement interval with faultload injection and
+//! watchdog-driven recovery, ramp-down — and returns the WIPS
+//! histogram plus the paper's dependability measures.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use cluster::{run_experiment, ExperimentConfig};
+//! use tpcw::Profile;
+//!
+//! let mut config = ExperimentConfig::quick(5, Profile::Shopping);
+//! config.faultload = faultload::Faultload::single_crash().scaled(1, 4);
+//! let report = run_experiment(&config);
+//! println!("AWIPS = {:.1}", report.awips);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+mod experiment;
+mod msg;
+mod proxy;
+mod server;
+mod service;
+
+pub use client::ClientNode;
+pub use experiment::{run_experiment, ExperimentConfig, RunReport};
+pub use msg::ClusterMsg;
+pub use proxy::{ProxyConfig, ProxyNode};
+pub use server::ServerNode;
+pub use service::ServiceModel;

@@ -1,0 +1,346 @@
+//! The reverse proxy (HAProxy stand-in).
+//!
+//! The paper's failover mechanism (§5.1, Figure 2): the proxy actively
+//! probes every server with an HTTP check, removes a server from its
+//! list after four unsuccessful tries and re-admits it once probes
+//! succeed again; requests are balanced with a hash over a stable
+//! client identifier; and a server dying mid-request surfaces as a
+//! connection error at the client.
+
+use std::collections::HashMap;
+
+use simnet::{Engine, NodeId, SimDuration};
+
+use crate::msg::ClusterMsg;
+
+/// Timer token: probe round + timeout sweep.
+pub const TOKEN_PROBE: u64 = 0;
+/// Timer-token flag marking a connect-retry for request `token &
+/// !TOKEN_RETRY_FLAG`.
+pub const TOKEN_RETRY_FLAG: u64 = 1 << 63;
+
+/// Proxy tuning (HAProxy-like defaults: `inter 2s fall 4 rise 2`).
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Probe round period.
+    pub probe_interval_us: u64,
+    /// Consecutive failed probes before removal (paper: 4).
+    pub fall: u32,
+    /// Consecutive successful probes before re-admission.
+    pub rise: u32,
+    /// Per-request timeout before the client sees an error.
+    pub request_timeout_us: u64,
+    /// Redispatch attempts on refused connections (HAProxy `option
+    /// redispatch` + `retries`): a request hitting a dead or
+    /// still-booting server is silently retried on another one, so only
+    /// genuinely interrupted requests surface as client errors.
+    pub redispatch_retries: u32,
+    /// Delay between connect retries (HAProxy 1.3 waits ~1 s and retries
+    /// the *same* server before redispatching — this stall is what
+    /// carves the throughput valley right after a crash, paper §5.4).
+    pub retry_delay_us: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            probe_interval_us: 2_000_000,
+            fall: 4,
+            rise: 2,
+            request_timeout_us: 30_000_000,
+            redispatch_retries: 3,
+            retry_delay_us: 1_000_000,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServerHealth {
+    node: NodeId,
+    healthy: bool,
+    fails: u32,
+    rises: u32,
+    awaiting: Option<u64>,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    client: NodeId,
+    server: usize,
+    sent_at: u64,
+    request: tpcw::WebRequest,
+    excluded: Vec<usize>,
+    attempts: u32,
+}
+
+/// The proxy node.
+#[derive(Debug)]
+pub struct ProxyNode {
+    node: NodeId,
+    config: ProxyConfig,
+    servers: Vec<ServerHealth>,
+    seq: u64,
+    in_flight: HashMap<u64, InFlight>,
+    errors_emitted: u64,
+}
+
+impl ProxyNode {
+    /// Creates the proxy balancing across `servers` and arms its probe
+    /// timer.
+    pub fn new(
+        node: NodeId,
+        servers: Vec<NodeId>,
+        config: ProxyConfig,
+        engine: &mut Engine<ClusterMsg>,
+    ) -> ProxyNode {
+        engine.set_timer(
+            node,
+            SimDuration::from_micros(config.probe_interval_us),
+            TOKEN_PROBE,
+        );
+        ProxyNode {
+            node,
+            config,
+            servers: servers
+                .into_iter()
+                .map(|node| ServerHealth {
+                    node,
+                    healthy: true,
+                    fails: 0,
+                    rises: 0,
+                    awaiting: None,
+                })
+                .collect(),
+            seq: 0,
+            in_flight: HashMap::new(),
+            errors_emitted: 0,
+        }
+    }
+
+    /// Servers currently in rotation.
+    pub fn healthy_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.healthy).count()
+    }
+
+    /// Whether `server` is in rotation.
+    pub fn is_healthy(&self, server: usize) -> bool {
+        self.servers[server].healthy
+    }
+
+    /// Connection errors the proxy has surfaced to clients.
+    pub fn errors_emitted(&self) -> u64 {
+        self.errors_emitted
+    }
+
+    fn fail_probe(&mut self, engine: &mut Engine<ClusterMsg>, server: usize) {
+        let s = &mut self.servers[server];
+        s.rises = 0;
+        s.fails += 1;
+        if s.healthy && s.fails >= self.config.fall {
+            s.healthy = false;
+            self.kill_in_flight(engine, server);
+        }
+    }
+
+    fn kill_in_flight(&mut self, engine: &mut Engine<ClusterMsg>, server: usize) {
+        let dead: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.server == server)
+            .map(|(id, _)| *id)
+            .collect();
+        for req_id in dead {
+            let f = self.in_flight.remove(&req_id).expect("listed");
+            self.errors_emitted += 1;
+            engine.send(self.node, f.client, ClusterMsg::ConnError { req_id });
+        }
+    }
+
+    /// Picks a server for `client_id` among healthy servers, excluding
+    /// servers this request already gave up on.
+    fn pick_server(&self, client_id: u64, excluded: &[usize]) -> Option<usize> {
+        let usable: Vec<usize> = (0..self.servers.len())
+            .filter(|i| self.servers[*i].healthy && !excluded.contains(i))
+            .collect();
+        if usable.is_empty() {
+            return None;
+        }
+        // FNV-1a over the stable client id (the paper's hash balancing
+        // on unique client identifiers).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in client_id.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Some(usable[(h % usable.len() as u64) as usize])
+    }
+
+    /// Attempts to deliver a request to its chosen server, emulating
+    /// HAProxy 1.3 connect handling: a dead process refuses instantly
+    /// (RST); the proxy waits `retry_delay` and retries the *same*
+    /// server up to `retries` times, then redispatches to another.
+    fn connect(&mut self, engine: &mut Engine<ClusterMsg>, req_id: u64, mut flight: InFlight) {
+        if engine.is_up(self.servers[flight.server].node) {
+            let target = self.servers[flight.server].node;
+            let request = flight.request.clone();
+            self.in_flight.insert(req_id, flight);
+            engine.send_sized(self.node, target, ClusterMsg::Request { req_id, request }, 600);
+            return;
+        }
+        // Connection refused.
+        flight.attempts += 1;
+        if flight.attempts <= self.config.redispatch_retries {
+            // Park and retry the same server after the retry delay.
+            let delay = self.config.retry_delay_us;
+            self.in_flight.insert(req_id, flight);
+            engine.set_timer(
+                self.node,
+                SimDuration::from_micros(delay),
+                TOKEN_RETRY_FLAG | req_id,
+            );
+            return;
+        }
+        // Retries exhausted: redispatch once to a different server.
+        flight.excluded.push(flight.server);
+        flight.attempts = 0;
+        match self.pick_server(flight.request.client_id, &flight.excluded) {
+            Some(server) if flight.excluded.len() <= self.servers.len() => {
+                flight.server = server;
+                self.connect(engine, req_id, flight);
+            }
+            _ => {
+                self.errors_emitted += 1;
+                engine.send(self.node, flight.client, ClusterMsg::ConnError { req_id });
+            }
+        }
+    }
+
+    /// Handles a timer: settle last round's probes, launch a new round,
+    /// sweep request timeouts.
+    pub fn on_timer(&mut self, engine: &mut Engine<ClusterMsg>, token: u64) {
+        if token & TOKEN_RETRY_FLAG != 0 {
+            let req_id = token & !TOKEN_RETRY_FLAG;
+            if let Some(flight) = self.in_flight.remove(&req_id) {
+                self.connect(engine, req_id, flight);
+            }
+            return;
+        }
+        if token != TOKEN_PROBE {
+            return;
+        }
+        // Settle: unanswered probes count as failures.
+        for i in 0..self.servers.len() {
+            if self.servers[i].awaiting.take().is_some() {
+                self.fail_probe(engine, i);
+            }
+        }
+        // Launch a new round.
+        for i in 0..self.servers.len() {
+            self.seq += 1;
+            self.servers[i].awaiting = Some(self.seq);
+            let target = self.servers[i].node;
+            engine.send(self.node, target, ClusterMsg::Probe { seq: self.seq });
+        }
+        // Request timeouts.
+        let now = engine.now().as_micros();
+        let timeout = self.config.request_timeout_us;
+        let stale: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| now.saturating_sub(f.sent_at) > timeout)
+            .map(|(id, _)| *id)
+            .collect();
+        for req_id in stale {
+            let f = self.in_flight.remove(&req_id).expect("listed");
+            self.errors_emitted += 1;
+            engine.send(self.node, f.client, ClusterMsg::ConnError { req_id });
+        }
+        engine.set_timer(
+            self.node,
+            SimDuration::from_micros(self.config.probe_interval_us),
+            TOKEN_PROBE,
+        );
+    }
+
+    /// Handles a message arriving at the proxy.
+    pub fn on_message(&mut self, engine: &mut Engine<ClusterMsg>, from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::Request { req_id, request } => {
+                match self.pick_server(request.client_id, &[]) {
+                    Some(server) => {
+                        let flight = InFlight {
+                            client: from,
+                            server,
+                            sent_at: engine.now().as_micros(),
+                            request,
+                            excluded: Vec::new(),
+                            attempts: 0,
+                        };
+                        self.connect(engine, req_id, flight);
+                    }
+                    None => {
+                        self.errors_emitted += 1;
+                        engine.send(self.node, from, ClusterMsg::ConnError { req_id });
+                    }
+                }
+            }
+            ClusterMsg::Response {
+                req_id,
+                interaction,
+                ok,
+                session,
+                bytes,
+            } => {
+                if let Some(f) = self.in_flight.remove(&req_id) {
+                    engine.send_sized(
+                        self.node,
+                        f.client,
+                        ClusterMsg::Response {
+                            req_id,
+                            interaction,
+                            ok,
+                            session,
+                            bytes,
+                        },
+                        bytes,
+                    );
+                }
+            }
+            ClusterMsg::ConnError { req_id } => {
+                // The server refused the HTTP request (still booting /
+                // recovering): redispatch to another server.
+                if let Some(mut f) = self.in_flight.remove(&req_id) {
+                    f.excluded.push(f.server);
+                    f.attempts = 0;
+                    if f.excluded.len() < self.servers.len() {
+                        if let Some(server) =
+                            self.pick_server(f.request.client_id, &f.excluded)
+                        {
+                            f.server = server;
+                            self.connect(engine, req_id, f);
+                            return;
+                        }
+                    }
+                    self.errors_emitted += 1;
+                    engine.send(self.node, f.client, ClusterMsg::ConnError { req_id });
+                }
+            }
+            ClusterMsg::ProbeReply { seq, server, ready } => {
+                let s = &mut self.servers[server];
+                if s.awaiting == Some(seq) {
+                    s.awaiting = None;
+                    if ready {
+                        s.fails = 0;
+                        s.rises += 1;
+                        if !s.healthy && s.rises >= self.config.rise {
+                            s.healthy = true;
+                        }
+                    } else {
+                        self.fail_probe(engine, server);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! A server replica node: Tomcat + RobustStore + Treplica.
+//!
+//! Each node runs the web tier (a FIFO CPU queue handling interactions
+//! per the [`ServiceModel`](crate::ServiceModel)) over the Treplica
+//! middleware hosting the replicated bookstore. Reads are answered from
+//! local state; updates are submitted to the persistent queue and
+//! answered when the action commits and applies locally — the paper's
+//! blocking `execute()` semantics, with the client connection standing
+//! in for the blocked caller.
+
+use std::collections::{HashMap, VecDeque};
+
+use paxos::ProposalId;
+use robuststore::{Prepared, Reply, RobustStore, TpcwDatabase};
+use simnet::{Engine, NodeId, SimDuration, StableOp};
+use tpcw::{Interaction, PopulationParams, WebRequest};
+use treplica::{Middleware, MwEffect, RecoveredDisk, TreplicaConfig};
+
+use crate::msg::ClusterMsg;
+use crate::service::ServiceModel;
+
+/// Timer token: middleware tick.
+pub const TOKEN_TICK: u64 = 0;
+/// Timer token: CPU work completion.
+pub const TOKEN_WORK: u64 = 1;
+
+/// Middleware tick cadence.
+pub const TICK_US: u64 = 20_000;
+
+#[derive(Debug)]
+enum WorkKind {
+    Handle {
+        req_id: u64,
+        from: NodeId,
+        request: WebRequest,
+    },
+    Apply {
+        pid: ProposalId,
+        reply: Reply,
+    },
+}
+
+#[derive(Debug)]
+struct WorkItem {
+    kind: WorkKind,
+    cost_us: u64,
+}
+
+/// One application-server replica.
+#[derive(Debug)]
+pub struct ServerNode {
+    /// Server index (== consensus ReplicaId == simnet NodeId index).
+    pub idx: usize,
+    node: NodeId,
+    mw: Middleware<RobustStore>,
+    facade: TpcwDatabase,
+    service: ServiceModel,
+    queue: VecDeque<WorkItem>,
+    busy: bool,
+    outstanding: HashMap<ProposalId, (u64, NodeId, Interaction)>,
+    ready: bool,
+    /// Protocol CPU consumed since the last work item started: Treplica's
+    /// threads preempt page rendering (OS time-slicing), so their cost is
+    /// charged to the next piece of queued work rather than serialized
+    /// behind it.
+    cpu_debt_us: u64,
+}
+
+impl ServerNode {
+    /// Boots a fresh replica (first start, empty disk) and arms its
+    /// middleware tick.
+    pub fn new(
+        idx: usize,
+        params: PopulationParams,
+        config: TreplicaConfig,
+        service: ServiceModel,
+        engine: &mut Engine<ClusterMsg>,
+    ) -> ServerNode {
+        let node = NodeId(idx);
+        let (mw, boot_fx) = Middleware::bootstrap(
+            paxos::ReplicaId(idx as u32),
+            RobustStore::new(params),
+            config,
+            engine.now().as_micros(),
+        );
+        engine.set_timer(node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
+        let mut server = ServerNode {
+            idx,
+            node,
+            mw,
+            facade: TpcwDatabase::new(0x00fa_cade ^ idx as u64),
+            service,
+            queue: VecDeque::new(),
+            busy: false,
+            outstanding: HashMap::new(),
+            ready: true,
+            cpu_debt_us: 0,
+        };
+        server.apply_mw_effects(engine, boot_fx);
+        server
+    }
+
+    /// Restarts a crashed replica from its durable disk. The node is
+    /// not `ready` (health probes answer 503) until recovery completes.
+    pub fn recover(
+        idx: usize,
+        params: PopulationParams,
+        config: TreplicaConfig,
+        service: ServiceModel,
+        engine: &mut Engine<ClusterMsg>,
+    ) -> ServerNode {
+        let node = NodeId(idx);
+        let disk = RecoveredDisk::from_store(engine.store(node)).unwrap_or(RecoveredDisk {
+            meta: None,
+            log_entries: Vec::new(),
+            log_bytes: 0,
+        });
+        let epoch = engine.node_state(node).incarnation.0;
+        let now = engine.now().as_micros();
+        let (mut mw, fx) = Middleware::recover(paxos::ReplicaId(idx as u32), disk, config, epoch, now);
+        mw.install_initial_state(RobustStore::new(params));
+        engine.set_timer(node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
+        let mut server = ServerNode {
+            idx,
+            node,
+            mw,
+            facade: TpcwDatabase::new(0x00fa_cade ^ idx as u64 ^ (epoch << 32)),
+            service,
+            queue: VecDeque::new(),
+            busy: false,
+            outstanding: HashMap::new(),
+            ready: false,
+            cpu_debt_us: 0,
+        };
+        server.apply_mw_effects(engine, fx);
+        server
+    }
+
+    /// Whether the application is serving (post-recovery).
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Middleware introspection.
+    pub fn mw_status(&self) -> treplica::MwStatus {
+        self.mw.status()
+    }
+
+    /// When this incarnation's recovery completed, if it was recovering.
+    pub fn recovery_completed_at(&self) -> Option<u64> {
+        self.mw.recovery_completed_at()
+    }
+
+    fn apply_mw_effects(&mut self, engine: &mut Engine<ClusterMsg>, fx: Vec<MwEffect<RobustStore>>) {
+        for e in fx {
+            match e {
+                MwEffect::Send { to, msg, bytes } => {
+                    engine.send_sized(self.node, NodeId(to.index()), ClusterMsg::Mw(msg), bytes);
+                }
+                MwEffect::DiskWrite { op, token, nominal } => {
+                    if let (Some(nom), StableOp::Put { key, .. }) = (nominal, &op) {
+                        let key = key.clone();
+                        engine.set_nominal(self.node, &key, nom);
+                    }
+                    engine.disk_write(self.node, op, token);
+                }
+                MwEffect::DiskRead { key, token } => engine.disk_read(self.node, &key, token),
+                MwEffect::DiskReadRaw { bytes, token } => {
+                    engine.disk_read_raw(self.node, bytes, token)
+                }
+                MwEffect::Applied { pid, reply, .. } => {
+                    let cost_us = self.service.apply_cost_us();
+                    self.enqueue(engine, WorkItem {
+                        kind: WorkKind::Apply { pid, reply },
+                        cost_us,
+                    });
+                }
+                MwEffect::RecoveryComplete => {
+                    self.ready = true;
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, engine: &mut Engine<ClusterMsg>, item: WorkItem) {
+        self.queue.push_back(item);
+        if !self.busy {
+            self.busy = true;
+            self.start_head(engine);
+        }
+    }
+
+    fn start_head(&mut self, engine: &mut Engine<ClusterMsg>) {
+        let cost = self.queue.front().expect("head present").cost_us + self.cpu_debt_us;
+        self.cpu_debt_us = 0;
+        engine.set_timer(self.node, SimDuration::from_micros(cost), TOKEN_WORK);
+    }
+
+    fn complete_head(&mut self, engine: &mut Engine<ClusterMsg>) {
+        let item = match self.queue.pop_front() {
+            Some(i) => i,
+            None => {
+                self.busy = false;
+                return;
+            }
+        };
+        match item.kind {
+            WorkKind::Handle { req_id, from, request } => {
+                self.finish_handle(engine, req_id, from, request);
+            }
+            WorkKind::Apply { pid, reply } => {
+                if let Some((req_id, from, interaction)) = self.outstanding.remove(&pid) {
+                    let page = TpcwDatabase::write_result(interaction, &reply);
+                    engine.send_sized(
+                        self.node,
+                        from,
+                        ClusterMsg::Response {
+                            req_id,
+                            interaction,
+                            ok: page.ok,
+                            session: page.session,
+                            bytes: page.page_bytes,
+                        },
+                        page.page_bytes,
+                    );
+                }
+            }
+        }
+        if self.queue.front().is_some() {
+            self.start_head(engine);
+        } else {
+            self.busy = false;
+        }
+    }
+
+    fn finish_handle(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        req_id: u64,
+        from: NodeId,
+        request: WebRequest,
+    ) {
+        let now = engine.now().as_micros();
+        let interaction = request.interaction;
+        match self.facade.prepare(&request, now) {
+            Prepared::Read(op) => {
+                let state = self.mw.state().expect("ready server has state");
+                let page = TpcwDatabase::perform_read(state.store(), &op);
+                engine.send_sized(
+                    self.node,
+                    from,
+                    ClusterMsg::Response {
+                        req_id,
+                        interaction,
+                        ok: page.ok,
+                        session: page.session,
+                        bytes: page.page_bytes,
+                    },
+                    page.page_bytes,
+                );
+            }
+            Prepared::Write(action) => match self.mw.execute(action) {
+                Ok((pid, fx)) => {
+                    self.outstanding.insert(pid, (req_id, from, interaction));
+                    self.apply_mw_effects(engine, fx);
+                }
+                Err(_) => {
+                    engine.send(self.node, from, ClusterMsg::ConnError { req_id });
+                }
+            },
+        }
+    }
+
+    /// Handles a message arriving at this server.
+    pub fn on_message(&mut self, engine: &mut Engine<ClusterMsg>, from: NodeId, msg: ClusterMsg) {
+        match msg {
+            ClusterMsg::Mw(m) => {
+                // Protocol handling is prompt (Treplica's threads and the
+                // network stack preempt page rendering), but its CPU is
+                // real: charge it as debt against the queued page work.
+                self.cpu_debt_us += self.service.per_msg_us;
+                let now = engine.now().as_micros();
+                let fx = self
+                    .mw
+                    .on_message(paxos::ReplicaId(from.index() as u32), m, now);
+                self.apply_mw_effects(engine, fx);
+            }
+            ClusterMsg::Probe { seq } => {
+                engine.send(
+                    self.node,
+                    from,
+                    ClusterMsg::ProbeReply {
+                        seq,
+                        server: self.idx,
+                        ready: self.ready,
+                    },
+                );
+            }
+            ClusterMsg::Request { req_id, request } => {
+                if !self.ready {
+                    engine.send(self.node, from, ClusterMsg::ConnError { req_id });
+                    return;
+                }
+                let cost_us = self.service.handle_cost_us(request.interaction);
+                self.enqueue(engine, WorkItem {
+                    kind: WorkKind::Handle { req_id, from, request },
+                    cost_us,
+                });
+            }
+            // Servers receive nothing else.
+            _ => {}
+        }
+    }
+
+    /// Handles a timer.
+    pub fn on_timer(&mut self, engine: &mut Engine<ClusterMsg>, token: u64) {
+        match token {
+            TOKEN_TICK => {
+                engine.set_timer(self.node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
+                let now = engine.now().as_micros();
+                let fx = self.mw.on_tick(now);
+                self.apply_mw_effects(engine, fx);
+            }
+            TOKEN_WORK => self.complete_head(engine),
+            _ => {}
+        }
+    }
+
+    /// A durable write completed.
+    pub fn on_disk_write_done(&mut self, engine: &mut Engine<ClusterMsg>, token: u64) {
+        let fx = self.mw.on_disk_write_done(token);
+        self.apply_mw_effects(engine, fx);
+    }
+
+    /// A bulk read completed.
+    pub fn on_disk_read_done(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        token: u64,
+        value: Option<Vec<u8>>,
+    ) {
+        let fx = self.mw.on_disk_read_done(token, value);
+        self.apply_mw_effects(engine, fx);
+    }
+}

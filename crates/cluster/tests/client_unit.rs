@@ -1,0 +1,160 @@
+//! Unit tests of the client node (RBE host): think/issue/response
+//! cycles, error handling, and the stale-request sweep.
+
+use cluster::{ClientNode, ClusterMsg};
+use simnet::{Engine, Event, NodeId, SimConfig, SimTime};
+use tpcw::{Profile, RbeConfig, Recorder, SessionUpdate};
+
+const PROXY: usize = 0;
+const CLIENT: usize = 1;
+
+fn setup(count: usize) -> (Engine<ClusterMsg>, ClientNode, Recorder) {
+    let mut engine = Engine::new(2, SimConfig::default(), 3);
+    let client = ClientNode::new(
+        NodeId(CLIENT),
+        NodeId(PROXY),
+        count,
+        0,
+        RbeConfig {
+            profile: Profile::Shopping,
+            think_mean_us: 500_000,
+            items: 100,
+            customers: 2_880,
+        },
+        9,
+        5_000_000,
+        &mut engine,
+    );
+    (engine, client, Recorder::new(300_000_000))
+}
+
+/// Runs the client, answering every request after `reply_after` µs of
+/// simulated service (or never, if `None`). Returns requests seen.
+fn run(
+    engine: &mut Engine<ClusterMsg>,
+    client: &mut ClientNode,
+    rec: &mut Recorder,
+    until: SimTime,
+    reply: bool,
+) -> usize {
+    let mut seen = 0;
+    while let Some((_, ev)) = engine.next_event_before(until) {
+        match ev {
+            Event::Message { to, payload, .. } if to.index() == PROXY => {
+                if let ClusterMsg::Request { req_id, request } = payload {
+                    seen += 1;
+                    if reply {
+                        engine.send(
+                            NodeId(PROXY),
+                            NodeId(CLIENT),
+                            ClusterMsg::Response {
+                                req_id,
+                                interaction: request.interaction,
+                                ok: true,
+                                session: SessionUpdate::default(),
+                                bytes: 2_000,
+                            },
+                        );
+                    }
+                }
+            }
+            Event::Message { to, payload, .. } if to.index() == CLIENT => {
+                client.on_message(engine, payload, rec);
+            }
+            Event::Timer { node, token } if node.index() == CLIENT => {
+                client.on_timer(engine, token, rec);
+            }
+            _ => {}
+        }
+    }
+    seen
+}
+
+#[test]
+fn closed_loop_throughput_matches_think_time() {
+    let (mut engine, mut client, mut rec) = setup(20);
+    // 20 RBEs at 0.5 s mean think → ≈40 interactions/s when responses
+    // are instant; over 30 s that is ≈1200 completions.
+    let seen = run(&mut engine, &mut client, &mut rec, SimTime::from_secs(30), true);
+    assert!(seen > 800, "issued {seen}");
+    assert_eq!(rec.total_ok() as usize, seen, "every reply recorded");
+    assert_eq!(rec.total_errors(), 0);
+    let awips = rec.awips(5_000_000, 30_000_000);
+    assert!((25.0..60.0).contains(&awips), "closed-loop AWIPS {awips}");
+}
+
+#[test]
+fn unanswered_requests_time_out_via_sweep() {
+    let (mut engine, mut client, mut rec) = setup(5);
+    // Nothing ever answers: the 60 s client timeout + 5 s sweep must
+    // reclaim each browser and record an error.
+    run(&mut engine, &mut client, &mut rec, SimTime::from_secs(80), false);
+    assert_eq!(rec.total_ok(), 0);
+    assert!(
+        rec.total_errors() >= 5,
+        "each browser times out at least once: {}",
+        rec.total_errors()
+    );
+    assert_eq!(client.in_flight(), 5, "browsers re-issued after timeout");
+}
+
+#[test]
+fn conn_errors_count_and_browser_continues() {
+    let (mut engine, mut client, mut rec) = setup(3);
+    let mut errored = 0;
+    while let Some((_, ev)) = engine.next_event_before(SimTime::from_secs(20)) {
+        match ev {
+            Event::Message { to, payload, .. } if to.index() == PROXY => {
+                if let ClusterMsg::Request { req_id, .. } = payload {
+                    errored += 1;
+                    engine.send(NodeId(PROXY), NodeId(CLIENT), ClusterMsg::ConnError { req_id });
+                }
+            }
+            Event::Message { to, payload, .. } if to.index() == CLIENT => {
+                client.on_message(&mut engine, payload, &mut rec);
+            }
+            Event::Timer { node, token } if node.index() == CLIENT => {
+                client.on_timer(&mut engine, token, &mut rec);
+            }
+            _ => {}
+        }
+    }
+    assert!(errored > 30, "browsers keep retrying after errors: {errored}");
+    assert_eq!(rec.total_errors() as usize, errored);
+    assert_eq!(rec.total_ok(), 0);
+}
+
+#[test]
+fn served_error_pages_recorded_against_accuracy() {
+    let (mut engine, mut client, mut rec) = setup(2);
+    while let Some((_, ev)) = engine.next_event_before(SimTime::from_secs(10)) {
+        match ev {
+            Event::Message { to, payload, .. } if to.index() == PROXY => {
+                if let ClusterMsg::Request { req_id, request } = payload {
+                    engine.send(
+                        NodeId(PROXY),
+                        NodeId(CLIENT),
+                        ClusterMsg::Response {
+                            req_id,
+                            interaction: request.interaction,
+                            ok: false, // business error page
+                            session: SessionUpdate::default(),
+                            bytes: 800,
+                        },
+                    );
+                }
+            }
+            Event::Message { to, payload, .. } if to.index() == CLIENT => {
+                client.on_message(&mut engine, payload, &mut rec);
+            }
+            Event::Timer { node, token } if node.index() == CLIENT => {
+                client.on_timer(&mut engine, token, &mut rec);
+            }
+            _ => {}
+        }
+    }
+    let (conn, served) = rec.error_breakdown();
+    assert_eq!(conn, 0);
+    assert!(served > 5, "served error pages recorded: {served}");
+    assert!(rec.accuracy_percent() < 100.0);
+}

@@ -1,0 +1,39 @@
+//! End-to-end smoke tests of the full simulated testbed.
+
+use cluster::{run_experiment, ExperimentConfig};
+use faultload::Faultload;
+use tpcw::Profile;
+
+#[test]
+fn failure_free_run_delivers_load() {
+    let config = ExperimentConfig::quick(5, Profile::Shopping);
+    let report = run_experiment(&config);
+    eprintln!(
+        "AWIPS={:.1} WIRT={:.1}ms acc={:.3}% err={}",
+        report.awips,
+        report.mean_wirt_ms,
+        report.dependability.accuracy_percent,
+        report.recorder.total_errors()
+    );
+    // 200 RBEs with 1s think → close to 200 WIPS delivered.
+    assert!(report.awips > 150.0, "AWIPS {}", report.awips);
+    assert!(report.mean_wirt_ms < 500.0, "WIRT {}", report.mean_wirt_ms);
+    assert!(report.dependability.accuracy_percent > 99.0);
+}
+
+#[test]
+fn single_crash_recovers_autonomously() {
+    let mut config = ExperimentConfig::quick(5, Profile::Shopping);
+    // Crash at half the (shortened) measurement interval.
+    config.faultload = Faultload::single_crash().scaled(1, 6); // t=45s
+    let report = run_experiment(&config);
+    eprintln!(
+        "AWIPS={:.1} spans={:?} acc={:.3}%",
+        report.awips, report.spans, report.dependability.accuracy_percent
+    );
+    assert_eq!(report.spans.len(), 1);
+    let span = report.spans[0];
+    assert!(span.recovered_at.is_some(), "recovery must complete");
+    assert!(report.dependability.autonomy == 1.0);
+    assert!(report.awips > 100.0);
+}

@@ -1,0 +1,1071 @@
+//! The Treplica middleware node: consensus + durable log + checkpoints +
+//! autonomous recovery behind the paper's state-machine interface.
+//!
+//! One [`Middleware`] instance runs per replica process. Like the
+//! `paxos` core it is sans-io: the driver (the `cluster` crate, on
+//! `simnet`) feeds it network messages, disk completions and ticks, and
+//! applies the [`MwEffect`]s it returns. This is where the paper's
+//! recovery story lives (§2, "Recovery"):
+//!
+//! * every acceptor record is appended to the durable `paxos.log`
+//!   *before* its protocol message leaves the node;
+//! * periodically the application state is checkpointed to disk and the
+//!   log truncated to the suffix past the checkpoint;
+//! * on restart, the node reloads the newest checkpoint (a bulk disk
+//!   read proportional to the *modeled* state size) **in parallel with**
+//!   re-reading its log and re-learning the backlog from the live
+//!   replicas — exactly the two overlapping transfers whose relative
+//!   sizes explain the recovery-time shapes in the paper's Figure 6.
+
+use std::collections::HashMap;
+
+use paxos::{
+    Ballot, Effect as PaxosEffect, Mode, Msg, PaxosConfig, PersistToken, ProposalId, Record,
+    Replica, ReplicaId, ReplicaStatus, Slot,
+};
+use simnet::{StableOp, StableStore};
+
+use crate::app::{Application, Snapshot};
+use crate::codec::record_slot;
+use crate::queue::PersistentQueue;
+use crate::wire::{Wire, WireError};
+
+/// Key of the checkpoint metadata record.
+pub const META_KEY: &str = "treplica.meta";
+/// Name of the durable consensus log.
+pub const LOG_NAME: &str = "paxos.log";
+
+/// Per-message wire overhead added to encoded payloads (Ethernet + IP +
+/// UDP headers).
+const WIRE_OVERHEAD: u64 = 46;
+
+/// Middleware tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TreplicaConfig {
+    /// Consensus configuration.
+    pub paxos: PaxosConfig,
+    /// Actions applied between checkpoints.
+    pub checkpoint_interval: u64,
+    /// Decided history retained in memory *behind* the checkpoint so
+    /// recovering peers can learn their backlog without a full state
+    /// transfer. If a peer falls further behind than this, the snapshot
+    /// transfer path ([`MwMsg::SnapshotRequest`]) takes over.
+    pub retention_slots: u64,
+    /// Optional flow control: at most this many of this node's proposals
+    /// may be outstanding (submitted but not yet applied locally);
+    /// excess `execute`s queue inside the middleware and are released as
+    /// earlier ones commit. Bounds the retry/collision amplification a
+    /// single overloaded node can inject into the ensemble.
+    pub max_outstanding: Option<usize>,
+}
+
+impl TreplicaConfig {
+    /// LAN defaults for an ensemble of `n` replicas.
+    pub fn lan(n: usize) -> Self {
+        TreplicaConfig {
+            paxos: PaxosConfig::lan(n),
+            checkpoint_interval: 2_000,
+            retention_slots: 200_000,
+            max_outstanding: None,
+        }
+    }
+}
+
+/// Checkpoint metadata, durably written after its checkpoint data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Meta {
+    /// Slots below this are covered by the checkpoint.
+    pub checkpoint_slot: Slot,
+    /// Checkpoint generation (its key is `treplica.ckpt.<generation>`).
+    pub generation: u64,
+    /// Promise floor: the acceptor must never promise below this (covers
+    /// `Promised` records dropped by log truncation).
+    pub promised: Ballot,
+}
+
+impl Meta {
+    /// The key the checkpoint data of `generation` lives under.
+    pub fn ckpt_key(generation: u64) -> String {
+        format!("treplica.ckpt.{generation}")
+    }
+}
+
+impl Wire for Meta {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.checkpoint_slot.encode(buf);
+        self.generation.encode(buf);
+        self.promised.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Meta {
+            checkpoint_slot: Slot::decode(input)?,
+            generation: u64::decode(input)?,
+            promised: Ballot::decode(input)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        self.checkpoint_slot.wire_size() + 8 + self.promised.wire_size()
+    }
+}
+
+/// Messages exchanged between middleware nodes: consensus traffic plus
+/// the snapshot-transfer protocol used when a recovering replica's
+/// backlog fell past the peers' retained history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MwMsg<A> {
+    /// Consensus-layer traffic.
+    Paxos(Msg<A>),
+    /// A recovering replica asks a peer for its current state.
+    SnapshotRequest,
+    /// Full state transfer: `data` restores an application covering all
+    /// slots below `covers`; `nominal` is the modeled transfer size.
+    SnapshotReply {
+        /// Delivery resumes at this slot after restoring.
+        covers: Slot,
+        /// Serialized application state.
+        data: Vec<u8>,
+        /// Modeled size (drives network transfer latency).
+        nominal: u64,
+    },
+}
+
+impl<A: Wire> MwMsg<A> {
+    /// Bytes this message occupies on the wire (headers included); the
+    /// snapshot payload is charged at its modeled size.
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_OVERHEAD
+            + match self {
+                MwMsg::Paxos(m) => 1 + m.wire_size(),
+                MwMsg::SnapshotRequest => 1,
+                MwMsg::SnapshotReply { nominal, .. } => 1 + 8 + 8 + *nominal,
+            }
+    }
+}
+
+/// Effects the driver must apply.
+#[derive(Debug)]
+pub enum MwEffect<App: Application> {
+    /// Send a middleware message (wire size already computed).
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        msg: MwMsg<App::Action>,
+        /// Bytes on the wire (payload + headers).
+        bytes: u64,
+    },
+    /// Issue a durable disk operation; completion must be reported via
+    /// [`Middleware::on_disk_write_done`] with the same token.
+    DiskWrite {
+        /// The operation.
+        op: StableOp,
+        /// Completion token.
+        token: u64,
+        /// If set, the written key models this many bytes (drives the
+        /// recovery read latency).
+        nominal: Option<u64>,
+    },
+    /// Issue a bulk keyed read; completion via
+    /// [`Middleware::on_disk_read_done`].
+    DiskRead {
+        /// Key to read.
+        key: String,
+        /// Completion token.
+        token: u64,
+    },
+    /// Issue a raw read of `bytes` (log replay); completion via
+    /// [`Middleware::on_disk_read_done`] with `value: None`.
+    DiskReadRaw {
+        /// Bytes to read.
+        bytes: u64,
+        /// Completion token.
+        token: u64,
+    },
+    /// An action committed and was applied to the local state.
+    Applied {
+        /// Slot that ordered it.
+        slot: Slot,
+        /// Proposal identity (matches the id returned by `execute`).
+        pid: ProposalId,
+        /// The application's reply.
+        reply: App::Reply,
+    },
+    /// Recovery finished: checkpoint restored, log replayed, backlog
+    /// re-learned. The replica now serves as if it had never crashed.
+    RecoveryComplete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokenKind {
+    PaxosPersist(PersistToken),
+    CheckpointData,
+    MetaWrite,
+    LogTruncate,
+    CheckpointDelete,
+    CheckpointRead,
+    LogRead,
+}
+
+/// Mirror of the durable log's shape (entry slots and sizes) kept in
+/// memory for truncation decisions and recovery-read sizing.
+#[derive(Debug, Default)]
+struct LogMirror {
+    first_index: u64,
+    entries: Vec<(Option<Slot>, u64)>,
+}
+
+impl LogMirror {
+    fn push(&mut self, slot: Option<Slot>, bytes: u64) {
+        self.entries.push((slot, bytes));
+    }
+
+    fn bytes(&self) -> u64 {
+        self.entries.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// Stable index of the first entry with an `Accepted` slot ≥ `cut`;
+    /// entries before it are covered by the checkpoint.
+    fn keep_from(&self, cut: Slot) -> u64 {
+        for (i, (slot, _)) in self.entries.iter().enumerate() {
+            if let Some(s) = slot {
+                if *s >= cut {
+                    return self.first_index + i as u64;
+                }
+            }
+        }
+        self.first_index + self.entries.len() as u64
+    }
+
+    fn truncate_front(&mut self, keep_from: u64) {
+        if keep_from <= self.first_index {
+            return;
+        }
+        let drop = ((keep_from - self.first_index) as usize).min(self.entries.len());
+        self.entries.drain(..drop);
+        self.first_index = keep_from.max(self.first_index);
+    }
+}
+
+/// The durable state found on disk at restart.
+#[derive(Debug)]
+pub struct RecoveredDisk {
+    /// Decoded checkpoint metadata, if a checkpoint completed before the
+    /// crash.
+    pub meta: Option<Meta>,
+    /// Raw log entries (decoded lazily after the modeled log read).
+    pub log_entries: Vec<Vec<u8>>,
+    /// Total log bytes (sizes the modeled read).
+    pub log_bytes: u64,
+}
+
+impl RecoveredDisk {
+    /// Inspects a node's stable store after restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the metadata record is corrupt.
+    pub fn from_store(store: &StableStore) -> Result<RecoveredDisk, WireError> {
+        let meta = match store.get(META_KEY) {
+            Some(bytes) => Some(Meta::from_bytes(bytes)?),
+            None => None,
+        };
+        let (log_entries, log_bytes) = match store.log(LOG_NAME) {
+            Some(log) => (
+                log.iter().map(|(_, e)| e.to_vec()).collect(),
+                log.bytes(),
+            ),
+            None => (Vec::new(), 0),
+        };
+        Ok(RecoveredDisk {
+            meta,
+            log_entries,
+            log_bytes,
+        })
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Active,
+    Recovering {
+        log_done: bool,
+        checkpoint_done: bool,
+        announced: bool,
+    },
+}
+
+/// Error returned by [`Middleware::execute`] while the replica is still
+/// recovering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StillRecovering;
+
+impl std::fmt::Display for StillRecovering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica is still recovering")
+    }
+}
+
+impl std::error::Error for StillRecovering {}
+
+/// Introspection snapshot of a middleware node.
+#[derive(Debug, Clone)]
+pub struct MwStatus {
+    /// Consensus-layer status.
+    pub paxos: ReplicaStatus,
+    /// Whether recovery is still in progress.
+    pub recovering: bool,
+    /// Actions applied to the local state machine.
+    pub applied: u64,
+    /// Slot covered by the newest completed checkpoint.
+    pub checkpoint_slot: Slot,
+    /// Completed checkpoints.
+    pub checkpoints: u64,
+    /// Current durable-log size (mirror estimate).
+    pub log_bytes: u64,
+}
+
+/// One Treplica middleware node.
+#[derive(Debug)]
+pub struct Middleware<App: Application> {
+    id: ReplicaId,
+    config: TreplicaConfig,
+    paxos: Replica<App::Action>,
+    app: Option<App>,
+    queue: PersistentQueue<App::Action>,
+    phase: Phase,
+    tokens: HashMap<u64, TokenKind>,
+    next_token: u64,
+    log: LogMirror,
+    applied: u64,
+    applied_since_checkpoint: u64,
+    checkpoint_slot: Slot,
+    checkpoint_generation: u64,
+    checkpoints_completed: u64,
+    checkpoint_in_flight: bool,
+    pending_meta: Option<Meta>,
+    now: u64,
+    epoch: u64,
+    recovery_completed_at: Option<u64>,
+    /// Flow control: locally-submitted proposals not yet applied here.
+    outstanding_local: usize,
+    /// Proposals created but whose submission is withheld until a
+    /// flow-control slot frees.
+    withheld: std::collections::VecDeque<ProposalId>,
+}
+
+impl<App: Application> Middleware<App> {
+    /// Creates a fresh replica (first boot, empty disk) hosting `app`,
+    /// and immediately checkpoints the initial state (the populated
+    /// database is durable before the service opens, so any later
+    /// recovery pays the full state reload the paper measures).
+    pub fn bootstrap(
+        id: ReplicaId,
+        app: App,
+        config: TreplicaConfig,
+        now: u64,
+    ) -> (Self, Vec<MwEffect<App>>) {
+        let mut mw = Self::new(id, app, config, now);
+        let mut out = Vec::new();
+        mw.start_checkpoint(&mut out);
+        (mw, out)
+    }
+
+    /// Creates a fresh replica (first boot, empty disk) hosting `app`.
+    pub fn new(id: ReplicaId, app: App, config: TreplicaConfig, now: u64) -> Self {
+        let paxos = Replica::new(id, config.paxos.clone(), now);
+        Middleware {
+            id,
+            config,
+            paxos,
+            app: Some(app),
+            queue: PersistentQueue::new(),
+            phase: Phase::Active,
+            tokens: HashMap::new(),
+            next_token: 0,
+            log: LogMirror::default(),
+            applied: 0,
+            applied_since_checkpoint: 0,
+            checkpoint_slot: Slot::ZERO,
+            checkpoint_generation: 0,
+            checkpoints_completed: 0,
+            checkpoint_in_flight: false,
+            pending_meta: None,
+            now,
+            epoch: 0,
+            recovery_completed_at: None,
+            outstanding_local: 0,
+            withheld: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Restarts a replica from its durable disk contents.
+    ///
+    /// `epoch` must strictly exceed the crashed incarnation's (the driver
+    /// uses the simulator's incarnation counter). Returns the middleware
+    /// (in recovery phase) plus the two bulk reads to issue: the
+    /// checkpoint load and the log replay, which proceed in parallel.
+    pub fn recover(
+        id: ReplicaId,
+        disk: RecoveredDisk,
+        config: TreplicaConfig,
+        epoch: u64,
+        now: u64,
+    ) -> (Self, Vec<MwEffect<App>>) {
+        let meta = disk.meta.clone();
+        let start_slot = meta.as_ref().map(|m| m.checkpoint_slot).unwrap_or(Slot::ZERO);
+        let promised_floor = meta.as_ref().map(|m| m.promised).unwrap_or(Ballot::BOTTOM);
+
+        // Decode the surviving log records; the modeled read latency is
+        // charged via the DiskReadRaw effect below.
+        let mut records: Vec<Record<App::Action>> = Vec::new();
+        let mut mirror = LogMirror::default();
+        for entry in &disk.log_entries {
+            if let Ok(r) = Record::from_bytes(entry) {
+                mirror.push(
+                    match &r {
+                        Record::Accepted { slot, .. } => Some(*slot),
+                        Record::Promised(_) => None,
+                    },
+                    entry.len() as u64,
+                );
+                records.push(r);
+            }
+        }
+        let floor_record = Record::Promised(promised_floor);
+        let paxos = Replica::recover(
+            id,
+            config.paxos.clone(),
+            std::iter::once(&floor_record).chain(records.iter()),
+            start_slot,
+            epoch,
+            now,
+        );
+
+        let mut mw = Middleware {
+            id,
+            config,
+            paxos,
+            app: None,
+            queue: PersistentQueue::new(),
+            phase: Phase::Recovering {
+                log_done: false,
+                checkpoint_done: false,
+                announced: false,
+            },
+            tokens: HashMap::new(),
+            next_token: 0,
+            log: mirror,
+            applied: 0,
+            applied_since_checkpoint: 0,
+            checkpoint_slot: start_slot,
+            checkpoint_generation: meta.as_ref().map(|m| m.generation).unwrap_or(0),
+            checkpoints_completed: 0,
+            checkpoint_in_flight: false,
+            pending_meta: None,
+            now,
+            epoch,
+            recovery_completed_at: None,
+            outstanding_local: 0,
+            withheld: std::collections::VecDeque::new(),
+        };
+        let mut fx = Vec::new();
+        let log_token = mw.alloc(TokenKind::LogRead);
+        fx.push(MwEffect::DiskReadRaw {
+            bytes: disk.log_bytes,
+            token: log_token,
+        });
+        match meta {
+            Some(m) => {
+                let ckpt_token = mw.alloc(TokenKind::CheckpointRead);
+                fx.push(MwEffect::DiskRead {
+                    key: Meta::ckpt_key(m.generation),
+                    token: ckpt_token,
+                });
+            }
+            None => {
+                // Nothing ever checkpointed: the application starts
+                // empty and replays everything through the queue. The
+                // caller must provide the initial state via
+                // `install_initial_state`.
+                if let Phase::Recovering { checkpoint_done, .. } = &mut mw.phase {
+                    *checkpoint_done = true;
+                }
+            }
+        }
+        (mw, fx)
+    }
+
+    /// Supplies the application for a recovery that found no checkpoint
+    /// (e.g. a crash before the first checkpoint completed). The state
+    /// must be the same deterministic initial state all replicas booted
+    /// with; the queue backlog replays everything on top.
+    pub fn install_initial_state(&mut self, app: App) {
+        if self.app.is_none() {
+            self.app = Some(app);
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The hosted application (the paper's `getState()`', None only
+    /// while a recovery's checkpoint is still loading).
+    pub fn state(&self) -> Option<&App> {
+        self.app.as_ref()
+    }
+
+    /// Whether this node is still recovering.
+    pub fn is_recovering(&self) -> bool {
+        matches!(self.phase, Phase::Recovering { .. })
+    }
+
+    /// When recovery completed (driver clock), if it has.
+    pub fn recovery_completed_at(&self) -> Option<u64> {
+        self.recovery_completed_at
+    }
+
+    /// Introspection snapshot.
+    pub fn status(&self) -> MwStatus {
+        MwStatus {
+            paxos: self.paxos.status(),
+            recovering: self.is_recovering(),
+            applied: self.applied,
+            checkpoint_slot: self.checkpoint_slot,
+            checkpoints: self.checkpoints_completed,
+            log_bytes: self.log.bytes(),
+        }
+    }
+
+    /// Consensus operating mode (fast / classic / blocked).
+    pub fn mode(&self) -> Mode {
+        self.paxos.mode()
+    }
+
+    fn alloc(&mut self, kind: TokenKind) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(t, kind);
+        t
+    }
+
+    /// Submits a deterministic action for total ordering (the paper's
+    /// `execute()`; asynchronous — completion arrives as
+    /// [`MwEffect::Applied`] with the returned id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StillRecovering`] until recovery completes.
+    pub fn execute(
+        &mut self,
+        action: App::Action,
+    ) -> Result<(ProposalId, Vec<MwEffect<App>>), StillRecovering> {
+        if self.is_recovering() {
+            return Err(StillRecovering);
+        }
+        if let Some(cap) = self.config.max_outstanding {
+            if self.outstanding_local >= cap {
+                // Create the proposal (so the caller has an id to wait
+                // on) but withhold its submission until a slot frees.
+                self.outstanding_local += 1;
+                let (pid, fx) = self.paxos.propose(action);
+                self.withheld.push_back(pid);
+                let fx: Vec<paxos::Effect<App::Action>> = fx
+                    .into_iter()
+                    .filter(|e| !matches!(e, paxos::Effect::Send { .. }))
+                    .collect();
+                return Ok((pid, self.lower(fx)));
+            }
+        }
+        self.outstanding_local += 1;
+        let (pid, fx) = self.paxos.propose(action);
+        Ok((pid, self.lower(fx)))
+    }
+
+    /// Feeds an incoming middleware message.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: MwMsg<App::Action>,
+        now: u64,
+    ) -> Vec<MwEffect<App>> {
+        self.now = self.now.max(now);
+        if let Phase::Recovering { log_done: false, .. } = self.phase {
+            // The process is still reading its log; like a booting
+            // process whose sockets aren't up yet, it hears nothing.
+            return Vec::new();
+        }
+        match msg {
+            MwMsg::Paxos(m) => {
+                let fx = self.paxos.on_message(from, m, now);
+                let mut out = self.lower(fx);
+                self.maybe_request_snapshot(&mut out);
+                out
+            }
+            MwMsg::SnapshotRequest => {
+                let mut out = Vec::new();
+                if let Some(app) = self.app.as_ref() {
+                    if !self.is_recovering() {
+                        let Snapshot { data, nominal_bytes } = app.snapshot();
+                        let reply = MwMsg::SnapshotReply {
+                            covers: self.paxos.decided_upto(),
+                            data,
+                            nominal: nominal_bytes,
+                        };
+                        let bytes = reply.wire_bytes();
+                        out.push(MwEffect::Send { to: from, msg: reply, bytes });
+                    }
+                }
+                out
+            }
+            MwMsg::SnapshotReply { covers, data, .. } => {
+                let mut out = Vec::new();
+                if covers > self.paxos.decided_upto() {
+                    if let Ok(app) = App::restore(&data) {
+                        self.app = Some(app);
+                        if let Phase::Recovering { checkpoint_done, .. } = &mut self.phase {
+                            *checkpoint_done = true;
+                        }
+                        let fx = self.paxos.fast_forward(covers);
+                        out.extend(self.lower(fx));
+                    }
+                }
+                self.check_recovery_done(&mut out);
+                out
+            }
+        }
+    }
+
+    /// If a catch-up exchange revealed peers truncated past our
+    /// watermark, ask the revealing peer for a full state transfer.
+    fn maybe_request_snapshot(&mut self, out: &mut Vec<MwEffect<App>>) {
+        if let Some((peer, _)) = self.paxos.take_snapshot_needed() {
+            let msg = MwMsg::SnapshotRequest;
+            let bytes = msg.wire_bytes();
+            out.push(MwEffect::Send { to: peer, msg, bytes });
+        }
+    }
+
+    /// Periodic tick (heartbeats, elections, retries, checkpoint policy).
+    pub fn on_tick(&mut self, now: u64) -> Vec<MwEffect<App>> {
+        self.now = self.now.max(now);
+        let mut out = if matches!(self.phase, Phase::Recovering { log_done: false, .. }) {
+            Vec::new()
+        } else {
+            let fx = self.paxos.on_tick(now);
+            self.lower(fx)
+        };
+        self.maybe_request_snapshot(&mut out);
+        self.check_recovery_done(&mut out);
+        out
+    }
+
+    /// A durable write completed.
+    pub fn on_disk_write_done(&mut self, token: u64) -> Vec<MwEffect<App>> {
+        let kind = match self.tokens.remove(&token) {
+            Some(k) => k,
+            None => return Vec::new(),
+        };
+        match kind {
+            TokenKind::PaxosPersist(pt) => {
+                let fx = self.paxos.on_persisted(pt);
+                self.lower(fx)
+            }
+            TokenKind::CheckpointData => {
+                // Data durable: now commit the metadata pointing at it.
+                let meta = self.pending_meta.clone().expect("meta staged");
+                let token = self.alloc(TokenKind::MetaWrite);
+                vec![MwEffect::DiskWrite {
+                    op: StableOp::Put {
+                        key: META_KEY.to_string(),
+                        value: meta.to_bytes(),
+                    },
+                    token,
+                    nominal: None,
+                }]
+            }
+            TokenKind::MetaWrite => {
+                let meta = self.pending_meta.take().expect("meta staged");
+                self.checkpoint_slot = meta.checkpoint_slot;
+                self.checkpoints_completed += 1;
+                self.checkpoint_in_flight = false;
+                // Truncate the log below the checkpoint and drop the
+                // consensus layer's decided history it covers.
+                let keep_from = self.log.keep_from(meta.checkpoint_slot);
+                self.log.truncate_front(keep_from);
+                // Keep a retention window of decided history behind the
+                // checkpoint for recovering peers.
+                let retain_from = Slot(
+                    meta.checkpoint_slot
+                        .0
+                        .saturating_sub(self.config.retention_slots),
+                );
+                self.paxos.truncate(retain_from);
+                let trunc_token = self.alloc(TokenKind::LogTruncate);
+                let mut fx = vec![MwEffect::DiskWrite {
+                    op: StableOp::TruncateLog {
+                        log: LOG_NAME.to_string(),
+                        keep_from,
+                    },
+                    token: trunc_token,
+                    nominal: None,
+                }];
+                if meta.generation > 0 {
+                    let del_token = self.alloc(TokenKind::CheckpointDelete);
+                    fx.push(MwEffect::DiskWrite {
+                        op: StableOp::Delete {
+                            key: Meta::ckpt_key(meta.generation - 1),
+                        },
+                        token: del_token,
+                        nominal: None,
+                    });
+                }
+                fx
+            }
+            TokenKind::LogTruncate | TokenKind::CheckpointDelete => Vec::new(),
+            TokenKind::CheckpointRead | TokenKind::LogRead => Vec::new(),
+        }
+    }
+
+    /// A bulk read completed.
+    pub fn on_disk_read_done(&mut self, token: u64, value: Option<Vec<u8>>) -> Vec<MwEffect<App>> {
+        let kind = match self.tokens.remove(&token) {
+            Some(k) => k,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        match kind {
+            TokenKind::LogRead => {
+                if let Phase::Recovering { log_done, .. } = &mut self.phase {
+                    *log_done = true;
+                }
+                // The consensus layer is live now; its first ticks will
+                // heartbeat and trigger backlog catch-up.
+            }
+            TokenKind::CheckpointRead => {
+                if let Some(bytes) = value {
+                    match App::restore(&bytes) {
+                        Ok(app) => self.app = Some(app),
+                        Err(_) => {
+                            // Corrupt checkpoint: treat as absent; the
+                            // caller's initial state + full replay will
+                            // reconstruct (install_initial_state).
+                        }
+                    }
+                }
+                if let Phase::Recovering { checkpoint_done, .. } = &mut self.phase {
+                    *checkpoint_done = true;
+                }
+                self.drain_queue(&mut out);
+            }
+            _ => {}
+        }
+        self.check_recovery_done(&mut out);
+        out
+    }
+
+    /// Lowers consensus effects into middleware effects, applying
+    /// committed actions along the way.
+    fn lower(&mut self, fx: Vec<PaxosEffect<App::Action>>) -> Vec<MwEffect<App>> {
+        let mut out = Vec::new();
+        for e in fx {
+            match e {
+                PaxosEffect::Send { to, msg } => {
+                    let msg = MwMsg::Paxos(msg);
+                    let bytes = msg.wire_bytes();
+                    out.push(MwEffect::Send { to, msg, bytes });
+                }
+                PaxosEffect::Persist { record, token } => {
+                    let entry = record.to_bytes();
+                    self.log.push(record_slot(&entry), entry.len() as u64);
+                    let t = self.alloc(TokenKind::PaxosPersist(token));
+                    out.push(MwEffect::DiskWrite {
+                        op: StableOp::Append {
+                            log: LOG_NAME.to_string(),
+                            entry,
+                        },
+                        token: t,
+                        nominal: None,
+                    });
+                }
+                PaxosEffect::Deliver { slot, pid, value } => {
+                    self.queue.push(slot, pid, value);
+                }
+            }
+        }
+        self.drain_queue(&mut out);
+        out
+    }
+
+    /// Applies queued deliveries if the application state is available.
+    fn drain_queue(&mut self, out: &mut Vec<MwEffect<App>>) {
+        if matches!(
+            self.phase,
+            Phase::Recovering { checkpoint_done: false, .. }
+        ) {
+            return; // checkpoint still loading; hold the backlog.
+        }
+        let app = match self.app.as_mut() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut freed = 0usize;
+        while let Some(entry) = self.queue.try_dequeue() {
+            let reply = app.apply(&entry.action);
+            self.applied += 1;
+            self.applied_since_checkpoint += 1;
+            if entry.pid.node == self.id {
+                self.outstanding_local = self.outstanding_local.saturating_sub(1);
+                freed += 1;
+            }
+            out.push(MwEffect::Applied {
+                slot: entry.slot,
+                pid: entry.pid,
+                reply,
+            });
+        }
+        // Release withheld proposals into the freed flow-control slots.
+        for _ in 0..freed {
+            match self.withheld.pop_front() {
+                Some(pid) => {
+                    let fx = self.paxos.nudge(pid);
+                    let lowered = self.lower(fx);
+                    out.extend(lowered);
+                }
+                None => break,
+            }
+        }
+        if self.applied_since_checkpoint >= self.config.checkpoint_interval
+            && !self.checkpoint_in_flight
+            && !self.is_recovering()
+        {
+            self.start_checkpoint(out);
+        }
+    }
+
+    fn start_checkpoint(&mut self, out: &mut Vec<MwEffect<App>>) {
+        let app = self.app.as_ref().expect("active node has state");
+        let Snapshot { data, nominal_bytes } = app.snapshot();
+        self.applied_since_checkpoint = 0;
+        self.checkpoint_in_flight = true;
+        self.checkpoint_generation += 1;
+        let meta = Meta {
+            checkpoint_slot: self.paxos.decided_upto(),
+            generation: self.checkpoint_generation,
+            promised: self.paxos.status().ballot,
+        };
+        let key = Meta::ckpt_key(meta.generation);
+        self.pending_meta = Some(meta);
+        let token = self.alloc(TokenKind::CheckpointData);
+        out.push(MwEffect::DiskWrite {
+            op: StableOp::Put { key, value: data },
+            token,
+            nominal: Some(nominal_bytes),
+        });
+    }
+
+    fn check_recovery_done(&mut self, out: &mut Vec<MwEffect<App>>) {
+        let ready = matches!(
+            self.phase,
+            Phase::Recovering {
+                log_done: true,
+                checkpoint_done: true,
+                announced: false,
+            }
+        ) && self.app.is_some()
+            && !self.paxos_recovering();
+        if ready {
+            self.phase = Phase::Active;
+            self.recovery_completed_at = Some(self.now);
+            out.push(MwEffect::RecoveryComplete);
+        }
+    }
+
+    fn paxos_recovering(&self) -> bool {
+        self.paxos.is_recovering()
+    }
+
+    /// The process epoch this middleware runs under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Snapshot;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Counter {
+        total: u64,
+    }
+
+    impl Application for Counter {
+        type Action = u64;
+        type Reply = u64;
+        fn apply(&mut self, action: &u64) -> u64 {
+            self.total += *action;
+            self.total
+        }
+        fn snapshot(&self) -> Snapshot {
+            Snapshot {
+                data: self.total.to_bytes(),
+                nominal_bytes: 1_000_000,
+            }
+        }
+        fn restore(data: &[u8]) -> Result<Self, WireError> {
+            Ok(Counter {
+                total: u64::from_bytes(data)?,
+            })
+        }
+    }
+
+    fn config() -> TreplicaConfig {
+        TreplicaConfig {
+            checkpoint_interval: 2,
+            ..TreplicaConfig::lan(1)
+        }
+    }
+
+    /// Drives a single-replica middleware synchronously: completes every
+    /// disk op immediately and loops sends back into itself.
+    fn drain(mw: &mut Middleware<Counter>, fx: Vec<MwEffect<Counter>>, store: &mut StableStore) -> Vec<u64> {
+        let mut applied = Vec::new();
+        let mut queue = fx;
+        while !queue.is_empty() {
+            let mut next = Vec::new();
+            for e in queue {
+                match e {
+                    MwEffect::Send { msg, .. } => {
+                        next.extend(mw.on_message(ReplicaId(0), msg, 0));
+                    }
+                    MwEffect::DiskWrite { op, token, nominal } => {
+                        if let (Some(nom), StableOp::Put { key, .. }) = (nominal, &op) {
+                            store.set_nominal(key, nom);
+                        }
+                        store.apply(op);
+                        next.extend(mw.on_disk_write_done(token));
+                    }
+                    MwEffect::DiskRead { key, token } => {
+                        let value = store.get(&key).map(<[u8]>::to_vec);
+                        next.extend(mw.on_disk_read_done(token, value));
+                    }
+                    MwEffect::DiskReadRaw { token, .. } => {
+                        next.extend(mw.on_disk_read_done(token, None));
+                    }
+                    MwEffect::Applied { reply, .. } => applied.push(reply),
+                    MwEffect::RecoveryComplete => {}
+                }
+            }
+            queue = next;
+        }
+        applied
+    }
+
+    fn active_single() -> (Middleware<Counter>, StableStore) {
+        let mut store = StableStore::new();
+        let (mut mw, boot) = Middleware::bootstrap(ReplicaId(0), Counter { total: 0 }, config(), 0);
+        drain(&mut mw, boot, &mut store);
+        // Single-replica ensemble elects itself on the first tick.
+        let fx = mw.on_tick(0);
+        drain(&mut mw, fx, &mut store);
+        let fx = mw.on_tick(200_000);
+        drain(&mut mw, fx, &mut store);
+        (mw, store)
+    }
+
+    #[test]
+    fn bootstrap_writes_generation_one_checkpoint() {
+        let (mw, store) = active_single();
+        assert!(store.get(&Meta::ckpt_key(1)).is_some(), "bootstrap checkpoint durable");
+        let meta = Meta::from_bytes(store.get(META_KEY).expect("meta")).expect("decodes");
+        assert_eq!(meta.generation, 1);
+        assert_eq!(meta.checkpoint_slot, Slot::ZERO);
+        assert_eq!(mw.status().checkpoints, 1);
+        assert_eq!(store.nominal_size(&Meta::ckpt_key(1)), 1_000_000);
+    }
+
+    #[test]
+    fn execute_applies_and_checkpoints_on_interval() {
+        let (mut mw, mut store) = active_single();
+        let mut applied = Vec::new();
+        for v in 1..=5u64 {
+            let (_pid, fx) = mw.execute(v).expect("active");
+            applied.extend(drain(&mut mw, fx, &mut store));
+        }
+        assert_eq!(applied, vec![1, 3, 6, 10, 15], "replies are post-apply totals");
+        // interval = 2 → checkpoints after actions 2 and 4 (plus boot).
+        let st = mw.status();
+        assert!(st.checkpoints >= 3, "periodic checkpoints: {}", st.checkpoints);
+        // Obsolete checkpoint generations are deleted.
+        let latest = Meta::from_bytes(store.get(META_KEY).unwrap()).unwrap().generation;
+        assert!(store.get(&Meta::ckpt_key(latest)).is_some());
+        assert!(
+            store.get(&Meta::ckpt_key(latest.saturating_sub(2))).is_none(),
+            "older generations must be deleted"
+        );
+        // The durable log was truncated behind the checkpoint.
+        let log = store.log(LOG_NAME).expect("log exists");
+        assert!(log.first_index() > 0, "log must have been truncated");
+    }
+
+    #[test]
+    fn execute_rejected_while_recovering() {
+        let (mut mw, mut store) = active_single();
+        let (_pid, fx) = mw.execute(42).expect("active");
+        drain(&mut mw, fx, &mut store);
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        let (mut recovering, _fx) = Middleware::<Counter>::recover(ReplicaId(0), disk, config(), 1, 0);
+        assert!(recovering.is_recovering());
+        assert!(recovering.execute(1).is_err(), "recovering replica rejects execute");
+    }
+
+    #[test]
+    fn recovery_restores_from_checkpoint_and_log() {
+        let (mut mw, mut store) = active_single();
+        for v in 1..=5u64 {
+            let (_pid, fx) = mw.execute(v).expect("active");
+            drain(&mut mw, fx, &mut store);
+        }
+        drop(mw);
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        assert!(disk.meta.is_some());
+        let (mut mw2, fx) = Middleware::recover(ReplicaId(0), disk, config(), 1, 0);
+        let mut store2 = store.clone();
+        drain(&mut mw2, fx, &mut store2);
+        // Single replica: catch-up completes against itself on ticks.
+        for t in 1..50u64 {
+            let fx = mw2.on_tick(t * 100_000);
+            drain(&mut mw2, fx, &mut store2);
+            if !mw2.is_recovering() {
+                break;
+            }
+        }
+        assert!(!mw2.is_recovering(), "single-replica recovery completes");
+        assert_eq!(mw2.state().expect("state").total, 15, "sum of 1..=5 restored");
+    }
+
+    #[test]
+    fn meta_requires_valid_bytes() {
+        assert!(Meta::from_bytes(&[1, 2, 3]).is_err());
+        let m = Meta {
+            checkpoint_slot: Slot(9),
+            generation: 3,
+            promised: Ballot::BOTTOM,
+        };
+        assert_eq!(Meta::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(Meta::ckpt_key(3), "treplica.ckpt.3");
+    }
+
+    #[test]
+    fn snapshot_request_answered_only_when_active() {
+        let (mut mw, _store) = active_single();
+        let fx = mw.on_message(ReplicaId(0), MwMsg::SnapshotRequest, 0);
+        let has_reply = fx
+            .iter()
+            .any(|e| matches!(e, MwEffect::Send { msg: MwMsg::SnapshotReply { .. }, .. }));
+        assert!(has_reply, "active replica serves snapshots");
+    }
+}

@@ -1,0 +1,381 @@
+//! A threaded, wall-clock runtime for Treplica — the paper's blocking
+//! programming interface.
+//!
+//! The sans-io [`Middleware`] is embedding-agnostic: the `cluster`
+//! crate drives it on the discrete-event simulator for
+//! experiments. This module is the embedding an application would use
+//! directly: every replica runs on its own thread, peers exchange
+//! messages over in-process channels, and [`ReplicaHandle::execute`]
+//! blocks the calling thread until the action has been totally ordered
+//! and applied locally — exactly the synchronous semantics the paper
+//! describes for `execute()` (§2).
+//!
+//! Durability in this embedding is an in-memory stable store per
+//! replica that survives [`ReplicaHandle::crash`]/[`ReplicaHandle::recover`]
+//! cycles (the moral equivalent of the paper's local disk for a
+//! process-crash fault model; a production deployment would put the
+//! same `StableStore` contents on a real disk).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use paxos::ReplicaId;
+use simnet::StableStore;
+
+use crate::app::Application;
+use crate::middleware::{Middleware, MwEffect, MwMsg, RecoveredDisk, TreplicaConfig};
+
+/// Reply channel for a blocking `execute`.
+type ExecuteReply<App> =
+    Sender<Result<<App as Application>::Reply, crate::middleware::StillRecovering>>;
+
+/// Commands and events a replica thread processes.
+enum Input<App: Application> {
+    Peer {
+        from: ReplicaId,
+        msg: MwMsg<App::Action>,
+    },
+    Execute {
+        action: App::Action,
+        reply: ExecuteReply<App>,
+    },
+    #[allow(clippy::type_complexity)]
+    Query {
+        run: Box<dyn FnOnce(Option<&App>) + Send>,
+    },
+    Tick,
+    Crash,
+    Recover,
+    Shutdown,
+}
+
+struct ReplicaThread<App: Application> {
+    id: ReplicaId,
+    config: TreplicaConfig,
+    peers: Vec<Sender<Input<App>>>,
+    mw: Option<Middleware<App>>,
+    store: StableStore,
+    epoch: u64,
+    started: Instant,
+    factory: Arc<dyn Fn() -> App + Send + Sync>,
+    waiting: HashMap<(u64, u64), ExecuteReply<App>>,
+    recovered_flag: Arc<AtomicBool>,
+}
+
+impl<App: Application + 'static> ReplicaThread<App> {
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn apply_effects(&mut self, effects: Vec<MwEffect<App>>) {
+        let mut queue = effects;
+        while !queue.is_empty() {
+            let mut next = Vec::new();
+            for e in queue {
+                match e {
+                    MwEffect::Send { to, msg, .. } => {
+                        // In-process "network": direct channel send.
+                        let _ = self.peers[to.index()].send(Input::Peer { from: self.id, msg });
+                    }
+                    MwEffect::DiskWrite { op, token, nominal } => {
+                        // In-memory durability: applied synchronously.
+                        if let (Some(nom), simnet::StableOp::Put { key, .. }) = (nominal, &op) {
+                            self.store.set_nominal(key, nom);
+                        }
+                        self.store.apply(op);
+                        if let Some(mw) = self.mw.as_mut() {
+                            next.extend(mw.on_disk_write_done(token));
+                        }
+                    }
+                    MwEffect::DiskRead { key, token } => {
+                        let value = self.store.get(&key).map(<[u8]>::to_vec);
+                        if let Some(mw) = self.mw.as_mut() {
+                            next.extend(mw.on_disk_read_done(token, value));
+                        }
+                    }
+                    MwEffect::DiskReadRaw { token, .. } => {
+                        if let Some(mw) = self.mw.as_mut() {
+                            next.extend(mw.on_disk_read_done(token, None));
+                        }
+                    }
+                    MwEffect::Applied { pid, reply, .. } => {
+                        // Wake the blocked `execute` that proposed this.
+                        if pid.node == self.id {
+                            if let Some(tx) = self.waiting.remove(&(pid.epoch, pid.seq)) {
+                                let _ = tx.send(Ok(reply));
+                            }
+                        }
+                    }
+                    MwEffect::RecoveryComplete => {
+                        self.recovered_flag.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            queue = next;
+        }
+    }
+
+    fn run(mut self, inbox: Receiver<Input<App>>) {
+        while let Ok(input) = inbox.recv() {
+            match input {
+                Input::Peer { from, msg } => {
+                    let now = self.now_us();
+                    if let Some(mw) = self.mw.as_mut() {
+                        let fx = mw.on_message(from, msg, now);
+                        self.apply_effects(fx);
+                    }
+                }
+                Input::Execute { action, reply } => match self.mw.as_mut() {
+                    Some(mw) => match mw.execute(action) {
+                        Ok((pid, fx)) => {
+                            self.waiting.insert((pid.epoch, pid.seq), reply);
+                            self.apply_effects(fx);
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e));
+                        }
+                    },
+                    None => {
+                        let _ = reply.send(Err(crate::middleware::StillRecovering));
+                    }
+                },
+                Input::Query { run } => {
+                    run(self.mw.as_ref().and_then(|m| m.state()));
+                }
+                Input::Tick => {
+                    let now = self.now_us();
+                    if let Some(mw) = self.mw.as_mut() {
+                        let fx = mw.on_tick(now);
+                        self.apply_effects(fx);
+                    }
+                }
+                Input::Crash => {
+                    // Volatile state vanishes; the stable store stays.
+                    self.mw = None;
+                    self.waiting.clear();
+                }
+                Input::Recover => {
+                    let now = self.now_us();
+                    if self.mw.is_none() {
+                        self.epoch += 1;
+                        self.recovered_flag.store(false, Ordering::SeqCst);
+                        let disk = RecoveredDisk::from_store(&self.store)
+                            .unwrap_or(RecoveredDisk {
+                                meta: None,
+                                log_entries: Vec::new(),
+                                log_bytes: 0,
+                            });
+                        let (mut mw, fx) = Middleware::recover(
+                            self.id,
+                            disk,
+                            self.config.clone(),
+                            self.epoch,
+                            now,
+                        );
+                        mw.install_initial_state((self.factory)());
+                        self.mw = Some(mw);
+                        self.apply_effects(fx);
+                    }
+                }
+                Input::Shutdown => break,
+            }
+        }
+    }
+}
+
+/// A handle to one replica of a [`LocalCluster`].
+pub struct ReplicaHandle<App: Application> {
+    id: ReplicaId,
+    tx: Sender<Input<App>>,
+    recovered: Arc<AtomicBool>,
+}
+
+impl<App: Application> Clone for ReplicaHandle<App> {
+    fn clone(&self) -> Self {
+        ReplicaHandle {
+            id: self.id,
+            tx: self.tx.clone(),
+            recovered: self.recovered.clone(),
+        }
+    }
+}
+
+impl<App: Application + 'static> ReplicaHandle<App> {
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Executes a deterministic action, blocking until it has been
+    /// totally ordered and applied at this replica (the paper's
+    /// synchronous `execute()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StillRecovering`](crate::StillRecovering) while the
+    /// replica is crashed or recovering.
+    pub fn execute(
+        &self,
+        action: App::Action,
+    ) -> Result<App::Reply, crate::middleware::StillRecovering> {
+        let (tx, rx) = unbounded();
+        self.tx
+            .send(Input::Execute { action, reply: tx })
+            .map_err(|_| crate::middleware::StillRecovering)?;
+        rx.recv().map_err(|_| crate::middleware::StillRecovering)?
+    }
+
+    /// Runs a closure against the replica's current state (the paper's
+    /// `getState()` read path), blocking for the result. Returns `None`
+    /// while the replica is crashed or its checkpoint is still loading.
+    pub fn query<R: Send + 'static>(&self, f: impl FnOnce(&App) -> R + Send + 'static) -> Option<R> {
+        let (tx, rx) = unbounded();
+        let run = Box::new(move |state: Option<&App>| {
+            let _ = tx.send(state.map(f));
+        });
+        if self.tx.send(Input::Query { run }).is_err() {
+            return None;
+        }
+        rx.recv().ok().flatten()
+    }
+
+    /// Crashes the replica process (volatile state lost; durable store
+    /// kept).
+    pub fn crash(&self) {
+        let _ = self.tx.send(Input::Crash);
+    }
+
+    /// Restarts the replica; recovery (checkpoint + backlog) proceeds
+    /// autonomously. Poll [`ReplicaHandle::is_recovered`].
+    pub fn recover(&self) {
+        let _ = self.tx.send(Input::Recover);
+    }
+
+    /// Whether the most recent recovery has completed.
+    pub fn is_recovered(&self) -> bool {
+        self.recovered.load(Ordering::SeqCst)
+    }
+}
+
+/// An in-process, wall-clock Treplica ensemble.
+pub struct LocalCluster<App: Application> {
+    handles: Vec<ReplicaHandle<App>>,
+    threads: Vec<JoinHandle<()>>,
+    ticker_stop: Arc<AtomicBool>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl<App: Application + Send + 'static> LocalCluster<App>
+where
+    App::Action: Send,
+    App::Reply: Send,
+{
+    /// Spawns `n` replica threads hosting `factory()`-built applications
+    /// (the factory must produce the same deterministic initial state
+    /// every time), plus a ticker driving timeouts every `tick`.
+    pub fn spawn(
+        n: usize,
+        config: TreplicaConfig,
+        tick: Duration,
+        factory: impl Fn() -> App + Send + Sync + 'static,
+    ) -> LocalCluster<App> {
+        let factory: Arc<dyn Fn() -> App + Send + Sync> = Arc::new(factory);
+        type Channel<App> = (Sender<Input<App>>, Receiver<Input<App>>);
+        let channels: Vec<Channel<App>> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Input<App>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let started = Instant::now();
+
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for (i, (tx, rx)) in channels.into_iter().enumerate() {
+            let recovered = Arc::new(AtomicBool::new(true));
+            let thread = ReplicaThread {
+                id: ReplicaId(i as u32),
+                config: config.clone(),
+                peers: senders.clone(),
+                mw: Some(Middleware::new(
+                    ReplicaId(i as u32),
+                    factory(),
+                    config.clone(),
+                    0,
+                )),
+                store: StableStore::new(),
+                epoch: 0,
+                started,
+                factory: factory.clone(),
+                waiting: HashMap::new(),
+                recovered_flag: recovered.clone(),
+            };
+            threads.push(std::thread::spawn(move || thread.run(rx)));
+            handles.push(ReplicaHandle {
+                id: ReplicaId(i as u32),
+                tx,
+                recovered,
+            });
+        }
+
+        // Ticker thread: drives every replica's timeouts.
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let stop = ticker_stop.clone();
+        let tick_senders = senders.clone();
+        let ticker = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                for s in &tick_senders {
+                    let _ = s.send(Input::Tick);
+                }
+            }
+        });
+
+        LocalCluster {
+            handles,
+            threads,
+            ticker_stop,
+            ticker: Some(ticker),
+        }
+    }
+
+    /// Handle to replica `i`.
+    pub fn handle(&self, i: usize) -> ReplicaHandle<App> {
+        self.handles[i].clone()
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the cluster is empty (never true for a spawned cluster).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Stops all threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.ticker_stop.store(true, Ordering::SeqCst);
+        for h in &self.handles {
+            let _ = h.tx.send(Input::Shutdown);
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Guard against accidental drops without shutdown: detach threads but
+/// stop the ticker (replica threads exit when their channels close).
+impl<App: Application> Drop for LocalCluster<App> {
+    fn drop(&mut self) {
+        self.ticker_stop.store(true, Ordering::SeqCst);
+        for h in &self.handles {
+            let _ = h.tx.send(Input::Shutdown);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Tests of the threaded (wall-clock) runtime: the paper's blocking
+//! `execute()` interface on real threads.
+
+use std::time::Duration;
+
+use treplica::runtime::LocalCluster;
+use treplica::{Application, Snapshot, TreplicaConfig, Wire, WireError};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ledger {
+    entries: Vec<u64>,
+}
+
+impl Application for Ledger {
+    type Action = u64;
+    type Reply = usize;
+    fn apply(&mut self, action: &u64) -> usize {
+        self.entries.push(*action);
+        self.entries.len()
+    }
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::exact(self.entries.to_bytes())
+    }
+    fn restore(data: &[u8]) -> Result<Self, WireError> {
+        Ok(Ledger {
+            entries: Vec::from_bytes(data)?,
+        })
+    }
+}
+
+fn fast_config(n: usize) -> TreplicaConfig {
+    let mut config = TreplicaConfig::lan(n);
+    // Wall-clock tests: tighten timeouts so elections settle quickly.
+    config.paxos.heartbeat_interval_us = 10_000;
+    config.paxos.fd_timeout_us = 50_000;
+    config.paxos.prepare_grace_us = 20_000;
+    config.paxos.collision_timeout_us = 20_000;
+    config.paxos.propose_retry_us = 200_000;
+    config.checkpoint_interval = 10;
+    config
+}
+
+fn wait_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+#[test]
+fn blocking_execute_applies_everywhere() {
+    let cluster = LocalCluster::spawn(3, fast_config(3), Duration::from_millis(5), || Ledger {
+        entries: Vec::new(),
+    });
+    let h0 = cluster.handle(0);
+    // Blocking semantics: when execute returns, the effect is visible
+    // locally (the reply is the post-apply ledger length).
+    assert!(
+        wait_until(Duration::from_secs(10), || h0.execute(7).is_ok()),
+        "ensemble must become active"
+    );
+    let len = cluster.handle(1).execute(9).expect("active");
+    assert!(len >= 1);
+    // All replicas converge to the same ledger.
+    assert!(wait_until(Duration::from_secs(10), || {
+        let views: Vec<Option<Vec<u64>>> = (0..3)
+            .map(|i| cluster.handle(i).query(|l| l.entries.clone()))
+            .collect();
+        views.iter().all(|v| v.as_deref() == views[0].as_deref())
+            && views[0].as_ref().map(|v| v.len()) == Some(2)
+    }));
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_clients_from_many_threads() {
+    let cluster = LocalCluster::spawn(3, fast_config(3), Duration::from_millis(5), || Ledger {
+        entries: Vec::new(),
+    });
+    assert!(wait_until(Duration::from_secs(10), || cluster
+        .handle(0)
+        .execute(0)
+        .is_ok()));
+    let mut joins = Vec::new();
+    for t in 0..6u64 {
+        let h = cluster.handle((t % 3) as usize);
+        joins.push(std::thread::spawn(move || {
+            for k in 0..10u64 {
+                h.execute(t * 100 + k).expect("execute");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("client thread");
+    }
+    // 1 warm-up + 60 client entries, identical everywhere.
+    assert!(wait_until(Duration::from_secs(10), || {
+        let views: Vec<Option<Vec<u64>>> = (0..3)
+            .map(|i| cluster.handle(i).query(|l| l.entries.clone()))
+            .collect();
+        views.iter().all(|v| v.is_some())
+            && views.iter().all(|v| v.as_deref() == views[0].as_deref())
+            && views[0].as_ref().map(|v| v.len()) == Some(61)
+    }), "replicas must converge on 61 entries");
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_recover_preserves_ledger() {
+    let cluster = LocalCluster::spawn(3, fast_config(3), Duration::from_millis(5), || Ledger {
+        entries: Vec::new(),
+    });
+    let h0 = cluster.handle(0);
+    assert!(wait_until(Duration::from_secs(10), || h0.execute(1).is_ok()));
+    for v in 2..=20u64 {
+        h0.execute(v).expect("active");
+    }
+    // Crash replica 2; the majority keeps committing.
+    let h2 = cluster.handle(2);
+    h2.crash();
+    assert!(h2.query(|l| l.entries.len()).is_none(), "crashed replica has no state");
+    for v in 21..=30u64 {
+        h0.execute(v).expect("majority still live");
+    }
+    // Recover: checkpoint + backlog replay bring it level.
+    h2.recover();
+    assert!(
+        wait_until(Duration::from_secs(15), || h2.is_recovered()),
+        "recovery must complete"
+    );
+    assert!(wait_until(Duration::from_secs(10), || {
+        h2.query(|l| l.entries.len()) == Some(30)
+    }), "recovered replica must hold all 30 entries");
+    let recovered = h2.query(|l| l.entries.clone()).unwrap();
+    let reference = h0.query(|l| l.entries.clone()).unwrap();
+    assert_eq!(recovered, reference);
+    cluster.shutdown();
+}
+
+#[test]
+fn execute_fails_cleanly_while_crashed() {
+    let cluster = LocalCluster::spawn(3, fast_config(3), Duration::from_millis(5), || Ledger {
+        entries: Vec::new(),
+    });
+    let h1 = cluster.handle(1);
+    assert!(wait_until(Duration::from_secs(10), || h1.execute(1).is_ok()));
+    h1.crash();
+    assert!(h1.execute(2).is_err(), "crashed replica rejects executes");
+    h1.recover();
+    assert!(wait_until(Duration::from_secs(15), || h1.execute(3).is_ok()));
+    cluster.shutdown();
+}

@@ -1,0 +1,59 @@
+//! Decode-robustness property tests: no byte sequence may panic a
+//! decoder (malformed log entries and wire data must fail cleanly).
+
+use proptest::prelude::*;
+
+use paxos::{Msg, Record};
+use robuststore::Action;
+use tpcw::Overlay;
+use treplica::{Meta, Wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn record_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Record::<Action>::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn msg_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Msg::<Action>::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn action_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Action::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn overlay_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Overlay::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn meta_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Meta::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point errors, never panics —
+    /// the torn-write case for the durable log.
+    #[test]
+    fn torn_records_fail_cleanly(cut in 0usize..100) {
+        let record: Record<Action> = Record::Accepted {
+            ballot: paxos::Ballot::fast(3, paxos::ReplicaId(1)),
+            slot: paxos::Slot(99),
+            decree: paxos::Decree::Value(
+                paxos::ProposalId { node: paxos::ReplicaId(1), epoch: 2, seq: 3 },
+                Action::RefreshSession { customer: tpcw::CustomerId(5), now: 77 },
+            ),
+        };
+        let bytes = record.to_bytes();
+        let cut = cut.min(bytes.len());
+        if cut < bytes.len() {
+            prop_assert!(Record::<Action>::from_bytes(&bytes[..cut]).is_err());
+        } else {
+            prop_assert!(Record::<Action>::from_bytes(&bytes).is_ok());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # faultload — dependability benchmarking for TPC-W
+//!
+//! The paper (§5.1) turns TPC-W into a dependability benchmark by
+//! adding a *faultload* and *dependability measures* to its system
+//! specification, workload and metric:
+//!
+//! * [`Faultload`] — environment/operator faults injected at precise
+//!   times: abrupt server crashes (process kill) and reboots, either
+//!   autonomous (watchdog-triggered) or operator-delayed. The paper's
+//!   three faultloads are provided as constructors.
+//! * [`DependabilityReport`] — availability, performability (AWIPS, CV,
+//!   PV%), accuracy, and autonomy, exactly as defined in §5.1.
+//!
+//! ## Example
+//!
+//! ```
+//! use faultload::Faultload;
+//!
+//! let f = Faultload::double_crash_delayed();
+//! assert_eq!(f.fault_count(), 2);
+//! assert_eq!(f.manual_recoveries(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod measures;
+mod spec;
+
+pub use measures::{performability, DependabilityReport, PerformabilityWindow, RecoverySpan};
+pub use spec::{FaultEvent, Faultload, PartitionEvent, RecoveryKind};

@@ -1,0 +1,227 @@
+//! Faultload specifications.
+//!
+//! The paper's three faultloads (§5.4–§5.6):
+//!
+//! 1. one crash at t=270 s, autonomous recovery;
+//! 2. two overlapped crashes at t=240 s and t=270 s, autonomous
+//!    recoveries;
+//! 3. two simultaneous crashes at t=240 s, one autonomous recovery and
+//!    one delayed (operator-triggered) at t=390 s.
+//!
+//! Crash times sit inside the measurement interval so full recovery is
+//! observed within it. Replica choice is pseudo-random ("chosen at
+//! random", §5.5) but deterministic given the run seed.
+
+/// How a crashed replica comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// The local watchdog re-instantiates the server as soon as it
+    /// detects the crash (no human intervention).
+    Autonomous,
+    /// An operator restarts the server at the given absolute time (µs)
+    /// — counted as a human intervention by the autonomy measure.
+    Manual {
+        /// Absolute restart time (µs since run start).
+        at_us: u64,
+    },
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Absolute crash time (µs since run start).
+    pub at_us: u64,
+    /// Which replica to crash: an index into the run's pseudo-random
+    /// victim permutation (so "the first victim" and "the second
+    /// victim" are distinct replicas without naming fixed ids).
+    pub victim: usize,
+    /// Recovery policy.
+    pub recovery: RecoveryKind,
+}
+
+/// A network partition injected for a bounded interval.
+///
+/// The paper's faultloads crash processes only; partitions extend the
+/// benchmark to the other classic failure class (the consensus layer
+/// must stay safe and the majority side live).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEvent {
+    /// When the links are cut (µs).
+    pub at_us: u64,
+    /// When they heal (µs).
+    pub heal_at_us: u64,
+    /// Victim indices (into the run's victim permutation) isolated from
+    /// the rest of the ensemble.
+    pub minority: Vec<usize>,
+}
+
+/// A faultload: a list of crash events injected during the run.
+///
+/// ```
+/// use faultload::Faultload;
+/// // The paper's §5.6 faultload, scaled to a 1/3-length schedule:
+/// let f = Faultload::double_crash_delayed().scaled(1, 3);
+/// assert_eq!(f.events[0].at_us, 80_000_000);
+/// assert_eq!(f.manual_recoveries(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Faultload {
+    /// The injected faults, in time order.
+    pub events: Vec<FaultEvent>,
+    /// Network partitions, if any.
+    pub partitions: Vec<PartitionEvent>,
+}
+
+impl Faultload {
+    /// The failure-free faultload (speedup/scaleup baselines).
+    pub fn none() -> Faultload {
+        Faultload::default()
+    }
+
+    /// A beyond-the-paper faultload: isolate `minority` replicas for
+    /// `[at_us, heal_at_us)` without crashing anyone.
+    pub fn partition(at_us: u64, heal_at_us: u64, minority: Vec<usize>) -> Faultload {
+        Faultload {
+            events: Vec::new(),
+            partitions: vec![PartitionEvent { at_us, heal_at_us, minority }],
+        }
+    }
+
+    /// Paper §5.4: one crash at t=270 s, autonomous recovery.
+    pub fn single_crash() -> Faultload {
+        Faultload {
+            events: vec![FaultEvent {
+                at_us: 270_000_000,
+                victim: 0,
+                recovery: RecoveryKind::Autonomous,
+            }],
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Paper §5.5: overlapped crashes at t=240 s and t=270 s, both
+    /// autonomous.
+    pub fn double_crash() -> Faultload {
+        Faultload {
+            events: vec![
+                FaultEvent {
+                    at_us: 240_000_000,
+                    victim: 0,
+                    recovery: RecoveryKind::Autonomous,
+                },
+                FaultEvent {
+                    at_us: 270_000_000,
+                    victim: 1,
+                    recovery: RecoveryKind::Autonomous,
+                },
+            ],
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Paper §5.6: both replicas crash at t=240 s; one recovers
+    /// autonomously, the other is restarted manually at t=390 s.
+    pub fn double_crash_delayed() -> Faultload {
+        Faultload {
+            events: vec![
+                FaultEvent {
+                    at_us: 240_000_000,
+                    victim: 0,
+                    recovery: RecoveryKind::Autonomous,
+                },
+                FaultEvent {
+                    at_us: 240_000_000,
+                    victim: 1,
+                    recovery: RecoveryKind::Manual { at_us: 390_000_000 },
+                },
+            ],
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Rescales all event times by `num/den` (for shortened schedules:
+    /// a quick run keeps the faultload's relative position in the
+    /// measurement interval).
+    pub fn scaled(&self, num: u64, den: u64) -> Faultload {
+        Faultload {
+            events: self
+                .events
+                .iter()
+                .map(|e| FaultEvent {
+                    at_us: e.at_us * num / den,
+                    victim: e.victim,
+                    recovery: match e.recovery {
+                        RecoveryKind::Autonomous => RecoveryKind::Autonomous,
+                        RecoveryKind::Manual { at_us } => RecoveryKind::Manual {
+                            at_us: at_us * num / den,
+                        },
+                    },
+                })
+                .collect(),
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| PartitionEvent {
+                    at_us: p.at_us * num / den,
+                    heal_at_us: p.heal_at_us * num / den,
+                    minority: p.minority.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of recoveries requiring an operator (the autonomy
+    /// denominator's numerator: human interventions).
+    pub fn manual_recoveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.recovery, RecoveryKind::Manual { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_faultloads_have_paper_times() {
+        let one = Faultload::single_crash();
+        assert_eq!(one.events[0].at_us, 270_000_000);
+        assert_eq!(one.fault_count(), 1);
+        assert_eq!(one.manual_recoveries(), 0);
+
+        let two = Faultload::double_crash();
+        assert_eq!(two.events[0].at_us, 240_000_000);
+        assert_eq!(two.events[1].at_us, 270_000_000);
+        assert_ne!(two.events[0].victim, two.events[1].victim);
+
+        let delayed = Faultload::double_crash_delayed();
+        assert_eq!(delayed.events[0].at_us, delayed.events[1].at_us);
+        assert_eq!(delayed.manual_recoveries(), 1);
+        assert!(matches!(
+            delayed.events[1].recovery,
+            RecoveryKind::Manual { at_us: 390_000_000 }
+        ));
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let f = Faultload::double_crash_delayed().scaled(1, 3);
+        assert_eq!(f.events[0].at_us, 80_000_000);
+        assert!(matches!(
+            f.events[1].recovery,
+            RecoveryKind::Manual { at_us: 130_000_000 }
+        ));
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert_eq!(Faultload::none().fault_count(), 0);
+    }
+}

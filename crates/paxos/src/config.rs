@@ -1,0 +1,74 @@
+//! Protocol tuning knobs.
+
+/// Timing and sizing parameters of the protocol (all times in µs of the
+/// driver's clock).
+#[derive(Debug, Clone)]
+pub struct PaxosConfig {
+    /// Ensemble size `N`.
+    pub n: usize,
+    /// Heartbeat broadcast period.
+    pub heartbeat_interval_us: u64,
+    /// Failure-detector suspicion timeout (should be several heartbeats).
+    pub fd_timeout_us: u64,
+    /// How long a proposer waits for its proposal to be delivered before
+    /// re-proposing (must exceed a typical commit latency).
+    pub propose_retry_us: u64,
+    /// How long the coordinator lets fast-round votes sit undecided
+    /// before starting collision recovery for the slot.
+    pub collision_timeout_us: u64,
+    /// Whether fast rounds are ever used. With `false` the ensemble is a
+    /// pure classic-Paxos deployment (the baseline configuration).
+    pub fast_enabled: bool,
+    /// Maximum decided entries in one catch-up reply.
+    pub learn_chunk: usize,
+    /// How far (slots) a peer may run ahead before we ask to be caught
+    /// up instead of waiting for straggling `Accepted` broadcasts.
+    pub catchup_lag_slots: u64,
+    /// How long a new coordinator waits for promises beyond the classic
+    /// quorum before finalizing phase 1 without the stragglers (waiting
+    /// for everyone recovers minority-accepted values after outages).
+    pub prepare_grace_us: u64,
+}
+
+impl PaxosConfig {
+    /// Reasonable defaults for an ensemble of `n` on a LAN-like network.
+    pub fn lan(n: usize) -> Self {
+        PaxosConfig {
+            n,
+            heartbeat_interval_us: 100_000,   // 100 ms
+            fd_timeout_us: 350_000,           // 3.5 heartbeats
+            propose_retry_us: 1_000_000,      // 1 s
+            collision_timeout_us: 150_000,    // 150 ms
+            fast_enabled: true,
+            learn_chunk: 2_000,
+            catchup_lag_slots: 8,
+            prepare_grace_us: 200_000,
+        }
+    }
+
+    /// Same as [`PaxosConfig::lan`] but with fast rounds disabled.
+    pub fn lan_classic_only(n: usize) -> Self {
+        PaxosConfig {
+            fast_enabled: false,
+            ..PaxosConfig::lan(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_defaults_are_consistent() {
+        let c = PaxosConfig::lan(5);
+        assert!(c.fd_timeout_us > 2 * c.heartbeat_interval_us);
+        assert!(c.propose_retry_us > c.collision_timeout_us);
+        assert!(c.fast_enabled);
+    }
+
+    #[test]
+    fn classic_only_disables_fast() {
+        assert!(!PaxosConfig::lan_classic_only(5).fast_enabled);
+    }
+}

@@ -1,0 +1,166 @@
+//! Failure detection and the paper's operating-mode rule.
+//!
+//! Treplica (§2) runs Fast Paxos while at least ⌈3N/4⌉ processes are
+//! working, falls back on classic Paxos while at least ⌊N/2⌋+1 are, and
+//! blocks below a majority. The detector is the usual heartbeat timeout
+//! scheme: every replica broadcasts `Alive` periodically; a peer not
+//! heard from within the timeout is suspected.
+
+use crate::types::{Quorums, ReplicaId};
+
+/// The protocol operating mode derived from the live-replica estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ≥ ⌈3N/4⌉ working: fast rounds enabled.
+    Fast,
+    /// ≥ ⌊N/2⌋+1 but < ⌈3N/4⌉: classic Paxos.
+    Classic,
+    /// < ⌊N/2⌋+1: no progress until recoveries.
+    Blocked,
+}
+
+/// Heartbeat-based failure detector.
+#[derive(Debug)]
+pub struct FailureDetector {
+    id: ReplicaId,
+    quorums: Quorums,
+    timeout_us: u64,
+    /// Last heartbeat receipt time per peer (µs); `u64::MAX` marks
+    /// "never heard", treated as alive during the initial grace period.
+    last_heard: Vec<u64>,
+    started_at: u64,
+}
+
+impl FailureDetector {
+    /// Creates a detector for replica `id` in an ensemble of `n`, with
+    /// the given suspicion timeout (µs). Peers get a grace period of one
+    /// timeout from `now` before they can be suspected.
+    pub fn new(id: ReplicaId, quorums: Quorums, timeout_us: u64, now: u64) -> Self {
+        FailureDetector {
+            id,
+            quorums,
+            timeout_us,
+            last_heard: vec![u64::MAX; quorums.n()],
+            started_at: now,
+        }
+    }
+
+    /// Records a heartbeat (or any message treated as liveness evidence)
+    /// from `from` at time `now`.
+    pub fn heard(&mut self, from: ReplicaId, now: u64) {
+        if from.index() < self.last_heard.len() {
+            self.last_heard[from.index()] = now;
+        }
+    }
+
+    /// Whether `peer` is currently considered alive at time `now`.
+    pub fn is_alive(&self, peer: ReplicaId, now: u64) -> bool {
+        if peer == self.id {
+            return true;
+        }
+        match self.last_heard[peer.index()] {
+            u64::MAX => now.saturating_sub(self.started_at) < self.timeout_us,
+            t => now.saturating_sub(t) < self.timeout_us,
+        }
+    }
+
+    /// The replicas currently considered alive.
+    pub fn alive(&self, now: u64) -> Vec<ReplicaId> {
+        (0..self.quorums.n() as u32)
+            .map(ReplicaId)
+            .filter(|p| self.is_alive(*p, now))
+            .collect()
+    }
+
+    /// Count of live replicas (including self).
+    pub fn alive_count(&self, now: u64) -> usize {
+        self.alive(now).len()
+    }
+
+    /// The paper's mode rule applied to the current estimate.
+    pub fn mode(&self, now: u64) -> Mode {
+        let alive = self.alive_count(now);
+        if alive >= self.quorums.fast() {
+            Mode::Fast
+        } else if alive >= self.quorums.classic() {
+            Mode::Classic
+        } else {
+            Mode::Blocked
+        }
+    }
+
+    /// The live replica with the lowest id — the election candidate.
+    pub fn candidate(&self, now: u64) -> ReplicaId {
+        self.alive(now).into_iter().min().unwrap_or(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd() -> FailureDetector {
+        FailureDetector::new(ReplicaId(2), Quorums::new(5), 1_000, 0)
+    }
+
+    #[test]
+    fn all_alive_during_grace_period() {
+        let d = fd();
+        assert_eq!(d.alive_count(500), 5);
+        assert_eq!(d.mode(500), Mode::Fast);
+    }
+
+    #[test]
+    fn silence_after_grace_suspects_peers() {
+        let mut d = fd();
+        d.heard(ReplicaId(0), 900);
+        // At t=1500: grace expired; only r0 (heard at 900) and self live.
+        assert_eq!(d.alive_count(1_500), 2);
+        assert_eq!(d.mode(1_500), Mode::Blocked);
+    }
+
+    #[test]
+    fn mode_transitions_follow_paper_rule() {
+        let mut d = fd();
+        let now = 10_000;
+        for i in [0u32, 1, 3] {
+            d.heard(ReplicaId(i), now);
+        }
+        // 4 alive of 5 → fast quorum ⌈15/4⌉=4 → Fast.
+        assert_eq!(d.mode(now), Mode::Fast);
+        // Let r3's heartbeat age out: 3 alive ≥ majority 3 → Classic.
+        let later = now + 900;
+        d.heard(ReplicaId(0), later);
+        d.heard(ReplicaId(1), later);
+        assert_eq!(d.mode(now + 1_100), Mode::Classic);
+        // Only self + r0? age r1 out too.
+        d.heard(ReplicaId(0), now + 2_000);
+        assert_eq!(d.mode(now + 2_500), Mode::Blocked);
+    }
+
+    #[test]
+    fn self_always_alive() {
+        let d = fd();
+        assert!(d.is_alive(ReplicaId(2), u64::MAX - 1));
+    }
+
+    #[test]
+    fn candidate_is_lowest_alive() {
+        let mut d = fd();
+        let now = 10_000;
+        d.heard(ReplicaId(4), now);
+        // grace expired for silent peers.
+        assert_eq!(d.candidate(now), ReplicaId(2));
+        d.heard(ReplicaId(1), now);
+        assert_eq!(d.candidate(now), ReplicaId(1));
+    }
+
+    #[test]
+    fn heartbeat_refresh_keeps_peer_alive() {
+        let mut d = fd();
+        for t in (0..10_000).step_by(500) {
+            d.heard(ReplicaId(0), t);
+        }
+        assert!(d.is_alive(ReplicaId(0), 10_300));
+    }
+}

@@ -1,0 +1,459 @@
+//! The learner role: quorum detection, in-order delivery, catch-up.
+//!
+//! Learners watch the `Accepted` announcements broadcast by acceptors.
+//! A slot decides when a single `(ballot, decree)` gathers the ballot's
+//! quorum — the classic majority for classic ballots, ⌈3N/4⌉ for fast
+//! ballots. Decided decrees are delivered in contiguous slot order; real
+//! values are deduplicated by [`ProposalId`] so collision-recovery
+//! re-proposals and proposer retries stay exactly-once.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::types::{Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
+
+/// One delivery produced by the learner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<V> {
+    /// The decided slot.
+    pub slot: Slot,
+    /// Proposal identity.
+    pub pid: ProposalId,
+    /// The decided value.
+    pub value: V,
+}
+
+/// Votes gathered for one undecided slot.
+#[derive(Debug)]
+struct SlotVotes<V> {
+    /// ballot → (acceptor → decree). An acceptor votes at most once per
+    /// ballot for a slot.
+    by_ballot: HashMap<Ballot, BTreeMap<ReplicaId, Decree<V>>>,
+    /// First time (driver clock, µs) a vote was recorded — used by the
+    /// coordinator's collision timeout.
+    first_vote_at: u64,
+}
+
+/// The learner.
+#[derive(Debug)]
+pub struct Learner<V> {
+    quorums: Quorums,
+    votes: BTreeMap<Slot, SlotVotes<V>>,
+    decided: BTreeMap<Slot, Decree<V>>,
+    next_deliver: Slot,
+    delivered_pids: HashSet<ProposalId>,
+    truncated_below: Slot,
+}
+
+impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
+    /// Creates a learner for an ensemble of `n` replicas, delivering from
+    /// slot `start` (0 for a fresh ensemble; the checkpoint watermark for
+    /// a recovering replica).
+    pub fn new(quorums: Quorums, start: Slot) -> Self {
+        Learner {
+            quorums,
+            votes: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            next_deliver: start,
+            delivered_pids: HashSet::new(),
+            truncated_below: start,
+        }
+    }
+
+    /// Slots below this are decided and delivered locally.
+    pub fn next_deliver(&self) -> Slot {
+        self.next_deliver
+    }
+
+    /// Whether `slot` is known decided.
+    pub fn is_decided(&self, slot: Slot) -> bool {
+        slot < self.next_deliver || self.decided.contains_key(&slot)
+    }
+
+    /// Number of retained decided entries (metrics/tests).
+    pub fn decided_len(&self) -> usize {
+        self.decided.len()
+    }
+
+    fn required(&self, ballot: Ballot) -> usize {
+        if ballot.is_fast() {
+            self.quorums.fast()
+        } else {
+            self.quorums.classic()
+        }
+    }
+
+    /// Records an `Accepted` announcement; returns any new in-order
+    /// deliveries it unlocked.
+    pub fn on_accepted(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        slot: Slot,
+        decree: Decree<V>,
+        now: u64,
+    ) -> Vec<Delivery<V>> {
+        if self.is_decided(slot) {
+            return Vec::new();
+        }
+        let entry = self.votes.entry(slot).or_insert_with(|| SlotVotes {
+            by_ballot: HashMap::new(),
+            first_vote_at: now,
+        });
+        let ballot_votes = entry.by_ballot.entry(ballot).or_default();
+        ballot_votes.insert(from, decree);
+
+        // Decision check for this ballot.
+        let needed = self.required(ballot);
+        let ballot_votes = &self.votes[&slot].by_ballot[&ballot];
+        let mut counts: HashMap<&Decree<V>, usize> = HashMap::new();
+        for d in ballot_votes.values() {
+            *counts.entry(d).or_default() += 1;
+        }
+        let winner = counts
+            .iter()
+            .find(|(_, c)| **c >= needed)
+            .map(|(d, _)| (*d).clone());
+        match winner {
+            Some(decree) => {
+                self.votes.remove(&slot);
+                self.record_decided(slot, decree);
+                self.drain_deliveries()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Merges externally learned decided entries (catch-up replies);
+    /// returns unlocked deliveries.
+    pub fn on_learned(&mut self, entries: Vec<(Slot, Decree<V>)>) -> Vec<Delivery<V>> {
+        for (slot, decree) in entries {
+            if !self.is_decided(slot) {
+                self.votes.remove(&slot);
+                self.record_decided(slot, decree);
+            }
+        }
+        self.drain_deliveries()
+    }
+
+    fn record_decided(&mut self, slot: Slot, decree: Decree<V>) {
+        self.decided.insert(slot, decree);
+    }
+
+    fn drain_deliveries(&mut self) -> Vec<Delivery<V>> {
+        let mut out = Vec::new();
+        while let Some(decree) = self.decided.get(&self.next_deliver) {
+            if let Decree::Value(pid, value) = decree {
+                if self.delivered_pids.insert(*pid) {
+                    out.push(Delivery {
+                        slot: self.next_deliver,
+                        pid: *pid,
+                        value: value.clone(),
+                    });
+                }
+            }
+            self.next_deliver = self.next_deliver.next();
+        }
+        out
+    }
+
+    /// Whether `pid` has been delivered already (proposer retry check).
+    pub fn was_delivered(&self, pid: ProposalId) -> bool {
+        self.delivered_pids.contains(&pid)
+    }
+
+    /// Serves a catch-up request: decided entries from
+    /// `max(from_slot, truncated_below)`, at most `cap` of them.
+    ///
+    /// Returns `(entries, truncated_below, decided_upto)`.
+    pub fn serve_learn(&self, from_slot: Slot, cap: usize) -> (Vec<(Slot, Decree<V>)>, Slot, Slot) {
+        let start = from_slot.max(self.truncated_below);
+        let entries: Vec<(Slot, Decree<V>)> = self
+            .decided
+            .range(start..)
+            .take(cap)
+            .map(|(s, d)| (*s, d.clone()))
+            .collect();
+        (entries, self.truncated_below, self.next_deliver)
+    }
+
+    /// Slots that look like fast-round casualties needing coordinator
+    /// recovery: undecided, carrying votes, below the highest voted slot
+    /// or older than `timeout_us`, and provably or plausibly stuck.
+    ///
+    /// Two triggers:
+    /// * **impossibility** — enough acceptors voted differently that no
+    ///   value can still reach the fast quorum;
+    /// * **staleness** — votes have sat for `timeout_us` without a
+    ///   decision (covers lost messages and crashed acceptors).
+    pub fn stuck_slots(&self, now: u64, timeout_us: u64) -> Vec<Slot> {
+        let mut out = Vec::new();
+        for (slot, sv) in &self.votes {
+            let stale = now.saturating_sub(sv.first_vote_at) >= timeout_us;
+            let impossible = sv.by_ballot.iter().any(|(ballot, votes)| {
+                if !ballot.is_fast() {
+                    return false;
+                }
+                let needed = self.quorums.fast();
+                let mut counts: HashMap<&Decree<V>, usize> = HashMap::new();
+                for d in votes.values() {
+                    *counts.entry(d).or_default() += 1;
+                }
+                let top = counts.values().copied().max().unwrap_or(0);
+                let unvoted = self.quorums.n() - votes.len();
+                top + unvoted < needed
+            });
+            if stale || impossible {
+                out.push(*slot);
+            }
+        }
+        out
+    }
+
+    /// Whether delivery is blocked by a gap: some slot above the
+    /// delivery watermark is already decided (so the watermark slot can
+    /// never be filled by ongoing traffic — it must be learned), or
+    /// votes have been sitting above an undelivered hole for longer
+    /// than `timeout_us`.
+    pub fn gapped(&self, now: u64, timeout_us: u64) -> bool {
+        if self.decided.keys().any(|s| *s > self.next_deliver) {
+            return true;
+        }
+        self.votes.iter().any(|(s, sv)| {
+            *s > self.next_deliver && now.saturating_sub(sv.first_vote_at) >= timeout_us
+        })
+    }
+
+    /// The votes recorded for `slot` at `ballot` (coordinator recovery
+    /// uses these as its phase-1 information source for O4 counting).
+    pub fn votes_at(&self, slot: Slot, ballot: Ballot) -> Option<&BTreeMap<ReplicaId, Decree<V>>> {
+        self.votes.get(&slot).and_then(|sv| sv.by_ballot.get(&ballot))
+    }
+
+    /// Jumps delivery past `slot` after an external state transfer: the
+    /// application state now covers everything below `slot`, so decided
+    /// entries and votes below it are dropped without delivery.
+    pub fn fast_forward(&mut self, slot: Slot) {
+        if slot <= self.next_deliver {
+            return;
+        }
+        self.decided = self.decided.split_off(&slot);
+        self.votes = self.votes.split_off(&slot);
+        self.next_deliver = slot;
+        if self.truncated_below < slot {
+            self.truncated_below = slot;
+        }
+    }
+
+    /// Delivers anything contiguous from the current watermark (used
+    /// after [`Learner::fast_forward`]).
+    pub fn drain(&mut self) -> Vec<Delivery<V>> {
+        self.drain_deliveries()
+    }
+
+    /// Drops decided entries below `upto` (after a checkpoint covers
+    /// them). Also forgets votes for slots below `upto`.
+    pub fn truncate(&mut self, upto: Slot) {
+        if upto <= self.truncated_below {
+            return;
+        }
+        self.decided = self.decided.split_off(&upto);
+        self.votes = self.votes.split_off(&upto);
+        self.truncated_below = upto;
+    }
+
+    /// First retained decided slot boundary.
+    pub fn truncated_below(&self) -> Slot {
+        self.truncated_below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(node: u32, seq: u64) -> ProposalId {
+        ProposalId {
+            node: ReplicaId(node),
+            epoch: 0,
+            seq,
+        }
+    }
+
+    fn learner() -> Learner<&'static str> {
+        Learner::new(Quorums::new(5), Slot::ZERO)
+    }
+
+    #[test]
+    fn classic_decides_on_majority() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let d = Decree::Value(pid(0, 1), "v");
+        assert!(l.on_accepted(ReplicaId(0), b, Slot(0), d.clone(), 0).is_empty());
+        assert!(l.on_accepted(ReplicaId(1), b, Slot(0), d.clone(), 0).is_empty());
+        let out = l.on_accepted(ReplicaId(2), b, Slot(0), d, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].slot, Slot(0));
+        assert_eq!(out[0].value, "v");
+        assert_eq!(l.next_deliver(), Slot(1));
+    }
+
+    #[test]
+    fn fast_requires_three_quarters() {
+        let mut l = learner();
+        let b = Ballot::fast(1, ReplicaId(0));
+        let d = Decree::Value(pid(1, 1), "v");
+        for i in 0..3 {
+            assert!(l
+                .on_accepted(ReplicaId(i), b, Slot(0), d.clone(), 0)
+                .is_empty());
+        }
+        // 4th vote = ⌈3·5/4⌉ = 4 → decided.
+        let out = l.on_accepted(ReplicaId(3), b, Slot(0), d, 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_votes_from_same_acceptor_count_once() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let d = Decree::Value(pid(0, 1), "v");
+        l.on_accepted(ReplicaId(0), b, Slot(0), d.clone(), 0);
+        l.on_accepted(ReplicaId(0), b, Slot(0), d.clone(), 0);
+        let out = l.on_accepted(ReplicaId(0), b, Slot(0), d, 0);
+        assert!(out.is_empty(), "one acceptor is not a quorum");
+    }
+
+    #[test]
+    fn delivery_is_in_order_and_gap_blocked() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let d1 = Decree::Value(pid(0, 1), "one");
+        for i in 0..3 {
+            l.on_accepted(ReplicaId(i), b, Slot(1), d1.clone(), 0);
+        }
+        assert_eq!(l.next_deliver(), Slot(0), "slot 1 decided but 0 missing");
+        let d0 = Decree::Value(pid(0, 2), "zero");
+        let mut out = Vec::new();
+        for i in 0..3 {
+            out.extend(l.on_accepted(ReplicaId(i), b, Slot(0), d0.clone(), 0));
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, "zero");
+        assert_eq!(out[1].value, "one");
+        assert_eq!(l.next_deliver(), Slot(2));
+    }
+
+    #[test]
+    fn noop_advances_without_delivery() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let mut out = Vec::new();
+        for i in 0..3 {
+            out.extend(l.on_accepted(ReplicaId(i), b, Slot(0), Decree::Noop, 0));
+        }
+        assert!(out.is_empty());
+        assert_eq!(l.next_deliver(), Slot(1));
+    }
+
+    #[test]
+    fn duplicate_pid_across_slots_delivered_once() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let d = Decree::Value(pid(2, 7), "dup");
+        let mut out = Vec::new();
+        for i in 0..3 {
+            out.extend(l.on_accepted(ReplicaId(i), b, Slot(0), d.clone(), 0));
+        }
+        for i in 0..3 {
+            out.extend(l.on_accepted(ReplicaId(i), b, Slot(1), d.clone(), 0));
+        }
+        assert_eq!(out.len(), 1, "same pid decided twice delivers once");
+        assert_eq!(l.next_deliver(), Slot(2));
+        assert!(l.was_delivered(pid(2, 7)));
+    }
+
+    #[test]
+    fn fast_collision_impossibility_detected() {
+        let mut l = learner();
+        let b = Ballot::fast(1, ReplicaId(0));
+        // 5 replicas, fast quorum 4: a 2-2 split with 1 unvoted is stuck.
+        l.on_accepted(ReplicaId(0), b, Slot(0), Decree::Value(pid(0, 1), "a"), 10);
+        l.on_accepted(ReplicaId(1), b, Slot(0), Decree::Value(pid(0, 1), "a"), 10);
+        l.on_accepted(ReplicaId(2), b, Slot(0), Decree::Value(pid(1, 1), "z"), 10);
+        assert!(l.stuck_slots(10, 1_000_000).is_empty(), "3 votes: still winnable");
+        l.on_accepted(ReplicaId(3), b, Slot(0), Decree::Value(pid(1, 1), "z"), 10);
+        assert_eq!(l.stuck_slots(10, 1_000_000), vec![Slot(0)]);
+    }
+
+    #[test]
+    fn stale_votes_reported_after_timeout() {
+        let mut l = learner();
+        let b = Ballot::fast(1, ReplicaId(0));
+        l.on_accepted(ReplicaId(0), b, Slot(3), Decree::Value(pid(0, 1), "a"), 100);
+        assert!(l.stuck_slots(500, 1_000).is_empty());
+        assert_eq!(l.stuck_slots(1_200, 1_000), vec![Slot(3)]);
+    }
+
+    #[test]
+    fn serve_learn_respects_truncation_and_cap() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        for s in 0..6u64 {
+            let d = Decree::Value(pid(0, s), "v");
+            for i in 0..3 {
+                l.on_accepted(ReplicaId(i), b, Slot(s), d.clone(), 0);
+            }
+        }
+        l.truncate(Slot(2));
+        let (entries, trunc, upto) = l.serve_learn(Slot(0), 3);
+        assert_eq!(trunc, Slot(2));
+        assert_eq!(upto, Slot(6));
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0, Slot(2));
+    }
+
+    #[test]
+    fn on_learned_merges_and_delivers() {
+        let mut l = learner();
+        let out = l.on_learned(vec![
+            (Slot(0), Decree::Value(pid(0, 1), "a")),
+            (Slot(1), Decree::Noop),
+            (Slot(2), Decree::Value(pid(0, 2), "b")),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(l.next_deliver(), Slot(3));
+    }
+
+    #[test]
+    fn late_votes_for_decided_slot_ignored() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let d = Decree::Value(pid(0, 1), "v");
+        for i in 0..3 {
+            l.on_accepted(ReplicaId(i), b, Slot(0), d.clone(), 0);
+        }
+        let out = l.on_accepted(ReplicaId(4), b, Slot(0), d, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn votes_at_exposes_recovery_information() {
+        let mut l = learner();
+        let b = Ballot::fast(1, ReplicaId(0));
+        l.on_accepted(ReplicaId(0), b, Slot(0), Decree::Value(pid(0, 1), "a"), 0);
+        l.on_accepted(ReplicaId(1), b, Slot(0), Decree::Value(pid(1, 1), "z"), 0);
+        let votes = l.votes_at(Slot(0), b).unwrap();
+        assert_eq!(votes.len(), 2);
+        assert!(l.votes_at(Slot(1), b).is_none());
+    }
+
+    #[test]
+    fn learner_starting_at_checkpoint_ignores_older_slots() {
+        let mut l: Learner<&str> = Learner::new(Quorums::new(5), Slot(10));
+        let b = Ballot::classic(1, ReplicaId(0));
+        let out = l.on_accepted(ReplicaId(0), b, Slot(3), Decree::Value(pid(0, 1), "v"), 0);
+        assert!(out.is_empty());
+        assert!(l.is_decided(Slot(3)), "pre-checkpoint slots count as decided");
+        assert_eq!(l.next_deliver(), Slot(10));
+    }
+}

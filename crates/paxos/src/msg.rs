@@ -1,0 +1,302 @@
+//! Wire messages, durable records, and the effect vocabulary.
+//!
+//! The protocol core is *sans-io*: handlers never touch sockets, disks or
+//! clocks. They return [`Effect`]s that the driver (the `treplica` crate,
+//! running on `simnet`) turns into real sends and durable writes.
+//! Durability gates progress: an [`Effect::Persist`] carries a token, and
+//! the messages that acknowledge the persisted state are only released
+//! when the driver calls back with that token — putting the paper's
+//! stable-storage latency on the write path.
+
+use crate::types::{Ballot, Decree, ProposalId, ReplicaId, Slot};
+
+/// A promise's report of what an acceptor had already accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedReport<V> {
+    /// The slot concerned.
+    pub slot: Slot,
+    /// Ballot at which the decree was accepted.
+    pub ballot: Ballot,
+    /// The accepted decree.
+    pub decree: Decree<V>,
+}
+
+/// Protocol messages exchanged between replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg<V> {
+    /// Phase 1a: a coordinator claims ballot `ballot` for all slots from
+    /// `from_slot`, or for exactly one slot (collision recovery).
+    Prepare {
+        /// The ballot being claimed.
+        ballot: Ballot,
+        /// First slot covered by the claim.
+        from_slot: Slot,
+        /// If set, the claim covers only this slot.
+        only_slot: Option<Slot>,
+    },
+    /// Phase 1b: acceptor's promise not to accept lower ballots, with its
+    /// prior accepted decrees in the covered range.
+    Promise {
+        /// Ballot being promised.
+        ballot: Ballot,
+        /// Echo of the prepare's range start.
+        from_slot: Slot,
+        /// Echo of the prepare's single-slot restriction.
+        only_slot: Option<Slot>,
+        /// Previously accepted decrees in the covered range.
+        accepted: Vec<AcceptedReport<V>>,
+    },
+    /// Phase 2a (classic): the coordinator asks acceptors to accept a
+    /// decree at a slot.
+    Accept {
+        /// The coordinator's ballot.
+        ballot: Ballot,
+        /// Target slot.
+        slot: Slot,
+        /// Decree to accept.
+        decree: Decree<V>,
+    },
+    /// Phase 2a (fast): the coordinator opens fast rounds — acceptors may
+    /// accept proposer values directly at any free slot ≥ `from_slot`
+    /// (the "any" message of Fast Paxos).
+    Any {
+        /// The fast ballot now active.
+        ballot: Ballot,
+        /// Fast accepts may use slots at or after this.
+        from_slot: Slot,
+    },
+    /// A proposer's value addressed directly to acceptors (fast rounds).
+    FastPropose {
+        /// Proposal identity for dedup/retry.
+        pid: ProposalId,
+        /// The proposed value.
+        value: V,
+    },
+    /// A proposal forwarded to the coordinator (classic rounds).
+    Propose {
+        /// Proposal identity for dedup/retry.
+        pid: ProposalId,
+        /// The proposed value.
+        value: V,
+    },
+    /// Phase 2b: an acceptor announces it accepted `decree` at `slot`
+    /// under `ballot` (broadcast to all learners).
+    Accepted {
+        /// Ballot of the acceptance.
+        ballot: Ballot,
+        /// Slot concerned.
+        slot: Slot,
+        /// The accepted decree.
+        decree: Decree<V>,
+    },
+    /// Failure-detector heartbeat, also carrying the sender's
+    /// contiguously-decided watermark for catch-up detection.
+    Alive {
+        /// Sender's current ballot view (highest seen).
+        ballot: Ballot,
+        /// Slots below this are decided at the sender.
+        decided_upto: Slot,
+    },
+    /// Request decided slots starting at `from_slot` (catch-up/recovery).
+    LearnRequest {
+        /// First slot the requester is missing.
+        from_slot: Slot,
+    },
+    /// A chunk of decided slots. `truncated_below` tells the requester
+    /// the responder no longer stores slots below that point (it must
+    /// fetch a checkpoint instead — handled by the middleware layer).
+    LearnReply {
+        /// Decided `(slot, decree)` pairs, contiguous from the request
+        /// where available.
+        entries: Vec<(Slot, Decree<V>)>,
+        /// Responder's log starts here; earlier slots require snapshot
+        /// transfer.
+        truncated_below: Slot,
+        /// Responder's decided watermark (for chunked catch-up).
+        decided_upto: Slot,
+    },
+}
+
+/// A record appended to the acceptor's durable log before the
+/// corresponding protocol message may be sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record<V> {
+    /// The acceptor promised ballot `0`'s value.
+    Promised(Ballot),
+    /// The acceptor accepted `decree` at `slot` under `ballot`.
+    Accepted {
+        /// Ballot of the acceptance.
+        ballot: Ballot,
+        /// Slot concerned.
+        slot: Slot,
+        /// The accepted decree.
+        decree: Decree<V>,
+    },
+}
+
+/// Opaque token correlating an [`Effect::Persist`] with the driver's
+/// completion callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistToken(pub u64);
+
+/// Side effects requested by the protocol core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect<V> {
+    /// Send `msg` to replica `to` (may be the sender itself; the driver
+    /// routes loopback through the network model's loopback path).
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        msg: Msg<V>,
+    },
+    /// Append `record` durably, then call `on_persisted(token)`.
+    Persist {
+        /// Record to append to the consensus log.
+        record: Record<V>,
+        /// Completion token.
+        token: PersistToken,
+    },
+    /// A decree was decided and is ready for in-order delivery.
+    ///
+    /// Emitted in strictly increasing slot order with no gaps; no-ops are
+    /// filtered out, and each [`ProposalId`] is delivered at most once per
+    /// replica incarnation.
+    Deliver {
+        /// The slot that committed.
+        slot: Slot,
+        /// Proposal identity.
+        pid: ProposalId,
+        /// The decided value.
+        value: V,
+    },
+}
+
+/// Convenience collection of effects with builder-style helpers.
+#[derive(Debug)]
+pub struct Effects<V> {
+    inner: Vec<Effect<V>>,
+}
+
+impl<V> Effects<V> {
+    /// An empty effect set.
+    pub fn new() -> Self {
+        Effects { inner: Vec::new() }
+    }
+
+    /// Queues a unicast.
+    pub fn send(&mut self, to: ReplicaId, msg: Msg<V>) {
+        self.inner.push(Effect::Send { to, msg });
+    }
+
+    /// Queues the same message to every replica in `0..n`, including the
+    /// local one (self-delivery is how the local acceptor/learner hears
+    /// its own coordinator, mirroring Treplica's in-process roles).
+    pub fn broadcast(&mut self, n: usize, msg: Msg<V>)
+    where
+        Msg<V>: Clone,
+    {
+        for i in 0..n {
+            self.inner.push(Effect::Send {
+                to: ReplicaId(i as u32),
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Queues a persist effect.
+    pub fn persist(&mut self, record: Record<V>, token: PersistToken) {
+        self.inner.push(Effect::Persist { record, token });
+    }
+
+    /// Queues a delivery.
+    pub fn deliver(&mut self, slot: Slot, pid: ProposalId, value: V) {
+        self.inner.push(Effect::Deliver { slot, pid, value });
+    }
+
+    /// Appends all effects from `other`.
+    pub fn extend(&mut self, other: Effects<V>) {
+        self.inner.extend(other.inner);
+    }
+
+    /// Consumes the set, yielding the ordered effect list.
+    pub fn into_vec(self) -> Vec<Effect<V>> {
+        self.inner
+    }
+
+    /// Number of queued effects.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no effects are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<V> Default for Effects<V> {
+    fn default() -> Self {
+        Effects::new()
+    }
+}
+
+impl<V> From<Effects<V>> for Vec<Effect<V>> {
+    fn from(e: Effects<V>) -> Self {
+        e.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_all_including_self() {
+        let mut fx: Effects<u8> = Effects::new();
+        fx.broadcast(
+            3,
+            Msg::Alive {
+                ballot: Ballot::BOTTOM,
+                decided_upto: Slot::ZERO,
+            },
+        );
+        let v = fx.into_vec();
+        assert_eq!(v.len(), 3);
+        let dests: Vec<u32> = v
+            .iter()
+            .map(|e| match e {
+                Effect::Send { to, .. } => to.0,
+                _ => panic!("expected send"),
+            })
+            .collect();
+        assert_eq!(dests, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn effects_compose() {
+        let mut a: Effects<u8> = Effects::new();
+        a.deliver(
+            Slot(1),
+            ProposalId {
+                node: ReplicaId(0),
+                epoch: 0,
+                seq: 1,
+            },
+            9,
+        );
+        let mut b: Effects<u8> = Effects::new();
+        b.persist(Record::Promised(Ballot::BOTTOM), PersistToken(7));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_effects_default() {
+        let fx: Effects<u8> = Effects::default();
+        assert!(fx.is_empty());
+        assert_eq!(fx.len(), 0);
+        assert!(Vec::from(fx).is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! The full replica: all Paxos roles composed behind one sans-io facade.
+//!
+//! Every Treplica process runs proposer, acceptor, learner and (when
+//! elected) coordinator. [`Replica`] wires them together and owns the
+//! cross-cutting concerns: durability gating of acceptor messages,
+//! leader election and the fast/classic/blocked mode rule, fast-round
+//! collision recovery, proposal retries, and log catch-up.
+//!
+//! Drive it with four entry points — [`Replica::propose`],
+//! [`Replica::on_message`], [`Replica::on_tick`],
+//! [`Replica::on_persisted`] — and apply the returned [`Effect`]s.
+
+use std::collections::HashMap;
+
+use crate::acceptor::{Acceptor, AcceptorOut, Dest};
+use crate::config::PaxosConfig;
+use crate::fd::{FailureDetector, Mode};
+use crate::leader::{Leader, LeaderPhase};
+use crate::learner::Learner;
+use crate::msg::{Effect, Effects, Msg, PersistToken, Record};
+use crate::proposer::Proposer;
+use crate::types::{Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
+
+/// Introspection snapshot of a replica (metrics and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Operating mode per the failure detector.
+    pub mode: Mode,
+    /// Whether this replica currently coordinates.
+    pub leading: bool,
+    /// Highest ballot observed.
+    pub ballot: Ballot,
+    /// Contiguously decided/delivered watermark.
+    pub decided_upto: Slot,
+    /// Proposals issued here and not yet delivered.
+    pub pending_proposals: usize,
+}
+
+/// A complete Paxos/Fast Paxos replica (sans-io).
+#[derive(Debug)]
+pub struct Replica<V> {
+    id: ReplicaId,
+    config: PaxosConfig,
+    acceptor: Acceptor<V>,
+    learner: Learner<V>,
+    leader: Leader<V>,
+    proposer: Proposer<V>,
+    fd: FailureDetector,
+    /// Persist-token → messages released on completion.
+    gated: HashMap<u64, Vec<(Dest, Msg<V>)>>,
+    next_token: u64,
+    now: u64,
+    last_heartbeat: u64,
+    prepare_started: u64,
+    /// Highest ballot observed anywhere (election and routing hints).
+    highest_ballot: Ballot,
+    /// The fast window as announced by the coordinator's `Any`; cleared
+    /// by any higher whole-range prepare (single-slot recovery prepares
+    /// leave it open).
+    fast_window: Option<Ballot>,
+    /// Proposals that could not be routed yet (no leader/blocked).
+    unrouted: Vec<(ProposalId, V)>,
+    last_learn_request: u64,
+    /// Set by [`Replica::recover`]: aggressively catch up (any positive
+    /// lag triggers a learn request) until level with the ensemble.
+    recovering: bool,
+    /// A catch-up response revealed the peer truncated its history past
+    /// our watermark: the middleware must perform a snapshot transfer.
+    snapshot_needed: Option<(ReplicaId, Slot)>,
+}
+
+impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
+    /// Creates a fresh replica (empty durable log), delivering from slot
+    /// 0 and proposing under epoch 0.
+    pub fn new(id: ReplicaId, config: PaxosConfig, now: u64) -> Self {
+        Self::with_state(id, config, Acceptor::new(), Slot::ZERO, 0, now)
+    }
+
+    /// Reconstructs a replica after a crash: `records` is the replica's
+    /// durable acceptor log, `start_slot` the application-checkpoint
+    /// watermark — the learner resumes delivery there and re-learns the
+    /// suffix from its peers (the paper's queue re-synchronization) —
+    /// and `epoch` the new process incarnation (must be greater than any
+    /// previous one, so proposal ids never collide across lifetimes).
+    pub fn recover<'a, I>(
+        id: ReplicaId,
+        config: PaxosConfig,
+        records: I,
+        start_slot: Slot,
+        epoch: u64,
+        now: u64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a Record<V>>,
+        V: 'a,
+    {
+        let acceptor = Acceptor::recover(records);
+        let mut r = Self::with_state(id, config, acceptor, start_slot, epoch, now);
+        r.recovering = true;
+        r
+    }
+
+    fn with_state(
+        id: ReplicaId,
+        config: PaxosConfig,
+        acceptor: Acceptor<V>,
+        start_slot: Slot,
+        epoch: u64,
+        now: u64,
+    ) -> Self {
+        let quorums = Quorums::new(config.n);
+        let fd = FailureDetector::new(id, quorums, config.fd_timeout_us, now);
+        Replica {
+            id,
+            acceptor,
+            learner: Learner::new(quorums, start_slot),
+            leader: Leader::new(id, quorums),
+            proposer: Proposer::new(id, epoch),
+            fd,
+            gated: HashMap::new(),
+            next_token: 0,
+            now,
+            last_heartbeat: 0,
+            prepare_started: 0,
+            highest_ballot: Ballot::BOTTOM,
+            fast_window: None,
+            unrouted: Vec::new(),
+            last_learn_request: 0,
+            recovering: false,
+            snapshot_needed: None,
+            config,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Introspection snapshot.
+    pub fn status(&self) -> ReplicaStatus {
+        ReplicaStatus {
+            mode: self.fd.mode(self.now),
+            leading: self.leader.is_leading(),
+            ballot: self.highest_ballot,
+            decided_upto: self.learner.next_deliver(),
+            pending_proposals: self.proposer.pending_len() + self.unrouted.len(),
+        }
+    }
+
+    /// Contiguously decided watermark.
+    pub fn decided_upto(&self) -> Slot {
+        self.learner.next_deliver()
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.fd.mode(self.now)
+    }
+
+    /// Whether this replica is the active coordinator.
+    pub fn is_leader(&self) -> bool {
+        self.leader.is_leading()
+    }
+
+    /// Whether this replica is still re-learning the backlog after a
+    /// [`Replica::recover`] (clears once a peer reports no remaining lag).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Discards consensus state below `upto` after the application
+    /// checkpointed through it.
+    pub fn truncate(&mut self, upto: Slot) {
+        self.acceptor.truncate(upto);
+        self.learner.truncate(upto);
+    }
+
+    fn observe_ballot(&mut self, ballot: Ballot) {
+        self.leader.observe_round(ballot.round);
+        if ballot > self.highest_ballot {
+            if self.leader.is_leading() && ballot.node != self.id {
+                self.leader.abdicate();
+            }
+            self.highest_ballot = ballot;
+        }
+    }
+
+    /// Converts an acceptor output into effects, gating sends on
+    /// persistence when a record is present.
+    fn gate(&mut self, out: AcceptorOut<V>, fx: &mut Effects<V>) {
+        match out.record {
+            Some(record) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.gated.insert(token, out.sends);
+                fx.persist(record, PersistToken(token));
+            }
+            None => self.emit(out.sends, fx),
+        }
+    }
+
+    fn emit(&mut self, sends: Vec<(Dest, Msg<V>)>, fx: &mut Effects<V>) {
+        for (dest, msg) in sends {
+            match dest {
+                Dest::One(to) => fx.send(to, msg),
+                Dest::All => fx.broadcast(self.config.n, msg),
+            }
+        }
+    }
+
+    /// A durable write completed: release the gated messages.
+    pub fn on_persisted(&mut self, token: PersistToken) -> Vec<Effect<V>> {
+        let mut fx = Effects::new();
+        if let Some(sends) = self.gated.remove(&token.0) {
+            self.emit(sends, &mut fx);
+        }
+        fx.into_vec()
+    }
+
+    /// Re-routes a still-pending proposal immediately (used by
+    /// middleware flow control to release withheld submissions without
+    /// waiting for the retry timer). No-op if already delivered.
+    pub fn nudge(&mut self, pid: ProposalId) -> Vec<Effect<V>> {
+        let mut fx = Effects::new();
+        if self.learner.was_delivered(pid) {
+            return fx.into_vec();
+        }
+        if let Some(value) = self.proposer.pending_value(pid) {
+            self.route(pid, value, &mut fx);
+        }
+        fx.into_vec()
+    }
+
+    /// Submits a new proposal; returns its id and the immediate effects.
+    pub fn propose(&mut self, value: V) -> (ProposalId, Vec<Effect<V>>) {
+        let pid = self
+            .proposer
+            .submit(value.clone(), self.now, self.config.propose_retry_us);
+        let mut fx = Effects::new();
+        self.route(pid, value, &mut fx);
+        (pid, fx.into_vec())
+    }
+
+    /// Routes a proposal according to the current mode: fast-broadcast to
+    /// the acceptors, unicast to the coordinator, or park it.
+    fn route(&mut self, pid: ProposalId, value: V, fx: &mut Effects<V>) {
+        match self.fd.mode(self.now) {
+            Mode::Blocked => {
+                self.unrouted.push((pid, value));
+            }
+            _ => {
+                if self.fast_window.is_some() {
+                    fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                } else {
+                    let owner = self.highest_ballot.node;
+                    if self.highest_ballot > Ballot::BOTTOM && self.fd.is_alive(owner, self.now) {
+                        fx.send(owner, Msg::Propose { pid, value });
+                    } else {
+                        self.unrouted.push((pid, value));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one incoming message.
+    pub fn on_message(&mut self, from: ReplicaId, msg: Msg<V>, now: u64) -> Vec<Effect<V>> {
+        self.now = self.now.max(now);
+        self.fd.heard(from, self.now);
+        let mut fx = Effects::new();
+        match msg {
+            Msg::Prepare {
+                ballot,
+                from_slot,
+                only_slot,
+            } => {
+                self.observe_ballot(ballot);
+                if only_slot.is_none() && self.fast_window.is_some_and(|w| ballot > w) {
+                    self.fast_window = None;
+                }
+                let out = self.acceptor.on_prepare(from, ballot, from_slot, only_slot);
+                self.gate(out, &mut fx);
+            }
+            Msg::Promise {
+                ballot,
+                from_slot: _,
+                only_slot,
+                accepted,
+            } => match only_slot {
+                Some(slot) => {
+                    if let Some((decree, losers)) =
+                        self.leader.on_recovery_promise(from, ballot, slot, accepted)
+                    {
+                        fx.broadcast(self.config.n, Msg::Accept { ballot, slot, decree });
+                        // Rescue collision losers right away: assign them
+                        // fresh slots under the main ballot instead of
+                        // waiting out their proposers' retry timers.
+                        for (pid, value) in losers {
+                            if !self.learner.was_delivered(pid) && self.leader.is_leading() {
+                                let rescue_slot = self.leader.assign_slot();
+                                let main = self.leader.ballot;
+                                fx.broadcast(
+                                    self.config.n,
+                                    Msg::Accept {
+                                        ballot: main,
+                                        slot: rescue_slot,
+                                        decree: Decree::Value(pid, value),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if let Some((plan, next_free)) = self.leader.on_promise(from, ballot, accepted) {
+                        self.issue_plan(ballot, plan, next_free, &mut fx);
+                    }
+                }
+            },
+            Msg::Accept { ballot, slot, decree } => {
+                self.observe_ballot(ballot);
+                let out = self.acceptor.on_accept(ballot, slot, decree);
+                self.gate(out, &mut fx);
+            }
+            Msg::Any { ballot, from_slot } => {
+                self.observe_ballot(ballot);
+                let out = self.acceptor.on_any(ballot, from_slot);
+                self.gate(out, &mut fx);
+                if self.acceptor.fast_window_open() {
+                    self.fast_window = Some(ballot);
+                    self.flush_unrouted(&mut fx);
+                }
+            }
+            Msg::FastPropose { pid, value } => {
+                if self.learner.was_delivered(pid) {
+                    // Retry of something already decided: ignore.
+                } else if self.acceptor.fast_window_open() {
+                    let out = self.acceptor.on_fast_propose(pid, value);
+                    self.gate(out, &mut fx);
+                } else if self.leader.is_leading() && !self.leader.ballot.is_fast() {
+                    // Mode switched under the proposer: treat as classic.
+                    self.classic_assign(pid, value, &mut fx);
+                }
+            }
+            Msg::Propose { pid, value } => {
+                if self.learner.was_delivered(pid) {
+                    // Already decided; drop the retry.
+                } else if self.leader.is_leading() {
+                    if self.leader.ballot.is_fast() {
+                        // Relay onto the fast path on the proposer's behalf.
+                        fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                    } else {
+                        self.classic_assign(pid, value, &mut fx);
+                    }
+                } else if self.leader.phase == LeaderPhase::Preparing {
+                    // Phase 1 in flight: park and serve once leading.
+                    self.unrouted.push((pid, value));
+                }
+                // Otherwise drop; the proposer's retry will re-route.
+            }
+            Msg::Accepted { ballot, slot, decree } => {
+                self.observe_ballot(ballot);
+                if ballot.is_fast() {
+                    self.leader.observe_occupied(slot);
+                }
+                let deliveries = self.learner.on_accepted(from, ballot, slot, decree, self.now);
+                for d in deliveries {
+                    self.proposer.delivered(d.pid);
+                    fx.deliver(d.slot, d.pid, d.value);
+                }
+                if self.learner.is_decided(slot) {
+                    self.leader.finish_recovery(slot);
+                }
+                self.maybe_recover_collisions(&mut fx);
+            }
+            Msg::Alive { ballot, decided_upto } => {
+                self.observe_ballot(ballot);
+                if from == self.id {
+                    // Our own looped-back heartbeat carries no catch-up
+                    // information.
+                    return fx.into_vec();
+                }
+                // Catch-up: a peer is decidedly ahead of us.
+                let behind = decided_upto
+                    .0
+                    .saturating_sub(self.learner.next_deliver().0);
+                if self.recovering && behind == 0 {
+                    self.recovering = false;
+                }
+                let threshold = if self.recovering {
+                    0
+                } else {
+                    self.config.catchup_lag_slots
+                };
+                if behind > threshold
+                    && self.now.saturating_sub(self.last_learn_request) > 50_000
+                {
+                    self.last_learn_request = self.now;
+                    fx.send(
+                        from,
+                        Msg::LearnRequest {
+                            from_slot: self.learner.next_deliver(),
+                        },
+                    );
+                }
+            }
+            Msg::LearnRequest { from_slot } => {
+                let (entries, truncated_below, decided_upto) =
+                    self.learner.serve_learn(from_slot, self.config.learn_chunk);
+                fx.send(
+                    from,
+                    Msg::LearnReply {
+                        entries,
+                        truncated_below,
+                        decided_upto,
+                    },
+                );
+            }
+            Msg::LearnReply {
+                entries,
+                truncated_below,
+                decided_upto,
+            } => {
+                let deliveries = self.learner.on_learned(entries);
+                for d in deliveries {
+                    self.proposer.delivered(d.pid);
+                    fx.deliver(d.slot, d.pid, d.value);
+                }
+                if truncated_below > self.learner.next_deliver() {
+                    // The responder no longer stores the slots we need:
+                    // flag for a middleware-level snapshot transfer.
+                    self.snapshot_needed = Some((from, truncated_below));
+                } else if decided_upto > self.learner.next_deliver() {
+                    self.last_learn_request = self.now;
+                    fx.send(
+                        from,
+                        Msg::LearnRequest {
+                            from_slot: self.learner.next_deliver(),
+                        },
+                    );
+                }
+            }
+        }
+        fx.into_vec()
+    }
+
+    /// Takes the pending snapshot-transfer requirement, if a catch-up
+    /// exchange revealed one: `(peer, its truncation watermark)`.
+    pub fn take_snapshot_needed(&mut self) -> Option<(ReplicaId, Slot)> {
+        self.snapshot_needed.take()
+    }
+
+    /// Installs the result of an external state transfer covering all
+    /// slots below `slot`: delivery resumes there, and any decided
+    /// entries already known past the new watermark are delivered.
+    pub fn fast_forward(&mut self, slot: Slot) -> Vec<Effect<V>> {
+        self.learner.fast_forward(slot);
+        if let Some((_, needed)) = self.snapshot_needed {
+            if slot >= needed {
+                self.snapshot_needed = None;
+            }
+        }
+        let mut fx = Effects::new();
+        for d in self.learner.drain() {
+            self.proposer.delivered(d.pid);
+            fx.deliver(d.slot, d.pid, d.value);
+        }
+        fx.into_vec()
+    }
+
+    /// The snapshot-transfer watermark a recovering peer asked us about:
+    /// slots below this are no longer in our log (checkpoint required).
+    pub fn truncated_below(&self) -> Slot {
+        self.learner.truncated_below()
+    }
+
+    fn classic_assign(&mut self, pid: ProposalId, value: V, fx: &mut Effects<V>) {
+        if self.fd.mode(self.now) == Mode::Blocked {
+            self.unrouted.push((pid, value));
+            return;
+        }
+        let slot = self.leader.assign_slot();
+        let ballot = self.leader.ballot;
+        fx.broadcast(
+            self.config.n,
+            Msg::Accept {
+                ballot,
+                slot,
+                decree: Decree::Value(pid, value),
+            },
+        );
+    }
+
+    fn issue_plan(
+        &mut self,
+        ballot: Ballot,
+        plan: Vec<(Slot, Decree<V>)>,
+        next_free: Slot,
+        fx: &mut Effects<V>,
+    ) {
+        for (slot, decree) in plan {
+            fx.broadcast(self.config.n, Msg::Accept { ballot, slot, decree });
+        }
+        if ballot.is_fast() {
+            fx.broadcast(
+                self.config.n,
+                Msg::Any {
+                    ballot,
+                    from_slot: next_free,
+                },
+            );
+        } else {
+            self.flush_unrouted(fx);
+        }
+    }
+
+    fn flush_unrouted(&mut self, fx: &mut Effects<V>) {
+        let parked = std::mem::take(&mut self.unrouted);
+        for (pid, value) in parked {
+            if self.learner.was_delivered(pid) {
+                continue;
+            }
+            if self.leader.is_leading() && !self.leader.ballot.is_fast() {
+                // We are the classic coordinator: assign directly
+                // (covers proposals parked while phase 1 ran).
+                self.classic_assign(pid, value, fx);
+            } else {
+                self.route(pid, value, fx);
+            }
+        }
+    }
+
+    fn maybe_recover_collisions(&mut self, fx: &mut Effects<V>) {
+        if !self.leader.is_leading() || !self.leader.ballot.is_fast() {
+            return;
+        }
+        let stuck = self
+            .learner
+            .stuck_slots(self.now, self.config.collision_timeout_us);
+        for slot in stuck {
+            if self.learner.is_decided(slot) {
+                continue;
+            }
+            if let Some(ballot) = self.leader.start_recovery(slot, self.now) {
+                fx.broadcast(
+                    self.config.n,
+                    Msg::Prepare {
+                        ballot,
+                        from_slot: slot,
+                        only_slot: Some(slot),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Periodic driver callback: heartbeats, election, retries, and
+    /// collision/recovery timeouts. Call it every few tens of
+    /// milliseconds of driver time.
+    pub fn on_tick(&mut self, now: u64) -> Vec<Effect<V>> {
+        self.now = self.now.max(now);
+        let mut fx = Effects::new();
+
+        if self.recovering && self.config.n == 1 {
+            // A singleton ensemble has no peers to learn from: its log
+            // replay alone is complete recovery.
+            self.recovering = false;
+        }
+
+        // Heartbeats.
+        if self.now.saturating_sub(self.last_heartbeat) >= self.config.heartbeat_interval_us {
+            self.last_heartbeat = self.now;
+            fx.broadcast(
+                self.config.n,
+                Msg::Alive {
+                    ballot: self.highest_ballot,
+                    decided_upto: self.learner.next_deliver(),
+                },
+            );
+        }
+
+        let mode = self.fd.mode(self.now);
+        let want_fast = mode == Mode::Fast && self.config.fast_enabled;
+
+        if mode != Mode::Blocked && self.fd.candidate(self.now) == self.id {
+            let owner_dead = self.highest_ballot != Ballot::BOTTOM
+                && !self.fd.is_alive(self.highest_ballot.node, self.now);
+            let class_mismatch =
+                self.leader.is_leading() && self.leader.ballot.is_fast() != want_fast;
+            let should_elect = match self.leader.phase {
+                LeaderPhase::Idle => {
+                    self.highest_ballot == Ballot::BOTTOM
+                        || owner_dead
+                        || self.highest_ballot.node == self.id
+                }
+                LeaderPhase::Preparing => {
+                    // Election stalled (lost messages): retry.
+                    if self.now.saturating_sub(self.prepare_started) > self.config.prepare_grace_us
+                        && self.leader.promise_count() >= 1
+                    {
+                        // Grace expired: finalize with the quorum we have.
+                        let ballot = self.leader.ballot;
+                        if let Some((plan, next_free)) = self.leader.finalize_prepare() {
+                            self.issue_plan(ballot, plan, next_free, &mut fx);
+                        }
+                    }
+                    self.now.saturating_sub(self.prepare_started) > self.config.fd_timeout_us
+                }
+                LeaderPhase::Leading => class_mismatch,
+            };
+            if should_elect {
+                let from_slot = self.learner.next_deliver();
+                let ballot = self.leader.start_prepare(want_fast, from_slot);
+                self.highest_ballot = ballot;
+                self.fast_window = None;
+                self.prepare_started = self.now;
+                fx.broadcast(
+                    self.config.n,
+                    Msg::Prepare {
+                        ballot,
+                        from_slot,
+                        only_slot: None,
+                    },
+                );
+            }
+        }
+
+        // Gap repair: if delivery is blocked by a hole whose slot was
+        // decided while we were down (or deaf), ongoing traffic can
+        // never fill it — fetch it explicitly from a live peer.
+        if mode != Mode::Blocked
+            && self.learner.gapped(self.now, 2 * self.config.collision_timeout_us)
+            && self.now.saturating_sub(self.last_learn_request) > 100_000
+        {
+            let target = if self.highest_ballot != Ballot::BOTTOM
+                && self.highest_ballot.node != self.id
+                && self.fd.is_alive(self.highest_ballot.node, self.now)
+            {
+                Some(self.highest_ballot.node)
+            } else {
+                self.fd
+                    .alive(self.now)
+                    .into_iter()
+                    .find(|p| *p != self.id)
+            };
+            if let Some(target) = target {
+                self.last_learn_request = self.now;
+                fx.send(
+                    target,
+                    Msg::LearnRequest {
+                        from_slot: self.learner.next_deliver(),
+                    },
+                );
+            }
+        }
+
+        // Proposal retries and parked proposals.
+        if mode != Mode::Blocked {
+            let expired = self
+                .proposer
+                .expired(self.now, self.config.propose_retry_us);
+            for (pid, value) in expired {
+                if !self.learner.was_delivered(pid) {
+                    self.route(pid, value, &mut fx);
+                }
+            }
+            self.flush_unrouted(&mut fx);
+        }
+
+        // Collision recovery by timeout, and stalled recovery restart.
+        self.maybe_recover_collisions(&mut fx);
+        if self.leader.is_leading() {
+            for slot in self
+                .leader
+                .stalled_recoveries(self.now, 4 * self.config.collision_timeout_us)
+            {
+                self.leader.cancel_recovery(slot);
+                if let Some(ballot) = self.leader.start_recovery(slot, self.now) {
+                    fx.broadcast(
+                        self.config.n,
+                        Msg::Prepare {
+                            ballot,
+                            from_slot: slot,
+                            only_slot: Some(slot),
+                        },
+                    );
+                }
+            }
+        }
+
+        fx.into_vec()
+    }
+}

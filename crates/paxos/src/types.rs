@@ -1,0 +1,297 @@
+//! Core identifier types of the consensus protocol.
+
+use std::fmt;
+
+/// Identifies one of the `N` replicas participating in consensus.
+///
+/// Treplica runs all three Paxos roles (proposer, acceptor, learner) in
+/// every process, so a single id addresses all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// Dense index of this replica.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A position in the totally ordered log (a consensus instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// The first slot.
+    pub const ZERO: Slot = Slot(0);
+
+    /// The slot after this one.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether a ballot's round is classic or fast (Fast Paxos §3).
+///
+/// In a fast round, acceptors may accept values sent directly by
+/// proposers (saving one message delay); deciding then requires the
+/// larger fast quorum ⌈3N/4⌉ instead of the classic majority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BallotClass {
+    /// Classic round: coordinator relays, majority quorum decides.
+    Classic,
+    /// Fast round: proposers address acceptors directly, ⌈3N/4⌉ decides.
+    Fast,
+}
+
+/// A ballot (round) number, totally ordered by `(round, node)`.
+///
+/// The class is carried alongside but does not participate in the
+/// ordering: round numbers are unique per coordinator, and a coordinator
+/// never issues the same round with two classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ballot {
+    /// Monotone counter, the dominant ordering key.
+    pub round: u64,
+    /// Coordinator that owns the ballot, breaking ties.
+    pub node: ReplicaId,
+    /// Fast or classic.
+    pub class: BallotClass,
+}
+
+impl Ballot {
+    /// The ballot below all real ballots; acceptors start here.
+    pub const BOTTOM: Ballot = Ballot {
+        round: 0,
+        node: ReplicaId(0),
+        class: BallotClass::Classic,
+    };
+
+    /// Creates a classic ballot.
+    pub fn classic(round: u64, node: ReplicaId) -> Ballot {
+        Ballot {
+            round,
+            node,
+            class: BallotClass::Classic,
+        }
+    }
+
+    /// Creates a fast ballot.
+    pub fn fast(round: u64, node: ReplicaId) -> Ballot {
+        Ballot {
+            round,
+            node,
+            class: BallotClass::Fast,
+        }
+    }
+
+    /// Whether this is a fast ballot.
+    pub fn is_fast(self) -> bool {
+        self.class == BallotClass::Fast
+    }
+}
+
+impl PartialOrd for Ballot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ballot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.round, self.node).cmp(&(other.round, other.node))
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self.class {
+            BallotClass::Classic => "c",
+            BallotClass::Fast => "f",
+        };
+        write!(f, "b{}.{}{}", self.round, self.node.0, c)
+    }
+}
+
+/// Uniquely identifies a client proposal for retry deduplication.
+///
+/// Fast Paxos may orphan a proposal (collision loser) or decide it twice
+/// under proposer retries; learners deliver each id at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProposalId {
+    /// Replica whose proposer issued the proposal.
+    pub node: ReplicaId,
+    /// Process incarnation of the proposer. A restarted replica proposes
+    /// under a fresh epoch, so its ids never collide with pre-crash ones
+    /// (which may already be in the delivered-dedup set at learners).
+    pub epoch: u64,
+    /// Per-proposer sequence number within the epoch.
+    pub seq: u64,
+}
+
+impl fmt::Display for ProposalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}.{}.{}", self.node.0, self.epoch, self.seq)
+    }
+}
+
+/// What a slot can hold: a real proposal or a gap-filling no-op.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Decree<V> {
+    /// A no-op used by new leaders to finish unclaimed slots.
+    Noop,
+    /// A client proposal.
+    Value(ProposalId, V),
+}
+
+impl<V> Decree<V> {
+    /// The proposal id, if this is a real value.
+    pub fn proposal_id(&self) -> Option<ProposalId> {
+        match self {
+            Decree::Noop => None,
+            Decree::Value(pid, _) => Some(*pid),
+        }
+    }
+}
+
+/// Quorum arithmetic for `n` replicas, per the paper (§2):
+/// fast quorum ⌈3N/4⌉, classic quorum ⌊N/2⌋+1.
+///
+/// ```
+/// use paxos::Quorums;
+/// let q = Quorums::new(5);
+/// assert_eq!(q.classic(), 3);
+/// assert_eq!(q.fast(), 4);
+/// // The paper's mode rule: fast while ≥4 of 5 work, classic down to 3.
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quorums {
+    n: usize,
+}
+
+impl Quorums {
+    /// Creates quorum arithmetic for an ensemble of `n` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Quorums {
+        assert!(n > 0, "ensemble must have at least one replica");
+        Quorums { n }
+    }
+
+    /// Ensemble size `N`.
+    pub fn n(self) -> usize {
+        self.n
+    }
+
+    /// Classic quorum ⌊N/2⌋+1.
+    pub fn classic(self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Fast quorum ⌈3N/4⌉.
+    pub fn fast(self) -> usize {
+        (3 * self.n).div_ceil(4)
+    }
+
+    /// Minimum overlap between a classic quorum `Q` and any fast quorum:
+    /// `|Q| + fast − N`. A value is *choosable* in a fast round only if at
+    /// least this many members of `Q` report having accepted it (Fast
+    /// Paxos rule O4); at most one value can reach this bound.
+    pub fn recovery_threshold(self, q_size: usize) -> usize {
+        (q_size + self.fast()).saturating_sub(self.n).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_total_order_ignores_class() {
+        let a = Ballot::classic(1, ReplicaId(0));
+        let b = Ballot::fast(1, ReplicaId(1));
+        let c = Ballot::classic(2, ReplicaId(0));
+        assert!(a < b && b < c);
+        assert!(Ballot::BOTTOM < a);
+    }
+
+    #[test]
+    fn quorum_sizes_match_paper() {
+        // Paper deployments: 4..12 replicas; key claims for 5 and 8.
+        let q5 = Quorums::new(5);
+        assert_eq!(q5.classic(), 3);
+        assert_eq!(q5.fast(), 4);
+        let q8 = Quorums::new(8);
+        assert_eq!(q8.classic(), 5);
+        assert_eq!(q8.fast(), 6);
+        let q4 = Quorums::new(4);
+        assert_eq!(q4.classic(), 3);
+        assert_eq!(q4.fast(), 3);
+        let q12 = Quorums::new(12);
+        assert_eq!(q12.classic(), 7);
+        assert_eq!(q12.fast(), 9);
+    }
+
+    #[test]
+    fn recovery_threshold_unique_winner() {
+        // For every ensemble size used in the paper, the O4 threshold must
+        // guarantee at most one choosable value in a classic quorum.
+        for n in 3..=12 {
+            let q = Quorums::new(n);
+            let t = q.recovery_threshold(q.classic());
+            assert!(2 * t > q.classic(), "n={n}: threshold {t} not unique");
+        }
+    }
+
+    #[test]
+    fn slot_next_advances() {
+        assert_eq!(Slot::ZERO.next(), Slot(1));
+        assert!(Slot(3) < Slot(4));
+    }
+
+    #[test]
+    fn decree_proposal_id() {
+        let pid = ProposalId {
+            node: ReplicaId(1),
+            epoch: 0,
+            seq: 9,
+        };
+        assert_eq!(Decree::Value(pid, "x").proposal_id(), Some(pid));
+        assert_eq!(Decree::<&str>::Noop.proposal_id(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReplicaId(2).to_string(), "r2");
+        assert_eq!(Slot(7).to_string(), "s7");
+        assert_eq!(Ballot::fast(3, ReplicaId(1)).to_string(), "b3.1f");
+        assert_eq!(
+            ProposalId {
+                node: ReplicaId(0),
+                epoch: 1,
+                seq: 4
+            }
+            .to_string(),
+            "p0.1.4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_ensemble_panics() {
+        Quorums::new(0);
+    }
+}

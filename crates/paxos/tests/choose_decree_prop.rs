@@ -1,0 +1,106 @@
+//! Property tests of the Fast Paxos recovery value-choice rule (O4):
+//! if any value *could* have been chosen in the sampled fast round, the
+//! coordinator must pick exactly that value.
+
+use proptest::prelude::*;
+
+use paxos::{choose_decree, AcceptedReport, Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
+
+fn pid(seq: u64) -> ProposalId {
+    ProposalId {
+        node: ReplicaId((seq % 3) as u32),
+        epoch: 0,
+        seq,
+    }
+}
+
+proptest! {
+    /// For every ensemble size and vote split: if some value was
+    /// accepted by a full fast quorum among ALL acceptors, then any
+    /// classic-quorum sample of those votes must force that value.
+    #[test]
+    fn chosen_values_always_recovered(
+        n in 4usize..=12,
+        winner_value in 0u64..3,
+        seed in 0u64..1000,
+    ) {
+        let quorums = Quorums::new(n);
+        let fast_ballot = Ballot::fast(1, ReplicaId(0));
+        // Build full vote assignment: a fast quorum votes for the
+        // winner; the rest vote for other values.
+        let fq = quorums.fast();
+        let mut votes: Vec<(ReplicaId, u64)> = Vec::new();
+        for i in 0..n {
+            let value = if i < fq { winner_value } else { (winner_value + 1 + (i as u64 % 2)) % 3 };
+            votes.push((ReplicaId(i as u32), value));
+        }
+        // Sample any classic quorum (rotate by seed).
+        let q = quorums.classic();
+        let start = (seed as usize) % n;
+        let sample: Vec<(ReplicaId, u64)> = (0..q).map(|k| votes[(start + k) % n]).collect();
+        let reports: Vec<AcceptedReport<u64>> = sample
+            .iter()
+            .map(|(_, v)| AcceptedReport {
+                slot: Slot(0),
+                ballot: fast_ballot,
+                decree: Decree::Value(pid(*v), *v),
+            })
+            .collect();
+        let decree = choose_decree(&reports, q, quorums);
+        // The winner was chosen by a full fast quorum, so the sample
+        // must force it.
+        prop_assert_eq!(
+            decree,
+            Decree::Value(pid(winner_value), winner_value),
+            "sample {:?} failed to recover the chosen value", sample
+        );
+    }
+
+    /// choose_decree never invents values: whatever it returns was in
+    /// the reports (or Noop when there were none).
+    #[test]
+    fn never_invents_values(
+        n in 4usize..=12,
+        values in proptest::collection::vec(0u64..5, 0..8),
+    ) {
+        let quorums = Quorums::new(n);
+        let fast_ballot = Ballot::fast(1, ReplicaId(0));
+        let reports: Vec<AcceptedReport<u64>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| AcceptedReport {
+                slot: Slot(0),
+                ballot: if i % 3 == 0 { Ballot::classic(0, ReplicaId(1)) } else { fast_ballot },
+                decree: Decree::Value(pid(*v), *v),
+            })
+            .collect();
+        let decree = choose_decree(&reports, quorums.classic(), quorums);
+        match decree {
+            Decree::Noop => prop_assert!(values.is_empty() || !reports.is_empty()),
+            Decree::Value(_, v) => prop_assert!(values.contains(&v)),
+        }
+    }
+
+    /// Classic reports always dominate older fast reports (higher
+    /// ballot wins regardless of counts).
+    #[test]
+    fn higher_classic_ballot_dominates(count_old in 1usize..6) {
+        let quorums = Quorums::new(8);
+        let old_fast = Ballot::fast(1, ReplicaId(0));
+        let new_classic = Ballot::classic(2, ReplicaId(1));
+        let mut reports: Vec<AcceptedReport<u64>> = (0..count_old)
+            .map(|_| AcceptedReport {
+                slot: Slot(3),
+                ballot: old_fast,
+                decree: Decree::Value(pid(1), 1),
+            })
+            .collect();
+        reports.push(AcceptedReport {
+            slot: Slot(3),
+            ballot: new_classic,
+            decree: Decree::Value(pid(2), 2),
+        });
+        let decree = choose_decree(&reports, quorums.classic(), quorums);
+        prop_assert_eq!(decree, Decree::Value(pid(2), 2));
+    }
+}

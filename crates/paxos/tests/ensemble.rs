@@ -1,0 +1,532 @@
+//! Whole-ensemble protocol tests.
+//!
+//! A tiny deterministic harness drives N `Replica`s with synchronous
+//! message delivery and immediate persistence completion. It checks the
+//! two properties the middleware depends on:
+//!
+//! * **agreement / total order** — delivered sequences at all replicas
+//!   are consistent prefixes of one another;
+//! * **exactly-once** — no proposal id is delivered twice at a replica.
+
+use std::collections::VecDeque;
+
+use paxos::{Effect, Mode, Msg, PaxosConfig, ProposalId, Record, Replica, ReplicaId, Slot};
+
+type Value = u64;
+
+/// Deterministic in-memory ensemble driver.
+struct Ensemble {
+    replicas: Vec<Option<Replica<Value>>>,
+    /// Durable acceptor log per node (survives crashes).
+    logs: Vec<Vec<Record<Value>>>,
+    /// Delivered (slot, pid, value) per node, in delivery order.
+    delivered: Vec<Vec<(Slot, ProposalId, Value)>>,
+    inboxes: Vec<VecDeque<(ReplicaId, Msg<Value>)>>,
+    config: PaxosConfig,
+    now: u64,
+    epochs: Vec<u64>,
+}
+
+impl Ensemble {
+    fn new(config: PaxosConfig) -> Self {
+        let n = config.n;
+        Ensemble {
+            replicas: (0..n)
+                .map(|i| Some(Replica::new(ReplicaId(i as u32), config.clone(), 0)))
+                .collect(),
+            logs: vec![Vec::new(); n],
+            delivered: vec![Vec::new(); n],
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            config,
+            now: 0,
+            epochs: vec![0; n],
+        }
+    }
+
+    fn apply_effects(&mut self, node: usize, effects: Vec<Effect<Value>>) {
+        let mut queue = VecDeque::from(effects);
+        while let Some(effect) = queue.pop_front() {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if self.replicas[to.index()].is_some() {
+                        self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg));
+                    }
+                }
+                Effect::Persist { record, token } => {
+                    // Synchronous "disk": durable immediately.
+                    self.logs[node].push(record);
+                    if let Some(r) = self.replicas[node].as_mut() {
+                        queue.extend(r.on_persisted(token));
+                    }
+                }
+                Effect::Deliver { slot, pid, value } => {
+                    self.delivered[node].push((slot, pid, value));
+                }
+            }
+        }
+    }
+
+    /// Drains all inboxes until quiescent.
+    fn settle(&mut self) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.replicas.len() {
+                while let Some((from, msg)) = self.inboxes[i].pop_front() {
+                    progressed = true;
+                    if let Some(r) = self.replicas[i].as_mut() {
+                        let fx = r.on_message(from, msg, self.now);
+                        self.apply_effects(i, fx);
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Advances time by `dt` µs, ticking every replica and settling.
+    fn step(&mut self, dt: u64) {
+        self.now += dt;
+        for i in 0..self.replicas.len() {
+            if let Some(r) = self.replicas[i].as_mut() {
+                let fx = r.on_tick(self.now);
+                self.apply_effects(i, fx);
+            }
+        }
+        self.settle();
+    }
+
+    /// Runs `steps` ticks of `dt` µs each.
+    fn run(&mut self, steps: usize, dt: u64) {
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    fn propose(&mut self, node: usize, value: Value) -> ProposalId {
+        let (pid, fx) = self.replicas[node]
+            .as_mut()
+            .expect("proposing on a live node")
+            .propose(value);
+        self.apply_effects(node, fx);
+        self.settle();
+        pid
+    }
+
+    fn crash(&mut self, node: usize) {
+        self.replicas[node] = None;
+        self.inboxes[node].clear();
+    }
+
+    /// Restarts a crashed node from its durable log; `start_slot` is the
+    /// application checkpoint watermark (0 = replay everything via
+    /// catch-up from peers).
+    fn restart(&mut self, node: usize, start_slot: Slot) {
+        assert!(self.replicas[node].is_none());
+        self.epochs[node] += 1;
+        let r = Replica::recover(
+            ReplicaId(node as u32),
+            self.config.clone(),
+            self.logs[node].iter(),
+            start_slot,
+            self.epochs[node],
+            self.now,
+        );
+        self.replicas[node] = Some(r);
+        self.delivered[node].clear(); // fresh incarnation delivers from start_slot
+    }
+
+    /// Asserts all live replicas' delivered sequences are consistent
+    /// prefixes (same slots in the same order with the same values).
+    fn assert_agreement(&self) {
+        let seqs: Vec<&Vec<(Slot, ProposalId, Value)>> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| &self.delivered[i])
+            .collect();
+        for w in seqs.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Align by slot: a checkpoint-recovered replica starts
+            // delivering mid-log, so compare the overlapping slot range.
+            for (slot, pid, value) in a.iter() {
+                if let Some((_, pid2, value2)) = b.iter().find(|(s2, _, _)| s2 == slot) {
+                    assert_eq!((pid, value), (pid2, value2), "divergence at {slot:?}");
+                }
+            }
+        }
+        // Exactly-once per replica.
+        for d in &self.delivered {
+            let mut pids: Vec<ProposalId> = d.iter().map(|(_, p, _)| *p).collect();
+            pids.sort();
+            pids.dedup();
+            assert_eq!(pids.len(), d.len(), "duplicate delivery");
+        }
+    }
+
+    fn max_delivered(&self) -> usize {
+        self.delivered.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn live_status(&self, node: usize) -> paxos::ReplicaStatus {
+        self.replicas[node].as_ref().unwrap().status()
+    }
+}
+
+const TICK: u64 = 20_000; // 20 ms
+
+fn stabilized(config: PaxosConfig) -> Ensemble {
+    let mut e = Ensemble::new(config);
+    e.run(30, TICK); // 600 ms: election + Any propagation
+    e
+}
+
+#[test]
+fn classic_ensemble_decides_and_agrees() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    for i in 0..20 {
+        e.propose((i % 5) as usize, 100 + i);
+    }
+    e.run(10, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 20, "all proposals decided");
+    for node in 0..5 {
+        assert_eq!(e.delivered[node].len(), 20);
+    }
+}
+
+#[test]
+fn fast_mode_engages_with_full_ensemble() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    let st = e.live_status(1);
+    assert_eq!(st.mode, Mode::Fast);
+    e.propose(3, 7);
+    e.run(5, TICK);
+    assert_eq!(e.delivered[3].len(), 1);
+    e.assert_agreement();
+}
+
+#[test]
+fn fast_mode_handles_concurrent_proposers() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    // Interleave proposals from every node before settling fully: the
+    // harness settles after each, but retries/collisions still exercise
+    // the recovery path across ticks.
+    for round in 0..10u64 {
+        for node in 0..5usize {
+            let (pid, fx) = e.replicas[node].as_mut().unwrap().propose(round * 10 + node as u64);
+            let _ = pid;
+            e.apply_effects(node, fx);
+        }
+        e.settle();
+    }
+    e.run(100, TICK); // let collision recovery + retries finish
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 50, "every proposal eventually decided");
+}
+
+#[test]
+fn leader_crash_elects_new_leader_and_continues() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    let leader0 = (0..5).find(|&i| e.live_status(i).leading).expect("a leader");
+    assert_eq!(leader0, 0, "lowest id leads first");
+    e.propose(2, 1);
+    e.crash(0);
+    e.run(40, TICK); // fd timeout + re-election
+    let leader1 = (1..5).find(|&i| e.live_status(i).leading).expect("new leader");
+    assert_eq!(leader1, 1);
+    e.propose(2, 2);
+    e.run(10, TICK);
+    e.assert_agreement();
+    let d = &e.delivered[2];
+    assert!(d.iter().any(|(_, _, v)| *v == 2), "post-failover proposal decided");
+}
+
+#[test]
+fn fast_falls_back_to_classic_below_fast_quorum() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    assert_eq!(e.live_status(0).mode, Mode::Fast);
+    // Crash 2 of 5: alive = 3 < fast quorum 4, ≥ majority 3.
+    e.crash(3);
+    e.crash(4);
+    e.run(40, TICK);
+    assert_eq!(e.live_status(0).mode, Mode::Classic);
+    e.propose(1, 42);
+    e.run(20, TICK);
+    e.assert_agreement();
+    assert!(e.delivered[1].iter().any(|(_, _, v)| *v == 42));
+}
+
+#[test]
+fn blocked_below_majority_until_recovery() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    for i in 0..3 {
+        e.propose(0, i);
+    }
+    e.run(10, TICK);
+    let before = e.max_delivered();
+    assert_eq!(before, 3);
+    e.crash(2);
+    e.crash(3);
+    e.crash(4);
+    e.run(40, TICK);
+    assert_eq!(e.live_status(0).mode, Mode::Blocked);
+    e.propose(0, 99);
+    e.run(50, TICK);
+    assert_eq!(
+        e.delivered[0].len(),
+        before,
+        "no progress while below majority"
+    );
+    // Recover one: majority again.
+    e.restart(2, Slot::ZERO);
+    e.run(80, TICK);
+    assert!(
+        e.delivered[0].iter().any(|(_, _, v)| *v == 99),
+        "parked proposal decided after recovery"
+    );
+    e.assert_agreement();
+}
+
+#[test]
+fn recovered_replica_catches_up_from_peers() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    e.crash(4);
+    e.run(40, TICK);
+    for i in 0..30 {
+        e.propose(i as usize % 4, 1000 + i);
+    }
+    e.run(10, TICK);
+    assert_eq!(e.delivered[0].len(), 30);
+    e.restart(4, Slot::ZERO);
+    e.run(100, TICK); // heartbeat lag detection + LearnRequest loop
+    assert_eq!(
+        e.delivered[4].len(),
+        30,
+        "recovered replica must learn the whole backlog"
+    );
+    e.assert_agreement();
+}
+
+#[test]
+fn two_simultaneous_crashes_and_recoveries() {
+    // The paper's §5.5 faultload shape at the consensus layer.
+    let mut e = stabilized(PaxosConfig::lan(5));
+    for i in 0..10 {
+        e.propose(i as usize % 5, i);
+    }
+    e.run(10, TICK);
+    e.crash(1);
+    e.crash(2);
+    e.run(40, TICK);
+    for i in 10..20 {
+        e.propose(i as usize % 2 * 3, i); // nodes 0 and 3
+    }
+    e.run(20, TICK);
+    e.restart(1, Slot::ZERO);
+    e.restart(2, Slot::ZERO);
+    e.run(120, TICK);
+    for i in 20..25 {
+        e.propose(1, i);
+    }
+    e.run(60, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 25);
+    assert_eq!(e.delivered[1].len(), 25, "recovered replica fully synced");
+}
+
+#[test]
+fn recovering_with_checkpoint_watermark_skips_prefix() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    for i in 0..10 {
+        e.propose(0, i);
+    }
+    e.run(10, TICK);
+    let watermark = e.replicas[4].as_ref().unwrap().decided_upto();
+    e.crash(4);
+    e.run(40, TICK);
+    for i in 10..15 {
+        e.propose(0, i);
+    }
+    e.run(10, TICK);
+    // Recover from a checkpoint at the watermark: only the suffix is
+    // re-learned and re-delivered.
+    e.restart(4, watermark);
+    e.run(100, TICK);
+    let d = &e.delivered[4];
+    assert_eq!(d.len(), 5, "only post-checkpoint slots re-delivered");
+    assert!(d.iter().all(|(s, _, _)| *s >= watermark));
+    e.assert_agreement();
+}
+
+#[test]
+fn classic_only_config_never_uses_fast_ballots() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    e.propose(0, 1);
+    e.run(10, TICK);
+    for i in 0..5 {
+        let st = e.live_status(i);
+        assert!(!st.ballot.is_fast(), "classic-only must not use fast ballots");
+    }
+}
+
+#[test]
+fn pending_proposals_drain_to_zero() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    for i in 0..25 {
+        e.propose(i as usize % 5, i);
+    }
+    e.run(120, TICK);
+    for i in 0..5 {
+        assert_eq!(
+            e.live_status(i).pending_proposals,
+            0,
+            "replica {i} still has pending proposals"
+        );
+    }
+}
+
+#[test]
+fn four_replica_ensemble_matches_paper_minimum() {
+    // The paper's baseline deployment is 4 replicas (fast quorum 3).
+    let mut e = stabilized(PaxosConfig::lan(4));
+    assert_eq!(e.live_status(0).mode, Mode::Fast);
+    for i in 0..12 {
+        e.propose(i as usize % 4, i);
+    }
+    e.run(60, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 12);
+    // One crash: 3 alive = fast quorum exactly → still Fast.
+    e.crash(3);
+    e.run(40, TICK);
+    assert_eq!(e.live_status(0).mode, Mode::Fast);
+    e.propose(0, 99);
+    e.run(60, TICK);
+    assert!(e.delivered[0].iter().any(|(_, _, v)| *v == 99));
+}
+
+#[test]
+fn twelve_replica_ensemble_scales() {
+    // Largest deployment in the paper's speedup experiments.
+    let mut e = stabilized(PaxosConfig::lan(12));
+    for i in 0..24 {
+        e.propose(i as usize % 12, i);
+    }
+    e.run(80, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 24);
+}
+
+#[test]
+#[ignore]
+fn debug_two_crashes() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    for i in 0..10 {
+        e.propose(i as usize % 5, i);
+    }
+    e.run(10, TICK);
+    println!("after first 10: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    e.crash(1);
+    e.crash(2);
+    e.run(40, TICK);
+    println!("mode at 0: {:?}", e.live_status(0));
+    for i in 10..20 {
+        e.propose(i as usize % 2 * 3, i);
+    }
+    e.run(20, TICK);
+    println!("after 20: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    e.restart(1, Slot::ZERO);
+    e.restart(2, Slot::ZERO);
+    e.run(120, TICK);
+    println!("after restart: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    for i in 20..25 {
+        e.propose(1, i);
+    }
+    e.run(60, TICK);
+    println!("end: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    for i in 0..5 { println!("status {i}: {:?}", e.live_status(i)); }
+}
+
+#[test]
+fn survives_heavy_deterministic_message_loss() {
+    // Drop every 7th message systematically: retries, re-elections and
+    // catch-up must still decide everything exactly once.
+    let mut e = stabilized(PaxosConfig::lan(5));
+    let mut drop_counter = 0u64;
+    for i in 0..30u64 {
+        let node = (i % 5) as usize;
+        let (_pid, fx) = e.replicas[node].as_mut().unwrap().propose(i);
+        // Filter the effects: drop every 7th send.
+        let filtered: Vec<_> = fx
+            .into_iter()
+            .filter(|eff| {
+                if matches!(eff, Effect::Send { .. }) {
+                    drop_counter += 1;
+                    drop_counter % 7 != 0
+                } else {
+                    true
+                }
+            })
+            .collect();
+        e.apply_effects(node, filtered);
+        e.settle();
+        e.step(TICK);
+    }
+    e.run(400, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 30, "all proposals decided despite loss");
+    for i in 0..5 {
+        assert_eq!(e.live_status(i).pending_proposals, 0);
+    }
+}
+
+#[test]
+fn nudge_rebroadcasts_pending_proposal() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    // Submit but drop every outgoing send: the proposal stays pending.
+    let (pid, fx) = e.replicas[0].as_mut().unwrap().propose(7);
+    let filtered: Vec<_> = fx
+        .into_iter()
+        .filter(|eff| !matches!(eff, Effect::Send { .. }))
+        .collect();
+    e.apply_effects(0, filtered);
+    e.settle();
+    assert_eq!(e.delivered[0].len(), 0, "suppressed proposal undelivered");
+    // Nudge resubmits immediately (no retry-timer wait).
+    let fx = e.replicas[0].as_mut().unwrap().nudge(pid);
+    assert!(!fx.is_empty(), "nudge must emit sends");
+    e.apply_effects(0, fx);
+    e.settle();
+    e.run(5, TICK);
+    assert_eq!(e.delivered[0].len(), 1);
+    // Nudging a delivered proposal is a no-op.
+    assert!(e.replicas[0].as_mut().unwrap().nudge(pid).is_empty());
+}
+
+#[test]
+fn gap_left_by_downtime_is_repaired() {
+    // Regression (found by the schedule proptest): slots decided while
+    // a replica is down leave a delivery gap that ongoing traffic can
+    // never fill; small gaps below the catch-up lag threshold must be
+    // fetched explicitly or delivery deadlocks behind the hole.
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    e.crash(4);
+    e.crash(3);
+    e.propose(0, 100); // decided while 3 and 4 are down → their gap
+    e.restart(3, Slot::ZERO);
+    e.propose(3, 101);
+    e.restart(4, Slot::ZERO);
+    e.run(200, TICK);
+    e.assert_agreement();
+    assert_eq!(
+        e.delivered.iter().map(Vec::len).collect::<Vec<_>>(),
+        vec![2, 2, 2, 2, 2],
+        "every replica fills the gap and delivers both proposals"
+    );
+    for i in 0..5 {
+        assert_eq!(e.live_status(i).pending_proposals, 0);
+    }
+}

@@ -1,0 +1,697 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] owns the event queue, the network and disk models, node
+//! lifecycle state, and the run's seeded random number generator. It does
+//! *not* own the protocol actors: a driver (see the `cluster` crate) pops
+//! events with [`Engine::next_event_before`] and dispatches them to its
+//! own actor structures, passing the engine back in so handlers can send
+//! messages, set timers, and issue disk operations.
+//!
+//! Determinism: all randomness flows through one `StdRng` seeded at
+//! construction, and ties in the event queue are broken by a monotonically
+//! increasing sequence number, so a run is a pure function of
+//! `(seed, configuration, driver logic)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::disk::{DiskConfig, DiskModel, StableOp, StableStore};
+use crate::net::{NetConfig, Network, Transmission};
+use crate::node::{Incarnation, NodeId, NodeState, NodeStatus};
+use crate::time::{SimDuration, SimTime};
+
+/// An observable event delivered to the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A network message has arrived at `to`.
+    Message {
+        /// Sender.
+        from: NodeId,
+        /// Receiver (up at delivery time).
+        to: NodeId,
+        /// Payload.
+        payload: M,
+    },
+    /// A timer set by the current incarnation of `node` has fired.
+    Timer {
+        /// Owner of the timer.
+        node: NodeId,
+        /// Caller-chosen token identifying the timer.
+        token: u64,
+    },
+    /// A durable write issued by the current incarnation has completed;
+    /// its mutation is now visible in the node's [`StableStore`].
+    DiskWriteDone {
+        /// Owner of the disk.
+        node: NodeId,
+        /// Caller-chosen token identifying the write.
+        token: u64,
+    },
+    /// A bulk disk read has completed.
+    DiskReadDone {
+        /// Owner of the disk.
+        node: NodeId,
+        /// Caller-chosen token identifying the read.
+        token: u64,
+        /// The bytes read (`None` if the key did not exist).
+        value: Option<Vec<u8>>,
+    },
+}
+
+#[derive(Debug)]
+enum Pending<M> {
+    Message {
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+    },
+    Timer {
+        node: NodeId,
+        inc: Incarnation,
+        token: u64,
+    },
+    DiskWrite {
+        node: NodeId,
+        inc: Incarnation,
+        token: u64,
+        op: StableOp,
+    },
+    DiskRead {
+        node: NodeId,
+        inc: Incarnation,
+        token: u64,
+        key: String,
+    },
+}
+
+#[derive(Debug)]
+struct Entry<M> {
+    at: SimTime,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Network model parameters.
+    pub net: NetConfig,
+    /// Disk model parameters (same for every node, like the paper's
+    /// homogeneous cluster).
+    pub disk: DiskConfig,
+}
+
+/// The discrete-event simulation engine.
+///
+/// ```
+/// use simnet::{Engine, Event, SimConfig, SimDuration, SimTime, NodeId};
+///
+/// let mut engine: Engine<&'static str> = Engine::new(2, SimConfig::default(), 7);
+/// engine.send(NodeId(0), NodeId(1), "ping");
+/// let (t, ev) = engine.next_event_before(SimTime::from_secs(1)).expect("delivery");
+/// assert!(t > SimTime::ZERO);
+/// assert!(matches!(ev, Event::Message { payload: "ping", .. }));
+/// ```
+#[derive(Debug)]
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<M>>>,
+    nodes: Vec<NodeState>,
+    net: Network,
+    disks: Vec<DiskModel>,
+    stores: Vec<StableStore>,
+    rng: StdRng,
+    default_msg_bytes: u64,
+}
+
+impl<M: std::fmt::Debug> Engine<M> {
+    /// Creates an engine with `nodes` node slots, all initially up, and a
+    /// deterministic RNG seeded with `seed`.
+    pub fn new(nodes: usize, config: SimConfig, seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: vec![NodeState::default(); nodes],
+            net: Network::new(config.net),
+            disks: (0..nodes).map(|_| DiskModel::new(config.disk.clone())).collect(),
+            stores: (0..nodes).map(|_| StableStore::new()).collect(),
+            rng: StdRng::seed_from_u64(seed),
+            default_msg_bytes: 512,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of node slots.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The run's random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The network model (for partitions and statistics).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Read access to the network model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].status == NodeStatus::Up
+    }
+
+    /// Lifecycle record of `node`.
+    pub fn node_state(&self, node: NodeId) -> &NodeState {
+        &self.nodes[node.index()]
+    }
+
+    /// Synchronous view of a node's durable storage.
+    ///
+    /// Reading this does not model latency; use [`Engine::disk_read`] when
+    /// the read cost matters (e.g. checkpoint loading during recovery).
+    pub fn store(&self, node: NodeId) -> &StableStore {
+        &self.stores[node.index()]
+    }
+
+    /// The node's disk statistics.
+    pub fn disk(&self, node: NodeId) -> &DiskModel {
+        &self.disks[node.index()]
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, pending }));
+    }
+
+    /// Sends `payload` from `from` to `to` with the default size hint.
+    ///
+    /// Silently does nothing if `from` is down (a dead process sends no
+    /// messages). The message may be dropped by the network model.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        self.send_sized(from, to, payload, self.default_msg_bytes);
+    }
+
+    /// Sends with an explicit wire size in bytes (drives serialization
+    /// latency; large state-transfer messages should use this).
+    pub fn send_sized(&mut self, from: NodeId, to: NodeId, payload: M, bytes: u64) {
+        if !self.is_up(from) {
+            return;
+        }
+        match self.net.transmit(&mut self.rng, from, to, bytes) {
+            Transmission::Deliver(delay) => {
+                let at = self.now + delay;
+                self.push(at, Pending::Message { from, to, payload });
+            }
+            Transmission::Dropped => {}
+        }
+    }
+
+    /// Sets a timer for the *current incarnation* of `node`; it fires as
+    /// [`Event::Timer`] after `after`, unless the node crashes first.
+    pub fn set_timer(&mut self, node: NodeId, after: SimDuration, token: u64) {
+        let inc = self.nodes[node.index()].incarnation;
+        let at = self.now + after;
+        self.push(at, Pending::Timer { node, inc, token });
+    }
+
+    /// Issues a durable write for the current incarnation of `node`.
+    ///
+    /// The mutation becomes visible in the node's [`StableStore`] at the
+    /// completion time, when [`Event::DiskWriteDone`] is delivered. If the
+    /// node crashes before completion the write is lost entirely.
+    pub fn disk_write(&mut self, node: NodeId, op: StableOp, token: u64) {
+        if !self.is_up(node) {
+            return;
+        }
+        let inc = self.nodes[node.index()].incarnation;
+        let latency = self.disks[node.index()].write_latency(&op);
+        let at = self.now + latency;
+        self.push(at, Pending::DiskWrite { node, inc, token, op });
+    }
+
+    /// Issues a bulk read of `key` from the node's key/value area; the
+    /// latency is proportional to the key's modeled size (its nominal
+    /// override when set). Completes as [`Event::DiskReadDone`].
+    pub fn disk_read(&mut self, node: NodeId, key: &str, token: u64) {
+        if !self.is_up(node) {
+            return;
+        }
+        let inc = self.nodes[node.index()].incarnation;
+        let bytes = self.stores[node.index()].nominal_size(key);
+        let latency = self.disks[node.index()].read_latency(bytes);
+        let at = self.now + latency;
+        self.push(
+            at,
+            Pending::DiskRead {
+                node,
+                inc,
+                token,
+                key: key.to_string(),
+            },
+        );
+    }
+
+    /// Issues a raw bulk read of `bytes` from the node's disk with no key
+    /// (e.g. replaying a whole log file); completes as
+    /// [`Event::DiskReadDone`] with `value: None`.
+    pub fn disk_read_raw(&mut self, node: NodeId, bytes: u64, token: u64) {
+        if !self.is_up(node) {
+            return;
+        }
+        let inc = self.nodes[node.index()].incarnation;
+        let latency = self.disks[node.index()].read_latency(bytes);
+        let at = self.now + latency;
+        self.push(
+            at,
+            Pending::DiskRead {
+                node,
+                inc,
+                token,
+                key: String::new(),
+            },
+        );
+    }
+
+    /// Durably sets the modeled size of `key` on the node's disk
+    /// (latency-free; pair with the write that created the key).
+    pub fn set_nominal(&mut self, node: NodeId, key: &str, bytes: u64) {
+        self.stores[node.index()].set_nominal(key, bytes);
+    }
+
+    /// Crashes `node`: its volatile state is gone (the driver must drop
+    /// its actor), in-flight timers and disk operations are discarded, and
+    /// in-flight messages addressed to it will be dropped on arrival while
+    /// it remains down. Stable storage survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already down — faultloads are expressed
+    /// against live replicas.
+    pub fn crash(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        assert_eq!(state.status, NodeStatus::Up, "crash of a down node {node}");
+        state.status = NodeStatus::Down;
+        state.crashes += 1;
+    }
+
+    /// Restarts `node` with a fresh incarnation. The driver must construct
+    /// a fresh actor that recovers from the node's [`StableStore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already up.
+    pub fn restart(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        assert_eq!(state.status, NodeStatus::Down, "restart of an up node {node}");
+        state.status = NodeStatus::Up;
+        state.incarnation = state.incarnation.next();
+    }
+
+    /// Pops the next observable event at or before `limit`.
+    ///
+    /// Advances the clock to the event's time and returns it, discarding
+    /// stale entries (timers/disk completions from dead incarnations,
+    /// messages to down nodes) along the way. Returns `None` — with the
+    /// clock advanced to `limit` — when no event remains before the limit.
+    pub fn next_event_before(&mut self, limit: SimTime) -> Option<(SimTime, Event<M>)> {
+        loop {
+            match self.heap.peek() {
+                None => {
+                    self.now = limit.max(self.now);
+                    return None;
+                }
+                Some(Reverse(entry)) if entry.at > limit => {
+                    self.now = limit.max(self.now);
+                    return None;
+                }
+                Some(_) => {}
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry");
+            self.now = entry.at;
+            match entry.pending {
+                Pending::Message { from, to, payload } => {
+                    if self.is_up(to) {
+                        return Some((self.now, Event::Message { from, to, payload }));
+                    }
+                }
+                Pending::Timer { node, inc, token } => {
+                    if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        return Some((self.now, Event::Timer { node, token }));
+                    }
+                }
+                Pending::DiskWrite { node, inc, token, op } => {
+                    if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        self.stores[node.index()].apply(op);
+                        return Some((self.now, Event::DiskWriteDone { node, token }));
+                    }
+                }
+                Pending::DiskRead { node, inc, token, key } => {
+                    if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        let value = if key.is_empty() {
+                            None
+                        } else {
+                            self.stores[node.index()].get(&key).map(<[u8]>::to_vec)
+                        };
+                        return Some((self.now, Event::DiskReadDone { node, token, value }));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of events still queued (including entries that may prove
+    /// stale when popped).
+    pub fn queued_events(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = Engine<u32>;
+
+    fn engine(nodes: usize) -> E {
+        Engine::new(nodes, SimConfig::default(), 99)
+    }
+
+    fn drain(e: &mut E, limit: SimTime) -> Vec<(SimTime, Event<u32>)> {
+        let mut out = Vec::new();
+        while let Some(ev) = e.next_event_before(limit) {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn message_delivery_advances_clock() {
+        let mut e = engine(2);
+        e.send(NodeId(0), NodeId(1), 7);
+        let (t, ev) = e.next_event_before(SimTime::from_secs(1)).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(
+            ev,
+            Event::Message {
+                from: NodeId(0),
+                to: NodeId(1),
+                payload: 7
+            }
+        );
+        assert_eq!(e.now(), t);
+    }
+
+    #[test]
+    fn no_event_before_limit_advances_to_limit() {
+        let mut e = engine(1);
+        assert!(e.next_event_before(SimTime::from_secs(5)).is_none());
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut e = engine(2);
+        e.set_timer(NodeId(0), SimDuration::from_millis(10), 1);
+        e.set_timer(NodeId(0), SimDuration::from_millis(5), 2);
+        e.set_timer(NodeId(0), SimDuration::from_millis(5), 3);
+        let evs = drain(&mut e, SimTime::from_secs(1));
+        let tokens: Vec<u64> = evs
+            .iter()
+            .map(|(_, ev)| match ev {
+                Event::Timer { token, .. } => *token,
+                _ => panic!("expected timer"),
+            })
+            .collect();
+        assert_eq!(tokens, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut e = engine(2);
+        e.send(NodeId(0), NodeId(1), 1);
+        e.crash(NodeId(1));
+        assert!(drain(&mut e, SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn crashed_node_sends_nothing() {
+        let mut e = engine(2);
+        e.crash(NodeId(0));
+        e.send(NodeId(0), NodeId(1), 1);
+        assert!(drain(&mut e, SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn message_sent_before_crash_arrives_after_restart() {
+        let mut e = engine(2);
+        e.send(NodeId(0), NodeId(1), 9);
+        e.crash(NodeId(1));
+        e.restart(NodeId(1));
+        let evs = drain(&mut e, SimTime::from_secs(1));
+        assert_eq!(evs.len(), 1, "restarted node should receive the message");
+    }
+
+    #[test]
+    fn stale_timer_discarded_after_restart() {
+        let mut e = engine(1);
+        e.set_timer(NodeId(0), SimDuration::from_millis(1), 42);
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert!(drain(&mut e, SimTime::from_secs(1)).is_empty());
+        // A fresh timer set by the new incarnation does fire.
+        e.set_timer(NodeId(0), SimDuration::from_millis(1), 43);
+        let evs = drain(&mut e, SimTime::from_secs(2));
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn disk_write_durable_only_at_completion() {
+        let mut e = engine(1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            5,
+        );
+        assert_eq!(e.store(NodeId(0)).get("k"), None, "not durable yet");
+        let (_, ev) = e.next_event_before(SimTime::from_secs(1)).unwrap();
+        assert_eq!(ev, Event::DiskWriteDone { node: NodeId(0), token: 5 });
+        assert_eq!(e.store(NodeId(0)).get("k"), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn in_flight_write_lost_on_crash() {
+        let mut e = engine(1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            5,
+        );
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert!(drain(&mut e, SimTime::from_secs(1)).is_empty());
+        assert_eq!(e.store(NodeId(0)).get("k"), None, "write must be lost");
+    }
+
+    #[test]
+    fn stable_store_survives_crash() {
+        let mut e = engine(1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            1,
+        );
+        drain(&mut e, SimTime::from_secs(1));
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert_eq!(e.store(NodeId(0)).get("k"), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn disk_read_latency_proportional_to_size() {
+        let mut e = engine(1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "big".into(),
+                value: vec![0u8; 60_000_000],
+            },
+            1,
+        );
+        drain(&mut e, SimTime::from_secs(10));
+        let start = e.now();
+        e.disk_read(NodeId(0), "big", 2);
+        let (t, ev) = e.next_event_before(SimTime::from_secs(100)).unwrap();
+        match ev {
+            Event::DiskReadDone { value, .. } => {
+                assert_eq!(value.unwrap().len(), 60_000_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // 60 MB at 60 MB/s ~ 1s.
+        let elapsed = t.saturating_since(start);
+        assert!(elapsed >= SimDuration::from_millis(900), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn disk_read_missing_key_returns_none() {
+        let mut e = engine(1);
+        e.disk_read(NodeId(0), "absent", 3);
+        let (_, ev) = e.next_event_before(SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            ev,
+            Event::DiskReadDone {
+                node: NodeId(0),
+                token: 3,
+                value: None
+            }
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut e: E = Engine::new(3, SimConfig::default(), seed);
+            for i in 0..50 {
+                e.send(NodeId(i % 3), NodeId((i + 1) % 3), i as u32);
+            }
+            drain(&mut e, SimTime::from_secs(1))
+                .into_iter()
+                .map(|(t, _)| t.as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should jitter differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "crash of a down node")]
+    fn double_crash_panics() {
+        let mut e = engine(1);
+        e.crash(NodeId(0));
+        e.crash(NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart of an up node")]
+    fn restart_of_up_node_panics() {
+        let mut e = engine(1);
+        e.restart(NodeId(0));
+    }
+
+    #[test]
+    fn crash_counter_increments() {
+        let mut e = engine(1);
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        e.crash(NodeId(0));
+        assert_eq!(e.node_state(NodeId(0)).crashes, 2);
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn raw_read_pays_latency_without_data() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
+        e.disk_read_raw(NodeId(0), 16_000_000, 9);
+        let (t, ev) = e.next_event_before(SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            ev,
+            Event::DiskReadDone { node: NodeId(0), token: 9, value: None }
+        );
+        // 16 MB at the 8 MB/s restore rate ≈ 2 s.
+        assert!(t >= SimTime::from_millis(1_900), "t={t}");
+    }
+
+    #[test]
+    fn nominal_size_drives_keyed_read_latency() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put { key: "ckpt".into(), value: vec![1, 2, 3] },
+            1,
+        );
+        while e.next_event_before(SimTime::from_secs(1)).is_some() {}
+        e.set_nominal(NodeId(0), "ckpt", 8_000_000);
+        let start = e.now();
+        e.disk_read(NodeId(0), "ckpt", 2);
+        let (t, ev) = e.next_event_before(SimTime::from_secs(10)).unwrap();
+        match ev {
+            Event::DiskReadDone { value, .. } => {
+                assert_eq!(value.unwrap(), vec![1, 2, 3], "real bytes returned");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Latency reflects the 8 MB nominal size (~1 s), not 3 bytes.
+        assert!(t.saturating_since(start) >= SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn delete_op_removes_key_and_nominal() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put { key: "old".into(), value: vec![7] },
+            1,
+        );
+        while e.next_event_before(SimTime::from_secs(1)).is_some() {}
+        e.set_nominal(NodeId(0), "old", 999);
+        e.disk_write(NodeId(0), StableOp::Delete { key: "old".into() }, 2);
+        while e.next_event_before(SimTime::from_secs(2)).is_some() {}
+        assert_eq!(e.store(NodeId(0)).get("old"), None);
+        assert_eq!(e.store(NodeId(0)).nominal_size("old"), 0);
+    }
+
+    #[test]
+    fn crashed_node_ignores_reads_and_raw_reads() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
+        e.crash(NodeId(0));
+        e.disk_read(NodeId(0), "x", 1);
+        e.disk_read_raw(NodeId(0), 1_000, 2);
+        assert!(e.next_event_before(SimTime::from_secs(5)).is_none());
+    }
+}

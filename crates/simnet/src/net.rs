@@ -1,0 +1,286 @@
+//! Network model: latency, jitter, bandwidth, loss, and partitions.
+//!
+//! The paper's testbed is an 18-node cluster on a single 1 Gbps Ethernet
+//! switch. We model each point-to-point message with
+//!
+//! ```text
+//! delay = base_latency + jitter + size / bandwidth
+//! ```
+//!
+//! plus optional probabilistic loss and explicit partitions (used by the
+//! fault-injection tests; the paper's faultloads crash whole processes
+//! rather than links, but partitions are needed to exercise Paxos'
+//! liveness behaviour below quorum).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way base latency between any two distinct nodes.
+    pub base_latency: SimDuration,
+    /// Maximum additional uniformly-distributed jitter per message.
+    pub jitter: SimDuration,
+    /// Link bandwidth in bytes per second (1 Gbps Ethernet by default).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Latency for a node sending a message to itself (loopback).
+    pub loopback_latency: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Defaults approximate the paper's switched 1 Gbps LAN.
+        NetConfig {
+            base_latency: SimDuration::from_micros(120),
+            jitter: SimDuration::from_micros(40),
+            bandwidth_bytes_per_sec: 125_000_000,
+            drop_probability: 0.0,
+            loopback_latency: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// Outcome of submitting one message to the network model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmission {
+    /// Deliver after the given one-way delay.
+    Deliver(SimDuration),
+    /// The message is lost (drop or partition).
+    Dropped,
+}
+
+/// The simulated switch: computes delivery delays and tracks partitions.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetConfig,
+    /// Unordered pairs `(min, max)` of nodes that cannot communicate.
+    cut_links: HashSet<(NodeId, NodeId)>,
+    sent: u64,
+    dropped: u64,
+    bytes: u64,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            config,
+            cut_links: HashSet::new(),
+            sent: 0,
+            dropped: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Severs the link between `a` and `b` in both directions.
+    pub fn cut(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.insert(Self::key(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.remove(&Self::key(a, b));
+    }
+
+    /// Severs every link between the two groups, partitioning them.
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.cut(a, b);
+            }
+        }
+    }
+
+    /// Heals all cut links.
+    pub fn heal_all(&mut self) {
+        self.cut_links.clear();
+    }
+
+    /// Whether `a` and `b` can currently exchange messages.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.cut_links.contains(&Self::key(a, b))
+    }
+
+    /// Computes the fate of a `size_bytes` message from `from` to `to`.
+    ///
+    /// Draws jitter (and the drop decision, if configured) from `rng`, so
+    /// outcomes are deterministic for a fixed seed.
+    pub fn transmit<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        from: NodeId,
+        to: NodeId,
+        size_bytes: u64,
+    ) -> Transmission {
+        self.sent += 1;
+        if from != to && !self.connected(from, to) {
+            self.dropped += 1;
+            return Transmission::Dropped;
+        }
+        if self.config.drop_probability > 0.0 && from != to {
+            let p: f64 = rng.gen();
+            if p < self.config.drop_probability {
+                self.dropped += 1;
+                return Transmission::Dropped;
+            }
+        }
+        self.bytes += size_bytes;
+        if from == to {
+            return Transmission::Deliver(self.config.loopback_latency);
+        }
+        let jitter_us = if self.config.jitter.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=self.config.jitter.as_micros())
+        };
+        let serialization =
+            size_bytes.saturating_mul(1_000_000) / self.config.bandwidth_bytes_per_sec.max(1);
+        let delay = self.config.base_latency
+            + SimDuration::from_micros(jitter_us)
+            + SimDuration::from_micros(serialization);
+        Transmission::Deliver(delay)
+    }
+
+    /// Number of messages submitted so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of messages lost to drops or partitions.
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total payload bytes carried (excluding dropped messages).
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn delivery_includes_base_latency_and_serialization() {
+        let mut net = Network::new(NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        });
+        let mut r = rng();
+        match net.transmit(&mut r, NodeId(0), NodeId(1), 125_000_000) {
+            Transmission::Deliver(d) => {
+                // 1 second of serialization at 1 Gbps plus 120us base.
+                assert_eq!(d.as_micros(), 1_000_000 + 120);
+            }
+            Transmission::Dropped => panic!("unexpected drop"),
+        }
+    }
+
+    #[test]
+    fn loopback_is_fast_and_never_partitioned() {
+        let mut net = Network::new(NetConfig::default());
+        net.cut(NodeId(0), NodeId(0));
+        let mut r = rng();
+        match net.transmit(&mut r, NodeId(0), NodeId(0), 100) {
+            Transmission::Deliver(d) => assert_eq!(d, SimDuration::from_micros(10)),
+            Transmission::Dropped => panic!("loopback must not drop"),
+        }
+    }
+
+    #[test]
+    fn partition_drops_both_directions() {
+        let mut net = Network::new(NetConfig::default());
+        net.cut(NodeId(0), NodeId(1));
+        let mut r = rng();
+        assert_eq!(
+            net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+            Transmission::Dropped
+        );
+        assert_eq!(
+            net.transmit(&mut r, NodeId(1), NodeId(0), 1),
+            Transmission::Dropped
+        );
+        net.heal(NodeId(1), NodeId(0));
+        assert!(matches!(
+            net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+            Transmission::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn group_partition_and_heal_all() {
+        let mut net = Network::new(NetConfig::default());
+        net.partition(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert!(!net.connected(NodeId(0), NodeId(2)));
+        assert!(!net.connected(NodeId(1), NodeId(2)));
+        assert!(net.connected(NodeId(0), NodeId(1)));
+        net.heal_all();
+        assert!(net.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut net = Network::new(NetConfig {
+            drop_probability: 1.0,
+            ..NetConfig::default()
+        });
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+                Transmission::Dropped
+            );
+        }
+        assert_eq!(net.messages_dropped(), 10);
+    }
+
+    #[test]
+    fn counters_track_sent_and_bytes() {
+        let mut net = Network::new(NetConfig::default());
+        let mut r = rng();
+        net.transmit(&mut r, NodeId(0), NodeId(1), 100);
+        net.transmit(&mut r, NodeId(1), NodeId(2), 200);
+        assert_eq!(net.messages_sent(), 2);
+        assert_eq!(net.bytes_carried(), 300);
+    }
+
+    #[test]
+    fn jitter_bounded_by_config() {
+        let cfg = NetConfig::default();
+        let mut net = Network::new(cfg.clone());
+        let mut r = rng();
+        for _ in 0..100 {
+            if let Transmission::Deliver(d) = net.transmit(&mut r, NodeId(0), NodeId(1), 0) {
+                assert!(d >= cfg.base_latency);
+                assert!(d <= cfg.base_latency + cfg.jitter);
+            }
+        }
+    }
+}

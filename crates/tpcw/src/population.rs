@@ -1,0 +1,448 @@
+//! TPC-W database population.
+//!
+//! Follows the TPC-W v1.8 scaling rules used by the paper (§5.1): 10 000
+//! items and a customer population proportional to the number of
+//! emulated browsers (2880 × EB), with 30/50/70 EBs chosen to produce
+//! initial state sizes of roughly 300/500/700 MB. Generation is a pure
+//! function of [`PopulationParams`], so every replica (and every
+//! recovery) regenerates an identical base population.
+//!
+//! Because several simulated replicas coexist in one process and the
+//! base population is immutable, [`base_population`] memoizes it behind
+//! an `Arc` keyed by parameters.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treplica::impl_wire_struct;
+
+use crate::model::{
+    nominal, Address, AddressId, Author, AuthorId, Country, CountryId, Customer, CustomerId,
+    Item, ItemId, Order, OrderId, OrderLine, OrderStatus, CcXact, SUBJECTS,
+};
+
+/// Scaling parameters of a population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PopulationParams {
+    /// Number of items (the paper uses 10 000).
+    pub items: u32,
+    /// Emulated-browser scale factor (30/50/70 in the paper).
+    pub ebs: u32,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl PopulationParams {
+    /// The paper's configuration for a given EB scale.
+    pub fn paper(ebs: u32) -> Self {
+        PopulationParams {
+            items: 10_000,
+            ebs,
+            seed: 0x7bc0_57a7e,
+        }
+    }
+
+    /// Number of customers (TPC-W: 2880 × EB).
+    pub fn customers(&self) -> u32 {
+        2_880 * self.ebs
+    }
+
+    /// Number of addresses (2 × customers).
+    pub fn addresses(&self) -> u32 {
+        2 * self.customers()
+    }
+
+    /// Number of initial orders (0.9 × customers).
+    pub fn orders(&self) -> u32 {
+        (9 * self.customers()) / 10
+    }
+
+    /// Number of authors (0.25 × items).
+    pub fn authors(&self) -> u32 {
+        self.items / 4
+    }
+}
+
+impl_wire_struct!(PopulationParams { items, ebs, seed });
+
+/// The immutable generated database shared by all replicas of a run.
+#[derive(Debug)]
+pub struct BasePopulation {
+    /// Generation parameters.
+    pub params: PopulationParams,
+    /// All authors, indexed by id.
+    pub authors: Vec<Author>,
+    /// All items, indexed by id.
+    pub items: Vec<Item>,
+    /// The 92 countries.
+    pub countries: Vec<Country>,
+    /// All addresses, indexed by id.
+    pub addresses: Vec<Address>,
+    /// All customers, indexed by id.
+    pub customers: Vec<Customer>,
+    /// Initial orders, indexed by id.
+    pub orders: Vec<Order>,
+    /// Order lines grouped per order (same index as `orders`).
+    pub order_lines: Vec<Vec<OrderLine>>,
+    /// One credit-card transaction per order (same index).
+    pub cc_xacts: Vec<CcXact>,
+    /// Items per subject (indices into `items`), precomputed.
+    pub by_subject: Vec<Vec<ItemId>>,
+    /// Customer ids by user name.
+    pub by_uname: HashMap<String, CustomerId>,
+}
+
+/// TPC-W user name derivation: a digit-letter encoding of the id.
+pub fn c_uname(id: CustomerId) -> String {
+    let mut n = id.0 as u64;
+    let mut s = String::from("U");
+    loop {
+        let d = (n % 26) as u8;
+        s.push((b'A' + d) as char);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn rand_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+fn rand_digits(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'0' + rng.gen_range(0..10u8)) as char)
+        .collect()
+}
+
+/// Generates a base population (deterministic in `params`).
+pub fn generate(params: PopulationParams) -> BasePopulation {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let today: u32 = 14_000; // days since epoch, fixed reference date
+
+    let countries: Vec<Country> = (0..92)
+        .map(|i| Country {
+            id: CountryId(i),
+            name: format!("Country{i}"),
+            exchange_micros: 1_000_000 + (i as u64) * 13_337,
+            currency: format!("CUR{i}"),
+        })
+        .collect();
+
+    let authors: Vec<Author> = (0..params.authors())
+        .map(|i| Author {
+            id: AuthorId(i),
+            fname: rand_string(&mut rng, 3, 12),
+            lname: rand_string(&mut rng, 3, 15),
+            dob: rng.gen_range(1_000..today - 7_300),
+            bio: rand_string(&mut rng, 30, 60),
+        })
+        .collect();
+
+    let mut items: Vec<Item> = (0..params.items)
+        .map(|i| {
+            let srp = rng.gen_range(100..10_000u64);
+            Item {
+                id: ItemId(i),
+                title: format!("{} {}", rand_string(&mut rng, 6, 14), i),
+                author: AuthorId(rng.gen_range(0..params.authors())),
+                pub_date: rng.gen_range(today - 7_300..today),
+                publisher: rand_string(&mut rng, 8, 16),
+                subject: rng.gen_range(0..SUBJECTS.len() as u8),
+                desc: rand_string(&mut rng, 40, 80),
+                thumbnail: format!("img/thumb/{i}.gif"),
+                image: format!("img/full/{i}.gif"),
+                srp_cents: srp,
+                cost_cents: srp * rng.gen_range(50..90u64) / 100,
+                avail: rng.gen_range(today..today + 30),
+                stock: rng.gen_range(10..31),
+                isbn: rand_digits(&mut rng, 13),
+                pages: rng.gen_range(20..9_999),
+                backing: rng.gen_range(0..5),
+                dimensions: format!(
+                    "{}x{}x{}",
+                    rng.gen_range(1..99u32),
+                    rng.gen_range(1..99u32),
+                    rng.gen_range(1..99u32)
+                ),
+                related: [ItemId(0); 5],
+            }
+        })
+        .collect();
+    // Related items: five distinct other items.
+    for item in items.iter_mut() {
+        let mut related = [ItemId(0); 5];
+        for r in related.iter_mut() {
+            *r = ItemId(rng.gen_range(0..params.items));
+        }
+        item.related = related;
+    }
+
+    let addresses: Vec<Address> = (0..params.addresses())
+        .map(|i| Address {
+            id: AddressId(i),
+            street1: rand_string(&mut rng, 10, 30),
+            street2: rand_string(&mut rng, 5, 20),
+            city: rand_string(&mut rng, 4, 15),
+            state: rand_string(&mut rng, 2, 10),
+            zip: rand_digits(&mut rng, 5),
+            country: CountryId(rng.gen_range(0..92)),
+        })
+        .collect();
+
+    let mut by_uname = HashMap::with_capacity(params.customers() as usize);
+    let customers: Vec<Customer> = (0..params.customers())
+        .map(|i| {
+            let id = CustomerId(i);
+            let uname = c_uname(id);
+            by_uname.insert(uname.clone(), id);
+            Customer {
+                id,
+                passwd: uname.to_lowercase(),
+                uname,
+                fname: rand_string(&mut rng, 3, 12),
+                lname: rand_string(&mut rng, 3, 15),
+                addr: AddressId(rng.gen_range(0..params.addresses())),
+                phone: rand_digits(&mut rng, 10),
+                email: format!("{}@example.com", rand_string(&mut rng, 5, 12)),
+                since: rng.gen_range(today - 730..today),
+                last_login: 0,
+                login: 0,
+                expiration: 0,
+                discount_bp: rng.gen_range(0..5_100),
+                balance_cents: 0,
+                ytd_pmt_cents: rng.gen_range(0..1_000_000),
+                birthdate: rng.gen_range(1_000..today - 6_570),
+                data: rand_string(&mut rng, 100, 200),
+            }
+        })
+        .collect();
+
+    let num_orders = params.orders();
+    let mut orders = Vec::with_capacity(num_orders as usize);
+    let mut order_lines = Vec::with_capacity(num_orders as usize);
+    let mut cc_xacts = Vec::with_capacity(num_orders as usize);
+    for i in 0..num_orders {
+        let customer = CustomerId(rng.gen_range(0..params.customers()));
+        let n_lines = rng.gen_range(1..=5usize);
+        let mut subtotal = 0u64;
+        let lines: Vec<OrderLine> = (0..n_lines)
+            .map(|_| {
+                let item = ItemId(rng.gen_range(0..params.items));
+                let qty = rng.gen_range(1..=4u32);
+                subtotal += items[item.0 as usize].cost_cents * qty as u64;
+                OrderLine {
+                    order: OrderId(i),
+                    item,
+                    qty,
+                    discount_bp: rng.gen_range(0..300),
+                    comments: rand_string(&mut rng, 5, 20),
+                }
+            })
+            .collect();
+        let tax = subtotal * 825 / 10_000;
+        let order = Order {
+            id: OrderId(i),
+            customer,
+            date: (rng.gen_range(today - 60..today) as u64) * 86_400_000_000,
+            subtotal_cents: subtotal,
+            tax_cents: tax,
+            total_cents: subtotal + tax + 300 + 100 * n_lines as u64,
+            ship_type: rng.gen_range(0..6),
+            ship_date: rng.gen_range(today..today + 7),
+            bill_addr: AddressId(rng.gen_range(0..params.addresses())),
+            ship_addr: AddressId(rng.gen_range(0..params.addresses())),
+            status: match rng.gen_range(0..4u8) {
+                0 => OrderStatus::Pending,
+                1 => OrderStatus::Processing,
+                2 => OrderStatus::Shipped,
+                _ => OrderStatus::Denied,
+            },
+        };
+        cc_xacts.push(CcXact {
+            order: OrderId(i),
+            cc_type: ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"]
+                [rng.gen_range(0..5usize)]
+            .to_string(),
+            cc_num: rand_digits(&mut rng, 16),
+            cc_name: format!(
+                "{} {}",
+                rand_string(&mut rng, 3, 12),
+                rand_string(&mut rng, 3, 15)
+            ),
+            cc_expiry: today + rng.gen_range(10..730),
+            auth_id: rand_string(&mut rng, 15, 15),
+            amount_cents: order.total_cents,
+            date: order.date,
+            country: CountryId(rng.gen_range(0..92)),
+        });
+        orders.push(order);
+        order_lines.push(lines);
+    }
+
+    let mut by_subject: Vec<Vec<ItemId>> = vec![Vec::new(); SUBJECTS.len()];
+    for item in &items {
+        by_subject[item.subject as usize].push(item.id);
+    }
+
+    BasePopulation {
+        params,
+        authors,
+        items,
+        countries,
+        addresses,
+        customers,
+        orders,
+        order_lines,
+        cc_xacts,
+        by_subject,
+        by_uname,
+    }
+}
+
+impl BasePopulation {
+    /// The modeled in-memory size of the base population — calibrated so
+    /// the paper's 30/50/70 EB populations land near 300/500/700 MB.
+    pub fn nominal_bytes(&self) -> u64 {
+        let p = &self.params;
+        let lines: u64 = self.order_lines.iter().map(|l| l.len() as u64).sum();
+        p.customers() as u64 * nominal::CUSTOMER
+            + p.addresses() as u64 * nominal::ADDRESS
+            + p.orders() as u64 * nominal::ORDER
+            + lines * nominal::ORDER_LINE
+            + p.orders() as u64 * nominal::CC_XACT
+            + p.items as u64 * nominal::ITEM
+            + p.authors() as u64 * nominal::AUTHOR
+            + 92 * nominal::COUNTRY
+    }
+}
+
+/// Memoized shared base populations (one per parameter set per process).
+pub fn base_population(params: PopulationParams) -> Arc<BasePopulation> {
+    static CACHE: OnceLock<Mutex<HashMap<PopulationParams, Arc<BasePopulation>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("population cache poisoned");
+    guard
+        .entry(params)
+        .or_insert_with(|| Arc::new(generate(params)))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PopulationParams {
+        PopulationParams {
+            items: 100,
+            ebs: 1,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn scaling_rules_match_spec() {
+        let p = PopulationParams::paper(30);
+        assert_eq!(p.customers(), 86_400);
+        assert_eq!(p.addresses(), 172_800);
+        assert_eq!(p.orders(), 77_760);
+        assert_eq!(p.authors(), 2_500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(tiny());
+        let b = generate(tiny());
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.customers, b.customers);
+        assert_eq!(a.orders, b.orders);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(tiny());
+        let b = generate(PopulationParams { seed: 43, ..tiny() });
+        assert_ne!(a.items[0].title, b.items[0].title);
+    }
+
+    #[test]
+    fn entity_counts_and_indexes() {
+        let p = generate(tiny());
+        assert_eq!(p.items.len(), 100);
+        assert_eq!(p.customers.len(), 2_880);
+        assert_eq!(p.addresses.len(), 5_760);
+        assert_eq!(p.orders.len(), 2_592);
+        assert_eq!(p.order_lines.len(), p.orders.len());
+        assert_eq!(p.cc_xacts.len(), p.orders.len());
+        let subject_total: usize = p.by_subject.iter().map(Vec::len).sum();
+        assert_eq!(subject_total, 100);
+        // uname index is complete and consistent.
+        assert_eq!(p.by_uname.len(), 2_880);
+        let c = &p.customers[17];
+        assert_eq!(p.by_uname[&c.uname], c.id);
+    }
+
+    #[test]
+    fn uname_derivation_is_injective_for_small_ids() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(c_uname(CustomerId(i))), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn nominal_sizes_hit_paper_targets() {
+        // 30 EB ≈ 300 MB, 50 ≈ 500 MB, 70 ≈ 700 MB (±20%).
+        for (ebs, target_mb) in [(30u32, 300u64), (50, 500), (70, 700)] {
+            let p = PopulationParams::paper(ebs);
+            // Compute nominal size analytically without generating the
+            // full population (fast): average 3 lines per order.
+            let lines = p.orders() as u64 * 3;
+            let total = p.customers() as u64 * nominal::CUSTOMER
+                + p.addresses() as u64 * nominal::ADDRESS
+                + p.orders() as u64 * nominal::ORDER
+                + lines * nominal::ORDER_LINE
+                + p.orders() as u64 * nominal::CC_XACT
+                + p.items as u64 * nominal::ITEM
+                + p.authors() as u64 * nominal::AUTHOR;
+            let mb = total / 1_000_000;
+            assert!(
+                mb > target_mb * 8 / 10 && mb < target_mb * 12 / 10,
+                "ebs={ebs}: {mb} MB vs target {target_mb} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn related_items_in_range() {
+        let p = generate(tiny());
+        for item in &p.items {
+            for r in &item.related {
+                assert!(r.0 < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let a = base_population(tiny());
+        let b = base_population(tiny());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn stock_within_spec_bounds() {
+        let p = generate(tiny());
+        for item in &p.items {
+            assert!((10..=30).contains(&item.stock));
+        }
+    }
+}

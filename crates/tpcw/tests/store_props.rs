@@ -1,0 +1,123 @@
+//! Property tests on the bookstore: overlay serialization round-trips
+//! and state-machine determinism under random operation sequences.
+
+use proptest::prelude::*;
+
+use tpcw::{Bookstore, CartId, CartLine, CustomerId, ItemId, Overlay, Payment, PopulationParams};
+use treplica::Wire;
+
+const ITEMS: u32 = 120;
+
+fn params() -> PopulationParams {
+    PopulationParams {
+        items: ITEMS,
+        ebs: 1,
+        seed: 17,
+    }
+}
+
+/// One random bookstore operation.
+#[derive(Debug, Clone)]
+enum Op {
+    NewCart { item: u32, qty: u32 },
+    Update { cart: u32, item: u32, qty: u32 },
+    Buy { cart: u32, customer: u32 },
+    Admin { item: u32, cost: u64 },
+    Refresh { customer: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ITEMS, 1..4u32).prop_map(|(item, qty)| Op::NewCart { item, qty }),
+        (0..8u32, 0..ITEMS, 0..4u32).prop_map(|(cart, item, qty)| Op::Update { cart, item, qty }),
+        (0..8u32, 0..2880u32).prop_map(|(cart, customer)| Op::Buy { cart, customer }),
+        (0..ITEMS, 100..5000u64).prop_map(|(item, cost)| Op::Admin { item, cost }),
+        (0..2880u32).prop_map(|customer| Op::Refresh { customer }),
+    ]
+}
+
+fn payment() -> Payment {
+    Payment {
+        cc_type: "VISA".into(),
+        cc_num: "4111".into(),
+        cc_name: "P".into(),
+        cc_expiry: 15_000,
+        auth_id: "A1".into(),
+        country: 1,
+    }
+}
+
+fn apply(store: &mut Bookstore, op: &Op, t: u64) {
+    match op {
+        Op::NewCart { item, qty } => {
+            let _ = store.do_cart(None, Some((ItemId(*item), *qty)), &[], ItemId(0), t);
+        }
+        Op::Update { cart, item, qty } => {
+            let _ = store.do_cart(
+                Some(CartId(*cart)),
+                None,
+                &[CartLine { item: ItemId(*item), qty: *qty }],
+                ItemId(1),
+                t,
+            );
+        }
+        Op::Buy { cart, customer } => {
+            let _ = store.buy_confirm(CartId(*cart), CustomerId(*customer), &payment(), 1, t);
+        }
+        Op::Admin { item, cost } => {
+            let _ = store.admin_update(ItemId(*item), *cost, "i".into(), "t".into());
+        }
+        Op::Refresh { customer } => {
+            let _ = store.refresh_session(CustomerId(*customer), t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two replicas applying the same op sequence converge, and the
+    /// overlay round-trips through the wire at every point.
+    #[test]
+    fn deterministic_and_serializable(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut a = Bookstore::open(params());
+        let mut b = Bookstore::open(params());
+        for (t, op) in ops.iter().enumerate() {
+            apply(&mut a, op, t as u64);
+            apply(&mut b, op, t as u64);
+        }
+        prop_assert_eq!(&a, &b, "same ops must give identical stores");
+        let encoded = a.overlay().to_bytes();
+        let decoded = Overlay::from_bytes(&encoded).unwrap();
+        prop_assert_eq!(&decoded, a.overlay());
+        let rebuilt = Bookstore::from_parts(a.params(), decoded);
+        prop_assert_eq!(&rebuilt, &a);
+    }
+
+    /// Invariants hold under any op sequence: stock never goes deeply
+    /// negative (the replenishment rule kicks in), nominal size is
+    /// monotone in orders, and order records stay internally consistent.
+    #[test]
+    fn invariants_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut s = Bookstore::open(params());
+        let base_nominal = s.nominal_bytes();
+        for (t, op) in ops.iter().enumerate() {
+            apply(&mut s, op, t as u64);
+        }
+        for item in 0..ITEMS {
+            let stock = s.stock(ItemId(item)).unwrap();
+            prop_assert!(stock > -25, "stock {} for item {}", stock, item);
+        }
+        prop_assert!(s.nominal_bytes() >= base_nominal);
+        // Every new order's lines and payment agree with the order.
+        let overlay = s.overlay();
+        prop_assert_eq!(overlay.new_orders.len(), overlay.new_order_lines.len());
+        prop_assert_eq!(overlay.new_orders.len(), overlay.new_cc_xacts.len());
+        for (i, order) in overlay.new_orders.iter().enumerate() {
+            prop_assert!(!overlay.new_order_lines[i].is_empty(), "order without lines");
+            prop_assert_eq!(overlay.new_cc_xacts[i].order, order.id);
+            prop_assert_eq!(overlay.new_cc_xacts[i].amount_cents, order.total_cents);
+            prop_assert!(order.total_cents >= order.subtotal_cents + order.tax_cents);
+        }
+    }
+}

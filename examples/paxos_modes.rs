@@ -1,0 +1,197 @@
+//! Fast Paxos vs classic Paxos, and the paper's mode-switching rule.
+//!
+//! Drives a bare consensus ensemble (no application on top) through the
+//! three operating regimes of Treplica (§2): Fast Paxos while ⌈3N/4⌉
+//! replicas are up, classic Paxos down to a majority, blocked below it
+//! — and prints what each crash does to the mode and to commit progress.
+//!
+//! Run with: `cargo run --example paxos_modes`
+
+use std::collections::VecDeque;
+
+use robuststore_repro::paxos::{
+    Effect, Mode, Msg, PaxosConfig, ProposalId, Record, Replica, ReplicaId, Slot,
+};
+
+type Value = u64;
+
+struct Harness {
+    replicas: Vec<Option<Replica<Value>>>,
+    logs: Vec<Vec<Record<Value>>>,
+    delivered: Vec<Vec<(Slot, ProposalId, Value)>>,
+    inboxes: Vec<VecDeque<(ReplicaId, Msg<Value>)>>,
+    config: PaxosConfig,
+    epochs: Vec<u64>,
+    now: u64,
+}
+
+impl Harness {
+    fn new(n: usize) -> Harness {
+        let config = PaxosConfig::lan(n);
+        Harness {
+            replicas: (0..n)
+                .map(|i| Some(Replica::new(ReplicaId(i as u32), config.clone(), 0)))
+                .collect(),
+            logs: vec![Vec::new(); n],
+            delivered: vec![Vec::new(); n],
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            config,
+            epochs: vec![0; n],
+            now: 0,
+        }
+    }
+
+    fn apply(&mut self, node: usize, fx: Vec<Effect<Value>>) {
+        let mut q = VecDeque::from(fx);
+        while let Some(e) = q.pop_front() {
+            match e {
+                Effect::Send { to, msg } => {
+                    if self.replicas[to.index()].is_some() {
+                        self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg));
+                    }
+                }
+                Effect::Persist { record, token } => {
+                    self.logs[node].push(record);
+                    if let Some(r) = self.replicas[node].as_mut() {
+                        q.extend(r.on_persisted(token));
+                    }
+                }
+                Effect::Deliver { slot, pid, value } => {
+                    self.delivered[node].push((slot, pid, value))
+                }
+            }
+        }
+    }
+
+    fn step(&mut self) {
+        self.now += 20_000;
+        for i in 0..self.replicas.len() {
+            if let Some(r) = self.replicas[i].as_mut() {
+                let fx = r.on_tick(self.now);
+                self.apply(i, fx);
+            }
+        }
+        loop {
+            let mut moved = false;
+            for i in 0..self.replicas.len() {
+                while let Some((from, msg)) = self.inboxes[i].pop_front() {
+                    moved = true;
+                    if let Some(r) = self.replicas[i].as_mut() {
+                        let fx = r.on_message(from, msg, self.now);
+                        self.apply(i, fx);
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    fn propose(&mut self, node: usize, value: Value) {
+        if let Some(r) = self.replicas[node].as_mut() {
+            let (_pid, fx) = r.propose(value);
+            self.apply(node, fx);
+        }
+    }
+
+    fn mode(&self) -> Mode {
+        self.replicas
+            .iter()
+            .flatten()
+            .next()
+            .map(|r| r.status().mode)
+            .unwrap_or(Mode::Blocked)
+    }
+
+    fn decided(&self) -> usize {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| self.delivered[i].len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn crash(&mut self, node: usize) {
+        self.replicas[node] = None;
+        self.inboxes[node].clear();
+    }
+
+    fn recover(&mut self, node: usize) {
+        self.epochs[node] += 1;
+        self.replicas[node] = Some(Replica::recover(
+            ReplicaId(node as u32),
+            self.config.clone(),
+            self.logs[node].iter(),
+            Slot::ZERO,
+            self.epochs[node],
+            self.now,
+        ));
+        self.delivered[node].clear();
+    }
+}
+
+fn main() {
+    // N = 8: fast quorum ⌈24/4⌉ = 6, majority 5.
+    let n = 8;
+    let mut h = Harness::new(n);
+    h.run(30);
+    println!("N = {n}: fast quorum 6, classic quorum 5");
+    println!("all {n} up                → mode {:?}", h.mode());
+    assert_eq!(h.mode(), Mode::Fast);
+
+    for v in 0..10 {
+        h.propose((v % n as u64) as usize, v);
+    }
+    h.run(30);
+    println!("10 proposals             → {} decided (fast path)", h.decided());
+
+    // Crash down to 6 replicas: still ≥ fast quorum → Fast.
+    h.crash(6);
+    h.crash(7);
+    h.run(30);
+    println!("crash 2 (6 up)           → mode {:?}", h.mode());
+    assert_eq!(h.mode(), Mode::Fast);
+
+    // Crash one more (5 up < 6): falls back to classic Paxos.
+    h.crash(5);
+    h.run(30);
+    println!("crash 1 more (5 up)      → mode {:?}", h.mode());
+    assert_eq!(h.mode(), Mode::Classic);
+    for v in 10..15 {
+        h.propose((v % 5) as usize, v);
+    }
+    h.run(40);
+    println!("5 proposals under classic → {} decided total", h.decided());
+    assert_eq!(h.decided(), 15);
+
+    // Below a majority: blocked (safety holds, liveness waits).
+    h.crash(4);
+    h.run(30);
+    println!("crash 1 more (4 up)      → mode {:?}", h.mode());
+    assert_eq!(h.mode(), Mode::Blocked);
+    h.propose(0, 99);
+    h.run(40);
+    println!("proposal while blocked   → {} decided (parked)", h.decided());
+    assert_eq!(h.decided(), 15, "no progress below majority");
+
+    // Recoveries lift the ensemble back through the modes.
+    h.recover(4);
+    h.run(60);
+    println!("recover 1 (5 up)         → mode {:?}, parked proposal decided: {}",
+             h.mode(), h.decided() == 16);
+    h.recover(5);
+    h.recover(6);
+    h.run(60);
+    println!("recover 2 more (7 up)    → mode {:?}", h.mode());
+    assert_eq!(h.mode(), Mode::Fast);
+    println!("paxos_modes example OK: Fast ⇄ Classic ⇄ Blocked exactly per the paper's rule.");
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Splice exp_all output into EXPERIMENTS.md placeholders."""
+import re, sys
+
+results = open('exp_results_quick.txt').read()
+
+def section(start, end=None):
+    i = results.find(start)
+    assert i >= 0, f"missing {start!r}"
+    j = results.find(end, i) if end else len(results)
+    if j < 0: j = len(results)
+    return results[i:j].strip()
+
+fig3 = section('Figure 3 (browsing)', '== Figure 4')
+fig4 = section('Figure 4 (browsing)', '== One crash')
+one  = section('5R browsing', '== Recovery times')
+fig6 = section('Figure 6 —', '== Two overlapped')
+two  = section('5R browsing', '== Delayed recovery')
+# find the second '5R browsing' (two crashes section)
+i1 = results.find('== Two overlapped')
+two = results[results.find('5R browsing', i1):results.find('== Delayed recovery')].strip()
+i2 = results.find('== Delayed recovery')
+delayed = results[results.find('5R browsing', i2):].strip()
+
+md = open('EXPERIMENTS.md').read()
+def put(tag, text):
+    global md
+    md = md.replace(f'<!-- {tag} -->', '```text\n' + text + '\n```')
+put('FIG3', fig3)
+put('FIG4', fig4)
+put('ONE_CRASH', one)
+put('FIG6', fig6)
+put('TWO_CRASHES', two)
+put('DELAYED', delayed)
+open('EXPERIMENTS.md','w').write(md)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,12 @@
+//! Umbrella crate for the RobustStore reproduction workspace.
+//!
+//! Re-exports the public crates so the examples and integration tests can
+//! use a single dependency. See the README for an overview.
+
+pub use cluster;
+pub use faultload;
+pub use paxos;
+pub use robuststore;
+pub use simnet;
+pub use tpcw;
+pub use treplica;
