@@ -39,7 +39,9 @@ impl Bus {
         let mut q = VecDeque::from(fx);
         while let Some(e) = q.pop_front() {
             match e {
-                Effect::Send { to, msg } => self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg)),
+                Effect::Send { to, msg } => {
+                    self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg))
+                }
                 Effect::Persist { token, .. } => {
                     q.extend(self.replicas[node].on_persisted(token));
                 }
@@ -86,19 +88,15 @@ fn bench_commit(c: &mut Criterion) {
     for &n in &[3usize, 5, 8, 12] {
         for &fast in &[false, true] {
             let label = if fast { "fast" } else { "classic" };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(n, fast),
-                |b, &(n, fast)| {
-                    let mut bus = Bus::new(n, fast);
-                    let mut v = 0u64;
-                    b.iter(|| {
-                        v += 1;
-                        bus.commit((v % n as u64) as usize, v);
-                    });
-                    assert!(bus.delivered > 0);
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(n, fast), |b, &(n, fast)| {
+                let mut bus = Bus::new(n, fast);
+                let mut v = 0u64;
+                b.iter(|| {
+                    v += 1;
+                    bus.commit((v % n as u64) as usize, v);
+                });
+                assert!(bus.delivered > 0);
+            });
         }
     }
     group.finish();
@@ -114,7 +112,11 @@ fn bench_recovery_replay(c: &mut Criterion) {
                 ballot: paxos::Ballot::fast(1, ReplicaId(0)),
                 slot: Slot(i),
                 decree: paxos::Decree::Value(
-                    ProposalId { node: ReplicaId(0), epoch: 0, seq: i },
+                    ProposalId {
+                        node: ReplicaId(0),
+                        epoch: 0,
+                        seq: i,
+                    },
                     i,
                 ),
             })

@@ -63,7 +63,10 @@ fn bench_updates(c: &mut Criterion) {
             s.do_cart(
                 Some(cart),
                 Some((ItemId((t % 10_000) as u32), 1)),
-                &[CartLine { item: ItemId(((t + 1) % 10_000) as u32), qty: 0 }],
+                &[CartLine {
+                    item: ItemId(((t + 1) % 10_000) as u32),
+                    qty: 0,
+                }],
                 ItemId(0),
                 t,
             )
@@ -77,7 +80,13 @@ fn bench_updates(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             let cart = s
-                .do_cart(None, Some((ItemId((t % 10_000) as u32), 2)), &[], ItemId(0), t)
+                .do_cart(
+                    None,
+                    Some((ItemId((t % 10_000) as u32), 2)),
+                    &[],
+                    ItemId(0),
+                    t,
+                )
                 .unwrap();
             s.buy_confirm(cart, CustomerId((t % 2_880) as u32), &pay, 1, t)
                 .unwrap()

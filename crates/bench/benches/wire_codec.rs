@@ -38,7 +38,11 @@ fn bench_codec(c: &mut Criterion) {
         ballot: Ballot::fast(7, ReplicaId(2)),
         slot: Slot(123_456),
         decree: Decree::Value(
-            ProposalId { node: ReplicaId(2), epoch: 1, seq: 999 },
+            ProposalId {
+                node: ReplicaId(2),
+                epoch: 1,
+                seq: 999,
+            },
             action(),
         ),
     };
@@ -53,7 +57,10 @@ fn bench_codec(c: &mut Criterion) {
         let a = Action::DoCart {
             cart: Some(CartId(1)),
             add: Some((ItemId(5), 2)),
-            updates: vec![CartLine { item: ItemId(9), qty: 0 }],
+            updates: vec![CartLine {
+                item: ItemId(9),
+                qty: 0,
+            }],
             default_item: ItemId(0),
             now: 1,
         };

@@ -25,7 +25,10 @@ fn main() {
     if std::env::args().any(|a| a == "--errsec") {
         for (sec, e) in r.recorder.error_series().iter().enumerate() {
             if *e > 0 {
-                eprintln!("  t={sec}s errors={e} wips={}", r.recorder.wips_series()[sec]);
+                eprintln!(
+                    "  t={sec}s errors={e} wips={}",
+                    r.recorder.wips_series()[sec]
+                );
             }
         }
     }

@@ -38,8 +38,14 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
-    emit(render_performability("Table 1 — one failure: performability", &runs));
-    emit(render_accuracy("Table 2 — one failure: accuracy (%)", &runs));
+    emit(render_performability(
+        "Table 1 — one failure: performability",
+        &runs,
+    ));
+    emit(render_accuracy(
+        "Table 2 — one failure: accuracy (%)",
+        &runs,
+    ));
     emit(render_autonomy("One failure: availability/autonomy", &runs));
 
     emit("== Recovery times (Fig 6) ==".into());
@@ -50,8 +56,14 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
-    emit(render_performability("Table 3 — two overlapped crashes: performability", &runs));
-    emit(render_accuracy("Table 4 — two overlapped crashes: accuracy (%)", &runs));
+    emit(render_performability(
+        "Table 3 — two overlapped crashes: performability",
+        &runs,
+    ));
+    emit(render_accuracy(
+        "Table 4 — two overlapped crashes: accuracy (%)",
+        &runs,
+    ));
     emit(render_autonomy("Two crashes: availability/autonomy", &runs));
 
     emit("== Delayed recovery (Fig 8, Tables 5-6) ==".into());
@@ -59,9 +71,18 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
-    emit(render_performability_delayed("Table 5 — delayed recovery: performability", &runs));
-    emit(render_accuracy("Table 6 — delayed recovery: accuracy (%)", &runs));
-    emit(render_autonomy("Delayed recovery: availability/autonomy", &runs));
+    emit(render_performability_delayed(
+        "Table 5 — delayed recovery: performability",
+        &runs,
+    ));
+    emit(render_accuracy(
+        "Table 6 — delayed recovery: accuracy (%)",
+        &runs,
+    ));
+    emit(render_autonomy(
+        "Delayed recovery: availability/autonomy",
+        &runs,
+    ));
 
     if let Some(path) = out_path {
         let mut f = std::fs::File::create(&path).expect("create report file");

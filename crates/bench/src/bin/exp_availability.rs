@@ -33,7 +33,10 @@ fn main() {
             })
             .collect();
         let faults = events.len();
-        config.faultload = Faultload { events, partitions: Vec::new() };
+        config.faultload = Faultload {
+            events,
+            ..Faultload::default()
+        };
         let report = run_experiment(&config);
         let d = &report.dependability;
         println!(

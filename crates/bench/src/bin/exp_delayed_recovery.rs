@@ -1,6 +1,8 @@
 //! Figure 8 + Tables 5–6 — two crashes, one autonomous and one delayed
 //! (operator-triggered) recovery.
-use bench::render::{render_accuracy, render_autonomy, render_fault_histogram, render_performability_delayed};
+use bench::render::{
+    render_accuracy, render_autonomy, render_fault_histogram, render_performability_delayed,
+};
 use bench::{dependability_grid, Mode};
 use faultload::Faultload;
 
@@ -10,7 +12,16 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         println!("{}", render_fault_histogram(run));
     }
-    println!("{}", render_performability_delayed("Table 5 — delayed recovery: performability", &runs));
-    println!("{}", render_accuracy("Table 6 — delayed recovery: accuracy (%)", &runs));
-    println!("{}", render_autonomy("Delayed recovery: availability/autonomy", &runs));
+    println!(
+        "{}",
+        render_performability_delayed("Table 5 — delayed recovery: performability", &runs)
+    );
+    println!(
+        "{}",
+        render_accuracy("Table 6 — delayed recovery: accuracy (%)", &runs)
+    );
+    println!(
+        "{}",
+        render_autonomy("Delayed recovery: availability/autonomy", &runs)
+    );
 }

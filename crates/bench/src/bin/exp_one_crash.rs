@@ -1,5 +1,7 @@
 //! Figure 5 + Tables 1–2 — one crash, one autonomous recovery.
-use bench::render::{render_accuracy, render_autonomy, render_fault_histogram, render_performability};
+use bench::render::{
+    render_accuracy, render_autonomy, render_fault_histogram, render_performability,
+};
 use bench::{dependability_grid, Mode};
 use faultload::Faultload;
 
@@ -9,7 +11,16 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         println!("{}", render_fault_histogram(run));
     }
-    println!("{}", render_performability("Table 1 — one failure: performability", &runs));
-    println!("{}", render_accuracy("Table 2 — one failure: accuracy (%)", &runs));
-    println!("{}", render_autonomy("One failure: availability/autonomy", &runs));
+    println!(
+        "{}",
+        render_performability("Table 1 — one failure: performability", &runs)
+    );
+    println!(
+        "{}",
+        render_accuracy("Table 2 — one failure: accuracy (%)", &runs)
+    );
+    println!(
+        "{}",
+        render_autonomy("One failure: availability/autonomy", &runs)
+    );
 }

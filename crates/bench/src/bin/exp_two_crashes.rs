@@ -1,5 +1,7 @@
 //! Figure 7 + Tables 3–4 — two overlapped crashes, autonomous recoveries.
-use bench::render::{render_accuracy, render_autonomy, render_fault_histogram, render_performability};
+use bench::render::{
+    render_accuracy, render_autonomy, render_fault_histogram, render_performability,
+};
 use bench::{dependability_grid, Mode};
 use faultload::Faultload;
 
@@ -9,7 +11,16 @@ fn main() {
     for run in runs.iter().filter(|r| r.replicas == 5) {
         println!("{}", render_fault_histogram(run));
     }
-    println!("{}", render_performability("Table 3 — two overlapped crashes: performability", &runs));
-    println!("{}", render_accuracy("Table 4 — two overlapped crashes: accuracy (%)", &runs));
-    println!("{}", render_autonomy("Two crashes: availability/autonomy", &runs));
+    println!(
+        "{}",
+        render_performability("Table 3 — two overlapped crashes: performability", &runs)
+    );
+    println!(
+        "{}",
+        render_accuracy("Table 4 — two overlapped crashes: accuracy (%)", &runs)
+    );
+    println!(
+        "{}",
+        render_autonomy("Two crashes: availability/autonomy", &runs)
+    );
 }

@@ -139,10 +139,7 @@ pub fn fig4_scaleup(mode: Mode, profile: Profile) -> ScaleupResult {
             }
         })
         .collect();
-    let xy: Vec<(f64, f64)> = points
-        .iter()
-        .map(|p| (p.replicas as f64, p.wips))
-        .collect();
+    let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.replicas as f64, p.wips)).collect();
     let fit = linear_fit(&xy);
     let ww: Vec<(f64, f64)> = points.iter().map(|p| (p.wips, p.wirt_ms)).collect();
     ScaleupResult {
@@ -243,8 +240,5 @@ pub fn speedups(points: &[SweepPoint]) -> Vec<(usize, f64)> {
         .find(|p| p.replicas == 4)
         .map(|p| p.wips)
         .unwrap_or(1.0);
-    points
-        .iter()
-        .map(|p| (p.replicas, p.wips / base))
-        .collect()
+    points.iter().map(|p| (p.replicas, p.wips / base)).collect()
 }

@@ -31,9 +31,21 @@ fn wips_plot_empty_series() {
 #[test]
 fn speedup_table_contains_all_rows_and_ratios() {
     let points = vec![
-        SweepPoint { replicas: 4, wips: 1000.0, wirt_ms: 100.0 },
-        SweepPoint { replicas: 8, wips: 1600.0, wirt_ms: 110.0 },
-        SweepPoint { replicas: 12, wips: 2000.0, wirt_ms: 120.0 },
+        SweepPoint {
+            replicas: 4,
+            wips: 1000.0,
+            wirt_ms: 100.0,
+        },
+        SweepPoint {
+            replicas: 8,
+            wips: 1600.0,
+            wirt_ms: 110.0,
+        },
+        SweepPoint {
+            replicas: 12,
+            wips: 2000.0,
+            wirt_ms: 120.0,
+        },
     ];
     let s = render_speedup(Profile::Browsing, &points);
     assert!(s.contains("WIPSb"));
@@ -75,7 +87,10 @@ fn mode_schedules_and_faultload_scaling() {
     assert_eq!(f.interval_us, 540_000_000);
     // Faultload times scale with the schedule in quick mode only.
     let fl = faultload::Faultload::single_crash();
-    assert_eq!(Mode::Quick.faultload(fl.clone()).events[0].at_us, 90_000_000);
+    assert_eq!(
+        Mode::Quick.faultload(fl.clone()).events[0].at_us,
+        90_000_000
+    );
     assert_eq!(Mode::Full.faultload(fl).events[0].at_us, 270_000_000);
     // Sweeps cover the paper's 4..=12 range.
     assert_eq!(Mode::Full.sweep_replicas(), (4..=12).collect::<Vec<_>>());

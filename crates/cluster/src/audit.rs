@@ -1,0 +1,387 @@
+//! Always-on consensus invariant auditor.
+//!
+//! [`run_experiment`](crate::run_experiment) threads an
+//! [`InvariantAuditor`] through every server's effect stream and checks,
+//! on every send, durable write and delivery, the safety properties the
+//! stack claims:
+//!
+//! * **Agreement** — no two replicas deliver different proposals for the
+//!   same slot.
+//! * **Durability ordering** — no `Promise` or `Accepted` leaves a
+//!   replica before the corresponding [`Record`] is durable on its disk
+//!   (the paper's write-ahead rule; [`paxos::Replica`] implements it by
+//!   gating sends on persist tokens, and the auditor verifies the whole
+//!   lowered pipeline end to end, crashes and torn tails included).
+//! * **Monotone delivery** — each incarnation's applied slots strictly
+//!   increase.
+//! * **Mode rule** — fast-path traffic (`FastPropose`, `Any`) is sent
+//!   only while the sender's failure detector counts ≥ ⌈3N/4⌉ replicas
+//!   alive (§2's condition for fast rounds).
+//!
+//! The auditor observes; it never influences the run, so an audited run
+//! is bit-identical to an unaudited one. Violations are collected as
+//! human-readable strings and the experiment asserts there are none.
+
+use std::collections::{HashMap, HashSet};
+
+use paxos::{Ballot, Mode, Msg, ProposalId, Quorums, Record, ReplicaStatus, Slot};
+use robuststore::Action;
+use simnet::{StableOp, StableStore};
+use treplica::{Meta, MwMsg, Wire, LOG_NAME, META_KEY};
+
+/// Cap on recorded violation strings (all violations are still counted).
+const MAX_RECORDED: usize = 100;
+
+/// What a replica must have made durable before a given send is legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DurableKey {
+    /// A `Record::Promised(ballot)` reached disk.
+    Promise(Ballot),
+    /// A `Record::Accepted { slot, ballot, decree }` reached disk
+    /// (decrees are identified by their proposal id; `None` is a no-op).
+    Accept(Slot, Ballot, Option<ProposalId>),
+}
+
+/// Outcome of one audited run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Individual invariant checks performed.
+    pub checks: u64,
+    /// Violations found (capped at 100 recorded strings).
+    pub violations: Vec<String>,
+    /// Total violations, including any beyond the recording cap.
+    pub total_violations: u64,
+}
+
+/// Run-wide safety monitor for the replicated server ensemble.
+#[derive(Debug)]
+pub struct InvariantAuditor {
+    n: usize,
+    fast_quorum: usize,
+    /// First delivered proposal per slot, with the delivering replica.
+    chosen: HashMap<Slot, (Option<ProposalId>, usize)>,
+    /// Per replica: records known durable on its disk.
+    durable: Vec<HashSet<DurableKey>>,
+    /// Per replica: records in flight to disk, keyed by write token.
+    pending: Vec<HashMap<u64, DurableKey>>,
+    /// Per replica: last slot applied by the current incarnation.
+    last_applied: Vec<Option<Slot>>,
+    checks: u64,
+    violations: Vec<String>,
+    total_violations: u64,
+}
+
+impl InvariantAuditor {
+    /// An auditor for `n` server replicas.
+    pub fn new(n: usize) -> InvariantAuditor {
+        InvariantAuditor {
+            n,
+            fast_quorum: Quorums::new(n).fast(),
+            chosen: HashMap::new(),
+            // A fresh acceptor has implicitly promised ⊥ without writing.
+            durable: (0..n)
+                .map(|_| HashSet::from([DurableKey::Promise(Ballot::BOTTOM)]))
+                .collect(),
+            pending: (0..n).map(|_| HashMap::new()).collect(),
+            last_applied: vec![None; n],
+            checks: 0,
+            violations: Vec::new(),
+            total_violations: 0,
+        }
+    }
+
+    fn violation(&mut self, text: String) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(text);
+        }
+    }
+
+    /// A replica issued a durable write. Decodes consensus records so the
+    /// later completion can be matched against sends.
+    pub fn on_disk_write(&mut self, idx: usize, op: &StableOp, token: u64, now_us: u64) {
+        match op {
+            StableOp::Append { log, entry } if log == LOG_NAME => {
+                self.checks += 1;
+                match Record::<Action>::from_bytes(entry) {
+                    Ok(Record::Promised(ballot)) => {
+                        self.pending[idx].insert(token, DurableKey::Promise(ballot));
+                    }
+                    Ok(Record::Accepted {
+                        ballot,
+                        slot,
+                        decree,
+                    }) => {
+                        self.pending[idx].insert(
+                            token,
+                            DurableKey::Accept(slot, ballot, decree.proposal_id()),
+                        );
+                    }
+                    Err(_) => self.violation(format!(
+                        "[{now_us}us] server {idx}: appended undecodable consensus record \
+                         ({} bytes)",
+                        entry.len()
+                    )),
+                }
+            }
+            StableOp::Put { key, value } if key == META_KEY => {
+                self.checks += 1;
+                match Meta::from_bytes(value) {
+                    // The meta record re-asserts the promised floor; once
+                    // durable it also justifies Promise sends.
+                    Ok(meta) => {
+                        self.pending[idx].insert(token, DurableKey::Promise(meta.promised));
+                    }
+                    Err(_) => self.violation(format!(
+                        "[{now_us}us] server {idx}: wrote undecodable metadata record"
+                    )),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A durable write completed. Must be called *before* the server
+    /// reacts (the reaction releases the sends this write gates).
+    pub fn on_disk_write_done(&mut self, idx: usize, token: u64) {
+        if let Some(key) = self.pending[idx].remove(&token) {
+            self.durable[idx].insert(key);
+        }
+    }
+
+    /// A durable write failed; nothing reached disk.
+    pub fn on_disk_write_failed(&mut self, idx: usize, token: u64) {
+        self.pending[idx].remove(&token);
+    }
+
+    /// A replica is sending a middleware message.
+    pub fn on_send(
+        &mut self,
+        idx: usize,
+        msg: &MwMsg<Action>,
+        status: &ReplicaStatus,
+        now_us: u64,
+    ) {
+        let m = match msg {
+            MwMsg::Paxos(m) => m,
+            _ => return,
+        };
+        match m {
+            Msg::Promise { ballot, .. } => {
+                self.checks += 1;
+                if !self.durable[idx].contains(&DurableKey::Promise(*ballot)) {
+                    self.violation(format!(
+                        "[{now_us}us] server {idx}: sent Promise for {ballot:?} before the \
+                         promise record was durable"
+                    ));
+                }
+            }
+            Msg::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => {
+                self.checks += 1;
+                let key = DurableKey::Accept(*slot, *ballot, decree.proposal_id());
+                if !self.durable[idx].contains(&key) {
+                    self.violation(format!(
+                        "[{now_us}us] server {idx}: sent Accepted for slot {slot:?} under \
+                         {ballot:?} before the acceptance record was durable"
+                    ));
+                }
+            }
+            Msg::FastPropose { .. } | Msg::Any { .. } => {
+                self.checks += 1;
+                if status.mode != Mode::Fast {
+                    self.violation(format!(
+                        "[{now_us}us] server {idx}: sent fast-path {} in mode {:?}",
+                        fast_name(m),
+                        status.mode
+                    ));
+                } else if status.alive < self.fast_quorum {
+                    self.violation(format!(
+                        "[{now_us}us] server {idx}: sent fast-path {} with only {} of {} \
+                         replicas alive (fast quorum is {})",
+                        fast_name(m),
+                        status.alive,
+                        self.n,
+                        self.fast_quorum
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A replica delivered (applied) a decided proposal.
+    pub fn on_applied(&mut self, idx: usize, slot: Slot, pid: ProposalId, now_us: u64) {
+        self.checks += 1;
+        match self.chosen.get(&slot) {
+            Some((chosen_pid, first_by)) => {
+                if *chosen_pid != Some(pid) {
+                    self.violation(format!(
+                        "[{now_us}us] AGREEMENT: server {idx} delivered {pid:?} at slot \
+                         {slot:?} but server {first_by} delivered {chosen_pid:?}"
+                    ));
+                }
+            }
+            None => {
+                self.chosen.insert(slot, (Some(pid), idx));
+            }
+        }
+        self.checks += 1;
+        if let Some(last) = self.last_applied[idx] {
+            if slot <= last {
+                self.violation(format!(
+                    "[{now_us}us] server {idx}: delivery watermark went backwards \
+                     ({slot:?} after {last:?})"
+                ));
+            }
+        }
+        self.last_applied[idx] = Some(slot);
+    }
+
+    /// A replica crashed: its in-flight writes are lost and the next
+    /// incarnation's delivery watermark restarts.
+    pub fn on_crash(&mut self, idx: usize) {
+        self.pending[idx].clear();
+        self.last_applied[idx] = None;
+    }
+
+    /// A replica is restarting: rebuild its durable set from what
+    /// actually survived on disk (truncations and torn tails included).
+    /// Torn entries fail to decode and are skipped — they gate nothing.
+    pub fn on_restart(&mut self, idx: usize, store: &StableStore) {
+        let durable = &mut self.durable[idx];
+        durable.clear();
+        durable.insert(DurableKey::Promise(Ballot::BOTTOM));
+        if let Some(bytes) = store.get(META_KEY) {
+            if let Ok(meta) = Meta::from_bytes(bytes) {
+                durable.insert(DurableKey::Promise(meta.promised));
+            }
+        }
+        if let Some(log) = store.log(LOG_NAME) {
+            for (_, entry) in log.iter() {
+                match Record::<Action>::from_bytes(entry) {
+                    Ok(Record::Promised(ballot)) => {
+                        durable.insert(DurableKey::Promise(ballot));
+                    }
+                    Ok(Record::Accepted {
+                        ballot,
+                        slot,
+                        decree,
+                    }) => {
+                        durable.insert(DurableKey::Accept(slot, ballot, decree.proposal_id()));
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    /// The verdict so far.
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            checks: self.checks,
+            violations: self.violations.clone(),
+            total_violations: self.total_violations,
+        }
+    }
+}
+
+fn fast_name(m: &Msg<Action>) -> &'static str {
+    match m {
+        Msg::FastPropose { .. } => "FastPropose",
+        Msg::Any { .. } => "Any",
+        _ => "message",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(mode: Mode, alive: usize) -> ReplicaStatus {
+        ReplicaStatus {
+            mode,
+            leading: false,
+            ballot: Ballot::BOTTOM,
+            decided_upto: Slot(0),
+            pending_proposals: 0,
+            alive,
+        }
+    }
+
+    fn promise_msg(ballot: Ballot) -> MwMsg<Action> {
+        MwMsg::Paxos(Msg::Promise {
+            ballot,
+            from_slot: Slot(0),
+            only_slot: None,
+            accepted: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn ungated_promise_is_flagged_and_gated_promise_passes() {
+        let mut audit = InvariantAuditor::new(3);
+        let ballot = Ballot::classic(1, paxos::ReplicaId(0));
+        let st = status(Mode::Classic, 2);
+        audit.on_send(0, &promise_msg(ballot), &st, 10);
+        assert_eq!(audit.report().total_violations, 1, "send before persist");
+
+        let record = Record::<Action>::Promised(ballot);
+        audit.on_disk_write(
+            1,
+            &StableOp::Append {
+                log: LOG_NAME.to_string(),
+                entry: record.to_bytes(),
+            },
+            7,
+            20,
+        );
+        // Not yet durable: still a violation.
+        audit.on_send(1, &promise_msg(ballot), &st, 21);
+        assert_eq!(audit.report().total_violations, 2);
+        audit.on_disk_write_done(1, 7);
+        audit.on_send(1, &promise_msg(ballot), &st, 22);
+        assert_eq!(audit.report().total_violations, 2, "durable promise passes");
+    }
+
+    #[test]
+    fn agreement_and_watermark_violations_are_caught() {
+        let mut audit = InvariantAuditor::new(3);
+        let pid = |seq| ProposalId {
+            node: paxos::ReplicaId(0),
+            epoch: 0,
+            seq,
+        };
+        let (a, b) = (pid(1), pid(2));
+        audit.on_applied(0, Slot(5), a, 100);
+        audit.on_applied(1, Slot(5), a, 110);
+        assert_eq!(audit.report().total_violations, 0);
+        audit.on_applied(2, Slot(5), b, 120);
+        assert_eq!(audit.report().total_violations, 1, "conflicting decree");
+
+        audit.on_applied(0, Slot(4), a, 130);
+        assert_eq!(audit.report().total_violations, 2, "watermark regression");
+        // A crash resets the incarnation's watermark: replay is legal.
+        audit.on_crash(1);
+        audit.on_applied(1, Slot(5), a, 140);
+        assert_eq!(audit.report().total_violations, 2);
+    }
+
+    #[test]
+    fn fast_path_requires_fast_mode_and_quorum() {
+        let mut audit = InvariantAuditor::new(4);
+        let any = MwMsg::Paxos(Msg::Any {
+            ballot: Ballot::fast(1, paxos::ReplicaId(0)),
+            from_slot: Slot(0),
+        });
+        audit.on_send(0, &any, &status(Mode::Fast, 4), 10);
+        assert_eq!(audit.report().total_violations, 0);
+        audit.on_send(0, &any, &status(Mode::Classic, 3), 20);
+        assert_eq!(audit.report().total_violations, 1, "classic mode fast send");
+        audit.on_send(0, &any, &status(Mode::Fast, 2), 30);
+        assert_eq!(audit.report().total_violations, 2, "mode/FD mismatch");
+    }
+}

@@ -5,7 +5,7 @@
 //! [`ClientNode`] drives its browsers through think-time timers and
 //! records completions/errors into the experiment's [`Recorder`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{Engine, NodeId, SimDuration};
 use tpcw::{Interaction, Rbe, RbeConfig, Recorder};
@@ -31,7 +31,9 @@ pub struct ClientNode {
     node: NodeId,
     proxy: NodeId,
     slots: Vec<Slot>,
-    outstanding: HashMap<u64, usize>,
+    /// Ordered so the timeout sweep visits requests in req-id order —
+    /// hash-order sweeps break bit-identical seeded replays.
+    outstanding: BTreeMap<u64, usize>,
     next_seq: u64,
 }
 
@@ -65,7 +67,7 @@ impl ClientNode {
             node,
             proxy,
             slots,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_seq: 0,
         }
     }
@@ -81,7 +83,12 @@ impl ClientNode {
         let req_id = (self.node.index() as u64) << 40 | self.next_seq;
         slot.waiting = Some((req_id, now, request.interaction));
         self.outstanding.insert(req_id, idx);
-        engine.send_sized(self.node, self.proxy, ClusterMsg::Request { req_id, request }, 500);
+        engine.send_sized(
+            self.node,
+            self.proxy,
+            ClusterMsg::Request { req_id, request },
+            500,
+        );
     }
 
     fn think_again(&mut self, engine: &mut Engine<ClusterMsg>, idx: usize) {
@@ -121,7 +128,12 @@ impl ClientNode {
     }
 
     /// Handles a response or error from the proxy.
-    pub fn on_message(&mut self, engine: &mut Engine<ClusterMsg>, msg: ClusterMsg, rec: &mut Recorder) {
+    pub fn on_message(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        msg: ClusterMsg,
+        rec: &mut Recorder,
+    ) {
         let now = engine.now().as_micros();
         match msg {
             ClusterMsg::Response {

@@ -7,13 +7,14 @@
 //! watchdog re-instantiating crashed servers, and returns the per-second
 //! WIPS histogram plus the dependability report.
 
-use faultload::{DependabilityReport, Faultload, RecoveryKind, RecoverySpan};
+use faultload::{DependabilityReport, Faultload, LinkFaultSpec, RecoveryKind, RecoverySpan};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use simnet::{Engine, Event, NodeId, SimConfig, SimTime};
+use simnet::{DiskFault, Engine, Event, LinkFault, NodeId, SimConfig, SimDuration, SimTime};
 use tpcw::{PopulationParams, Profile, RbeConfig, Recorder, Schedule};
 use treplica::TreplicaConfig;
 
+use crate::audit::{AuditReport, InvariantAuditor};
 use crate::client::ClientNode;
 use crate::msg::ClusterMsg;
 use crate::proxy::{ProxyConfig, ProxyNode};
@@ -123,14 +124,43 @@ pub struct RunReport {
     pub net_bytes: u64,
     /// Total durable disk writes across the server replicas.
     pub disk_writes: u64,
+    /// The invariant auditor's verdict (always empty of violations — the
+    /// run asserts so before returning).
+    pub audit: AuditReport,
 }
 
 #[derive(Debug, Clone)]
 enum Admin {
-    Crash { server: usize, span: usize },
-    Restart { server: usize, span: usize },
-    Cut { minority: Vec<usize> },
+    Crash {
+        server: usize,
+        span: usize,
+    },
+    Restart {
+        server: usize,
+        span: usize,
+    },
+    Cut {
+        minority: Vec<usize>,
+    },
     Heal,
+    /// Degrade (`Some`) or restore (`None`) every server-to-server link.
+    NetFault {
+        fault: Option<LinkFault>,
+    },
+    /// Arm (`Some`) or disarm (`None`) one server's disk fault model.
+    DiskFault {
+        server: usize,
+        fault: Option<DiskFault>,
+    },
+}
+
+fn link_fault(spec: &LinkFaultSpec) -> LinkFault {
+    LinkFault {
+        loss: spec.loss,
+        duplicate: spec.duplicate,
+        reorder: spec.reorder,
+        reorder_delay: SimDuration::from_micros(spec.reorder_delay_us),
+    }
 }
 
 /// Runs one experiment to completion (simulated time).
@@ -145,7 +175,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     let first_client = replicas + 1;
     let total_nodes = replicas + 1 + config.client_nodes;
 
-    let mut engine: Engine<ClusterMsg> = Engine::new(total_nodes, SimConfig::default(), config.seed);
+    let mut engine: Engine<ClusterMsg> =
+        Engine::new(total_nodes, SimConfig::default(), config.seed);
     let mut recorder = Recorder::new(config.schedule.total_us());
 
     let mut treplica_config = TreplicaConfig {
@@ -156,6 +187,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         treplica_config.paxos.fast_enabled = false;
     }
 
+    let mut auditor = InvariantAuditor::new(replicas);
     let mut servers: Vec<Option<ServerNode>> = (0..replicas)
         .map(|i| {
             Some(ServerNode::new(
@@ -164,6 +196,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                 treplica_config.clone(),
                 config.service.clone(),
                 &mut engine,
+                &mut auditor,
             ))
         })
         .collect();
@@ -228,6 +261,36 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         };
         admin.push((restart_at, Admin::Restart { server, span }));
     }
+    for nf in &config.faultload.net_faults {
+        admin.push((
+            nf.at_us,
+            Admin::NetFault {
+                fault: Some(link_fault(&nf.fault)),
+            },
+        ));
+        admin.push((nf.until_us, Admin::NetFault { fault: None }));
+    }
+    for df in &config.faultload.disk_faults {
+        let server = victims[df.victim % victims.len()];
+        let fault = DiskFault {
+            write_fail_probability: df.write_fail,
+            torn_tail_on_crash: df.torn_tail,
+        };
+        admin.push((
+            df.at_us,
+            Admin::DiskFault {
+                server,
+                fault: Some(fault),
+            },
+        ));
+        admin.push((
+            df.until_us,
+            Admin::DiskFault {
+                server,
+                fault: None,
+            },
+        ));
+    }
     for partition in &config.faultload.partitions {
         let minority: Vec<usize> = partition
             .minority
@@ -247,6 +310,32 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
             None => end,
         };
         match engine.next_event_before(limit) {
+            Some((_, Event::DiskWriteFailed { node, token })) => {
+                // A failed fsync is fail-stop: the replica cannot tell
+                // which of its write-ahead obligations reached the platter,
+                // so it crashes and the watchdog re-instantiates it (its
+                // recovery path re-reads whatever actually survived).
+                let server = node.index();
+                if server < replicas && servers[server].is_some() {
+                    auditor.on_disk_write_failed(server, token);
+                    auditor.on_crash(server);
+                    engine.crash(node);
+                    servers[server] = None;
+                    let now_us = engine.now().as_micros();
+                    let span = spans.len();
+                    spans.push(RecoverySpan {
+                        server,
+                        crash_at: now_us,
+                        restart_at: 0,
+                        recovered_at: None,
+                        manual: false,
+                    });
+                    let restart_at = now_us + config.watchdog_delay_us;
+                    let pos =
+                        admin[admin_idx..].partition_point(|(at, _)| *at <= restart_at) + admin_idx;
+                    admin.insert(pos, (restart_at, Admin::Restart { server, span }));
+                }
+            }
             Some((_, event)) => {
                 dispatch(
                     event,
@@ -257,6 +346,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                     &mut recorder,
                     replicas,
                     first_client,
+                    &mut auditor,
                 );
             }
             None => {
@@ -267,6 +357,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                         match action {
                             Admin::Crash { server, span } => {
                                 if servers[server].is_some() {
+                                    auditor.on_crash(server);
                                     engine.crash(NodeId(server));
                                     servers[server] = None;
                                     spans[span].crash_at = engine.now().as_micros();
@@ -282,8 +373,26 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                         treplica_config.clone(),
                                         config.service.clone(),
                                         &mut engine,
+                                        &mut auditor,
                                     ));
                                 }
+                            }
+                            Admin::NetFault { fault } => match fault {
+                                Some(f) => {
+                                    for a in 0..replicas {
+                                        for b in (a + 1)..replicas {
+                                            engine.network_mut().set_link_fault(
+                                                NodeId(a),
+                                                NodeId(b),
+                                                f,
+                                            );
+                                        }
+                                    }
+                                }
+                                None => engine.network_mut().clear_link_faults(),
+                            },
+                            Admin::DiskFault { server, fault } => {
+                                engine.set_disk_fault(NodeId(server), fault);
                             }
                             Admin::Cut { minority } => {
                                 let majority: Vec<NodeId> = (0..replicas)
@@ -337,9 +446,15 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         .collect();
     let net_messages = engine.network().messages_sent();
     let net_bytes = engine.network().bytes_carried();
-    let disk_writes = (0..replicas)
-        .map(|i| engine.disk(NodeId(i)).writes())
-        .sum();
+    let disk_writes = (0..replicas).map(|i| engine.disk(NodeId(i)).writes()).sum();
+    let audit = auditor.report();
+    assert!(
+        audit.violations.is_empty(),
+        "consensus invariants violated (seed {}): {} violation(s), first: {}",
+        config.seed,
+        audit.total_violations,
+        audit.violations.first().map(String::as_str).unwrap_or("")
+    );
 
     RunReport {
         recorder,
@@ -352,6 +467,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         net_messages,
         net_bytes,
         disk_writes,
+        audit,
     }
 }
 
@@ -365,13 +481,14 @@ fn dispatch(
     recorder: &mut Recorder,
     replicas: usize,
     first_client: usize,
+    auditor: &mut InvariantAuditor,
 ) {
     match event {
         Event::Message { from, to, payload } => {
             let t = to.index();
             if t < replicas {
                 if let Some(server) = servers[t].as_mut() {
-                    server.on_message(engine, from, payload);
+                    server.on_message(engine, from, payload, auditor);
                 }
             } else if t == replicas {
                 proxy.on_message(engine, from, payload);
@@ -383,7 +500,7 @@ fn dispatch(
             let t = node.index();
             if t < replicas {
                 if let Some(server) = servers[t].as_mut() {
-                    server.on_timer(engine, token);
+                    server.on_timer(engine, token, auditor);
                 }
             } else if t == replicas {
                 proxy.on_timer(engine, token);
@@ -395,7 +512,7 @@ fn dispatch(
             let t = node.index();
             if t < replicas {
                 if let Some(server) = servers[t].as_mut() {
-                    server.on_disk_write_done(engine, token);
+                    server.on_disk_write_done(engine, token, auditor);
                 }
             }
         }
@@ -403,9 +520,11 @@ fn dispatch(
             let t = node.index();
             if t < replicas {
                 if let Some(server) = servers[t].as_mut() {
-                    server.on_disk_read_done(engine, token, value);
+                    server.on_disk_read_done(engine, token, value, auditor);
                 }
             }
         }
+        // Intercepted by the run loop before dispatch.
+        Event::DiskWriteFailed { .. } => {}
     }
 }

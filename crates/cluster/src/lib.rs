@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod client;
 mod experiment;
 mod msg;
@@ -31,6 +32,7 @@ mod proxy;
 mod server;
 mod service;
 
+pub use audit::{AuditReport, InvariantAuditor};
 pub use client::ClientNode;
 pub use experiment::{run_experiment, ExperimentConfig, RunReport};
 pub use msg::ClusterMsg;

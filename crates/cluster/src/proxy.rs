@@ -7,7 +7,7 @@
 //! client identifier; and a server dying mid-request surfaces as a
 //! connection error at the client.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simnet::{Engine, NodeId, SimDuration};
 
@@ -80,7 +80,9 @@ pub struct ProxyNode {
     config: ProxyConfig,
     servers: Vec<ServerHealth>,
     seq: u64,
-    in_flight: HashMap<u64, InFlight>,
+    /// Ordered so timeout/kill sweeps emit errors in req-id order —
+    /// hash-order sweeps break bit-identical seeded replays.
+    in_flight: BTreeMap<u64, InFlight>,
     errors_emitted: u64,
 }
 
@@ -112,7 +114,7 @@ impl ProxyNode {
                 })
                 .collect(),
             seq: 0,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             errors_emitted: 0,
         }
     }
@@ -184,7 +186,12 @@ impl ProxyNode {
             let target = self.servers[flight.server].node;
             let request = flight.request.clone();
             self.in_flight.insert(req_id, flight);
-            engine.send_sized(self.node, target, ClusterMsg::Request { req_id, request }, 600);
+            engine.send_sized(
+                self.node,
+                target,
+                ClusterMsg::Request { req_id, request },
+                600,
+            );
             return;
         }
         // Connection refused.
@@ -313,9 +320,7 @@ impl ProxyNode {
                     f.excluded.push(f.server);
                     f.attempts = 0;
                     if f.excluded.len() < self.servers.len() {
-                        if let Some(server) =
-                            self.pick_server(f.request.client_id, &f.excluded)
-                        {
+                        if let Some(server) = self.pick_server(f.request.client_id, &f.excluded) {
                             f.server = server;
                             self.connect(engine, req_id, f);
                             return;

@@ -16,6 +16,7 @@ use simnet::{Engine, NodeId, SimDuration, StableOp};
 use tpcw::{Interaction, PopulationParams, WebRequest};
 use treplica::{Middleware, MwEffect, RecoveredDisk, TreplicaConfig};
 
+use crate::audit::InvariantAuditor;
 use crate::msg::ClusterMsg;
 use crate::service::ServiceModel;
 
@@ -75,6 +76,7 @@ impl ServerNode {
         config: TreplicaConfig,
         service: ServiceModel,
         engine: &mut Engine<ClusterMsg>,
+        auditor: &mut InvariantAuditor,
     ) -> ServerNode {
         let node = NodeId(idx);
         let (mw, boot_fx) = Middleware::bootstrap(
@@ -96,7 +98,7 @@ impl ServerNode {
             ready: true,
             cpu_debt_us: 0,
         };
-        server.apply_mw_effects(engine, boot_fx);
+        server.apply_mw_effects(engine, boot_fx, auditor);
         server
     }
 
@@ -108,16 +110,20 @@ impl ServerNode {
         config: TreplicaConfig,
         service: ServiceModel,
         engine: &mut Engine<ClusterMsg>,
+        auditor: &mut InvariantAuditor,
     ) -> ServerNode {
         let node = NodeId(idx);
+        auditor.on_restart(idx, engine.store(node));
         let disk = RecoveredDisk::from_store(engine.store(node)).unwrap_or(RecoveredDisk {
             meta: None,
             log_entries: Vec::new(),
+            log_first_index: 0,
             log_bytes: 0,
         });
         let epoch = engine.node_state(node).incarnation.0;
         let now = engine.now().as_micros();
-        let (mut mw, fx) = Middleware::recover(paxos::ReplicaId(idx as u32), disk, config, epoch, now);
+        let (mut mw, fx) =
+            Middleware::recover(paxos::ReplicaId(idx as u32), disk, config, epoch, now);
         mw.install_initial_state(RobustStore::new(params));
         engine.set_timer(node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
         let mut server = ServerNode {
@@ -132,7 +138,7 @@ impl ServerNode {
             ready: false,
             cpu_debt_us: 0,
         };
-        server.apply_mw_effects(engine, fx);
+        server.apply_mw_effects(engine, fx, auditor);
         server
     }
 
@@ -151,10 +157,17 @@ impl ServerNode {
         self.mw.recovery_completed_at()
     }
 
-    fn apply_mw_effects(&mut self, engine: &mut Engine<ClusterMsg>, fx: Vec<MwEffect<RobustStore>>) {
+    fn apply_mw_effects(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        fx: Vec<MwEffect<RobustStore>>,
+        auditor: &mut InvariantAuditor,
+    ) {
         for e in fx {
             match e {
                 MwEffect::Send { to, msg, bytes } => {
+                    let now_us = engine.now().as_micros();
+                    auditor.on_send(self.idx, &msg, &self.mw.status().paxos, now_us);
                     engine.send_sized(self.node, NodeId(to.index()), ClusterMsg::Mw(msg), bytes);
                 }
                 MwEffect::DiskWrite { op, token, nominal } => {
@@ -162,18 +175,23 @@ impl ServerNode {
                         let key = key.clone();
                         engine.set_nominal(self.node, &key, nom);
                     }
+                    auditor.on_disk_write(self.idx, &op, token, engine.now().as_micros());
                     engine.disk_write(self.node, op, token);
                 }
                 MwEffect::DiskRead { key, token } => engine.disk_read(self.node, &key, token),
                 MwEffect::DiskReadRaw { bytes, token } => {
                     engine.disk_read_raw(self.node, bytes, token)
                 }
-                MwEffect::Applied { pid, reply, .. } => {
+                MwEffect::Applied { slot, pid, reply } => {
+                    auditor.on_applied(self.idx, slot, pid, engine.now().as_micros());
                     let cost_us = self.service.apply_cost_us();
-                    self.enqueue(engine, WorkItem {
-                        kind: WorkKind::Apply { pid, reply },
-                        cost_us,
-                    });
+                    self.enqueue(
+                        engine,
+                        WorkItem {
+                            kind: WorkKind::Apply { pid, reply },
+                            cost_us,
+                        },
+                    );
                 }
                 MwEffect::RecoveryComplete => {
                     self.ready = true;
@@ -196,7 +214,7 @@ impl ServerNode {
         engine.set_timer(self.node, SimDuration::from_micros(cost), TOKEN_WORK);
     }
 
-    fn complete_head(&mut self, engine: &mut Engine<ClusterMsg>) {
+    fn complete_head(&mut self, engine: &mut Engine<ClusterMsg>, auditor: &mut InvariantAuditor) {
         let item = match self.queue.pop_front() {
             Some(i) => i,
             None => {
@@ -205,8 +223,12 @@ impl ServerNode {
             }
         };
         match item.kind {
-            WorkKind::Handle { req_id, from, request } => {
-                self.finish_handle(engine, req_id, from, request);
+            WorkKind::Handle {
+                req_id,
+                from,
+                request,
+            } => {
+                self.finish_handle(engine, req_id, from, request, auditor);
             }
             WorkKind::Apply { pid, reply } => {
                 if let Some((req_id, from, interaction)) = self.outstanding.remove(&pid) {
@@ -239,6 +261,7 @@ impl ServerNode {
         req_id: u64,
         from: NodeId,
         request: WebRequest,
+        auditor: &mut InvariantAuditor,
     ) {
         let now = engine.now().as_micros();
         let interaction = request.interaction;
@@ -262,7 +285,7 @@ impl ServerNode {
             Prepared::Write(action) => match self.mw.execute(action) {
                 Ok((pid, fx)) => {
                     self.outstanding.insert(pid, (req_id, from, interaction));
-                    self.apply_mw_effects(engine, fx);
+                    self.apply_mw_effects(engine, fx, auditor);
                 }
                 Err(_) => {
                     engine.send(self.node, from, ClusterMsg::ConnError { req_id });
@@ -272,7 +295,13 @@ impl ServerNode {
     }
 
     /// Handles a message arriving at this server.
-    pub fn on_message(&mut self, engine: &mut Engine<ClusterMsg>, from: NodeId, msg: ClusterMsg) {
+    pub fn on_message(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        from: NodeId,
+        msg: ClusterMsg,
+        auditor: &mut InvariantAuditor,
+    ) {
         match msg {
             ClusterMsg::Mw(m) => {
                 // Protocol handling is prompt (Treplica's threads and the
@@ -283,7 +312,7 @@ impl ServerNode {
                 let fx = self
                     .mw
                     .on_message(paxos::ReplicaId(from.index() as u32), m, now);
-                self.apply_mw_effects(engine, fx);
+                self.apply_mw_effects(engine, fx, auditor);
             }
             ClusterMsg::Probe { seq } => {
                 engine.send(
@@ -302,10 +331,17 @@ impl ServerNode {
                     return;
                 }
                 let cost_us = self.service.handle_cost_us(request.interaction);
-                self.enqueue(engine, WorkItem {
-                    kind: WorkKind::Handle { req_id, from, request },
-                    cost_us,
-                });
+                self.enqueue(
+                    engine,
+                    WorkItem {
+                        kind: WorkKind::Handle {
+                            req_id,
+                            from,
+                            request,
+                        },
+                        cost_us,
+                    },
+                );
             }
             // Servers receive nothing else.
             _ => {}
@@ -313,23 +349,35 @@ impl ServerNode {
     }
 
     /// Handles a timer.
-    pub fn on_timer(&mut self, engine: &mut Engine<ClusterMsg>, token: u64) {
+    pub fn on_timer(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        token: u64,
+        auditor: &mut InvariantAuditor,
+    ) {
         match token {
             TOKEN_TICK => {
                 engine.set_timer(self.node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
                 let now = engine.now().as_micros();
                 let fx = self.mw.on_tick(now);
-                self.apply_mw_effects(engine, fx);
+                self.apply_mw_effects(engine, fx, auditor);
             }
-            TOKEN_WORK => self.complete_head(engine),
+            TOKEN_WORK => self.complete_head(engine, auditor),
             _ => {}
         }
     }
 
-    /// A durable write completed.
-    pub fn on_disk_write_done(&mut self, engine: &mut Engine<ClusterMsg>, token: u64) {
+    /// A durable write completed. The auditor marks the record durable
+    /// *first* — the middleware's reaction releases the sends it gates.
+    pub fn on_disk_write_done(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        token: u64,
+        auditor: &mut InvariantAuditor,
+    ) {
+        auditor.on_disk_write_done(self.idx, token);
         let fx = self.mw.on_disk_write_done(token);
-        self.apply_mw_effects(engine, fx);
+        self.apply_mw_effects(engine, fx, auditor);
     }
 
     /// A bulk read completed.
@@ -338,8 +386,9 @@ impl ServerNode {
         engine: &mut Engine<ClusterMsg>,
         token: u64,
         value: Option<Vec<u8>>,
+        auditor: &mut InvariantAuditor,
     ) {
         let fx = self.mw.on_disk_read_done(token, value);
-        self.apply_mw_effects(engine, fx);
+        self.apply_mw_effects(engine, fx, auditor);
     }
 }

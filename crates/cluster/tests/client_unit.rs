@@ -40,22 +40,24 @@ fn run(
     let mut seen = 0;
     while let Some((_, ev)) = engine.next_event_before(until) {
         match ev {
-            Event::Message { to, payload, .. } if to.index() == PROXY => {
-                if let ClusterMsg::Request { req_id, request } = payload {
-                    seen += 1;
-                    if reply {
-                        engine.send(
-                            NodeId(PROXY),
-                            NodeId(CLIENT),
-                            ClusterMsg::Response {
-                                req_id,
-                                interaction: request.interaction,
-                                ok: true,
-                                session: SessionUpdate::default(),
-                                bytes: 2_000,
-                            },
-                        );
-                    }
+            Event::Message {
+                to,
+                payload: ClusterMsg::Request { req_id, request },
+                ..
+            } if to.index() == PROXY => {
+                seen += 1;
+                if reply {
+                    engine.send(
+                        NodeId(PROXY),
+                        NodeId(CLIENT),
+                        ClusterMsg::Response {
+                            req_id,
+                            interaction: request.interaction,
+                            ok: true,
+                            session: SessionUpdate::default(),
+                            bytes: 2_000,
+                        },
+                    );
                 }
             }
             Event::Message { to, payload, .. } if to.index() == CLIENT => {
@@ -75,7 +77,13 @@ fn closed_loop_throughput_matches_think_time() {
     let (mut engine, mut client, mut rec) = setup(20);
     // 20 RBEs at 0.5 s mean think → ≈40 interactions/s when responses
     // are instant; over 30 s that is ≈1200 completions.
-    let seen = run(&mut engine, &mut client, &mut rec, SimTime::from_secs(30), true);
+    let seen = run(
+        &mut engine,
+        &mut client,
+        &mut rec,
+        SimTime::from_secs(30),
+        true,
+    );
     assert!(seen > 800, "issued {seen}");
     assert_eq!(rec.total_ok() as usize, seen, "every reply recorded");
     assert_eq!(rec.total_errors(), 0);
@@ -88,7 +96,13 @@ fn unanswered_requests_time_out_via_sweep() {
     let (mut engine, mut client, mut rec) = setup(5);
     // Nothing ever answers: the 60 s client timeout + 5 s sweep must
     // reclaim each browser and record an error.
-    run(&mut engine, &mut client, &mut rec, SimTime::from_secs(80), false);
+    run(
+        &mut engine,
+        &mut client,
+        &mut rec,
+        SimTime::from_secs(80),
+        false,
+    );
     assert_eq!(rec.total_ok(), 0);
     assert!(
         rec.total_errors() >= 5,
@@ -104,11 +118,17 @@ fn conn_errors_count_and_browser_continues() {
     let mut errored = 0;
     while let Some((_, ev)) = engine.next_event_before(SimTime::from_secs(20)) {
         match ev {
-            Event::Message { to, payload, .. } if to.index() == PROXY => {
-                if let ClusterMsg::Request { req_id, .. } = payload {
-                    errored += 1;
-                    engine.send(NodeId(PROXY), NodeId(CLIENT), ClusterMsg::ConnError { req_id });
-                }
+            Event::Message {
+                to,
+                payload: ClusterMsg::Request { req_id, .. },
+                ..
+            } if to.index() == PROXY => {
+                errored += 1;
+                engine.send(
+                    NodeId(PROXY),
+                    NodeId(CLIENT),
+                    ClusterMsg::ConnError { req_id },
+                );
             }
             Event::Message { to, payload, .. } if to.index() == CLIENT => {
                 client.on_message(&mut engine, payload, &mut rec);
@@ -119,7 +139,10 @@ fn conn_errors_count_and_browser_continues() {
             _ => {}
         }
     }
-    assert!(errored > 30, "browsers keep retrying after errors: {errored}");
+    assert!(
+        errored > 30,
+        "browsers keep retrying after errors: {errored}"
+    );
     assert_eq!(rec.total_errors() as usize, errored);
     assert_eq!(rec.total_ok(), 0);
 }
@@ -129,20 +152,22 @@ fn served_error_pages_recorded_against_accuracy() {
     let (mut engine, mut client, mut rec) = setup(2);
     while let Some((_, ev)) = engine.next_event_before(SimTime::from_secs(10)) {
         match ev {
-            Event::Message { to, payload, .. } if to.index() == PROXY => {
-                if let ClusterMsg::Request { req_id, request } = payload {
-                    engine.send(
-                        NodeId(PROXY),
-                        NodeId(CLIENT),
-                        ClusterMsg::Response {
-                            req_id,
-                            interaction: request.interaction,
-                            ok: false, // business error page
-                            session: SessionUpdate::default(),
-                            bytes: 800,
-                        },
-                    );
-                }
+            Event::Message {
+                to,
+                payload: ClusterMsg::Request { req_id, request },
+                ..
+            } if to.index() == PROXY => {
+                engine.send(
+                    NodeId(PROXY),
+                    NodeId(CLIENT),
+                    ClusterMsg::Response {
+                        req_id,
+                        interaction: request.interaction,
+                        ok: false, // business error page
+                        session: SessionUpdate::default(),
+                        bytes: 800,
+                    },
+                );
             }
             Event::Message { to, payload, .. } if to.index() == CLIENT => {
                 client.on_message(&mut engine, payload, &mut rec);

@@ -74,7 +74,11 @@ fn probes_mark_silent_server_down_after_fall_threshold() {
                     e.send(
                         NodeId(node),
                         NodeId(SERVERS),
-                        ClusterMsg::ProbeReply { seq, server: node, ready: true },
+                        ClusterMsg::ProbeReply {
+                            seq,
+                            server: node,
+                            ready: true,
+                        },
                     );
                 }
             }
@@ -104,7 +108,11 @@ fn not_ready_replies_also_count_as_failures_and_rise_readmits() {
                 e.send(
                     NodeId(node),
                     NodeId(SERVERS),
-                    ClusterMsg::ProbeReply { seq, server: node, ready: is_ready },
+                    ClusterMsg::ProbeReply {
+                        seq,
+                        server: node,
+                        ready: is_ready,
+                    },
                 );
             }
         }
@@ -127,7 +135,10 @@ fn hash_balancing_is_stable_per_client() {
             p.on_message(
                 &mut e,
                 NodeId(4),
-                ClusterMsg::Request { req_id, request: request(client) },
+                ClusterMsg::Request {
+                    req_id,
+                    request: request(client),
+                },
             );
         }
     }
@@ -158,7 +169,10 @@ fn dead_server_requests_redispatch_after_retry_delays() {
         p.on_message(
             &mut e,
             NodeId(4),
-            ClusterMsg::Request { req_id: client, request: request(client) },
+            ClusterMsg::Request {
+                req_id: client,
+                request: request(client),
+            },
         );
     }
     // After the retry delays (3 × 1 s) everything must have landed on a
@@ -176,7 +190,11 @@ fn dead_server_requests_redispatch_after_retry_delays() {
                     e.send(
                         NodeId(node),
                         NodeId(SERVERS),
-                        ClusterMsg::ProbeReply { seq, server: node, ready: true },
+                        ClusterMsg::ProbeReply {
+                            seq,
+                            server: node,
+                            ready: true,
+                        },
                     );
                 }
                 ClusterMsg::Request { .. } => {
@@ -208,7 +226,10 @@ fn all_servers_down_surfaces_an_error() {
     p.on_message(
         &mut e,
         NodeId(4),
-        ClusterMsg::Request { req_id: 7, request: request(1) },
+        ClusterMsg::Request {
+            req_id: 7,
+            request: request(1),
+        },
     );
     // The retries exhaust against dead machines; the client must get an
     // explicit error rather than silence.
@@ -240,7 +261,10 @@ fn responses_flow_back_to_the_requesting_client() {
     p.on_message(
         &mut e,
         NodeId(4),
-        ClusterMsg::Request { req_id: 9, request: request(5) },
+        ClusterMsg::Request {
+            req_id: 9,
+            request: request(5),
+        },
     );
     // Deliver to the chosen server, then answer.
     let delivered = pump(&mut e, &mut p, SimTime::from_secs(1));

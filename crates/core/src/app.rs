@@ -26,7 +26,10 @@ impl Snapshot {
     /// A snapshot whose modeled size equals its real size.
     pub fn exact(data: Vec<u8>) -> Snapshot {
         let nominal_bytes = data.len() as u64;
-        Snapshot { data, nominal_bytes }
+        Snapshot {
+            data,
+            nominal_bytes,
+        }
     }
 }
 

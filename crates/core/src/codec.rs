@@ -99,7 +99,11 @@ impl<A: Wire> Wire for Record<A> {
                 buf.push(0);
                 b.encode(buf);
             }
-            Record::Accepted { ballot, slot, decree } => {
+            Record::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => {
                 buf.push(1);
                 slot.encode(buf);
                 ballot.encode(buf);
@@ -114,7 +118,11 @@ impl<A: Wire> Wire for Record<A> {
                 let slot = Slot::decode(input)?;
                 let ballot = Ballot::decode(input)?;
                 let decree = Decree::decode(input)?;
-                Ok(Record::Accepted { ballot, slot, decree })
+                Ok(Record::Accepted {
+                    ballot,
+                    slot,
+                    decree,
+                })
             }
             t => Err(WireError::BadTag(t)),
         }
@@ -122,9 +130,11 @@ impl<A: Wire> Wire for Record<A> {
     fn wire_size(&self) -> u64 {
         match self {
             Record::Promised(b) => 1 + b.wire_size(),
-            Record::Accepted { ballot, slot, decree } => {
-                1 + slot.wire_size() + ballot.wire_size() + decree.wire_size()
-            }
+            Record::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => 1 + slot.wire_size() + ballot.wire_size() + decree.wire_size(),
         }
     }
 }
@@ -160,20 +170,33 @@ impl<A: Wire> Wire for AcceptedReport<A> {
 impl<A: Wire> Wire for Msg<A> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Msg::Prepare { ballot, from_slot, only_slot } => {
+            Msg::Prepare {
+                ballot,
+                from_slot,
+                only_slot,
+            } => {
                 buf.push(0);
                 ballot.encode(buf);
                 from_slot.encode(buf);
                 only_slot.encode(buf);
             }
-            Msg::Promise { ballot, from_slot, only_slot, accepted } => {
+            Msg::Promise {
+                ballot,
+                from_slot,
+                only_slot,
+                accepted,
+            } => {
                 buf.push(1);
                 ballot.encode(buf);
                 from_slot.encode(buf);
                 only_slot.encode(buf);
                 accepted.encode(buf);
             }
-            Msg::Accept { ballot, slot, decree } => {
+            Msg::Accept {
+                ballot,
+                slot,
+                decree,
+            } => {
                 buf.push(2);
                 ballot.encode(buf);
                 slot.encode(buf);
@@ -194,13 +217,20 @@ impl<A: Wire> Wire for Msg<A> {
                 pid.encode(buf);
                 value.encode(buf);
             }
-            Msg::Accepted { ballot, slot, decree } => {
+            Msg::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => {
                 buf.push(6);
                 ballot.encode(buf);
                 slot.encode(buf);
                 decree.encode(buf);
             }
-            Msg::Alive { ballot, decided_upto } => {
+            Msg::Alive {
+                ballot,
+                decided_upto,
+            } => {
                 buf.push(7);
                 ballot.encode(buf);
                 decided_upto.encode(buf);
@@ -209,7 +239,11 @@ impl<A: Wire> Wire for Msg<A> {
                 buf.push(8);
                 from_slot.encode(buf);
             }
-            Msg::LearnReply { entries, truncated_below, decided_upto } => {
+            Msg::LearnReply {
+                entries,
+                truncated_below,
+                decided_upto,
+            } => {
                 buf.push(9);
                 entries.encode(buf);
                 truncated_below.encode(buf);
@@ -270,32 +304,46 @@ impl<A: Wire> Wire for Msg<A> {
     fn wire_size(&self) -> u64 {
         // 1-byte tag + fields; computed structurally to avoid encoding.
         match self {
-            Msg::Prepare { ballot, from_slot, only_slot } => {
-                1 + ballot.wire_size() + from_slot.wire_size() + only_slot.wire_size()
-            }
-            Msg::Promise { ballot, from_slot, only_slot, accepted } => {
+            Msg::Prepare {
+                ballot,
+                from_slot,
+                only_slot,
+            } => 1 + ballot.wire_size() + from_slot.wire_size() + only_slot.wire_size(),
+            Msg::Promise {
+                ballot,
+                from_slot,
+                only_slot,
+                accepted,
+            } => {
                 1 + ballot.wire_size()
                     + from_slot.wire_size()
                     + only_slot.wire_size()
                     + accepted.wire_size()
             }
-            Msg::Accept { ballot, slot, decree } => {
-                1 + ballot.wire_size() + slot.wire_size() + decree.wire_size()
-            }
+            Msg::Accept {
+                ballot,
+                slot,
+                decree,
+            } => 1 + ballot.wire_size() + slot.wire_size() + decree.wire_size(),
             Msg::Any { ballot, from_slot } => 1 + ballot.wire_size() + from_slot.wire_size(),
             Msg::FastPropose { pid, value } | Msg::Propose { pid, value } => {
                 1 + pid.wire_size() + value.wire_size()
             }
-            Msg::Accepted { ballot, slot, decree } => {
-                1 + ballot.wire_size() + slot.wire_size() + decree.wire_size()
-            }
-            Msg::Alive { ballot, decided_upto } => {
-                1 + ballot.wire_size() + decided_upto.wire_size()
-            }
+            Msg::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => 1 + ballot.wire_size() + slot.wire_size() + decree.wire_size(),
+            Msg::Alive {
+                ballot,
+                decided_upto,
+            } => 1 + ballot.wire_size() + decided_upto.wire_size(),
             Msg::LearnRequest { from_slot } => 1 + from_slot.wire_size(),
-            Msg::LearnReply { entries, truncated_below, decided_upto } => {
-                1 + entries.wire_size() + truncated_below.wire_size() + decided_upto.wire_size()
-            }
+            Msg::LearnReply {
+                entries,
+                truncated_below,
+                decided_upto,
+            } => 1 + entries.wire_size() + truncated_below.wire_size() + decided_upto.wire_size(),
         }
     }
 }
@@ -356,7 +404,11 @@ mod tests {
     fn all_message_variants_roundtrip() {
         let b = Ballot::fast(4, ReplicaId(2));
         let msgs: Vec<Msg<u64>> = vec![
-            Msg::Prepare { ballot: b, from_slot: Slot(1), only_slot: Some(Slot(1)) },
+            Msg::Prepare {
+                ballot: b,
+                from_slot: Slot(1),
+                only_slot: Some(Slot(1)),
+            },
             Msg::Promise {
                 ballot: b,
                 from_slot: Slot(0),
@@ -367,12 +419,32 @@ mod tests {
                     decree: Decree::Value(pid(0, 9), 5),
                 }],
             },
-            Msg::Accept { ballot: b, slot: Slot(3), decree: Decree::Noop },
-            Msg::Any { ballot: b, from_slot: Slot(4) },
-            Msg::FastPropose { pid: pid(1, 1), value: 8 },
-            Msg::Propose { pid: pid(1, 2), value: 9 },
-            Msg::Accepted { ballot: b, slot: Slot(5), decree: Decree::Value(pid(2, 2), 10) },
-            Msg::Alive { ballot: b, decided_upto: Slot(6) },
+            Msg::Accept {
+                ballot: b,
+                slot: Slot(3),
+                decree: Decree::Noop,
+            },
+            Msg::Any {
+                ballot: b,
+                from_slot: Slot(4),
+            },
+            Msg::FastPropose {
+                pid: pid(1, 1),
+                value: 8,
+            },
+            Msg::Propose {
+                pid: pid(1, 2),
+                value: 9,
+            },
+            Msg::Accepted {
+                ballot: b,
+                slot: Slot(5),
+                decree: Decree::Value(pid(2, 2), 10),
+            },
+            Msg::Alive {
+                ballot: b,
+                decided_upto: Slot(6),
+            },
             Msg::LearnRequest { from_slot: Slot(7) },
             Msg::LearnReply {
                 entries: vec![(Slot(8), Decree::Value(pid(3, 3), 11))],
@@ -389,9 +461,15 @@ mod tests {
     fn wire_sizes_are_realistic() {
         // A fast-path proposal of a small action should be well under the
         // 1500-byte Ethernet MTU; a heartbeat a few dozen bytes.
-        let m: Msg<u64> = Msg::FastPropose { pid: pid(0, 0), value: 1 };
+        let m: Msg<u64> = Msg::FastPropose {
+            pid: pid(0, 0),
+            value: 1,
+        };
         assert!(m.wire_size() < 64);
-        let hb: Msg<u64> = Msg::Alive { ballot: Ballot::BOTTOM, decided_upto: Slot(0) };
+        let hb: Msg<u64> = Msg::Alive {
+            ballot: Ballot::BOTTOM,
+            decided_upto: Slot(0),
+        };
         assert!(hb.wire_size() < 32);
     }
 }

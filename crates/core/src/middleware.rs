@@ -254,6 +254,10 @@ pub struct RecoveredDisk {
     pub meta: Option<Meta>,
     /// Raw log entries (decoded lazily after the modeled log read).
     pub log_entries: Vec<Vec<u8>>,
+    /// Stable index of the first surviving log entry; keeps the in-memory
+    /// mirror aligned with the durable log across restarts so later
+    /// checkpoint truncations cut at the right place.
+    pub log_first_index: u64,
     /// Total log bytes (sizes the modeled read).
     pub log_bytes: u64,
 }
@@ -269,16 +273,18 @@ impl RecoveredDisk {
             Some(bytes) => Some(Meta::from_bytes(bytes)?),
             None => None,
         };
-        let (log_entries, log_bytes) = match store.log(LOG_NAME) {
+        let (log_entries, log_first_index, log_bytes) = match store.log(LOG_NAME) {
             Some(log) => (
                 log.iter().map(|(_, e)| e.to_vec()).collect(),
+                log.first_index(),
                 log.bytes(),
             ),
-            None => (Vec::new(), 0),
+            None => (Vec::new(), 0, 0),
         };
         Ok(RecoveredDisk {
             meta,
             log_entries,
+            log_first_index,
             log_bytes,
         })
     }
@@ -412,23 +418,38 @@ impl<App: Application> Middleware<App> {
         now: u64,
     ) -> (Self, Vec<MwEffect<App>>) {
         let meta = disk.meta.clone();
-        let start_slot = meta.as_ref().map(|m| m.checkpoint_slot).unwrap_or(Slot::ZERO);
+        let start_slot = meta
+            .as_ref()
+            .map(|m| m.checkpoint_slot)
+            .unwrap_or(Slot::ZERO);
         let promised_floor = meta.as_ref().map(|m| m.promised).unwrap_or(Ballot::BOTTOM);
 
         // Decode the surviving log records; the modeled read latency is
-        // charged via the DiskReadRaw effect below.
+        // charged via the DiskReadRaw effect below. A crash mid-append
+        // can leave a torn (truncated) record: its decode fails, but it
+        // still occupies a stable log index, so mirror it as a slot-less
+        // placeholder — dropping it would misalign every later entry's
+        // index and make checkpoint truncation cut the wrong records.
+        // Records appended by later incarnations after a torn tail must
+        // keep replaying.
         let mut records: Vec<Record<App::Action>> = Vec::new();
-        let mut mirror = LogMirror::default();
+        let mut mirror = LogMirror {
+            first_index: disk.log_first_index,
+            entries: Vec::new(),
+        };
         for entry in &disk.log_entries {
-            if let Ok(r) = Record::from_bytes(entry) {
-                mirror.push(
-                    match &r {
-                        Record::Accepted { slot, .. } => Some(*slot),
-                        Record::Promised(_) => None,
-                    },
-                    entry.len() as u64,
-                );
-                records.push(r);
+            match Record::from_bytes(entry) {
+                Ok(r) => {
+                    mirror.push(
+                        match &r {
+                            Record::Accepted { slot, .. } => Some(*slot),
+                            Record::Promised(_) => None,
+                        },
+                        entry.len() as u64,
+                    );
+                    records.push(r);
+                }
+                Err(_) => mirror.push(None, entry.len() as u64),
             }
         }
         let floor_record = Record::Promised(promised_floor);
@@ -487,7 +508,10 @@ impl<App: Application> Middleware<App> {
                 // empty and replays everything through the queue. The
                 // caller must provide the initial state via
                 // `install_initial_state`.
-                if let Phase::Recovering { checkpoint_done, .. } = &mut mw.phase {
+                if let Phase::Recovering {
+                    checkpoint_done, ..
+                } = &mut mw.phase
+                {
                     *checkpoint_done = true;
                 }
             }
@@ -591,7 +615,10 @@ impl<App: Application> Middleware<App> {
         now: u64,
     ) -> Vec<MwEffect<App>> {
         self.now = self.now.max(now);
-        if let Phase::Recovering { log_done: false, .. } = self.phase {
+        if let Phase::Recovering {
+            log_done: false, ..
+        } = self.phase
+        {
             // The process is still reading its log; like a booting
             // process whose sockets aren't up yet, it hears nothing.
             return Vec::new();
@@ -607,14 +634,21 @@ impl<App: Application> Middleware<App> {
                 let mut out = Vec::new();
                 if let Some(app) = self.app.as_ref() {
                     if !self.is_recovering() {
-                        let Snapshot { data, nominal_bytes } = app.snapshot();
+                        let Snapshot {
+                            data,
+                            nominal_bytes,
+                        } = app.snapshot();
                         let reply = MwMsg::SnapshotReply {
                             covers: self.paxos.decided_upto(),
                             data,
                             nominal: nominal_bytes,
                         };
                         let bytes = reply.wire_bytes();
-                        out.push(MwEffect::Send { to: from, msg: reply, bytes });
+                        out.push(MwEffect::Send {
+                            to: from,
+                            msg: reply,
+                            bytes,
+                        });
                     }
                 }
                 out
@@ -624,7 +658,10 @@ impl<App: Application> Middleware<App> {
                 if covers > self.paxos.decided_upto() {
                     if let Ok(app) = App::restore(&data) {
                         self.app = Some(app);
-                        if let Phase::Recovering { checkpoint_done, .. } = &mut self.phase {
+                        if let Phase::Recovering {
+                            checkpoint_done, ..
+                        } = &mut self.phase
+                        {
                             *checkpoint_done = true;
                         }
                         let fx = self.paxos.fast_forward(covers);
@@ -643,14 +680,24 @@ impl<App: Application> Middleware<App> {
         if let Some((peer, _)) = self.paxos.take_snapshot_needed() {
             let msg = MwMsg::SnapshotRequest;
             let bytes = msg.wire_bytes();
-            out.push(MwEffect::Send { to: peer, msg, bytes });
+            out.push(MwEffect::Send {
+                to: peer,
+                msg,
+                bytes,
+            });
         }
     }
 
     /// Periodic tick (heartbeats, elections, retries, checkpoint policy).
     pub fn on_tick(&mut self, now: u64) -> Vec<MwEffect<App>> {
         self.now = self.now.max(now);
-        let mut out = if matches!(self.phase, Phase::Recovering { log_done: false, .. }) {
+        let mut out = if matches!(
+            self.phase,
+            Phase::Recovering {
+                log_done: false,
+                ..
+            }
+        ) {
             Vec::new()
         } else {
             let fx = self.paxos.on_tick(now);
@@ -754,7 +801,10 @@ impl<App: Application> Middleware<App> {
                         }
                     }
                 }
-                if let Phase::Recovering { checkpoint_done, .. } = &mut self.phase {
+                if let Phase::Recovering {
+                    checkpoint_done, ..
+                } = &mut self.phase
+                {
                     *checkpoint_done = true;
                 }
                 self.drain_queue(&mut out);
@@ -802,7 +852,10 @@ impl<App: Application> Middleware<App> {
     fn drain_queue(&mut self, out: &mut Vec<MwEffect<App>>) {
         if matches!(
             self.phase,
-            Phase::Recovering { checkpoint_done: false, .. }
+            Phase::Recovering {
+                checkpoint_done: false,
+                ..
+            }
         ) {
             return; // checkpoint still loading; hold the backlog.
         }
@@ -846,7 +899,10 @@ impl<App: Application> Middleware<App> {
 
     fn start_checkpoint(&mut self, out: &mut Vec<MwEffect<App>>) {
         let app = self.app.as_ref().expect("active node has state");
-        let Snapshot { data, nominal_bytes } = app.snapshot();
+        let Snapshot {
+            data,
+            nominal_bytes,
+        } = app.snapshot();
         self.applied_since_checkpoint = 0;
         self.checkpoint_in_flight = true;
         self.checkpoint_generation += 1;
@@ -931,7 +987,11 @@ mod tests {
 
     /// Drives a single-replica middleware synchronously: completes every
     /// disk op immediately and loops sends back into itself.
-    fn drain(mw: &mut Middleware<Counter>, fx: Vec<MwEffect<Counter>>, store: &mut StableStore) -> Vec<u64> {
+    fn drain(
+        mw: &mut Middleware<Counter>,
+        fx: Vec<MwEffect<Counter>>,
+        store: &mut StableStore,
+    ) -> Vec<u64> {
         let mut applied = Vec::new();
         let mut queue = fx;
         while !queue.is_empty() {
@@ -979,7 +1039,10 @@ mod tests {
     #[test]
     fn bootstrap_writes_generation_one_checkpoint() {
         let (mw, store) = active_single();
-        assert!(store.get(&Meta::ckpt_key(1)).is_some(), "bootstrap checkpoint durable");
+        assert!(
+            store.get(&Meta::ckpt_key(1)).is_some(),
+            "bootstrap checkpoint durable"
+        );
         let meta = Meta::from_bytes(store.get(META_KEY).expect("meta")).expect("decodes");
         assert_eq!(meta.generation, 1);
         assert_eq!(meta.checkpoint_slot, Slot::ZERO);
@@ -995,15 +1058,27 @@ mod tests {
             let (_pid, fx) = mw.execute(v).expect("active");
             applied.extend(drain(&mut mw, fx, &mut store));
         }
-        assert_eq!(applied, vec![1, 3, 6, 10, 15], "replies are post-apply totals");
+        assert_eq!(
+            applied,
+            vec![1, 3, 6, 10, 15],
+            "replies are post-apply totals"
+        );
         // interval = 2 → checkpoints after actions 2 and 4 (plus boot).
         let st = mw.status();
-        assert!(st.checkpoints >= 3, "periodic checkpoints: {}", st.checkpoints);
+        assert!(
+            st.checkpoints >= 3,
+            "periodic checkpoints: {}",
+            st.checkpoints
+        );
         // Obsolete checkpoint generations are deleted.
-        let latest = Meta::from_bytes(store.get(META_KEY).unwrap()).unwrap().generation;
+        let latest = Meta::from_bytes(store.get(META_KEY).unwrap())
+            .unwrap()
+            .generation;
         assert!(store.get(&Meta::ckpt_key(latest)).is_some());
         assert!(
-            store.get(&Meta::ckpt_key(latest.saturating_sub(2))).is_none(),
+            store
+                .get(&Meta::ckpt_key(latest.saturating_sub(2)))
+                .is_none(),
             "older generations must be deleted"
         );
         // The durable log was truncated behind the checkpoint.
@@ -1017,9 +1092,13 @@ mod tests {
         let (_pid, fx) = mw.execute(42).expect("active");
         drain(&mut mw, fx, &mut store);
         let disk = RecoveredDisk::from_store(&store).expect("disk");
-        let (mut recovering, _fx) = Middleware::<Counter>::recover(ReplicaId(0), disk, config(), 1, 0);
+        let (mut recovering, _fx) =
+            Middleware::<Counter>::recover(ReplicaId(0), disk, config(), 1, 0);
         assert!(recovering.is_recovering());
-        assert!(recovering.execute(1).is_err(), "recovering replica rejects execute");
+        assert!(
+            recovering.execute(1).is_err(),
+            "recovering replica rejects execute"
+        );
     }
 
     #[test]
@@ -1044,7 +1123,11 @@ mod tests {
             }
         }
         assert!(!mw2.is_recovering(), "single-replica recovery completes");
-        assert_eq!(mw2.state().expect("state").total, 15, "sum of 1..=5 restored");
+        assert_eq!(
+            mw2.state().expect("state").total,
+            15,
+            "sum of 1..=5 restored"
+        );
     }
 
     #[test]
@@ -1059,13 +1142,148 @@ mod tests {
         assert_eq!(Meta::ckpt_key(3), "treplica.ckpt.3");
     }
 
+    /// Simulates a crash mid-append: the durable log's final entry is a
+    /// strict prefix of a record encoding (never decodes).
+    fn tear_last_record(store: &mut StableStore) {
+        let torn = {
+            let log = store.log(LOG_NAME).expect("log exists");
+            let entry = log.iter().last().expect("non-empty log").1.to_vec();
+            assert!(entry.len() >= 2, "need a record long enough to tear");
+            entry[..entry.len() - 1].to_vec()
+        };
+        store.apply(StableOp::Append {
+            log: LOG_NAME.to_string(),
+            entry: torn,
+        });
+    }
+
+    #[test]
+    fn recovery_tolerates_torn_final_record() {
+        let (mut mw, mut store) = active_single();
+        for v in 1..=5u64 {
+            let (_pid, fx) = mw.execute(v).expect("active");
+            drain(&mut mw, fx, &mut store);
+        }
+        drop(mw);
+        tear_last_record(&mut store);
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        let (mut mw2, fx) = Middleware::recover(ReplicaId(0), disk, config(), 1, 0);
+        let mut store2 = store.clone();
+        drain(&mut mw2, fx, &mut store2);
+        for t in 1..50u64 {
+            let fx = mw2.on_tick(t * 100_000);
+            drain(&mut mw2, fx, &mut store2);
+            if !mw2.is_recovering() {
+                break;
+            }
+        }
+        assert!(!mw2.is_recovering(), "torn tail must not wedge recovery");
+        assert_eq!(
+            mw2.state().expect("state").total,
+            15,
+            "no durable decision lost"
+        );
+    }
+
+    #[test]
+    fn recovery_replays_records_appended_beyond_a_torn_entry() {
+        let (mut mw, mut store) = active_single();
+        for v in 1..=3u64 {
+            let (_pid, fx) = mw.execute(v).expect("active");
+            drain(&mut mw, fx, &mut store);
+        }
+        drop(mw);
+        tear_last_record(&mut store);
+
+        // First restart survives the torn entry and keeps serving; its new
+        // appends land *after* the torn entry in the stable log.
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        let (mut mw2, fx) = Middleware::recover(ReplicaId(0), disk, config(), 1, 0);
+        drain(&mut mw2, fx, &mut store);
+        for t in 1..50u64 {
+            let fx = mw2.on_tick(t * 100_000);
+            drain(&mut mw2, fx, &mut store);
+            if !mw2.is_recovering() {
+                break;
+            }
+        }
+        assert!(!mw2.is_recovering());
+        for v in 4..=5u64 {
+            let (_pid, fx) = mw2.execute(v).expect("active");
+            drain(&mut mw2, fx, &mut store);
+        }
+        drop(mw2);
+
+        // A second restart must replay the records beyond the torn entry;
+        // stopping at the first undecodable record would lose them.
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        let (mut mw3, fx) = Middleware::recover(ReplicaId(0), disk, config(), 2, 0);
+        drain(&mut mw3, fx, &mut store);
+        for t in 1..50u64 {
+            let fx = mw3.on_tick(t * 100_000);
+            drain(&mut mw3, fx, &mut store);
+            if !mw3.is_recovering() {
+                break;
+            }
+        }
+        assert!(!mw3.is_recovering());
+        assert_eq!(
+            mw3.state().expect("state").total,
+            15,
+            "post-torn appends replayed"
+        );
+    }
+
+    #[test]
+    fn recovered_mirror_keeps_stable_log_alignment() {
+        let (mut mw, mut store) = active_single();
+        for v in 1..=5u64 {
+            let (_pid, fx) = mw.execute(v).expect("active");
+            drain(&mut mw, fx, &mut store);
+        }
+        drop(mw);
+        let truncated_first = store.log(LOG_NAME).expect("log").first_index();
+        assert!(truncated_first > 0, "checkpointing truncated the log");
+
+        let disk = RecoveredDisk::from_store(&store).expect("disk");
+        assert_eq!(disk.log_first_index, truncated_first);
+        let (mut mw2, fx) = Middleware::recover(ReplicaId(0), disk, config(), 1, 0);
+        drain(&mut mw2, fx, &mut store);
+        for t in 1..50u64 {
+            let fx = mw2.on_tick(t * 100_000);
+            drain(&mut mw2, fx, &mut store);
+            if !mw2.is_recovering() {
+                break;
+            }
+        }
+        assert!(!mw2.is_recovering());
+        // Keep executing so post-recovery checkpoints truncate again; a
+        // mirror rebuilt at index 0 would compute keep_from cuts that lag
+        // the stable log and never free the old records.
+        for v in 6..=9u64 {
+            let (_pid, fx) = mw2.execute(v).expect("active");
+            drain(&mut mw2, fx, &mut store);
+        }
+        let first_after = store.log(LOG_NAME).expect("log").first_index();
+        assert!(
+            first_after > truncated_first,
+            "post-recovery truncation must advance: {first_after} vs {truncated_first}"
+        );
+    }
+
     #[test]
     fn snapshot_request_answered_only_when_active() {
         let (mut mw, _store) = active_single();
         let fx = mw.on_message(ReplicaId(0), MwMsg::SnapshotRequest, 0);
-        let has_reply = fx
-            .iter()
-            .any(|e| matches!(e, MwEffect::Send { msg: MwMsg::SnapshotReply { .. }, .. }));
+        let has_reply = fx.iter().any(|e| {
+            matches!(
+                e,
+                MwEffect::Send {
+                    msg: MwMsg::SnapshotReply { .. },
+                    ..
+                }
+            )
+        });
         assert!(has_reply, "active replica serves snapshots");
     }
 }

@@ -163,10 +163,11 @@ impl<App: Application + 'static> ReplicaThread<App> {
                     if self.mw.is_none() {
                         self.epoch += 1;
                         self.recovered_flag.store(false, Ordering::SeqCst);
-                        let disk = RecoveredDisk::from_store(&self.store)
-                            .unwrap_or(RecoveredDisk {
+                        let disk =
+                            RecoveredDisk::from_store(&self.store).unwrap_or(RecoveredDisk {
                                 meta: None,
                                 log_entries: Vec::new(),
+                                log_first_index: 0,
                                 log_bytes: 0,
                             });
                         let (mut mw, fx) = Middleware::recover(
@@ -232,7 +233,10 @@ impl<App: Application + 'static> ReplicaHandle<App> {
     /// Runs a closure against the replica's current state (the paper's
     /// `getState()` read path), blocking for the result. Returns `None`
     /// while the replica is crashed or its checkpoint is still loading.
-    pub fn query<R: Send + 'static>(&self, f: impl FnOnce(&App) -> R + Send + 'static) -> Option<R> {
+    pub fn query<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&App) -> R + Send + 'static,
+    ) -> Option<R> {
         let (tx, rx) = unbounded();
         let run = Box::new(move |state: Option<&App>| {
             let _ = tx.send(state.map(f));

@@ -308,10 +308,7 @@ mod tests {
     fn truncated_input_errors() {
         assert_eq!(u64::from_bytes(&[1, 2, 3]), Err(WireError::UnexpectedEnd));
         let s = String::from("abcdef").to_bytes();
-        assert_eq!(
-            String::from_bytes(&s[..5]),
-            Err(WireError::UnexpectedEnd)
-        );
+        assert_eq!(String::from_bytes(&s[..5]), Err(WireError::UnexpectedEnd));
     }
 
     #[test]
@@ -361,7 +358,9 @@ mod tests {
     fn derived_enum_roundtrips() {
         roundtrip(DemoEnum::Unit);
         roundtrip(DemoEnum::Pair { x: 1, y: 2 });
-        roundtrip(DemoEnum::Wrapped { inner: "abc".into() });
+        roundtrip(DemoEnum::Wrapped {
+            inner: "abc".into(),
+        });
         assert_eq!(DemoEnum::from_bytes(&[9]), Err(WireError::BadTag(9)));
     }
 

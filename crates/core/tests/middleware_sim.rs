@@ -56,7 +56,9 @@ impl Cluster {
         for i in 0..n {
             let mw = Middleware::new(
                 ReplicaId(i as u32),
-                Register { applied: Vec::new() },
+                Register {
+                    applied: Vec::new(),
+                },
                 config.clone(),
                 0,
             );
@@ -133,6 +135,7 @@ impl Cluster {
                         self.apply_effects(node.index(), fx);
                     }
                 }
+                Event::DiskWriteFailed { .. } => unreachable!("no disk faults injected"),
             }
         }
     }
@@ -154,8 +157,8 @@ impl Cluster {
 
     fn restart(&mut self, node: usize) {
         self.engine.restart(NodeId(node));
-        let disk = RecoveredDisk::from_store(self.engine.store(NodeId(node)))
-            .expect("readable disk");
+        let disk =
+            RecoveredDisk::from_store(self.engine.store(NodeId(node))).expect("readable disk");
         let epoch = self.engine.node_state(NodeId(node)).incarnation.0;
         let (mut mw, fx) = Middleware::recover(
             ReplicaId(node as u32),
@@ -164,7 +167,9 @@ impl Cluster {
             epoch,
             self.engine.now().as_micros(),
         );
-        mw.install_initial_state(Register { applied: Vec::new() });
+        mw.install_initial_state(Register {
+            applied: Vec::new(),
+        });
         self.apply_effects(node, fx);
         self.engine
             .set_timer(NodeId(node), SimDuration::from_micros(TICK_US), TICK_TOKEN);
@@ -214,7 +219,11 @@ fn checkpoints_are_written_and_log_truncated() {
     }
     c.run_until(SimTime::from_secs(4));
     let status = c.nodes[0].as_ref().unwrap().status();
-    assert!(status.checkpoints >= 2, "expected ≥2 checkpoints, got {}", status.checkpoints);
+    assert!(
+        status.checkpoints >= 2,
+        "expected ≥2 checkpoints, got {}",
+        status.checkpoints
+    );
     assert!(status.checkpoint_slot.0 >= 20);
     // Disk state reflects it: meta exists, log truncated.
     let store = c.engine.store(NodeId(0));
@@ -304,10 +313,10 @@ fn recovery_time_scales_with_state_size() {
 
         // Local driver loop (mirrors Cluster, for the custom app type).
         let apply = |engine: &mut Engine<MwMsg<u64>>,
-                         _nodes: &mut Vec<Option<Middleware<Sized>>>,
-                         recovered_at: &mut Option<u64>,
-                         node: usize,
-                         fx: Vec<MwEffect<Sized>>| {
+                     _nodes: &mut Vec<Option<Middleware<Sized>>>,
+                     recovered_at: &mut Option<u64>,
+                     node: usize,
+                     fx: Vec<MwEffect<Sized>>| {
             for e in fx {
                 match e {
                     MwEffect::Send { to, msg, bytes } => {
@@ -320,7 +329,9 @@ fn recovery_time_scales_with_state_size() {
                         }
                         engine.disk_write(NodeId(node), op, token);
                     }
-                    MwEffect::DiskRead { key, token } => engine.disk_read(NodeId(node), &key, token),
+                    MwEffect::DiskRead { key, token } => {
+                        engine.disk_read(NodeId(node), &key, token)
+                    }
                     MwEffect::DiskReadRaw { bytes, token } => {
                         engine.disk_read_raw(NodeId(node), bytes, token)
                     }
@@ -330,9 +341,9 @@ fn recovery_time_scales_with_state_size() {
             }
         };
         let pump = |engine: &mut Engine<MwMsg<u64>>,
-                        nodes: &mut Vec<Option<Middleware<Sized>>>,
-                        recovered_at: &mut Option<u64>,
-                        until: SimTime| {
+                    nodes: &mut Vec<Option<Middleware<Sized>>>,
+                    recovered_at: &mut Option<u64>,
+                    until: SimTime| {
             while let Some((now, ev)) = engine.next_event_before(until) {
                 match ev {
                     Event::Message { from, to, payload } => {
@@ -365,11 +376,17 @@ fn recovery_time_scales_with_state_size() {
                             apply(engine, nodes, recovered_at, node.index(), fx);
                         }
                     }
+                    Event::DiskWriteFailed { .. } => unreachable!("no disk faults injected"),
                 }
             }
         };
 
-        pump(&mut engine, &mut nodes, &mut recovered_at, SimTime::from_secs(1));
+        pump(
+            &mut engine,
+            &mut nodes,
+            &mut recovered_at,
+            SimTime::from_secs(1),
+        );
         for i in 0..25u64 {
             let (pid, fx) = nodes[0].as_mut().unwrap().execute(i).unwrap();
             let _ = pid;
@@ -381,21 +398,37 @@ fn recovery_time_scales_with_state_size() {
                 SimTime::from_secs(1) + SimDuration::from_millis(40 * (i + 1)),
             );
         }
-        pump(&mut engine, &mut nodes, &mut recovered_at, SimTime::from_secs(3));
+        pump(
+            &mut engine,
+            &mut nodes,
+            &mut recovered_at,
+            SimTime::from_secs(3),
+        );
         // Crash node 4 and restart it.
         engine.crash(NodeId(4));
         nodes[4] = None;
-        pump(&mut engine, &mut nodes, &mut recovered_at, SimTime::from_secs(4));
+        pump(
+            &mut engine,
+            &mut nodes,
+            &mut recovered_at,
+            SimTime::from_secs(4),
+        );
         engine.restart(NodeId(4));
         let restart_at = engine.now().as_micros();
         let disk = RecoveredDisk::from_store(engine.store(NodeId(4))).unwrap();
         let epoch = engine.node_state(NodeId(4)).incarnation.0;
-        let (mut mw, fx) = Middleware::recover(ReplicaId(4), disk, config.clone(), epoch, restart_at);
+        let (mut mw, fx) =
+            Middleware::recover(ReplicaId(4), disk, config.clone(), epoch, restart_at);
         mw.install_initial_state(Sized(Vec::new(), nominal_mb * 1_000_000));
         nodes[4] = Some(mw);
         apply(&mut engine, &mut nodes, &mut recovered_at, 4, fx);
         engine.set_timer(NodeId(4), SimDuration::from_micros(TICK_US), TICK_TOKEN);
-        pump(&mut engine, &mut nodes, &mut recovered_at, SimTime::from_secs(200));
+        pump(
+            &mut engine,
+            &mut nodes,
+            &mut recovered_at,
+            SimTime::from_secs(200),
+        );
         recovered_at.expect("recovery completes") - restart_at
     }
 
@@ -406,7 +439,10 @@ fn recovery_time_scales_with_state_size() {
         large > small + 40_000_000,
         "700MB recovery ({large}µs) should exceed 300MB ({small}µs) by ~50s"
     );
-    assert!(small > 30_000_000, "300MB checkpoint load must cost ≥30s, got {small}µs");
+    assert!(
+        small > 30_000_000,
+        "300MB checkpoint load must cost ≥30s, got {small}µs"
+    );
 }
 
 #[test]
@@ -439,7 +475,9 @@ fn snapshot_transfer_when_backlog_outruns_retention() {
     for i in 0..5 {
         c.nodes[i] = Some(Middleware::new(
             ReplicaId(i as u32),
-            Register { applied: Vec::new() },
+            Register {
+                applied: Vec::new(),
+            },
             c.config.clone(),
             0,
         ));
@@ -477,12 +515,17 @@ fn converges_over_a_lossy_network() {
     for i in 0..5 {
         c.nodes[i] = Some(Middleware::new(
             ReplicaId(i as u32),
-            Register { applied: Vec::new() },
+            Register {
+                applied: Vec::new(),
+            },
             c.config.clone(),
             0,
         ));
-        c.engine
-            .set_timer(simnet::NodeId(i), SimDuration::from_micros(TICK_US), TICK_TOKEN);
+        c.engine.set_timer(
+            simnet::NodeId(i),
+            SimDuration::from_micros(TICK_US),
+            TICK_TOKEN,
+        );
     }
     c.run_until(SimTime::from_secs(1));
     for i in 0..30 {
@@ -492,7 +535,11 @@ fn converges_over_a_lossy_network() {
     // Ample time for retries over the lossy links.
     c.run_until(SimTime::from_secs(30));
     c.assert_replicas_agree();
-    assert_eq!(c.state(0).applied.len(), 30, "all proposals delivered despite loss");
+    assert_eq!(
+        c.state(0).applied.len(),
+        30,
+        "all proposals delivered despite loss"
+    );
 }
 
 #[test]
@@ -514,13 +561,21 @@ fn partition_heals_and_minority_catches_up() {
         c.run_until(SimTime::from_secs(3) + SimDuration::from_millis(60 * (i - 9)));
     }
     c.run_until(SimTime::from_secs(6));
-    assert_eq!(c.state(0).applied.len(), 20, "majority side keeps committing");
+    assert_eq!(
+        c.state(0).applied.len(),
+        20,
+        "majority side keeps committing"
+    );
     assert!(c.state(4).applied.len() < 20, "minority is behind");
     // Heal: the minority catches up via the learn protocol.
     c.engine.network_mut().heal_all();
     c.run_until(SimTime::from_secs(20));
     c.assert_replicas_agree();
-    assert_eq!(c.state(4).applied.len(), 20, "minority caught up after heal");
+    assert_eq!(
+        c.state(4).applied.len(),
+        20,
+        "minority caught up after heal"
+    );
 }
 
 #[test]
@@ -596,7 +651,9 @@ fn flow_control_bounds_outstanding_proposals() {
     for i in 0..5 {
         c.nodes[i] = Some(Middleware::new(
             ReplicaId(i as u32),
-            Register { applied: Vec::new() },
+            Register {
+                applied: Vec::new(),
+            },
             c.config.clone(),
             0,
         ));
@@ -613,9 +670,18 @@ fn flow_control_bounds_outstanding_proposals() {
     );
     c.run_until(SimTime::from_secs(20));
     c.assert_replicas_agree();
-    assert_eq!(c.state(0).applied.len(), 12, "all throttled proposals eventually apply");
     assert_eq!(
-        c.nodes[0].as_ref().unwrap().status().paxos.pending_proposals,
+        c.state(0).applied.len(),
+        12,
+        "all throttled proposals eventually apply"
+    );
+    assert_eq!(
+        c.nodes[0]
+            .as_ref()
+            .unwrap()
+            .status()
+            .paxos
+            .pending_proposals,
         0
     );
     // Each value applied exactly once (the total order may permute

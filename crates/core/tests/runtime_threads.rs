@@ -98,14 +98,17 @@ fn concurrent_clients_from_many_threads() {
         j.join().expect("client thread");
     }
     // 1 warm-up + 60 client entries, identical everywhere.
-    assert!(wait_until(Duration::from_secs(10), || {
-        let views: Vec<Option<Vec<u64>>> = (0..3)
-            .map(|i| cluster.handle(i).query(|l| l.entries.clone()))
-            .collect();
-        views.iter().all(|v| v.is_some())
-            && views.iter().all(|v| v.as_deref() == views[0].as_deref())
-            && views[0].as_ref().map(|v| v.len()) == Some(61)
-    }), "replicas must converge on 61 entries");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let views: Vec<Option<Vec<u64>>> = (0..3)
+                .map(|i| cluster.handle(i).query(|l| l.entries.clone()))
+                .collect();
+            views.iter().all(|v| v.is_some())
+                && views.iter().all(|v| v.as_deref() == views[0].as_deref())
+                && views[0].as_ref().map(|v| v.len()) == Some(61)
+        }),
+        "replicas must converge on 61 entries"
+    );
     cluster.shutdown();
 }
 
@@ -115,14 +118,19 @@ fn crash_recover_preserves_ledger() {
         entries: Vec::new(),
     });
     let h0 = cluster.handle(0);
-    assert!(wait_until(Duration::from_secs(10), || h0.execute(1).is_ok()));
+    assert!(wait_until(Duration::from_secs(10), || h0
+        .execute(1)
+        .is_ok()));
     for v in 2..=20u64 {
         h0.execute(v).expect("active");
     }
     // Crash replica 2; the majority keeps committing.
     let h2 = cluster.handle(2);
     h2.crash();
-    assert!(h2.query(|l| l.entries.len()).is_none(), "crashed replica has no state");
+    assert!(
+        h2.query(|l| l.entries.len()).is_none(),
+        "crashed replica has no state"
+    );
     for v in 21..=30u64 {
         h0.execute(v).expect("majority still live");
     }
@@ -132,9 +140,12 @@ fn crash_recover_preserves_ledger() {
         wait_until(Duration::from_secs(15), || h2.is_recovered()),
         "recovery must complete"
     );
-    assert!(wait_until(Duration::from_secs(10), || {
-        h2.query(|l| l.entries.len()) == Some(30)
-    }), "recovered replica must hold all 30 entries");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            h2.query(|l| l.entries.len()) == Some(30)
+        }),
+        "recovered replica must hold all 30 entries"
+    );
     let recovered = h2.query(|l| l.entries.clone()).unwrap();
     let reference = h0.query(|l| l.entries.clone()).unwrap();
     assert_eq!(recovered, reference);
@@ -147,10 +158,14 @@ fn execute_fails_cleanly_while_crashed() {
         entries: Vec::new(),
     });
     let h1 = cluster.handle(1);
-    assert!(wait_until(Duration::from_secs(10), || h1.execute(1).is_ok()));
+    assert!(wait_until(Duration::from_secs(10), || h1
+        .execute(1)
+        .is_ok()));
     h1.crash();
     assert!(h1.execute(2).is_err(), "crashed replica rejects executes");
     h1.recover();
-    assert!(wait_until(Duration::from_secs(15), || h1.execute(3).is_ok()));
+    assert!(wait_until(Duration::from_secs(15), || h1
+        .execute(3)
+        .is_ok()));
     cluster.shutdown();
 }

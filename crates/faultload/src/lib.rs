@@ -28,4 +28,7 @@ mod measures;
 mod spec;
 
 pub use measures::{performability, DependabilityReport, PerformabilityWindow, RecoverySpan};
-pub use spec::{FaultEvent, Faultload, PartitionEvent, RecoveryKind};
+pub use spec::{
+    DiskFaultEvent, FaultEvent, Faultload, LinkFaultSpec, NetFaultEvent, PartitionEvent,
+    RecoveryKind,
+};

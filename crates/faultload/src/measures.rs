@@ -156,8 +156,8 @@ impl DependabilityReport {
             ff_vals.iter().sum::<f64>() / ff_vals.len() as f64
         };
         let ff_cv = if ff_awips > 0.0 {
-            let var = ff_vals.iter().map(|v| (v - ff_awips).powi(2)).sum::<f64>()
-                / ff_vals.len() as f64;
+            let var =
+                ff_vals.iter().map(|v| (v - ff_awips).powi(2)).sum::<f64>() / ff_vals.len() as f64;
             var.sqrt() / ff_awips
         } else {
             0.0
@@ -253,7 +253,11 @@ mod tests {
         assert!((r.failure_free.awips - 100.0).abs() < 1e-9);
         assert_eq!(r.recovery.len(), 1);
         assert!((r.recovery[0].awips - 60.0).abs() < 1e-9);
-        assert!((r.pv_percent[0] + 40.0).abs() < 1e-9, "PV {}", r.pv_percent[0]);
+        assert!(
+            (r.pv_percent[0] + 40.0).abs() < 1e-9,
+            "PV {}",
+            r.pv_percent[0]
+        );
         assert!((r.accuracy_percent - 99.995).abs() < 1e-9);
         assert_eq!(r.autonomy, 1.0);
         assert_eq!(r.availability, 1.0);

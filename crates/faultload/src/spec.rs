@@ -55,6 +55,52 @@ pub struct PartitionEvent {
     pub minority: Vec<usize>,
 }
 
+/// Adversarial per-link message faults applied to every server–server
+/// link for a bounded interval: probabilistic loss, duplication, and
+/// reordering (a message held back so later ones overtake it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultSpec {
+    /// Per-message loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Per-message duplication probability in `[0, 1]`.
+    pub duplicate: f64,
+    /// Per-message reorder probability in `[0, 1]`.
+    pub reorder: f64,
+    /// Maximum hold-back applied to a reordered message (µs).
+    pub reorder_delay_us: u64,
+}
+
+/// An interval during which [`LinkFaultSpec`] faults afflict all
+/// replica-to-replica links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultEvent {
+    /// When the faults start (µs since run start).
+    pub at_us: u64,
+    /// When the links return to nominal behaviour (µs).
+    pub until_us: u64,
+    /// The fault profile.
+    pub fault: LinkFaultSpec,
+}
+
+/// An interval during which one replica's disk misbehaves: durable
+/// writes may fail (delivered as an fsync error, upon which the server
+/// fail-stops and the watchdog restarts it), and a crash tears the
+/// in-flight log append, leaving a partial record for recovery to
+/// detect and discard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFaultEvent {
+    /// When the disk starts misbehaving (µs since run start).
+    pub at_us: u64,
+    /// When the disk returns to nominal behaviour (µs).
+    pub until_us: u64,
+    /// Which replica (an index into the run's victim permutation).
+    pub victim: usize,
+    /// Per-write failure probability in `[0, 1]`.
+    pub write_fail: f64,
+    /// Whether crashes tear the in-flight log append.
+    pub torn_tail: bool,
+}
+
 /// A faultload: a list of crash events injected during the run.
 ///
 /// ```
@@ -64,12 +110,16 @@ pub struct PartitionEvent {
 /// assert_eq!(f.events[0].at_us, 80_000_000);
 /// assert_eq!(f.manual_recoveries(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Faultload {
     /// The injected faults, in time order.
     pub events: Vec<FaultEvent>,
     /// Network partitions, if any.
     pub partitions: Vec<PartitionEvent>,
+    /// Adversarial link-fault intervals, if any.
+    pub net_faults: Vec<NetFaultEvent>,
+    /// Disk-fault intervals, if any.
+    pub disk_faults: Vec<DiskFaultEvent>,
 }
 
 impl Faultload {
@@ -82,8 +132,12 @@ impl Faultload {
     /// `[at_us, heal_at_us)` without crashing anyone.
     pub fn partition(at_us: u64, heal_at_us: u64, minority: Vec<usize>) -> Faultload {
         Faultload {
-            events: Vec::new(),
-            partitions: vec![PartitionEvent { at_us, heal_at_us, minority }],
+            partitions: vec![PartitionEvent {
+                at_us,
+                heal_at_us,
+                minority,
+            }],
+            ..Faultload::default()
         }
     }
 
@@ -95,7 +149,7 @@ impl Faultload {
                 victim: 0,
                 recovery: RecoveryKind::Autonomous,
             }],
-            partitions: Vec::new(),
+            ..Faultload::default()
         }
     }
 
@@ -115,7 +169,7 @@ impl Faultload {
                     recovery: RecoveryKind::Autonomous,
                 },
             ],
-            partitions: Vec::new(),
+            ..Faultload::default()
         }
     }
 
@@ -135,7 +189,102 @@ impl Faultload {
                     recovery: RecoveryKind::Manual { at_us: 390_000_000 },
                 },
             ],
-            partitions: Vec::new(),
+            ..Faultload::default()
+        }
+    }
+
+    /// An adversarial faultload afflicting every replica link with the
+    /// given loss/duplication/reordering profile for `[at_us, until_us)`.
+    pub fn lossy_links(at_us: u64, until_us: u64, fault: LinkFaultSpec) -> Faultload {
+        Faultload {
+            net_faults: vec![NetFaultEvent {
+                at_us,
+                until_us,
+                fault,
+            }],
+            ..Faultload::default()
+        }
+    }
+
+    /// A flapping partition: `cycles` rounds of cutting `minority` off
+    /// for `cut_us` and then healing for `heal_us`, starting at `at_us`.
+    /// Repeated quorum loss and re-formation stresses leader election
+    /// and collision recovery far harder than a single long partition.
+    pub fn partition_flap(
+        at_us: u64,
+        cycles: usize,
+        cut_us: u64,
+        heal_us: u64,
+        minority: Vec<usize>,
+    ) -> Faultload {
+        let mut partitions = Vec::with_capacity(cycles);
+        let mut t = at_us;
+        for _ in 0..cycles {
+            partitions.push(PartitionEvent {
+                at_us: t,
+                heal_at_us: t + cut_us,
+                minority: minority.clone(),
+            });
+            t += cut_us + heal_us;
+        }
+        Faultload {
+            partitions,
+            ..Faultload::default()
+        }
+    }
+
+    /// A faulty-disk faultload: replica `victim`'s durable writes fail
+    /// with probability `write_fail` during `[at_us, until_us)`, and any
+    /// crash in that window tears the in-flight log append, leaving a
+    /// partial record the recovery path must discard.
+    pub fn faulty_disk(at_us: u64, until_us: u64, victim: usize, write_fail: f64) -> Faultload {
+        Faultload {
+            disk_faults: vec![DiskFaultEvent {
+                at_us,
+                until_us,
+                victim,
+                write_fail,
+                torn_tail: true,
+            }],
+            ..Faultload::default()
+        }
+    }
+
+    /// Everything at once, sized relative to the run length `until_us`:
+    /// lossy links throughout, a flapping partition, one faulty disk,
+    /// and a crash of the first victim at the two-thirds mark.
+    pub fn adversarial_mix(until_us: u64) -> Faultload {
+        Faultload {
+            events: vec![FaultEvent {
+                at_us: until_us * 2 / 3,
+                victim: 0,
+                recovery: RecoveryKind::Autonomous,
+            }],
+            partitions: Faultload::partition_flap(
+                until_us / 4,
+                3,
+                until_us / 20,
+                until_us / 20,
+                vec![2],
+            )
+            .partitions,
+            net_faults: vec![NetFaultEvent {
+                at_us: 0,
+                until_us,
+                fault: LinkFaultSpec {
+                    loss: 0.02,
+                    duplicate: 0.01,
+                    reorder: 0.10,
+                    reorder_delay_us: 5_000,
+                },
+            }],
+            disk_faults: vec![DiskFaultEvent {
+                at_us: until_us / 3,
+                until_us,
+                victim: 1,
+                write_fail: 0.002,
+                torn_tail: true,
+            }],
         }
     }
 
@@ -165,6 +314,24 @@ impl Faultload {
                     at_us: p.at_us * num / den,
                     heal_at_us: p.heal_at_us * num / den,
                     minority: p.minority.clone(),
+                })
+                .collect(),
+            net_faults: self
+                .net_faults
+                .iter()
+                .map(|f| NetFaultEvent {
+                    at_us: f.at_us * num / den,
+                    until_us: f.until_us * num / den,
+                    fault: f.fault,
+                })
+                .collect(),
+            disk_faults: self
+                .disk_faults
+                .iter()
+                .map(|d| DiskFaultEvent {
+                    at_us: d.at_us * num / den,
+                    until_us: d.until_us * num / den,
+                    ..*d
                 })
                 .collect(),
         }
@@ -223,5 +390,52 @@ mod tests {
     #[test]
     fn none_is_empty() {
         assert_eq!(Faultload::none().fault_count(), 0);
+    }
+
+    #[test]
+    fn partition_flap_builds_disjoint_cycles() {
+        let f = Faultload::partition_flap(100, 3, 10, 20, vec![1, 2]);
+        assert_eq!(f.partitions.len(), 3);
+        assert_eq!(f.partitions[0].at_us, 100);
+        assert_eq!(f.partitions[0].heal_at_us, 110);
+        assert_eq!(f.partitions[1].at_us, 130);
+        assert_eq!(f.partitions[2].at_us, 160);
+        for w in f.partitions.windows(2) {
+            assert!(w[0].heal_at_us <= w[1].at_us, "cycles must not overlap");
+        }
+    }
+
+    #[test]
+    fn adversarial_constructors_scale() {
+        let spec = LinkFaultSpec {
+            loss: 0.1,
+            duplicate: 0.05,
+            reorder: 0.2,
+            reorder_delay_us: 9_000,
+        };
+        let f = Faultload::lossy_links(30_000_000, 90_000_000, spec).scaled(1, 3);
+        assert_eq!(f.net_faults[0].at_us, 10_000_000);
+        assert_eq!(f.net_faults[0].until_us, 30_000_000);
+        assert_eq!(f.net_faults[0].fault, spec, "profile survives scaling");
+
+        let d = Faultload::faulty_disk(60_000_000, 120_000_000, 1, 0.01).scaled(1, 2);
+        assert_eq!(d.disk_faults[0].at_us, 30_000_000);
+        assert_eq!(d.disk_faults[0].until_us, 60_000_000);
+        assert!(d.disk_faults[0].torn_tail);
+        assert_eq!(d.disk_faults[0].victim, 1);
+    }
+
+    #[test]
+    fn adversarial_mix_covers_all_fault_classes() {
+        let f = Faultload::adversarial_mix(60_000_000);
+        assert_eq!(f.fault_count(), 1);
+        assert!(!f.partitions.is_empty());
+        assert!(!f.net_faults.is_empty());
+        assert!(!f.disk_faults.is_empty());
+        assert!(f.events[0].at_us < 60_000_000);
+        // Distinct victims: the crashed replica, the faulty disk, and
+        // the partitioned minority do not pile onto one index.
+        assert_ne!(f.events[0].victim, f.disk_faults[0].victim);
+        assert!(!f.partitions[0].minority.contains(&f.events[0].victim));
     }
 }

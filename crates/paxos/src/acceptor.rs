@@ -114,7 +114,11 @@ impl<V: Clone> Acceptor<V> {
                         a.rnd_global = *ballot;
                     }
                 }
-                Record::Accepted { ballot, slot, decree } => {
+                Record::Accepted {
+                    ballot,
+                    slot,
+                    decree,
+                } => {
                     let replace = match a.accepted.get(slot) {
                         Some((b, _)) => ballot >= b,
                         None => true,
@@ -262,9 +266,17 @@ impl<V: Clone> Acceptor<V> {
         if slot >= self.fast_cursor {
             self.fast_cursor = slot.next();
         }
-        let announce = Msg::Accepted { ballot, slot, decree: decree.clone() };
+        let announce = Msg::Accepted {
+            ballot,
+            slot,
+            decree: decree.clone(),
+        };
         AcceptorOut::gated(
-            Record::Accepted { ballot, slot, decree },
+            Record::Accepted {
+                ballot,
+                slot,
+                decree,
+            },
             vec![(Dest::All, announce)],
         )
     }
@@ -298,7 +310,8 @@ impl<V: Clone> Acceptor<V> {
         }
         let ballot = self.rnd_global;
         let mut slot = self.fast_cursor.max(self.any_from.expect("window open"));
-        while self.accepted.contains_key(&slot) || self.slot_rnd.get(&slot).is_some_and(|b| *b > ballot)
+        while self.accepted.contains_key(&slot)
+            || self.slot_rnd.get(&slot).is_some_and(|b| *b > ballot)
         {
             slot = slot.next();
         }
@@ -306,9 +319,17 @@ impl<V: Clone> Acceptor<V> {
         self.fast_pids.insert(pid, slot);
         let decree = Decree::Value(pid, value);
         self.accepted.insert(slot, (ballot, decree.clone()));
-        let announce = Msg::Accepted { ballot, slot, decree: decree.clone() };
+        let announce = Msg::Accepted {
+            ballot,
+            slot,
+            decree: decree.clone(),
+        };
         AcceptorOut::gated(
-            Record::Accepted { ballot, slot, decree },
+            Record::Accepted {
+                ballot,
+                slot,
+                decree,
+            },
             vec![(Dest::All, announce)],
         )
     }
@@ -372,8 +393,18 @@ mod tests {
     #[test]
     fn stale_prepare_ignored() {
         let mut a: Acceptor<&str> = Acceptor::new();
-        a.on_prepare(ReplicaId(1), Ballot::classic(5, ReplicaId(1)), Slot::ZERO, None);
-        let out = a.on_prepare(ReplicaId(0), Ballot::classic(3, ReplicaId(0)), Slot::ZERO, None);
+        a.on_prepare(
+            ReplicaId(1),
+            Ballot::classic(5, ReplicaId(1)),
+            Slot::ZERO,
+            None,
+        );
+        let out = a.on_prepare(
+            ReplicaId(0),
+            Ballot::classic(3, ReplicaId(0)),
+            Slot::ZERO,
+            None,
+        );
         assert!(out.record.is_none());
         assert!(out.sends.is_empty());
     }
@@ -381,7 +412,12 @@ mod tests {
     #[test]
     fn accept_below_promise_rejected() {
         let mut a: Acceptor<&str> = Acceptor::new();
-        a.on_prepare(ReplicaId(1), Ballot::classic(5, ReplicaId(1)), Slot::ZERO, None);
+        a.on_prepare(
+            ReplicaId(1),
+            Ballot::classic(5, ReplicaId(1)),
+            Slot::ZERO,
+            None,
+        );
         let out = a.on_accept(
             Ballot::classic(3, ReplicaId(0)),
             Slot(0),
@@ -434,7 +470,12 @@ mod tests {
     #[test]
     fn higher_prepare_closes_fast_window() {
         let (mut a, _b) = fast_ready(1);
-        a.on_prepare(ReplicaId(1), Ballot::classic(2, ReplicaId(1)), Slot::ZERO, None);
+        a.on_prepare(
+            ReplicaId(1),
+            Ballot::classic(2, ReplicaId(1)),
+            Slot::ZERO,
+            None,
+        );
         assert!(!a.fast_window_open());
         let out = a.on_fast_propose(pid(1, 1), "v");
         assert!(out.record.is_none());
@@ -444,7 +485,7 @@ mod tests {
     fn single_slot_recovery_keeps_window_open() {
         let (mut a, b) = fast_ready(1);
         a.on_fast_propose(pid(1, 1), "v1"); // slot 0
-        // Coordinator recovers slot 1 with a higher classic ballot.
+                                            // Coordinator recovers slot 1 with a higher classic ballot.
         let rec = Ballot::classic(2, ReplicaId(0));
         let out = a.on_prepare(ReplicaId(0), rec, Slot(1), Some(Slot(1)));
         assert!(matches!(out.record, Some(Record::Promised(x)) if x == rec));
@@ -473,7 +514,10 @@ mod tests {
         assert!(!a.fast_window_open(), "classic ballot cannot open window");
         let f = Ballot::fast(2, ReplicaId(0));
         a.on_any(f, Slot::ZERO);
-        assert!(!a.fast_window_open(), "Any for a ballot not promised is ignored");
+        assert!(
+            !a.fast_window_open(),
+            "Any for a ballot not promised is ignored"
+        );
     }
 
     #[test]
@@ -498,7 +542,12 @@ mod tests {
         assert_eq!(a.accepted_len(), 1);
         // Reports must reflect the *latest* acceptance.
         let mut a = a;
-        let out = a.on_prepare(ReplicaId(2), Ballot::classic(9, ReplicaId(2)), Slot::ZERO, None);
+        let out = a.on_prepare(
+            ReplicaId(2),
+            Ballot::classic(9, ReplicaId(2)),
+            Slot::ZERO,
+            None,
+        );
         match &out.sends[0].1 {
             Msg::Promise { accepted, .. } => {
                 assert_eq!(accepted[0].decree, Decree::Value(pid(1, 1), "new"));

@@ -24,6 +24,19 @@ pub struct PaxosConfig {
     /// How far (slots) a peer may run ahead before we ask to be caught
     /// up instead of waiting for straggling `Accepted` broadcasts.
     pub catchup_lag_slots: u64,
+    /// Minimum spacing between heartbeat-triggered `LearnRequest`s, so
+    /// a flurry of `Alive` messages from many peers cannot stampede the
+    /// catch-up path.
+    pub alive_catchup_throttle_us: u64,
+    /// Minimum spacing between gap-repair `LearnRequest`s issued from
+    /// the tick path when delivery is blocked on a hole.
+    pub gap_repair_throttle_us: u64,
+    /// How long a *small* lag (≤ `catchup_lag_slots`) may persist with
+    /// no delivery progress before we request catch-up anyway. Covers
+    /// the tail of the log: when the final `Accepted` broadcasts of a
+    /// burst are lost, no further traffic will ever re-deliver them, so
+    /// waiting for the lag threshold would strand the replica behind.
+    pub tail_catchup_grace_us: u64,
     /// How long a new coordinator waits for promises beyond the classic
     /// quorum before finalizing phase 1 without the stragglers (waiting
     /// for everyone recovers minority-accepted values after outages).
@@ -35,13 +48,16 @@ impl PaxosConfig {
     pub fn lan(n: usize) -> Self {
         PaxosConfig {
             n,
-            heartbeat_interval_us: 100_000,   // 100 ms
-            fd_timeout_us: 350_000,           // 3.5 heartbeats
-            propose_retry_us: 1_000_000,      // 1 s
-            collision_timeout_us: 150_000,    // 150 ms
+            heartbeat_interval_us: 100_000, // 100 ms
+            fd_timeout_us: 350_000,         // 3.5 heartbeats
+            propose_retry_us: 1_000_000,    // 1 s
+            collision_timeout_us: 150_000,  // 150 ms
             fast_enabled: true,
             learn_chunk: 2_000,
             catchup_lag_slots: 8,
+            alive_catchup_throttle_us: 50_000,
+            gap_repair_throttle_us: 100_000,
+            tail_catchup_grace_us: 400_000,
             prepare_grace_us: 200_000,
         }
     }
@@ -65,6 +81,11 @@ mod tests {
         assert!(c.fd_timeout_us > 2 * c.heartbeat_interval_us);
         assert!(c.propose_retry_us > c.collision_timeout_us);
         assert!(c.fast_enabled);
+        // Stalled-tail catch-up must out-wait ordinary commit latency
+        // (several heartbeats) but fire well before a proposal retry.
+        assert!(c.tail_catchup_grace_us > 2 * c.heartbeat_interval_us);
+        assert!(c.tail_catchup_grace_us < c.propose_retry_us);
+        assert!(c.alive_catchup_throttle_us < c.heartbeat_interval_us);
     }
 
     #[test]

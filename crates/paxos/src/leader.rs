@@ -37,15 +37,17 @@ pub fn choose_decree<V: Clone + Eq + std::hash::Hash>(
     for r in &top {
         *counts.entry(&r.decree).or_default() += 1;
     }
+    // Scan in reporting order (never hash order — replays must converge
+    // bit-for-bit): a decree at the threshold is the choosable one (at
+    // most one can reach it); otherwise fall back to the most reported,
+    // ties broken by reporting order.
     let threshold = quorums.recovery_threshold(q_size);
-    if let Some((d, _)) = counts.iter().find(|(_, c)| **c >= threshold) {
-        return (*d).clone();
-    }
-    // No value is choosable: pick deterministically the most reported
-    // (ties by the reporting order) so every coordinator run converges.
     let mut best: Option<(&Decree<V>, usize)> = None;
     for r in &top {
         let c = counts[&r.decree];
+        if c >= threshold {
+            return r.decree.clone();
+        }
         if best.map(|(_, bc)| c > bc).unwrap_or(true) {
             best = Some((&r.decree, c));
         }
@@ -70,7 +72,7 @@ pub struct Recovery<V> {
     /// Recovery ballot (classic, higher than the fast round).
     pub ballot: Ballot,
     /// Promises received so far: acceptor → its report for the slot.
-    pub reports: HashMap<ReplicaId, Vec<AcceptedReport<V>>>,
+    pub reports: BTreeMap<ReplicaId, Vec<AcceptedReport<V>>>,
     /// When the recovery started (for re-trigger suppression).
     pub started_at: u64,
     /// Whether phase 2 was already issued.
@@ -90,7 +92,7 @@ pub struct Leader<V> {
     /// Current phase.
     pub phase: LeaderPhase,
     /// Range-prepare promises: acceptor → reports.
-    promises: HashMap<ReplicaId, Vec<AcceptedReport<V>>>,
+    promises: BTreeMap<ReplicaId, Vec<AcceptedReport<V>>>,
     /// Start of the range being prepared.
     pub prepare_from: Slot,
     /// Next slot to assign in classic rounds.
@@ -108,7 +110,7 @@ impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
             highest_round: 0,
             ballot: Ballot::BOTTOM,
             phase: LeaderPhase::Idle,
-            promises: HashMap::new(),
+            promises: BTreeMap::new(),
             prepare_from: Slot::ZERO,
             next_slot: Slot::ZERO,
             recoveries: BTreeMap::new(),
@@ -246,7 +248,7 @@ impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
             slot,
             Recovery {
                 ballot,
-                reports: HashMap::new(),
+                reports: BTreeMap::new(),
                 started_at: now,
                 resolved: false,
             },
@@ -290,9 +292,7 @@ impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
         let mut losers: Vec<(crate::types::ProposalId, V)> = Vec::new();
         for r in &flat {
             if let Decree::Value(pid, value) = &r.decree {
-                if winner.proposal_id() != Some(*pid)
-                    && !losers.iter().any(|(lp, _)| lp == pid)
-                {
+                if winner.proposal_id() != Some(*pid) && !losers.iter().any(|(lp, _)| lp == pid) {
                     losers.push((*pid, value.clone()));
                 }
             }
@@ -335,7 +335,11 @@ mod tests {
         }
     }
 
-    fn report(slot: u64, ballot: Ballot, decree: Decree<&'static str>) -> AcceptedReport<&'static str> {
+    fn report(
+        slot: u64,
+        ballot: Ballot,
+        decree: Decree<&'static str>,
+    ) -> AcceptedReport<&'static str> {
         AcceptedReport {
             slot: Slot(slot),
             ballot,
@@ -359,7 +363,10 @@ mod tests {
             report(0, lo, Decree::Value(pid(0, 1), "old")),
             report(0, hi, Decree::Value(pid(1, 1), "new")),
         ];
-        assert_eq!(choose_decree(&reports, 3, q), Decree::Value(pid(1, 1), "new"));
+        assert_eq!(
+            choose_decree(&reports, 3, q),
+            Decree::Value(pid(1, 1), "new")
+        );
     }
 
     #[test]
@@ -396,7 +403,11 @@ mod tests {
         assert_eq!(l.phase, LeaderPhase::Preparing);
         let old = Ballot::classic(0, ReplicaId(1));
         assert!(l
-            .on_promise(ReplicaId(0), b, vec![report(2, old, Decree::Value(pid(0, 1), "x"))])
+            .on_promise(
+                ReplicaId(0),
+                b,
+                vec![report(2, old, Decree::Value(pid(0, 1), "x"))]
+            )
             .is_none());
         assert!(l.on_promise(ReplicaId(1), b, vec![]).is_none());
         // A classic quorum alone no longer auto-finalizes (the replica
@@ -479,10 +490,20 @@ mod tests {
         assert!(l.start_recovery(Slot(4), 1_000).is_none(), "no duplicates");
         let f = Ballot::fast(5, ReplicaId(0));
         assert!(l
-            .on_recovery_promise(ReplicaId(0), rb, Slot(4), vec![report(4, f, Decree::Value(pid(0, 1), "a"))])
+            .on_recovery_promise(
+                ReplicaId(0),
+                rb,
+                Slot(4),
+                vec![report(4, f, Decree::Value(pid(0, 1), "a"))]
+            )
             .is_none());
         assert!(l
-            .on_recovery_promise(ReplicaId(1), rb, Slot(4), vec![report(4, f, Decree::Value(pid(0, 1), "a"))])
+            .on_recovery_promise(
+                ReplicaId(1),
+                rb,
+                Slot(4),
+                vec![report(4, f, Decree::Value(pid(0, 1), "a"))]
+            )
             .is_none());
         let (d, losers) = l
             .on_recovery_promise(ReplicaId(2), rb, Slot(4), vec![])

@@ -109,10 +109,13 @@ impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
         for d in ballot_votes.values() {
             *counts.entry(d).or_default() += 1;
         }
-        let winner = counts
-            .iter()
-            .find(|(_, c)| **c >= needed)
-            .map(|(d, _)| (*d).clone());
+        // Scan votes in acceptor order, not hash order: at most one
+        // decree can reach the quorum, but replays must take identical
+        // paths bit-for-bit.
+        let winner = ballot_votes
+            .values()
+            .find(|d| counts[*d] >= needed)
+            .cloned();
         match winner {
             Some(decree) => {
                 self.votes.remove(&slot);
@@ -226,7 +229,9 @@ impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
     /// The votes recorded for `slot` at `ballot` (coordinator recovery
     /// uses these as its phase-1 information source for O4 counting).
     pub fn votes_at(&self, slot: Slot, ballot: Ballot) -> Option<&BTreeMap<ReplicaId, Decree<V>>> {
-        self.votes.get(&slot).and_then(|sv| sv.by_ballot.get(&ballot))
+        self.votes
+            .get(&slot)
+            .and_then(|sv| sv.by_ballot.get(&ballot))
     }
 
     /// Jumps delivery past `slot` after an external state transfer: the
@@ -288,8 +293,12 @@ mod tests {
         let mut l = learner();
         let b = Ballot::classic(1, ReplicaId(0));
         let d = Decree::Value(pid(0, 1), "v");
-        assert!(l.on_accepted(ReplicaId(0), b, Slot(0), d.clone(), 0).is_empty());
-        assert!(l.on_accepted(ReplicaId(1), b, Slot(0), d.clone(), 0).is_empty());
+        assert!(l
+            .on_accepted(ReplicaId(0), b, Slot(0), d.clone(), 0)
+            .is_empty());
+        assert!(l
+            .on_accepted(ReplicaId(1), b, Slot(0), d.clone(), 0)
+            .is_empty());
         let out = l.on_accepted(ReplicaId(2), b, Slot(0), d, 0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].slot, Slot(0));
@@ -380,7 +389,10 @@ mod tests {
         l.on_accepted(ReplicaId(0), b, Slot(0), Decree::Value(pid(0, 1), "a"), 10);
         l.on_accepted(ReplicaId(1), b, Slot(0), Decree::Value(pid(0, 1), "a"), 10);
         l.on_accepted(ReplicaId(2), b, Slot(0), Decree::Value(pid(1, 1), "z"), 10);
-        assert!(l.stuck_slots(10, 1_000_000).is_empty(), "3 votes: still winnable");
+        assert!(
+            l.stuck_slots(10, 1_000_000).is_empty(),
+            "3 votes: still winnable"
+        );
         l.on_accepted(ReplicaId(3), b, Slot(0), Decree::Value(pid(1, 1), "z"), 10);
         assert_eq!(l.stuck_slots(10, 1_000_000), vec![Slot(0)]);
     }
@@ -453,7 +465,10 @@ mod tests {
         let b = Ballot::classic(1, ReplicaId(0));
         let out = l.on_accepted(ReplicaId(0), b, Slot(3), Decree::Value(pid(0, 1), "v"), 0);
         assert!(out.is_empty());
-        assert!(l.is_decided(Slot(3)), "pre-checkpoint slots count as decided");
+        assert!(
+            l.is_decided(Slot(3)),
+            "pre-checkpoint slots count as decided"
+        );
         assert_eq!(l.next_deliver(), Slot(10));
     }
 }

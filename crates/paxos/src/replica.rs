@@ -34,6 +34,9 @@ pub struct ReplicaStatus {
     pub decided_upto: Slot,
     /// Proposals issued here and not yet delivered.
     pub pending_proposals: usize,
+    /// Replicas the failure detector currently counts alive (self
+    /// included) — the mode rule requires ⌈3N/4⌉ of them for `Fast`.
+    pub alive: usize,
 }
 
 /// A complete Paxos/Fast Paxos replica (sans-io).
@@ -61,6 +64,10 @@ pub struct Replica<V> {
     /// Proposals that could not be routed yet (no leader/blocked).
     unrouted: Vec<(ProposalId, V)>,
     last_learn_request: u64,
+    /// Watermark + first-observed time of an uncleared small lag behind
+    /// a peer; drives the stalled-tail catch-up (see
+    /// [`PaxosConfig::tail_catchup_grace_us`]).
+    lag_since: Option<(Slot, u64)>,
     /// Set by [`Replica::recover`]: aggressively catch up (any positive
     /// lag triggers a learn request) until level with the ensemble.
     recovering: bool,
@@ -126,6 +133,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             fast_window: None,
             unrouted: Vec::new(),
             last_learn_request: 0,
+            lag_since: None,
             recovering: false,
             snapshot_needed: None,
             config,
@@ -145,6 +153,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             ballot: self.highest_ballot,
             decided_upto: self.learner.next_deliver(),
             pending_proposals: self.proposer.pending_len() + self.unrouted.len(),
+            alive: self.fd.alive_count(self.now),
         }
     }
 
@@ -249,8 +258,12 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             Mode::Blocked => {
                 self.unrouted.push((pid, value));
             }
-            _ => {
-                if self.fast_window.is_some() {
+            mode => {
+                // The fast window alone is not enough: the mode rule
+                // forbids the fast path once the detector drops below
+                // ⌈3N/4⌉ alive, even if no higher ballot closed the
+                // window yet. Fall back to the coordinator instead.
+                if mode == Mode::Fast && self.fast_window.is_some() {
                     fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
                 } else {
                     let owner = self.highest_ballot.node;
@@ -289,10 +302,18 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                 accepted,
             } => match only_slot {
                 Some(slot) => {
-                    if let Some((decree, losers)) =
-                        self.leader.on_recovery_promise(from, ballot, slot, accepted)
+                    if let Some((decree, losers)) = self
+                        .leader
+                        .on_recovery_promise(from, ballot, slot, accepted)
                     {
-                        fx.broadcast(self.config.n, Msg::Accept { ballot, slot, decree });
+                        fx.broadcast(
+                            self.config.n,
+                            Msg::Accept {
+                                ballot,
+                                slot,
+                                decree,
+                            },
+                        );
                         // Rescue collision losers right away: assign them
                         // fresh slots under the main ballot instead of
                         // waiting out their proposers' retry timers.
@@ -313,12 +334,17 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                     }
                 }
                 None => {
-                    if let Some((plan, next_free)) = self.leader.on_promise(from, ballot, accepted) {
+                    if let Some((plan, next_free)) = self.leader.on_promise(from, ballot, accepted)
+                    {
                         self.issue_plan(ballot, plan, next_free, &mut fx);
                     }
                 }
             },
-            Msg::Accept { ballot, slot, decree } => {
+            Msg::Accept {
+                ballot,
+                slot,
+                decree,
+            } => {
                 self.observe_ballot(ballot);
                 let out = self.acceptor.on_accept(ballot, slot, decree);
                 self.gate(out, &mut fx);
@@ -348,8 +374,15 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                     // Already decided; drop the retry.
                 } else if self.leader.is_leading() {
                     if self.leader.ballot.is_fast() {
-                        // Relay onto the fast path on the proposer's behalf.
-                        fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                        if self.fd.mode(self.now) == Mode::Fast {
+                            // Relay onto the fast path on the proposer's behalf.
+                            fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                        } else {
+                            // Fast ballot but the detector has degraded:
+                            // park until the class-mismatch election
+                            // re-prepares with a classic ballot.
+                            self.unrouted.push((pid, value));
+                        }
                     } else {
                         self.classic_assign(pid, value, &mut fx);
                     }
@@ -359,12 +392,18 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                 }
                 // Otherwise drop; the proposer's retry will re-route.
             }
-            Msg::Accepted { ballot, slot, decree } => {
+            Msg::Accepted {
+                ballot,
+                slot,
+                decree,
+            } => {
                 self.observe_ballot(ballot);
                 if ballot.is_fast() {
                     self.leader.observe_occupied(slot);
                 }
-                let deliveries = self.learner.on_accepted(from, ballot, slot, decree, self.now);
+                let deliveries = self
+                    .learner
+                    .on_accepted(from, ballot, slot, decree, self.now);
                 for d in deliveries {
                     self.proposer.delivered(d.pid);
                     fx.deliver(d.slot, d.pid, d.value);
@@ -374,7 +413,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                 }
                 self.maybe_recover_collisions(&mut fx);
             }
-            Msg::Alive { ballot, decided_upto } => {
+            Msg::Alive {
+                ballot,
+                decided_upto,
+            } => {
                 self.observe_ballot(ballot);
                 if from == self.id {
                     // Our own looped-back heartbeat carries no catch-up
@@ -382,9 +424,8 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                     return fx.into_vec();
                 }
                 // Catch-up: a peer is decidedly ahead of us.
-                let behind = decided_upto
-                    .0
-                    .saturating_sub(self.learner.next_deliver().0);
+                let next = self.learner.next_deliver();
+                let behind = decided_upto.0.saturating_sub(next.0);
                 if self.recovering && behind == 0 {
                     self.recovering = false;
                 }
@@ -393,8 +434,28 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                 } else {
                     self.config.catchup_lag_slots
                 };
-                if behind > threshold
-                    && self.now.saturating_sub(self.last_learn_request) > 50_000
+                // A small lag is normally transient (broadcasts still in
+                // flight) — but if it persists with no delivery progress,
+                // the missing `Accepted`s were lost for good (e.g. the
+                // tail of a burst over a lossy link) and only an explicit
+                // learn request can close it.
+                let tail_stalled = if behind == 0 {
+                    self.lag_since = None;
+                    false
+                } else {
+                    match self.lag_since {
+                        Some((mark, since)) if mark == next => {
+                            self.now.saturating_sub(since) > self.config.tail_catchup_grace_us
+                        }
+                        _ => {
+                            self.lag_since = Some((next, self.now));
+                            false
+                        }
+                    }
+                };
+                if (behind > threshold || tail_stalled)
+                    && self.now.saturating_sub(self.last_learn_request)
+                        > self.config.alive_catchup_throttle_us
                 {
                     self.last_learn_request = self.now;
                     fx.send(
@@ -500,16 +561,30 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
         fx: &mut Effects<V>,
     ) {
         for (slot, decree) in plan {
-            fx.broadcast(self.config.n, Msg::Accept { ballot, slot, decree });
-        }
-        if ballot.is_fast() {
             fx.broadcast(
                 self.config.n,
-                Msg::Any {
+                Msg::Accept {
                     ballot,
-                    from_slot: next_free,
+                    slot,
+                    decree,
                 },
             );
+        }
+        if ballot.is_fast() {
+            // Only open the fast window if the mode rule still holds at
+            // send time; the detector can degrade mid-election, and an
+            // `Any` sent then would invite fast proposals that can never
+            // gather a fast quorum. The class-mismatch election will
+            // re-prepare with a classic ballot instead.
+            if self.fd.mode(self.now) == Mode::Fast {
+                fx.broadcast(
+                    self.config.n,
+                    Msg::Any {
+                        ballot,
+                        from_slot: next_free,
+                    },
+                );
+            }
         } else {
             self.flush_unrouted(fx);
         }
@@ -630,8 +705,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
         // decided while we were down (or deaf), ongoing traffic can
         // never fill it — fetch it explicitly from a live peer.
         if mode != Mode::Blocked
-            && self.learner.gapped(self.now, 2 * self.config.collision_timeout_us)
-            && self.now.saturating_sub(self.last_learn_request) > 100_000
+            && self
+                .learner
+                .gapped(self.now, 2 * self.config.collision_timeout_us)
+            && self.now.saturating_sub(self.last_learn_request) > self.config.gap_repair_throttle_us
         {
             let target = if self.highest_ballot != Ballot::BOTTOM
                 && self.highest_ballot.node != self.id
@@ -639,10 +716,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             {
                 Some(self.highest_ballot.node)
             } else {
-                self.fd
-                    .alive(self.now)
-                    .into_iter()
-                    .find(|p| *p != self.id)
+                self.fd.alive(self.now).into_iter().find(|p| *p != self.id)
             };
             if let Some(target) = target {
                 self.last_learn_request = self.now;

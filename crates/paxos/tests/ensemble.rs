@@ -216,7 +216,10 @@ fn fast_mode_handles_concurrent_proposers() {
     // the recovery path across ticks.
     for round in 0..10u64 {
         for node in 0..5usize {
-            let (pid, fx) = e.replicas[node].as_mut().unwrap().propose(round * 10 + node as u64);
+            let (pid, fx) = e.replicas[node]
+                .as_mut()
+                .unwrap()
+                .propose(round * 10 + node as u64);
             let _ = pid;
             e.apply_effects(node, fx);
         }
@@ -224,24 +227,35 @@ fn fast_mode_handles_concurrent_proposers() {
     }
     e.run(100, TICK); // let collision recovery + retries finish
     e.assert_agreement();
-    assert_eq!(e.delivered[0].len(), 50, "every proposal eventually decided");
+    assert_eq!(
+        e.delivered[0].len(),
+        50,
+        "every proposal eventually decided"
+    );
 }
 
 #[test]
 fn leader_crash_elects_new_leader_and_continues() {
     let mut e = stabilized(PaxosConfig::lan_classic_only(5));
-    let leader0 = (0..5).find(|&i| e.live_status(i).leading).expect("a leader");
+    let leader0 = (0..5)
+        .find(|&i| e.live_status(i).leading)
+        .expect("a leader");
     assert_eq!(leader0, 0, "lowest id leads first");
     e.propose(2, 1);
     e.crash(0);
     e.run(40, TICK); // fd timeout + re-election
-    let leader1 = (1..5).find(|&i| e.live_status(i).leading).expect("new leader");
+    let leader1 = (1..5)
+        .find(|&i| e.live_status(i).leading)
+        .expect("new leader");
     assert_eq!(leader1, 1);
     e.propose(2, 2);
     e.run(10, TICK);
     e.assert_agreement();
     let d = &e.delivered[2];
-    assert!(d.iter().any(|(_, _, v)| *v == 2), "post-failover proposal decided");
+    assert!(
+        d.iter().any(|(_, _, v)| *v == 2),
+        "post-failover proposal decided"
+    );
 }
 
 #[test]
@@ -368,7 +382,10 @@ fn classic_only_config_never_uses_fast_ballots() {
     e.run(10, TICK);
     for i in 0..5 {
         let st = e.live_status(i);
-        assert!(!st.ballot.is_fast(), "classic-only must not use fast ballots");
+        assert!(
+            !st.ballot.is_fast(),
+            "classic-only must not use fast ballots"
+        );
     }
 }
 
@@ -428,7 +445,10 @@ fn debug_two_crashes() {
         e.propose(i as usize % 5, i);
     }
     e.run(10, TICK);
-    println!("after first 10: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "after first 10: {:?}",
+        e.delivered.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     e.crash(1);
     e.crash(2);
     e.run(40, TICK);
@@ -437,17 +457,28 @@ fn debug_two_crashes() {
         e.propose(i as usize % 2 * 3, i);
     }
     e.run(20, TICK);
-    println!("after 20: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "after 20: {:?}",
+        e.delivered.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     e.restart(1, Slot::ZERO);
     e.restart(2, Slot::ZERO);
     e.run(120, TICK);
-    println!("after restart: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "after restart: {:?}",
+        e.delivered.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     for i in 20..25 {
         e.propose(1, i);
     }
     e.run(60, TICK);
-    println!("end: {:?}", e.delivered.iter().map(Vec::len).collect::<Vec<_>>());
-    for i in 0..5 { println!("status {i}: {:?}", e.live_status(i)); }
+    println!(
+        "end: {:?}",
+        e.delivered.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    for i in 0..5 {
+        println!("status {i}: {:?}", e.live_status(i));
+    }
 }
 
 #[test]
@@ -465,7 +496,7 @@ fn survives_heavy_deterministic_message_loss() {
             .filter(|eff| {
                 if matches!(eff, Effect::Send { .. }) {
                     drop_counter += 1;
-                    drop_counter % 7 != 0
+                    !drop_counter.is_multiple_of(7)
                 } else {
                     true
                 }
@@ -477,7 +508,11 @@ fn survives_heavy_deterministic_message_loss() {
     }
     e.run(400, TICK);
     e.assert_agreement();
-    assert_eq!(e.delivered[0].len(), 30, "all proposals decided despite loss");
+    assert_eq!(
+        e.delivered[0].len(),
+        30,
+        "all proposals decided despite loss"
+    );
     for i in 0..5 {
         assert_eq!(e.live_status(i).pending_proposals, 0);
     }

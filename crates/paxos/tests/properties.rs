@@ -58,7 +58,9 @@ impl Harness {
                         q.extend(r.on_persisted(token));
                     }
                 }
-                Effect::Deliver { slot, pid, value } => self.delivered[node].push((slot, pid, value)),
+                Effect::Deliver { slot, pid, value } => {
+                    self.delivered[node].push((slot, pid, value))
+                }
             }
         }
     }

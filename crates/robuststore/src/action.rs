@@ -67,7 +67,13 @@ pub enum Action {
 impl Wire for Action {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Action::DoCart { cart, add, updates, default_item, now } => {
+            Action::DoCart {
+                cart,
+                add,
+                updates,
+                default_item,
+                now,
+            } => {
                 buf.push(0);
                 cart.encode(buf);
                 add.encode(buf);
@@ -84,7 +90,13 @@ impl Wire for Action {
                 customer.encode(buf);
                 now.encode(buf);
             }
-            Action::BuyConfirm { cart, customer, payment, ship_type, now } => {
+            Action::BuyConfirm {
+                cart,
+                customer,
+                payment,
+                ship_type,
+                now,
+            } => {
                 buf.push(3);
                 cart.encode(buf);
                 customer.encode(buf);
@@ -92,7 +104,12 @@ impl Wire for Action {
                 ship_type.encode(buf);
                 now.encode(buf);
             }
-            Action::AdminUpdate { item, cost_cents, image, thumbnail } => {
+            Action::AdminUpdate {
+                item,
+                cost_cents,
+                image,
+                thumbnail,
+            } => {
                 buf.push(4);
                 item.encode(buf);
                 cost_cents.encode(buf);
@@ -175,7 +192,10 @@ mod tests {
         roundtrip(Action::DoCart {
             cart: Some(CartId(3)),
             add: Some((ItemId(5), 2)),
-            updates: vec![CartLine { item: ItemId(1), qty: 0 }],
+            updates: vec![CartLine {
+                item: ItemId(1),
+                qty: 0,
+            }],
             default_item: ItemId(9),
             now: 123,
         });

@@ -44,8 +44,17 @@ impl Application for RobustStore {
 
     fn apply(&mut self, action: &Action) -> Reply {
         match action {
-            Action::DoCart { cart, add, updates, default_item, now } => {
-                match self.store.do_cart(*cart, *add, updates, *default_item, *now) {
+            Action::DoCart {
+                cart,
+                add,
+                updates,
+                default_item,
+                now,
+            } => {
+                match self
+                    .store
+                    .do_cart(*cart, *add, updates, *default_item, *now)
+                {
                     Ok(id) => Reply::Cart(id),
                     Err(e) => Reply::Failed(e),
                 }
@@ -57,13 +66,27 @@ impl Application for RobustStore {
                     Err(e) => Reply::Failed(e),
                 }
             }
-            Action::BuyConfirm { cart, customer, payment, ship_type, now } => {
-                match self.store.buy_confirm(*cart, *customer, payment, *ship_type, *now) {
+            Action::BuyConfirm {
+                cart,
+                customer,
+                payment,
+                ship_type,
+                now,
+            } => {
+                match self
+                    .store
+                    .buy_confirm(*cart, *customer, payment, *ship_type, *now)
+                {
                     Ok(order) => Reply::Order(order),
                     Err(e) => Reply::Failed(e),
                 }
             }
-            Action::AdminUpdate { item, cost_cents, image, thumbnail } => {
+            Action::AdminUpdate {
+                item,
+                cost_cents,
+                image,
+                thumbnail,
+            } => {
                 match self
                     .store
                     .admin_update(*item, *cost_cents, image.clone(), thumbnail.clone())
@@ -138,7 +161,10 @@ mod tests {
                 ship_type: 1,
                 now: 20,
             },
-            Action::RefreshSession { customer: CustomerId(3), now: 30 },
+            Action::RefreshSession {
+                customer: CustomerId(3),
+                now: 30,
+            },
         ];
         for act in &actions {
             assert_eq!(a.apply(act), b.apply(act));
@@ -191,7 +217,11 @@ mod tests {
         let a = RobustStore::new(tiny());
         let snap = a.snapshot();
         assert!(snap.data.len() < 10_000, "data {} bytes", snap.data.len());
-        assert!(snap.nominal_bytes > 1_000_000, "nominal {}", snap.nominal_bytes);
+        assert!(
+            snap.nominal_bytes > 1_000_000,
+            "nominal {}",
+            snap.nominal_bytes
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl TpcwDatabase {
     /// read *before* action construction (paper §4, task II).
     pub fn prepare(&mut self, request: &WebRequest, now_us: u64) -> Prepared {
         match &request.body {
-            RequestBody::Home { customer } => Prepared::Read(ReadOp::Home { customer: *customer }),
+            RequestBody::Home { customer } => Prepared::Read(ReadOp::Home {
+                customer: *customer,
+            }),
             RequestBody::NewProducts { subject } => {
                 Prepared::Read(ReadOp::NewProducts { subject: *subject })
             }
@@ -120,29 +122,34 @@ impl TpcwDatabase {
                 Prepared::Read(ReadOp::ProductDetail { item: *item })
             }
             RequestBody::SearchRequest => Prepared::Read(ReadOp::SearchRequest),
-            RequestBody::SearchResults { kind, subject, term } => {
-                Prepared::Read(ReadOp::SearchResults {
-                    kind: *kind,
-                    subject: *subject,
-                    term: term.clone(),
-                })
-            }
+            RequestBody::SearchResults {
+                kind,
+                subject,
+                term,
+            } => Prepared::Read(ReadOp::SearchResults {
+                kind: *kind,
+                subject: *subject,
+                term: term.clone(),
+            }),
             RequestBody::OrderInquiry => Prepared::Read(ReadOp::OrderInquiry),
-            RequestBody::OrderDisplay { uname } => {
-                Prepared::Read(ReadOp::OrderDisplay { uname: uname.clone() })
-            }
+            RequestBody::OrderDisplay { uname } => Prepared::Read(ReadOp::OrderDisplay {
+                uname: uname.clone(),
+            }),
             RequestBody::AdminRequest { item } => {
                 Prepared::Read(ReadOp::AdminRequest { item: *item })
             }
-            RequestBody::ShoppingCart { cart, add, updates, default_item } => {
-                Prepared::Write(Action::DoCart {
-                    cart: *cart,
-                    add: *add,
-                    updates: updates.clone(),
-                    default_item: *default_item,
-                    now: now_us,
-                })
-            }
+            RequestBody::ShoppingCart {
+                cart,
+                add,
+                updates,
+                default_item,
+            } => Prepared::Write(Action::DoCart {
+                cart: *cart,
+                add: *add,
+                updates: updates.clone(),
+                default_item: *default_item,
+                now: now_us,
+            }),
             RequestBody::CustomerRegistration {
                 returning,
                 fname,
@@ -171,10 +178,12 @@ impl TpcwDatabase {
                     },
                 }),
             },
-            RequestBody::BuyRequest { customer, cart: _ } => Prepared::Write(Action::RefreshSession {
-                customer: *customer,
-                now: now_us,
-            }),
+            RequestBody::BuyRequest { customer, cart: _ } => {
+                Prepared::Write(Action::RefreshSession {
+                    customer: *customer,
+                    now: now_us,
+                })
+            }
             RequestBody::BuyConfirm {
                 customer,
                 cart,
@@ -202,9 +211,14 @@ impl TpcwDatabase {
                 }),
                 // No cart in session: degrade to a cart view (error page
                 // avoided; TPC-W browsers never do this, but be robust).
-                None => Prepared::Read(ReadOp::Home { customer: Some(*customer) }),
+                None => Prepared::Read(ReadOp::Home {
+                    customer: Some(*customer),
+                }),
             },
-            RequestBody::AdminConfirm { item, new_cost_cents } => {
+            RequestBody::AdminConfirm {
+                item,
+                new_cost_cents,
+            } => {
                 let n: u32 = self.rng.gen_range(0..1_000);
                 Prepared::Write(Action::AdminUpdate {
                     item: *item,
@@ -245,7 +259,11 @@ impl TpcwDatabase {
                 },
             },
             ReadOp::SearchRequest => ok_page(1_500),
-            ReadOp::SearchResults { kind, subject, term } => {
+            ReadOp::SearchResults {
+                kind,
+                subject,
+                term,
+            } => {
                 let items = match kind {
                     0 => store.search_by_subject(*subject),
                     1 => store.search_by_title(term),
@@ -470,15 +488,27 @@ mod tests {
     fn reads_execute_against_local_state() {
         let s = store();
         for op in [
-            ReadOp::Home { customer: Some(CustomerId(1)) },
+            ReadOp::Home {
+                customer: Some(CustomerId(1)),
+            },
             ReadOp::NewProducts { subject: 3 },
             ReadOp::BestSellers { subject: 3 },
             ReadOp::ProductDetail { item: ItemId(5) },
             ReadOp::SearchRequest,
-            ReadOp::SearchResults { kind: 0, subject: 1, term: String::new() },
-            ReadOp::SearchResults { kind: 1, subject: 0, term: "a".into() },
+            ReadOp::SearchResults {
+                kind: 0,
+                subject: 1,
+                term: String::new(),
+            },
+            ReadOp::SearchResults {
+                kind: 1,
+                subject: 0,
+                term: "a".into(),
+            },
             ReadOp::OrderInquiry,
-            ReadOp::OrderDisplay { uname: s.customer(CustomerId(2)).unwrap().uname.clone() },
+            ReadOp::OrderDisplay {
+                uname: s.customer(CustomerId(2)).unwrap().uname.clone(),
+            },
             ReadOp::AdminRequest { item: ItemId(1) },
         ] {
             let page = TpcwDatabase::perform_read(&s, &op);
@@ -490,7 +520,8 @@ mod tests {
     #[test]
     fn write_results_update_sessions() {
         use crate::action::Reply;
-        let r = TpcwDatabase::write_result(Interaction::ShoppingCart, &Reply::Cart(tpcw::CartId(9)));
+        let r =
+            TpcwDatabase::write_result(Interaction::ShoppingCart, &Reply::Cart(tpcw::CartId(9)));
         assert_eq!(r.session.cart, Some(tpcw::CartId(9)));
         let r = TpcwDatabase::write_result(
             Interaction::CustomerRegistration,

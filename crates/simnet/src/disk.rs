@@ -143,7 +143,9 @@ impl DiskModel {
             StableOp::Append { entry, .. } => {
                 self.config.append_base + self.write_transfer(entry.len() as u64)
             }
-            StableOp::Put { value, .. } => self.config.seek + self.write_transfer(value.len() as u64),
+            StableOp::Put { value, .. } => {
+                self.config.seek + self.write_transfer(value.len() as u64)
+            }
             StableOp::TruncateLog { .. } | StableOp::Delete { .. } => self.config.append_base,
         }
     }

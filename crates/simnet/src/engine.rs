@@ -16,7 +16,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::disk::{DiskConfig, DiskModel, StableOp, StableStore};
 use crate::net::{NetConfig, Network, Transmission};
@@ -59,6 +59,40 @@ pub enum Event<M> {
         /// The bytes read (`None` if the key did not exist).
         value: Option<Vec<u8>>,
     },
+    /// A durable write issued by the current incarnation has *failed*
+    /// (injected media error): nothing reached the platter. Mirrors a
+    /// failed `fsync`, after which the write's durability is unknowable;
+    /// the only sound driver reaction is to fail-stop the process.
+    DiskWriteFailed {
+        /// Owner of the disk.
+        node: NodeId,
+        /// Caller-chosen token identifying the write.
+        token: u64,
+    },
+}
+
+/// Injected disk fault behaviour for one node, set via
+/// [`Engine::set_disk_fault`]. Draws come from the engine's seeded RNG,
+/// so faulty runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskFault {
+    /// Probability in `[0, 1]` that a durable write fails instead of
+    /// completing ([`Event::DiskWriteFailed`] is delivered and nothing
+    /// is persisted).
+    pub write_fail_probability: f64,
+    /// On crash, the earliest in-flight log append is *torn*: a strict
+    /// prefix of the entry reaches the platter instead of the write
+    /// being wholly lost. Recovery must detect and discard the tail.
+    pub torn_tail_on_crash: bool,
+}
+
+impl Default for DiskFault {
+    fn default() -> Self {
+        DiskFault {
+            write_fail_probability: 0.0,
+            torn_tail_on_crash: false,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -78,6 +112,11 @@ enum Pending<M> {
         inc: Incarnation,
         token: u64,
         op: StableOp,
+    },
+    DiskWriteFail {
+        node: NodeId,
+        inc: Incarnation,
+        token: u64,
     },
     DiskRead {
         node: NodeId,
@@ -141,6 +180,9 @@ pub struct Engine<M> {
     net: Network,
     disks: Vec<DiskModel>,
     stores: Vec<StableStore>,
+    disk_faults: Vec<Option<DiskFault>>,
+    writes_failed: u64,
+    torn_writes: u64,
     rng: StdRng,
     default_msg_bytes: u64,
 }
@@ -155,8 +197,13 @@ impl<M: std::fmt::Debug> Engine<M> {
             heap: BinaryHeap::new(),
             nodes: vec![NodeState::default(); nodes],
             net: Network::new(config.net),
-            disks: (0..nodes).map(|_| DiskModel::new(config.disk.clone())).collect(),
+            disks: (0..nodes)
+                .map(|_| DiskModel::new(config.disk.clone()))
+                .collect(),
             stores: (0..nodes).map(|_| StableStore::new()).collect(),
+            disk_faults: vec![None; nodes],
+            writes_failed: 0,
+            torn_writes: 0,
             rng: StdRng::seed_from_u64(seed),
             default_msg_bytes: 512,
         }
@@ -219,14 +266,21 @@ impl<M: std::fmt::Debug> Engine<M> {
     /// Sends `payload` from `from` to `to` with the default size hint.
     ///
     /// Silently does nothing if `from` is down (a dead process sends no
-    /// messages). The message may be dropped by the network model.
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+    /// messages). The message may be dropped by the network model, or
+    /// duplicated when a [`crate::LinkFault`] is installed on the link.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M)
+    where
+        M: Clone,
+    {
         self.send_sized(from, to, payload, self.default_msg_bytes);
     }
 
     /// Sends with an explicit wire size in bytes (drives serialization
     /// latency; large state-transfer messages should use this).
-    pub fn send_sized(&mut self, from: NodeId, to: NodeId, payload: M, bytes: u64) {
+    pub fn send_sized(&mut self, from: NodeId, to: NodeId, payload: M, bytes: u64)
+    where
+        M: Clone,
+    {
         if !self.is_up(from) {
             return;
         }
@@ -234,6 +288,19 @@ impl<M: std::fmt::Debug> Engine<M> {
             Transmission::Deliver(delay) => {
                 let at = self.now + delay;
                 self.push(at, Pending::Message { from, to, payload });
+            }
+            Transmission::DeliverDup(first, second) => {
+                let at_first = self.now + first;
+                let at_second = self.now + second;
+                self.push(
+                    at_first,
+                    Pending::Message {
+                        from,
+                        to,
+                        payload: payload.clone(),
+                    },
+                );
+                self.push(at_second, Pending::Message { from, to, payload });
             }
             Transmission::Dropped => {}
         }
@@ -259,7 +326,46 @@ impl<M: std::fmt::Debug> Engine<M> {
         let inc = self.nodes[node.index()].incarnation;
         let latency = self.disks[node.index()].write_latency(&op);
         let at = self.now + latency;
-        self.push(at, Pending::DiskWrite { node, inc, token, op });
+        if let Some(fault) = self.disk_faults[node.index()] {
+            if fault.write_fail_probability > 0.0
+                && self.rng.gen::<f64>() < fault.write_fail_probability
+            {
+                self.writes_failed += 1;
+                // The op is dropped: a failed write persists nothing.
+                self.push(at, Pending::DiskWriteFail { node, inc, token });
+                return;
+            }
+        }
+        self.push(
+            at,
+            Pending::DiskWrite {
+                node,
+                inc,
+                token,
+                op,
+            },
+        );
+    }
+
+    /// Installs (`Some`) or clears (`None`) an injected disk fault
+    /// profile on `node`. Takes effect for writes issued afterwards.
+    pub fn set_disk_fault(&mut self, node: NodeId, fault: Option<DiskFault>) {
+        self.disk_faults[node.index()] = fault;
+    }
+
+    /// The injected disk fault profile active on `node`, if any.
+    pub fn disk_fault(&self, node: NodeId) -> Option<&DiskFault> {
+        self.disk_faults[node.index()].as_ref()
+    }
+
+    /// Number of injected disk-write failures delivered so far.
+    pub fn disk_writes_failed(&self) -> u64 {
+        self.writes_failed
+    }
+
+    /// Number of log appends torn (partially persisted) by crashes.
+    pub fn disk_writes_torn(&self) -> u64 {
+        self.torn_writes
     }
 
     /// Issues a bulk read of `key` from the node's key/value area; the
@@ -323,8 +429,50 @@ impl<M: std::fmt::Debug> Engine<M> {
     pub fn crash(&mut self, node: NodeId) {
         let state = &mut self.nodes[node.index()];
         assert_eq!(state.status, NodeStatus::Up, "crash of a down node {node}");
+        let inc = state.incarnation;
         state.status = NodeStatus::Down;
         state.crashes += 1;
+        let torn = self.disk_faults[node.index()]
+            .map(|f| f.torn_tail_on_crash)
+            .unwrap_or(false);
+        if torn {
+            self.tear_in_flight_append(node, inc);
+        }
+    }
+
+    /// Torn-tail injection: the in-flight log append closest to
+    /// completion at crash time leaves a strict prefix of its entry on
+    /// the platter (a power cut mid-sector). Later in-flight appends are
+    /// wholly lost, as usual.
+    fn tear_in_flight_append(&mut self, node: NodeId, inc: Incarnation) {
+        let mut best: Option<(SimTime, u64, &str, &[u8])> = None;
+        for Reverse(entry) in self.heap.iter() {
+            if let Pending::DiskWrite {
+                node: n,
+                inc: i,
+                op: StableOp::Append { log, entry: bytes },
+                ..
+            } = &entry.pending
+            {
+                if *n == node
+                    && *i == inc
+                    && best
+                        .map(|(at, seq, ..)| (entry.at, entry.seq) < (at, seq))
+                        .unwrap_or(true)
+                {
+                    best = Some((entry.at, entry.seq, log, bytes));
+                }
+            }
+        }
+        if let Some((_, _, log, bytes)) = best {
+            if bytes.len() >= 2 {
+                let log = log.to_string();
+                let keep = self.rng.gen_range(1..bytes.len());
+                let prefix = bytes[..keep].to_vec();
+                self.torn_writes += 1;
+                self.stores[node.index()].apply(StableOp::Append { log, entry: prefix });
+            }
+        }
     }
 
     /// Restarts `node` with a fresh incarnation. The driver must construct
@@ -335,7 +483,11 @@ impl<M: std::fmt::Debug> Engine<M> {
     /// Panics if the node is already up.
     pub fn restart(&mut self, node: NodeId) {
         let state = &mut self.nodes[node.index()];
-        assert_eq!(state.status, NodeStatus::Down, "restart of an up node {node}");
+        assert_eq!(
+            state.status,
+            NodeStatus::Down,
+            "restart of an up node {node}"
+        );
         state.status = NodeStatus::Up;
         state.incarnation = state.incarnation.next();
     }
@@ -372,13 +524,28 @@ impl<M: std::fmt::Debug> Engine<M> {
                         return Some((self.now, Event::Timer { node, token }));
                     }
                 }
-                Pending::DiskWrite { node, inc, token, op } => {
+                Pending::DiskWrite {
+                    node,
+                    inc,
+                    token,
+                    op,
+                } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
                         self.stores[node.index()].apply(op);
                         return Some((self.now, Event::DiskWriteDone { node, token }));
                     }
                 }
-                Pending::DiskRead { node, inc, token, key } => {
+                Pending::DiskWriteFail { node, inc, token } => {
+                    if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        return Some((self.now, Event::DiskWriteFailed { node, token }));
+                    }
+                }
+                Pending::DiskRead {
+                    node,
+                    inc,
+                    token,
+                    key,
+                } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
                         let value = if key.is_empty() {
                             None
@@ -510,7 +677,13 @@ mod tests {
         );
         assert_eq!(e.store(NodeId(0)).get("k"), None, "not durable yet");
         let (_, ev) = e.next_event_before(SimTime::from_secs(1)).unwrap();
-        assert_eq!(ev, Event::DiskWriteDone { node: NodeId(0), token: 5 });
+        assert_eq!(
+            ev,
+            Event::DiskWriteDone {
+                node: NodeId(0),
+                token: 5
+            }
+        );
         assert_eq!(e.store(NodeId(0)).get("k"), Some(&b"v"[..]));
     }
 
@@ -571,7 +744,10 @@ mod tests {
         }
         // 60 MB at 60 MB/s ~ 1s.
         let elapsed = t.saturating_since(start);
-        assert!(elapsed >= SimDuration::from_millis(900), "elapsed {elapsed}");
+        assert!(
+            elapsed >= SimDuration::from_millis(900),
+            "elapsed {elapsed}"
+        );
     }
 
     #[test]
@@ -641,7 +817,11 @@ mod extended_tests {
         let (t, ev) = e.next_event_before(SimTime::from_secs(10)).unwrap();
         assert_eq!(
             ev,
-            Event::DiskReadDone { node: NodeId(0), token: 9, value: None }
+            Event::DiskReadDone {
+                node: NodeId(0),
+                token: 9,
+                value: None
+            }
         );
         // 16 MB at the 8 MB/s restore rate ≈ 2 s.
         assert!(t >= SimTime::from_millis(1_900), "t={t}");
@@ -652,7 +832,10 @@ mod extended_tests {
         let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
         e.disk_write(
             NodeId(0),
-            StableOp::Put { key: "ckpt".into(), value: vec![1, 2, 3] },
+            StableOp::Put {
+                key: "ckpt".into(),
+                value: vec![1, 2, 3],
+            },
             1,
         );
         while e.next_event_before(SimTime::from_secs(1)).is_some() {}
@@ -675,7 +858,10 @@ mod extended_tests {
         let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 1);
         e.disk_write(
             NodeId(0),
-            StableOp::Put { key: "old".into(), value: vec![7] },
+            StableOp::Put {
+                key: "old".into(),
+                value: vec![7],
+            },
             1,
         );
         while e.next_event_before(SimTime::from_secs(1)).is_some() {}
@@ -684,6 +870,113 @@ mod extended_tests {
         while e.next_event_before(SimTime::from_secs(2)).is_some() {}
         assert_eq!(e.store(NodeId(0)).get("old"), None);
         assert_eq!(e.store(NodeId(0)).nominal_size("old"), 0);
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let mut e: Engine<u8> = Engine::new(2, SimConfig::default(), 3);
+        e.network_mut().set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            crate::LinkFault {
+                duplicate: 1.0,
+                ..crate::LinkFault::default()
+            },
+        );
+        e.send(NodeId(0), NodeId(1), 7);
+        let mut seen = 0;
+        while let Some((_, ev)) = e.next_event_before(SimTime::from_secs(1)) {
+            assert!(matches!(ev, Event::Message { payload: 7, .. }));
+            seen += 1;
+        }
+        assert_eq!(seen, 2, "one copy plus one duplicate");
+    }
+
+    #[test]
+    fn failing_write_persists_nothing_and_reports_failure() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 4);
+        e.set_disk_fault(
+            NodeId(0),
+            Some(DiskFault {
+                write_fail_probability: 1.0,
+                torn_tail_on_crash: false,
+            }),
+        );
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            8,
+        );
+        let (_, ev) = e.next_event_before(SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            ev,
+            Event::DiskWriteFailed {
+                node: NodeId(0),
+                token: 8
+            }
+        );
+        assert_eq!(
+            e.store(NodeId(0)).get("k"),
+            None,
+            "failed write persists nothing"
+        );
+        assert_eq!(e.disk_writes_failed(), 1);
+    }
+
+    #[test]
+    fn torn_tail_leaves_strict_prefix_of_in_flight_append() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 5);
+        e.set_disk_fault(
+            NodeId(0),
+            Some(DiskFault {
+                write_fail_probability: 0.0,
+                torn_tail_on_crash: true,
+            }),
+        );
+        let entry: Vec<u8> = (0..64).collect();
+        e.disk_write(
+            NodeId(0),
+            StableOp::Append {
+                log: "wal".into(),
+                entry: entry.clone(),
+            },
+            1,
+        );
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert!(e.next_event_before(SimTime::from_secs(1)).is_none());
+        let log = e.store(NodeId(0)).log("wal").expect("torn prefix appended");
+        let entries: Vec<_> = log.iter().collect();
+        assert_eq!(entries.len(), 1);
+        let torn = entries[0].1;
+        assert!(
+            !torn.is_empty() && torn.len() < entry.len(),
+            "strict prefix"
+        );
+        assert_eq!(torn, &entry[..torn.len()]);
+        assert_eq!(e.disk_writes_torn(), 1);
+    }
+
+    #[test]
+    fn torn_tail_without_fault_loses_write_entirely() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 5);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Append {
+                log: "wal".into(),
+                entry: vec![1, 2, 3, 4],
+            },
+            1,
+        );
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert!(
+            e.store(NodeId(0)).log("wal").is_none(),
+            "no torn fault: lost wholly"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod node;
 mod time;
 
 pub use disk::{DiskConfig, DiskModel, StableLog, StableOp, StableStore};
-pub use engine::{Engine, Event, SimConfig};
-pub use net::{NetConfig, Network, Transmission};
+pub use engine::{DiskFault, Engine, Event, SimConfig};
+pub use net::{LinkFault, NetConfig, Network, Transmission};
 pub use node::{Incarnation, NodeId, NodeState, NodeStatus};
 pub use time::{SimDuration, SimTime};

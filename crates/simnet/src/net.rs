@@ -12,7 +12,7 @@
 //! rather than links, but partitions are needed to exercise Paxos'
 //! liveness behaviour below quorum).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
@@ -52,8 +52,40 @@ impl Default for NetConfig {
 pub enum Transmission {
     /// Deliver after the given one-way delay.
     Deliver(SimDuration),
+    /// Deliver twice: the original copy after the first delay and a
+    /// duplicate after the second (a retransmitting switch).
+    DeliverDup(SimDuration, SimDuration),
     /// The message is lost (drop or partition).
     Dropped,
+}
+
+/// Adversarial per-link fault behaviour, applied on top of the base
+/// [`NetConfig`] for the links it is installed on.
+///
+/// All probabilities are independent per message; draws come from the
+/// engine's seeded RNG, so faulty runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that a message is silently lost.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability in `[0, 1]` that a message is held back by up to
+    /// `reorder_delay`, letting later messages overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay applied to a reordered message.
+    pub reorder_delay: SimDuration,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimDuration::from_millis(5),
+        }
+    }
 }
 
 /// The simulated switch: computes delivery delays and tracks partitions.
@@ -62,8 +94,12 @@ pub struct Network {
     config: NetConfig,
     /// Unordered pairs `(min, max)` of nodes that cannot communicate.
     cut_links: HashSet<(NodeId, NodeId)>,
+    /// Unordered pairs with an adversarial fault profile installed.
+    link_faults: HashMap<(NodeId, NodeId), LinkFault>,
     sent: u64,
     dropped: u64,
+    duplicated: u64,
+    reordered: u64,
     bytes: u64,
 }
 
@@ -73,8 +109,11 @@ impl Network {
         Network {
             config,
             cut_links: HashSet::new(),
+            link_faults: HashMap::new(),
             sent: 0,
             dropped: 0,
+            duplicated: 0,
+            reordered: 0,
             bytes: 0,
         }
     }
@@ -121,6 +160,30 @@ impl Network {
         !self.cut_links.contains(&Self::key(a, b))
     }
 
+    /// Installs (or replaces) an adversarial fault profile on the link
+    /// between `a` and `b`, both directions. Loopback (`a == b`) is
+    /// in-process and never faulted; such calls are ignored.
+    pub fn set_link_fault(&mut self, a: NodeId, b: NodeId, fault: LinkFault) {
+        if a != b {
+            self.link_faults.insert(Self::key(a, b), fault);
+        }
+    }
+
+    /// Removes the fault profile from the link between `a` and `b`.
+    pub fn clear_link_fault(&mut self, a: NodeId, b: NodeId) {
+        self.link_faults.remove(&Self::key(a, b));
+    }
+
+    /// Removes every installed fault profile.
+    pub fn clear_link_faults(&mut self) {
+        self.link_faults.clear();
+    }
+
+    /// The fault profile installed on the `a`–`b` link, if any.
+    pub fn link_fault(&self, a: NodeId, b: NodeId) -> Option<&LinkFault> {
+        self.link_faults.get(&Self::key(a, b))
+    }
+
     /// Computes the fate of a `size_bytes` message from `from` to `to`.
     ///
     /// Draws jitter (and the drop decision, if configured) from `rng`, so
@@ -137,6 +200,17 @@ impl Network {
             self.dropped += 1;
             return Transmission::Dropped;
         }
+        let fault = if from == to {
+            None
+        } else {
+            self.link_faults.get(&Self::key(from, to)).copied()
+        };
+        if let Some(f) = fault {
+            if f.loss > 0.0 && rng.gen::<f64>() < f.loss {
+                self.dropped += 1;
+                return Transmission::Dropped;
+            }
+        }
         if self.config.drop_probability > 0.0 && from != to {
             let p: f64 = rng.gen();
             if p < self.config.drop_probability {
@@ -148,17 +222,38 @@ impl Network {
         if from == to {
             return Transmission::Deliver(self.config.loopback_latency);
         }
-        let jitter_us = if self.config.jitter.is_zero() {
+        let serialization =
+            size_bytes.saturating_mul(1_000_000) / self.config.bandwidth_bytes_per_sec.max(1);
+        let mut delay = self.config.base_latency
+            + SimDuration::from_micros(self.draw_jitter(rng))
+            + SimDuration::from_micros(serialization);
+        if let Some(f) = fault {
+            if f.reorder > 0.0 && rng.gen::<f64>() < f.reorder {
+                self.reordered += 1;
+                let held_us = f.reorder_delay.as_micros();
+                if held_us > 0 {
+                    delay += SimDuration::from_micros(rng.gen_range(0..=held_us));
+                }
+            }
+            if f.duplicate > 0.0 && rng.gen::<f64>() < f.duplicate {
+                self.duplicated += 1;
+                // The duplicate takes an independent trip through the
+                // switch: fresh jitter on top of the same fixed costs.
+                let dup = self.config.base_latency
+                    + SimDuration::from_micros(self.draw_jitter(rng))
+                    + SimDuration::from_micros(serialization);
+                return Transmission::DeliverDup(delay, dup);
+            }
+        }
+        Transmission::Deliver(delay)
+    }
+
+    fn draw_jitter<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.config.jitter.is_zero() {
             0
         } else {
             rng.gen_range(0..=self.config.jitter.as_micros())
-        };
-        let serialization =
-            size_bytes.saturating_mul(1_000_000) / self.config.bandwidth_bytes_per_sec.max(1);
-        let delay = self.config.base_latency
-            + SimDuration::from_micros(jitter_us)
-            + SimDuration::from_micros(serialization);
-        Transmission::Deliver(delay)
+        }
     }
 
     /// Number of messages submitted so far.
@@ -169,6 +264,16 @@ impl Network {
     /// Number of messages lost to drops or partitions.
     pub fn messages_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of messages duplicated by link faults.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Number of messages held back (reordered) by link faults.
+    pub fn messages_reordered(&self) -> u64 {
+        self.reordered
     }
 
     /// Total payload bytes carried (excluding dropped messages).
@@ -199,7 +304,7 @@ mod tests {
                 // 1 second of serialization at 1 Gbps plus 120us base.
                 assert_eq!(d.as_micros(), 1_000_000 + 120);
             }
-            Transmission::Dropped => panic!("unexpected drop"),
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -210,7 +315,7 @@ mod tests {
         let mut r = rng();
         match net.transmit(&mut r, NodeId(0), NodeId(0), 100) {
             Transmission::Deliver(d) => assert_eq!(d, SimDuration::from_micros(10)),
-            Transmission::Dropped => panic!("loopback must not drop"),
+            other => panic!("loopback must not drop: {other:?}"),
         }
     }
 
@@ -269,6 +374,111 @@ mod tests {
         net.transmit(&mut r, NodeId(1), NodeId(2), 200);
         assert_eq!(net.messages_sent(), 2);
         assert_eq!(net.bytes_carried(), 300);
+    }
+
+    #[test]
+    fn link_fault_loss_one_drops_everything() {
+        let mut net = Network::new(NetConfig::default());
+        net.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            LinkFault {
+                loss: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+                Transmission::Dropped
+            );
+        }
+        // The fault is per-link: an unfaulted pair still delivers.
+        assert!(matches!(
+            net.transmit(&mut r, NodeId(0), NodeId(2), 1),
+            Transmission::Deliver(_)
+        ));
+        net.clear_link_fault(NodeId(1), NodeId(0));
+        assert!(matches!(
+            net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+            Transmission::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn link_fault_duplicate_one_duplicates_everything() {
+        let mut net = Network::new(NetConfig::default());
+        net.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            LinkFault {
+                duplicate: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        let mut r = rng();
+        for _ in 0..10 {
+            assert!(matches!(
+                net.transmit(&mut r, NodeId(0), NodeId(1), 1),
+                Transmission::DeliverDup(_, _)
+            ));
+        }
+        assert_eq!(net.messages_duplicated(), 10);
+    }
+
+    #[test]
+    fn link_fault_reorder_extends_delay() {
+        let cfg = NetConfig {
+            jitter: SimDuration::ZERO,
+            ..NetConfig::default()
+        };
+        let mut net = Network::new(cfg.clone());
+        let hold = SimDuration::from_millis(50);
+        net.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            LinkFault {
+                reorder: 1.0,
+                reorder_delay: hold,
+                ..LinkFault::default()
+            },
+        );
+        let mut r = rng();
+        let mut max_seen = SimDuration::ZERO;
+        for _ in 0..50 {
+            match net.transmit(&mut r, NodeId(0), NodeId(1), 0) {
+                Transmission::Deliver(d) => {
+                    assert!(d >= cfg.base_latency);
+                    assert!(d <= cfg.base_latency + hold);
+                    max_seen = max_seen.max(d);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(
+            max_seen > cfg.base_latency + SimDuration::from_millis(10),
+            "holding should sometimes exceed normal delivery: {max_seen}"
+        );
+        assert_eq!(net.messages_reordered(), 50);
+    }
+
+    #[test]
+    fn loopback_is_never_link_faulted() {
+        let mut net = Network::new(NetConfig::default());
+        net.set_link_fault(
+            NodeId(0),
+            NodeId(0),
+            LinkFault {
+                loss: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        let mut r = rng();
+        assert!(matches!(
+            net.transmit(&mut r, NodeId(0), NodeId(0), 1),
+            Transmission::Deliver(_)
+        ));
     }
 
     #[test]

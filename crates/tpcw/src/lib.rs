@@ -37,10 +37,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod model;
-pub mod population;
 mod interactions;
 mod metrics;
+pub mod model;
+pub mod population;
 mod rbe;
 mod store;
 

@@ -65,9 +65,29 @@ id_type!(
 
 /// Book subject categories (TPC-W defines 24).
 pub const SUBJECTS: [&str; 24] = [
-    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING", "HEALTH", "HISTORY",
-    "HOME", "HUMOR", "LITERATURE", "MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
-    "RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS", "YOUTH",
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NON-FICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SELF-HELP",
+    "SCIENCE-NATURE",
+    "SCIENCE-FICTION",
+    "SPORTS",
+    "YOUTH",
     "TRAVEL",
 ];
 
@@ -85,7 +105,13 @@ pub struct Author {
     /// Short biography.
     pub bio: String,
 }
-impl_wire_struct!(Author { id, fname, lname, dob, bio });
+impl_wire_struct!(Author {
+    id,
+    fname,
+    lname,
+    dob,
+    bio
+});
 
 /// A book (TPC-W `ITEM`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,7 +219,12 @@ pub struct Country {
     /// Currency name.
     pub currency: String,
 }
-impl_wire_struct!(Country { id, name, exchange_micros, currency });
+impl_wire_struct!(Country {
+    id,
+    name,
+    exchange_micros,
+    currency
+});
 
 /// A postal address (TPC-W `ADDRESS`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -213,7 +244,15 @@ pub struct Address {
     /// Country.
     pub country: CountryId,
 }
-impl_wire_struct!(Address { street1, street2, city, state, zip, country, id });
+impl_wire_struct!(Address {
+    street1,
+    street2,
+    city,
+    state,
+    zip,
+    country,
+    id
+});
 
 /// A registered customer (TPC-W `CUSTOMER`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -254,8 +293,23 @@ pub struct Customer {
     pub data: String,
 }
 impl_wire_struct!(Customer {
-    id, uname, passwd, fname, lname, addr, phone, email, since, last_login, login, expiration,
-    discount_bp, balance_cents, ytd_pmt_cents, birthdate, data
+    id,
+    uname,
+    passwd,
+    fname,
+    lname,
+    addr,
+    phone,
+    email,
+    since,
+    last_login,
+    login,
+    expiration,
+    discount_bp,
+    balance_cents,
+    ytd_pmt_cents,
+    birthdate,
+    data
 });
 
 /// Order status lifecycle.
@@ -324,8 +378,17 @@ pub struct Order {
     pub status: OrderStatus,
 }
 impl_wire_struct!(Order {
-    id, customer, date, subtotal_cents, tax_cents, total_cents, ship_type, ship_date, bill_addr,
-    ship_addr, status
+    id,
+    customer,
+    date,
+    subtotal_cents,
+    tax_cents,
+    total_cents,
+    ship_type,
+    ship_date,
+    bill_addr,
+    ship_addr,
+    status
 });
 
 /// One line of an order (TPC-W `ORDER_LINE`).
@@ -342,7 +405,13 @@ pub struct OrderLine {
     /// Gift-wrap / delivery comments.
     pub comments: String,
 }
-impl_wire_struct!(OrderLine { order, item, qty, discount_bp, comments });
+impl_wire_struct!(OrderLine {
+    order,
+    item,
+    qty,
+    discount_bp,
+    comments
+});
 
 /// A credit-card transaction (TPC-W `CC_XACTS`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -367,7 +436,15 @@ pub struct CcXact {
     pub country: CountryId,
 }
 impl_wire_struct!(CcXact {
-    order, cc_type, cc_num, cc_name, cc_expiry, auth_id, amount_cents, date, country
+    order,
+    cc_type,
+    cc_num,
+    cc_name,
+    cc_expiry,
+    auth_id,
+    amount_cents,
+    date,
+    country
 });
 
 /// One line in a shopping cart.
@@ -525,7 +602,10 @@ mod tests {
         let cart = Cart {
             id: CartId(9),
             time: 55,
-            lines: vec![CartLine { item: ItemId(1), qty: 2 }],
+            lines: vec![CartLine {
+                item: ItemId(1),
+                qty: 2,
+            }],
         };
         assert_eq!(Cart::from_bytes(&cart.to_bytes()).unwrap(), cart);
     }

@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 use treplica::impl_wire_struct;
 
 use crate::model::{
-    nominal, Address, AddressId, Author, AuthorId, Country, CountryId, Customer, CustomerId,
-    Item, ItemId, Order, OrderId, OrderLine, OrderStatus, CcXact, SUBJECTS,
+    nominal, Address, AddressId, Author, AuthorId, CcXact, Country, CountryId, Customer,
+    CustomerId, Item, ItemId, Order, OrderId, OrderLine, OrderStatus, SUBJECTS,
 };
 
 /// Scaling parameters of a population.
@@ -268,9 +268,8 @@ pub fn generate(params: PopulationParams) -> BasePopulation {
         };
         cc_xacts.push(CcXact {
             order: OrderId(i),
-            cc_type: ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"]
-                [rng.gen_range(0..5usize)]
-            .to_string(),
+            cc_type: ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"][rng.gen_range(0..5usize)]
+                .to_string(),
             cc_num: rand_digits(&mut rng, 16),
             cc_name: format!(
                 "{} {}",
@@ -326,8 +325,7 @@ impl BasePopulation {
 
 /// Memoized shared base populations (one per parameter set per process).
 pub fn base_population(params: PopulationParams) -> Arc<BasePopulation> {
-    static CACHE: OnceLock<Mutex<HashMap<PopulationParams, Arc<BasePopulation>>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<Mutex<HashMap<PopulationParams, Arc<BasePopulation>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut guard = cache.lock().expect("population cache poisoned");
     guard

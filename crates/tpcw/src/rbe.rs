@@ -210,8 +210,10 @@ impl Rbe {
     /// the profile's read/write ratio is preserved).
     pub fn next_request(&mut self) -> WebRequest {
         let mut interaction = self.config.profile.sample(&mut self.rng);
-        if matches!(interaction, Interaction::BuyConfirm | Interaction::BuyRequest)
-            && self.cart.is_none()
+        if matches!(
+            interaction,
+            Interaction::BuyConfirm | Interaction::BuyRequest
+        ) && self.cart.is_none()
         {
             interaction = Interaction::ShoppingCart;
         }
@@ -372,7 +374,10 @@ mod tests {
         for _ in 0..2_000 {
             let req = rbe.next_request();
             assert!(
-                !matches!(req.interaction, Interaction::BuyConfirm | Interaction::BuyRequest),
+                !matches!(
+                    req.interaction,
+                    Interaction::BuyConfirm | Interaction::BuyRequest
+                ),
                 "no purchase before a cart exists"
             );
             if req.interaction == Interaction::ShoppingCart {

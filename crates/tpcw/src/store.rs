@@ -49,7 +49,16 @@ pub struct NewCustomer {
     /// Registration timestamp (µs) — pre-sampled.
     pub now: u64,
 }
-impl_wire_struct!(NewCustomer { fname, lname, phone, email, birthdate, data, discount_bp, now });
+impl_wire_struct!(NewCustomer {
+    fname,
+    lname,
+    phone,
+    email,
+    birthdate,
+    data,
+    discount_bp,
+    now
+});
 
 /// Payment details for a purchase.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -68,7 +77,14 @@ pub struct Payment {
     /// Issuing country.
     pub country: u32,
 }
-impl_wire_struct!(Payment { cc_type, cc_num, cc_name, cc_expiry, auth_id, country });
+impl_wire_struct!(Payment {
+    cc_type,
+    cc_num,
+    cc_name,
+    cc_expiry,
+    auth_id,
+    country
+});
 
 /// The mutable part of the store (everything the workload changes).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -684,7 +700,10 @@ mod tests {
         s.do_cart(
             Some(id),
             Some((ItemId(4), 1)),
-            &[CartLine { item: ItemId(3), qty: 5 }],
+            &[CartLine {
+                item: ItemId(3),
+                qty: 5,
+            }],
             ItemId(0),
             2_000,
         )
@@ -695,8 +714,14 @@ mod tests {
             Some(id),
             None,
             &[
-                CartLine { item: ItemId(3), qty: 0 },
-                CartLine { item: ItemId(4), qty: 0 },
+                CartLine {
+                    item: ItemId(3),
+                    qty: 0,
+                },
+                CartLine {
+                    item: ItemId(4),
+                    qty: 0,
+                },
             ],
             ItemId(9),
             3_000,
@@ -856,7 +881,8 @@ mod tests {
             .unwrap();
         s.do_cart(None, Some((ItemId(8), 1)), &[], ItemId(0), 6_000)
             .unwrap();
-        s.admin_update(ItemId(7), 99, "i".into(), "t".into()).unwrap();
+        s.admin_update(ItemId(7), 99, "i".into(), "t".into())
+            .unwrap();
         let bytes = s.overlay().to_bytes();
         let decoded = Overlay::from_bytes(&bytes).unwrap();
         assert_eq!(&decoded, s.overlay());

@@ -56,7 +56,10 @@ fn apply(store: &mut Bookstore, op: &Op, t: u64) {
             let _ = store.do_cart(
                 Some(CartId(*cart)),
                 None,
-                &[CartLine { item: ItemId(*item), qty: *qty }],
+                &[CartLine {
+                    item: ItemId(*item),
+                    qty: *qty,
+                }],
                 ItemId(1),
                 t,
             );

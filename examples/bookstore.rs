@@ -81,8 +81,14 @@ fn main() {
                     }
                 }
                 let update = match &ra {
-                    Reply::Cart(id) => SessionUpdate { cart: Some(*id), customer: None },
-                    Reply::Customer(id) => SessionUpdate { cart: None, customer: Some(*id) },
+                    Reply::Cart(id) => SessionUpdate {
+                        cart: Some(*id),
+                        customer: None,
+                    },
+                    Reply::Customer(id) => SessionUpdate {
+                        cart: None,
+                        customer: Some(*id),
+                    },
                     _ => SessionUpdate::default(),
                 };
                 rbe.on_response(request.interaction, update);

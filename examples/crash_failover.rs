@@ -63,12 +63,18 @@ fn main() {
             marks[col] = *ch as u8;
         }
     }
-    println!("\nWIPS over time ({}s per column, peak {:.0}):", bucket, max);
+    println!(
+        "\nWIPS over time ({}s per column, peak {:.0}):",
+        bucket, max
+    );
     println!("{plot}");
     println!("{}", String::from_utf8_lossy(&marks));
 
     let d = &report.dependability;
-    println!("failure-free AWIPS = {:.1} (CV {:.3})", d.failure_free.awips, d.failure_free.cv);
+    println!(
+        "failure-free AWIPS = {:.1} (CV {:.3})",
+        d.failure_free.awips, d.failure_free.cv
+    );
     for (i, w) in d.recovery.iter().enumerate() {
         println!(
             "recovery window {}: AWIPS = {:.1}  (PV {:+.1}%)",

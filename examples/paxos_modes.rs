@@ -152,7 +152,10 @@ fn main() {
         h.propose((v % n as u64) as usize, v);
     }
     h.run(30);
-    println!("10 proposals             → {} decided (fast path)", h.decided());
+    println!(
+        "10 proposals             → {} decided (fast path)",
+        h.decided()
+    );
 
     // Crash down to 6 replicas: still ≥ fast quorum → Fast.
     h.crash(6);
@@ -180,14 +183,20 @@ fn main() {
     assert_eq!(h.mode(), Mode::Blocked);
     h.propose(0, 99);
     h.run(40);
-    println!("proposal while blocked   → {} decided (parked)", h.decided());
+    println!(
+        "proposal while blocked   → {} decided (parked)",
+        h.decided()
+    );
     assert_eq!(h.decided(), 15, "no progress below majority");
 
     // Recoveries lift the ensemble back through the modes.
     h.recover(4);
     h.run(60);
-    println!("recover 1 (5 up)         → mode {:?}, parked proposal decided: {}",
-             h.mode(), h.decided() == 16);
+    println!(
+        "recover 1 (5 up)         → mode {:?}, parked proposal decided: {}",
+        h.mode(),
+        h.decided() == 16
+    );
     h.recover(5);
     h.recover(6);
     h.run(60);

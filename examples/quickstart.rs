@@ -58,7 +58,9 @@ fn apply_effects(
             }
             MwEffect::DiskWrite { op, token, .. } => engine.disk_write(NodeId(node), op, token),
             MwEffect::DiskRead { key, token } => engine.disk_read(NodeId(node), &key, token),
-            MwEffect::DiskReadRaw { bytes, token } => engine.disk_read_raw(NodeId(node), bytes, token),
+            MwEffect::DiskReadRaw { bytes, token } => {
+                engine.disk_read_raw(NodeId(node), bytes, token)
+            }
             MwEffect::Applied { pid, reply, .. } => applied.push((node, pid, reply)),
             MwEffect::RecoveryComplete => {
                 println!("[{}] node {node} recovered", engine.now());
@@ -88,18 +90,15 @@ fn main() {
     let mut applied = Vec::new();
 
     let pump = |engine: &mut Engine<MwMsg<u64>>,
-                    nodes: &mut Vec<Option<Middleware<Counter>>>,
-                    applied: &mut Vec<(usize, ProposalId, u64)>,
-                    until: SimTime| {
+                nodes: &mut Vec<Option<Middleware<Counter>>>,
+                applied: &mut Vec<(usize, ProposalId, u64)>,
+                until: SimTime| {
         while let Some((now, ev)) = engine.next_event_before(until) {
             match ev {
                 Event::Message { from, to, payload } => {
                     if let Some(mw) = nodes[to.index()].as_mut() {
-                        let fx = mw.on_message(
-                            ReplicaId(from.index() as u32),
-                            payload,
-                            now.as_micros(),
-                        );
+                        let fx =
+                            mw.on_message(ReplicaId(from.index() as u32), payload, now.as_micros());
                         apply_effects(engine, to.index(), fx, applied);
                     }
                 }
@@ -123,6 +122,7 @@ fn main() {
                         apply_effects(engine, node.index(), fx, applied);
                     }
                 }
+                Event::DiskWriteFailed { .. } => unreachable!("no disk faults injected"),
             }
         }
     };
@@ -156,12 +156,18 @@ fn main() {
     engine.restart(NodeId(2));
     let disk = RecoveredDisk::from_store(engine.store(NodeId(2))).expect("disk");
     let epoch = engine.node_state(NodeId(2)).incarnation.0;
-    let (mut mw, fx) = Middleware::recover(ReplicaId(2), disk, config, epoch, engine.now().as_micros());
+    let (mut mw, fx) =
+        Middleware::recover(ReplicaId(2), disk, config, epoch, engine.now().as_micros());
     mw.install_initial_state(Counter { total: 0, ops: 0 });
     nodes[2] = Some(mw);
     apply_effects(&mut engine, 2, fx, &mut applied);
     engine.set_timer(NodeId(2), SimDuration::from_micros(TICK), TICK_TOKEN);
-    pump(&mut engine, &mut nodes, &mut applied, SimTime::from_secs(10));
+    pump(
+        &mut engine,
+        &mut nodes,
+        &mut applied,
+        SimTime::from_secs(10),
+    );
 
     let recovered = nodes[2].as_ref().unwrap().state().unwrap();
     println!(

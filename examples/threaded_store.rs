@@ -39,7 +39,10 @@ fn main() {
     while start.elapsed() < Duration::from_secs(10) {
         if cluster
             .handle(0)
-            .execute(Action::RefreshSession { customer: CustomerId(0), now: 0 })
+            .execute(Action::RefreshSession {
+                customer: CustomerId(0),
+                now: 0,
+            })
             .is_ok()
         {
             break;
@@ -96,7 +99,11 @@ fn main() {
 
     // All replicas hold identical state.
     let counts: Vec<Option<usize>> = (0..3)
-        .map(|i| cluster.handle(i).query(|s| s.store().overlay().new_orders.len()))
+        .map(|i| {
+            cluster
+                .handle(i)
+                .query(|s| s.store().overlay().new_orders.len())
+        })
         .collect();
     println!("orders per replica view: {counts:?}");
     assert!(counts.iter().all(|c| *c == Some(total as usize)));
@@ -145,7 +152,9 @@ fn main() {
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut got = 0;
     while Instant::now() < deadline {
-        got = h2.query(|s| s.store().overlay().new_orders.len()).unwrap_or(0);
+        got = h2
+            .query(|s| s.store().overlay().new_orders.len())
+            .unwrap_or(0);
         if got == expect {
             break;
         }

@@ -126,11 +126,15 @@ fn crash_of_majority_blocks_writes_until_recovery() {
                 recovery: faultload::RecoveryKind::Autonomous,
             })
             .collect(),
-        partitions: Vec::new(),
+        ..Faultload::default()
     };
     let report = run_experiment(&config);
     for span in &report.spans {
-        assert!(span.recovered_at.is_some(), "all three recover: {:?}", report.spans);
+        assert!(
+            span.recovered_at.is_some(),
+            "all three recover: {:?}",
+            report.spans
+        );
     }
     // Service continued (reads at minimum) and ended healthy.
     assert!(report.awips > 100.0, "AWIPS {}", report.awips);
@@ -144,7 +148,6 @@ fn crash_of_majority_blocks_writes_until_recovery() {
     let max = decided.iter().max().unwrap();
     assert!(max - min < 50, "decided spread {decided:?}");
 }
-
 
 #[test]
 fn network_partition_starves_minority_then_heals() {
