@@ -9,13 +9,14 @@
 //!    log suffix a recovering replica replays but cost more disk writes;
 //!    this sweep measures both sides.
 
-use bench::{base_config, Mode};
+use bench::{base_config, JsonReport, Mode};
 use cluster::run_experiment;
 use faultload::Faultload;
 use tpcw::Profile;
 
 fn main() {
     let mode = Mode::from_args();
+    let mut json = JsonReport::new("exp_ablation", mode);
 
     println!("== Ablation 1: Fast Paxos vs classic Paxos ==");
     println!("  R profile   |  fast AWIPS | fast WIRT | classic AWIPS | classic WIRT");
@@ -28,6 +29,8 @@ fn main() {
                 config.rbes = 1_000;
                 config.classic_only = classic_only;
                 let report = run_experiment(&config);
+                let kind = if classic_only { "classic" } else { "fast" };
+                json.push(&format!("{replicas}r {} {kind}", profile.name()), &report);
                 results.push((report.awips, report.mean_wirt_ms));
             }
             println!(
@@ -50,6 +53,11 @@ fn main() {
         config.checkpoint_interval = interval;
         config.faultload = mode.faultload(Faultload::single_crash());
         let report = run_experiment(&config);
+        json.push_with(
+            &format!("checkpoint interval {interval}"),
+            &report,
+            &[("checkpoint_interval", interval as f64)],
+        );
         let recovery = report
             .spans
             .first()
@@ -60,4 +68,5 @@ fn main() {
             report.awips, recovery
         );
     }
+    json.write_if_requested();
 }

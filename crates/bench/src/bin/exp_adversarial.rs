@@ -9,7 +9,7 @@
 //! returning, so the numbers below are from runs whose agreement,
 //! durability ordering and mode discipline were checked end to end.
 
-use bench::{base_config, Mode};
+use bench::{base_config, JsonReport, Mode};
 use cluster::run_experiment;
 use faultload::{Faultload, LinkFaultSpec};
 use tpcw::Profile;
@@ -49,6 +49,7 @@ fn main() {
         ("adversarial ", Faultload::adversarial_mix(total * 3 / 4)),
     ];
 
+    let mut json = JsonReport::new("exp_adversarial", mode);
     println!("Adversarial faultloads, 5 replicas, shopping mix ({mode:?} schedule):");
     for (name, faultload) in named {
         for &seed in &seeds {
@@ -56,6 +57,11 @@ fn main() {
             config.seed = seed;
             config.faultload = faultload.clone();
             let report = run_experiment(&config);
+            json.push_with(
+                &format!("{} seed {seed}", name.trim()),
+                &report,
+                &[("seed", seed as f64)],
+            );
             let d = &report.dependability;
             println!(
                 "{name} seed {seed:3}: AWIPS {:7.1}  avail {:.5}  acc {:6.3}%  \
@@ -69,4 +75,5 @@ fn main() {
             );
         }
     }
+    json.write_if_requested();
 }

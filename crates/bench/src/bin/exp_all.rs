@@ -3,12 +3,15 @@
 use std::io::Write;
 
 use bench::render::*;
-use bench::{dependability_grid, fig3_speedup, fig4_scaleup, fig6_recovery_times, Mode};
+use bench::{
+    dependability_grid, fig3_speedup, fig4_scaleup, fig6_recovery_times, JsonReport, Mode,
+};
 use faultload::Faultload;
 use tpcw::Profile;
 
 fn main() {
     let mode = Mode::from_args();
+    let mut json = JsonReport::new("exp_all", mode);
     let out_path = {
         let args: Vec<String> = std::env::args().collect();
         args.iter()
@@ -26,6 +29,16 @@ fn main() {
     emit("== Figure 3: speedup ==".into());
     for profile in Profile::ALL {
         let points = fig3_speedup(mode, profile);
+        for p in &points {
+            json.push_raw(
+                &format!("fig3 {profile:?} {}r", p.replicas),
+                &[
+                    ("replicas", p.replicas as f64),
+                    ("wips", p.wips),
+                    ("wirt_ms", p.wirt_ms),
+                ],
+            );
+        }
         emit(render_speedup(profile, &points));
     }
     emit("== Figure 4: scaleup ==".into());
@@ -35,6 +48,12 @@ fn main() {
     }
     emit("== One crash (Fig 5, Tables 1-2) ==".into());
     let runs = dependability_grid(mode, &Faultload::single_crash());
+    for run in &runs {
+        json.push(
+            &format!("one-crash {}r {:?}", run.replicas, run.profile),
+            &run.report,
+        );
+    }
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
@@ -53,6 +72,12 @@ fn main() {
 
     emit("== Two overlapped crashes (Fig 7, Tables 3-4) ==".into());
     let runs = dependability_grid(mode, &Faultload::double_crash());
+    for run in &runs {
+        json.push(
+            &format!("two-crashes {}r {:?}", run.replicas, run.profile),
+            &run.report,
+        );
+    }
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
@@ -68,6 +93,12 @@ fn main() {
 
     emit("== Delayed recovery (Fig 8, Tables 5-6) ==".into());
     let runs = dependability_grid(mode, &Faultload::double_crash_delayed());
+    for run in &runs {
+        json.push(
+            &format!("delayed-recovery {}r {:?}", run.replicas, run.profile),
+            &run.report,
+        );
+    }
     for run in runs.iter().filter(|r| r.replicas == 5) {
         emit(render_fault_histogram(run));
     }
@@ -84,6 +115,7 @@ fn main() {
         &runs,
     ));
 
+    json.write_if_requested();
     if let Some(path) = out_path {
         let mut f = std::fs::File::create(&path).expect("create report file");
         f.write_all(report.as_bytes()).expect("write report");

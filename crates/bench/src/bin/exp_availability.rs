@@ -6,7 +6,7 @@
 //! autonomously) and reports availability, accuracy and autonomy across
 //! the whole horizon — plus the consensus traffic bill.
 
-use bench::{base_config, Mode};
+use bench::{base_config, JsonReport, Mode};
 use cluster::run_experiment;
 use faultload::{FaultEvent, Faultload, RecoveryKind};
 use tpcw::{Profile, Schedule};
@@ -17,6 +17,7 @@ fn main() {
         Mode::Quick => 300,
         Mode::Full => 600,
     };
+    let mut json = JsonReport::new("exp_availability", mode);
     for profile in [Profile::Browsing, Profile::Shopping] {
         let mut config = base_config(mode, 5, profile);
         config.schedule = Schedule::quick(interval_secs);
@@ -38,6 +39,7 @@ fn main() {
             ..Faultload::default()
         };
         let report = run_experiment(&config);
+        json.push(&format!("{} {faults} crashes", profile.name()), &report);
         let d = &report.dependability;
         println!(
             "{:9}: {faults} crashes over {interval_secs}s → availability {:.5}, accuracy {:.3}%, autonomy {:.2}, AWIPS {:.1}",
@@ -62,4 +64,5 @@ fn main() {
             report.disk_writes as f64 / 1e6,
         );
     }
+    json.write_if_requested();
 }

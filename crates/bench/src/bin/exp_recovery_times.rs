@@ -1,9 +1,21 @@
 //! Figure 6 — recovery times vs state size (300/500/700 MB).
 use bench::render::render_recovery_times;
-use bench::{fig6_recovery_times, Mode};
+use bench::{fig6_recovery_times, JsonReport, Mode};
 
 fn main() {
     let mode = Mode::from_args();
     let points = fig6_recovery_times(mode);
+    let mut json = JsonReport::new("exp_recovery_times", mode);
+    for p in &points {
+        json.push_raw(
+            &format!("{}r {:?} ebs={}", p.replicas, p.profile, p.ebs),
+            &[
+                ("replicas", p.replicas as f64),
+                ("ebs", p.ebs as f64),
+                ("recovery_secs", p.recovery_secs),
+            ],
+        );
+    }
+    json.write_if_requested();
     println!("{}", render_recovery_times(&points));
 }

@@ -1,11 +1,25 @@
 //! Figure 4 — scaleup at 1000 WIPS offered (+ regression/correlation).
-use bench::{fig4_scaleup, render::render_scaleup, Mode};
+use bench::{fig4_scaleup, render::render_scaleup, JsonReport, Mode};
 use tpcw::Profile;
 
 fn main() {
     let mode = Mode::from_args();
+    let mut json = JsonReport::new("exp_scaleup", mode);
     for profile in Profile::ALL {
         let result = fig4_scaleup(mode, profile);
+        for p in &result.points {
+            json.push_raw(
+                &format!("{profile:?} {}r", p.replicas),
+                &[
+                    ("replicas", p.replicas as f64),
+                    ("wips", p.wips),
+                    ("wirt_ms", p.wirt_ms),
+                    ("fit_intercept", result.fit.0),
+                    ("fit_slope", result.fit.1),
+                ],
+            );
+        }
         println!("{}", render_scaleup(profile, &result));
     }
+    json.write_if_requested();
 }

@@ -1,11 +1,23 @@
 //! Figure 3 — speedup experiments (saturated WIPS/WIRT vs replicas).
-use bench::{fig3_speedup, render::render_speedup, Mode};
+use bench::{fig3_speedup, render::render_speedup, JsonReport, Mode};
 use tpcw::Profile;
 
 fn main() {
     let mode = Mode::from_args();
+    let mut json = JsonReport::new("exp_speedup", mode);
     for profile in Profile::ALL {
         let points = fig3_speedup(mode, profile);
+        for p in &points {
+            json.push_raw(
+                &format!("{profile:?} {}r", p.replicas),
+                &[
+                    ("replicas", p.replicas as f64),
+                    ("wips", p.wips),
+                    ("wirt_ms", p.wirt_ms),
+                ],
+            );
+        }
         println!("{}", render_speedup(profile, &points));
     }
+    json.write_if_requested();
 }

@@ -2,12 +2,20 @@
 use bench::render::{
     render_accuracy, render_autonomy, render_fault_histogram, render_performability,
 };
-use bench::{dependability_grid, Mode};
+use bench::{dependability_grid, JsonReport, Mode};
 use faultload::Faultload;
 
 fn main() {
     let mode = Mode::from_args();
     let runs = dependability_grid(mode, &Faultload::double_crash());
+    let mut json = JsonReport::new("exp_two_crashes", mode);
+    for run in &runs {
+        json.push(
+            &format!("{}r {:?} ebs={}", run.replicas, run.profile, run.ebs),
+            &run.report,
+        );
+    }
+    json.write_if_requested();
     for run in runs.iter().filter(|r| r.replicas == 5) {
         println!("{}", render_fault_histogram(run));
     }

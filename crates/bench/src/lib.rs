@@ -20,6 +20,9 @@
 #![forbid(unsafe_code)]
 
 pub mod render;
+pub mod report;
+
+pub use report::{committed_updates, json_path_from_args, JsonReport};
 
 use cluster::{run_experiment, ExperimentConfig, RunReport, ServiceModel};
 use faultload::Faultload;

@@ -1,0 +1,197 @@
+//! Machine-readable run reports: every `exp_*` binary accepts
+//! `--json <path>` and writes its [`RunReport`]s there as a single JSON
+//! document (hand-rolled — the repo carries no serialization crates).
+//!
+//! The document shape is stable so CI jobs (artifact upload, the perf
+//! regression gate) can consume it without knowing which experiment
+//! produced it:
+//!
+//! ```json
+//! {
+//!   "experiment": "exp_batching",
+//!   "mode": "quick",
+//!   "runs": [
+//!     {"label": "ordering batch=8", "batch": 8, "awips": 312.4, ...}
+//!   ]
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use cluster::RunReport;
+
+use crate::Mode;
+
+/// Parses `--json <path>` from argv. Returns `None` when absent;
+/// terminates with an error when the flag is given without a path.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Accumulates labelled runs and writes them as one JSON document.
+pub struct JsonReport {
+    experiment: String,
+    mode: Mode,
+    runs: Vec<String>,
+}
+
+impl JsonReport {
+    /// Starts an empty report for one experiment binary.
+    pub fn new(experiment: &str, mode: Mode) -> Self {
+        JsonReport {
+            experiment: experiment.to_string(),
+            mode,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds one run under `label`.
+    pub fn push(&mut self, label: &str, report: &RunReport) {
+        self.push_with(label, report, &[]);
+    }
+
+    /// Adds one run with extra numeric fields (e.g. the swept knob).
+    pub fn push_with(&mut self, label: &str, report: &RunReport, extra: &[(&str, f64)]) {
+        let committed = committed_updates(report);
+        let secs = report.schedule.total_us() as f64 / 1e6;
+        let mut fields = vec![
+            format!("\"label\": {}", json_string(label)),
+            format!("\"awips\": {}", json_f64(report.awips)),
+            format!("\"mean_wirt_ms\": {}", json_f64(report.mean_wirt_ms)),
+            format!("\"committed_updates\": {committed}"),
+            format!(
+                "\"updates_per_sec\": {}",
+                json_f64(committed as f64 / secs.max(1e-9))
+            ),
+            format!("\"net_messages\": {}", report.net_messages),
+            format!("\"net_bytes\": {}", report.net_bytes),
+            format!("\"disk_writes\": {}", report.disk_writes),
+            format!("\"disk_appends\": {}", report.disk_appends),
+            format!(
+                "\"availability\": {}",
+                json_f64(report.dependability.availability)
+            ),
+            format!(
+                "\"accuracy_percent\": {}",
+                json_f64(report.dependability.accuracy_percent)
+            ),
+            format!("\"audit_checks\": {}", report.audit.checks),
+            format!("\"audit_violations\": {}", report.audit.total_violations),
+        ];
+        for (k, v) in extra {
+            fields.push(format!("{}: {}", json_string(k), json_f64(*v)));
+        }
+        self.runs.push(format!("    {{{}}}", fields.join(", ")));
+    }
+
+    /// Adds one row of bare numeric fields (sweep experiments that
+    /// aggregate away the underlying [`RunReport`]s).
+    pub fn push_raw(&mut self, label: &str, fields: &[(&str, f64)]) {
+        let mut parts = vec![format!("\"label\": {}", json_string(label))];
+        for (k, v) in fields {
+            parts.push(format!("{}: {}", json_string(k), json_f64(*v)));
+        }
+        self.runs.push(format!("    {{{}}}", parts.join(", ")));
+    }
+
+    /// Renders the JSON document.
+    pub fn render(&self) -> String {
+        let mode = match self.mode {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        };
+        format!(
+            "{{\n  \"experiment\": {},\n  \"mode\": \"{mode}\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+            json_string(&self.experiment),
+            self.runs.join(",\n"),
+        )
+    }
+
+    /// Writes the document to the `--json` path, if one was given on the
+    /// command line. Terminates with an error if the write fails (a CI
+    /// gate consuming a half-written file would be worse than a loud
+    /// failure).
+    pub fn write_if_requested(&self) {
+        let Some(path) = json_path_from_args() else {
+            return;
+        };
+        let doc = self.render();
+        let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+        match write {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The run's committed-update count: the highest `applied` across the
+/// surviving replicas (all agree modulo in-flight deliveries).
+pub fn committed_updates(report: &RunReport) -> u64 {
+    report
+        .server_status
+        .iter()
+        .flatten()
+        .map(|s| s.applied)
+        .max()
+        .unwrap_or(0)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_rejects_non_finite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

@@ -24,10 +24,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use paxos::{Ballot, Mode, Msg, ProposalId, Quorums, Record, ReplicaStatus, Slot};
+use paxos::{Ballot, Batch, Mode, Msg, ProposalId, Quorums, Record, ReplicaStatus, Slot};
 use robuststore::Action;
 use simnet::{StableOp, StableStore};
 use treplica::{Meta, MwMsg, Wire, LOG_NAME, META_KEY};
+
+/// The consensus value type: a group-commit batch of store actions.
+type ActionBatch = Batch<Action>;
 
 /// Cap on recorded violation strings (all violations are still counted).
 const MAX_RECORDED: usize = 100;
@@ -58,14 +61,15 @@ pub struct AuditReport {
 pub struct InvariantAuditor {
     n: usize,
     fast_quorum: usize,
-    /// First delivered proposal per slot, with the delivering replica.
-    chosen: HashMap<Slot, (Option<ProposalId>, usize)>,
+    /// First delivered proposal per `(slot, index-in-batch)` position,
+    /// with the delivering replica.
+    chosen: HashMap<(Slot, u32), (Option<ProposalId>, usize)>,
     /// Per replica: records known durable on its disk.
     durable: Vec<HashSet<DurableKey>>,
     /// Per replica: records in flight to disk, keyed by write token.
     pending: Vec<HashMap<u64, DurableKey>>,
-    /// Per replica: last slot applied by the current incarnation.
-    last_applied: Vec<Option<Slot>>,
+    /// Per replica: last `(slot, index)` applied by this incarnation.
+    last_applied: Vec<Option<(Slot, u32)>>,
     checks: u64,
     violations: Vec<String>,
     total_violations: u64,
@@ -103,7 +107,7 @@ impl InvariantAuditor {
         match op {
             StableOp::Append { log, entry } if log == LOG_NAME => {
                 self.checks += 1;
-                match Record::<Action>::from_bytes(entry) {
+                match Record::<ActionBatch>::from_bytes(entry) {
                     Ok(Record::Promised(ballot)) => {
                         self.pending[idx].insert(token, DurableKey::Promise(ballot));
                     }
@@ -158,7 +162,7 @@ impl InvariantAuditor {
     pub fn on_send(
         &mut self,
         idx: usize,
-        msg: &MwMsg<Action>,
+        msg: &MwMsg<ActionBatch>,
         status: &ReplicaStatus,
         now_us: u64,
     ) {
@@ -213,32 +217,33 @@ impl InvariantAuditor {
         }
     }
 
-    /// A replica delivered (applied) a decided proposal.
-    pub fn on_applied(&mut self, idx: usize, slot: Slot, pid: ProposalId, now_us: u64) {
+    /// A replica delivered (applied) one update of a decided batch;
+    /// `index` is the update's position inside its slot's batch.
+    pub fn on_applied(&mut self, idx: usize, slot: Slot, index: u32, pid: ProposalId, now_us: u64) {
         self.checks += 1;
-        match self.chosen.get(&slot) {
+        match self.chosen.get(&(slot, index)) {
             Some((chosen_pid, first_by)) => {
                 if *chosen_pid != Some(pid) {
                     self.violation(format!(
                         "[{now_us}us] AGREEMENT: server {idx} delivered {pid:?} at slot \
-                         {slot:?} but server {first_by} delivered {chosen_pid:?}"
+                         {slot:?}[{index}] but server {first_by} delivered {chosen_pid:?}"
                     ));
                 }
             }
             None => {
-                self.chosen.insert(slot, (Some(pid), idx));
+                self.chosen.insert((slot, index), (Some(pid), idx));
             }
         }
         self.checks += 1;
         if let Some(last) = self.last_applied[idx] {
-            if slot <= last {
+            if (slot, index) <= last {
                 self.violation(format!(
                     "[{now_us}us] server {idx}: delivery watermark went backwards \
-                     ({slot:?} after {last:?})"
+                     ({slot:?}[{index}] after {last:?})"
                 ));
             }
         }
-        self.last_applied[idx] = Some(slot);
+        self.last_applied[idx] = Some((slot, index));
     }
 
     /// A replica crashed: its in-flight writes are lost and the next
@@ -262,7 +267,7 @@ impl InvariantAuditor {
         }
         if let Some(log) = store.log(LOG_NAME) {
             for (_, entry) in log.iter() {
-                match Record::<Action>::from_bytes(entry) {
+                match Record::<ActionBatch>::from_bytes(entry) {
                     Ok(Record::Promised(ballot)) => {
                         durable.insert(DurableKey::Promise(ballot));
                     }
@@ -289,7 +294,7 @@ impl InvariantAuditor {
     }
 }
 
-fn fast_name(m: &Msg<Action>) -> &'static str {
+fn fast_name(m: &Msg<ActionBatch>) -> &'static str {
     match m {
         Msg::FastPropose { .. } => "FastPropose",
         Msg::Any { .. } => "Any",
@@ -312,7 +317,7 @@ mod tests {
         }
     }
 
-    fn promise_msg(ballot: Ballot) -> MwMsg<Action> {
+    fn promise_msg(ballot: Ballot) -> MwMsg<ActionBatch> {
         MwMsg::Paxos(Msg::Promise {
             ballot,
             from_slot: Slot(0),
@@ -329,7 +334,7 @@ mod tests {
         audit.on_send(0, &promise_msg(ballot), &st, 10);
         assert_eq!(audit.report().total_violations, 1, "send before persist");
 
-        let record = Record::<Action>::Promised(ballot);
+        let record = Record::<ActionBatch>::Promised(ballot);
         audit.on_disk_write(
             1,
             &StableOp::Append {
@@ -356,18 +361,42 @@ mod tests {
             seq,
         };
         let (a, b) = (pid(1), pid(2));
-        audit.on_applied(0, Slot(5), a, 100);
-        audit.on_applied(1, Slot(5), a, 110);
+        audit.on_applied(0, Slot(5), 0, a, 100);
+        audit.on_applied(1, Slot(5), 0, a, 110);
         assert_eq!(audit.report().total_violations, 0);
-        audit.on_applied(2, Slot(5), b, 120);
+        audit.on_applied(2, Slot(5), 0, b, 120);
         assert_eq!(audit.report().total_violations, 1, "conflicting decree");
 
-        audit.on_applied(0, Slot(4), a, 130);
+        audit.on_applied(0, Slot(4), 0, a, 130);
         assert_eq!(audit.report().total_violations, 2, "watermark regression");
         // A crash resets the incarnation's watermark: replay is legal.
         audit.on_crash(1);
-        audit.on_applied(1, Slot(5), a, 140);
+        audit.on_applied(1, Slot(5), 0, a, 140);
         assert_eq!(audit.report().total_violations, 2);
+    }
+
+    #[test]
+    fn intra_batch_positions_are_ordered_and_agreed() {
+        let mut audit = InvariantAuditor::new(3);
+        let pid = |seq| ProposalId {
+            node: paxos::ReplicaId(0),
+            epoch: 0,
+            seq,
+        };
+        // One slot carrying a three-update batch: positions advance.
+        audit.on_applied(0, Slot(7), 0, pid(1), 100);
+        audit.on_applied(0, Slot(7), 1, pid(2), 101);
+        audit.on_applied(0, Slot(7), 2, pid(3), 102);
+        assert_eq!(audit.report().total_violations, 0);
+
+        // Another replica must unpack the same batch the same way.
+        audit.on_applied(1, Slot(7), 0, pid(1), 110);
+        audit.on_applied(1, Slot(7), 1, pid(9), 111);
+        assert_eq!(audit.report().total_violations, 1, "batch position differs");
+
+        // Replaying an earlier position of the same slot regresses.
+        audit.on_applied(0, Slot(7), 1, pid(2), 120);
+        assert_eq!(audit.report().total_violations, 2, "index regression");
     }
 
     #[test]

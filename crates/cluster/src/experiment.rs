@@ -54,6 +54,12 @@ pub struct ExperimentConfig {
     pub classic_only: bool,
     /// Actions between checkpoints.
     pub checkpoint_interval: u64,
+    /// Group commit: max updates coalesced into one consensus decree
+    /// (1 = batching off).
+    pub batch_max_updates: usize,
+    /// Group commit: max µs the first buffered update waits for company
+    /// (0 = flush immediately).
+    pub batch_window_us: u64,
 }
 
 impl ExperimentConfig {
@@ -76,6 +82,8 @@ impl ExperimentConfig {
             service: ServiceModel::default(),
             classic_only: false,
             checkpoint_interval: 20_000,
+            batch_max_updates: 1,
+            batch_window_us: 0,
         }
     }
 
@@ -97,6 +105,8 @@ impl ExperimentConfig {
             service: ServiceModel::default(),
             classic_only: false,
             checkpoint_interval: 500,
+            batch_max_updates: 1,
+            batch_window_us: 0,
         }
     }
 }
@@ -124,6 +134,9 @@ pub struct RunReport {
     pub net_bytes: u64,
     /// Total durable disk writes across the server replicas.
     pub disk_writes: u64,
+    /// Consensus-log appends across the server replicas (the group
+    /// commit's target: one per decree per acceptor, not per update).
+    pub disk_appends: u64,
     /// The invariant auditor's verdict (always empty of violations — the
     /// run asserts so before returning).
     pub audit: AuditReport,
@@ -181,6 +194,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
 
     let mut treplica_config = TreplicaConfig {
         checkpoint_interval: config.checkpoint_interval,
+        batch_max_updates: config.batch_max_updates,
+        batch_window_us: config.batch_window_us,
         ..TreplicaConfig::lan(replicas)
     };
     if config.classic_only {
@@ -447,6 +462,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     let net_messages = engine.network().messages_sent();
     let net_bytes = engine.network().bytes_carried();
     let disk_writes = (0..replicas).map(|i| engine.disk(NodeId(i)).writes()).sum();
+    let disk_appends = (0..replicas)
+        .map(|i| engine.disk(NodeId(i)).log_appends())
+        .sum();
     let audit = auditor.report();
     assert!(
         audit.violations.is_empty(),
@@ -467,6 +485,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         net_messages,
         net_bytes,
         disk_writes,
+        disk_appends,
         audit,
     }
 }

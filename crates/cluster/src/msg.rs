@@ -1,5 +1,6 @@
 //! Messages exchanged on the simulated cluster network.
 
+use paxos::Batch;
 use robuststore::Action;
 use tpcw::{Interaction, SessionUpdate, WebRequest};
 use treplica::MwMsg;
@@ -9,8 +10,9 @@ use treplica::MwMsg;
 /// proxy and servers, and the proxy's health probes.
 #[derive(Debug, Clone)]
 pub enum ClusterMsg {
-    /// Treplica traffic between server replicas.
-    Mw(MwMsg<Action>),
+    /// Treplica traffic between server replicas (consensus values are
+    /// group-commit batches of updates).
+    Mw(MwMsg<Batch<Action>>),
     /// An HTTP request (client → proxy, or proxy → chosen server).
     Request {
         /// Globally unique request id (client-node namespaced).

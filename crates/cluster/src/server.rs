@@ -24,6 +24,8 @@ use crate::service::ServiceModel;
 pub const TOKEN_TICK: u64 = 0;
 /// Timer token: CPU work completion.
 pub const TOKEN_WORK: u64 = 1;
+/// Timer token: group-commit batch window expiry.
+pub const TOKEN_BATCH: u64 = 2;
 
 /// Middleware tick cadence.
 pub const TICK_US: u64 = 20_000;
@@ -65,6 +67,9 @@ pub struct ServerNode {
     /// charged to the next piece of queued work rather than serialized
     /// behind it.
     cpu_debt_us: u64,
+    /// Deadline (µs) the armed `TOKEN_BATCH` timer fires at, so the open
+    /// batch's window is armed exactly once.
+    batch_timer_armed: Option<u64>,
 }
 
 impl ServerNode {
@@ -97,6 +102,7 @@ impl ServerNode {
             outstanding: HashMap::new(),
             ready: true,
             cpu_debt_us: 0,
+            batch_timer_armed: None,
         };
         server.apply_mw_effects(engine, boot_fx, auditor);
         server
@@ -137,6 +143,7 @@ impl ServerNode {
             outstanding: HashMap::new(),
             ready: false,
             cpu_debt_us: 0,
+            batch_timer_armed: None,
         };
         server.apply_mw_effects(engine, fx, auditor);
         server
@@ -182,8 +189,13 @@ impl ServerNode {
                 MwEffect::DiskReadRaw { bytes, token } => {
                     engine.disk_read_raw(self.node, bytes, token)
                 }
-                MwEffect::Applied { slot, pid, reply } => {
-                    auditor.on_applied(self.idx, slot, pid, engine.now().as_micros());
+                MwEffect::Applied {
+                    slot,
+                    index,
+                    pid,
+                    reply,
+                } => {
+                    auditor.on_applied(self.idx, slot, index, pid, engine.now().as_micros());
                     let cost_us = self.service.apply_cost_us();
                     self.enqueue(
                         engine,
@@ -197,6 +209,23 @@ impl ServerNode {
                     self.ready = true;
                 }
             }
+        }
+        self.sync_batch_timer(engine);
+    }
+
+    /// Arms a `TOKEN_BATCH` timer for the middleware's open group-commit
+    /// window, if one exists and isn't armed yet. Timers left over from
+    /// already-flushed batches fire as harmless no-ops.
+    fn sync_batch_timer(&mut self, engine: &mut Engine<ClusterMsg>) {
+        if let Some(deadline) = self.mw.batch_deadline() {
+            if self.batch_timer_armed != Some(deadline) {
+                self.batch_timer_armed = Some(deadline);
+                let now = engine.now().as_micros();
+                let delay = deadline.saturating_sub(now).max(1);
+                engine.set_timer(self.node, SimDuration::from_micros(delay), TOKEN_BATCH);
+            }
+        } else {
+            self.batch_timer_armed = None;
         }
     }
 
@@ -282,7 +311,7 @@ impl ServerNode {
                     page.page_bytes,
                 );
             }
-            Prepared::Write(action) => match self.mw.execute(action) {
+            Prepared::Write(action) => match self.mw.execute(action, now) {
                 Ok((pid, fx)) => {
                     self.outstanding.insert(pid, (req_id, from, interaction));
                     self.apply_mw_effects(engine, fx, auditor);
@@ -363,6 +392,12 @@ impl ServerNode {
                 self.apply_mw_effects(engine, fx, auditor);
             }
             TOKEN_WORK => self.complete_head(engine, auditor),
+            TOKEN_BATCH => {
+                self.batch_timer_armed = None;
+                let now = engine.now().as_micros();
+                let fx = self.mw.on_batch_timer(now);
+                self.apply_mw_effects(engine, fx, auditor);
+            }
             _ => {}
         }
     }

@@ -1,0 +1,86 @@
+//! Group-commit batching at cluster scale: determinism, log-append
+//! coalescing, and invariant preservation across crash/recovery.
+//!
+//! `run_experiment` asserts a zero-violation audit before returning, so
+//! every test here implicitly checks that batching never breaks
+//! agreement, durability ordering, or intra-batch delivery order.
+
+use cluster::{run_experiment, ExperimentConfig};
+use faultload::Faultload;
+use tpcw::Profile;
+
+fn batched(profile: Profile, batch: usize) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick(5, profile);
+    config.batch_max_updates = batch;
+    config.batch_window_us = if batch == 1 { 0 } else { 2_000 };
+    config
+}
+
+fn committed(report: &cluster::RunReport) -> u64 {
+    report
+        .server_status
+        .iter()
+        .flatten()
+        .map(|s| s.applied)
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn batched_runs_are_bit_deterministic() {
+    let a = run_experiment(&batched(Profile::Shopping, 8));
+    let b = run_experiment(&batched(Profile::Shopping, 8));
+    assert_eq!(a.awips.to_bits(), b.awips.to_bits(), "AWIPS bit-identical");
+    assert_eq!(a.net_messages, b.net_messages);
+    assert_eq!(a.net_bytes, b.net_bytes);
+    assert_eq!(a.disk_writes, b.disk_writes);
+    assert_eq!(a.disk_appends, b.disk_appends);
+    assert_eq!(committed(&a), committed(&b));
+}
+
+#[test]
+fn batching_coalesces_log_appends() {
+    // Heavy load plus a window comfortably above the per-node update
+    // inter-arrival time, so the group commit actually finds company.
+    let saturated = |batch| {
+        let mut config = batched(Profile::Ordering, batch);
+        config.rbes = 1_500;
+        config.think_us = 250_000;
+        config.schedule = tpcw::Schedule::quick(30);
+        if batch > 1 {
+            config.batch_window_us = 20_000;
+        }
+        config
+    };
+    let unbatched = run_experiment(&saturated(1));
+    let grouped = run_experiment(&saturated(8));
+    let (u_committed, g_committed) = (committed(&unbatched), committed(&grouped));
+    assert!(u_committed > 100, "baseline commits work: {u_committed}");
+    assert!(
+        g_committed as f64 >= u_committed as f64 * 0.8,
+        "batching must not cost meaningful throughput: {g_committed} vs {u_committed}"
+    );
+    // The group commit's whole point: fewer consensus-log appends for
+    // comparable committed work.
+    let u_rate = unbatched.disk_appends as f64 / u_committed as f64;
+    let g_rate = grouped.disk_appends as f64 / g_committed as f64;
+    assert!(
+        g_rate < u_rate * 0.8,
+        "appends per committed update must drop: {g_rate:.3} vs {u_rate:.3}"
+    );
+    assert!(grouped.audit.checks > 1_000, "auditor actually ran");
+}
+
+#[test]
+fn crash_recovery_with_batching_holds_invariants() {
+    let mut config = batched(Profile::Shopping, 8);
+    config.faultload = Faultload::single_crash().scaled(1, 9);
+    let report = run_experiment(&config);
+    assert_eq!(report.spans.len(), 1, "one crash span observed");
+    assert!(
+        report.spans[0].recovery_secs().is_some(),
+        "crashed server recovers with batched records in its log"
+    );
+    assert!(report.audit.checks > 1_000, "auditor actually ran");
+    assert!(committed(&report) > 100, "service continues through crash");
+}

@@ -6,9 +6,35 @@
 //! [`Wire::wire_size`] to charge serialization latency on the simulated
 //! network.
 
-use paxos::{AcceptedReport, Ballot, BallotClass, Decree, Msg, ProposalId, Record, Slot};
+use paxos::{AcceptedReport, Ballot, BallotClass, Batch, Decree, Msg, ProposalId, Record, Slot};
 
 use crate::wire::{Wire, WireError};
+
+/// Hard wire-format cap on updates per batch. Protects decoders from a
+/// corrupt length prefix; far above any useful `batch_max_updates`.
+pub const MAX_BATCH_ITEMS: usize = 4_096;
+
+/// Batch framing: a length-prefixed item vector. Decoding enforces the
+/// batch invariants — never empty (an empty batch would burn a slot and
+/// a seek for nothing) and never above [`MAX_BATCH_ITEMS`].
+impl<A: Wire> Wire for Batch<A> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.items.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let items: Vec<(ProposalId, A)> = Vec::decode(input)?;
+        if items.is_empty() {
+            return Err(WireError::Invalid("empty batch"));
+        }
+        if items.len() > MAX_BATCH_ITEMS {
+            return Err(WireError::Invalid("batch exceeds MAX_BATCH_ITEMS"));
+        }
+        Ok(Batch { items })
+    }
+    fn wire_size(&self) -> u64 {
+        self.items.wire_size()
+    }
+}
 
 impl Wire for Slot {
     fn encode(&self, buf: &mut Vec<u8>) {

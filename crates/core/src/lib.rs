@@ -44,7 +44,7 @@
 //!                                TreplicaConfig::lan(1), 0);
 //! // Tick once: the single-replica ensemble elects itself.
 //! let _fx = node.on_tick(0);
-//! let (_pid, _fx) = node.execute(41).expect("active");
+//! let (_pid, _fx) = node.execute(41, 0).expect("active");
 //! ```
 
 #![warn(missing_docs)]
@@ -58,7 +58,7 @@ pub mod runtime;
 mod wire;
 
 pub use app::{Application, Snapshot};
-pub use codec::record_slot;
+pub use codec::{record_slot, MAX_BATCH_ITEMS};
 pub use middleware::{
     Meta, Middleware, MwEffect, MwMsg, MwStatus, RecoveredDisk, StillRecovering, TreplicaConfig,
     LOG_NAME, META_KEY,

@@ -6,9 +6,14 @@
 //! element in the same order as everyone else. In this reproduction the
 //! consensus machinery produces the ordered elements and
 //! [`PersistentQueue`] is the delivery-side view: it enforces the total
-//! order invariant (strictly increasing slots, no duplicates) and holds
-//! elements until the application consumes them — including during
-//! recovery, while the checkpoint is still loading from disk.
+//! order invariant (strictly increasing `(slot, index)` positions, no
+//! duplicates) and holds elements until the application consumes them —
+//! including during recovery, while the checkpoint is still loading
+//! from disk.
+//!
+//! With group commit a single consensus slot orders a whole batch of
+//! updates; `index` is the update's position inside its batch, so the
+//! delivery order is lexicographic on `(slot, index)`.
 
 use std::collections::VecDeque;
 
@@ -19,6 +24,9 @@ use paxos::{ProposalId, Slot};
 pub struct QueueEntry<A> {
     /// The consensus slot that ordered this element.
     pub slot: Slot,
+    /// Position of this element inside its batch (0 for the head; always
+    /// 0 when batching is disabled).
+    pub index: u32,
     /// The proposal that produced it.
     pub pid: ProposalId,
     /// The element itself.
@@ -32,14 +40,14 @@ pub struct QueueEntry<A> {
 /// use paxos::{ProposalId, ReplicaId, Slot};
 /// let mut q = PersistentQueue::new();
 /// let pid = ProposalId { node: ReplicaId(0), epoch: 0, seq: 1 };
-/// q.push(Slot(4), pid, "action");
+/// q.push(Slot(4), 0, pid, "action");
 /// assert_eq!(q.try_dequeue().unwrap().action, "action");
 /// ```
 #[derive(Debug)]
 pub struct PersistentQueue<A> {
     entries: VecDeque<QueueEntry<A>>,
-    /// All pushed slots are strictly above this.
-    last_slot: Option<Slot>,
+    /// All pushed positions are strictly above this.
+    last_pos: Option<(Slot, u32)>,
     enqueued: u64,
     dequeued: u64,
 }
@@ -49,7 +57,7 @@ impl<A> PersistentQueue<A> {
     pub fn new() -> Self {
         PersistentQueue {
             entries: VecDeque::new(),
-            last_slot: None,
+            last_pos: None,
             enqueued: 0,
             dequeued: 0,
         }
@@ -59,20 +67,25 @@ impl<A> PersistentQueue<A> {
     ///
     /// # Panics
     ///
-    /// Panics if `slot` is not strictly greater than every slot pushed
-    /// before — the consensus layer guarantees in-order, gap-checked
-    /// delivery, so a violation here is a protocol bug, not an input
-    /// error.
-    pub fn push(&mut self, slot: Slot, pid: ProposalId, action: A) {
-        if let Some(last) = self.last_slot {
+    /// Panics if `(slot, index)` is not strictly greater than every
+    /// position pushed before — the consensus layer guarantees in-order,
+    /// gap-checked delivery and the middleware unpacks batches front to
+    /// back, so a violation here is a protocol bug, not an input error.
+    pub fn push(&mut self, slot: Slot, index: u32, pid: ProposalId, action: A) {
+        if let Some((last_slot, last_index)) = self.last_pos {
             assert!(
-                slot > last,
-                "total order violation: slot {slot} after {last}"
+                (slot, index) > (last_slot, last_index),
+                "total order violation: ({slot}, {index}) after ({last_slot}, {last_index})"
             );
         }
-        self.last_slot = Some(slot);
+        self.last_pos = Some((slot, index));
         self.enqueued += 1;
-        self.entries.push_back(QueueEntry { slot, pid, action });
+        self.entries.push_back(QueueEntry {
+            slot,
+            index,
+            pid,
+            action,
+        });
     }
 
     /// Removes and returns the next element, if any (the non-blocking
@@ -107,7 +120,7 @@ impl<A> PersistentQueue<A> {
 
     /// The highest slot observed.
     pub fn last_slot(&self) -> Option<Slot> {
-        self.last_slot
+        self.last_pos.map(|(s, _)| s)
     }
 }
 
@@ -133,8 +146,8 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(1), pid(1), "a");
-        q.push(Slot(2), pid(2), "b");
+        q.push(Slot(1), 0, pid(1), "a");
+        q.push(Slot(2), 0, pid(2), "b");
         assert_eq!(q.len(), 2);
         assert_eq!(q.try_dequeue().unwrap().action, "a");
         assert_eq!(q.try_dequeue().unwrap().action, "b");
@@ -144,19 +157,40 @@ mod tests {
     }
 
     #[test]
+    fn same_slot_batch_entries_ordered_by_index() {
+        let mut q = PersistentQueue::new();
+        q.push(Slot(5), 0, pid(1), "a");
+        q.push(Slot(5), 1, pid(2), "b");
+        q.push(Slot(5), 2, pid(3), "c");
+        q.push(Slot(6), 0, pid(4), "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.try_dequeue())
+            .map(|e| e.action)
+            .collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
     #[should_panic(expected = "total order violation")]
     fn out_of_order_push_panics() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(5), pid(1), "a");
-        q.push(Slot(5), pid(2), "b");
+        q.push(Slot(5), 0, pid(1), "a");
+        q.push(Slot(5), 0, pid(2), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "total order violation")]
+    fn intra_batch_index_regression_panics() {
+        let mut q = PersistentQueue::new();
+        q.push(Slot(5), 3, pid(1), "a");
+        q.push(Slot(5), 2, pid(2), "b");
     }
 
     #[test]
     fn gaps_in_slots_are_fine() {
         // No-op slots are filtered before the queue; gaps are expected.
         let mut q = PersistentQueue::new();
-        q.push(Slot(1), pid(1), "a");
-        q.push(Slot(7), pid(2), "b");
+        q.push(Slot(1), 0, pid(1), "a");
+        q.push(Slot(7), 0, pid(2), "b");
         assert_eq!(q.last_slot(), Some(Slot(7)));
     }
 

@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use paxos::ReplicaId;
+use paxos::{Batch, ReplicaId};
 use simnet::StableStore;
 
 use crate::app::Application;
@@ -37,7 +37,7 @@ type ExecuteReply<App> =
 enum Input<App: Application> {
     Peer {
         from: ReplicaId,
-        msg: MwMsg<App::Action>,
+        msg: MwMsg<Batch<App::Action>>,
     },
     Execute {
         action: App::Action,
@@ -130,7 +130,8 @@ impl<App: Application + 'static> ReplicaThread<App> {
                     }
                 }
                 Input::Execute { action, reply } => match self.mw.as_mut() {
-                    Some(mw) => match mw.execute(action) {
+                    Some(mw) => match mw.execute(action, self.started.elapsed().as_micros() as u64)
+                    {
                         Ok((pid, fx)) => {
                             self.waiting.insert((pid.epoch, pid.seq), reply);
                             self.apply_effects(fx);

@@ -21,6 +21,9 @@ pub enum WireError {
     BadTag(u8),
     /// A string field held invalid UTF-8.
     BadUtf8,
+    /// The bytes decoded but violate a structural invariant of the type
+    /// (e.g. an empty or oversized batch).
+    Invalid(&'static str),
 }
 
 impl fmt::Display for WireError {
@@ -29,6 +32,7 @@ impl fmt::Display for WireError {
             WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
             WireError::BadTag(t) => write!(f, "invalid enum tag {t}"),
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::Invalid(what) => write!(f, "structural invariant violated: {what}"),
         }
     }
 }

@@ -3,7 +3,7 @@
 //! crash/restart with checkpoint-load + backlog-replay recovery —
 //! driven by the discrete-event engine.
 
-use paxos::{Mode, ProposalId, ReplicaId};
+use paxos::{Batch, Mode, ProposalId, ReplicaId};
 use simnet::{Engine, Event, NodeId, SimConfig, SimDuration, SimTime};
 use treplica::{
     Application, Middleware, MwEffect, MwMsg, RecoveredDisk, Snapshot, TreplicaConfig, Wire,
@@ -38,7 +38,7 @@ const TICK_TOKEN: u64 = u64::MAX;
 const TICK_US: u64 = 20_000;
 
 struct Cluster {
-    engine: Engine<MwMsg<u64>>,
+    engine: Engine<MwMsg<Batch<u64>>>,
     nodes: Vec<Option<Middleware<Register>>>,
     applied: Vec<Vec<(ProposalId, u64)>>, // not strictly the value; reply len
     recovered: Vec<Vec<u64>>,             // recovery completion times (µs)
@@ -141,10 +141,11 @@ impl Cluster {
     }
 
     fn execute(&mut self, node: usize, value: u64) -> ProposalId {
+        let now = self.engine.now().as_micros();
         let (pid, fx) = self.nodes[node]
             .as_mut()
             .expect("live node")
-            .execute(value)
+            .execute(value, now)
             .expect("active node");
         self.apply_effects(node, fx);
         pid
@@ -297,7 +298,7 @@ fn recovery_time_scales_with_state_size() {
             checkpoint_interval: 10,
             ..TreplicaConfig::lan(n)
         };
-        let mut engine: Engine<MwMsg<u64>> = Engine::new(n, SimConfig::default(), seed);
+        let mut engine: Engine<MwMsg<Batch<u64>>> = Engine::new(n, SimConfig::default(), seed);
         let mut nodes: Vec<Option<Middleware<Sized>>> = (0..n)
             .map(|i| {
                 engine.set_timer(NodeId(i), SimDuration::from_micros(TICK_US), TICK_TOKEN);
@@ -312,7 +313,7 @@ fn recovery_time_scales_with_state_size() {
         let mut recovered_at: Option<u64> = None;
 
         // Local driver loop (mirrors Cluster, for the custom app type).
-        let apply = |engine: &mut Engine<MwMsg<u64>>,
+        let apply = |engine: &mut Engine<MwMsg<Batch<u64>>>,
                      _nodes: &mut Vec<Option<Middleware<Sized>>>,
                      recovered_at: &mut Option<u64>,
                      node: usize,
@@ -340,7 +341,7 @@ fn recovery_time_scales_with_state_size() {
                 }
             }
         };
-        let pump = |engine: &mut Engine<MwMsg<u64>>,
+        let pump = |engine: &mut Engine<MwMsg<Batch<u64>>>,
                     nodes: &mut Vec<Option<Middleware<Sized>>>,
                     recovered_at: &mut Option<u64>,
                     until: SimTime| {
@@ -388,7 +389,8 @@ fn recovery_time_scales_with_state_size() {
             SimTime::from_secs(1),
         );
         for i in 0..25u64 {
-            let (pid, fx) = nodes[0].as_mut().unwrap().execute(i).unwrap();
+            let now = engine.now().as_micros();
+            let (pid, fx) = nodes[0].as_mut().unwrap().execute(i, now).unwrap();
             let _ = pid;
             apply(&mut engine, &mut nodes, &mut recovered_at, 0, fx);
             pump(
@@ -665,8 +667,14 @@ fn flow_control_bounds_outstanding_proposals() {
     }
     let status = c.nodes[0].as_ref().unwrap().status();
     assert!(
-        status.paxos.pending_proposals >= 10,
-        "most proposals still pending right after the burst"
+        status.withheld >= 10,
+        "most updates withheld by flow control right after the burst (withheld={})",
+        status.withheld
+    );
+    assert!(
+        status.paxos.pending_proposals <= 2,
+        "at most max_outstanding decrees in flight (pending={})",
+        status.paxos.pending_proposals
     );
     c.run_until(SimTime::from_secs(20));
     c.assert_replicas_agree();

@@ -306,12 +306,17 @@ impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
     }
 
     /// Recoveries that have been running longer than `timeout_us`
-    /// without resolving (lost messages): they are restarted by the
-    /// replica with a fresh ballot.
+    /// without their slot deciding: they are restarted by the replica
+    /// with a fresh ballot. A recovery that already issued phase 2
+    /// counts too — its `Accept` can be rejected wholesale when a
+    /// concurrent recovery for another slot raised the acceptors'
+    /// promised ballot in between, and only a fresh, higher ballot can
+    /// unwedge the slot (decided slots leave the map via
+    /// [`Leader::finish_recovery`], so anything still here is undecided).
     pub fn stalled_recoveries(&self, now: u64, timeout_us: u64) -> Vec<Slot> {
         self.recoveries
             .iter()
-            .filter(|(_, r)| !r.resolved && now.saturating_sub(r.started_at) >= timeout_us)
+            .filter(|(_, r)| now.saturating_sub(r.started_at) >= timeout_us)
             .map(|(s, _)| *s)
             .collect()
     }

@@ -55,4 +55,4 @@ pub use learner::{Delivery, Learner};
 pub use msg::{AcceptedReport, Effect, Effects, Msg, PersistToken, Record};
 pub use proposer::{PendingProposal, Proposer};
 pub use replica::{Replica, ReplicaStatus};
-pub use types::{Ballot, BallotClass, Decree, ProposalId, Quorums, ReplicaId, Slot};
+pub use types::{Ballot, BallotClass, Batch, Decree, ProposalId, Quorums, ReplicaId, Slot};

@@ -146,6 +146,57 @@ impl fmt::Display for ProposalId {
     }
 }
 
+/// A group-committed batch of client updates ordered as one decree.
+///
+/// Batching amortizes the per-decree costs of the stack — one consensus
+/// round, one stable-log append (one simulated seek) and one set of
+/// protocol messages — over up to `batch_max` updates. The consensus
+/// layer stays value-agnostic: a batch is just the `V` of
+/// `Replica<Batch<A>>`, so acceptors persist one coalesced record per
+/// batch and learners deliver whole batches, which the middleware
+/// unpacks in order (items keep their per-update [`ProposalId`]s so
+/// exactly-once delivery and reply routing still work per update).
+///
+/// Invariant: a batch is never empty (the wire codec rejects empty
+/// batches on decode; [`Batch::new`] asserts on construction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Batch<V> {
+    /// The batched updates in submission order, each with the id its
+    /// submitter waits on.
+    pub items: Vec<(ProposalId, V)>,
+}
+
+impl<V> Batch<V> {
+    /// Creates a batch from `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty — an empty batch would consume a
+    /// consensus slot and a disk seek for nothing.
+    pub fn new(items: Vec<(ProposalId, V)>) -> Batch<V> {
+        assert!(!items.is_empty(), "batches must carry at least one update");
+        Batch { items }
+    }
+
+    /// Wraps a single update (the unbatched degenerate case).
+    pub fn single(pid: ProposalId, value: V) -> Batch<V> {
+        Batch {
+            items: vec![(pid, value)],
+        }
+    }
+
+    /// Number of updates in the batch (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Always false for a well-formed batch; part of the conventional
+    /// `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 /// What a slot can hold: a real proposal or a gap-filling no-op.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Decree<V> {

@@ -110,6 +110,7 @@ pub struct DiskModel {
     config: DiskConfig,
     reads: u64,
     writes: u64,
+    log_appends: u64,
     bytes_written: u64,
     bytes_read: u64,
 }
@@ -141,6 +142,7 @@ impl DiskModel {
         self.bytes_written += op.size_bytes();
         match op {
             StableOp::Append { entry, .. } => {
+                self.log_appends += 1;
                 self.config.append_base + self.write_transfer(entry.len() as u64)
             }
             StableOp::Put { value, .. } => {
@@ -161,6 +163,12 @@ impl DiskModel {
     /// Number of write operations issued.
     pub fn writes(&self) -> u64 {
         self.writes
+    }
+
+    /// Number of sequential log appends among the writes (the group
+    /// commit's unit of interest: one per consensus decree per acceptor).
+    pub fn log_appends(&self) -> u64 {
+        self.log_appends
     }
 
     /// Number of read operations issued.
@@ -441,6 +449,7 @@ mod tests {
         });
         disk.read_latency(50);
         assert_eq!(disk.writes(), 1);
+        assert_eq!(disk.log_appends(), 1);
         assert_eq!(disk.reads(), 1);
         assert_eq!(disk.bytes_written(), 100);
         assert_eq!(disk.bytes_read(), 50);

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use robuststore_repro::paxos::{ProposalId, ReplicaId};
+use robuststore_repro::paxos::{Batch, ProposalId, ReplicaId};
 use robuststore_repro::simnet::{Engine, Event, NodeId, SimConfig, SimDuration, SimTime};
 use robuststore_repro::treplica::{
     Application, Middleware, MwEffect, MwMsg, RecoveredDisk, Snapshot, TreplicaConfig, Wire,
@@ -46,7 +46,7 @@ const TICK: u64 = 20_000;
 const TICK_TOKEN: u64 = u64::MAX;
 
 fn apply_effects(
-    engine: &mut Engine<MwMsg<u64>>,
+    engine: &mut Engine<MwMsg<Batch<u64>>>,
     node: usize,
     effects: Vec<MwEffect<Counter>>,
     applied: &mut Vec<(usize, ProposalId, u64)>,
@@ -75,7 +75,7 @@ fn main() {
         checkpoint_interval: 5,
         ..TreplicaConfig::lan(n)
     };
-    let mut engine: Engine<MwMsg<u64>> = Engine::new(n, SimConfig::default(), 7);
+    let mut engine: Engine<MwMsg<Batch<u64>>> = Engine::new(n, SimConfig::default(), 7);
     let mut nodes: Vec<Option<Middleware<Counter>>> = (0..n)
         .map(|i| {
             engine.set_timer(NodeId(i), SimDuration::from_micros(TICK), TICK_TOKEN);
@@ -89,7 +89,7 @@ fn main() {
         .collect();
     let mut applied = Vec::new();
 
-    let pump = |engine: &mut Engine<MwMsg<u64>>,
+    let pump = |engine: &mut Engine<MwMsg<Batch<u64>>>,
                 nodes: &mut Vec<Option<Middleware<Counter>>>,
                 applied: &mut Vec<(usize, ProposalId, u64)>,
                 until: SimTime| {
@@ -132,7 +132,11 @@ fn main() {
 
     // Execute increments from different replicas.
     for (i, inc) in [(0usize, 10u64), (1, 20), (2, 30), (0, 40)] {
-        let (_pid, fx) = nodes[i].as_mut().unwrap().execute(inc).expect("active");
+        let (_pid, fx) = nodes[i]
+            .as_mut()
+            .unwrap()
+            .execute(inc, engine.now().as_micros())
+            .expect("active");
         apply_effects(&mut engine, i, fx, &mut applied);
         let until = engine.now() + SimDuration::from_millis(200);
         pump(&mut engine, &mut nodes, &mut applied, until);
@@ -146,7 +150,11 @@ fn main() {
     println!("[{}] crashing node 2", engine.now());
     engine.crash(NodeId(2));
     nodes[2] = None;
-    let (_pid, fx) = nodes[0].as_mut().unwrap().execute(100).expect("active");
+    let (_pid, fx) = nodes[0]
+        .as_mut()
+        .unwrap()
+        .execute(100, engine.now().as_micros())
+        .expect("active");
     apply_effects(&mut engine, 0, fx, &mut applied);
     pump(&mut engine, &mut nodes, &mut applied, SimTime::from_secs(3));
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the group-commit batching hot path.
+
+Usage: perf_gate.py BASELINE.json CURRENT.json
+
+Both files are ``exp_batching --gate --json`` reports. The gate fails
+(exit 1) when any labelled point's committed-updates/sec drops more than
+REGRESSION_TOLERANCE below the committed baseline, when the batch-8 over
+batch-1 speedup collapses below MIN_SPEEDUP, or when the always-on
+consensus auditor reported any violation. The simulator is deterministic,
+so on unchanged code the current run reproduces the baseline bit-for-bit;
+a tripped gate always points at a real behavioural change. After an
+intentional recalibration, regenerate the baseline with::
+
+    cargo run --release -p bench --bin exp_batching -- --gate --json BENCH_baseline.json
+
+Stdlib only; no third-party imports.
+"""
+
+import json
+import sys
+
+# A current point may be up to 15% below baseline before the gate trips.
+REGRESSION_TOLERANCE = 0.15
+# Group commit must keep paying for itself: batch=8 throughput must stay
+# at least this multiple of batch=1 on the ordering mix.
+MIN_SPEEDUP = 1.8
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {run["label"]: run for run in doc.get("runs", [])}
+    if not runs:
+        sys.exit(f"perf gate: {path} contains no runs")
+    return runs
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit("usage: perf_gate.py BASELINE.json CURRENT.json")
+    baseline = load_runs(argv[1])
+    current = load_runs(argv[2])
+
+    failures = []
+    print(f"{'point':<24} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for label, base in sorted(baseline.items()):
+        cur = current.get(label)
+        if cur is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        base_ups = base["updates_per_sec"]
+        cur_ups = cur["updates_per_sec"]
+        ratio = cur_ups / base_ups if base_ups else float("inf")
+        print(f"{label:<24} {base_ups:>10.1f} {cur_ups:>10.1f} {ratio:>6.2f}x")
+        if cur_ups < base_ups * (1.0 - REGRESSION_TOLERANCE):
+            failures.append(
+                f"{label}: {cur_ups:.1f} upd/s is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below baseline {base_ups:.1f}"
+            )
+        if cur.get("audit_violations", 0) != 0:
+            failures.append(f"{label}: {cur['audit_violations']} audit violations")
+
+    by_batch = {run.get("batch"): run for run in current.values()}
+    if 1 in by_batch and 8 in by_batch:
+        speedup = by_batch[8]["updates_per_sec"] / by_batch[1]["updates_per_sec"]
+        print(f"{'batch-8 speedup':<24} {'':>10} {'':>10} {speedup:>6.2f}x")
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"batch-8 speedup {speedup:.2f}x fell below {MIN_SPEEDUP}x"
+            )
+    else:
+        failures.append("current run lacks batch=1 and batch=8 points")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
