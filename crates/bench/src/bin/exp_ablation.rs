@@ -9,17 +9,19 @@
 //!    log suffix a recovering replica replays but cost more disk writes;
 //!    this sweep measures both sides.
 
-use bench::{base_config, JsonReport, Mode};
+use bench::{base_config, Console, JsonReport, Mode, TraceSink};
 use cluster::run_experiment;
 use faultload::Faultload;
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let mut json = JsonReport::new("exp_ablation", mode);
+    let mut trace = TraceSink::from_args();
 
-    println!("== Ablation 1: Fast Paxos vs classic Paxos ==");
-    println!("  R profile   |  fast AWIPS | fast WIRT | classic AWIPS | classic WIRT");
+    con.say("== Ablation 1: Fast Paxos vs classic Paxos ==");
+    con.say("  R profile   |  fast AWIPS | fast WIRT | classic AWIPS | classic WIRT");
     for replicas in [5usize, 8] {
         for profile in [Profile::Shopping, Profile::Ordering] {
             let mut results = Vec::new();
@@ -30,22 +32,24 @@ fn main() {
                 config.classic_only = classic_only;
                 let report = run_experiment(&config);
                 let kind = if classic_only { "classic" } else { "fast" };
-                json.push(&format!("{replicas}r {} {kind}", profile.name()), &report);
+                let label = format!("{replicas}r {} {kind}", profile.name());
+                json.push(&label, &report);
+                trace.record_run(&label, &report);
                 results.push((report.awips, report.mean_wirt_ms));
             }
-            println!(
+            con.say(format_args!(
                 "  {replicas} {:9} | {:11.1} | {:8.1}ms | {:13.1} | {:9.1}ms",
                 profile.name(),
                 results[0].0,
                 results[0].1,
                 results[1].0,
                 results[1].1
-            );
+            ));
         }
     }
 
-    println!("\n== Ablation 2: checkpoint interval (5 replicas, shopping, one crash) ==");
-    println!("  interval | AWIPS | recovery(s) | disk writes at survivor");
+    con.say("\n== Ablation 2: checkpoint interval (5 replicas, shopping, one crash) ==");
+    con.say("  interval | AWIPS | recovery(s) | disk writes at survivor");
     for interval in [2_000u64, 20_000, 100_000] {
         let mut config = base_config(mode, 5, Profile::Shopping);
         config.ebs = 30;
@@ -53,20 +57,19 @@ fn main() {
         config.checkpoint_interval = interval;
         config.faultload = mode.faultload(Faultload::single_crash());
         let report = run_experiment(&config);
-        json.push_with(
-            &format!("checkpoint interval {interval}"),
-            &report,
-            &[("checkpoint_interval", interval as f64)],
-        );
+        let label = format!("checkpoint interval {interval}");
+        json.push_with(&label, &report, &[("checkpoint_interval", interval as f64)]);
+        trace.record_run(&label, &report);
         let recovery = report
             .spans
             .first()
             .and_then(|s| s.recovery_secs())
             .unwrap_or(f64::NAN);
-        println!(
+        con.say(format_args!(
             "  {interval:8} | {:5.1} | {:11.1} | (see bench output)",
             report.awips, recovery
-        );
+        ));
     }
     json.write_if_requested();
+    trace.write_if_requested();
 }

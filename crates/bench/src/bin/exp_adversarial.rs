@@ -9,12 +9,13 @@
 //! returning, so the numbers below are from runs whose agreement,
 //! durability ordering and mode discipline were checked end to end.
 
-use bench::{base_config, JsonReport, Mode};
+use bench::{base_config, Console, JsonReport, Mode, TraceSink};
 use cluster::run_experiment;
 use faultload::{Faultload, LinkFaultSpec};
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let mut seeds = vec![42u64];
     if let Mode::Full = mode {
@@ -50,20 +51,21 @@ fn main() {
     ];
 
     let mut json = JsonReport::new("exp_adversarial", mode);
-    println!("Adversarial faultloads, 5 replicas, shopping mix ({mode:?} schedule):");
+    let mut trace = TraceSink::from_args();
+    con.say(format_args!(
+        "Adversarial faultloads, 5 replicas, shopping mix ({mode:?} schedule):"
+    ));
     for (name, faultload) in named {
         for &seed in &seeds {
             let mut config = base.clone();
             config.seed = seed;
             config.faultload = faultload.clone();
             let report = run_experiment(&config);
-            json.push_with(
-                &format!("{} seed {seed}", name.trim()),
-                &report,
-                &[("seed", seed as f64)],
-            );
+            let label = format!("{} seed {seed}", name.trim());
+            json.push_with(&label, &report, &[("seed", seed as f64)]);
+            trace.record_run(&label, &report);
             let d = &report.dependability;
-            println!(
+            con.say(format_args!(
                 "{name} seed {seed:3}: AWIPS {:7.1}  avail {:.5}  acc {:6.3}%  \
                  spans {}  audit: {} checks, {} violations",
                 report.awips,
@@ -72,8 +74,9 @@ fn main() {
                 report.spans.len(),
                 report.audit.checks,
                 report.audit.total_violations,
-            );
+            ));
         }
     }
     json.write_if_requested();
+    trace.write_if_requested();
 }

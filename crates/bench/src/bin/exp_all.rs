@@ -4,12 +4,13 @@ use std::io::Write;
 
 use bench::render::*;
 use bench::{
-    dependability_grid, fig3_speedup, fig4_scaleup, fig6_recovery_times, JsonReport, Mode,
+    dependability_grid, fig3_speedup, fig4_scaleup, fig6_recovery_times, Console, JsonReport, Mode,
 };
 use faultload::Faultload;
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let mut json = JsonReport::new("exp_all", mode);
     let out_path = {
@@ -20,7 +21,7 @@ fn main() {
     };
     let mut report = String::new();
     let mut emit = |s: String| {
-        println!("{s}");
+        con.say(&s);
         report.push_str(&s);
         report.push('\n');
     };
@@ -119,6 +120,6 @@ fn main() {
     if let Some(path) = out_path {
         let mut f = std::fs::File::create(&path).expect("create report file");
         f.write_all(report.as_bytes()).expect("write report");
-        eprintln!("report written to {path}");
+        con.note(format_args!("report written to {path}"));
     }
 }

@@ -6,18 +6,20 @@
 //! autonomously) and reports availability, accuracy and autonomy across
 //! the whole horizon — plus the consensus traffic bill.
 
-use bench::{base_config, JsonReport, Mode};
+use bench::{base_config, Console, JsonReport, Mode, TraceSink};
 use cluster::run_experiment;
 use faultload::{FaultEvent, Faultload, RecoveryKind};
 use tpcw::{Profile, Schedule};
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let interval_secs = match mode {
         Mode::Quick => 300,
         Mode::Full => 600,
     };
     let mut json = JsonReport::new("exp_availability", mode);
+    let mut trace = TraceSink::from_args();
     for profile in [Profile::Browsing, Profile::Shopping] {
         let mut config = base_config(mode, 5, profile);
         config.schedule = Schedule::quick(interval_secs);
@@ -39,30 +41,33 @@ fn main() {
             ..Faultload::default()
         };
         let report = run_experiment(&config);
-        json.push(&format!("{} {faults} crashes", profile.name()), &report);
+        let label = format!("{} {faults} crashes", profile.name());
+        json.push(&label, &report);
+        trace.record_run(&label, &report);
         let d = &report.dependability;
-        println!(
+        con.say(format_args!(
             "{:9}: {faults} crashes over {interval_secs}s → availability {:.5}, accuracy {:.3}%, autonomy {:.2}, AWIPS {:.1}",
             profile.name(),
             d.availability,
             d.accuracy_percent,
             d.autonomy,
             report.awips,
-        );
+        ));
         for span in &report.spans {
-            println!(
+            con.say(format_args!(
                 "  server {} crashed {:>3.0}s recovered in {:>5.1}s",
                 span.server,
                 span.crash_at as f64 / 1e6,
                 span.recovery_secs().unwrap_or(f64::NAN)
-            );
+            ));
         }
-        println!(
+        con.say(format_args!(
             "  consensus bill: {:.2}M messages, {:.1} MB on the wire, {:.2}M disk writes",
             report.net_messages as f64 / 1e6,
             report.net_bytes as f64 / 1e6,
             report.disk_writes as f64 / 1e6,
-        );
+        ));
     }
     json.write_if_requested();
+    trace.write_if_requested();
 }

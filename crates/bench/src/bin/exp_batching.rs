@@ -14,11 +14,12 @@
 //! (ordering mix, batch 1 and 8); combine with `--json <path>` to emit
 //! the machine-readable report `scripts/perf_gate.py` consumes.
 
-use bench::{base_config, committed_updates, JsonReport, Mode};
+use bench::{base_config, committed_updates, Console, JsonReport, Mode, TraceSink};
 use cluster::{run_experiment, ServiceModel};
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let gate = std::env::args().any(|a| a == "--gate");
     let service = ServiceModel::default();
@@ -31,7 +32,10 @@ fn main() {
     };
 
     let mut json = JsonReport::new("exp_batching", mode);
-    println!("Group-commit batching, {replicas} replicas, saturating load ({mode:?} schedule):");
+    let mut trace = TraceSink::from_args();
+    con.say(format_args!(
+        "Group-commit batching, {replicas} replicas, saturating load ({mode:?} schedule):"
+    ));
     for &profile in profiles {
         let mut baseline: Option<(f64, u64)> = None;
         for &batch in batches {
@@ -63,7 +67,7 @@ fn main() {
             let ups = committed as f64 / secs;
             let (base_ups, base_appends) = *baseline.get_or_insert((ups, report.disk_appends));
             let label = format!("{profile:?} batch={batch}");
-            println!(
+            con.say(format_args!(
                 "{label:<22} {ups:8.1} upd/s ({:5.2}x)  AWIPS {:7.1}  WIRT {:7.2} ms  \
                  log appends {:8} ({:5.2}x)  audit: {} checks, {} violations",
                 ups / base_ups.max(1e-9),
@@ -73,9 +77,11 @@ fn main() {
                 report.disk_appends as f64 / base_appends.max(1) as f64,
                 report.audit.checks,
                 report.audit.total_violations,
-            );
+            ));
             json.push_with(&label, &report, &[("batch", batch as f64)]);
+            trace.record_run(&label, &report);
         }
     }
     json.write_if_requested();
+    trace.write_if_requested();
 }

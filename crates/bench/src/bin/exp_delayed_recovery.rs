@@ -3,33 +3,35 @@
 use bench::render::{
     render_accuracy, render_autonomy, render_fault_histogram, render_performability_delayed,
 };
-use bench::{dependability_grid, JsonReport, Mode};
+use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let runs = dependability_grid(mode, &Faultload::double_crash_delayed());
     let mut json = JsonReport::new("exp_delayed_recovery", mode);
+    let mut trace = TraceSink::from_args();
     for run in &runs {
-        json.push(
-            &format!("{}r {:?} ebs={}", run.replicas, run.profile, run.ebs),
-            &run.report,
-        );
+        let label = format!("{}r {:?} ebs={}", run.replicas, run.profile, run.ebs);
+        json.push(&label, &run.report);
+        trace.record_run(&label, &run.report);
     }
     json.write_if_requested();
+    trace.write_if_requested();
     for run in runs.iter().filter(|r| r.replicas == 5) {
-        println!("{}", render_fault_histogram(run));
+        con.say(render_fault_histogram(run));
     }
-    println!(
-        "{}",
-        render_performability_delayed("Table 5 — delayed recovery: performability", &runs)
-    );
-    println!(
-        "{}",
-        render_accuracy("Table 6 — delayed recovery: accuracy (%)", &runs)
-    );
-    println!(
-        "{}",
-        render_autonomy("Delayed recovery: availability/autonomy", &runs)
-    );
+    con.say(render_performability_delayed(
+        "Table 5 — delayed recovery: performability",
+        &runs,
+    ));
+    con.say(render_accuracy(
+        "Table 6 — delayed recovery: accuracy (%)",
+        &runs,
+    ));
+    con.say(render_autonomy(
+        "Delayed recovery: availability/autonomy",
+        &runs,
+    ));
 }

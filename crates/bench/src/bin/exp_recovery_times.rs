@@ -1,8 +1,9 @@
 //! Figure 6 — recovery times vs state size (300/500/700 MB).
 use bench::render::render_recovery_times;
-use bench::{fig6_recovery_times, JsonReport, Mode};
+use bench::{fig6_recovery_times, Console, JsonReport, Mode};
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let points = fig6_recovery_times(mode);
     let mut json = JsonReport::new("exp_recovery_times", mode);
@@ -17,5 +18,5 @@ fn main() {
         );
     }
     json.write_if_requested();
-    println!("{}", render_recovery_times(&points));
+    con.say(render_recovery_times(&points));
 }

@@ -1,8 +1,9 @@
 //! Figure 4 — scaleup at 1000 WIPS offered (+ regression/correlation).
-use bench::{fig4_scaleup, render::render_scaleup, JsonReport, Mode};
+use bench::{fig4_scaleup, render::render_scaleup, Console, JsonReport, Mode};
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let mut json = JsonReport::new("exp_scaleup", mode);
     for profile in Profile::ALL {
@@ -19,7 +20,7 @@ fn main() {
                 ],
             );
         }
-        println!("{}", render_scaleup(profile, &result));
+        con.say(render_scaleup(profile, &result));
     }
     json.write_if_requested();
 }

@@ -1,8 +1,9 @@
 //! Figure 3 — speedup experiments (saturated WIPS/WIRT vs replicas).
-use bench::{fig3_speedup, render::render_speedup, JsonReport, Mode};
+use bench::{fig3_speedup, render::render_speedup, Console, JsonReport, Mode};
 use tpcw::Profile;
 
 fn main() {
+    let con = Console::from_args();
     let mode = Mode::from_args();
     let mut json = JsonReport::new("exp_speedup", mode);
     for profile in Profile::ALL {
@@ -17,7 +18,7 @@ fn main() {
                 ],
             );
         }
-        println!("{}", render_speedup(profile, &points));
+        con.say(render_speedup(profile, &points));
     }
     json.write_if_requested();
 }

@@ -22,7 +22,10 @@
 pub mod render;
 pub mod report;
 
-pub use report::{committed_updates, json_path_from_args, JsonReport};
+pub use render::Console;
+pub use report::{
+    committed_updates, json_path_from_args, trace_path_from_args, JsonReport, TraceSink,
+};
 
 use cluster::{run_experiment, ExperimentConfig, RunReport, ServiceModel};
 use faultload::Faultload;
@@ -72,12 +75,26 @@ impl Mode {
     }
 }
 
-/// Base configuration shared by all experiments in a mode.
+/// Base configuration shared by all experiments in a mode. Tracing is
+/// enabled when `--trace <path>` is on the command line, so every
+/// binary built on this config records structured traces exactly when
+/// there is somewhere to write them.
 pub fn base_config(mode: Mode, replicas: usize, profile: Profile) -> ExperimentConfig {
     let mut config = ExperimentConfig::paper(replicas);
     config.profile = profile;
     config.schedule = mode.schedule();
+    config.trace = trace_config_from_args();
     config
+}
+
+/// The [`simnet::TraceConfig`] implied by argv: on iff `--trace` was
+/// given.
+pub fn trace_config_from_args() -> simnet::TraceConfig {
+    if trace_path_from_args().is_some() {
+        simnet::TraceConfig::on()
+    } else {
+        simnet::TraceConfig::default()
+    }
 }
 
 /// One point of a sweep experiment.

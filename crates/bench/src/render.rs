@@ -1,9 +1,54 @@
-//! Rendering helpers: paper-style tables and ASCII WIPS histograms.
+//! Rendering helpers: paper-style tables and ASCII WIPS histograms,
+//! plus the [`Console`] the `exp_*` binaries route all human-readable
+//! output through.
 
 use faultload::DependabilityReport;
 use tpcw::Profile;
 
 use crate::{FaultRun, RecoveryTimePoint, ScaleupResult, SweepPoint};
+
+/// Console output shared by the `exp_*` binaries.
+///
+/// Tables and plots go through [`Console::say`]; `--quiet` suppresses
+/// them, and when `--json -` claims stdout for the machine-readable
+/// report they are rerouted to stderr, so a JSON consumer reading
+/// stdout never sees human text interleaved with the document. Status
+/// notes ("wrote …") go through [`Console::note`], which always targets
+/// stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct Console {
+    quiet: bool,
+    to_stderr: bool,
+}
+
+impl Console {
+    /// Builds a console from argv (`--quiet`, `--json -`).
+    pub fn from_args() -> Console {
+        Console {
+            quiet: std::env::args().any(|a| a == "--quiet"),
+            to_stderr: crate::report::json_to_stdout(),
+        }
+    }
+
+    /// Prints one human-readable block (suppressed by `--quiet`).
+    pub fn say(&self, text: impl std::fmt::Display) {
+        if self.quiet {
+            return;
+        }
+        if self.to_stderr {
+            eprintln!("{text}");
+        } else {
+            println!("{text}");
+        }
+    }
+
+    /// Prints a status note to stderr (suppressed by `--quiet`).
+    pub fn note(&self, text: impl std::fmt::Display) {
+        if !self.quiet {
+            eprintln!("{text}");
+        }
+    }
+}
 
 /// Renders a per-second WIPS series as a compact ASCII plot (the shape
 /// of Figures 5/7/8), with crash/recovery markers.

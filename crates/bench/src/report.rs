@@ -21,24 +21,43 @@ use std::path::PathBuf;
 
 use cluster::RunReport;
 
+use crate::render::Console;
 use crate::Mode;
 
-/// Parses `--json <path>` from argv. Returns `None` when absent;
+/// Parses `--<flag> <path>` from argv. Returns `None` when absent;
 /// terminates with an error when the flag is given without a path.
-pub fn json_path_from_args() -> Option<PathBuf> {
+fn path_arg(flag: &str) -> Option<PathBuf> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             match args.next() {
                 Some(p) => return Some(PathBuf::from(p)),
                 None => {
-                    eprintln!("--json requires a path argument");
+                    eprintln!("{flag} requires a path argument");
                     std::process::exit(2);
                 }
             }
         }
     }
     None
+}
+
+/// Parses `--json <path>` from argv (`-` means stdout).
+pub fn json_path_from_args() -> Option<PathBuf> {
+    path_arg("--json")
+}
+
+/// Parses `--trace <path>` from argv: where the run's structured trace
+/// (JSONL) goes. Presence of the flag is also what turns tracing on —
+/// see [`crate::trace_config_from_args`].
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    path_arg("--trace")
+}
+
+/// True when `--json -` routes the JSON document to stdout, which
+/// reroutes all human output to stderr (see [`Console`]).
+pub fn json_to_stdout() -> bool {
+    json_path_from_args().is_some_and(|p| p.as_os_str() == "-")
 }
 
 /// Accumulates labelled runs and writes them as one JSON document.
@@ -121,22 +140,74 @@ impl JsonReport {
     }
 
     /// Writes the document to the `--json` path, if one was given on the
-    /// command line. Terminates with an error if the write fails (a CI
-    /// gate consuming a half-written file would be worse than a loud
-    /// failure).
+    /// command line (`-` prints it to stdout). Terminates with an error
+    /// if the write fails (a CI gate consuming a half-written file would
+    /// be worse than a loud failure).
     pub fn write_if_requested(&self) {
         let Some(path) = json_path_from_args() else {
             return;
         };
         let doc = self.render();
-        let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
-        match write {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => {
-                eprintln!("failed to write {}: {e}", path.display());
-                std::process::exit(1);
-            }
+        if path.as_os_str() == "-" {
+            print!("{doc}");
+            return;
         }
+        write_or_die(&path, &doc);
+        Console::from_args().note(format_args!("wrote {}", path.display()));
+    }
+}
+
+fn write_or_die(path: &PathBuf, doc: &str) {
+    let write = std::fs::File::create(path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Accumulates per-run trace records and writes them as one JSONL file
+/// when `--trace <path>` was given. Each run's records are preceded by
+/// a `{"run":"label"}` header line so `exp_trace_analyze` can split a
+/// multi-configuration file back into runs. The rendering is the
+/// canonical form from [`obs::jsonl`], so two deterministic runs
+/// produce byte-identical files.
+pub struct TraceSink {
+    path: Option<PathBuf>,
+    out: String,
+}
+
+impl TraceSink {
+    /// Builds a sink from argv; inert (all methods no-ops) without
+    /// `--trace`.
+    pub fn from_args() -> TraceSink {
+        TraceSink {
+            path: trace_path_from_args(),
+            out: String::new(),
+        }
+    }
+
+    /// Whether `--trace` was given (and so tracing should be on).
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Appends one run's trace under a header line for `label`.
+    pub fn record_run(&mut self, label: &str, report: &RunReport) {
+        if !self.active() {
+            return;
+        }
+        self.out.push_str(&obs::jsonl::encode_run_header(label));
+        self.out.push('\n');
+        self.out.push_str(&obs::jsonl::encode_all(&report.trace));
+    }
+
+    /// Writes the accumulated JSONL to the `--trace` path, if any.
+    pub fn write_if_requested(&self) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        write_or_die(path, &self.out);
+        Console::from_args().note(format_args!("wrote {}", path.display()));
     }
 }
 

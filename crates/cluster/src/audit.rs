@@ -73,6 +73,9 @@ pub struct InvariantAuditor {
     checks: u64,
     violations: Vec<String>,
     total_violations: u64,
+    /// Violations already handed out via
+    /// [`InvariantAuditor::take_unreported_violations`].
+    reported: u64,
 }
 
 impl InvariantAuditor {
@@ -91,7 +94,18 @@ impl InvariantAuditor {
             checks: 0,
             violations: Vec::new(),
             total_violations: 0,
+            reported: 0,
         }
+    }
+
+    /// Violations found since the last call. The server driver polls
+    /// this after each effect batch and traces an `AuditViolation` event
+    /// against the node whose effects were being audited, giving every
+    /// violation causal context in the trace.
+    pub fn take_unreported_violations(&mut self) -> u64 {
+        let delta = self.total_violations - self.reported;
+        self.reported = self.total_violations;
+        delta
     }
 
     fn violation(&mut self, text: String) {

@@ -60,6 +60,9 @@ pub struct ExperimentConfig {
     /// Group commit: max µs the first buffered update waits for company
     /// (0 = flush immediately).
     pub batch_window_us: u64,
+    /// Structured tracing (default off; a disabled tracer costs one
+    /// branch per would-be event).
+    pub trace: simnet::TraceConfig,
 }
 
 impl ExperimentConfig {
@@ -84,6 +87,7 @@ impl ExperimentConfig {
             checkpoint_interval: 20_000,
             batch_max_updates: 1,
             batch_window_us: 0,
+            trace: simnet::TraceConfig::default(),
         }
     }
 
@@ -107,6 +111,7 @@ impl ExperimentConfig {
             checkpoint_interval: 500,
             batch_max_updates: 1,
             batch_window_us: 0,
+            trace: simnet::TraceConfig::default(),
         }
     }
 }
@@ -140,6 +145,13 @@ pub struct RunReport {
     /// The invariant auditor's verdict (always empty of violations — the
     /// run asserts so before returning).
     pub audit: AuditReport,
+    /// Structured trace of the run (empty unless
+    /// [`ExperimentConfig::trace`] enabled it), in the engine's
+    /// deterministic dispatch order.
+    pub trace: Vec<simnet::TraceRecord>,
+    /// Per-node metric registries accumulated by the tracer (index =
+    /// node id; empty when tracing is off).
+    pub metrics: Vec<obs::NodeMetrics>,
 }
 
 #[derive(Debug, Clone)]
@@ -190,12 +202,17 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
 
     let mut engine: Engine<ClusterMsg> =
         Engine::new(total_nodes, SimConfig::default(), config.seed);
+    engine.enable_tracing(config.trace);
+    // Admin actions (fault injections) have no server of their own; their
+    // trace events are stamped against the proxy/admin node.
+    let admin_node = proxy_node;
     let mut recorder = Recorder::new(config.schedule.total_us());
 
     let mut treplica_config = TreplicaConfig {
         checkpoint_interval: config.checkpoint_interval,
         batch_max_updates: config.batch_max_updates,
         batch_window_us: config.batch_window_us,
+        trace: config.trace,
         ..TreplicaConfig::lan(replicas)
     };
     if config.classic_only {
@@ -394,6 +411,13 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                             }
                             Admin::NetFault { fault } => match fault {
                                 Some(f) => {
+                                    engine.trace(
+                                        admin_node,
+                                        obs::TraceEvent::NetFaultSet {
+                                            loss_pct: (f.loss * 100.0) as u64,
+                                            dup_pct: (f.duplicate * 100.0) as u64,
+                                        },
+                                    );
                                     for a in 0..replicas {
                                         for b in (a + 1)..replicas {
                                             engine.network_mut().set_link_fault(
@@ -404,12 +428,36 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                         }
                                     }
                                 }
-                                None => engine.network_mut().clear_link_faults(),
+                                None => {
+                                    engine.trace(admin_node, obs::TraceEvent::NetFaultCleared);
+                                    engine.network_mut().clear_link_faults();
+                                }
                             },
                             Admin::DiskFault { server, fault } => {
+                                match &fault {
+                                    Some(f) => engine.trace(
+                                        NodeId(server),
+                                        obs::TraceEvent::DiskFaultSet {
+                                            fail_pct: (f.write_fail_probability * 100.0) as u64,
+                                            torn: f.torn_tail_on_crash,
+                                        },
+                                    ),
+                                    None => {
+                                        engine.trace(
+                                            NodeId(server),
+                                            obs::TraceEvent::DiskFaultCleared,
+                                        );
+                                    }
+                                }
                                 engine.set_disk_fault(NodeId(server), fault);
                             }
                             Admin::Cut { minority } => {
+                                engine.trace(
+                                    admin_node,
+                                    obs::TraceEvent::PartitionCut {
+                                        peers: minority.len() as u64,
+                                    },
+                                );
                                 let majority: Vec<NodeId> = (0..replicas)
                                     .filter(|i| !minority.contains(i))
                                     .map(NodeId)
@@ -418,7 +466,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                     minority.iter().map(|i| NodeId(*i)).collect();
                                 engine.network_mut().partition(&majority, &isolated);
                             }
-                            Admin::Heal => engine.network_mut().heal_all(),
+                            Admin::Heal => {
+                                engine.trace(admin_node, obs::TraceEvent::PartitionHealed);
+                                engine.network_mut().heal_all();
+                            }
                         }
                         continue;
                     }
@@ -465,14 +516,36 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     let disk_appends = (0..replicas)
         .map(|i| engine.disk(NodeId(i)).log_appends())
         .sum();
+    let trace = engine.tracer_mut().take_records();
+    let metrics = engine.tracer().metrics().to_vec();
     let audit = auditor.report();
-    assert!(
-        audit.violations.is_empty(),
-        "consensus invariants violated (seed {}): {} violation(s), first: {}",
-        config.seed,
-        audit.total_violations,
-        audit.violations.first().map(String::as_str).unwrap_or("")
-    );
+    if !audit.violations.is_empty() {
+        // With tracing on, attach the tail of the structured trace so
+        // the violation comes with its causal context.
+        let context: String = trace
+            .iter()
+            .rev()
+            .take(40)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .map(obs::jsonl::encode)
+            .collect::<Vec<_>>()
+            .join("\n");
+        panic!(
+            "consensus invariants violated (seed {}): {} violation(s), first: {}\n\
+             trace tail ({} records):\n{}",
+            config.seed,
+            audit.total_violations,
+            audit.violations.first().map(String::as_str).unwrap_or(""),
+            trace.len().min(40),
+            if context.is_empty() {
+                "(tracing disabled — re-run with tracing for context)"
+            } else {
+                &context
+            }
+        );
+    }
 
     RunReport {
         recorder,
@@ -487,6 +560,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         disk_writes,
         disk_appends,
         audit,
+        trace,
+        metrics,
     }
 }
 

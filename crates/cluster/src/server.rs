@@ -164,6 +164,23 @@ impl ServerNode {
         self.mw.recovery_completed_at()
     }
 
+    /// Stamps the middleware's buffered trace events into the engine's
+    /// tracer under this node's id, then appends an `AuditViolation`
+    /// event if the auditor flagged anything since the last drain — so a
+    /// violation sits in the trace right after the events that caused it.
+    fn drain_trace(&mut self, engine: &mut Engine<ClusterMsg>, auditor: &mut InvariantAuditor) {
+        if !self.mw.trace_enabled() {
+            return;
+        }
+        for ev in self.mw.take_trace() {
+            engine.trace(self.node, ev);
+        }
+        let fresh = auditor.take_unreported_violations();
+        if fresh > 0 {
+            engine.trace(self.node, obs::TraceEvent::AuditViolation { count: fresh });
+        }
+    }
+
     fn apply_mw_effects(
         &mut self,
         engine: &mut Engine<ClusterMsg>,
@@ -210,6 +227,7 @@ impl ServerNode {
                 }
             }
         }
+        self.drain_trace(engine, auditor);
         self.sync_batch_timer(engine);
     }
 
@@ -231,6 +249,12 @@ impl ServerNode {
 
     fn enqueue(&mut self, engine: &mut Engine<ClusterMsg>, item: WorkItem) {
         self.queue.push_back(item);
+        if engine.trace_enabled() {
+            let depth = self.queue.len() as u64;
+            engine
+                .tracer_mut()
+                .observe(self.idx as u32, "work_queue_depth", depth);
+        }
         if !self.busy {
             self.busy = true;
             self.start_head(engine);

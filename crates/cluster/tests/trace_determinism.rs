@@ -1,0 +1,60 @@
+//! Tracing must be a pure observer: bit-deterministic across same-seed
+//! runs, and invisible to the simulation it watches.
+
+use cluster::{run_experiment, ExperimentConfig, RunReport};
+use faultload::Faultload;
+use tpcw::Profile;
+
+fn crash_config(traced: bool) -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick(5, Profile::Shopping);
+    config.faultload = Faultload::single_crash().scaled(1, 6);
+    if traced {
+        config.trace = simnet::TraceConfig::on();
+    }
+    config
+}
+
+/// A fingerprint of everything the workload can observe — if tracing
+/// perturbed the run, at least one of these diverges.
+fn fingerprint(report: &RunReport) -> String {
+    format!(
+        "awips={:x} wirt={:x} net={}:{} disk={}:{} status={:?} spans={:?}",
+        report.awips.to_bits(),
+        report.mean_wirt_ms.to_bits(),
+        report.net_messages,
+        report.net_bytes,
+        report.disk_writes,
+        report.disk_appends,
+        report.server_status,
+        report.spans,
+    )
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = run_experiment(&crash_config(true));
+    let b = run_experiment(&crash_config(true));
+    assert!(!a.trace.is_empty(), "traced run must produce records");
+    let ja = obs::jsonl::encode_all(&a.trace);
+    let jb = obs::jsonl::encode_all(&b.trace);
+    assert_eq!(ja.len(), jb.len(), "trace sizes diverge");
+    assert!(ja == jb, "same-seed traces must be byte-identical");
+    // The metrics registries are derived from the same stream.
+    assert_eq!(a.metrics, b.metrics);
+    // And the trace actually covers the incident end to end.
+    let breakdowns = obs::analyze::recovery_breakdowns(&a.trace);
+    assert_eq!(breakdowns.len(), 1, "one crash incident expected");
+    assert!(breakdowns[0].complete, "recovery must complete in trace");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let traced = run_experiment(&crash_config(true));
+    let untraced = run_experiment(&crash_config(false));
+    assert!(untraced.trace.is_empty(), "default-off must record nothing");
+    assert!(untraced
+        .metrics
+        .iter()
+        .all(|m| { m.counters.is_empty() && m.hists.is_empty() }));
+    assert_eq!(fingerprint(&traced), fingerprint(&untraced));
+}

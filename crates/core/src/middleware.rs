@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use obs::{EventBuf, TraceConfig, TraceEvent};
 use paxos::{
     Ballot, Batch, Effect as PaxosEffect, Mode, Msg, PaxosConfig, PersistToken, ProposalId, Record,
     Replica, ReplicaId, ReplicaStatus, Slot,
@@ -65,6 +66,8 @@ pub struct TreplicaConfig {
     /// wait for company before the batch is proposed anyway. `0` flushes
     /// every update immediately, regardless of `batch_max_updates`.
     pub batch_window_us: u64,
+    /// Structured tracing (off by default: zero overhead when off).
+    pub trace: TraceConfig,
 }
 
 impl TreplicaConfig {
@@ -77,6 +80,7 @@ impl TreplicaConfig {
             max_outstanding: None,
             batch_max_updates: 1,
             batch_window_us: 0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -381,6 +385,13 @@ pub struct Middleware<App: Application> {
     /// Allocator for per-update proposal ids (`execute` hands these out
     /// before the update joins a batch).
     update_seq: u64,
+    /// Structured trace events (middleware-level, interleaved with the
+    /// consensus core's in emission order). Drained by the driver via
+    /// [`Middleware::take_trace`].
+    trace: EventBuf,
+    /// Submit times of locally-issued updates, for commit-latency trace
+    /// points. Only populated while tracing is enabled.
+    submit_times: HashMap<ProposalId, u64>,
 }
 
 impl<App: Application> Middleware<App> {
@@ -402,7 +413,9 @@ impl<App: Application> Middleware<App> {
 
     /// Creates a fresh replica (first boot, empty disk) hosting `app`.
     pub fn new(id: ReplicaId, app: App, config: TreplicaConfig, now: u64) -> Self {
-        let paxos = Replica::new(id, config.paxos.clone(), now);
+        let mut paxos = Replica::new(id, config.paxos.clone(), now);
+        paxos.set_tracing(config.trace.enabled);
+        let trace = EventBuf::new(config.trace.enabled);
         Middleware {
             id,
             config,
@@ -428,6 +441,8 @@ impl<App: Application> Middleware<App> {
             pending_batch: Vec::new(),
             batch_deadline: None,
             update_seq: 0,
+            trace,
+            submit_times: HashMap::new(),
         }
     }
 
@@ -480,7 +495,7 @@ impl<App: Application> Middleware<App> {
             }
         }
         let floor_record = Record::Promised(promised_floor);
-        let paxos = Replica::recover(
+        let mut paxos = Replica::recover(
             id,
             config.paxos.clone(),
             std::iter::once(&floor_record).chain(records.iter()),
@@ -488,6 +503,8 @@ impl<App: Application> Middleware<App> {
             epoch,
             now,
         );
+        paxos.set_tracing(config.trace.enabled);
+        let trace = EventBuf::new(config.trace.enabled);
 
         let mut mw = Middleware {
             id,
@@ -518,9 +535,14 @@ impl<App: Application> Middleware<App> {
             pending_batch: Vec::new(),
             batch_deadline: None,
             update_seq: 0,
+            trace,
+            submit_times: HashMap::new(),
         };
         let mut fx = Vec::new();
         let log_token = mw.alloc(TokenKind::LogRead);
+        mw.trace.push(TraceEvent::LogReplayStart {
+            bytes: disk.log_bytes,
+        });
         fx.push(MwEffect::DiskReadRaw {
             bytes: disk.log_bytes,
             token: log_token,
@@ -528,6 +550,7 @@ impl<App: Application> Middleware<App> {
         match meta {
             Some(m) => {
                 let ckpt_token = mw.alloc(TokenKind::CheckpointRead);
+                mw.trace.push(TraceEvent::CheckpointLoadStart { bytes: 0 });
                 fx.push(MwEffect::DiskRead {
                     key: Meta::ckpt_key(m.generation),
                     token: ckpt_token,
@@ -636,6 +659,9 @@ impl<App: Application> Middleware<App> {
             seq: self.update_seq,
         };
         self.update_seq += 1;
+        if self.trace.enabled() {
+            self.submit_times.insert(pid, self.now);
+        }
         if let Some(cap) = self.config.max_outstanding {
             if self.outstanding_local >= cap {
                 // Accept the update (so the caller has an id to wait on)
@@ -660,10 +686,10 @@ impl<App: Application> Middleware<App> {
         out: &mut Vec<MwEffect<App>>,
     ) {
         self.pending_batch.push((pid, action));
-        if self.pending_batch.len() >= self.config.batch_max_updates.max(1)
-            || self.config.batch_window_us == 0
-        {
-            self.flush_pending(out);
+        if self.config.batch_window_us == 0 || self.config.batch_max_updates.max(1) == 1 {
+            self.flush_pending("single", out);
+        } else if self.pending_batch.len() >= self.config.batch_max_updates {
+            self.flush_pending("size", out);
         } else if self.batch_deadline.is_none() {
             self.batch_deadline = Some(self.now + self.config.batch_window_us);
         }
@@ -671,12 +697,17 @@ impl<App: Application> Middleware<App> {
 
     /// Proposes the open batch as one consensus decree (one acceptor log
     /// append per replica instead of one per update — the group commit).
-    fn flush_pending(&mut self, out: &mut Vec<MwEffect<App>>) {
+    /// `trigger` tags the trace event with what closed the batch.
+    fn flush_pending(&mut self, trigger: &'static str, out: &mut Vec<MwEffect<App>>) {
         if self.pending_batch.is_empty() {
             return;
         }
         self.batch_deadline = None;
         let items = std::mem::take(&mut self.pending_batch);
+        self.trace.push(TraceEvent::BatchFlushed {
+            updates: items.len() as u64,
+            trigger,
+        });
         let (_batch_pid, fx) = self.paxos.propose(Batch::new(items));
         let lowered = self.lower(fx);
         out.extend(lowered);
@@ -695,7 +726,7 @@ impl<App: Application> Middleware<App> {
         self.now = self.now.max(now);
         let mut out = Vec::new();
         if self.batch_deadline.is_some_and(|d| d <= self.now) {
-            self.flush_pending(&mut out);
+            self.flush_pending("window", &mut out);
         }
         out
     }
@@ -798,7 +829,7 @@ impl<App: Application> Middleware<App> {
             // timer normally flushes first, but a tick past the deadline
             // must not leave updates stranded.
             if self.batch_deadline.is_some_and(|d| d <= self.now) {
-                self.flush_pending(&mut out);
+                self.flush_pending("window", &mut out);
             }
             let fx = self.paxos.on_tick(now);
             out.extend(self.lower(fx));
@@ -817,6 +848,7 @@ impl<App: Application> Middleware<App> {
         };
         match kind {
             TokenKind::PaxosPersist(pt) => {
+                self.trace.push(TraceEvent::AppendDurable);
                 let fx = self.paxos.on_persisted(pt);
                 self.lower(fx)
             }
@@ -835,6 +867,9 @@ impl<App: Application> Middleware<App> {
             }
             TokenKind::MetaWrite => {
                 let meta = self.pending_meta.take().expect("meta staged");
+                self.trace.push(TraceEvent::CheckpointDurable {
+                    generation: meta.generation,
+                });
                 self.checkpoint_slot = meta.checkpoint_slot;
                 self.checkpoints_completed += 1;
                 self.checkpoint_in_flight = false;
@@ -885,6 +920,9 @@ impl<App: Application> Middleware<App> {
         let mut out = Vec::new();
         match kind {
             TokenKind::LogRead => {
+                self.trace.push(TraceEvent::LogReplayed {
+                    records: self.log.entries.len() as u64,
+                });
                 if let Phase::Recovering { log_done, .. } = &mut self.phase {
                     *log_done = true;
                 }
@@ -902,6 +940,9 @@ impl<App: Application> Middleware<App> {
                         }
                     }
                 }
+                self.trace.push(TraceEvent::CheckpointLoaded {
+                    slot: self.checkpoint_slot.0,
+                });
                 if let Phase::Recovering {
                     checkpoint_done, ..
                 } = &mut self.phase
@@ -921,6 +962,13 @@ impl<App: Application> Middleware<App> {
     /// front to back so every update keeps its own `(slot, index)`
     /// position in the total order.
     fn lower(&mut self, fx: Vec<PaxosEffect<Batch<App::Action>>>) -> Vec<MwEffect<App>> {
+        // Pull the consensus core's trace events first: they were emitted
+        // while producing `fx`, so they precede the lowering below.
+        if self.trace.enabled() {
+            for e in self.paxos.take_trace_events() {
+                self.trace.push(e);
+            }
+        }
         let mut out = Vec::new();
         for e in fx {
             match e {
@@ -931,6 +979,9 @@ impl<App: Application> Middleware<App> {
                 }
                 PaxosEffect::Persist { record, token } => {
                     let entry = record.to_bytes();
+                    self.trace.push(TraceEvent::LogAppend {
+                        bytes: entry.len() as u64,
+                    });
                     self.log.push(record_slot(&entry), entry.len() as u64);
                     let t = self.alloc(TokenKind::PaxosPersist(token));
                     out.push(MwEffect::DiskWrite {
@@ -981,6 +1032,20 @@ impl<App: Application> Middleware<App> {
                 self.outstanding_local = self.outstanding_local.saturating_sub(1);
                 freed += 1;
             }
+            if self.trace.enabled() {
+                // `latency_us` 0 marks an unknown submit time (remote or
+                // replayed updates); the analyzer excludes those.
+                let latency_us = self
+                    .submit_times
+                    .remove(&entry.pid)
+                    .map(|t0| self.now.saturating_sub(t0))
+                    .unwrap_or(0);
+                self.trace.push(TraceEvent::UpdateDelivered {
+                    slot: entry.slot.0,
+                    index: u64::from(entry.index),
+                    latency_us,
+                });
+            }
             out.push(MwEffect::Applied {
                 slot: entry.slot,
                 index: entry.index,
@@ -1019,6 +1084,11 @@ impl<App: Application> Middleware<App> {
             promised: self.paxos.status().ballot,
         };
         let key = Meta::ckpt_key(meta.generation);
+        self.trace.push(TraceEvent::CheckpointWrite {
+            generation: meta.generation,
+            slot: meta.checkpoint_slot.0,
+            bytes: nominal_bytes,
+        });
         self.pending_meta = Some(meta);
         let token = self.alloc(TokenKind::CheckpointData);
         out.push(MwEffect::DiskWrite {
@@ -1041,6 +1111,9 @@ impl<App: Application> Middleware<App> {
         if ready {
             self.phase = Phase::Active;
             self.recovery_completed_at = Some(self.now);
+            self.trace.push(TraceEvent::RecoveryComplete {
+                slot: self.paxos.decided_upto().0,
+            });
             out.push(MwEffect::RecoveryComplete);
         }
     }
@@ -1052,6 +1125,23 @@ impl<App: Application> Middleware<App> {
     /// The process epoch this middleware runs under.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Whether structured tracing is enabled on this node.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Drains the trace events buffered since the last call (middleware
+    /// and consensus core interleaved in emission order). The driver
+    /// stamps them with its clock and node id.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        if self.trace.enabled() {
+            for e in self.paxos.take_trace_events() {
+                self.trace.push(e);
+            }
+        }
+        self.trace.take()
     }
 }
 

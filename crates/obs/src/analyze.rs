@@ -1,0 +1,386 @@
+//! Trace analysis: per-incident recovery breakdowns and commit-latency
+//! aggregation, reconstructed from a record stream alone.
+//!
+//! This is the paper's recovery decomposition applied to our traces: a
+//! crash incident spans *detection* (crash → watchdog restart),
+//! *re-election* (crash → a surviving coordinator wins a new ballot;
+//! absent when the victim was not the leader), and the restart work —
+//! *checkpoint load* and *log replay* run in parallel, then the replica
+//! re-learns the *backlog* it missed until it announces recovery
+//! complete. All durations come from the records' sim-time stamps, so
+//! the analyzer needs nothing but the JSONL file.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::Hist;
+
+/// One crash incident reconstructed from a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryBreakdown {
+    /// The crashed node.
+    pub node: u32,
+    /// Crash time (µs).
+    pub crash_at_us: u64,
+    /// Restart time, if the node came back within the trace.
+    pub restart_at_us: Option<u64>,
+    /// Detection phase: crash → restart (the watchdog delay).
+    pub detection_us: Option<u64>,
+    /// Re-election: crash → first `LeaderElected` anywhere in the
+    /// cluster afterwards. `None` when no election was needed (the
+    /// victim was a follower) or none completed in the trace.
+    pub reelection_us: Option<u64>,
+    /// Checkpoint load start → loaded, on the restarted incarnation.
+    pub checkpoint_load_us: Option<u64>,
+    /// Log replay start → replayed, on the restarted incarnation.
+    pub log_replay_us: Option<u64>,
+    /// Backlog re-learn: local replay done (the later of log replay and
+    /// checkpoint load) → `RecoveryComplete`.
+    pub backlog_replay_us: Option<u64>,
+    /// Whole incident: crash → `RecoveryComplete`.
+    pub total_us: Option<u64>,
+    /// Whether the incident closed with a `RecoveryComplete`.
+    pub complete: bool,
+}
+
+/// Reconstructs all crash incidents from `records` (one run's trace,
+/// in engine order).
+///
+/// A second crash of the same node closes the open incident as
+/// incomplete and starts a new one. Election and phase events are
+/// attributed to the oldest open incident they can explain: elections
+/// to the earliest incident still lacking one, load/replay/complete
+/// events to the incident of their own node.
+pub fn recovery_breakdowns(records: &[TraceRecord]) -> Vec<RecoveryBreakdown> {
+    let mut done: Vec<RecoveryBreakdown> = Vec::new();
+    let mut open: Vec<RecoveryBreakdown> = Vec::new();
+
+    fn open_idx(open: &[RecoveryBreakdown], node: u32) -> Option<usize> {
+        open.iter().position(|b| b.node == node)
+    }
+
+    for rec in records {
+        match rec.event {
+            TraceEvent::Crash => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    done.push(open.remove(i));
+                }
+                open.push(RecoveryBreakdown {
+                    node: rec.node,
+                    crash_at_us: rec.t_us,
+                    ..RecoveryBreakdown::default()
+                });
+            }
+            TraceEvent::Restart { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    let b = &mut open[i];
+                    b.restart_at_us = Some(rec.t_us);
+                    b.detection_us = Some(rec.t_us - b.crash_at_us);
+                }
+            }
+            TraceEvent::LeaderElected { .. } => {
+                // A post-crash election on any surviving node answers the
+                // oldest incident still waiting for one.
+                if let Some(b) = open
+                    .iter_mut()
+                    .filter(|b| b.reelection_us.is_none() && rec.t_us >= b.crash_at_us)
+                    .min_by_key(|b| b.crash_at_us)
+                {
+                    b.reelection_us = Some(rec.t_us - b.crash_at_us);
+                }
+            }
+            TraceEvent::CheckpointLoadStart { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    // Temporarily park the start time in the duration slot;
+                    // `CheckpointLoaded` converts it to a duration.
+                    open[i].checkpoint_load_us = Some(rec.t_us);
+                }
+            }
+            TraceEvent::CheckpointLoaded { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    let b = &mut open[i];
+                    if let Some(start) = b.checkpoint_load_us {
+                        if start >= b.crash_at_us {
+                            b.checkpoint_load_us = Some(rec.t_us - start);
+                        }
+                    }
+                }
+            }
+            TraceEvent::LogReplayStart { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    open[i].log_replay_us = Some(rec.t_us);
+                }
+            }
+            TraceEvent::LogReplayed { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    let b = &mut open[i];
+                    if let Some(start) = b.log_replay_us {
+                        if start >= b.crash_at_us {
+                            b.log_replay_us = Some(rec.t_us - start);
+                        }
+                    }
+                }
+            }
+            TraceEvent::RecoveryComplete { .. } => {
+                if let Some(i) = open_idx(&open, rec.node) {
+                    let mut b = open.remove(i);
+                    b.total_us = Some(rec.t_us - b.crash_at_us);
+                    b.complete = true;
+                    // Local replay ends when both parallel restart reads
+                    // are done; the backlog re-learn covers the rest.
+                    let restart = b.restart_at_us.unwrap_or(b.crash_at_us);
+                    let local_done = restart
+                        + b.checkpoint_load_us
+                            .unwrap_or(0)
+                            .max(b.log_replay_us.unwrap_or(0));
+                    b.backlog_replay_us = Some(rec.t_us.saturating_sub(local_done));
+                    done.push(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Incidents still open at end of trace are reported as incomplete.
+    done.append(&mut open);
+    done.sort_by_key(|b| (b.crash_at_us, b.node));
+    done
+}
+
+/// Commit-latency aggregation of one run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Submit-to-apply latency of locally submitted updates.
+    pub commit_latency: Hist,
+    /// Total updates applied (including remote ones with no latency).
+    pub updates_delivered: u64,
+    /// Group-commit batches flushed.
+    pub batches: u64,
+    /// Updates carried by those batches.
+    pub batched_updates: u64,
+    /// Stable-log appends issued.
+    pub log_appends: u64,
+}
+
+impl LatencySummary {
+    /// Updates per consensus-log append — the batching win. 0 when no
+    /// appends were traced.
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.log_appends == 0 {
+            0.0
+        } else {
+            self.updates_delivered as f64 / self.log_appends as f64
+        }
+    }
+}
+
+/// Aggregates consensus round-trip latency and coalescing counters
+/// over one run's records.
+pub fn latency_summary(records: &[TraceRecord]) -> LatencySummary {
+    let mut s = LatencySummary::default();
+    for rec in records {
+        match rec.event {
+            TraceEvent::UpdateDelivered { latency_us, .. } => {
+                s.updates_delivered += 1;
+                if latency_us > 0 {
+                    s.commit_latency.observe(latency_us);
+                }
+            }
+            TraceEvent::BatchFlushed { updates, .. } => {
+                s.batches += 1;
+                s.batched_updates += updates;
+            }
+            TraceEvent::LogAppend { .. } => {
+                s.log_appends += 1;
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, node: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { t_us, node, event }
+    }
+
+    /// Hand-built trace: leader crashes mid-batch, a survivor is
+    /// elected, the victim restarts, loads its checkpoint while the log
+    /// replays, then re-learns the backlog.
+    fn crash_mid_batch_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                900,
+                0,
+                TraceEvent::BatchFlushed {
+                    updates: 4,
+                    trigger: "size",
+                },
+            ),
+            rec(950, 0, TraceEvent::LogAppend { bytes: 400 }),
+            // Crash strikes while the batch's append is in flight.
+            rec(1_000, 0, TraceEvent::Crash),
+            rec(
+                1_400,
+                1,
+                TraceEvent::LeaderElected {
+                    round: 2,
+                    fast: true,
+                },
+            ),
+            rec(3_000, 0, TraceEvent::Restart { incarnation: 1 }),
+            rec(3_010, 0, TraceEvent::LogReplayStart { bytes: 4_000 }),
+            rec(3_020, 0, TraceEvent::CheckpointLoadStart { bytes: 1 << 20 }),
+            rec(3_510, 0, TraceEvent::LogReplayed { records: 10 }),
+            rec(4_020, 0, TraceEvent::CheckpointLoaded { slot: 50 }),
+            rec(6_000, 0, TraceEvent::RecoveryComplete { slot: 61 }),
+        ]
+    }
+
+    #[test]
+    fn crash_mid_batch_phases() {
+        let out = recovery_breakdowns(&crash_mid_batch_trace());
+        assert_eq!(out.len(), 1);
+        let b = &out[0];
+        assert!(b.complete);
+        assert_eq!(b.node, 0);
+        assert_eq!(b.crash_at_us, 1_000);
+        assert_eq!(b.detection_us, Some(2_000));
+        assert_eq!(b.reelection_us, Some(400));
+        assert_eq!(b.log_replay_us, Some(500));
+        assert_eq!(b.checkpoint_load_us, Some(1_000));
+        // Local replay done at restart(3000) + max(500, 1000) = 4000;
+        // backlog runs to 6000.
+        assert_eq!(b.backlog_replay_us, Some(2_000));
+        assert_eq!(b.total_us, Some(5_000));
+    }
+
+    #[test]
+    fn checkpoint_load_overlaps_backlog_replay() {
+        // The checkpoint is huge: the log replays and the backlog
+        // re-learn effectively finishes while the checkpoint is still
+        // streaming — the incident must end at the checkpoint, and the
+        // backlog phase must account only for the tail after it.
+        let trace = vec![
+            rec(1_000, 2, TraceEvent::Crash),
+            rec(2_000, 2, TraceEvent::Restart { incarnation: 1 }),
+            rec(2_010, 2, TraceEvent::LogReplayStart { bytes: 100 }),
+            rec(
+                2_020,
+                2,
+                TraceEvent::CheckpointLoadStart { bytes: 80 << 20 },
+            ),
+            rec(2_110, 2, TraceEvent::LogReplayed { records: 2 }),
+            rec(12_020, 2, TraceEvent::CheckpointLoaded { slot: 9 }),
+            rec(12_500, 2, TraceEvent::RecoveryComplete { slot: 12 }),
+        ];
+        let out = recovery_breakdowns(&trace);
+        assert_eq!(out.len(), 1);
+        let b = &out[0];
+        assert!(b.complete);
+        assert_eq!(b.detection_us, Some(1_000));
+        assert_eq!(b.reelection_us, None, "follower crash needs no election");
+        assert_eq!(b.log_replay_us, Some(100));
+        assert_eq!(b.checkpoint_load_us, Some(10_000));
+        // Local done = 2000 + max(100, 10000) = 12000; complete at 12500.
+        assert_eq!(b.backlog_replay_us, Some(500));
+        assert_eq!(b.total_us, Some(11_500));
+    }
+
+    #[test]
+    fn unfinished_incident_reported_incomplete() {
+        let trace = vec![
+            rec(1_000, 0, TraceEvent::Crash),
+            rec(2_000, 0, TraceEvent::Restart { incarnation: 1 }),
+        ];
+        let out = recovery_breakdowns(&trace);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].complete);
+        assert_eq!(out[0].detection_us, Some(1_000));
+        assert_eq!(out[0].total_us, None);
+    }
+
+    #[test]
+    fn double_crash_opens_two_incidents() {
+        let trace = vec![
+            rec(1_000, 0, TraceEvent::Crash),
+            rec(2_000, 0, TraceEvent::Restart { incarnation: 1 }),
+            rec(5_000, 0, TraceEvent::Crash),
+            rec(6_000, 0, TraceEvent::Restart { incarnation: 2 }),
+            rec(7_000, 0, TraceEvent::RecoveryComplete { slot: 4 }),
+        ];
+        let out = recovery_breakdowns(&trace);
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].complete, "first incident never completed");
+        assert!(out[1].complete);
+        assert_eq!(out[1].crash_at_us, 5_000);
+    }
+
+    #[test]
+    fn elections_attributed_to_oldest_waiting_incident() {
+        let trace = vec![
+            rec(1_000, 0, TraceEvent::Crash),
+            rec(1_500, 1, TraceEvent::Crash),
+            rec(
+                2_000,
+                2,
+                TraceEvent::LeaderElected {
+                    round: 5,
+                    fast: false,
+                },
+            ),
+            rec(
+                2_500,
+                2,
+                TraceEvent::LeaderElected {
+                    round: 6,
+                    fast: true,
+                },
+            ),
+        ];
+        let out = recovery_breakdowns(&trace);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].reelection_us, Some(1_000));
+        assert_eq!(out[1].reelection_us, Some(1_000));
+    }
+
+    #[test]
+    fn latency_summary_aggregates() {
+        let trace = vec![
+            rec(
+                10,
+                0,
+                TraceEvent::BatchFlushed {
+                    updates: 3,
+                    trigger: "window",
+                },
+            ),
+            rec(11, 0, TraceEvent::LogAppend { bytes: 300 }),
+            rec(
+                50,
+                0,
+                TraceEvent::UpdateDelivered {
+                    slot: 0,
+                    index: 0,
+                    latency_us: 40,
+                },
+            ),
+            rec(
+                51,
+                0,
+                TraceEvent::UpdateDelivered {
+                    slot: 0,
+                    index: 1,
+                    latency_us: 0,
+                },
+            ),
+        ];
+        let s = latency_summary(&trace);
+        assert_eq!(s.updates_delivered, 2);
+        assert_eq!(s.commit_latency.count(), 1, "remote updates not sampled");
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_updates, 3);
+        assert_eq!(s.log_appends, 1);
+        assert!((s.coalescing_ratio() - 2.0).abs() < 1e-9);
+    }
+}

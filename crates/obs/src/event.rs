@@ -1,0 +1,348 @@
+//! The typed trace event taxonomy.
+//!
+//! Every interesting state transition of the stack — consensus protocol
+//! steps, middleware durability actions, recovery phases, and injected
+//! faults — is expressed as one [`TraceEvent`] variant. Events carry
+//! only plain integers, booleans, and `'static` tag strings so that a
+//! record is cheap to construct, trivially hashable, and renders to a
+//! canonical JSONL line (see [`crate::jsonl`]) without any allocation
+//! beyond the output string.
+//!
+//! Field conventions: slots, rounds, epochs, and sequence numbers are
+//! `u64`; node/replica ids are `u32`; times and durations are
+//! microseconds of simulated time.
+
+/// Mode tag for [`TraceEvent::ModeSwitch`] (`"fast"`, `"classic"`,
+/// `"blocked"`). Kept as strings so `obs` stays independent of the
+/// consensus crate.
+pub const MODE_FAST: &str = "fast";
+/// Classic mode tag.
+pub const MODE_CLASSIC: &str = "classic";
+/// Blocked mode tag.
+pub const MODE_BLOCKED: &str = "blocked";
+
+/// One traced state transition.
+///
+/// Variants group into four families: the consensus protocol
+/// (proposal/promise/accept/decide, elections, mode switches), the
+/// replication middleware (batching, log appends, checkpoints, recovery
+/// phases, delivery), the simulated environment (crash/restart, message
+/// loss, disk faults), and the experiment harness (partitions, injected
+/// fault profiles, audit violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    // --- consensus protocol ---
+    /// A proposer issued a new client proposal (its per-epoch sequence).
+    ProposalIssued {
+        /// Proposer-local sequence number within the current epoch.
+        seq: u64,
+    },
+    /// The local acceptor promised ballot `(round, by)`.
+    Promised {
+        /// Ballot round number.
+        round: u64,
+        /// Replica owning the ballot.
+        by: u32,
+    },
+    /// The local acceptor accepted a decree.
+    Accepted {
+        /// Consensus slot.
+        slot: u64,
+        /// Ballot round of the acceptance.
+        round: u64,
+        /// Whether the ballot was a fast one.
+        fast: bool,
+    },
+    /// The local learner marked a slot decided.
+    Decided {
+        /// The decided slot.
+        slot: u64,
+        /// Whether the decree was a gap-filling no-op.
+        noop: bool,
+    },
+    /// The local coordinator started phase 1 for a new ballot.
+    PrepareStarted {
+        /// Ballot round being prepared.
+        round: u64,
+        /// Whether it is a fast ballot.
+        fast: bool,
+    },
+    /// The local coordinator gathered its promise quorum and took over.
+    LeaderElected {
+        /// Round of the winning ballot.
+        round: u64,
+        /// Whether the new round is fast.
+        fast: bool,
+    },
+    /// The failure detector's availability mode changed.
+    ModeSwitch {
+        /// Previous mode (`"fast"` / `"classic"` / `"blocked"`).
+        from: &'static str,
+        /// New mode.
+        to: &'static str,
+    },
+
+    // --- replication middleware ---
+    /// A group-commit batch was flushed into consensus.
+    BatchFlushed {
+        /// Updates coalesced into the batch.
+        updates: u64,
+        /// What closed the batch: `"size"`, `"window"`, or `"single"`.
+        trigger: &'static str,
+    },
+    /// A consensus record was appended to the stable log.
+    LogAppend {
+        /// Serialized entry size in bytes.
+        bytes: u64,
+    },
+    /// A previously issued log append reached the platter (fsync ok).
+    AppendDurable,
+    /// A checkpoint write was issued.
+    CheckpointWrite {
+        /// Checkpoint generation number.
+        generation: u64,
+        /// Application watermark covered by the checkpoint.
+        slot: u64,
+        /// Modeled checkpoint size in bytes.
+        bytes: u64,
+    },
+    /// A checkpoint write became durable.
+    CheckpointDurable {
+        /// Checkpoint generation number.
+        generation: u64,
+    },
+    /// Recovery started loading the newest durable checkpoint.
+    CheckpointLoadStart {
+        /// Modeled checkpoint size in bytes.
+        bytes: u64,
+    },
+    /// The checkpoint finished loading.
+    CheckpointLoaded {
+        /// Watermark slot restored from the checkpoint.
+        slot: u64,
+    },
+    /// Recovery started replaying the stable consensus log.
+    LogReplayStart {
+        /// Log size in bytes to stream back.
+        bytes: u64,
+    },
+    /// The stable log finished replaying.
+    LogReplayed {
+        /// Records recovered from the log.
+        records: u64,
+    },
+    /// Recovery finished: checkpoint loaded, log replayed, and the
+    /// backlog re-learned from peers up to the cluster watermark.
+    RecoveryComplete {
+        /// First slot this replica will apply next.
+        slot: u64,
+    },
+    /// An update was applied to the local state machine.
+    UpdateDelivered {
+        /// Consensus slot of the containing batch.
+        slot: u64,
+        /// Index of the update inside its batch.
+        index: u64,
+        /// Submit-to-apply latency in µs (0 when the submitter was a
+        /// different replica, whose clock we do not see).
+        latency_us: u64,
+    },
+
+    // --- simulated environment ---
+    /// The node crashed (volatile state lost).
+    Crash,
+    /// The node restarted with a fresh incarnation.
+    Restart {
+        /// New incarnation number.
+        incarnation: u64,
+    },
+    /// A crash tore the in-flight log append: a strict prefix survived.
+    TornWrite {
+        /// Bytes of the entry that reached the platter.
+        bytes_kept: u64,
+    },
+    /// An injected media error failed a durable write (fsync failure).
+    DiskWriteFailed,
+    /// The network model dropped an outgoing message.
+    MsgDropped {
+        /// Intended receiver.
+        to: u32,
+        /// Wire size of the lost message.
+        bytes: u64,
+        /// `"partition"` or `"loss"`.
+        reason: &'static str,
+    },
+    /// The network model duplicated an outgoing message.
+    MsgDuplicated {
+        /// Receiver of both copies.
+        to: u32,
+    },
+
+    // --- experiment harness ---
+    /// The harness cut this node off from `peers` other nodes.
+    PartitionCut {
+        /// Number of peers now unreachable.
+        peers: u64,
+    },
+    /// The harness healed all partitions involving this node.
+    PartitionHealed,
+    /// The harness installed a lossy link-fault profile on this node's
+    /// links (loss/duplicate probabilities in percent).
+    NetFaultSet {
+        /// Drop probability, percent.
+        loss_pct: u64,
+        /// Duplication probability, percent.
+        dup_pct: u64,
+    },
+    /// The harness cleared this node's link faults.
+    NetFaultCleared,
+    /// The harness armed a disk-fault profile on this node.
+    DiskFaultSet {
+        /// Write-failure probability, percent.
+        fail_pct: u64,
+        /// Whether crashes tear the in-flight append.
+        torn: bool,
+    },
+    /// The harness disarmed this node's disk faults.
+    DiskFaultCleared,
+    /// The invariant auditor recorded one or more new violations.
+    AuditViolation {
+        /// Cumulative violation count after this check.
+        count: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Canonical snake_case tag identifying the variant; used as the
+    /// JSONL `e` field and as the per-node counter name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ProposalIssued { .. } => "proposal_issued",
+            TraceEvent::Promised { .. } => "promised",
+            TraceEvent::Accepted { .. } => "accepted",
+            TraceEvent::Decided { .. } => "decided",
+            TraceEvent::PrepareStarted { .. } => "prepare_started",
+            TraceEvent::LeaderElected { .. } => "leader_elected",
+            TraceEvent::ModeSwitch { .. } => "mode_switch",
+            TraceEvent::BatchFlushed { .. } => "batch_flushed",
+            TraceEvent::LogAppend { .. } => "log_append",
+            TraceEvent::AppendDurable => "append_durable",
+            TraceEvent::CheckpointWrite { .. } => "checkpoint_write",
+            TraceEvent::CheckpointDurable { .. } => "checkpoint_durable",
+            TraceEvent::CheckpointLoadStart { .. } => "checkpoint_load_start",
+            TraceEvent::CheckpointLoaded { .. } => "checkpoint_loaded",
+            TraceEvent::LogReplayStart { .. } => "log_replay_start",
+            TraceEvent::LogReplayed { .. } => "log_replayed",
+            TraceEvent::RecoveryComplete { .. } => "recovery_complete",
+            TraceEvent::UpdateDelivered { .. } => "update_delivered",
+            TraceEvent::Crash => "crash",
+            TraceEvent::Restart { .. } => "restart",
+            TraceEvent::TornWrite { .. } => "torn_write",
+            TraceEvent::DiskWriteFailed => "disk_write_failed",
+            TraceEvent::MsgDropped { .. } => "msg_dropped",
+            TraceEvent::MsgDuplicated { .. } => "msg_duplicated",
+            TraceEvent::PartitionCut { .. } => "partition_cut",
+            TraceEvent::PartitionHealed => "partition_healed",
+            TraceEvent::NetFaultSet { .. } => "net_fault_set",
+            TraceEvent::NetFaultCleared => "net_fault_cleared",
+            TraceEvent::DiskFaultSet { .. } => "disk_fault_set",
+            TraceEvent::DiskFaultCleared => "disk_fault_cleared",
+            TraceEvent::AuditViolation { .. } => "audit_violation",
+        }
+    }
+}
+
+/// One trace record: an event stamped with simulated time and node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event, microseconds.
+    pub t_us: u64,
+    /// Node the event belongs to (dense simnet index).
+    pub node: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let events = [
+            TraceEvent::ProposalIssued { seq: 0 },
+            TraceEvent::Promised { round: 0, by: 0 },
+            TraceEvent::Accepted {
+                slot: 0,
+                round: 0,
+                fast: false,
+            },
+            TraceEvent::Decided {
+                slot: 0,
+                noop: false,
+            },
+            TraceEvent::PrepareStarted {
+                round: 0,
+                fast: false,
+            },
+            TraceEvent::LeaderElected {
+                round: 0,
+                fast: false,
+            },
+            TraceEvent::ModeSwitch {
+                from: MODE_FAST,
+                to: MODE_CLASSIC,
+            },
+            TraceEvent::BatchFlushed {
+                updates: 1,
+                trigger: "size",
+            },
+            TraceEvent::LogAppend { bytes: 0 },
+            TraceEvent::AppendDurable,
+            TraceEvent::CheckpointWrite {
+                generation: 0,
+                slot: 0,
+                bytes: 0,
+            },
+            TraceEvent::CheckpointDurable { generation: 0 },
+            TraceEvent::CheckpointLoadStart { bytes: 0 },
+            TraceEvent::CheckpointLoaded { slot: 0 },
+            TraceEvent::LogReplayStart { bytes: 0 },
+            TraceEvent::LogReplayed { records: 0 },
+            TraceEvent::RecoveryComplete { slot: 0 },
+            TraceEvent::UpdateDelivered {
+                slot: 0,
+                index: 0,
+                latency_us: 0,
+            },
+            TraceEvent::Crash,
+            TraceEvent::Restart { incarnation: 1 },
+            TraceEvent::TornWrite { bytes_kept: 1 },
+            TraceEvent::DiskWriteFailed,
+            TraceEvent::MsgDropped {
+                to: 0,
+                bytes: 0,
+                reason: "loss",
+            },
+            TraceEvent::MsgDuplicated { to: 0 },
+            TraceEvent::PartitionCut { peers: 1 },
+            TraceEvent::PartitionHealed,
+            TraceEvent::NetFaultSet {
+                loss_pct: 1,
+                dup_pct: 0,
+            },
+            TraceEvent::NetFaultCleared,
+            TraceEvent::DiskFaultSet {
+                fail_pct: 1,
+                torn: true,
+            },
+            TraceEvent::DiskFaultCleared,
+            TraceEvent::AuditViolation { count: 1 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+        kinds.sort_unstable();
+        let before = kinds.len();
+        kinds.dedup();
+        assert_eq!(before, kinds.len(), "duplicate kind tag");
+    }
+}

@@ -1,0 +1,511 @@
+//! Canonical JSONL rendering and parsing of traces.
+//!
+//! One line per record, fields in a fixed order (`t`, `n`, `e`, then
+//! the variant's fields in declaration order), no whitespace: the
+//! rendering of a record vector is a *canonical form*, so two runs
+//! whose traces are equal produce byte-identical files. A trace file
+//! may also contain run-header lines (`{"run":"label"}`) separating
+//! the runs of a multi-configuration experiment.
+//!
+//! The parser accepts exactly the flat single-object lines the encoder
+//! produces (stdlib only — the workspace vendors no JSON crate).
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// A parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line {
+    /// A run-header line: everything until the next header belongs to
+    /// the named run.
+    Run(String),
+    /// An event record.
+    Record(TraceRecord),
+}
+
+/// Renders a run-header line for `label`.
+pub fn encode_run_header(label: &str) -> String {
+    format!("{{\"run\":{}}}", quote(label))
+}
+
+/// Renders one record as a canonical JSONL line (no trailing newline).
+pub fn encode(rec: &TraceRecord) -> String {
+    use TraceEvent::*;
+    let head = format!(
+        "{{\"t\":{},\"n\":{},\"e\":\"{}\"",
+        rec.t_us,
+        rec.node,
+        rec.event.kind()
+    );
+    let fields = match &rec.event {
+        ProposalIssued { seq } => format!(",\"seq\":{seq}"),
+        Promised { round, by } => format!(",\"round\":{round},\"by\":{by}"),
+        Accepted { slot, round, fast } => {
+            format!(",\"slot\":{slot},\"round\":{round},\"fast\":{fast}")
+        }
+        Decided { slot, noop } => format!(",\"slot\":{slot},\"noop\":{noop}"),
+        PrepareStarted { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
+        LeaderElected { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
+        ModeSwitch { from, to } => format!(",\"from\":\"{from}\",\"to\":\"{to}\""),
+        BatchFlushed { updates, trigger } => {
+            format!(",\"updates\":{updates},\"trigger\":\"{trigger}\"")
+        }
+        LogAppend { bytes } => format!(",\"bytes\":{bytes}"),
+        AppendDurable => String::new(),
+        CheckpointWrite {
+            generation,
+            slot,
+            bytes,
+        } => format!(",\"generation\":{generation},\"slot\":{slot},\"bytes\":{bytes}"),
+        CheckpointDurable { generation } => format!(",\"generation\":{generation}"),
+        CheckpointLoadStart { bytes } => format!(",\"bytes\":{bytes}"),
+        CheckpointLoaded { slot } => format!(",\"slot\":{slot}"),
+        LogReplayStart { bytes } => format!(",\"bytes\":{bytes}"),
+        LogReplayed { records } => format!(",\"records\":{records}"),
+        RecoveryComplete { slot } => format!(",\"slot\":{slot}"),
+        UpdateDelivered {
+            slot,
+            index,
+            latency_us,
+        } => format!(",\"slot\":{slot},\"index\":{index},\"latency_us\":{latency_us}"),
+        Crash => String::new(),
+        Restart { incarnation } => format!(",\"incarnation\":{incarnation}"),
+        TornWrite { bytes_kept } => format!(",\"bytes_kept\":{bytes_kept}"),
+        DiskWriteFailed => String::new(),
+        MsgDropped { to, bytes, reason } => {
+            format!(",\"to\":{to},\"bytes\":{bytes},\"reason\":\"{reason}\"")
+        }
+        MsgDuplicated { to } => format!(",\"to\":{to}"),
+        PartitionCut { peers } => format!(",\"peers\":{peers}"),
+        PartitionHealed => String::new(),
+        NetFaultSet { loss_pct, dup_pct } => {
+            format!(",\"loss_pct\":{loss_pct},\"dup_pct\":{dup_pct}")
+        }
+        NetFaultCleared => String::new(),
+        DiskFaultSet { fail_pct, torn } => format!(",\"fail_pct\":{fail_pct},\"torn\":{torn}"),
+        DiskFaultCleared => String::new(),
+        AuditViolation { count } => format!(",\"count\":{count}"),
+    };
+    format!("{head}{fields}}}")
+}
+
+/// Renders a whole trace (records only) with one record per line and a
+/// trailing newline, the canonical file form.
+pub fn encode_all(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&encode(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one line; `None` for blank lines, `Err` for malformed ones.
+pub fn decode(line: &str) -> Result<Option<Line>, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let fields = parse_flat_object(line)?;
+    if let Some(Val::Str(label)) = get(&fields, "run") {
+        return Ok(Some(Line::Run(label.clone())));
+    }
+    let t_us = get_num(&fields, "t")?;
+    let node = get_num(&fields, "n")? as u32;
+    let kind = match get(&fields, "e") {
+        Some(Val::Str(s)) => s.clone(),
+        _ => return Err("missing event kind `e`".into()),
+    };
+    let event = decode_event(&kind, &fields)?;
+    Ok(Some(Line::Record(TraceRecord { t_us, node, event })))
+}
+
+/// Parses a whole file into `(run label, records)` groups. Records
+/// before any header land in a group labelled `""`.
+pub fn decode_runs(text: &str) -> Result<Vec<(String, Vec<TraceRecord>)>, String> {
+    let mut runs: Vec<(String, Vec<TraceRecord>)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        match decode(raw).map_err(|e| format!("line {}: {e}", i + 1))? {
+            None => {}
+            Some(Line::Run(label)) => runs.push((label, Vec::new())),
+            Some(Line::Record(rec)) => {
+                if runs.is_empty() {
+                    runs.push((String::new(), Vec::new()));
+                }
+                runs.last_mut().expect("pushed").1.push(rec);
+            }
+        }
+    }
+    Ok(runs)
+}
+
+fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
+    use TraceEvent::*;
+    let ev = match kind {
+        "proposal_issued" => ProposalIssued {
+            seq: get_num(f, "seq")?,
+        },
+        "promised" => Promised {
+            round: get_num(f, "round")?,
+            by: get_num(f, "by")? as u32,
+        },
+        "accepted" => Accepted {
+            slot: get_num(f, "slot")?,
+            round: get_num(f, "round")?,
+            fast: get_bool(f, "fast")?,
+        },
+        "decided" => Decided {
+            slot: get_num(f, "slot")?,
+            noop: get_bool(f, "noop")?,
+        },
+        "prepare_started" => PrepareStarted {
+            round: get_num(f, "round")?,
+            fast: get_bool(f, "fast")?,
+        },
+        "leader_elected" => LeaderElected {
+            round: get_num(f, "round")?,
+            fast: get_bool(f, "fast")?,
+        },
+        "mode_switch" => ModeSwitch {
+            from: get_tag(f, "from")?,
+            to: get_tag(f, "to")?,
+        },
+        "batch_flushed" => BatchFlushed {
+            updates: get_num(f, "updates")?,
+            trigger: get_tag(f, "trigger")?,
+        },
+        "log_append" => LogAppend {
+            bytes: get_num(f, "bytes")?,
+        },
+        "append_durable" => AppendDurable,
+        "checkpoint_write" => CheckpointWrite {
+            generation: get_num(f, "generation")?,
+            slot: get_num(f, "slot")?,
+            bytes: get_num(f, "bytes")?,
+        },
+        "checkpoint_durable" => CheckpointDurable {
+            generation: get_num(f, "generation")?,
+        },
+        "checkpoint_load_start" => CheckpointLoadStart {
+            bytes: get_num(f, "bytes")?,
+        },
+        "checkpoint_loaded" => CheckpointLoaded {
+            slot: get_num(f, "slot")?,
+        },
+        "log_replay_start" => LogReplayStart {
+            bytes: get_num(f, "bytes")?,
+        },
+        "log_replayed" => LogReplayed {
+            records: get_num(f, "records")?,
+        },
+        "recovery_complete" => RecoveryComplete {
+            slot: get_num(f, "slot")?,
+        },
+        "update_delivered" => UpdateDelivered {
+            slot: get_num(f, "slot")?,
+            index: get_num(f, "index")?,
+            latency_us: get_num(f, "latency_us")?,
+        },
+        "crash" => Crash,
+        "restart" => Restart {
+            incarnation: get_num(f, "incarnation")?,
+        },
+        "torn_write" => TornWrite {
+            bytes_kept: get_num(f, "bytes_kept")?,
+        },
+        "disk_write_failed" => DiskWriteFailed,
+        "msg_dropped" => MsgDropped {
+            to: get_num(f, "to")? as u32,
+            bytes: get_num(f, "bytes")?,
+            reason: get_tag(f, "reason")?,
+        },
+        "msg_duplicated" => MsgDuplicated {
+            to: get_num(f, "to")? as u32,
+        },
+        "partition_cut" => PartitionCut {
+            peers: get_num(f, "peers")?,
+        },
+        "partition_healed" => PartitionHealed,
+        "net_fault_set" => NetFaultSet {
+            loss_pct: get_num(f, "loss_pct")?,
+            dup_pct: get_num(f, "dup_pct")?,
+        },
+        "net_fault_cleared" => NetFaultCleared,
+        "disk_fault_set" => DiskFaultSet {
+            fail_pct: get_num(f, "fail_pct")?,
+            torn: get_bool(f, "torn")?,
+        },
+        "disk_fault_cleared" => DiskFaultCleared,
+        "audit_violation" => AuditViolation {
+            count: get_num(f, "count")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(ev)
+}
+
+/// Tag strings appear in events as `&'static str`; the decoder interns
+/// the known vocabulary back to statics.
+fn get_tag(f: &[(String, Val)], key: &str) -> Result<&'static str, String> {
+    const TAGS: &[&str] = &[
+        "fast",
+        "classic",
+        "blocked",
+        "size",
+        "window",
+        "single",
+        "partition",
+        "loss",
+    ];
+    match get(f, key) {
+        Some(Val::Str(s)) => TAGS
+            .iter()
+            .find(|t| *t == s)
+            .copied()
+            .ok_or_else(|| format!("unknown tag {s:?} for field {key:?}")),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+fn get<'a>(fields: &'a [(String, Val)], key: &str) -> Option<&'a Val> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_num(fields: &[(String, Val)], key: &str) -> Result<u64, String> {
+    match get(fields, key) {
+        Some(Val::Num(n)) => Ok(*n),
+        _ => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn get_bool(fields: &[(String, Val)], key: &str) -> Result<bool, String> {
+    match get(fields, key) {
+        Some(Val::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean field {key:?}")),
+    }
+}
+
+/// Parses exactly one flat JSON object of string/number/boolean values.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key, found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let val = match chars.peek() {
+            Some('"') => Val::Str(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String = chars
+                    .clone()
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect();
+                for _ in 0..word.len() {
+                    chars.next();
+                }
+                match word.as_str() {
+                    "true" => Val::Bool(true),
+                    "false" => Val::Bool(false),
+                    other => return Err(format!("bad literal {other:?}")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while let Some(c) = chars.peek() {
+                    match c.to_digit(10) {
+                        Some(d) => {
+                            n = n
+                                .checked_mul(10)
+                                .and_then(|n| n.checked_add(d as u64))
+                                .ok_or("number overflow")?;
+                            chars.next();
+                        }
+                        None => break,
+                    }
+                }
+                Val::Num(n)
+            }
+            other => return Err(format!("bad value start {other:?}")),
+        };
+        fields.push((key, val));
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: TraceRecord) {
+        let line = encode(&rec);
+        match decode(&line).expect("parse").expect("line") {
+            Line::Record(back) => assert_eq!(back, rec, "line {line}"),
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        use TraceEvent::*;
+        let events = vec![
+            ProposalIssued { seq: 42 },
+            Accepted {
+                slot: 7,
+                round: 3,
+                fast: true,
+            },
+            ModeSwitch {
+                from: "fast",
+                to: "classic",
+            },
+            BatchFlushed {
+                updates: 8,
+                trigger: "size",
+            },
+            AppendDurable,
+            UpdateDelivered {
+                slot: 9,
+                index: 2,
+                latency_us: 531,
+            },
+            Crash,
+            Restart { incarnation: 2 },
+            MsgDropped {
+                to: 4,
+                bytes: 512,
+                reason: "partition",
+            },
+            AuditViolation { count: 3 },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            roundtrip(TraceRecord {
+                t_us: 1000 + i as u64,
+                node: i as u32,
+                event,
+            });
+        }
+    }
+
+    #[test]
+    fn run_headers_group_records() {
+        let mut text = String::new();
+        text.push_str(&encode_run_header("5r Browsing"));
+        text.push('\n');
+        text.push_str(&encode(&TraceRecord {
+            t_us: 1,
+            node: 0,
+            event: TraceEvent::Crash,
+        }));
+        text.push('\n');
+        text.push_str(&encode_run_header("8r Ordering"));
+        text.push('\n');
+        let runs = decode_runs(&text).expect("parse");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, "5r Browsing");
+        assert_eq!(runs[0].1.len(), 1);
+        assert_eq!(runs[1].1.len(), 0);
+    }
+
+    #[test]
+    fn header_label_with_quotes_roundtrips() {
+        let line = encode_run_header("a \"b\" c");
+        match decode(&line).expect("parse").expect("line") {
+            Line::Run(label) => assert_eq!(label, "a \"b\" c"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for bad in [
+            "{",
+            "{]",
+            "{\"t\":1}",
+            "nonsense",
+            "{\"t\":1,\"n\":0,\"e\":\"nope\"}",
+        ] {
+            assert!(decode(bad).is_err(), "should reject {bad:?}");
+        }
+        assert_eq!(decode("   ").expect("blank ok"), None);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let rec = TraceRecord {
+            t_us: 5,
+            node: 1,
+            event: TraceEvent::Decided {
+                slot: 3,
+                noop: false,
+            },
+        };
+        assert_eq!(encode(&rec), encode(&rec));
+        assert_eq!(
+            encode(&rec),
+            "{\"t\":5,\"n\":1,\"e\":\"decided\",\"slot\":3,\"noop\":false}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic structured tracing + metrics for the RobustStore stack.
+//!
+//! The paper's contribution is *explaining* availability dips, not just
+//! measuring them: failover and recovery time decompose into failure
+//! detection, consensus re-election, checkpoint load, and backlog
+//! replay. This crate is the instrument layer that makes those phases
+//! visible in our reproduction:
+//!
+//! * [`TraceEvent`] / [`TraceRecord`] — the typed event taxonomy, each
+//!   record stamped with simulated time and node id;
+//! * [`Tracer`] — the run-global sink, owned by the simulation engine so
+//!   record order follows the engine's deterministic event order and the
+//!   trace of a `(seed, config)` pair is bit-identical across runs;
+//! * [`EventBuf`] — a deferred buffer for sans-io actors that cannot see
+//!   the engine; drivers drain it into the tracer after each handler;
+//! * [`NodeMetrics`] / [`Hist`] — lightweight per-node counters and
+//!   log₂ histograms (commit latency, batch sizes, queue depths);
+//! * [`jsonl`] — a canonical JSONL codec for traces (stdlib only);
+//! * [`analyze`] — offline reconstruction of per-incident recovery
+//!   breakdowns and commit-latency tables from a trace alone.
+//!
+//! Everything is gated on [`TraceConfig`], default off: a disabled
+//! tracer costs one branch per would-be event and allocates nothing.
+//! This crate deliberately depends on nothing — not even the simulator —
+//! so every layer of the stack can emit into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod tracer;
+
+pub use analyze::{latency_summary, recovery_breakdowns, LatencySummary, RecoveryBreakdown};
+pub use event::{TraceEvent, TraceRecord, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
+pub use metrics::{Hist, NodeMetrics};
+pub use tracer::{EventBuf, TraceConfig, Tracer};

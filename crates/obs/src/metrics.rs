@@ -1,0 +1,190 @@
+//! Lightweight per-node metric registries: counters and log₂ histograms.
+//!
+//! Metrics are a *summary* companion to the trace: counters count events
+//! by kind, histograms aggregate values whose full per-sample stream
+//! would bloat the trace (commit latencies, batch sizes, queue depths).
+//! Everything is updated with a couple of integer operations, and all
+//! state is plain maps of `'static` names so registries never allocate
+//! per observation after the first sample of a series.
+
+use std::collections::BTreeMap;
+
+/// Number of power-of-two buckets; covers values up to 2⁴⁰−1 (~12 days
+/// in µs), far beyond any simulated run.
+const BUCKETS: usize = 40;
+
+/// A histogram with power-of-two buckets, exact count/sum/min/max.
+///
+/// Bucket `i` holds values `v` with `floor(log2(v+1)) == i`, i.e. bucket
+/// 0 is `{0}`, bucket 1 is `{1}`, bucket 2 is `{2,3}`, and so on.
+/// Quantiles are therefore approximate (bucket upper bound) but the
+/// mean is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = (64 - (v + 1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0,1]`: the upper bound of the
+    /// bucket containing the q-th sample (exact min/max at the ends).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 2 … clamp to max.
+                return ((1u64 << (i + 1)) - 2).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters and histograms of one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Event counts by kind (plus caller-defined counters).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Named sample distributions.
+    pub hists: BTreeMap<&'static str, Hist>,
+}
+
+impl NodeMetrics {
+    /// Adds `delta` to counter `name`.
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().observe(value);
+    }
+
+    /// The value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_tracks_exact_count_sum_min_max() {
+        let mut h = Hist::new();
+        for v in [3u64, 9, 1, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 28.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hist_quantiles_bracket_samples() {
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((256..=1022).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 999);
+    }
+
+    #[test]
+    fn empty_hist_is_zeroes() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn node_metrics_counters_and_hists() {
+        let mut m = NodeMetrics::default();
+        m.count("accepted", 1);
+        m.count("accepted", 2);
+        m.observe("commit_latency_us", 40);
+        assert_eq!(m.counter("accepted"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.hist("commit_latency_us").unwrap().count(), 1);
+    }
+}

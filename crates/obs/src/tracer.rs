@@ -1,0 +1,226 @@
+//! The trace sink and the actor-local event buffers feeding it.
+//!
+//! One [`Tracer`] lives inside the simulation engine, which stamps every
+//! event with the current simulated time at the moment it reaches the
+//! sink. Because the engine processes events in a deterministic total
+//! order (time, then FIFO sequence), the record vector — and hence its
+//! JSONL rendering — is bit-identical across runs of the same seed.
+//!
+//! Sans-io protocol actors (acceptor, learner, leader, middleware)
+//! cannot see the engine; they push into an [`EventBuf`] that their
+//! driver drains into the tracer right after the handler returns, so
+//! buffered events are stamped with the handler's dispatch time.
+//!
+//! Zero overhead when off: both sinks short-circuit on a single `bool`
+//! before touching any other state, and a disabled buffer never
+//! allocates (draining an empty `Vec` is a pointer swap).
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::NodeMetrics;
+
+/// Tracing knob carried by experiment and middleware configs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off by default: no records, no metrics, no
+    /// measurable hot-path cost.
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    /// A config with tracing on.
+    pub fn on() -> TraceConfig {
+        TraceConfig { enabled: true }
+    }
+}
+
+/// The run-global trace sink: an append-only record vector plus
+/// per-node metric registries.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+    nodes: Vec<NodeMetrics>,
+}
+
+impl Tracer {
+    /// A disabled tracer (the engine default).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer honoring `config`.
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer {
+            enabled: config.enabled,
+            records: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at time `t_us` on `node` and feeds the node's
+    /// metrics. No-op when disabled.
+    #[inline]
+    pub fn emit(&mut self, t_us: u64, node: u32, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.auto_metrics(node, &event);
+        self.records.push(TraceRecord { t_us, node, event });
+    }
+
+    /// Records a histogram sample without emitting a trace record (for
+    /// high-frequency series like queue depths). No-op when disabled.
+    #[inline]
+    pub fn observe(&mut self, node: u32, metric: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.node_metrics(node).observe(metric, value);
+    }
+
+    /// The records emitted so far, in deterministic engine order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Takes ownership of the records (end of run).
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Per-node metric registries (indexed by node id; nodes that never
+    /// emitted have default registries or are absent past the end).
+    pub fn metrics(&self) -> &[NodeMetrics] {
+        &self.nodes
+    }
+
+    fn node_metrics(&mut self, node: u32) -> &mut NodeMetrics {
+        let idx = node as usize;
+        if idx >= self.nodes.len() {
+            self.nodes.resize(idx + 1, NodeMetrics::default());
+        }
+        &mut self.nodes[idx]
+    }
+
+    /// Standard metric derivations: every event bumps its kind counter;
+    /// a few carry values worth aggregating.
+    fn auto_metrics(&mut self, node: u32, event: &TraceEvent) {
+        let m = self.node_metrics(node);
+        m.count(event.kind(), 1);
+        match *event {
+            TraceEvent::UpdateDelivered { latency_us, .. } if latency_us > 0 => {
+                m.observe("commit_latency_us", latency_us);
+            }
+            TraceEvent::BatchFlushed { updates, .. } => {
+                m.observe("batch_updates", updates);
+            }
+            TraceEvent::LogAppend { bytes } => {
+                m.observe("append_bytes", bytes);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A deferred event buffer for sans-io actors that cannot reach the
+/// engine-owned [`Tracer`] directly.
+///
+/// Disabled by default (`Default`), so actors constructed in unit tests
+/// trace nothing; the owning driver switches it on and drains it.
+#[derive(Debug, Default)]
+pub struct EventBuf {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl EventBuf {
+    /// A buffer with the given state.
+    pub fn new(enabled: bool) -> EventBuf {
+        EventBuf {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Switches buffering on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether pushes are being kept.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Buffers `event` (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Takes the buffered events (empty and allocation-free when
+    /// disabled).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Moves buffered events into `out`, preserving order.
+    pub fn drain_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(5, 0, TraceEvent::Crash);
+        t.observe(0, "q", 3);
+        assert!(t.records().is_empty());
+        assert!(t.metrics().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_counts() {
+        let mut t = Tracer::new(TraceConfig::on());
+        t.emit(
+            10,
+            2,
+            TraceEvent::UpdateDelivered {
+                slot: 1,
+                index: 0,
+                latency_us: 40,
+            },
+        );
+        t.emit(11, 2, TraceEvent::Crash);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].t_us, 10);
+        let m = &t.metrics()[2];
+        assert_eq!(m.counter("update_delivered"), 1);
+        assert_eq!(m.counter("crash"), 1);
+        assert_eq!(m.hist("commit_latency_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn event_buf_respects_enabled_flag() {
+        let mut b = EventBuf::default();
+        b.push(TraceEvent::Crash);
+        assert!(b.take().is_empty());
+        b.set_enabled(true);
+        b.push(TraceEvent::Crash);
+        assert_eq!(b.take().len(), 1);
+        assert!(b.take().is_empty(), "take drains");
+    }
+}

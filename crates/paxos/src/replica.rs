@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use obs::{EventBuf, TraceEvent, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
+
 use crate::acceptor::{Acceptor, AcceptorOut, Dest};
 use crate::config::PaxosConfig;
 use crate::fd::{FailureDetector, Mode};
@@ -74,6 +76,21 @@ pub struct Replica<V> {
     /// A catch-up response revealed the peer truncated its history past
     /// our watermark: the middleware must perform a snapshot transfer.
     snapshot_needed: Option<(ReplicaId, Slot)>,
+    /// Structured trace events (disabled by default: plain construction
+    /// keeps every pre-existing test silent). The driver drains this via
+    /// [`Replica::take_trace_events`].
+    trace: EventBuf,
+    /// Mode at the last trace check, for `ModeSwitch` edge detection.
+    /// Only maintained while tracing is enabled.
+    last_mode: Mode,
+}
+
+fn mode_tag(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Fast => MODE_FAST,
+        Mode::Classic => MODE_CLASSIC,
+        Mode::Blocked => MODE_BLOCKED,
+    }
 }
 
 impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
@@ -136,7 +153,39 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             lag_since: None,
             recovering: false,
             snapshot_needed: None,
+            trace: EventBuf::default(),
+            last_mode: Mode::Blocked,
             config,
+        }
+    }
+
+    /// Enables or disables structured trace emission. Off by default;
+    /// when off no event is ever constructed or buffered.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        if on {
+            self.last_mode = self.fd.mode(self.now);
+        }
+    }
+
+    /// Drains the trace events buffered since the last call, in the
+    /// order the protocol emitted them.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Records a `ModeSwitch` edge if the detector's mode changed since
+    /// the last check. No-op (one branch) when tracing is off.
+    fn trace_mode_edge(&mut self) {
+        if self.trace.enabled() {
+            let mode = self.fd.mode(self.now);
+            if mode != self.last_mode {
+                self.trace.push(TraceEvent::ModeSwitch {
+                    from: mode_tag(self.last_mode),
+                    to: mode_tag(mode),
+                });
+                self.last_mode = mode;
+            }
         }
     }
 
@@ -200,6 +249,19 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
     fn gate(&mut self, out: AcceptorOut<V>, fx: &mut Effects<V>) {
         match out.record {
             Some(record) => {
+                if self.trace.enabled() {
+                    self.trace.push(match &record {
+                        Record::Promised(b) => TraceEvent::Promised {
+                            round: b.round,
+                            by: self.id.0,
+                        },
+                        Record::Accepted { ballot, slot, .. } => TraceEvent::Accepted {
+                            slot: slot.0,
+                            round: ballot.round,
+                            fast: ballot.is_fast(),
+                        },
+                    });
+                }
                 let token = self.next_token;
                 self.next_token += 1;
                 self.gated.insert(token, out.sends);
@@ -246,6 +308,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
         let pid = self
             .proposer
             .submit(value.clone(), self.now, self.config.propose_retry_us);
+        self.trace.push(TraceEvent::ProposalIssued { seq: pid.seq });
         let mut fx = Effects::new();
         self.route(pid, value, &mut fx);
         (pid, fx.into_vec())
@@ -281,6 +344,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
     pub fn on_message(&mut self, from: ReplicaId, msg: Msg<V>, now: u64) -> Vec<Effect<V>> {
         self.now = self.now.max(now);
         self.fd.heard(from, self.now);
+        self.trace_mode_edge();
         let mut fx = Effects::new();
         match msg {
             Msg::Prepare {
@@ -405,6 +469,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
                     .learner
                     .on_accepted(from, ballot, slot, decree, self.now);
                 for d in deliveries {
+                    self.trace.push(TraceEvent::Decided {
+                        slot: d.slot.0,
+                        noop: false,
+                    });
                     self.proposer.delivered(d.pid);
                     fx.deliver(d.slot, d.pid, d.value);
                 }
@@ -485,6 +553,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             } => {
                 let deliveries = self.learner.on_learned(entries);
                 for d in deliveries {
+                    self.trace.push(TraceEvent::Decided {
+                        slot: d.slot.0,
+                        noop: false,
+                    });
                     self.proposer.delivered(d.pid);
                     fx.deliver(d.slot, d.pid, d.value);
                 }
@@ -524,6 +596,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
         }
         let mut fx = Effects::new();
         for d in self.learner.drain() {
+            self.trace.push(TraceEvent::Decided {
+                slot: d.slot.0,
+                noop: false,
+            });
             self.proposer.delivered(d.pid);
             fx.deliver(d.slot, d.pid, d.value);
         }
@@ -560,6 +636,12 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
         next_free: Slot,
         fx: &mut Effects<V>,
     ) {
+        // `issue_plan` runs exactly when phase 1 completes and the
+        // coordinator transitions to `Leading`.
+        self.trace.push(TraceEvent::LeaderElected {
+            round: ballot.round,
+            fast: ballot.is_fast(),
+        });
         for (slot, decree) in plan {
             fx.broadcast(
                 self.config.n,
@@ -635,6 +717,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
     /// milliseconds of driver time.
     pub fn on_tick(&mut self, now: u64) -> Vec<Effect<V>> {
         self.now = self.now.max(now);
+        self.trace_mode_edge();
         let mut fx = Effects::new();
 
         if self.recovering && self.config.n == 1 {
@@ -687,6 +770,10 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             if should_elect {
                 let from_slot = self.learner.next_deliver();
                 let ballot = self.leader.start_prepare(want_fast, from_slot);
+                self.trace.push(TraceEvent::PrepareStarted {
+                    round: ballot.round,
+                    fast: ballot.is_fast(),
+                });
                 self.highest_ballot = ballot;
                 self.fast_window = None;
                 self.prepare_started = self.now;

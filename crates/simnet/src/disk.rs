@@ -112,6 +112,7 @@ pub struct DiskModel {
     writes: u64,
     log_appends: u64,
     bytes_written: u64,
+    bytes_appended: u64,
     bytes_read: u64,
 }
 
@@ -143,6 +144,7 @@ impl DiskModel {
         match op {
             StableOp::Append { entry, .. } => {
                 self.log_appends += 1;
+                self.bytes_appended += entry.len() as u64;
                 self.config.append_base + self.write_transfer(entry.len() as u64)
             }
             StableOp::Put { value, .. } => {
@@ -179,6 +181,13 @@ impl DiskModel {
     /// Total bytes written.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// Bytes written through sequential log appends alone — the
+    /// numerator of the group-commit coalescing ratio (appended bytes
+    /// per consensus decree).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
     }
 
     /// Total bytes read.
@@ -452,6 +461,7 @@ mod tests {
         assert_eq!(disk.log_appends(), 1);
         assert_eq!(disk.reads(), 1);
         assert_eq!(disk.bytes_written(), 100);
+        assert_eq!(disk.bytes_appended(), 100);
         assert_eq!(disk.bytes_read(), 50);
     }
 }

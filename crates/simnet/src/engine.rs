@@ -15,6 +15,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use obs::{TraceConfig, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -185,6 +186,7 @@ pub struct Engine<M> {
     torn_writes: u64,
     rng: StdRng,
     default_msg_bytes: u64,
+    tracer: Tracer,
 }
 
 impl<M: std::fmt::Debug> Engine<M> {
@@ -206,7 +208,43 @@ impl<M: std::fmt::Debug> Engine<M> {
             torn_writes: 0,
             rng: StdRng::seed_from_u64(seed),
             default_msg_bytes: 512,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the run's trace sink per `config` (disabled by default).
+    ///
+    /// The engine owns the tracer so records are appended in its
+    /// deterministic dispatch order: the trace of a `(seed, config)`
+    /// pair is bit-identical across runs.
+    pub fn enable_tracing(&mut self, config: TraceConfig) {
+        self.tracer = Tracer::new(config);
+    }
+
+    /// The run's trace sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the trace sink (end-of-run extraction, metric
+    /// observations).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Whether tracing is on — lets drivers skip building events whose
+    /// construction is not free.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Records `event` against `node`, stamped with the current
+    /// simulated time. No-op when tracing is off.
+    #[inline]
+    pub fn trace(&mut self, node: NodeId, event: TraceEvent) {
+        self.tracer
+            .emit(self.now.as_micros(), node.index() as u32, event);
     }
 
     /// Current simulated time.
@@ -301,8 +339,23 @@ impl<M: std::fmt::Debug> Engine<M> {
                     },
                 );
                 self.push(at_second, Pending::Message { from, to, payload });
+                self.trace(
+                    from,
+                    TraceEvent::MsgDuplicated {
+                        to: to.index() as u32,
+                    },
+                );
             }
-            Transmission::Dropped => {}
+            Transmission::Dropped(reason) => {
+                self.trace(
+                    from,
+                    TraceEvent::MsgDropped {
+                        to: to.index() as u32,
+                        bytes,
+                        reason: reason.tag(),
+                    },
+                );
+            }
         }
     }
 
@@ -432,6 +485,7 @@ impl<M: std::fmt::Debug> Engine<M> {
         let inc = state.incarnation;
         state.status = NodeStatus::Down;
         state.crashes += 1;
+        self.trace(node, TraceEvent::Crash);
         let torn = self.disk_faults[node.index()]
             .map(|f| f.torn_tail_on_crash)
             .unwrap_or(false);
@@ -471,6 +525,12 @@ impl<M: std::fmt::Debug> Engine<M> {
                 let prefix = bytes[..keep].to_vec();
                 self.torn_writes += 1;
                 self.stores[node.index()].apply(StableOp::Append { log, entry: prefix });
+                self.trace(
+                    node,
+                    TraceEvent::TornWrite {
+                        bytes_kept: keep as u64,
+                    },
+                );
             }
         }
     }
@@ -490,6 +550,8 @@ impl<M: std::fmt::Debug> Engine<M> {
         );
         state.status = NodeStatus::Up;
         state.incarnation = state.incarnation.next();
+        let incarnation = state.incarnation.0;
+        self.trace(node, TraceEvent::Restart { incarnation });
     }
 
     /// Pops the next observable event at or before `limit`.
@@ -537,6 +599,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                 }
                 Pending::DiskWriteFail { node, inc, token } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        self.trace(node, TraceEvent::DiskWriteFailed);
                         return Some((self.now, Event::DiskWriteFailed { node, token }));
                     }
                 }

@@ -46,6 +46,10 @@ mod time;
 
 pub use disk::{DiskConfig, DiskModel, StableLog, StableOp, StableStore};
 pub use engine::{DiskFault, Engine, Event, SimConfig};
-pub use net::{LinkFault, NetConfig, Network, Transmission};
+pub use net::{DropReason, LinkFault, NetConfig, Network, Transmission};
 pub use node::{Incarnation, NodeId, NodeState, NodeStatus};
 pub use time::{SimDuration, SimTime};
+
+// Re-exported so engine drivers can name trace types without adding a
+// direct `obs` dependency.
+pub use obs::{TraceConfig, TraceEvent, TraceRecord, Tracer};

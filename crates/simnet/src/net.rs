@@ -55,8 +55,27 @@ pub enum Transmission {
     /// Deliver twice: the original copy after the first delay and a
     /// duplicate after the second (a retransmitting switch).
     DeliverDup(SimDuration, SimDuration),
-    /// The message is lost (drop or partition).
-    Dropped,
+    /// The message is lost, for the given reason.
+    Dropped(DropReason),
+}
+
+/// Why the network model lost a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link is severed by an explicit partition.
+    Partition,
+    /// Probabilistic loss (link fault or configured drop probability).
+    Loss,
+}
+
+impl DropReason {
+    /// Stable tag used in trace records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DropReason::Partition => "partition",
+            DropReason::Loss => "loss",
+        }
+    }
 }
 
 /// Adversarial per-link fault behaviour, applied on top of the base
@@ -198,7 +217,7 @@ impl Network {
         self.sent += 1;
         if from != to && !self.connected(from, to) {
             self.dropped += 1;
-            return Transmission::Dropped;
+            return Transmission::Dropped(DropReason::Partition);
         }
         let fault = if from == to {
             None
@@ -208,14 +227,14 @@ impl Network {
         if let Some(f) = fault {
             if f.loss > 0.0 && rng.gen::<f64>() < f.loss {
                 self.dropped += 1;
-                return Transmission::Dropped;
+                return Transmission::Dropped(DropReason::Loss);
             }
         }
         if self.config.drop_probability > 0.0 && from != to {
             let p: f64 = rng.gen();
             if p < self.config.drop_probability {
                 self.dropped += 1;
-                return Transmission::Dropped;
+                return Transmission::Dropped(DropReason::Loss);
             }
         }
         self.bytes += size_bytes;
@@ -326,11 +345,11 @@ mod tests {
         let mut r = rng();
         assert_eq!(
             net.transmit(&mut r, NodeId(0), NodeId(1), 1),
-            Transmission::Dropped
+            Transmission::Dropped(DropReason::Partition)
         );
         assert_eq!(
             net.transmit(&mut r, NodeId(1), NodeId(0), 1),
-            Transmission::Dropped
+            Transmission::Dropped(DropReason::Partition)
         );
         net.heal(NodeId(1), NodeId(0));
         assert!(matches!(
@@ -360,7 +379,7 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(
                 net.transmit(&mut r, NodeId(0), NodeId(1), 1),
-                Transmission::Dropped
+                Transmission::Dropped(DropReason::Loss)
             );
         }
         assert_eq!(net.messages_dropped(), 10);
@@ -391,7 +410,7 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(
                 net.transmit(&mut r, NodeId(0), NodeId(1), 1),
-                Transmission::Dropped
+                Transmission::Dropped(DropReason::Loss)
             );
         }
         // The fault is per-link: an unfaulted pair still delivers.

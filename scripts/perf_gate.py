@@ -28,12 +28,31 @@ MIN_SPEEDUP = 1.8
 
 
 def load_runs(path):
-    with open(path) as f:
-        doc = json.load(f)
-    runs = {run["label"]: run for run in doc.get("runs", [])}
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"perf gate: cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf gate: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        sys.exit(f"perf gate: {path} lacks a top-level \"runs\" array")
+    try:
+        runs = {run["label"]: run for run in doc["runs"]}
+    except (KeyError, TypeError):
+        sys.exit(f"perf gate: {path} has a run without a \"label\"")
     if not runs:
         sys.exit(f"perf gate: {path} contains no runs")
     return runs
+
+
+def field(run, key, path):
+    """A run's numeric field, or a clean exit naming what's missing."""
+    value = run.get(key)
+    if not isinstance(value, (int, float)):
+        label = run.get("label", "?")
+        sys.exit(f"perf gate: {path}: run {label!r} lacks numeric {key!r}")
+    return value
 
 
 def main(argv):
@@ -49,8 +68,8 @@ def main(argv):
         if cur is None:
             failures.append(f"{label}: missing from current run")
             continue
-        base_ups = base["updates_per_sec"]
-        cur_ups = cur["updates_per_sec"]
+        base_ups = field(base, "updates_per_sec", argv[1])
+        cur_ups = field(cur, "updates_per_sec", argv[2])
         ratio = cur_ups / base_ups if base_ups else float("inf")
         print(f"{label:<24} {base_ups:>10.1f} {cur_ups:>10.1f} {ratio:>6.2f}x")
         if cur_ups < base_ups * (1.0 - REGRESSION_TOLERANCE):
@@ -63,11 +82,14 @@ def main(argv):
 
     by_batch = {run.get("batch"): run for run in current.values()}
     if 1 in by_batch and 8 in by_batch:
-        speedup = by_batch[8]["updates_per_sec"] / by_batch[1]["updates_per_sec"]
+        ups1 = field(by_batch[1], "updates_per_sec", argv[2])
+        ups8 = field(by_batch[8], "updates_per_sec", argv[2])
+        speedup = ups8 / ups1 if ups1 else float("inf")
         print(f"{'batch-8 speedup':<24} {'':>10} {'':>10} {speedup:>6.2f}x")
         if speedup < MIN_SPEEDUP:
             failures.append(
-                f"batch-8 speedup {speedup:.2f}x fell below {MIN_SPEEDUP}x"
+                f"batch-8 speedup {speedup:.2f}x "
+                f"({ups8:.1f} vs {ups1:.1f} upd/s) fell below {MIN_SPEEDUP}x"
             )
     else:
         failures.append("current run lacks batch=1 and batch=8 points")
