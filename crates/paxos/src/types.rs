@@ -30,9 +30,12 @@ impl Slot {
     /// The first slot.
     pub const ZERO: Slot = Slot(0);
 
-    /// The slot after this one.
+    /// The slot after this one. Saturates at `u64::MAX` instead of
+    /// wrapping: a wrapped slot would re-order the log, while a
+    /// saturated one merely stalls an (unreachable in practice) run
+    /// that consumed 2^64 consensus instances.
     pub fn next(self) -> Slot {
-        Slot(self.0 + 1)
+        Slot(self.0.saturating_add(1))
     }
 }
 
@@ -311,6 +314,17 @@ mod tests {
     fn slot_next_advances() {
         assert_eq!(Slot::ZERO.next(), Slot(1));
         assert!(Slot(3) < Slot(4));
+    }
+
+    #[test]
+    fn slot_next_saturates_instead_of_wrapping() {
+        // Regression: `next()` used unchecked `+ 1`; at u64::MAX that
+        // wraps to Slot(0) in release builds and re-orders the log.
+        assert_eq!(Slot(u64::MAX).next(), Slot(u64::MAX));
+        assert!(
+            Slot(u64::MAX).next() >= Slot(u64::MAX),
+            "monotone at the cap"
+        );
     }
 
     #[test]
