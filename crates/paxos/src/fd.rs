@@ -48,19 +48,21 @@ impl FailureDetector {
     /// Records a heartbeat (or any message treated as liveness evidence)
     /// from `from` at time `now`.
     pub fn heard(&mut self, from: ReplicaId, now: u64) {
-        if from.index() < self.last_heard.len() {
-            self.last_heard[from.index()] = now;
+        if let Some(t) = self.last_heard.get_mut(from.index()) {
+            *t = now;
         }
     }
 
     /// Whether `peer` is currently considered alive at time `now`.
+    /// Unknown replica ids (outside the ensemble) are never alive.
     pub fn is_alive(&self, peer: ReplicaId, now: u64) -> bool {
         if peer == self.id {
             return true;
         }
-        match self.last_heard[peer.index()] {
-            u64::MAX => now.saturating_sub(self.started_at) < self.timeout_us,
-            t => now.saturating_sub(t) < self.timeout_us,
+        match self.last_heard.get(peer.index()) {
+            Some(&u64::MAX) => now.saturating_sub(self.started_at) < self.timeout_us,
+            Some(&t) => now.saturating_sub(t) < self.timeout_us,
+            None => false,
         }
     }
 
@@ -153,6 +155,18 @@ mod tests {
         assert_eq!(d.candidate(now), ReplicaId(2));
         d.heard(ReplicaId(1), now);
         assert_eq!(d.candidate(now), ReplicaId(1));
+    }
+
+    #[test]
+    fn out_of_range_replica_ids_are_harmless() {
+        // Regression: `heard`/`is_alive` indexed `last_heard` with the
+        // raw replica index, so a corrupted or misrouted message naming
+        // a replica outside the ensemble panicked the detector. Unknown
+        // ids are now ignored and never considered alive.
+        let mut d = fd();
+        d.heard(ReplicaId(99), 100);
+        assert!(!d.is_alive(ReplicaId(99), 100));
+        assert_eq!(d.alive_count(100), 5, "grace period unaffected");
     }
 
     #[test]
