@@ -90,7 +90,11 @@ macro_rules! impl_wire_int {
             }
             fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
                 let bytes = take(input, std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                // `take` returns exactly the requested length, so the
+                // conversion cannot fail — but decode paths stay
+                // panic-free, so route the impossible case as an error.
+                let bytes = bytes.try_into().map_err(|_| WireError::UnexpectedEnd)?;
+                Ok(<$t>::from_le_bytes(bytes))
             }
             fn wire_size(&self) -> u64 {
                 std::mem::size_of::<$t>() as u64
@@ -106,7 +110,7 @@ impl Wire for bool {
         buf.push(*self as u8);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        match take(input, 1)?[0] {
+        match u8::decode(input)? {
             0 => Ok(false),
             1 => Ok(true),
             t => Err(WireError::BadTag(t)),
@@ -123,7 +127,8 @@ impl Wire for f64 {
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let bytes = take(input, 8)?;
-        Ok(f64::from_le_bytes(bytes.try_into().expect("sized take")))
+        let bytes = bytes.try_into().map_err(|_| WireError::UnexpectedEnd)?;
+        Ok(f64::from_le_bytes(bytes))
     }
     fn wire_size(&self) -> u64 {
         8
@@ -176,7 +181,7 @@ impl<T: Wire> Wire for Option<T> {
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        match take(input, 1)?[0] {
+        match u8::decode(input)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(input)?)),
             t => Err(WireError::BadTag(t)),
@@ -252,11 +257,10 @@ macro_rules! impl_wire_enum {
                 }
             }
             fn decode(input: &mut &[u8]) -> Result<Self, $crate::WireError> {
-                if input.is_empty() {
+                let Some((&tag, rest)) = input.split_first() else {
                     return Err($crate::WireError::UnexpectedEnd);
-                }
-                let tag = input[0];
-                *input = &input[1..];
+                };
+                *input = rest;
                 match tag {
                     $( $tag => Ok($name::$variant $({ $($field: $crate::Wire::decode(input)?),* })?), )*
                     t => Err($crate::WireError::BadTag(t)),
@@ -313,6 +317,22 @@ mod tests {
         assert_eq!(u64::from_bytes(&[1, 2, 3]), Err(WireError::UnexpectedEnd));
         let s = String::from("abcdef").to_bytes();
         assert_eq!(String::from_bytes(&s[..5]), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn empty_input_errors_on_every_tagged_decode() {
+        // Regression: tag decoding indexed `input[0]`; on adversarially
+        // truncated bytes that panicked the decoder instead of returning
+        // a typed error. All tag reads now go through checked access.
+        assert_eq!(bool::from_bytes(&[]), Err(WireError::UnexpectedEnd));
+        assert_eq!(Option::<u8>::from_bytes(&[]), Err(WireError::UnexpectedEnd));
+        assert_eq!(u8::from_bytes(&[]), Err(WireError::UnexpectedEnd));
+        assert_eq!(f64::from_bytes(&[]), Err(WireError::UnexpectedEnd));
+        // Present-tag Option whose payload is missing.
+        assert_eq!(
+            Option::<u32>::from_bytes(&[1]),
+            Err(WireError::UnexpectedEnd)
+        );
     }
 
     #[test]
