@@ -1,0 +1,285 @@
+//! Waiver configuration: `simlint.toml` and inline allow comments.
+//!
+//! Two waiver channels, both requiring a written justification:
+//!
+//! 1. Inline, next to the code: `// simlint: allow(rule): reason` on the
+//!    flagged line or the line directly above it.
+//! 2. Central, in `simlint.toml` at the workspace root:
+//!
+//!    ```toml
+//!    [[waiver]]
+//!    rule = "wall-clock"
+//!    path = "crates/core/src/runtime.rs"   # whole file …
+//!    line = 295                            # … or one line (optional)
+//!    reason = "LocalCluster is the real-thread runtime, not sim-reachable"
+//!    ```
+//!
+//! Waivers that no longer match any diagnostic are *stale* and are
+//! themselves reported as errors, so the allowlist can only shrink as
+//! code is fixed — it cannot silently rot.
+
+use crate::lexer::Comment;
+
+/// One `[[waiver]]` entry from `simlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub rule: String,
+    pub path: String,
+    /// When `Some`, the waiver covers only this line; otherwise the file.
+    pub line: Option<u32>,
+    pub reason: String,
+    /// Line in `simlint.toml` where this entry starts (for stale reports).
+    pub decl_line: u32,
+}
+
+/// Parse failure for `simlint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Parses the minimal TOML subset used by `simlint.toml`: `[[waiver]]`
+/// tables with `key = "string"` / `key = integer` pairs and `#` comments.
+pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<Waiver> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(w) = current.take() {
+                finish(w, &mut waivers)?;
+            }
+            current = Some(Waiver {
+                rule: String::new(),
+                path: String::new(),
+                line: None,
+                reason: String::new(),
+                decl_line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown table {line}; only [[waiver]] is supported"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+        };
+        let Some(w) = current.as_mut() else {
+            return Err(ConfigError {
+                line: lineno,
+                message: "key outside a [[waiver]] table".into(),
+            });
+        };
+        let key = key.trim();
+        // Strip trailing same-line comments outside strings.
+        let value = strip_comment(value.trim());
+        match key {
+            "rule" => w.rule = unquote(&value, lineno)?,
+            "path" => w.path = unquote(&value, lineno)?,
+            "reason" => w.reason = unquote(&value, lineno)?,
+            "line" => {
+                w.line = Some(value.parse().map_err(|_| ConfigError {
+                    line: lineno,
+                    message: format!("line must be an integer, got {value:?}"),
+                })?)
+            }
+            other => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown waiver key {other:?}"),
+                })
+            }
+        }
+    }
+    if let Some(w) = current.take() {
+        finish(w, &mut waivers)?;
+    }
+    Ok(waivers)
+}
+
+fn finish(w: Waiver, out: &mut Vec<Waiver>) -> Result<(), ConfigError> {
+    if w.rule.is_empty() || w.path.is_empty() {
+        return Err(ConfigError {
+            line: w.decl_line,
+            message: "waiver requires both `rule` and `path`".into(),
+        });
+    }
+    if w.reason.trim().len() < 8 {
+        return Err(ConfigError {
+            line: w.decl_line,
+            message: format!(
+                "waiver for {} at {} needs a written justification (reason >= 8 chars)",
+                w.rule, w.path
+            ),
+        });
+    }
+    out.push(w);
+    Ok(())
+}
+
+fn strip_comment(v: &str) -> String {
+    let mut in_str = false;
+    let mut out = String::new();
+    let mut chars = v.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                out.push(c);
+            }
+            '\\' if in_str => {
+                out.push(c);
+                if let Some(n) = chars.next() {
+                    out.push(n);
+                }
+            }
+            '#' if !in_str => break,
+            c => out.push(c),
+        }
+    }
+    out.trim().to_string()
+}
+
+fn unquote(v: &str, lineno: u32) -> Result<String, ConfigError> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\"))
+    } else {
+        Err(ConfigError {
+            line: lineno,
+            message: format!("expected a quoted string, got {v}"),
+        })
+    }
+}
+
+/// An inline `// simlint: allow(rule, …): reason` comment.
+#[derive(Debug, Clone)]
+pub struct InlineAllow {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// Extracts inline allow directives from a file's comments.
+///
+/// Grammar: `simlint: allow(rule[, rule…])` followed by `:` or `--` and a
+/// justification. Directives missing a justification are returned with an
+/// empty `reason`; the driver rejects them.
+pub fn inline_allows(comments: &[Comment]) -> Vec<InlineAllow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(pos) = text.find("simlint:") else {
+            continue;
+        };
+        let rest = text[pos + "simlint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix(':')
+            .or_else(|| tail.strip_prefix("--"))
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(InlineAllow {
+            line: c.line,
+            rules,
+            reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_waiver_tables() {
+        let src = r#"
+# central allowlist
+[[waiver]]
+rule = "wall-clock"
+path = "crates/core/src/runtime.rs"
+reason = "threaded runtime is not sim-reachable"
+
+[[waiver]]
+rule = "hash-order"
+path = "crates/tpcw/src/population.rs"
+line = 328  # process-global cache
+reason = "cache keyed by params; never iterated"
+"#;
+        let ws = parse_waivers(src).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rule, "wall-clock");
+        assert_eq!(ws[0].line, None);
+        assert_eq!(ws[1].line, Some(328));
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let src = "[[waiver]]\nrule = \"x\"\npath = \"y\"\nreason = \"no\"\n";
+        assert!(parse_waivers(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unquoted_and_unknown_keys() {
+        assert!(parse_waivers("[[waiver]]\nrule = wall-clock\n").is_err());
+        assert!(parse_waivers(
+            "[[waiver]]\nrule = \"r\"\npath = \"p\"\nreason = \"long enough\"\nfoo = \"bar\"\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inline_allow_with_reason() {
+        let lx = lex("let t = now(); // simlint: allow(wall-clock): bench-only timer\n");
+        let allows = inline_allows(&lx.comments);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rules, vec!["wall-clock"]);
+        assert_eq!(allows[0].reason, "bench-only timer");
+    }
+
+    #[test]
+    fn inline_allow_without_reason_is_flagged_empty() {
+        let lx = lex("x(); // simlint: allow(panic-path)\n");
+        let allows = inline_allows(&lx.comments);
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let lx = lex("// simlint: allow(hash-order, wall-clock) -- fixture exercising both\n");
+        let a = inline_allows(&lx.comments);
+        assert_eq!(a[0].rules.len(), 2);
+    }
+}

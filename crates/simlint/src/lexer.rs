@@ -1,0 +1,560 @@
+//! A self-contained Rust lexer for token-level static analysis.
+//!
+//! Produces a token stream with exact (line, column) spans plus a side
+//! list of comments (for inline waiver detection). Strings, raw strings,
+//! byte strings, char literals, and lifetimes are recognized so that
+//! rule patterns never fire inside literals or doc comments. The lexer
+//! does not build an AST — rules in [`crate::rules`] work over token
+//! windows, which is sufficient for the invariants simlint enforces and
+//! keeps the analyzer dependency-free (the build environment is offline,
+//! so `syn` is not available).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `self`, …).
+    Ident(String),
+    /// Numeric literal (value text preserved, suffix included).
+    Number(String),
+    /// String/char/byte literal (contents dropped; only the span matters).
+    Literal,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Operator or punctuation, possibly multi-character (`::`, `+=`, `->`).
+    Punct(&'static str),
+    /// Single punctuation character not in the multi-char table.
+    Char(char),
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        match &self.kind {
+            TokKind::Punct(s) => *s == p,
+            TokKind::Char(c) => p.len() == 1 && p.starts_with(*c),
+            _ => false,
+        }
+    }
+}
+
+/// A comment with its starting line (text excludes the `//` / `/*` markers).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>", "&&", "||", "==", "!=", "<=", ">=",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are consumed to end-of-file (good enough for analysis —
+/// such files will not compile anyway).
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    // Advances over one char, tracking line/col.
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: tline,
+                text: bytes[start..j].iter().collect(),
+            });
+            while i < j {
+                bump!();
+            }
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            let start = i + 2;
+            let mut depth = 1;
+            let mut j = start;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end_text = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: tline,
+                text: bytes[start..end_text].iter().collect(),
+            });
+            while i < j.min(bytes.len()) {
+                bump!();
+            }
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# / br#"..."#, any number of #s.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+            let mut j = i;
+            if bytes[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0;
+            while bytes.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            loop {
+                match bytes.get(j) {
+                    None => break,
+                    Some('"') => {
+                        let mut k = j + 1;
+                        let mut seen = 0;
+                        while seen < hashes && bytes.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                line: tline,
+                col: tcol,
+            });
+            while i < j.min(bytes.len()) {
+                bump!();
+            }
+            continue;
+        }
+
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&'"')) {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            loop {
+                match bytes.get(j) {
+                    None => break,
+                    Some('\\') => j += 2,
+                    Some('"') => {
+                        j += 1;
+                        break;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                line: tline,
+                col: tcol,
+            });
+            while i < j.min(bytes.len()) {
+                bump!();
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                // 'x' is a char literal iff a closing quote follows the
+                // ident run; otherwise it is a lifetime.
+                Some(n) if n != '\'' && (n.is_alphanumeric() || n == '_') => {
+                    let mut j = i + 1;
+                    while bytes
+                        .get(j)
+                        .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_')
+                    {
+                        j += 1;
+                    }
+                    bytes.get(j) == Some(&'\'')
+                }
+                // e.g. '(' — only valid as a char literal.
+                _ => true,
+            };
+            if is_char {
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some('\\') => j += 2,
+                        Some('\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line: tline,
+                    col: tcol,
+                });
+                while i < j.min(bytes.len()) {
+                    bump!();
+                }
+            } else {
+                let mut j = i + 1;
+                while bytes
+                    .get(j)
+                    .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_')
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    line: tline,
+                    col: tcol,
+                });
+                while i < j {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while bytes
+                .get(j)
+                .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_')
+            {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident(bytes[i..j].iter().collect()),
+                line: tline,
+                col: tcol,
+            });
+            while i < j {
+                bump!();
+            }
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while bytes
+                .get(j)
+                .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_' || *ch == '.')
+            {
+                // Stop a trailing `..` range from being eaten into the number.
+                if *ch_at(&bytes, j) == '.' && bytes.get(j + 1) == Some(&'.') {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Number(bytes[i..j].iter().collect()),
+                line: tline,
+                col: tcol,
+            });
+            while i < j {
+                bump!();
+            }
+            continue;
+        }
+
+        // Multi-char punctuation.
+        let mut matched = None;
+        for p in MULTI_PUNCT {
+            let pc: Vec<char> = p.chars().collect();
+            if bytes[i..].starts_with(&pc) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        if let Some(p) = matched {
+            out.tokens.push(Token {
+                kind: TokKind::Punct(p),
+                line: tline,
+                col: tcol,
+            });
+            for _ in 0..p.len() {
+                bump!();
+            }
+            continue;
+        }
+
+        out.tokens.push(Token {
+            kind: TokKind::Char(c),
+            line: tline,
+            col: tcol,
+        });
+        bump!();
+    }
+
+    out
+}
+
+fn ch_at(bytes: &[char], j: usize) -> &char {
+    &bytes[j]
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Line spans (inclusive) of test-only code: items annotated with
+/// `#[cfg(test)]` or `#[test]`, including everything inside their braces.
+/// Rules skip diagnostics inside these spans — test code may freely
+/// unwrap, print, and use wall-clock time.
+pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        if tokens[idx].is_punct("#") && tokens.get(idx + 1).is_some_and(|t| t.is_punct("[")) {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = idx + 2;
+            let mut depth = 1;
+            let mut is_test_attr = false;
+            let mut saw_cfg = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                } else if let Some(id) = tokens[j].ident() {
+                    if id == "cfg" {
+                        saw_cfg = true;
+                    }
+                    if id == "test" {
+                        // `#[test]` directly, or `test` inside `#[cfg(...)]`.
+                        if saw_cfg || j == idx + 2 {
+                            is_test_attr = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Skip any further attributes, then span the next item.
+                let mut k = j;
+                while k < tokens.len()
+                    && tokens[k].is_punct("#")
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+                {
+                    let mut d = 0;
+                    k += 1;
+                    loop {
+                        if k >= tokens.len() {
+                            break;
+                        }
+                        if tokens[k].is_punct("[") {
+                            d += 1;
+                        } else if tokens[k].is_punct("]") {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the item's opening brace (or a terminating `;` for
+                // brace-less items like `mod tests;`).
+                let mut open = None;
+                while k < tokens.len() {
+                    if tokens[k].is_punct("{") {
+                        open = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct(";") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(open_idx) = open {
+                    let mut d = 0;
+                    let mut end = open_idx;
+                    for (n, t) in tokens.iter().enumerate().skip(open_idx) {
+                        if t.is_punct("{") {
+                            d += 1;
+                        } else if t.is_punct("}") {
+                            d -= 1;
+                            if d == 0 {
+                                end = n;
+                                break;
+                            }
+                        }
+                    }
+                    spans.push((tokens[idx].line, tokens[end].line));
+                    idx = end + 1;
+                    continue;
+                }
+            }
+            idx = j;
+            continue;
+        }
+        idx += 1;
+    }
+    spans
+}
+
+/// Whether `line` falls inside any of `spans`.
+pub fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|(a, b)| line >= *a && line <= *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let lx = lex(r##"let s = "HashMap"; // HashMap in comment
+let r = r#"Instant::now()"#; /* SystemTime */ let x = 1;"##);
+        let idents: Vec<_> = lx.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert!(!idents.contains(&"HashMap"));
+        assert!(!idents.contains(&"Instant"));
+        assert!(!idents.contains(&"SystemTime"));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn multi_char_punct_and_spans() {
+        let lx = lex("a += 1;\nb -> c;");
+        assert!(lx.tokens.iter().any(|t| t.is_punct("+=")));
+        assert!(lx.tokens.iter().any(|t| t.is_punct("->")));
+        let arrow = lx.tokens.iter().find(|t| t.is_punct("->")).unwrap();
+        assert_eq!(arrow.line, 2);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_module() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lx = lex(src);
+        let spans = test_spans(&lx.tokens);
+        assert_eq!(spans.len(), 1);
+        assert!(in_spans(&spans, 4));
+        assert!(!in_spans(&spans, 1));
+        assert!(!in_spans(&spans, 6));
+    }
+
+    #[test]
+    fn test_attr_fn_span() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn real() {}\n";
+        let lx = lex(src);
+        let spans = test_spans(&lx.tokens);
+        assert!(in_spans(&spans, 2));
+        assert!(!in_spans(&spans, 3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"x\")]\nfn real() { a.unwrap(); }\n";
+        let lx = lex(src);
+        assert!(test_spans(&lx.tokens).is_empty());
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let lx = lex(r###"let x = r##"quote " inside"##; let y = 2;"###);
+        let nums = lx
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Number(_)))
+            .count();
+        assert_eq!(nums, 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! The rule set: repo-specific determinism and safety invariants that
+//! clippy cannot express (scoping by crate role, protocol-path panic
+//! freedom, slot/watermark arithmetic discipline).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{in_spans, test_spans, Lexed, TokKind, Token};
+
+/// Crates whose state or iteration order is visible to the simulation:
+/// a hash-ordered container here can silently break same-seed replay.
+pub const SIM_STATE_CRATES: &[&str] = &["paxos", "core", "cluster", "simnet"];
+
+/// Crates reachable from simulated execution: wall-clock time or OS
+/// entropy here breaks deterministic replay. Only `simnet` clock/RNG
+/// handles may introduce time and randomness.
+pub const SIM_REACHABLE_CRATES: &[&str] = &[
+    "paxos",
+    "core",
+    "cluster",
+    "simnet",
+    "tpcw",
+    "robuststore",
+    "faultload",
+    "obs",
+];
+
+/// Protocol message-handling files: a panic here kills a replica outside
+/// the fault model, invisible to the invariant auditor. Errors must be
+/// routed through typed events instead.
+pub const PANIC_PATH_FILES: &[&str] = &[
+    "crates/paxos/src/replica.rs",
+    "crates/paxos/src/acceptor.rs",
+    "crates/paxos/src/leader.rs",
+    "crates/paxos/src/learner.rs",
+    "crates/paxos/src/proposer.rs",
+    "crates/paxos/src/fd.rs",
+    "crates/paxos/src/msg.rs",
+    "crates/core/src/middleware.rs",
+    "crates/core/src/wire.rs",
+    "crates/core/src/codec.rs",
+    "crates/core/src/queue.rs",
+];
+
+/// Identifier fragments that mark consensus-ordinal arithmetic.
+const ORDINAL_NAMES: &[&str] = &["slot", "watermark", "generation"];
+
+/// Metadata for one rule.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-order",
+        summary: "no std HashMap/HashSet in sim-visible crates (paxos, core, cluster, simnet)",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "no wall-clock time or OS entropy reachable from the simulation",
+    },
+    RuleInfo {
+        name: "panic-path",
+        summary: "no unwrap/expect/panic/indexing in protocol message-handling paths",
+    },
+    RuleInfo {
+        name: "io-println",
+        summary: "no raw println!/eprintln! in library crates (use obs or the bench Console)",
+    },
+    RuleInfo {
+        name: "unchecked-slot-arith",
+        summary: "slot/watermark/generation arithmetic must use checked or saturating ops",
+    },
+];
+
+/// Whether `name` is a known rule slug.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+const HELP_HASH_ORDER: &str = "use BTreeMap/BTreeSet (or a vendored IndexMap) so iteration order \
+     is deterministic across runs; waive with `// simlint: allow(hash-order): <why>` only for \
+     state that is provably never iterated";
+const HELP_WALL_CLOCK: &str = "take time from the simnet clock handle and randomness from the \
+     seeded simnet RNG; real-thread runtimes outside the simulation need a simlint.toml waiver";
+const HELP_PANIC_PATH: &str = "route the failure through a typed error event so the invariant \
+     auditor observes it; use get()/checked access instead of indexing";
+const HELP_IO_PRINTLN: &str = "emit through obs trace/metrics or the bench Console; raw stdout \
+     from library code corrupts --json output and bypasses --quiet";
+const HELP_SLOT_ARITH: &str = "use checked_add/checked_sub/saturating_sub so ordinal overflow \
+     or underflow is an explicit decision, not a silent wrap (or debug panic)";
+
+/// Context for a single file scan.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with forward slashes.
+    pub rel_path: &'a str,
+    /// Crate name derived from the path (`core`, `paxos`, …), or the
+    /// root package marker `"."`.
+    pub crate_name: &'a str,
+    /// Raw source, for snippets.
+    pub src: &'a str,
+}
+
+/// Runs every rule over one lexed file. Test spans (`#[cfg(test)]`,
+/// `#[test]`) are exempt from all rules.
+pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
+    let spans = test_spans(&lexed.tokens);
+    let lines: Vec<&str> = ctx.src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+
+    let in_bin = ctx.rel_path.contains("/bin/");
+    let hash_scope = SIM_STATE_CRATES.contains(&ctx.crate_name);
+    let clock_scope = SIM_REACHABLE_CRATES.contains(&ctx.crate_name) || ctx.crate_name == ".";
+    let panic_scope = PANIC_PATH_FILES.contains(&ctx.rel_path);
+    let println_scope = ctx.crate_name != "bench" && ctx.crate_name != "simlint" && !in_bin;
+    let arith_scope = SIM_STATE_CRATES.contains(&ctx.crate_name);
+
+    // Spans of `impl … Slot/Watermark …` blocks: inside them, `self`
+    // arithmetic counts as ordinal arithmetic even though the receiver
+    // is spelled `self.0`.
+    let ordinal_impls = ordinal_impl_spans(toks);
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_spans(&spans, t.line) {
+            continue;
+        }
+
+        // --- hash-order ---------------------------------------------------
+        if hash_scope {
+            if let Some(id) = t.ident() {
+                if id == "HashMap" || id == "HashSet" {
+                    out.push(Diagnostic {
+                        rule: "hash-order",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{id}` in sim-visible crate `{}`: hash iteration order varies \
+                             across runs and breaks same-seed determinism",
+                            ctx.crate_name
+                        ),
+                        snippet: snippet(t.line),
+                        help: HELP_HASH_ORDER,
+                    });
+                }
+            }
+        }
+
+        // --- wall-clock ---------------------------------------------------
+        if clock_scope {
+            if let Some(id) = t.ident() {
+                let flagged: Option<String> = match id {
+                    "SystemTime" => Some("std::time::SystemTime".into()),
+                    "Instant" => Some("std::time::Instant".into()),
+                    "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                        Some(format!("OS entropy source `{id}`"))
+                    }
+                    "random" if prev_is_path(toks, i, "rand") => Some("rand::random".into()),
+                    "var" | "var_os" | "vars" if prev_is_path(toks, i, "env") => {
+                        Some(format!("environment read `env::{id}`"))
+                    }
+                    _ => None,
+                };
+                if let Some(what) = flagged {
+                    out.push(Diagnostic {
+                        rule: "wall-clock",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "{what} in sim-reachable crate `{}`: nondeterministic input \
+                             outside the simnet clock/RNG",
+                            ctx.crate_name
+                        ),
+                        snippet: snippet(t.line),
+                        help: HELP_WALL_CLOCK,
+                    });
+                }
+            }
+        }
+
+        // --- panic-path ---------------------------------------------------
+        if panic_scope {
+            if let Some(id) = t.ident() {
+                // `.unwrap()` / `.expect(`
+                if (id == "unwrap" || id == "expect")
+                    && i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    out.push(Diagnostic {
+                        rule: "panic-path",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{id}()` on a protocol message-handling path: a panic here \
+                             kills the replica outside the fault model"
+                        ),
+                        snippet: snippet(t.line),
+                        help: HELP_PANIC_PATH,
+                    });
+                }
+                // panic-family macros
+                if matches!(id, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                {
+                    out.push(Diagnostic {
+                        rule: "panic-path",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!("`{id}!` on a protocol message-handling path"),
+                        snippet: snippet(t.line),
+                        help: HELP_PANIC_PATH,
+                    });
+                }
+            }
+            // Indexing / slicing: `expr[...]` can panic on out-of-range.
+            if t.is_punct("[") && i >= 1 {
+                let prev = &toks[i - 1];
+                let prev_is_expr_end = match &prev.kind {
+                    TokKind::Ident(id) => !is_keyword(id),
+                    TokKind::Punct(p) => *p == "]",
+                    TokKind::Char(c) => *c == ')' || *c == ']' || *c == '?',
+                    _ => false,
+                };
+                if prev_is_expr_end {
+                    out.push(Diagnostic {
+                        rule: "panic-path",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: "index/slice expression on a protocol message-handling path \
+                                  can panic on out-of-range input"
+                            .into(),
+                        snippet: snippet(t.line),
+                        help: HELP_PANIC_PATH,
+                    });
+                }
+            }
+        }
+
+        // --- io-println ---------------------------------------------------
+        if println_scope {
+            if let Some(id) = t.ident() {
+                if matches!(id, "println" | "eprintln" | "print" | "eprint" | "dbg")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                {
+                    out.push(Diagnostic {
+                        rule: "io-println",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!("raw `{id}!` in library crate `{}`", ctx.crate_name),
+                        snippet: snippet(t.line),
+                        help: HELP_IO_PRINTLN,
+                    });
+                }
+            }
+        }
+
+        // --- unchecked-slot-arith ----------------------------------------
+        if arith_scope {
+            let op = match &t.kind {
+                TokKind::Punct(p) if matches!(*p, "+=" | "-=" | "*=") => Some(*p),
+                TokKind::Char(c) if matches!(c, '+' | '-' | '*') => Some(match c {
+                    '+' => "+",
+                    '-' => "-",
+                    _ => "*",
+                }),
+                _ => None,
+            };
+            if let Some(op) = op {
+                // `*` is deref/multiply-ambiguous and `-` can be unary:
+                // require an expression terminator on the left so only
+                // binary uses are considered.
+                let left_end = i.checked_sub(1).map(|j| &toks[j]);
+                let left_is_expr = left_end.is_some_and(|p| match &p.kind {
+                    TokKind::Ident(id) => !is_keyword(id),
+                    TokKind::Number(_) => true,
+                    TokKind::Punct(p) => *p == "]",
+                    TokKind::Char(c) => *c == ')' || *c == ']',
+                    _ => false,
+                }) || matches!(op, "+=" | "-=" | "*=");
+                if left_is_expr && ordinal_operand(toks, i, &ordinal_impls, t.line) {
+                    out.push(Diagnostic {
+                        rule: "unchecked-slot-arith",
+                        path: ctx.rel_path.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "unchecked `{op}` on slot/watermark/generation ordinal: overflow \
+                             wraps in release builds and corrupts consensus ordering"
+                        ),
+                        snippet: snippet(t.line),
+                        help: HELP_SLOT_ARITH,
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Whether token `i` is preceded by `prefix ::` (e.g. `rand :: random`).
+fn prev_is_path(toks: &[Token], i: usize, prefix: &str) -> bool {
+    i >= 2
+        && toks[i - 1].is_punct("::")
+        && toks[i - 2].ident().is_some_and(|id| {
+            id == prefix
+                // also match `std::env::var`
+                || (prefix == "env" && id == "env")
+        })
+}
+
+fn is_keyword(id: &str) -> bool {
+    matches!(
+        id,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "let"
+            | "mut"
+            | "fn"
+            | "in"
+            | "for"
+            | "while"
+            | "loop"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+            | "impl"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "ref"
+            | "move"
+            | "unsafe"
+    )
+}
+
+fn name_is_ordinal(id: &str) -> bool {
+    let lower = id.to_ascii_lowercase();
+    ORDINAL_NAMES.iter().any(|n| lower.contains(n))
+}
+
+/// Line spans of `impl` blocks whose target type name is ordinal-like
+/// (`impl Slot { … }`): `self` arithmetic inside them is ordinal
+/// arithmetic even without a named operand.
+fn ordinal_impl_spans(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident() == Some("impl") {
+            let mut j = i + 1;
+            let mut ordinal = false;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                if let Some(id) = toks[j].ident() {
+                    if name_is_ordinal(id) {
+                        ordinal = true;
+                    }
+                }
+                j += 1;
+            }
+            if ordinal && j < toks.len() && toks[j].is_punct("{") {
+                let mut d = 0;
+                let mut end = j;
+                for (n, t) in toks.iter().enumerate().skip(j) {
+                    if t.is_punct("{") {
+                        d += 1;
+                    } else if t.is_punct("}") {
+                        d -= 1;
+                        if d == 0 {
+                            end = n;
+                            break;
+                        }
+                    }
+                }
+                spans.push((toks[j].line, toks[end].line));
+                i = j + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether the ordinal identifier at `k` is only the *receiver* of a
+/// method call (`slot.wire_size()`): the call's result has an unknown
+/// type, so arithmetic on it is not ordinal arithmetic. Field accesses
+/// (`slot.0`, `meta.generation`) still count.
+fn is_method_receiver(toks: &[Token], k: usize) -> bool {
+    toks.get(k + 1).is_some_and(|t| t.is_punct("."))
+        && toks.get(k + 2).is_some_and(|t| t.ident().is_some())
+        && toks.get(k + 3).is_some_and(|t| t.is_punct("("))
+}
+
+/// Whether the arithmetic at operator index `i` involves an ordinal
+/// operand: an identifier containing slot/watermark/generation within
+/// the postfix chains on either side, or `self` inside an ordinal impl.
+fn ordinal_operand(toks: &[Token], i: usize, ordinal_impls: &[(u32, u32)], line: u32) -> bool {
+    let in_ordinal_impl = in_spans(ordinal_impls, line);
+    // Scan left over a postfix chain: ident . ident . 0 ) ] ?
+    let mut j = i;
+    let mut steps = 0;
+    while j > 0 && steps < 8 {
+        j -= 1;
+        steps += 1;
+        match &toks[j].kind {
+            TokKind::Ident(id) => {
+                if name_is_ordinal(id) && !is_method_receiver(toks, j) {
+                    return true;
+                }
+                if id == "self" && in_ordinal_impl {
+                    return true;
+                }
+                if is_keyword(id) {
+                    break;
+                }
+                // continue through `a.b` chains only when preceded by `.`
+                if j == 0 || !toks[j - 1].is_punct(".") {
+                    break;
+                }
+            }
+            TokKind::Number(_) => {
+                if j == 0 || !toks[j - 1].is_punct(".") {
+                    break;
+                }
+            }
+            TokKind::Punct(p) if *p == "]" => {}
+            TokKind::Char(c) if *c == ')' || *c == ']' || *c == '?' || *c == '.' => {}
+            TokKind::Punct(p) if *p == "." => {}
+            _ => break,
+        }
+    }
+    // Scan right over the first operand after the operator.
+    let mut j = i + 1;
+    let mut steps = 0;
+    while j < toks.len() && steps < 8 {
+        match &toks[j].kind {
+            TokKind::Ident(id) => {
+                if name_is_ordinal(id) && !is_method_receiver(toks, j) {
+                    return true;
+                }
+                if id == "self" && in_ordinal_impl {
+                    // `… + self.0` inside impl Slot
+                    return true;
+                }
+                if is_keyword(id) {
+                    return false;
+                }
+            }
+            TokKind::Number(_) => {}
+            TokKind::Char(c) if *c == '.' || *c == '(' || *c == '&' => {}
+            TokKind::Punct(p) if *p == "::" || *p == "." => {}
+            _ => return false,
+        }
+        j += 1;
+        steps += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(crate_name: &str, rel_path: &str, src: &str) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        check_file(
+            &FileCtx {
+                rel_path,
+                crate_name,
+                src,
+            },
+            &lexed,
+        )
+    }
+
+    #[test]
+    fn hash_order_fires_in_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 1);
+        assert_eq!(check("bench", "crates/bench/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn wall_clock_catches_instant_and_rand() {
+        let src = "let t = std::time::Instant::now();\nlet r = rand::random::<u8>();\n";
+        let diags = check("core", "crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn panic_path_scoped_to_protocol_files() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert_eq!(check("paxos", "crates/paxos/src/replica.rs", src).len(), 1);
+        assert_eq!(check("paxos", "crates/paxos/src/config.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn panic_path_indexing() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        let diags = check("core", "crates/core/src/wire.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("index"));
+    }
+
+    #[test]
+    fn indexing_ignores_attributes_types_and_macros() {
+        // Attribute `#[…]`, array type `[u8; 4]`, and macro `vec![…]` are
+        // not index expressions: the token before `[` is `#`, `:`, `!`.
+        let src = "#[derive(Debug)]\nstruct S { buf: [u8; 4] }\nfn f() -> Vec<u8> { vec![1] }\n";
+        assert_eq!(check("core", "crates/core/src/wire.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn println_in_library() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(check("cluster", "crates/cluster/src/x.rs", src).len(), 1);
+        assert_eq!(check("bench", "crates/bench/src/x.rs", src).len(), 0);
+        assert_eq!(
+            check("bench", "crates/bench/src/bin/exp_x.rs", src).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn slot_arith_flags_bare_ops() {
+        let src = "fn f(slot: u64) -> u64 { slot + 1 }\n";
+        let d = check("paxos", "crates/paxos/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unchecked-slot-arith");
+    }
+
+    #[test]
+    fn slot_arith_allows_checked() {
+        let src = "fn f(slot: u64) -> Option<u64> { slot.checked_add(1) }\n";
+        assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn slot_arith_in_ordinal_impl_self() {
+        let src = "impl Slot { fn next(self) -> Slot { Slot(self.0 + 1) } }\n";
+        let d = check("paxos", "crates/paxos/src/types.rs", src);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn plain_counter_arith_not_flagged() {
+        let src = "fn f(count: u64) -> u64 { count + 1 }\n";
+        assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::<u8,u8>::new(); m.len(); }\n}\n";
+        assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 0);
+    }
+}

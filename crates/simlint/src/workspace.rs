@@ -1,0 +1,223 @@
+//! Workspace enumeration and the analysis driver: scan files, run rules,
+//! apply waivers, detect stale waivers, build the report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{inline_allows, parse_waivers, ConfigError};
+use crate::diag::Diagnostic;
+use crate::lexer::lex;
+use crate::rules::{check_file, is_known_rule, FileCtx};
+
+/// A waiver that matched nothing (or is malformed) — itself an error.
+#[derive(Debug, Clone)]
+pub struct StaleWaiver {
+    /// Where the waiver is declared (`simlint.toml:12` or `file.rs:34`).
+    pub declared_at: String,
+    pub rule: String,
+    pub message: String,
+}
+
+/// Full analysis result for one run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived violations (cause a non-zero exit).
+    pub errors: Vec<Diagnostic>,
+    /// Violations suppressed by a waiver, with the justification.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// Stale or malformed waivers (also cause a non-zero exit).
+    pub stale: Vec<StaleWaiver>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run should exit non-zero.
+    pub fn failed(&self) -> bool {
+        !self.errors.is_empty() || !self.stale.is_empty()
+    }
+}
+
+/// Collects the `.rs` files simlint analyzes: `src/**` of the root
+/// package and every `crates/*` member. Excluded: vendored `shims/`,
+/// `target/`, integration `tests/`, `examples/`, fixture corpora.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            // simlint's own sources document the waiver syntax and rule
+            // patterns in prose; it is a host-side tool, never part of
+            // the simulation, so it is not scanned.
+            .filter(|p| p.file_name().is_none_or(|n| n != "simlint"))
+            .map(|p| p.join("src"))
+            .collect();
+        members.sort();
+        roots.extend(members);
+    }
+    for r in roots {
+        walk(&r, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Derives the crate name from a repo-relative path:
+/// `crates/<name>/src/…` → `<name>`, root `src/…` → `"."`.
+pub fn crate_of(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or(".")
+    } else {
+        "."
+    }
+}
+
+/// Runs the full analysis over `root`, applying waivers from
+/// `waiver_src` (the contents of `simlint.toml`, empty string if absent).
+pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
+    let waivers = parse_waivers(waiver_src)?;
+    for w in &waivers {
+        if !is_known_rule(&w.rule) {
+            return Err(ConfigError {
+                line: w.decl_line,
+                message: format!("waiver names unknown rule {:?}", w.rule),
+            });
+        }
+    }
+    let files = collect_files(root);
+    let mut report = Report::default();
+    let mut waiver_hits = vec![0usize; waivers.len()];
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let lexed = lex(&src);
+        let diags = check_file(
+            &FileCtx {
+                rel_path: &rel,
+                crate_name: crate_of(&rel),
+                src: &src,
+            },
+            &lexed,
+        );
+        let allows = inline_allows(&lexed.comments);
+
+        // Track inline allow usage for stale detection.
+        let mut allow_hits = vec![0usize; allows.len()];
+        for (ai, a) in allows.iter().enumerate() {
+            for r in &a.rules {
+                if !is_known_rule(r) {
+                    report.stale.push(StaleWaiver {
+                        declared_at: format!("{rel}:{}", a.line),
+                        rule: r.clone(),
+                        message: format!("inline allow names unknown rule {r:?}"),
+                    });
+                }
+            }
+            if a.reason.trim().len() < 8 {
+                report.stale.push(StaleWaiver {
+                    declared_at: format!("{rel}:{}", a.line),
+                    rule: a.rules.join(","),
+                    message: "inline allow needs a written justification \
+                              (`// simlint: allow(rule): why`)"
+                        .into(),
+                });
+                // Do not let an unjustified allow suppress anything.
+                allow_hits[ai] = usize::MAX;
+            }
+        }
+
+        'diag: for d in diags {
+            // Inline allows cover the flagged line and the line below the
+            // comment (comment-above style).
+            for (ai, a) in allows.iter().enumerate() {
+                if allow_hits[ai] == usize::MAX {
+                    continue;
+                }
+                if (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule)
+                {
+                    allow_hits[ai] += 1;
+                    report.waived.push((d, a.reason.clone()));
+                    continue 'diag;
+                }
+            }
+            // Central waivers.
+            for (wi, w) in waivers.iter().enumerate() {
+                if w.rule == d.rule && w.path == d.path && w.line.is_none_or(|l| l == d.line) {
+                    waiver_hits[wi] += 1;
+                    report.waived.push((d, w.reason.clone()));
+                    continue 'diag;
+                }
+            }
+            report.errors.push(d);
+        }
+
+        for (ai, a) in allows.iter().enumerate() {
+            if allow_hits[ai] == 0 {
+                report.stale.push(StaleWaiver {
+                    declared_at: format!("{rel}:{}", a.line),
+                    rule: a.rules.join(","),
+                    message: "inline allow matches no diagnostic — remove it (stale waiver)".into(),
+                });
+            }
+        }
+    }
+
+    for (wi, w) in waivers.iter().enumerate() {
+        if waiver_hits[wi] == 0 {
+            let exists = root.join(&w.path).exists();
+            report.stale.push(StaleWaiver {
+                declared_at: format!("simlint.toml:{}", w.decl_line),
+                rule: w.rule.clone(),
+                message: if exists {
+                    format!(
+                        "waiver for {} at {} matches no diagnostic — remove it (stale waiver)",
+                        w.rule, w.path
+                    )
+                } else {
+                    format!("waiver points at missing file {}", w.path)
+                },
+            });
+        }
+    }
+
+    Ok(report)
+}
+
+/// Repo-relative path with forward slashes.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/paxos/src/replica.rs"), "paxos");
+        assert_eq!(crate_of("src/lib.rs"), ".");
+    }
+}

@@ -1,0 +1,240 @@
+//! Fixture-corpus integration tests: each rule is exercised against a
+//! committed mini-workspace with seeded violations (`bad_ws`), a clean
+//! twin (`good_ws`), and an inline-waiver case (`waived_ws`); the CLI
+//! binary is run end-to-end for exit codes and the `--json` schema; and
+//! the real repository is linted with its committed `simlint.toml` so a
+//! new violation or a stale waiver fails `cargo test` as well as CI.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use simlint::workspace::analyze;
+use simlint::{report_to_json, JSON_VERSION};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn rule_count(report: &simlint::workspace::Report, rule: &str) -> usize {
+    report.errors.iter().filter(|d| d.rule == rule).count()
+}
+
+#[test]
+fn bad_workspace_flags_every_seeded_violation() {
+    let report = analyze(&fixture("bad_ws"), "").expect("analyze");
+    assert!(report.failed(), "seeded violations must fail the lint");
+    // Exact counts pin both the detectors and their span logic: the
+    // `#[cfg(test)]` Instant in clock.rs must NOT be in these numbers.
+    assert_eq!(rule_count(&report, "hash-order"), 2, "import + signature");
+    assert_eq!(
+        rule_count(&report, "wall-clock"),
+        2,
+        "Instant + rand::random"
+    );
+    assert_eq!(
+        rule_count(&report, "panic-path"),
+        3,
+        "indexing + unwrap + panic!"
+    );
+    assert_eq!(rule_count(&report, "io-println"), 2, "println + eprintln");
+    assert_eq!(rule_count(&report, "unchecked-slot-arith"), 1, "slot + 1");
+    assert_eq!(report.errors.len(), 10);
+    assert!(report.waived.is_empty());
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn good_workspace_is_clean() {
+    let report = analyze(&fixture("good_ws"), "").expect("analyze");
+    assert!(!report.failed());
+    assert!(
+        report.errors.is_empty(),
+        "clean twin must produce no diagnostics"
+    );
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn justified_inline_allow_waives_without_going_stale() {
+    let report = analyze(&fixture("waived_ws"), "").expect("analyze");
+    assert!(
+        !report.failed(),
+        "waived violation must not fail: {report:?}"
+    );
+    assert!(report.errors.is_empty());
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].0.rule, "unchecked-slot-arith");
+    assert!(report.waived[0].1.contains("inline waiver path"));
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn toml_waiver_suppresses_matching_diagnostics() {
+    let waivers = r#"
+        [[waiver]]
+        rule = "io-println"
+        path = "crates/tpcw/src/debug.rs"
+        reason = "fixture-level exemption used by the waiver test"
+    "#;
+    let report = analyze(&fixture("bad_ws"), waivers).expect("analyze");
+    assert_eq!(rule_count(&report, "io-println"), 0);
+    assert_eq!(report.waived.len(), 2);
+    assert_eq!(report.errors.len(), 8, "other rules still fire");
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn line_scoped_toml_waiver_covers_only_that_line() {
+    // debug.rs: println! on line 5, eprintln! on line 6.
+    let waivers = r#"
+        [[waiver]]
+        rule = "io-println"
+        path = "crates/tpcw/src/debug.rs"
+        line = 5
+        reason = "only the first print is exempted here"
+    "#;
+    let report = analyze(&fixture("bad_ws"), waivers).expect("analyze");
+    assert_eq!(rule_count(&report, "io-println"), 1);
+    assert_eq!(report.waived.len(), 1);
+    assert_eq!(report.waived[0].0.line, 5);
+}
+
+#[test]
+fn stale_toml_waiver_is_an_error() {
+    let waivers = r#"
+        [[waiver]]
+        rule = "hash-order"
+        path = "crates/paxos/src/replica.rs"
+        reason = "nothing in the clean tree matches this entry"
+    "#;
+    let report = analyze(&fixture("good_ws"), waivers).expect("analyze");
+    assert!(report.failed(), "a waiver matching nothing must fail");
+    assert_eq!(report.stale.len(), 1);
+    assert!(report.stale[0].message.contains("stale waiver"));
+}
+
+#[test]
+fn waiver_for_missing_file_reports_the_path() {
+    let waivers = r#"
+        [[waiver]]
+        rule = "hash-order"
+        path = "crates/paxos/src/gone.rs"
+        reason = "this file was deleted but the waiver lingered"
+    "#;
+    let report = analyze(&fixture("good_ws"), waivers).expect("analyze");
+    assert!(report.failed());
+    assert!(report.stale[0].message.contains("missing file"));
+}
+
+#[test]
+fn waiver_naming_unknown_rule_is_a_config_error() {
+    let waivers = r#"
+        [[waiver]]
+        rule = "no-such-rule"
+        path = "crates/paxos/src/replica.rs"
+        reason = "long enough reason, wrong rule name"
+    "#;
+    let err = analyze(&fixture("bad_ws"), waivers).expect_err("must reject");
+    assert!(err.message.contains("unknown rule"));
+}
+
+#[test]
+fn json_report_matches_schema() {
+    let report = analyze(&fixture("bad_ws"), "").expect("analyze");
+    let doc = report_to_json(&report);
+    // Stable top-level schema the CI job and external tooling key on.
+    for key in [
+        "\"version\"",
+        "\"tool\": \"simlint\"",
+        "\"rules\"",
+        "\"diagnostics\"",
+        "\"waived\"",
+        "\"stale_waivers\"",
+        "\"summary\"",
+    ] {
+        assert!(doc.contains(key), "missing {key} in:\n{doc}");
+    }
+    assert!(doc.contains(&format!("\"version\": {JSON_VERSION}")));
+    assert!(doc.contains("\"errors\": 10"));
+    // Every diagnostic row carries the fields a consumer needs to locate it.
+    for field in [
+        "\"rule\":",
+        "\"path\":",
+        "\"line\":",
+        "\"col\":",
+        "\"message\":",
+    ] {
+        assert!(doc.contains(field), "diagnostic rows need {field}");
+    }
+}
+
+#[test]
+fn cli_fails_on_seeded_violations_and_passes_clean_tree() {
+    // The negative test the CI job relies on: the binary itself (not
+    // just the library) must exit non-zero on the seeded corpus.
+    let bad = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture("bad_ws"))
+        .arg("--quiet")
+        .output()
+        .expect("run simlint");
+    assert_eq!(bad.status.code(), Some(1), "bad_ws must exit 1");
+
+    let good = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture("good_ws"))
+        .args(["--json", "-"])
+        .output()
+        .expect("run simlint");
+    assert_eq!(good.status.code(), Some(0), "good_ws must exit 0");
+    let stdout = String::from_utf8(good.stdout).expect("utf8 json");
+    assert!(stdout.contains("\"errors\": 0"));
+    assert!(
+        !stdout.contains("simlint: "),
+        "--json - must keep stdout pure JSON"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_arguments_with_usage_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run simlint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repository_is_clean_under_its_committed_waivers() {
+    // The acceptance criterion as a test: zero unwaived violations and
+    // zero stale waivers on the real tree with the real simlint.toml.
+    // This makes `cargo test` catch a new violation even before CI runs.
+    let root = repo_root();
+    let waiver_src = std::fs::read_to_string(root.join("simlint.toml")).unwrap_or_default();
+    let report = analyze(&root, &waiver_src).expect("analyze repo");
+    assert!(
+        report.files_scanned > 50,
+        "sanity: expected the real workspace, scanned {}",
+        report.files_scanned
+    );
+    assert!(
+        report.errors.is_empty(),
+        "unwaived simlint violations:\n{}",
+        report
+            .errors
+            .iter()
+            .map(|d| format!("  {}:{} {} — {}", d.path, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.stale.is_empty(), "stale waivers: {:?}", report.stale);
+}

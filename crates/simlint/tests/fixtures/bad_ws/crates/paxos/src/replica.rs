@@ -1,0 +1,16 @@
+//! Seeded-violation fixture (never compiled): a protocol message
+//! handler committing every sin the hash-order, panic-path and
+//! unchecked-slot-arith rules exist to catch. The integration suite
+//! asserts simlint flags exactly these sites and exits non-zero.
+
+use std::collections::HashMap;
+
+pub fn handle(votes: &HashMap<u64, u64>, frame: &[u8], slot: u64) -> u64 {
+    let tag = frame[0];
+    let count = votes.get(&slot).copied().unwrap();
+    let next_slot = slot + 1;
+    if tag == 0xff {
+        panic!("bad tag");
+    }
+    count.wrapping_add(next_slot)
+}

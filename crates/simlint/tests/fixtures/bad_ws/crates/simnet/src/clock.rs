@@ -1,0 +1,20 @@
+//! Seeded-violation fixture (never compiled): wall-clock time and OS
+//! entropy leaking into a sim-reachable crate. The `#[cfg(test)]` block
+//! at the bottom must NOT be flagged — test code is exempt.
+
+pub fn now_us() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+pub fn entropy() -> u8 {
+    rand::random::<u8>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded-violation fixture (never compiled): raw stdout/stderr
+//! printing from a library crate.
+
+pub fn dump(x: u64) {
+    println!("x = {x}");
+    eprintln!("warned about {x}");
+}

@@ -1,0 +1,15 @@
+//! Clean-workspace fixture (never compiled): the same handler as the
+//! bad fixture written the way the rules demand — ordered containers,
+//! checked access, saturating ordinal arithmetic, typed errors.
+
+use std::collections::BTreeMap;
+
+pub fn handle(votes: &BTreeMap<u64, u64>, frame: &[u8], slot: u64) -> Option<u64> {
+    let tag = frame.first().copied()?;
+    let count = votes.get(&slot).copied()?;
+    let next_slot = slot.saturating_add(1);
+    if tag == 0xff {
+        return None;
+    }
+    count.checked_add(next_slot)
+}

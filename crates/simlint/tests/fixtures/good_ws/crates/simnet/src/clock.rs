@@ -1,0 +1,10 @@
+//! Clean-workspace fixture (never compiled): time and randomness come
+//! in as parameters (the simnet clock/RNG handles), never from the OS.
+
+pub fn now_us(sim_now_us: u64) -> u64 {
+    sim_now_us
+}
+
+pub fn entropy(seeded: u8) -> u8 {
+    seeded
+}

@@ -1,0 +1,11 @@
+//! Inline-waiver fixture (never compiled): one real violation carrying
+//! a justified inline allow. The suite asserts it is waived (not an
+//! error) and that the allow is counted as used (not stale).
+
+use std::collections::BTreeMap;
+
+pub fn tally(votes: &BTreeMap<u64, u64>, slot: u64) -> u64 {
+    // simlint: allow(unchecked-slot-arith): fixture exercising the inline waiver path
+    let next_slot = slot + 1;
+    votes.get(&next_slot).copied().unwrap_or(0)
+}
