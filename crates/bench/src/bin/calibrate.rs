@@ -1,4 +1,7 @@
 //! Quick calibration probe: one paper-scale run per invocation.
+
+// Harness binary: wall-clock timing of the run itself is intentional.
+#![allow(clippy::disallowed_methods)]
 use cluster::{run_experiment, ExperimentConfig};
 use tpcw::Profile;
 

@@ -22,7 +22,7 @@
 //! is bit-identical to an unaudited one. Violations are collected as
 //! human-readable strings and the experiment asserts there are none.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use paxos::{Ballot, Batch, Mode, Msg, ProposalId, Quorums, Record, ReplicaStatus, Slot};
 use robuststore::Action;
@@ -36,7 +36,7 @@ type ActionBatch = Batch<Action>;
 const MAX_RECORDED: usize = 100;
 
 /// What a replica must have made durable before a given send is legal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum DurableKey {
     /// A `Record::Promised(ballot)` reached disk.
     Promise(Ballot),
@@ -63,11 +63,11 @@ pub struct InvariantAuditor {
     fast_quorum: usize,
     /// First delivered proposal per `(slot, index-in-batch)` position,
     /// with the delivering replica.
-    chosen: HashMap<(Slot, u32), (Option<ProposalId>, usize)>,
+    chosen: BTreeMap<(Slot, u32), (Option<ProposalId>, usize)>,
     /// Per replica: records known durable on its disk.
-    durable: Vec<HashSet<DurableKey>>,
+    durable: Vec<BTreeSet<DurableKey>>,
     /// Per replica: records in flight to disk, keyed by write token.
-    pending: Vec<HashMap<u64, DurableKey>>,
+    pending: Vec<BTreeMap<u64, DurableKey>>,
     /// Per replica: last `(slot, index)` applied by this incarnation.
     last_applied: Vec<Option<(Slot, u32)>>,
     checks: u64,
@@ -84,12 +84,12 @@ impl InvariantAuditor {
         InvariantAuditor {
             n,
             fast_quorum: Quorums::new(n).fast(),
-            chosen: HashMap::new(),
+            chosen: BTreeMap::new(),
             // A fresh acceptor has implicitly promised ⊥ without writing.
             durable: (0..n)
-                .map(|_| HashSet::from([DurableKey::Promise(Ballot::BOTTOM)]))
+                .map(|_| BTreeSet::from([DurableKey::Promise(Ballot::BOTTOM)]))
                 .collect(),
-            pending: (0..n).map(|_| HashMap::new()).collect(),
+            pending: (0..n).map(|_| BTreeMap::new()).collect(),
             last_applied: vec![None; n],
             checks: 0,
             violations: Vec::new(),

@@ -8,7 +8,7 @@
 //! blocking `execute()` semantics, with the client connection standing
 //! in for the blocked caller.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use paxos::ProposalId;
 use robuststore::{Prepared, Reply, RobustStore, TpcwDatabase};
@@ -60,7 +60,7 @@ pub struct ServerNode {
     service: ServiceModel,
     queue: VecDeque<WorkItem>,
     busy: bool,
-    outstanding: HashMap<ProposalId, (u64, NodeId, Interaction)>,
+    outstanding: BTreeMap<ProposalId, (u64, NodeId, Interaction)>,
     ready: bool,
     /// Protocol CPU consumed since the last work item started: Treplica's
     /// threads preempt page rendering (OS time-slicing), so their cost is
@@ -99,7 +99,7 @@ impl ServerNode {
             service,
             queue: VecDeque::new(),
             busy: false,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             ready: true,
             cpu_debt_us: 0,
             batch_timer_armed: None,
@@ -140,7 +140,7 @@ impl ServerNode {
             service,
             queue: VecDeque::new(),
             busy: false,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             ready: false,
             cpu_debt_us: 0,
             batch_timer_armed: None,

@@ -1,6 +1,10 @@
 //! Unit tests of the reverse proxy's failover machinery, driven with a
 //! bare engine and hand-fed messages.
 
+// Hash containers here only aggregate assertions inside one test run;
+// their ordering never reaches replicated state or traces.
+#![allow(clippy::disallowed_types)]
+
 use cluster::{ClusterMsg, ProxyConfig, ProxyNode};
 use simnet::{Engine, Event, NodeId, SimConfig, SimTime};
 use tpcw::{CustomerId, RequestBody, WebRequest};

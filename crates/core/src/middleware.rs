@@ -17,7 +17,7 @@
 //!   replicas — exactly the two overlapping transfers whose relative
 //!   sizes explain the recovery-time shapes in the paper's Figure 6.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use obs::{EventBuf, TraceConfig, TraceEvent};
 use paxos::{
@@ -360,7 +360,7 @@ pub struct Middleware<App: Application> {
     app: Option<App>,
     queue: PersistentQueue<App::Action>,
     phase: Phase,
-    tokens: HashMap<u64, TokenKind>,
+    tokens: BTreeMap<u64, TokenKind>,
     next_token: u64,
     log: LogMirror,
     applied: u64,
@@ -391,7 +391,7 @@ pub struct Middleware<App: Application> {
     trace: EventBuf,
     /// Submit times of locally-issued updates, for commit-latency trace
     /// points. Only populated while tracing is enabled.
-    submit_times: HashMap<ProposalId, u64>,
+    submit_times: BTreeMap<ProposalId, u64>,
 }
 
 impl<App: Application> Middleware<App> {
@@ -423,7 +423,7 @@ impl<App: Application> Middleware<App> {
             app: Some(app),
             queue: PersistentQueue::new(),
             phase: Phase::Active,
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             next_token: 0,
             log: LogMirror::default(),
             applied: 0,
@@ -442,7 +442,7 @@ impl<App: Application> Middleware<App> {
             batch_deadline: None,
             update_seq: 0,
             trace,
-            submit_times: HashMap::new(),
+            submit_times: BTreeMap::new(),
         }
     }
 
@@ -517,7 +517,7 @@ impl<App: Application> Middleware<App> {
                 checkpoint_done: false,
                 announced: false,
             },
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             next_token: 0,
             log: mirror,
             applied: 0,
@@ -536,7 +536,7 @@ impl<App: Application> Middleware<App> {
             batch_deadline: None,
             update_seq: 0,
             trace,
-            submit_times: HashMap::new(),
+            submit_times: BTreeMap::new(),
         };
         let mut fx = Vec::new();
         let log_token = mw.alloc(TokenKind::LogRead);
@@ -854,7 +854,13 @@ impl<App: Application> Middleware<App> {
             }
             TokenKind::CheckpointData => {
                 // Data durable: now commit the metadata pointing at it.
-                let meta = self.pending_meta.clone().expect("meta staged");
+                // Missing staged metadata is a token-bookkeeping bug;
+                // skip the completion instead of killing the replica
+                // outside the fault model (debug builds still assert).
+                let Some(meta) = self.pending_meta.clone() else {
+                    debug_assert!(false, "CheckpointData completion without staged meta");
+                    return Vec::new();
+                };
                 let token = self.alloc(TokenKind::MetaWrite);
                 vec![MwEffect::DiskWrite {
                     op: StableOp::Put {
@@ -866,7 +872,10 @@ impl<App: Application> Middleware<App> {
                 }]
             }
             TokenKind::MetaWrite => {
-                let meta = self.pending_meta.take().expect("meta staged");
+                let Some(meta) = self.pending_meta.take() else {
+                    debug_assert!(false, "MetaWrite completion without staged meta");
+                    return Vec::new();
+                };
                 self.trace.push(TraceEvent::CheckpointDurable {
                     generation: meta.generation,
                 });
@@ -894,11 +903,13 @@ impl<App: Application> Middleware<App> {
                     token: trunc_token,
                     nominal: None,
                 }];
-                if meta.generation > 0 {
+                // checked_sub doubles as the generation-0 guard: the very
+                // first checkpoint has no predecessor to delete.
+                if let Some(prev_gen) = meta.generation.checked_sub(1) {
                     let del_token = self.alloc(TokenKind::CheckpointDelete);
                     fx.push(MwEffect::DiskWrite {
                         op: StableOp::Delete {
-                            key: Meta::ckpt_key(meta.generation - 1),
+                            key: Meta::ckpt_key(prev_gen),
                         },
                         token: del_token,
                         nominal: None,
@@ -1070,14 +1081,20 @@ impl<App: Application> Middleware<App> {
     }
 
     fn start_checkpoint(&mut self, out: &mut Vec<MwEffect<App>>) {
-        let app = self.app.as_ref().expect("active node has state");
+        // Only active nodes hold application state; a checkpoint request
+        // on a recovering node is a phase-tracking bug — skip it rather
+        // than panic on a protocol-driven path.
+        let Some(app) = self.app.as_ref() else {
+            debug_assert!(false, "start_checkpoint without application state");
+            return;
+        };
         let Snapshot {
             data,
             nominal_bytes,
         } = app.snapshot();
         self.applied_since_checkpoint = 0;
         self.checkpoint_in_flight = true;
-        self.checkpoint_generation += 1;
+        self.checkpoint_generation = self.checkpoint_generation.saturating_add(1);
         let meta = Meta {
             checkpoint_slot: self.paxos.decided_upto(),
             generation: self.checkpoint_generation,

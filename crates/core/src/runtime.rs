@@ -16,7 +16,7 @@
 //! process-crash fault model; a production deployment would put the
 //! same `StableStore` contents on a real disk).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -62,7 +62,7 @@ struct ReplicaThread<App: Application> {
     epoch: u64,
     started: Instant,
     factory: Arc<dyn Fn() -> App + Send + Sync>,
-    waiting: HashMap<(u64, u64), ExecuteReply<App>>,
+    waiting: BTreeMap<(u64, u64), ExecuteReply<App>>,
     recovered_flag: Arc<AtomicBool>,
 }
 
@@ -292,6 +292,9 @@ where
         type Channel<App> = (Sender<Input<App>>, Receiver<Input<App>>);
         let channels: Vec<Channel<App>> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Input<App>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        // Wall-clock by design: LocalCluster is the threaded runtime
+        // outside the simulation (see the simlint.toml waiver).
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
 
         let mut handles = Vec::new();
@@ -312,7 +315,7 @@ where
                 epoch: 0,
                 started,
                 factory: factory.clone(),
-                waiting: HashMap::new(),
+                waiting: BTreeMap::new(),
                 recovered_flag: recovered.clone(),
             };
             threads.push(std::thread::spawn(move || thread.run(rx)));

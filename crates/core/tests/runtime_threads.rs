@@ -1,6 +1,9 @@
 //! Tests of the threaded (wall-clock) runtime: the paper's blocking
 //! `execute()` interface on real threads.
 
+// Wall-clock time is the point of this test target.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use treplica::runtime::LocalCluster;

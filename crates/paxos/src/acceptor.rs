@@ -11,7 +11,7 @@
 //! for a *single* slot; those claims are kept as per-slot overrides
 //! (`slot_rnd`) so the surrounding fast round stays open.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::msg::{AcceptedReport, Msg, Record};
 use crate::types::{Ballot, Decree, ProposalId, ReplicaId, Slot};
@@ -65,7 +65,7 @@ pub struct Acceptor<V> {
     /// Highest ballot promised for the whole log.
     rnd_global: Ballot,
     /// Per-slot promise overrides from single-slot (recovery) prepares.
-    slot_rnd: HashMap<Slot, Ballot>,
+    slot_rnd: BTreeMap<Slot, Ballot>,
     /// Accepted decree per slot, with the ballot of acceptance.
     accepted: BTreeMap<Slot, (Ballot, Decree<V>)>,
     /// When `rnd_global` is fast and an `Any` arrived: fast accepts are
@@ -75,7 +75,7 @@ pub struct Acceptor<V> {
     fast_cursor: Slot,
     /// Proposals already fast-accepted (undecided): a proposer retry for
     /// one of these is ignored instead of burning a fresh slot.
-    fast_pids: HashMap<ProposalId, Slot>,
+    fast_pids: BTreeMap<ProposalId, Slot>,
 }
 
 impl<V: Clone> Acceptor<V> {
@@ -83,11 +83,11 @@ impl<V: Clone> Acceptor<V> {
     pub fn new() -> Self {
         Acceptor {
             rnd_global: Ballot::BOTTOM,
-            slot_rnd: HashMap::new(),
+            slot_rnd: BTreeMap::new(),
             accepted: BTreeMap::new(),
             any_from: None,
             fast_cursor: Slot::ZERO,
-            fast_pids: HashMap::new(),
+            fast_pids: BTreeMap::new(),
         }
     }
 
@@ -300,7 +300,12 @@ impl<V: Clone> Acceptor<V> {
     /// same proposal under concurrency — that is the fast-round collision
     /// the coordinator recovers from.
     pub fn on_fast_propose(&mut self, pid: ProposalId, value: V) -> AcceptorOut<V> {
-        if !self.fast_window_open() {
+        // `fast_window_open()` implies `any_from` is set; the let-else
+        // keeps this handler panic-free even if that coupling drifts.
+        let Some(any_from) = self.any_from else {
+            return AcceptorOut::nothing();
+        };
+        if !self.rnd_global.is_fast() {
             return AcceptorOut::nothing();
         }
         if self.fast_pids.contains_key(&pid) {
@@ -309,7 +314,7 @@ impl<V: Clone> Acceptor<V> {
             return AcceptorOut::nothing();
         }
         let ballot = self.rnd_global;
-        let mut slot = self.fast_cursor.max(self.any_from.expect("window open"));
+        let mut slot = self.fast_cursor.max(any_from);
         while self.accepted.contains_key(&slot)
             || self.slot_rnd.get(&slot).is_some_and(|b| *b > ballot)
         {

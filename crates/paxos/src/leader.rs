@@ -6,7 +6,7 @@
 //! rounds with `Any`, and picks safe values per Fast Paxos rule O4 when
 //! recovering collided slots.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::msg::AcceptedReport;
 use crate::types::{Ballot, Decree, Quorums, ReplicaId, Slot};
@@ -19,7 +19,7 @@ use crate::types::{Ballot, Decree, Quorums, ReplicaId, Slot};
 /// `q_size + ⌈3N/4⌉ − N` members may have been chosen and must be used;
 /// otherwise the coordinator is free (here: the most-reported value, or
 /// `Noop` if there are no reports at all).
-pub fn choose_decree<V: Clone + Eq + std::hash::Hash>(
+pub fn choose_decree<V: Clone + Eq>(
     reports: &[AcceptedReport<V>],
     q_size: usize,
     quorums: Quorums,
@@ -31,11 +31,22 @@ pub fn choose_decree<V: Clone + Eq + std::hash::Hash>(
     let top: Vec<&AcceptedReport<V>> = reports.iter().filter(|r| r.ballot == top_ballot).collect();
     if !top_ballot.is_fast() {
         // All classic acceptances at one ballot carry the same decree.
-        return top[0].decree.clone();
+        // `top` is non-empty (top_ballot came from the same reports),
+        // but stay panic-free on this path regardless.
+        return top
+            .first()
+            .map(|r| r.decree.clone())
+            .unwrap_or(Decree::Noop);
     }
-    let mut counts: HashMap<&Decree<V>, usize> = HashMap::new();
+    // Count occurrences per decree without hashing: the report set is
+    // bounded by the ensemble size, so a linear Vec counter is
+    // deterministic and cheap.
+    let mut counts: Vec<(&Decree<V>, usize)> = Vec::new();
     for r in &top {
-        *counts.entry(&r.decree).or_default() += 1;
+        match counts.iter_mut().find(|(k, _)| *k == &r.decree) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((&r.decree, 1)),
+        }
     }
     // Scan in reporting order (never hash order — replays must converge
     // bit-for-bit): a decree at the threshold is the choosable one (at
@@ -44,7 +55,11 @@ pub fn choose_decree<V: Clone + Eq + std::hash::Hash>(
     let threshold = quorums.recovery_threshold(q_size);
     let mut best: Option<(&Decree<V>, usize)> = None;
     for r in &top {
-        let c = counts[&r.decree];
+        let c = counts
+            .iter()
+            .find(|(k, _)| *k == &r.decree)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         if c >= threshold {
             return r.decree.clone();
         }
@@ -101,7 +116,7 @@ pub struct Leader<V> {
     pub recoveries: BTreeMap<Slot, Recovery<V>>,
 }
 
-impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
+impl<V: Clone + Eq> Leader<V> {
     /// Creates an idle coordinator for replica `id`.
     pub fn new(id: ReplicaId, quorums: Quorums) -> Self {
         Leader {
@@ -184,7 +199,7 @@ impl<V: Clone + Eq + std::hash::Hash> Leader<V> {
         }
         // Quorum complete: compute the re-proposal plan.
         let q_size = self.promises.len();
-        let mut by_slot: HashMap<Slot, Vec<AcceptedReport<V>>> = HashMap::new();
+        let mut by_slot: BTreeMap<Slot, Vec<AcceptedReport<V>>> = BTreeMap::new();
         let mut max_slot: Option<Slot> = None;
         for reports in self.promises.values() {
             for r in reports {

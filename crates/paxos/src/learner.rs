@@ -7,7 +7,7 @@
 //! values are deduplicated by [`ProposalId`] so collision-recovery
 //! re-proposals and proposer retries stay exactly-once.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::types::{Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
 
@@ -27,7 +27,7 @@ pub struct Delivery<V> {
 struct SlotVotes<V> {
     /// ballot → (acceptor → decree). An acceptor votes at most once per
     /// ballot for a slot.
-    by_ballot: HashMap<Ballot, BTreeMap<ReplicaId, Decree<V>>>,
+    by_ballot: BTreeMap<Ballot, BTreeMap<ReplicaId, Decree<V>>>,
     /// First time (driver clock, µs) a vote was recorded — used by the
     /// coordinator's collision timeout.
     first_vote_at: u64,
@@ -40,11 +40,27 @@ pub struct Learner<V> {
     votes: BTreeMap<Slot, SlotVotes<V>>,
     decided: BTreeMap<Slot, Decree<V>>,
     next_deliver: Slot,
-    delivered_pids: HashSet<ProposalId>,
+    delivered_pids: BTreeSet<ProposalId>,
     truncated_below: Slot,
 }
 
-impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
+/// Counts occurrences of each decree in `votes` without hashing: quorums
+/// are tiny (N ≤ a handful of replicas), so a linear-scan Vec counter is
+/// both deterministic and faster than building a map.
+fn count_votes<'a, V: Eq>(
+    votes: impl Iterator<Item = &'a Decree<V>>,
+) -> Vec<(&'a Decree<V>, usize)> {
+    let mut counts: Vec<(&Decree<V>, usize)> = Vec::new();
+    for d in votes {
+        match counts.iter_mut().find(|(k, _)| *k == d) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((d, 1)),
+        }
+    }
+    counts
+}
+
+impl<V: Clone + Eq> Learner<V> {
     /// Creates a learner for an ensemble of `n` replicas, delivering from
     /// slot `start` (0 for a fresh ensemble; the checkpoint watermark for
     /// a recovering replica).
@@ -54,7 +70,7 @@ impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
             votes: BTreeMap::new(),
             decided: BTreeMap::new(),
             next_deliver: start,
-            delivered_pids: HashSet::new(),
+            delivered_pids: BTreeSet::new(),
             truncated_below: start,
         }
     }
@@ -95,26 +111,22 @@ impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
         if self.is_decided(slot) {
             return Vec::new();
         }
+        // Decision check for this ballot.
+        let needed = self.required(ballot);
         let entry = self.votes.entry(slot).or_insert_with(|| SlotVotes {
-            by_ballot: HashMap::new(),
+            by_ballot: BTreeMap::new(),
             first_vote_at: now,
         });
         let ballot_votes = entry.by_ballot.entry(ballot).or_default();
         ballot_votes.insert(from, decree);
 
-        // Decision check for this ballot.
-        let needed = self.required(ballot);
-        let ballot_votes = &self.votes[&slot].by_ballot[&ballot];
-        let mut counts: HashMap<&Decree<V>, usize> = HashMap::new();
-        for d in ballot_votes.values() {
-            *counts.entry(d).or_default() += 1;
-        }
+        let counts = count_votes(ballot_votes.values());
         // Scan votes in acceptor order, not hash order: at most one
         // decree can reach the quorum, but replays must take identical
         // paths bit-for-bit.
         let winner = ballot_votes
             .values()
-            .find(|d| counts[*d] >= needed)
+            .find(|d| counts.iter().any(|(k, n)| k == d && *n >= needed))
             .cloned();
         match winner {
             Some(decree) => {
@@ -197,11 +209,8 @@ impl<V: Clone + Eq + std::hash::Hash> Learner<V> {
                     return false;
                 }
                 let needed = self.quorums.fast();
-                let mut counts: HashMap<&Decree<V>, usize> = HashMap::new();
-                for d in votes.values() {
-                    *counts.entry(d).or_default() += 1;
-                }
-                let top = counts.values().copied().max().unwrap_or(0);
+                let counts = count_votes(votes.values());
+                let top = counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
                 let unvoted = self.quorums.n() - votes.len();
                 top + unvoted < needed
             });

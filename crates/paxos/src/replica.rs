@@ -10,7 +10,7 @@
 //! [`Replica::on_message`], [`Replica::on_tick`],
 //! [`Replica::on_persisted`] — and apply the returned [`Effect`]s.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use obs::{EventBuf, TraceEvent, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
 
@@ -52,7 +52,7 @@ pub struct Replica<V> {
     proposer: Proposer<V>,
     fd: FailureDetector,
     /// Persist-token → messages released on completion.
-    gated: HashMap<u64, Vec<(Dest, Msg<V>)>>,
+    gated: BTreeMap<u64, Vec<(Dest, Msg<V>)>>,
     next_token: u64,
     now: u64,
     last_heartbeat: u64,
@@ -93,7 +93,7 @@ fn mode_tag(mode: Mode) -> &'static str {
     }
 }
 
-impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
+impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     /// Creates a fresh replica (empty durable log), delivering from slot
     /// 0 and proposing under epoch 0.
     pub fn new(id: ReplicaId, config: PaxosConfig, now: u64) -> Self {
@@ -141,7 +141,7 @@ impl<V: Clone + Eq + std::hash::Hash + std::fmt::Debug> Replica<V> {
             leader: Leader::new(id, quorums),
             proposer: Proposer::new(id, epoch),
             fd,
-            gated: HashMap::new(),
+            gated: BTreeMap::new(),
             next_token: 0,
             now,
             last_heartbeat: 0,

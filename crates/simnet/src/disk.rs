@@ -22,7 +22,7 @@
 //! applies the mutation. This is the conservative reading of an
 //! `fsync`-gated write.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::SimDuration;
 
@@ -265,12 +265,12 @@ impl StableLog {
 /// The durable contents of one node's disk.
 #[derive(Debug, Clone, Default)]
 pub struct StableStore {
-    kv: HashMap<String, Vec<u8>>,
-    logs: HashMap<String, StableLog>,
+    kv: BTreeMap<String, Vec<u8>>,
+    logs: BTreeMap<String, StableLog>,
     /// Modeled ("nominal") sizes for keys whose in-simulation byte count
     /// understates the size being modeled (e.g. a checkpoint standing in
     /// for a 700 MB application state).
-    nominal: HashMap<String, u64>,
+    nominal: BTreeMap<String, u64>,
 }
 
 impl StableStore {

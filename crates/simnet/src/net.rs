@@ -12,7 +12,7 @@
 //! rather than links, but partitions are needed to exercise Paxos'
 //! liveness behaviour below quorum).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::Rng;
 
@@ -112,9 +112,9 @@ impl Default for LinkFault {
 pub struct Network {
     config: NetConfig,
     /// Unordered pairs `(min, max)` of nodes that cannot communicate.
-    cut_links: HashSet<(NodeId, NodeId)>,
+    cut_links: BTreeSet<(NodeId, NodeId)>,
     /// Unordered pairs with an adversarial fault profile installed.
-    link_faults: HashMap<(NodeId, NodeId), LinkFault>,
+    link_faults: BTreeMap<(NodeId, NodeId), LinkFault>,
     sent: u64,
     dropped: u64,
     duplicated: u64,
@@ -127,8 +127,8 @@ impl Network {
     pub fn new(config: NetConfig) -> Self {
         Network {
             config,
-            cut_links: HashSet::new(),
-            link_faults: HashMap::new(),
+            cut_links: BTreeSet::new(),
+            link_faults: BTreeMap::new(),
             sent: 0,
             dropped: 0,
             duplicated: 0,

@@ -11,6 +11,10 @@
 //! base population is immutable, [`base_population`] memoizes it behind
 //! an `Arc` keyed by parameters.
 
+// The maps here are point-lookup indexes and a process-wide memo
+// cache; none is ever iterated, so hash ordering cannot leak into
+// replicated state or traces (clippy allows are site-by-site below).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -90,7 +94,8 @@ pub struct BasePopulation {
     pub cc_xacts: Vec<CcXact>,
     /// Items per subject (indices into `items`), precomputed.
     pub by_subject: Vec<Vec<ItemId>>,
-    /// Customer ids by user name.
+    /// Customer ids by user name (lookup-only: never iterated).
+    #[allow(clippy::disallowed_types)]
     pub by_uname: HashMap<String, CustomerId>,
 }
 
@@ -123,6 +128,7 @@ fn rand_digits(rng: &mut StdRng, len: usize) -> String {
 }
 
 /// Generates a base population (deterministic in `params`).
+#[allow(clippy::disallowed_types)] // builds the lookup-only uname index
 pub fn generate(params: PopulationParams) -> BasePopulation {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let today: u32 = 14_000; // days since epoch, fixed reference date
@@ -324,6 +330,7 @@ impl BasePopulation {
 }
 
 /// Memoized shared base populations (one per parameter set per process).
+#[allow(clippy::disallowed_types)] // memo cache: keyed lookups only
 pub fn base_population(params: PopulationParams) -> Arc<BasePopulation> {
     static CACHE: OnceLock<Mutex<HashMap<PopulationParams, Arc<BasePopulation>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
@@ -389,6 +396,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_types)] // membership set in a test
     fn uname_derivation_is_injective_for_small_ids() {
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000 {

@@ -16,7 +16,7 @@
 //! arguments: determinism is the caller's job (the `robuststore` facade
 //! samples them before building actions — the paper's task II).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use treplica::{impl_wire_struct, Wire, WireError};
@@ -87,10 +87,15 @@ impl_wire_struct!(Payment {
 });
 
 /// The mutable part of the store (everything the workload changes).
+///
+/// The maps are `BTreeMap` so the overlay — which is replicated state
+/// and feeds the checkpoint encoding below — iterates in key order by
+/// construction; the encoder needs no sorting pass and two overlays
+/// that are `==` always encode to identical bytes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Overlay {
     /// Live shopping carts.
-    pub carts: HashMap<u32, Cart>,
+    pub carts: BTreeMap<u32, Cart>,
     /// Next cart id.
     pub next_cart: u32,
     /// Customers registered during the run (id ≥ base count).
@@ -102,13 +107,13 @@ pub struct Overlay {
     /// Credit-card transactions of the new orders (parallel).
     pub new_cc_xacts: Vec<CcXact>,
     /// Current stock where it differs from the base.
-    pub stock: HashMap<u32, i32>,
+    pub stock: BTreeMap<u32, i32>,
     /// Admin item updates: id → (cost, image, thumbnail).
-    pub item_updates: HashMap<u32, (u64, String, String)>,
+    pub item_updates: BTreeMap<u32, (u64, String, String)>,
     /// Session refreshes: customer id → (login, expiration).
-    pub sessions: HashMap<u32, (u64, u64)>,
+    pub sessions: BTreeMap<u32, (u64, u64)>,
     /// Most recent order per customer (covers base + new orders).
-    pub last_order: HashMap<u32, u32>,
+    pub last_order: BTreeMap<u32, u32>,
 }
 
 /// Encoded form of one item update: `(item, (cost, (image, thumbnail)))`.
@@ -116,33 +121,27 @@ type ItemUpdateWire = (u32, (u64, (String, String)));
 
 impl Wire for Overlay {
     fn encode(&self, buf: &mut Vec<u8>) {
-        let carts: Vec<(u32, Cart)> = {
-            let mut v: Vec<_> = self.carts.iter().map(|(k, c)| (*k, c.clone())).collect();
-            v.sort_by_key(|(k, _)| *k);
-            v
-        };
+        // BTreeMap iteration is already key-ordered, so the encoded
+        // form is canonical without a sorting pass.
+        let carts: Vec<(u32, Cart)> = self.carts.iter().map(|(k, c)| (*k, c.clone())).collect();
         carts.encode(buf);
         self.next_cart.encode(buf);
         self.new_customers.encode(buf);
         self.new_orders.encode(buf);
         self.new_order_lines.encode(buf);
         self.new_cc_xacts.encode(buf);
-        let mut stock: Vec<(u32, i32)> = self.stock.iter().map(|(k, v)| (*k, *v)).collect();
-        stock.sort_by_key(|(k, _)| *k);
+        let stock: Vec<(u32, i32)> = self.stock.iter().map(|(k, v)| (*k, *v)).collect();
         stock.encode(buf);
-        let mut updates: Vec<ItemUpdateWire> = self
+        let updates: Vec<ItemUpdateWire> = self
             .item_updates
             .iter()
             .map(|(k, (c, i, t))| (*k, (*c, (i.clone(), t.clone()))))
             .collect();
-        updates.sort_by_key(|(k, _)| *k);
         updates.encode(buf);
-        let mut sessions: Vec<(u32, (u64, u64))> =
+        let sessions: Vec<(u32, (u64, u64))> =
             self.sessions.iter().map(|(k, v)| (*k, *v)).collect();
-        sessions.sort_by_key(|(k, _)| *k);
         sessions.encode(buf);
-        let mut last: Vec<(u32, u32)> = self.last_order.iter().map(|(k, v)| (*k, *v)).collect();
-        last.sort_by_key(|(k, _)| *k);
+        let last: Vec<(u32, u32)> = self.last_order.iter().map(|(k, v)| (*k, *v)).collect();
         last.encode(buf);
     }
 
@@ -391,7 +390,7 @@ impl Bookstore {
     /// orders, restricted to a subject (TPC-W clause 2.7).
     pub fn get_best_sellers(&self, subject: u8) -> Vec<(ItemId, u64)> {
         let subject = subject as usize % SUBJECTS.len();
-        let mut qty: HashMap<ItemId, u64> = HashMap::new();
+        let mut qty: BTreeMap<ItemId, u64> = BTreeMap::new();
         let recent = 3_333usize;
         // Walk new orders newest-first, then base orders.
         let mut seen = 0usize;

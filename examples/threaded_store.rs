@@ -8,6 +8,10 @@
 //!
 //! Run with: `cargo run --release --example threaded_store`
 
+// The example demonstrates the wall-clock embedding, so real time
+// is intentional here.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 use robuststore_repro::robuststore::{Action, Reply, RobustStore};

@@ -7,6 +7,9 @@
 //! enough to compare orders of magnitude and keep `cargo bench`
 //! runnable; not a replacement for real criterion numbers.
 
+// Benchmarks measure real elapsed time by definition.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt;
 use std::time::Instant;
 
