@@ -6,7 +6,8 @@
 //! autonomously) and reports availability, accuracy and autonomy across
 //! the whole horizon — plus the consensus traffic bill.
 
-use bench::{base_config, Console, JsonReport, Mode, TraceSink};
+use bench::render::render_availability;
+use bench::{base_config, Console, FaultRun, JsonReport, Mode, TraceSink};
 use cluster::run_experiment;
 use faultload::{FaultEvent, Faultload, RecoveryKind};
 use tpcw::{Profile, Schedule};
@@ -66,6 +67,16 @@ fn main() {
             report.net_messages as f64 / 1e6,
             report.net_bytes as f64 / 1e6,
             report.disk_writes as f64 / 1e6,
+        ));
+        let run = FaultRun {
+            replicas: 5,
+            profile,
+            ebs: 30,
+            report,
+        };
+        con.say(render_availability(
+            "  per-crash availability decomposition",
+            &[run],
         ));
     }
     json.write_if_requested();

@@ -16,6 +16,7 @@
 
 use bench::{base_config, committed_updates, Console, JsonReport, Mode, TraceSink};
 use cluster::{run_experiment, ServiceModel};
+use faultload::{FaultEvent, Faultload, RecoveryKind};
 use tpcw::Profile;
 
 fn main() {
@@ -81,6 +82,45 @@ fn main() {
             json.push_with(&label, &report, &[("batch", batch as f64)]);
             trace.record_run(&label, &report);
         }
+    }
+    if gate {
+        // Third gate point: the ordering mix again, batch 8, with one
+        // mid-run crash. Its report carries the availability
+        // decomposition (time to failover, ramp back to 95 % of
+        // baseline), so the committed baseline lets the perf gate catch
+        // recovery-path regressions, not just throughput ones. No
+        // "batch" field — the speedup check must keep comparing the
+        // crash-free points.
+        let mut config = base_config(mode, replicas, Profile::Ordering);
+        config.ebs = 30;
+        config.schedule = tpcw::Schedule::quick(120);
+        config.rbes = 1_000;
+        config.batch_max_updates = 8;
+        config.batch_window_us = 80_000;
+        // Crash at 90 s: late enough that the availability baseline's
+        // 12-window lookback (60 s at 5 s windows) sits entirely in the
+        // post-ramp-up steady state.
+        config.faultload = Faultload {
+            events: vec![FaultEvent {
+                at_us: 90_000_000,
+                victim: 0,
+                recovery: RecoveryKind::Autonomous,
+            }],
+            ..Faultload::default()
+        };
+        let report = run_experiment(&config);
+        let label = "Ordering batch=8 crash";
+        let ramp = bench::report::availability_from_run(&report)
+            .first()
+            .and_then(|r| r.ramp_to_95pct_us)
+            .map(|us| format!("{:.1}s", us as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string());
+        con.say(format_args!(
+            "{label:<22} AWIPS {:7.1}  availability {:.5}  ramp95 {ramp}",
+            report.awips, report.dependability.availability,
+        ));
+        json.push_with(label, &report, &[("crash", 1.0)]);
+        trace.record_run(label, &report);
     }
     json.write_if_requested();
     trace.write_if_requested();

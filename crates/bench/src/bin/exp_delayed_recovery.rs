@@ -1,7 +1,8 @@
 //! Figure 8 + Tables 5–6 — two crashes, one autonomous and one delayed
 //! (operator-triggered) recovery.
 use bench::render::{
-    render_accuracy, render_autonomy, render_fault_histogram, render_performability_delayed,
+    render_accuracy, render_autonomy, render_availability, render_fault_histogram,
+    render_performability_delayed,
 };
 use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
@@ -32,6 +33,10 @@ fn main() {
     ));
     con.say(render_autonomy(
         "Delayed recovery: availability/autonomy",
+        &runs,
+    ));
+    con.say(render_availability(
+        "Delayed recovery: availability decomposition",
         &runs,
     ));
 }

@@ -1,6 +1,7 @@
 //! Figure 5 + Tables 1–2 — one crash, one autonomous recovery.
 use bench::render::{
-    render_accuracy, render_autonomy, render_fault_histogram, render_performability,
+    render_accuracy, render_autonomy, render_availability, render_fault_histogram,
+    render_performability,
 };
 use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
@@ -30,4 +31,8 @@ fn main() {
         &runs,
     ));
     con.say(render_autonomy("One failure: availability/autonomy", &runs));
+    con.say(render_availability(
+        "One failure: availability decomposition",
+        &runs,
+    ));
 }

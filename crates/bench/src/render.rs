@@ -249,6 +249,39 @@ pub fn render_autonomy(title: &str, runs: &[FaultRun]) -> String {
     out
 }
 
+/// Renders per-crash availability reports (time to detect/failover,
+/// degraded stretch, dip depth, ramp back to 95 % baseline) for a
+/// faultload grid — the numbers behind the Figure 4/5 curves.
+pub fn render_availability(title: &str, runs: &[FaultRun]) -> String {
+    let mut out = format!(
+        "{title}\n  R/P   | base WIPS | detect(s) | failover(s) | degraded(s) | dip(%) | ramp95(s)\n"
+    );
+    let secs = |v: Option<u64>| {
+        v.map(|us| format!("{:9.1}", us as f64 / 1e6))
+            .unwrap_or_else(|| "        -".to_string())
+    };
+    for run in runs {
+        let reports = crate::report::availability_from_run(&run.report);
+        if reports.is_empty() {
+            continue;
+        }
+        for r in &reports {
+            out.push_str(&format!(
+                "  {}/{} | {:9.1} | {} | {}   | {:11.1} | {:6.1} | {}\n",
+                run.replicas,
+                &run.profile.name()[..1],
+                r.baseline_wips,
+                secs(r.time_to_detect_us),
+                secs(r.time_to_failover_us),
+                r.degraded_us as f64 / 1e6,
+                r.wips_dip_pct,
+                secs(r.ramp_to_95pct_us),
+            ));
+        }
+    }
+    out
+}
+
 /// Renders one fault run's WIPS histogram with crash (c) and recovery
 /// (r) markers — the Figures 5/7/8 panels.
 pub fn render_fault_histogram(run: &FaultRun) -> String {

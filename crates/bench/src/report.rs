@@ -110,6 +110,7 @@ impl JsonReport {
             format!("\"audit_checks\": {}", report.audit.checks),
             format!("\"audit_violations\": {}", report.audit.total_violations),
         ];
+        fields.extend(availability_fields(report));
         for (k, v) in extra {
             fields.push(format!("{}: {}", json_string(k), json_f64(*v)));
         }
@@ -241,11 +242,67 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Derives per-crash [`obs::AvailabilityReport`]s from a run's
+/// recorded per-second WIPS series and recovery spans — the untraced
+/// path to the paper's availability decomposition (the traced path
+/// goes through `exp_timeline` on a full trace).
+pub fn availability_from_run(report: &RunReport) -> Vec<obs::AvailabilityReport> {
+    if report.spans.is_empty() {
+        return Vec::new();
+    }
+    let mut markers: Vec<(u64, u32, &'static str)> = Vec::new();
+    for span in &report.spans {
+        markers.push((span.crash_at, span.server as u32, "crash"));
+        markers.push((span.restart_at, span.server as u32, "restart"));
+        if let Some(t) = span.recovered_at {
+            markers.push((t, span.server as u32, "recovery_complete"));
+        }
+    }
+    markers.sort_unstable();
+    let cfg = obs::TimelineConfig::default();
+    let tl = obs::Timeline::from_series(
+        report.recorder.wips_series(),
+        report.recorder.error_series(),
+        cfg.window_us,
+        &markers,
+    );
+    obs::availability_reports(&tl, &cfg)
+}
+
+/// The availability-report JSON fields of a run's first crash incident
+/// (empty when the faultload injected none).
+fn availability_fields(report: &RunReport) -> Vec<String> {
+    let reports = availability_from_run(report);
+    let Some(first) = reports.first() else {
+        return Vec::new();
+    };
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
+    vec![
+        format!("\"incidents\": {}", reports.len()),
+        format!("\"baseline_wips\": {}", json_f64(first.baseline_wips)),
+        format!("\"time_to_detect_us\": {}", opt(first.time_to_detect_us)),
+        format!(
+            "\"time_to_failover_us\": {}",
+            opt(first.time_to_failover_us)
+        ),
+        format!("\"degraded_us\": {}", first.degraded_us),
+        format!("\"wips_dip_pct\": {}", json_f64(first.wips_dip_pct)),
+        format!("\"ramp_to_95pct_us\": {}", opt(first.ramp_to_95pct_us)),
+    ]
+}
+
 fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Fixed 4-decimal formatting: a committed baseline regenerated on
+    // another machine diffs in values, not in 16-digit float noise.
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" || s == "-0" {
+        "0".to_string()
     } else {
-        "null".to_string()
+        s.to_string()
     }
 }
 
@@ -264,5 +321,14 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_f64_uses_fixed_decimals() {
+        assert_eq!(json_f64(485.666_666_666_7), "485.6667");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(-0.000_01), "0", "rounds to signless zero");
+        assert_eq!(json_f64(99.999_96), "100");
+        assert_eq!(json_f64(1.25), "1.25");
     }
 }

@@ -35,6 +35,12 @@ pub struct ClientNode {
     /// hash-order sweeps break bit-identical seeded replays.
     outstanding: BTreeMap<u64, usize>,
     next_seq: u64,
+    /// The second the open trace sample covers (tracing only).
+    sample_sec: u64,
+    /// Interactions completed ok in `sample_sec`.
+    sample_ok: u64,
+    /// Interactions failed in `sample_sec`.
+    sample_err: u64,
 }
 
 impl ClientNode {
@@ -69,6 +75,53 @@ impl ClientNode {
             slots,
             outstanding: BTreeMap::new(),
             next_seq: 0,
+            sample_sec: 0,
+            sample_ok: 0,
+            sample_err: 0,
+        }
+    }
+
+    /// Folds one completion into the per-second trace sample, emitting
+    /// the previous second's aggregate when `now` crosses into a new
+    /// one. Aggregating per second keeps traced runs from carrying one
+    /// record per interaction.
+    fn trace_completion(&mut self, engine: &mut Engine<ClusterMsg>, now: u64, ok: bool) {
+        if !engine.trace_enabled() {
+            return;
+        }
+        let sec = now / 1_000_000;
+        if sec != self.sample_sec {
+            self.emit_sample(engine);
+            self.sample_sec = sec;
+        }
+        if ok {
+            self.sample_ok += 1;
+        } else {
+            self.sample_err += 1;
+        }
+    }
+
+    /// Emits and resets the open sample, if it holds anything.
+    fn emit_sample(&mut self, engine: &mut Engine<ClusterMsg>) {
+        if self.sample_ok > 0 || self.sample_err > 0 {
+            engine.trace(
+                self.node,
+                obs::TraceEvent::ClientSample {
+                    sec: self.sample_sec,
+                    ok: self.sample_ok,
+                    err: self.sample_err,
+                },
+            );
+            self.sample_ok = 0;
+            self.sample_err = 0;
+        }
+    }
+
+    /// Flushes the trailing partial-second sample at end of run (the
+    /// experiment driver calls this before extracting the trace).
+    pub fn flush_trace(&mut self, engine: &mut Engine<ClusterMsg>) {
+        if engine.trace_enabled() {
+            self.emit_sample(engine);
         }
     }
 
@@ -115,6 +168,7 @@ impl ClientNode {
                 if let Some(idx) = self.outstanding.remove(&req_id) {
                     self.slots[idx].waiting = None;
                     rec.record_error(now);
+                    self.trace_completion(engine, now, false);
                     self.think_again(engine, idx);
                 }
             }
@@ -150,6 +204,7 @@ impl ClientNode {
                         } else {
                             rec.record_served_error(now);
                         }
+                        self.trace_completion(engine, now, ok);
                     }
                     self.slots[idx].rbe.on_response(interaction, session);
                     self.think_again(engine, idx);
@@ -159,6 +214,7 @@ impl ClientNode {
                 if let Some(idx) = self.outstanding.remove(&req_id) {
                     self.slots[idx].waiting = None;
                     rec.record_error(now);
+                    self.trace_completion(engine, now, false);
                     self.think_again(engine, idx);
                 }
             }

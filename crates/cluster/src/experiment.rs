@@ -488,6 +488,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         }
     }
 
+    // Flush the clients' trailing partial-second trace samples.
+    for client in clients.iter_mut() {
+        client.flush_trace(&mut engine);
+    }
+
     let dependability = DependabilityReport::build(
         recorder.wips_series(),
         config.schedule.measure_start_us(),

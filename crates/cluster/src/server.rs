@@ -70,6 +70,9 @@ pub struct ServerNode {
     /// Deadline (µs) the armed `TOKEN_BATCH` timer fires at, so the open
     /// batch's window is armed exactly once.
     batch_timer_armed: Option<u64>,
+    /// Last second a `QueueSample` was traced for (one sample per
+    /// second keeps the trace small).
+    queue_sampled_sec: u64,
 }
 
 impl ServerNode {
@@ -103,6 +106,7 @@ impl ServerNode {
             ready: true,
             cpu_debt_us: 0,
             batch_timer_armed: None,
+            queue_sampled_sec: 0,
         };
         server.apply_mw_effects(engine, boot_fx, auditor);
         server
@@ -144,6 +148,7 @@ impl ServerNode {
             ready: false,
             cpu_debt_us: 0,
             batch_timer_armed: None,
+            queue_sampled_sec: engine.now().as_micros() / 1_000_000,
         };
         server.apply_mw_effects(engine, fx, auditor);
         server
@@ -298,6 +303,12 @@ impl ServerNode {
                         },
                         page.page_bytes,
                     );
+                    // The blocked client is answered: the end of the
+                    // paper's blocking execute() path, and the reply
+                    // edge of this update's critical-path span.
+                    if engine.trace_enabled() {
+                        engine.trace(self.node, obs::TraceEvent::ReplySent { seq: pid.seq });
+                    }
                 }
             }
         }
@@ -412,6 +423,17 @@ impl ServerNode {
             TOKEN_TICK => {
                 engine.set_timer(self.node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
                 let now = engine.now().as_micros();
+                // Sample the work-queue depth once per second for the
+                // timeline's per-node load series (the per-enqueue
+                // histogram already captures the distribution).
+                if engine.trace_enabled() {
+                    let sec = now / 1_000_000;
+                    if sec > self.queue_sampled_sec {
+                        self.queue_sampled_sec = sec;
+                        let depth = self.queue.len() as u64;
+                        engine.trace(self.node, obs::TraceEvent::QueueSample { depth });
+                    }
+                }
                 let fx = self.mw.on_tick(now);
                 self.apply_mw_effects(engine, fx, auditor);
             }

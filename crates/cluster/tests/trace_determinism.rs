@@ -47,6 +47,79 @@ fn same_seed_traces_are_byte_identical() {
     assert!(breakdowns[0].complete, "recovery must complete in trace");
 }
 
+/// The windowed timeline and span profile are pure functions of the
+/// trace, so their CSV/JSONL exports must be byte-identical across
+/// same-seed runs — and the availability decomposition they derive must
+/// describe the injected crash, not an artifact of windowing.
+#[test]
+fn timeline_exports_are_deterministic_and_bracket_the_crash() {
+    let a = run_experiment(&crash_config(true));
+    let b = run_experiment(&crash_config(true));
+    // Crash at 45 s; with 5 s windows a 12-window lookback would reach
+    // into the ramp-up and depress the baseline, so use the post-ramp
+    // steady state only.
+    let cfg = obs::TimelineConfig {
+        baseline_windows: 3,
+        ..Default::default()
+    };
+    let build = |r: &RunReport| {
+        let mut tl = obs::Timeline::from_records(&r.trace, cfg.window_us);
+        let profile = obs::SpanProfile::from_records(&r.trace);
+        tl.dominant_phase = profile.dominant_phases(tl.window_us, tl.windows.len());
+        (tl, profile)
+    };
+    let (tl, profile) = build(&a);
+    let (tl_b, _) = build(&b);
+    assert_eq!(
+        tl.csv_rows("run"),
+        tl_b.csv_rows("run"),
+        "same-seed timeline CSV must be byte-identical"
+    );
+    assert_eq!(
+        tl.to_jsonl("run"),
+        tl_b.to_jsonl("run"),
+        "same-seed timeline JSONL must be byte-identical"
+    );
+
+    // Exactly one crash incident, with the degraded stretch bracketing
+    // the crash and a measured failover, ramp-back and detection.
+    let reports = obs::availability_reports(&tl, &cfg);
+    assert_eq!(reports.len(), 1, "one crash incident expected");
+    let r = &reports[0];
+    assert!(r.baseline_wips > 0.0);
+    assert!(
+        r.brackets_crash(),
+        "degraded stretch must bracket the crash: {r:?}"
+    );
+    assert!(r.degraded_us > 0);
+    assert!(r.wips_dip_pct > 0.0);
+    assert!(
+        r.time_to_failover_us.is_some_and(|us| us > 0),
+        "nonzero time to failover: {r:?}"
+    );
+    assert!(
+        r.ramp_to_95pct_us.is_some_and(|us| us > 0),
+        "nonzero ramp back to 95% of baseline: {r:?}"
+    );
+    assert!(
+        r.time_to_detect_us.is_some_and(|us| us > 0),
+        "the watchdog restart must be visible as detection time"
+    );
+
+    // Spans were stitched, and their pipeline phases telescope exactly
+    // to the middleware's end-to-end commit latency (the "within 5%"
+    // budget is met with zero slack by construction).
+    assert!(!profile.spans.is_empty(), "traced run must stitch spans");
+    for span in &profile.spans {
+        assert_eq!(span.phase_sum_us(), span.total_us, "span {:?}", span);
+    }
+    // Windows with deliveries name a dominant phase.
+    assert!(
+        tl.dominant_phase.iter().any(|p| p.is_some()),
+        "at least one window must name a dominant critical-path phase"
+    );
+}
+
 #[test]
 fn tracing_does_not_perturb_the_run() {
     let traced = run_experiment(&crash_config(true));

@@ -661,6 +661,8 @@ impl<App: Application> Middleware<App> {
         self.update_seq += 1;
         if self.trace.enabled() {
             self.submit_times.insert(pid, self.now);
+            self.trace
+                .push(TraceEvent::UpdateSubmitted { seq: pid.seq });
         }
         if let Some(cap) = self.config.max_outstanding {
             if self.outstanding_local >= cap {
@@ -707,6 +709,7 @@ impl<App: Application> Middleware<App> {
         self.trace.push(TraceEvent::BatchFlushed {
             updates: items.len() as u64,
             trigger,
+            first_seq: items.first().map_or(0, |(pid, _)| pid.seq),
         });
         let (_batch_pid, fx) = self.paxos.propose(Batch::new(items));
         let lowered = self.lower(fx);
@@ -1054,6 +1057,8 @@ impl<App: Application> Middleware<App> {
                 self.trace.push(TraceEvent::UpdateDelivered {
                     slot: entry.slot.0,
                     index: u64::from(entry.index),
+                    submitter: entry.pid.node.0,
+                    seq: entry.pid.seq,
                     latency_us,
                 });
             }

@@ -215,6 +215,7 @@ mod tests {
                 TraceEvent::BatchFlushed {
                     updates: 4,
                     trigger: "size",
+                    first_seq: 0,
                 },
             ),
             rec(950, 0, TraceEvent::LogAppend { bytes: 400 }),
@@ -353,6 +354,7 @@ mod tests {
                 TraceEvent::BatchFlushed {
                     updates: 3,
                     trigger: "window",
+                    first_seq: 0,
                 },
             ),
             rec(11, 0, TraceEvent::LogAppend { bytes: 300 }),
@@ -362,6 +364,8 @@ mod tests {
                 TraceEvent::UpdateDelivered {
                     slot: 0,
                     index: 0,
+                    submitter: 0,
+                    seq: 0,
                     latency_us: 40,
                 },
             ),
@@ -371,6 +375,8 @@ mod tests {
                 TraceEvent::UpdateDelivered {
                     slot: 0,
                     index: 1,
+                    submitter: 1,
+                    seq: 0,
                     latency_us: 0,
                 },
             ),

@@ -83,12 +83,24 @@ pub enum TraceEvent {
     },
 
     // --- replication middleware ---
-    /// A group-commit batch was flushed into consensus.
+    /// A locally submitted update received its per-epoch sequence number
+    /// and entered the group-commit pipeline. The span profiler uses
+    /// this as the root of each update's critical path.
+    UpdateSubmitted {
+        /// Submitter-local sequence number within the current epoch.
+        seq: u64,
+    },
+    /// A group-commit batch was flushed into consensus. The batch
+    /// carries the consecutive local sequence numbers
+    /// `[first_seq, first_seq + updates)`, which is how the span
+    /// profiler joins each update to its flush edge.
     BatchFlushed {
         /// Updates coalesced into the batch.
         updates: u64,
         /// What closed the batch: `"size"`, `"window"`, or `"single"`.
         trigger: &'static str,
+        /// Sequence number of the batch's first update.
+        first_seq: u64,
     },
     /// A consensus record was appended to the stable log.
     LogAppend {
@@ -143,9 +155,47 @@ pub enum TraceEvent {
         slot: u64,
         /// Index of the update inside its batch.
         index: u64,
+        /// Replica that submitted the update.
+        submitter: u32,
+        /// Submitter-local sequence number of the update.
+        seq: u64,
         /// Submit-to-apply latency in µs (0 when the submitter was a
         /// different replica, whose clock we do not see).
         latency_us: u64,
+    },
+    /// The web tier sent the blocked client its reply after applying the
+    /// client's update locally (the end of the paper's blocking
+    /// `execute()` path).
+    ReplySent {
+        /// Submitter-local sequence number of the answered update.
+        seq: u64,
+    },
+
+    // --- periodic load & resource samples ---
+    /// One second of client-side interaction completions (emitted by a
+    /// client node when its clock crosses into a new second; seconds
+    /// with no completions emit nothing).
+    ClientSample {
+        /// The sampled second (index from run start).
+        sec: u64,
+        /// Successful interactions completed in that second.
+        ok: u64,
+        /// Failed interactions (connection errors, timeouts) in it.
+        err: u64,
+    },
+    /// Cumulative network totals, sampled by the proxy each probe round
+    /// (the proxy never crashes, so the series is monotone and the
+    /// timeline can difference it into per-window traffic).
+    NetSample {
+        /// Messages submitted to the network so far.
+        messages: u64,
+        /// Payload bytes carried so far.
+        bytes: u64,
+    },
+    /// A server's work-queue depth, sampled on its middleware tick.
+    QueueSample {
+        /// Queued work items (pages being rendered + updates applying).
+        depth: u64,
     },
 
     // --- simulated environment ---
@@ -224,6 +274,7 @@ impl TraceEvent {
             TraceEvent::PrepareStarted { .. } => "prepare_started",
             TraceEvent::LeaderElected { .. } => "leader_elected",
             TraceEvent::ModeSwitch { .. } => "mode_switch",
+            TraceEvent::UpdateSubmitted { .. } => "update_submitted",
             TraceEvent::BatchFlushed { .. } => "batch_flushed",
             TraceEvent::LogAppend { .. } => "log_append",
             TraceEvent::AppendDurable => "append_durable",
@@ -235,6 +286,10 @@ impl TraceEvent {
             TraceEvent::LogReplayed { .. } => "log_replayed",
             TraceEvent::RecoveryComplete { .. } => "recovery_complete",
             TraceEvent::UpdateDelivered { .. } => "update_delivered",
+            TraceEvent::ReplySent { .. } => "reply_sent",
+            TraceEvent::ClientSample { .. } => "client_sample",
+            TraceEvent::NetSample { .. } => "net_sample",
+            TraceEvent::QueueSample { .. } => "queue_sample",
             TraceEvent::Crash => "crash",
             TraceEvent::Restart { .. } => "restart",
             TraceEvent::TornWrite { .. } => "torn_write",
@@ -293,9 +348,11 @@ mod tests {
                 from: MODE_FAST,
                 to: MODE_CLASSIC,
             },
+            TraceEvent::UpdateSubmitted { seq: 0 },
             TraceEvent::BatchFlushed {
                 updates: 1,
                 trigger: "size",
+                first_seq: 0,
             },
             TraceEvent::LogAppend { bytes: 0 },
             TraceEvent::AppendDurable,
@@ -313,8 +370,21 @@ mod tests {
             TraceEvent::UpdateDelivered {
                 slot: 0,
                 index: 0,
+                submitter: 0,
+                seq: 0,
                 latency_us: 0,
             },
+            TraceEvent::ReplySent { seq: 0 },
+            TraceEvent::ClientSample {
+                sec: 0,
+                ok: 1,
+                err: 0,
+            },
+            TraceEvent::NetSample {
+                messages: 0,
+                bytes: 0,
+            },
+            TraceEvent::QueueSample { depth: 0 },
             TraceEvent::Crash,
             TraceEvent::Restart { incarnation: 1 },
             TraceEvent::TornWrite { bytes_kept: 1 },

@@ -46,8 +46,13 @@ pub fn encode(rec: &TraceRecord) -> String {
         PrepareStarted { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
         LeaderElected { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
         ModeSwitch { from, to } => format!(",\"from\":\"{from}\",\"to\":\"{to}\""),
-        BatchFlushed { updates, trigger } => {
-            format!(",\"updates\":{updates},\"trigger\":\"{trigger}\"")
+        UpdateSubmitted { seq } => format!(",\"seq\":{seq}"),
+        BatchFlushed {
+            updates,
+            trigger,
+            first_seq,
+        } => {
+            format!(",\"updates\":{updates},\"trigger\":\"{trigger}\",\"first_seq\":{first_seq}")
         }
         LogAppend { bytes } => format!(",\"bytes\":{bytes}"),
         AppendDurable => String::new(),
@@ -65,8 +70,16 @@ pub fn encode(rec: &TraceRecord) -> String {
         UpdateDelivered {
             slot,
             index,
+            submitter,
+            seq,
             latency_us,
-        } => format!(",\"slot\":{slot},\"index\":{index},\"latency_us\":{latency_us}"),
+        } => format!(
+            ",\"slot\":{slot},\"index\":{index},\"submitter\":{submitter},\"seq\":{seq},\"latency_us\":{latency_us}"
+        ),
+        ReplySent { seq } => format!(",\"seq\":{seq}"),
+        ClientSample { sec, ok, err } => format!(",\"sec\":{sec},\"ok\":{ok},\"err\":{err}"),
+        NetSample { messages, bytes } => format!(",\"messages\":{messages},\"bytes\":{bytes}"),
+        QueueSample { depth } => format!(",\"depth\":{depth}"),
         Crash => String::new(),
         Restart { incarnation } => format!(",\"incarnation\":{incarnation}"),
         TornWrite { bytes_kept } => format!(",\"bytes_kept\":{bytes_kept}"),
@@ -169,9 +182,13 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
             from: get_tag(f, "from")?,
             to: get_tag(f, "to")?,
         },
+        "update_submitted" => UpdateSubmitted {
+            seq: get_num(f, "seq")?,
+        },
         "batch_flushed" => BatchFlushed {
             updates: get_num(f, "updates")?,
             trigger: get_tag(f, "trigger")?,
+            first_seq: get_num(f, "first_seq")?,
         },
         "log_append" => LogAppend {
             bytes: get_num(f, "bytes")?,
@@ -203,7 +220,24 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
         "update_delivered" => UpdateDelivered {
             slot: get_num(f, "slot")?,
             index: get_num(f, "index")?,
+            submitter: get_num(f, "submitter")? as u32,
+            seq: get_num(f, "seq")?,
             latency_us: get_num(f, "latency_us")?,
+        },
+        "reply_sent" => ReplySent {
+            seq: get_num(f, "seq")?,
+        },
+        "client_sample" => ClientSample {
+            sec: get_num(f, "sec")?,
+            ok: get_num(f, "ok")?,
+            err: get_num(f, "err")?,
+        },
+        "net_sample" => NetSample {
+            messages: get_num(f, "messages")?,
+            bytes: get_num(f, "bytes")?,
+        },
+        "queue_sample" => QueueSample {
+            depth: get_num(f, "depth")?,
         },
         "crash" => Crash,
         "restart" => Restart {
@@ -379,7 +413,7 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Stri
     }
 }
 
-fn quote(s: &str) -> String {
+pub(crate) fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -421,16 +455,31 @@ mod tests {
                 from: "fast",
                 to: "classic",
             },
+            UpdateSubmitted { seq: 12 },
             BatchFlushed {
                 updates: 8,
                 trigger: "size",
+                first_seq: 5,
             },
             AppendDurable,
             UpdateDelivered {
                 slot: 9,
                 index: 2,
+                submitter: 3,
+                seq: 12,
                 latency_us: 531,
             },
+            ReplySent { seq: 12 },
+            ClientSample {
+                sec: 41,
+                ok: 17,
+                err: 2,
+            },
+            NetSample {
+                messages: 120_000,
+                bytes: 48_000_000,
+            },
+            QueueSample { depth: 7 },
             Crash,
             Restart { incarnation: 2 },
             MsgDropped {

@@ -17,7 +17,13 @@
 //!   log₂ histograms (commit latency, batch sizes, queue depths);
 //! * [`jsonl`] — a canonical JSONL codec for traces (stdlib only);
 //! * [`analyze`] — offline reconstruction of per-incident recovery
-//!   breakdowns and commit-latency tables from a trace alone.
+//!   breakdowns and commit-latency tables from a trace alone;
+//! * [`timeline`] — windowed WIPS/commit/resource series with fault
+//!   markers, plus per-crash [`AvailabilityReport`]s (time to detect /
+//!   failover, dip depth, ramp back to 95 % of baseline);
+//! * [`spans`] — per-update critical-path spans
+//!   (submit→flush→accept→decide→apply→reply) whose phase latencies
+//!   sum exactly to the measured commit latency.
 //!
 //! Everything is gated on [`TraceConfig`], default off: a disabled
 //! tracer costs one branch per would-be event and allocates nothing.
@@ -31,9 +37,13 @@ pub mod analyze;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod spans;
+pub mod timeline;
 pub mod tracer;
 
 pub use analyze::{latency_summary, recovery_breakdowns, LatencySummary, RecoveryBreakdown};
 pub use event::{TraceEvent, TraceRecord, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
 pub use metrics::{Hist, NodeMetrics};
+pub use spans::{SpanProfile, UpdateSpan, PHASES};
+pub use timeline::{availability_reports, AvailabilityReport, Timeline, TimelineConfig};
 pub use tracer::{EventBuf, TraceConfig, Tracer};

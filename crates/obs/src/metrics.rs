@@ -17,8 +17,9 @@ const BUCKETS: usize = 40;
 ///
 /// Bucket `i` holds values `v` with `floor(log2(v+1)) == i`, i.e. bucket
 /// 0 is `{0}`, bucket 1 is `{1}`, bucket 2 is `{2,3}`, and so on.
-/// Quantiles are therefore approximate (bucket upper bound) but the
-/// mean is exact.
+/// Quantiles interpolate linearly inside the bucket holding the ranked
+/// sample (and clamp to the exact min/max), so their error is bounded
+/// by the spacing of samples within one bucket; the mean is exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hist {
     count: u64,
@@ -84,8 +85,11 @@ impl Hist {
         self.max
     }
 
-    /// Approximate quantile `q` in `[0,1]`: the upper bound of the
-    /// bucket containing the q-th sample (exact min/max at the ends).
+    /// Approximate quantile `q` in `[0,1]`, interpolated linearly within
+    /// the log₂ bucket containing the q-th ranked sample (exact min/max
+    /// at the ends). Returning the bucket's upper bound instead would
+    /// over-report tail quantiles by up to 2×, since a bucket's bounds
+    /// are a factor of two apart.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -101,8 +105,15 @@ impl Hist {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                // Upper bound of bucket i is 2^(i+1) - 2 … clamp to max.
-                return ((1u64 << (i + 1)) - 2).min(self.max);
+                // Bucket i spans [2^i - 1, 2^(i+1) - 2]. Place the ranked
+                // sample proportionally to its position among the bucket's
+                // `b` occupants (u128 keeps the product from overflowing).
+                let lo = (1u64 << i) - 1;
+                let hi = (1u64 << (i + 1)) - 2;
+                let pos = rank - (seen - b); // 1-based position in bucket
+                let est =
+                    lo + (((hi - lo) as u128 * (pos - 1) as u128) / (*b).max(1) as u128) as u64;
+                return est.clamp(self.min(), self.max);
             }
         }
         self.max
@@ -166,6 +177,31 @@ mod tests {
         assert!((256..=1022).contains(&p50), "p50={p50}");
         assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(1.0), 999);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 0..1000 uniformly: the true p10/p50 are 99/499. Bucket upper
+        // bounds (the old behaviour) would report 126/510; interpolation
+        // lands within one sample of the truth.
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.1), 98);
+        assert_eq!(h.quantile(0.5), 498);
+        // p99's bucket tops out above the sample max; the clamp keeps the
+        // estimate inside the observed range.
+        assert_eq!(h.quantile(0.99), 999);
+
+        // A constant series must report that constant at every quantile.
+        let mut c = Hist::new();
+        for _ in 0..100 {
+            c.observe(300);
+        }
+        for q in [0.01, 0.5, 0.9, 0.99] {
+            assert_eq!(c.quantile(q), 300, "q={q}");
+        }
     }
 
     #[test]

@@ -201,6 +201,8 @@ mod tests {
             TraceEvent::UpdateDelivered {
                 slot: 1,
                 index: 0,
+                submitter: 2,
+                seq: 0,
                 latency_us: 40,
             },
         );

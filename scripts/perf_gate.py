@@ -6,8 +6,10 @@ Usage: perf_gate.py BASELINE.json CURRENT.json
 Both files are ``exp_batching --gate --json`` reports. The gate fails
 (exit 1) when any labelled point's committed-updates/sec drops more than
 REGRESSION_TOLERANCE below the committed baseline, when the batch-8 over
-batch-1 speedup collapses below MIN_SPEEDUP, or when the always-on
-consensus auditor reported any violation. The simulator is deterministic,
+batch-1 speedup collapses below MIN_SPEEDUP, when a point that carries
+an availability decomposition ramps back to 95% of baseline WIPS more
+than RAMP_TOLERANCE slower than the committed baseline, or when the
+always-on consensus auditor reported any violation. The simulator is deterministic,
 so on unchanged code the current run reproduces the baseline bit-for-bit;
 a tripped gate always points at a real behavioural change. After an
 intentional recalibration, regenerate the baseline with::
@@ -25,6 +27,9 @@ REGRESSION_TOLERANCE = 0.15
 # Group commit must keep paying for itself: batch=8 throughput must stay
 # at least this multiple of batch=1 on the ordering mix.
 MIN_SPEEDUP = 1.8
+# Post-crash ramp back to 95% of baseline WIPS may be up to 15% slower
+# than the committed baseline before the gate trips (higher is worse).
+RAMP_TOLERANCE = 0.15
 
 
 def load_runs(path):
@@ -79,6 +84,29 @@ def main(argv):
             )
         if cur.get("audit_violations", 0) != 0:
             failures.append(f"{label}: {cur['audit_violations']} audit violations")
+
+        # Availability: a baseline that measured a post-crash ramp pins
+        # the recovery path too. null (never ramped back) never gates.
+        base_ramp = base.get("ramp_to_95pct_us")
+        if isinstance(base_ramp, (int, float)) and base_ramp > 0:
+            cur_ramp = cur.get("ramp_to_95pct_us")
+            if not isinstance(cur_ramp, (int, float)):
+                failures.append(
+                    f"{label}: baseline has ramp_to_95pct_us but current "
+                    f"run reports {cur_ramp!r}"
+                )
+                continue
+            ramp_ratio = cur_ramp / base_ramp
+            print(
+                f"{label + ' ramp95(s)':<24} {base_ramp / 1e6:>10.1f} "
+                f"{cur_ramp / 1e6:>10.1f} {ramp_ratio:>6.2f}x"
+            )
+            if cur_ramp > base_ramp * (1.0 + RAMP_TOLERANCE):
+                failures.append(
+                    f"{label}: ramp to 95% of baseline WIPS took "
+                    f"{cur_ramp / 1e6:.1f}s, more than {RAMP_TOLERANCE:.0%} "
+                    f"over baseline {base_ramp / 1e6:.1f}s"
+                )
 
     by_batch = {run.get("batch"): run for run in current.values()}
     if 1 in by_batch and 8 in by_batch:
