@@ -1,0 +1,47 @@
+//! Disk-model micro-benchmarks: latency computation for the write and
+//! read paths. These sit on the engine's disk completion path, so a
+//! regression here taxes every simulated durable operation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simnet::{DiskConfig, DiskModel, StableOp};
+
+fn bench_disk(c: &mut Criterion) {
+    c.bench_function("disk_write_latency_x100", |b| {
+        let mut disk = DiskModel::new(DiskConfig::default());
+        let ops: Vec<StableOp> = (0..100u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    StableOp::Append {
+                        log: "wal".to_string(),
+                        entry: vec![0u8; 64 + (i as usize % 192)],
+                    }
+                } else {
+                    StableOp::Put {
+                        key: format!("k{}", i % 16),
+                        value: vec![0u8; 256],
+                    }
+                }
+            })
+            .collect();
+        b.iter(|| {
+            let mut total = 0u64;
+            for op in &ops {
+                total += disk.write_latency(black_box(op)).as_micros();
+            }
+            total
+        })
+    });
+    c.bench_function("disk_read_latency_x100", |b| {
+        let mut disk = DiskModel::new(DiskConfig::default());
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..100u64 {
+                total += disk.read_latency(black_box(1_000 + i * 37)).as_micros();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_disk);
+criterion_main!(benches);

@@ -50,6 +50,12 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("encode_log_record", |b| {
         b.iter(|| std::hint::black_box(record.to_bytes()))
     });
+    c.bench_function("encode_log_record_scratch", |b| {
+        // The middleware's persist path: one reused staging buffer, one
+        // exact-size output allocation per record.
+        let mut scratch = treplica::EncodeScratch::new();
+        b.iter(|| std::hint::black_box(scratch.encode(&record)))
+    });
     c.bench_function("decode_log_record", |b| {
         b.iter(|| Record::<Action>::from_bytes(std::hint::black_box(&rbytes)).unwrap())
     });

@@ -14,8 +14,10 @@
 //! (ordering mix, batch 1 and 8); combine with `--json <path>` to emit
 //! the machine-readable report `scripts/perf_gate.py` consumes.
 
-use bench::{base_config, committed_updates, Console, JsonReport, Mode, TraceSink};
-use cluster::{run_experiment, ServiceModel};
+use bench::{
+    base_config, committed_updates, run_experiment_timed, Console, JsonReport, Mode, TraceSink,
+};
+use cluster::ServiceModel;
 use faultload::{FaultEvent, Faultload, RecoveryKind};
 use tpcw::Profile;
 
@@ -62,8 +64,9 @@ fn main() {
             // update gives 2× headroom; batch = 1 keeps the
             // pre-batching immediate flush.
             config.batch_window_us = if batch == 1 { 0 } else { batch as u64 * 10_000 };
-            let report = run_experiment(&config);
-            let committed = committed_updates(&report);
+            let timed = run_experiment_timed(&config);
+            let report = &timed.report;
+            let committed = committed_updates(report);
             let secs = report.schedule.total_us() as f64 / 1e6;
             let ups = committed as f64 / secs;
             let (base_ups, base_appends) = *baseline.get_or_insert((ups, report.disk_appends));
@@ -79,8 +82,8 @@ fn main() {
                 report.audit.checks,
                 report.audit.total_violations,
             ));
-            json.push_with(&label, &report, &[("batch", batch as f64)]);
-            trace.record_run(&label, &report);
+            json.push_timed(&label, &timed, &[("batch", batch as f64)]);
+            trace.record_run(&label, report);
         }
     }
     if gate {
@@ -108,9 +111,10 @@ fn main() {
             }],
             ..Faultload::default()
         };
-        let report = run_experiment(&config);
+        let timed = run_experiment_timed(&config);
+        let report = &timed.report;
         let label = "Ordering batch=8 crash";
-        let ramp = bench::report::availability_from_run(&report)
+        let ramp = bench::report::availability_from_run(report)
             .first()
             .and_then(|r| r.ramp_to_95pct_us)
             .map(|us| format!("{:.1}s", us as f64 / 1e6))
@@ -119,8 +123,8 @@ fn main() {
             "{label:<22} AWIPS {:7.1}  availability {:.5}  ramp95 {ramp}",
             report.awips, report.dependability.availability,
         ));
-        json.push_with(label, &report, &[("crash", 1.0)]);
-        trace.record_run(label, &report);
+        json.push_timed(label, &timed, &[("crash", 1.0)]);
+        trace.record_run(label, report);
     }
     json.write_if_requested();
     trace.write_if_requested();

@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod parallel;
 pub mod render;
 pub mod report;
 
+pub use parallel::run_parallel;
 pub use render::Console;
 pub use report::{
     committed_updates, json_path_from_args, trace_path_from_args, JsonReport, TraceSink,
@@ -97,6 +99,32 @@ pub fn trace_config_from_args() -> simnet::TraceConfig {
     }
 }
 
+/// A run report plus the real time it took to produce — the raw
+/// material for the events-per-second and wall-clock points the perf
+/// gate tracks. Wall-clock here is host time (this is the harness, not
+/// the simulation), so these fields are machine-dependent and gated
+/// loosely.
+pub struct TimedRun {
+    /// The simulation's report.
+    pub report: RunReport,
+    /// Host seconds spent producing it.
+    pub wall_secs: f64,
+}
+
+/// Runs one experiment and measures the host wall-clock cost.
+pub fn run_experiment_timed(config: &ExperimentConfig) -> TimedRun {
+    // Host timing is the point here: this measures the harness, not the
+    // simulation, and the fields it feeds are gated loosely for exactly
+    // that reason.
+    #[allow(clippy::disallowed_methods)]
+    let start = std::time::Instant::now();
+    let report = run_experiment(config);
+    TimedRun {
+        report,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
 /// One point of a sweep experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepPoint {
@@ -112,22 +140,18 @@ pub struct SweepPoint {
 /// each workload, 500 MB initial state.
 pub fn fig3_speedup(mode: Mode, profile: Profile) -> Vec<SweepPoint> {
     let service = ServiceModel::default();
-    mode.sweep_replicas()
-        .into_iter()
-        .map(|replicas| {
-            let mut config = base_config(mode, replicas, profile);
-            config.ebs = 50;
-            // Saturating load: 1.35× the analytic capacity estimate.
-            config.rbes =
-                ((service.estimated_capacity(profile, replicas) * 1.35) as usize).max(600);
-            let report = run_experiment(&config);
-            SweepPoint {
-                replicas,
-                wips: report.awips,
-                wirt_ms: report.mean_wirt_ms,
-            }
-        })
-        .collect()
+    run_parallel(mode.sweep_replicas(), |replicas| {
+        let mut config = base_config(mode, replicas, profile);
+        config.ebs = 50;
+        // Saturating load: 1.35× the analytic capacity estimate.
+        config.rbes = ((service.estimated_capacity(profile, replicas) * 1.35) as usize).max(600);
+        let report = run_experiment(&config);
+        SweepPoint {
+            replicas,
+            wips: report.awips,
+            wirt_ms: report.mean_wirt_ms,
+        }
+    })
 }
 
 /// Figure 4 scaleup results: points plus the paper's regression and
@@ -144,21 +168,17 @@ pub struct ScaleupResult {
 /// Figure 4 — scaleup: WIPS and WIRT at a fixed offered load of 1000
 /// WIPS (1000 RBEs at 1 s think time), 300 MB state.
 pub fn fig4_scaleup(mode: Mode, profile: Profile) -> ScaleupResult {
-    let points: Vec<SweepPoint> = mode
-        .sweep_replicas()
-        .into_iter()
-        .map(|replicas| {
-            let mut config = base_config(mode, replicas, profile);
-            config.ebs = 30;
-            config.rbes = 1_000;
-            let report = run_experiment(&config);
-            SweepPoint {
-                replicas,
-                wips: report.awips,
-                wirt_ms: report.mean_wirt_ms,
-            }
-        })
-        .collect();
+    let points: Vec<SweepPoint> = run_parallel(mode.sweep_replicas(), |replicas| {
+        let mut config = base_config(mode, replicas, profile);
+        config.ebs = 30;
+        config.rbes = 1_000;
+        let report = run_experiment(&config);
+        SweepPoint {
+            replicas,
+            wips: report.awips,
+            wirt_ms: report.mean_wirt_ms,
+        }
+    });
     let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.replicas as f64, p.wips)).collect();
     let fit = linear_fit(&xy);
     let ww: Vec<(f64, f64)> = points.iter().map(|p| (p.wips, p.wirt_ms)).collect();
@@ -205,13 +225,15 @@ pub fn fault_run(
 /// Figures 5/7/8 + Tables 1–6 — the full dependability grid for one
 /// faultload: replicas {5, 8} × the three profiles, 500 MB state.
 pub fn dependability_grid(mode: Mode, faultload: &Faultload) -> Vec<FaultRun> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for replicas in [5usize, 8] {
         for profile in Profile::ALL {
-            out.push(fault_run(mode, replicas, profile, 50, faultload.clone()));
+            points.push((replicas, profile));
         }
     }
-    out
+    run_parallel(points, |(replicas, profile)| {
+        fault_run(mode, replicas, profile, 50, faultload.clone())
+    })
 }
 
 /// One cell of the Figure 6 recovery-time grid.
@@ -230,27 +252,29 @@ pub struct RecoveryTimePoint {
 /// Figure 6 — recovery times for the single-crash faultload across
 /// state sizes, profiles and replica counts.
 pub fn fig6_recovery_times(mode: Mode) -> Vec<RecoveryTimePoint> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for replicas in [5usize, 8] {
         for profile in Profile::ALL {
             for ebs in [30u32, 50, 70] {
-                let run = fault_run(mode, replicas, profile, ebs, Faultload::single_crash());
-                let recovery_secs = run
-                    .report
-                    .spans
-                    .first()
-                    .and_then(|s| s.recovery_secs())
-                    .unwrap_or(f64::NAN);
-                out.push(RecoveryTimePoint {
-                    replicas,
-                    profile,
-                    ebs,
-                    recovery_secs,
-                });
+                points.push((replicas, profile, ebs));
             }
         }
     }
-    out
+    run_parallel(points, |(replicas, profile, ebs)| {
+        let run = fault_run(mode, replicas, profile, ebs, Faultload::single_crash());
+        let recovery_secs = run
+            .report
+            .spans
+            .first()
+            .and_then(|s| s.recovery_secs())
+            .unwrap_or(f64::NAN);
+        RecoveryTimePoint {
+            replicas,
+            profile,
+            ebs,
+            recovery_secs,
+        }
+    })
 }
 
 /// Computes relative speedups `S_k = π_k / π_4` from a sweep.

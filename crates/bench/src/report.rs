@@ -117,6 +117,26 @@ impl JsonReport {
         self.runs.push(format!("    {{{}}}", fields.join(", ")));
     }
 
+    /// Adds one timed run: the usual report fields plus the engine's
+    /// event count, events-per-host-second, and host wall-clock time.
+    ///
+    /// The timing fields are machine-dependent — unlike everything else
+    /// in the document they are not bit-for-bit reproducible across
+    /// hosts, and the perf gate checks them only against loose
+    /// tolerances.
+    pub fn push_timed(&mut self, label: &str, run: &crate::TimedRun, extra: &[(&str, f64)]) {
+        let mut fields: Vec<(&str, f64)> = vec![
+            ("engine_events", run.report.engine_events as f64),
+            (
+                "events_per_sec",
+                run.report.engine_events as f64 / run.wall_secs.max(1e-9),
+            ),
+            ("wall_clock_s", run.wall_secs),
+        ];
+        fields.extend_from_slice(extra);
+        self.push_with(label, &run.report, &fields);
+    }
+
     /// Adds one row of bare numeric fields (sweep experiments that
     /// aggregate away the underlying [`RunReport`]s).
     pub fn push_raw(&mut self, label: &str, fields: &[(&str, f64)]) {

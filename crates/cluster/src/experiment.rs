@@ -152,6 +152,9 @@ pub struct RunReport {
     /// Per-node metric registries accumulated by the tracer (index =
     /// node id; empty when tracing is off).
     pub metrics: Vec<obs::NodeMetrics>,
+    /// Observable events the engine dispatched during the run — the
+    /// denominator for events-per-second throughput reporting.
+    pub engine_events: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -567,6 +570,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         audit,
         trace,
         metrics,
+        engine_events: engine.events_dispatched(),
     }
 }
 

@@ -65,4 +65,4 @@ pub use middleware::{
 };
 pub use queue::{PersistentQueue, QueueEntry};
 pub use runtime::{LocalCluster, ReplicaHandle};
-pub use wire::{Wire, WireError};
+pub use wire::{EncodeScratch, Wire, WireError};

@@ -392,6 +392,9 @@ pub struct Middleware<App: Application> {
     /// Submit times of locally-issued updates, for commit-latency trace
     /// points. Only populated while tracing is enabled.
     submit_times: BTreeMap<ProposalId, u64>,
+    /// Reused encode buffer for the per-message persist path (one
+    /// exact-sized allocation per record instead of a growth chain).
+    scratch: crate::wire::EncodeScratch,
 }
 
 impl<App: Application> Middleware<App> {
@@ -443,6 +446,7 @@ impl<App: Application> Middleware<App> {
             update_seq: 0,
             trace,
             submit_times: BTreeMap::new(),
+            scratch: crate::wire::EncodeScratch::new(),
         }
     }
 
@@ -537,6 +541,7 @@ impl<App: Application> Middleware<App> {
             update_seq: 0,
             trace,
             submit_times: BTreeMap::new(),
+            scratch: crate::wire::EncodeScratch::new(),
         };
         let mut fx = Vec::new();
         let log_token = mw.alloc(TokenKind::LogRead);
@@ -865,10 +870,11 @@ impl<App: Application> Middleware<App> {
                     return Vec::new();
                 };
                 let token = self.alloc(TokenKind::MetaWrite);
+                let value = self.scratch.encode(&meta);
                 vec![MwEffect::DiskWrite {
                     op: StableOp::Put {
                         key: META_KEY.to_string(),
-                        value: meta.to_bytes(),
+                        value,
                     },
                     token,
                     nominal: None,
@@ -992,7 +998,7 @@ impl<App: Application> Middleware<App> {
                     out.push(MwEffect::Send { to, msg, bytes });
                 }
                 PaxosEffect::Persist { record, token } => {
-                    let entry = record.to_bytes();
+                    let entry = self.scratch.encode(&record);
                     self.trace.push(TraceEvent::LogAppend {
                         bytes: entry.len() as u64,
                     });

@@ -73,6 +73,40 @@ pub trait Wire: Sized {
     }
 }
 
+/// Reusable encode buffer for hot wire paths.
+///
+/// `Wire::to_bytes` grows a fresh `Vec` from zero capacity on every
+/// call, which on the middleware's per-message persist path means a
+/// chain of reallocations per record. A scratch buffer amortizes that:
+/// the working buffer keeps its high-water capacity across calls, and
+/// the caller receives one exact-sized allocation (`to_vec` of the
+/// filled prefix) instead of a growth sequence.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    buf: Vec<u8>,
+}
+
+impl EncodeScratch {
+    /// A scratch with no capacity yet; it grows to the largest value
+    /// encoded through it and stays there.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+
+    /// Encodes `value` through the reused buffer, returning an
+    /// exact-sized copy. Byte-for-byte identical to `value.to_bytes()`.
+    pub fn encode<T: Wire>(&mut self, value: &T) -> Vec<u8> {
+        self.buf.clear();
+        value.encode(&mut self.buf);
+        self.buf.as_slice().to_vec()
+    }
+
+    /// Current capacity of the reused working buffer.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
 fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
     if input.len() < n {
         return Err(WireError::UnexpectedEnd);
@@ -393,5 +427,29 @@ mod tests {
         let mut bytes = 5u32.to_bytes();
         bytes.push(0xAA);
         assert_eq!(u32::from_bytes(&bytes).unwrap(), 5);
+    }
+
+    #[test]
+    fn scratch_encode_matches_to_bytes() {
+        let mut scratch = EncodeScratch::new();
+        let big = Demo {
+            a: 7,
+            b: "x".repeat(300),
+            c: (0..200).collect(),
+        };
+        let small = Demo {
+            a: 8,
+            b: "y".into(),
+            c: vec![1],
+        };
+        assert_eq!(scratch.encode(&big), big.to_bytes());
+        let high_water = scratch.capacity();
+        // A smaller value reuses the buffer without shrinking it and
+        // still produces the canonical bytes.
+        assert_eq!(scratch.encode(&small), small.to_bytes());
+        assert_eq!(scratch.capacity(), high_water);
+        // The returned copy is exact-sized, not the working buffer.
+        let out = scratch.encode(&small);
+        assert_eq!(out.len(), out.capacity());
     }
 }

@@ -289,6 +289,7 @@ fn get_tag(f: &[(String, Val)], key: &str) -> Result<&'static str, String> {
         "single",
         "partition",
         "loss",
+        "dest_down",
     ];
     match get(f, key) {
         Some(Val::Str(s)) => TAGS

@@ -12,16 +12,14 @@
 //! increasing sequence number, so a run is a pure function of
 //! `(seed, configuration, driver logic)`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use obs::{TraceConfig, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::disk::{DiskConfig, DiskModel, StableOp, StableStore};
-use crate::net::{NetConfig, Network, Transmission};
+use crate::net::{DropReason, NetConfig, Network, Transmission};
 use crate::node::{Incarnation, NodeId, NodeState, NodeStatus};
+use crate::queue::EventWheel;
 use crate::time::{SimDuration, SimTime};
 
 /// An observable event delivered to the driver.
@@ -102,6 +100,10 @@ enum Pending<M> {
         from: NodeId,
         to: NodeId,
         payload: M,
+        /// Wire size the sender paid for, kept so a delivery-time drop
+        /// (destination down) can be traced with the same detail as a
+        /// transmit-time drop.
+        bytes: u64,
     },
     Timer {
         node: NodeId,
@@ -125,30 +127,6 @@ enum Pending<M> {
         token: u64,
         key: String,
     },
-}
-
-#[derive(Debug)]
-struct Entry<M> {
-    at: SimTime,
-    seq: u64,
-    pending: Pending<M>,
-}
-
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Entry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Configuration of a simulation run.
@@ -176,7 +154,7 @@ pub struct SimConfig {
 pub struct Engine<M> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Entry<M>>>,
+    queue: EventWheel<Pending<M>>,
     nodes: Vec<NodeState>,
     net: Network,
     disks: Vec<DiskModel>,
@@ -184,6 +162,7 @@ pub struct Engine<M> {
     disk_faults: Vec<Option<DiskFault>>,
     writes_failed: u64,
     torn_writes: u64,
+    dispatched: u64,
     rng: StdRng,
     default_msg_bytes: u64,
     tracer: Tracer,
@@ -196,7 +175,7 @@ impl<M: std::fmt::Debug> Engine<M> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventWheel::new(),
             nodes: vec![NodeState::default(); nodes],
             net: Network::new(config.net),
             disks: (0..nodes)
@@ -206,6 +185,7 @@ impl<M: std::fmt::Debug> Engine<M> {
             disk_faults: vec![None; nodes],
             writes_failed: 0,
             torn_writes: 0,
+            dispatched: 0,
             rng: StdRng::seed_from_u64(seed),
             default_msg_bytes: 512,
             tracer: Tracer::disabled(),
@@ -298,7 +278,7 @@ impl<M: std::fmt::Debug> Engine<M> {
     fn push(&mut self, at: SimTime, pending: Pending<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, pending }));
+        self.queue.push(at.as_micros(), seq, pending);
     }
 
     /// Sends `payload` from `from` to `to` with the default size hint.
@@ -325,7 +305,15 @@ impl<M: std::fmt::Debug> Engine<M> {
         match self.net.transmit(&mut self.rng, from, to, bytes) {
             Transmission::Deliver(delay) => {
                 let at = self.now + delay;
-                self.push(at, Pending::Message { from, to, payload });
+                self.push(
+                    at,
+                    Pending::Message {
+                        from,
+                        to,
+                        payload,
+                        bytes,
+                    },
+                );
             }
             Transmission::DeliverDup(first, second) => {
                 let at_first = self.now + first;
@@ -336,9 +324,18 @@ impl<M: std::fmt::Debug> Engine<M> {
                         from,
                         to,
                         payload: payload.clone(),
+                        bytes,
                     },
                 );
-                self.push(at_second, Pending::Message { from, to, payload });
+                self.push(
+                    at_second,
+                    Pending::Message {
+                        from,
+                        to,
+                        payload,
+                        bytes,
+                    },
+                );
                 self.trace(
                     from,
                     TraceEvent::MsgDuplicated {
@@ -471,9 +468,10 @@ impl<M: std::fmt::Debug> Engine<M> {
     }
 
     /// Crashes `node`: its volatile state is gone (the driver must drop
-    /// its actor), in-flight timers and disk operations are discarded, and
-    /// in-flight messages addressed to it will be dropped on arrival while
-    /// it remains down. Stable storage survives.
+    /// its actor), in-flight timers and disk operations are purged from
+    /// the event queue, and in-flight messages addressed to it will be
+    /// dropped on arrival while it remains down (counted and traced as
+    /// `dest_down` drops). Stable storage survives.
     ///
     /// # Panics
     ///
@@ -492,29 +490,47 @@ impl<M: std::fmt::Debug> Engine<M> {
         if torn {
             self.tear_in_flight_append(node, inc);
         }
+        // Purge the dead incarnation's queued work eagerly instead of
+        // discarding it lazily at pop time: [`Engine::queued_events`]
+        // then reports the live count exactly. In-flight *messages* to
+        // the node stay queued — they are genuinely in the network and
+        // may still be delivered if the node restarts before they
+        // arrive (or dropped as `dest_down` if it does not).
+        self.queue.retain(|pending| match pending {
+            Pending::Message { .. } => true,
+            Pending::Timer { node: n, .. }
+            | Pending::DiskWrite { node: n, .. }
+            | Pending::DiskWriteFail { node: n, .. }
+            | Pending::DiskRead { node: n, .. } => *n != node,
+        });
     }
 
     /// Torn-tail injection: the in-flight log append closest to
     /// completion at crash time leaves a strict prefix of its entry on
     /// the platter (a power cut mid-sector). Later in-flight appends are
     /// wholly lost, as usual.
+    ///
+    /// An entry shorter than 2 bytes has no non-empty strict prefix, so
+    /// nothing reaches the platter: the append is wholly lost, exactly
+    /// like an untorn crash. The armed fault still *fired*, though, so
+    /// the tear is counted and traced with `bytes_kept: 0` — otherwise
+    /// a 1-byte append would make the crash invisible in
+    /// [`Engine::disk_writes_torn`] and the trace.
     fn tear_in_flight_append(&mut self, node: NodeId, inc: Incarnation) {
-        let mut best: Option<(SimTime, u64, &str, &[u8])> = None;
-        for Reverse(entry) in self.heap.iter() {
+        let mut best: Option<(u64, u64, &str, &[u8])> = None;
+        for (at, seq, pending) in self.queue.iter() {
             if let Pending::DiskWrite {
                 node: n,
                 inc: i,
                 op: StableOp::Append { log, entry: bytes },
                 ..
-            } = &entry.pending
+            } = pending
             {
                 if *n == node
                     && *i == inc
-                    && best
-                        .map(|(at, seq, ..)| (entry.at, entry.seq) < (at, seq))
-                        .unwrap_or(true)
+                    && best.map(|(a, s, ..)| (at, seq) < (a, s)).unwrap_or(true)
                 {
-                    best = Some((entry.at, entry.seq, log, bytes));
+                    best = Some((at, seq, log, bytes));
                 }
             }
         }
@@ -531,6 +547,10 @@ impl<M: std::fmt::Debug> Engine<M> {
                         bytes_kept: keep as u64,
                     },
                 );
+            } else {
+                // No strict prefix exists: wholly lost, but still a tear.
+                self.torn_writes += 1;
+                self.trace(node, TraceEvent::TornWrite { bytes_kept: 0 });
             }
         }
     }
@@ -556,33 +576,48 @@ impl<M: std::fmt::Debug> Engine<M> {
 
     /// Pops the next observable event at or before `limit`.
     ///
-    /// Advances the clock to the event's time and returns it, discarding
-    /// stale entries (timers/disk completions from dead incarnations,
-    /// messages to down nodes) along the way. Returns `None` — with the
-    /// clock advanced to `limit` — when no event remains before the limit.
+    /// Advances the clock to the event's time and returns it. Messages
+    /// whose destination is down at delivery time are dropped here —
+    /// counted against the network's drop statistics and traced with
+    /// reason `dest_down` — and the loop continues to the next entry.
+    /// (Timers and disk completions of dead incarnations are purged
+    /// eagerly by [`Engine::crash`]; the incarnation guards below are
+    /// defense in depth.) Returns `None` — with the clock advanced to
+    /// `limit` — when no event remains before the limit.
     pub fn next_event_before(&mut self, limit: SimTime) -> Option<(SimTime, Event<M>)> {
         loop {
-            match self.heap.peek() {
-                None => {
-                    self.now = limit.max(self.now);
-                    return None;
-                }
-                Some(Reverse(entry)) if entry.at > limit => {
-                    self.now = limit.max(self.now);
-                    return None;
-                }
-                Some(_) => {}
-            }
-            let Reverse(entry) = self.heap.pop().expect("peeked entry");
-            self.now = entry.at;
-            match entry.pending {
-                Pending::Message { from, to, payload } => {
+            let Some((at, _seq, pending)) = self.queue.pop_before(limit.as_micros()) else {
+                self.now = limit.max(self.now);
+                return None;
+            };
+            self.now = SimTime::from_micros(at);
+            match pending {
+                Pending::Message {
+                    from,
+                    to,
+                    payload,
+                    bytes,
+                } => {
                     if self.is_up(to) {
+                        self.dispatched += 1;
                         return Some((self.now, Event::Message { from, to, payload }));
                     }
+                    // The message reached a dead process: account for it
+                    // like any other loss so crash-window drop series
+                    // and counters stay truthful.
+                    self.net.note_dropped();
+                    self.trace(
+                        from,
+                        TraceEvent::MsgDropped {
+                            to: to.index() as u32,
+                            bytes,
+                            reason: DropReason::DestDown.tag(),
+                        },
+                    );
                 }
                 Pending::Timer { node, inc, token } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
+                        self.dispatched += 1;
                         return Some((self.now, Event::Timer { node, token }));
                     }
                 }
@@ -594,12 +629,14 @@ impl<M: std::fmt::Debug> Engine<M> {
                 } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
                         self.stores[node.index()].apply(op);
+                        self.dispatched += 1;
                         return Some((self.now, Event::DiskWriteDone { node, token }));
                     }
                 }
                 Pending::DiskWriteFail { node, inc, token } => {
                     if self.is_up(node) && self.nodes[node.index()].incarnation == inc {
                         self.trace(node, TraceEvent::DiskWriteFailed);
+                        self.dispatched += 1;
                         return Some((self.now, Event::DiskWriteFailed { node, token }));
                     }
                 }
@@ -615,6 +652,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                         } else {
                             self.stores[node.index()].get(&key).map(<[u8]>::to_vec)
                         };
+                        self.dispatched += 1;
                         return Some((self.now, Event::DiskReadDone { node, token, value }));
                     }
                 }
@@ -622,10 +660,20 @@ impl<M: std::fmt::Debug> Engine<M> {
         }
     }
 
-    /// Number of events still queued (including entries that may prove
-    /// stale when popped).
+    /// Number of *live* events still queued. [`Engine::crash`] purges
+    /// the dead incarnation's timers and disk operations eagerly, so
+    /// this is exact: in-flight messages (deliverable if their
+    /// destination is, or comes back, up) plus live timers and disk
+    /// completions. Gauges sampled from this no longer inflate after
+    /// crashes.
     pub fn queued_events(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
+    }
+
+    /// Number of observable events dispatched to the driver so far (the
+    /// denominator of the engine's events-per-second throughput point).
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
     }
 }
 
@@ -1049,5 +1097,144 @@ mod extended_tests {
         e.disk_read(NodeId(0), "x", 1);
         e.disk_read_raw(NodeId(0), 1_000, 2);
         assert!(e.next_event_before(SimTime::from_secs(5)).is_none());
+    }
+
+    fn engine(nodes: usize) -> Engine<u32> {
+        Engine::new(nodes, SimConfig::default(), 99)
+    }
+
+    fn drain(e: &mut Engine<u32>, limit: SimTime) -> Vec<(SimTime, Event<u32>)> {
+        let mut out = Vec::new();
+        while let Some(ev) = e.next_event_before(limit) {
+            out.push(ev);
+        }
+        out
+    }
+
+    // Regression: messages popped for a down destination used to vanish
+    // without touching the drop counter or the trace, undercounting
+    // losses exactly inside the crash windows the paper measures.
+    #[test]
+    fn dest_down_drop_counted_and_traced() {
+        let mut e = engine(2);
+        e.enable_tracing(TraceConfig::on());
+        e.send(NodeId(0), NodeId(1), 7);
+        e.crash(NodeId(1));
+        assert!(drain(&mut e, SimTime::from_secs(1)).is_empty());
+        assert_eq!(e.network().messages_dropped(), 1);
+        let records = e.tracer_mut().take_records();
+        let drop = records
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::MsgDropped { .. }))
+            .expect("delivery-time drop must be traced");
+        assert_eq!(drop.node, 0, "traced against the sender");
+        match drop.event {
+            TraceEvent::MsgDropped { to, reason, .. } => {
+                assert_eq!(to, 1);
+                assert_eq!(reason, "dest_down");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Regression: queued_events used to report the raw heap length,
+    // counting dead-incarnation timers and disk ops long after a crash
+    // and inflating the once-per-second queue-depth gauges.
+    #[test]
+    fn queued_events_excludes_dead_incarnation_entries() {
+        let mut e = engine(2);
+        e.set_timer(NodeId(0), SimDuration::from_millis(1), 1);
+        e.set_timer(NodeId(0), SimDuration::from_millis(2), 2);
+        e.disk_write(
+            NodeId(0),
+            StableOp::Put {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            },
+            3,
+        );
+        e.send(NodeId(1), NodeId(0), 4);
+        assert_eq!(e.queued_events(), 4);
+        e.crash(NodeId(0));
+        // The dead incarnation's timers and write are gone; the
+        // in-flight message stays (deliverable after a restart).
+        assert_eq!(e.queued_events(), 1);
+        e.restart(NodeId(0));
+        drain(&mut e, SimTime::from_secs(1));
+        assert_eq!(e.queued_events(), 0);
+    }
+
+    // Regression: a torn-tail crash over a 1-byte append used to skip
+    // the injection silently — no counter bump, no trace — because a
+    // 1-byte entry has no strict non-empty prefix.
+    #[test]
+    fn torn_tail_one_byte_append_counted_and_traced() {
+        let mut e: Engine<u8> = Engine::new(1, SimConfig::default(), 5);
+        e.enable_tracing(TraceConfig::on());
+        e.set_disk_fault(
+            NodeId(0),
+            Some(DiskFault {
+                write_fail_probability: 0.0,
+                torn_tail_on_crash: true,
+            }),
+        );
+        e.disk_write(
+            NodeId(0),
+            StableOp::Append {
+                log: "wal".into(),
+                entry: vec![0xAB],
+            },
+            1,
+        );
+        e.crash(NodeId(0));
+        e.restart(NodeId(0));
+        assert!(e.next_event_before(SimTime::from_secs(1)).is_none());
+        assert!(
+            e.store(NodeId(0)).log("wal").is_none(),
+            "1-byte entry has no strict prefix: nothing lands"
+        );
+        assert_eq!(e.disk_writes_torn(), 1, "the torn fault still counts");
+        let records = e.tracer_mut().take_records();
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(r.event, TraceEvent::TornWrite { bytes_kept: 0 })),
+            "zero-byte torn write must be traced"
+        );
+    }
+
+    // Crash-heavy stress: after repeated crash/restart churn and a full
+    // drain, the live queue length must return exactly to zero — the
+    // wheel may not leak entries in any of its three regions.
+    #[test]
+    fn crash_churn_drains_queue_to_zero() {
+        let mut e = engine(3);
+        for round in 0u64..20 {
+            for n in 0..3u64 {
+                e.set_timer(NodeId(n as usize), SimDuration::from_millis(1 + n), round);
+                e.send(
+                    NodeId(n as usize),
+                    NodeId(((n + 1) % 3) as usize),
+                    round as u32,
+                );
+                e.disk_write(
+                    NodeId(n as usize),
+                    StableOp::Put {
+                        key: format!("k{n}"),
+                        value: vec![round as u8],
+                    },
+                    round,
+                );
+            }
+            let victim = NodeId((round % 3) as usize);
+            e.crash(victim);
+            let horizon = e.now() + SimDuration::from_millis(2);
+            drain(&mut e, horizon);
+            e.restart(victim);
+        }
+        let end = e.now() + SimDuration::from_secs(10);
+        drain(&mut e, end);
+        assert_eq!(e.queued_events(), 0, "no entry may survive the drain");
+        assert!(e.events_dispatched() > 0);
     }
 }

@@ -42,6 +42,8 @@ mod disk;
 mod engine;
 mod net;
 mod node;
+#[doc(hidden)]
+pub mod queue;
 mod time;
 
 pub use disk::{DiskConfig, DiskModel, StableLog, StableOp, StableStore};

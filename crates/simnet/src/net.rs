@@ -66,6 +66,10 @@ pub enum DropReason {
     Partition,
     /// Probabilistic loss (link fault or configured drop probability).
     Loss,
+    /// The destination process was down when the message arrived. Unlike
+    /// the other reasons this is decided at delivery time by the engine,
+    /// not at transmit time by the network model.
+    DestDown,
 }
 
 impl DropReason {
@@ -74,6 +78,7 @@ impl DropReason {
         match self {
             DropReason::Partition => "partition",
             DropReason::Loss => "loss",
+            DropReason::DestDown => "dest_down",
         }
     }
 }
@@ -273,6 +278,13 @@ impl Network {
         } else {
             rng.gen_range(0..=self.config.jitter.as_micros())
         }
+    }
+
+    /// Records a delivery-time drop decided by the engine (destination
+    /// down when the message arrived), so `messages_dropped` covers
+    /// every lost message regardless of where the loss was decided.
+    pub(crate) fn note_dropped(&mut self) {
+        self.dropped += 1;
     }
 
     /// Number of messages submitted so far.

@@ -1,0 +1,117 @@
+//! Differential property tests pinning the calendar-queue event wheel
+//! to the reference binary heap: for any interleaving of pushes, bounded
+//! pops, and retains, both queues must produce the *identical* sequence
+//! of `(at, seq, item)` pops and agree on length at every step. This is
+//! the guarantee that lets the engine swap queues without perturbing a
+//! single same-seed trace.
+
+use proptest::prelude::*;
+
+use simnet::queue::{EventWheel, HeapQueue};
+
+/// One scripted operation against both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `now + delta` (keeps times loosely monotone, like the
+    /// engine, while still exercising ties and far-future overflow).
+    Push { delta: u64 },
+    /// Pop everything at or before `now + window`, advancing `now` to
+    /// each popped timestamp as the engine would.
+    PopBefore { window: u64 },
+    /// Drop every item whose payload is congruent to `kill` mod 4 —
+    /// the shape of the engine's crash-time incarnation purge.
+    Retain { kill: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Mostly near-term pushes (ties included), some far overflow.
+        6 => (0u64..5_000).prop_map(|delta| Op::Push { delta }),
+        1 => (2_000_000u64..50_000_000).prop_map(|delta| Op::Push { delta }),
+        3 => (0u64..20_000).prop_map(|window| Op::PopBefore { window }),
+        // Occasional huge windows drive the cursor far ahead, making
+        // previously-parked overflow entries stale — the interleaving
+        // that once reordered pops (see stale_overflow_entry_pops_in_
+        // global_order in queue.rs).
+        1 => (1_000_000u64..20_000_000).prop_map(|window| Op::PopBefore { window }),
+        1 => (0u64..4).prop_map(|kill| Op::Retain { kill }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wheel and the reference heap agree on every pop and every
+    /// length, under any mix of pushes, bounded pops, and retains.
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut wheel: EventWheel<u64> = EventWheel::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut payload = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Push { delta } => {
+                    let at = now + delta;
+                    wheel.push(at, seq, payload);
+                    heap.push(at, seq, payload);
+                    seq += 1;
+                    payload += 1;
+                }
+                Op::PopBefore { window } => {
+                    let limit = now + window;
+                    loop {
+                        let a = wheel.pop_before(limit);
+                        let b = heap.pop_before(limit);
+                        prop_assert_eq!(a, b, "pop divergence at limit {}", limit);
+                        match a {
+                            Some((at, _, _)) => now = now.max(at),
+                            None => break,
+                        }
+                    }
+                    now = limit;
+                }
+                Op::Retain { kill } => {
+                    wheel.retain(|v| v % 4 != kill);
+                    heap.retain(|v| v % 4 != kill);
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len(), "length divergence");
+        }
+
+        // Final drain: both must empty in the same order.
+        loop {
+            let a = wheel.pop_before(u64::MAX);
+            let b = heap.pop_before(u64::MAX);
+            prop_assert_eq!(a, b, "drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert!(heap.is_empty());
+    }
+
+    /// FIFO ties: pushes at the identical timestamp pop in push order
+    /// on both queues, regardless of how the batch is interleaved with
+    /// other work.
+    #[test]
+    fn equal_timestamps_pop_in_push_order(
+        at in 0u64..1_000_000,
+        n in 2usize..40,
+    ) {
+        let mut wheel: EventWheel<usize> = EventWheel::new();
+        for i in 0..n {
+            wheel.push(at, i as u64, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((_, _, v)) = wheel.pop_before(u64::MAX) {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -11,8 +11,17 @@ an availability decomposition ramps back to 95% of baseline WIPS more
 than RAMP_TOLERANCE slower than the committed baseline, or when the
 always-on consensus auditor reported any violation. The simulator is deterministic,
 so on unchanged code the current run reproduces the baseline bit-for-bit;
-a tripped gate always points at a real behavioural change. After an
-intentional recalibration, regenerate the baseline with::
+a tripped gate always points at a real behavioural change.
+
+Points that carry host-timing fields (``events_per_sec``,
+``wall_clock_s``, emitted by ``push_timed``) additionally gate raw
+engine throughput — but unlike everything above those numbers are
+machine-dependent, so the tolerances are deliberately loose
+(EVENTS_TOLERANCE / WALL_TOLERANCE): they catch an order-of-magnitude
+hot-path regression (say, the event queue degenerating to a linear
+scan), not CI-runner noise. Baselines predating those fields skip the
+check. After an intentional recalibration, regenerate the baseline
+with::
 
     cargo run --release -p bench --bin exp_batching -- --gate --json BENCH_baseline.json
 
@@ -30,6 +39,12 @@ MIN_SPEEDUP = 1.8
 # Post-crash ramp back to 95% of baseline WIPS may be up to 15% slower
 # than the committed baseline before the gate trips (higher is worse).
 RAMP_TOLERANCE = 0.15
+# Host-timing tolerances: engine events/sec may fall to half the
+# baseline, wall clock may stretch to 3x, before the gate trips. Loose
+# on purpose — CI runners vary; these exist to catch the hot path
+# falling off a cliff, not a noisy neighbour.
+EVENTS_TOLERANCE = 0.5
+WALL_TOLERANCE = 3.0
 
 
 def load_runs(path):
@@ -84,6 +99,32 @@ def main(argv):
             )
         if cur.get("audit_violations", 0) != 0:
             failures.append(f"{label}: {cur['audit_violations']} audit violations")
+
+        # Host timing: only when the committed baseline carries the
+        # fields (older baselines predate them), and loosely — these
+        # are host-dependent, unlike every other gated number.
+        base_eps = base.get("events_per_sec")
+        if isinstance(base_eps, (int, float)) and base_eps > 0:
+            cur_eps = field(cur, "events_per_sec", argv[2])
+            eps_ratio = cur_eps / base_eps
+            print(
+                f"{label + ' events/s':<24} {base_eps:>10.0f} "
+                f"{cur_eps:>10.0f} {eps_ratio:>6.2f}x"
+            )
+            if cur_eps < base_eps * (1.0 - EVENTS_TOLERANCE):
+                failures.append(
+                    f"{label}: engine throughput {cur_eps:.0f} events/s is "
+                    f"more than {EVENTS_TOLERANCE:.0%} below baseline "
+                    f"{base_eps:.0f}"
+                )
+        base_wall = base.get("wall_clock_s")
+        if isinstance(base_wall, (int, float)) and base_wall > 0:
+            cur_wall = field(cur, "wall_clock_s", argv[2])
+            if cur_wall > base_wall * WALL_TOLERANCE:
+                failures.append(
+                    f"{label}: wall clock {cur_wall:.1f}s is more than "
+                    f"{WALL_TOLERANCE:.1f}x baseline {base_wall:.1f}s"
+                )
 
         # Availability: a baseline that measured a post-crash ramp pins
         # the recovery path too. null (never ramped back) never gates.
