@@ -46,6 +46,8 @@ impl Bus {
                     q.extend(self.replicas[node].on_persisted(token));
                 }
                 Effect::Deliver { .. } => self.delivered += 1,
+                // The bench never proposes a Reconfig decree.
+                Effect::Reconfigured { .. } => {}
             }
         }
     }

@@ -26,7 +26,8 @@ pub mod report;
 pub use parallel::run_parallel;
 pub use render::Console;
 pub use report::{
-    committed_updates, json_path_from_args, trace_path_from_args, JsonReport, TraceSink,
+    availability_from_run, committed_updates, json_path_from_args, reconfig_availability,
+    run_markers, timeline_from_run, trace_path_from_args, JsonReport, TraceSink,
 };
 
 use cluster::{run_experiment, ExperimentConfig, RunReport, ServiceModel};
@@ -70,11 +71,31 @@ impl Mode {
 
     /// Replica counts for sweep experiments.
     pub fn sweep_replicas(self) -> Vec<usize> {
-        match self {
+        self.sweep_memberships().iter().map(|m| m.n()).collect()
+    }
+
+    /// The epoch-0 replica sets sweep experiments run on. Ensemble
+    /// sizing flows through the same membership type the cluster's
+    /// quorum arithmetic uses, so a future change to how replica sets
+    /// are constructed (sparse ids, non-zero epochs) reaches every
+    /// experiment from one place.
+    pub fn sweep_memberships(self) -> Vec<paxos::Membership> {
+        let counts: Vec<usize> = match self {
             Mode::Quick => vec![4, 6, 8, 10, 12],
             Mode::Full => (4..=12).collect(),
-        }
+        };
+        counts.into_iter().map(paxos::Membership::initial).collect()
     }
+}
+
+/// The paper's {5, 8}-replica ensembles the dependability grids run on,
+/// as epoch-0 memberships (see [`Mode::sweep_memberships`] for why the
+/// membership type is the source of truth).
+pub fn grid_memberships() -> Vec<paxos::Membership> {
+    [5usize, 8]
+        .into_iter()
+        .map(paxos::Membership::initial)
+        .collect()
 }
 
 /// Base configuration shared by all experiments in a mode. Tracing is
@@ -168,7 +189,8 @@ pub struct ScaleupResult {
 /// Figure 4 — scaleup: WIPS and WIRT at a fixed offered load of 1000
 /// WIPS (1000 RBEs at 1 s think time), 300 MB state.
 pub fn fig4_scaleup(mode: Mode, profile: Profile) -> ScaleupResult {
-    let points: Vec<SweepPoint> = run_parallel(mode.sweep_replicas(), |replicas| {
+    let points: Vec<SweepPoint> = run_parallel(mode.sweep_memberships(), |membership| {
+        let replicas = membership.n();
         let mut config = base_config(mode, replicas, profile);
         config.ebs = 30;
         config.rbes = 1_000;
@@ -226,9 +248,9 @@ pub fn fault_run(
 /// faultload: replicas {5, 8} × the three profiles, 500 MB state.
 pub fn dependability_grid(mode: Mode, faultload: &Faultload) -> Vec<FaultRun> {
     let mut points = Vec::new();
-    for replicas in [5usize, 8] {
+    for membership in grid_memberships() {
         for profile in Profile::ALL {
-            points.push((replicas, profile));
+            points.push((membership.n(), profile));
         }
     }
     run_parallel(points, |(replicas, profile)| {
@@ -253,10 +275,10 @@ pub struct RecoveryTimePoint {
 /// state sizes, profiles and replica counts.
 pub fn fig6_recovery_times(mode: Mode) -> Vec<RecoveryTimePoint> {
     let mut points = Vec::new();
-    for replicas in [5usize, 8] {
+    for membership in grid_memberships() {
         for profile in Profile::ALL {
             for ebs in [30u32, 50, 70] {
-                points.push((replicas, profile, ebs));
+                points.push((membership.n(), profile, ebs));
             }
         }
     }

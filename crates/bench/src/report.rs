@@ -54,6 +54,12 @@ pub fn trace_path_from_args() -> Option<PathBuf> {
     path_arg("--trace")
 }
 
+/// Parses `--csv <path>` from argv: where a binary's windowed-timeline
+/// CSV export goes (the CI artifact the reconfig smoke job uploads).
+pub fn csv_path_from_args() -> Option<PathBuf> {
+    path_arg("--csv")
+}
+
 /// True when `--json -` routes the JSON document to stdout, which
 /// reroutes all human output to stderr (see [`Console`]).
 pub fn json_to_stdout() -> bool {
@@ -173,12 +179,15 @@ impl JsonReport {
             print!("{doc}");
             return;
         }
-        write_or_die(&path, &doc);
+        write_file_or_die(&path, &doc);
         Console::from_args().note(format_args!("wrote {}", path.display()));
     }
 }
 
-fn write_or_die(path: &PathBuf, doc: &str) {
+/// Writes `doc` to `path`, terminating with an error on failure (a CI
+/// job consuming a half-written artifact would be worse than a loud
+/// failure).
+pub fn write_file_or_die(path: &PathBuf, doc: &str) {
     let write = std::fs::File::create(path).and_then(|mut f| f.write_all(doc.as_bytes()));
     if let Err(e) = write {
         eprintln!("failed to write {}: {e}", path.display());
@@ -227,7 +236,7 @@ impl TraceSink {
         let Some(path) = &self.path else {
             return;
         };
-        write_or_die(path, &self.out);
+        write_file_or_die(path, &self.out);
         Console::from_args().note(format_args!("wrote {}", path.display()));
     }
 }
@@ -262,31 +271,73 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Derives per-crash [`obs::AvailabilityReport`]s from a run's
-/// recorded per-second WIPS series and recovery spans — the untraced
-/// path to the paper's availability decomposition (the traced path
-/// goes through `exp_timeline` on a full trace).
-pub fn availability_from_run(report: &RunReport) -> Vec<obs::AvailabilityReport> {
-    if report.spans.is_empty() {
-        return Vec::new();
-    }
+/// Fault and reconfiguration markers of a run: one `crash`/`restart`/
+/// `recovery_complete` triple per recovery span (a span that never
+/// restarted — permanent hardware loss — contributes only its crash),
+/// plus a `reconfig_proposed`/`epoch_change` pair per membership
+/// change. Marker nodes are the victim, joiner, or removed replica.
+pub fn run_markers(report: &RunReport) -> Vec<(u64, u32, &'static str)> {
     let mut markers: Vec<(u64, u32, &'static str)> = Vec::new();
     for span in &report.spans {
         markers.push((span.crash_at, span.server as u32, "crash"));
-        markers.push((span.restart_at, span.server as u32, "restart"));
+        if span.restart_at > span.crash_at {
+            markers.push((span.restart_at, span.server as u32, "restart"));
+        }
         if let Some(t) = span.recovered_at {
             markers.push((t, span.server as u32, "recovery_complete"));
         }
     }
+    for incident in &report.reconfigs {
+        let node = incident
+            .add
+            .first()
+            .or_else(|| incident.remove.first())
+            .copied()
+            .unwrap_or(0) as u32;
+        markers.push((incident.submitted_at_us, node, "reconfig_proposed"));
+        if let Some(t) = incident.completed_at_us {
+            markers.push((t, node, "epoch_change"));
+        }
+    }
     markers.sort_unstable();
-    let cfg = obs::TimelineConfig::default();
-    let tl = obs::Timeline::from_series(
+    markers
+}
+
+/// The run's WIPS curve as an [`obs::Timeline`], with the markers from
+/// [`run_markers`] attached — the untraced path to the paper's
+/// availability decomposition (the traced path goes through
+/// `exp_timeline` on a full trace).
+pub fn timeline_from_run(report: &RunReport, cfg: &obs::TimelineConfig) -> obs::Timeline {
+    obs::Timeline::from_series(
         report.recorder.wips_series(),
         report.recorder.error_series(),
         cfg.window_us,
-        &markers,
-    );
+        &run_markers(report),
+    )
+}
+
+/// Derives per-crash [`obs::AvailabilityReport`]s from a run's
+/// recorded per-second WIPS series and recovery spans.
+pub fn availability_from_run(report: &RunReport) -> Vec<obs::AvailabilityReport> {
+    if report.spans.is_empty() {
+        return Vec::new();
+    }
+    let cfg = obs::TimelineConfig::default();
+    let tl = timeline_from_run(report, &cfg);
     obs::availability_reports(&tl, &cfg)
+}
+
+/// Derives one [`obs::AvailabilityReport`] per membership change,
+/// anchored on the operator's submission (`reconfig_proposed`): the
+/// baseline is the pre-submission WIPS, and the dip/ramp measure what
+/// the epoch switch cost the service.
+pub fn reconfig_availability(report: &RunReport) -> Vec<obs::AvailabilityReport> {
+    if report.reconfigs.is_empty() {
+        return Vec::new();
+    }
+    let cfg = obs::TimelineConfig::default();
+    let tl = timeline_from_run(report, &cfg);
+    obs::availability_reports_for(&tl, &cfg, &["reconfig_proposed"])
 }
 
 /// The availability-report JSON fields of a run's first crash incident

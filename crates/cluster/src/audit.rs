@@ -59,11 +59,12 @@ pub struct AuditReport {
 /// Run-wide safety monitor for the replicated server ensemble.
 #[derive(Debug)]
 pub struct InvariantAuditor {
-    n: usize,
-    fast_quorum: usize,
-    /// First delivered proposal per `(slot, index-in-batch)` position,
-    /// with the delivering replica.
-    chosen: BTreeMap<(Slot, u32), (Option<ProposalId>, usize)>,
+    /// First delivered `(proposal, config epoch)` per `(slot,
+    /// index-in-batch)` position, with the delivering replica. Recording
+    /// the epoch checks agreement *across* a reconfiguration boundary:
+    /// two replicas must not only deliver the same decree at a slot,
+    /// they must deliver it under the same configuration.
+    chosen: BTreeMap<(Slot, u32), (Option<ProposalId>, u64, usize)>,
     /// Per replica: records known durable on its disk.
     durable: Vec<BTreeSet<DurableKey>>,
     /// Per replica: records in flight to disk, keyed by write token.
@@ -79,11 +80,11 @@ pub struct InvariantAuditor {
 }
 
 impl InvariantAuditor {
-    /// An auditor for `n` server replicas.
+    /// An auditor for `n` server replicas. Reconfiguration may later
+    /// introduce replicas with higher indices (spares); the per-replica
+    /// state grows on demand.
     pub fn new(n: usize) -> InvariantAuditor {
         InvariantAuditor {
-            n,
-            fast_quorum: Quorums::new(n).fast(),
             chosen: BTreeMap::new(),
             // A fresh acceptor has implicitly promised ⊥ without writing.
             durable: (0..n)
@@ -95,6 +96,17 @@ impl InvariantAuditor {
             violations: Vec::new(),
             total_violations: 0,
             reported: 0,
+        }
+    }
+
+    /// Grows the per-replica state to cover replica `idx` (spares
+    /// provisioned by a reconfiguration).
+    fn ensure(&mut self, idx: usize) {
+        while self.durable.len() <= idx {
+            self.durable
+                .push(BTreeSet::from([DurableKey::Promise(Ballot::BOTTOM)]));
+            self.pending.push(BTreeMap::new());
+            self.last_applied.push(None);
         }
     }
 
@@ -118,6 +130,7 @@ impl InvariantAuditor {
     /// A replica issued a durable write. Decodes consensus records so the
     /// later completion can be matched against sends.
     pub fn on_disk_write(&mut self, idx: usize, op: &StableOp, token: u64, now_us: u64) {
+        self.ensure(idx);
         match op {
             StableOp::Append { log, entry } if log == LOG_NAME => {
                 self.checks += 1;
@@ -162,6 +175,7 @@ impl InvariantAuditor {
     /// A durable write completed. Must be called *before* the server
     /// reacts (the reaction releases the sends this write gates).
     pub fn on_disk_write_done(&mut self, idx: usize, token: u64) {
+        self.ensure(idx);
         if let Some(key) = self.pending[idx].remove(&token) {
             self.durable[idx].insert(key);
         }
@@ -169,6 +183,7 @@ impl InvariantAuditor {
 
     /// A durable write failed; nothing reached disk.
     pub fn on_disk_write_failed(&mut self, idx: usize, token: u64) {
+        self.ensure(idx);
         self.pending[idx].remove(&token);
     }
 
@@ -180,8 +195,9 @@ impl InvariantAuditor {
         status: &ReplicaStatus,
         now_us: u64,
     ) {
+        self.ensure(idx);
         let m = match msg {
-            MwMsg::Paxos(m) => m,
+            MwMsg::Paxos { msg: m, .. } => m,
             _ => return,
         };
         match m {
@@ -210,20 +226,25 @@ impl InvariantAuditor {
             }
             Msg::FastPropose { .. } | Msg::Any { .. } => {
                 self.checks += 1;
+                // The mode rule tracks the sender's *current epoch*: its
+                // fast quorum is ⌈3N/4⌉ of that epoch's ensemble size,
+                // not of the size the run started with.
+                let fast_quorum = Quorums::new(status.n).fast();
                 if status.mode != Mode::Fast {
                     self.violation(format!(
                         "[{now_us}us] server {idx}: sent fast-path {} in mode {:?}",
                         fast_name(m),
                         status.mode
                     ));
-                } else if status.alive < self.fast_quorum {
+                } else if status.alive < fast_quorum {
                     self.violation(format!(
                         "[{now_us}us] server {idx}: sent fast-path {} with only {} of {} \
-                         replicas alive (fast quorum is {})",
+                         replicas alive in epoch {} (fast quorum is {})",
                         fast_name(m),
                         status.alive,
-                        self.n,
-                        self.fast_quorum
+                        status.n,
+                        status.epoch,
+                        fast_quorum
                     ));
                 }
             }
@@ -232,20 +253,36 @@ impl InvariantAuditor {
     }
 
     /// A replica delivered (applied) one update of a decided batch;
-    /// `index` is the update's position inside its slot's batch.
-    pub fn on_applied(&mut self, idx: usize, slot: Slot, index: u32, pid: ProposalId, now_us: u64) {
+    /// `index` is the update's position inside its slot's batch and
+    /// `epoch` is the configuration epoch the slot was decided under.
+    pub fn on_applied(
+        &mut self,
+        idx: usize,
+        slot: Slot,
+        index: u32,
+        pid: ProposalId,
+        epoch: u64,
+        now_us: u64,
+    ) {
+        self.ensure(idx);
         self.checks += 1;
         match self.chosen.get(&(slot, index)) {
-            Some((chosen_pid, first_by)) => {
+            Some((chosen_pid, chosen_epoch, first_by)) => {
                 if *chosen_pid != Some(pid) {
                     self.violation(format!(
                         "[{now_us}us] AGREEMENT: server {idx} delivered {pid:?} at slot \
                          {slot:?}[{index}] but server {first_by} delivered {chosen_pid:?}"
                     ));
+                } else if *chosen_epoch != epoch {
+                    self.violation(format!(
+                        "[{now_us}us] AGREEMENT: server {idx} delivered slot {slot:?}[{index}] \
+                         under epoch {epoch} but server {first_by} delivered it under epoch \
+                         {chosen_epoch}"
+                    ));
                 }
             }
             None => {
-                self.chosen.insert((slot, index), (Some(pid), idx));
+                self.chosen.insert((slot, index), (Some(pid), epoch, idx));
             }
         }
         self.checks += 1;
@@ -263,6 +300,7 @@ impl InvariantAuditor {
     /// A replica crashed: its in-flight writes are lost and the next
     /// incarnation's delivery watermark restarts.
     pub fn on_crash(&mut self, idx: usize) {
+        self.ensure(idx);
         self.pending[idx].clear();
         self.last_applied[idx] = None;
     }
@@ -271,6 +309,7 @@ impl InvariantAuditor {
     /// actually survived on disk (truncations and torn tails included).
     /// Torn entries fail to decode and are skipped — they gate nothing.
     pub fn on_restart(&mut self, idx: usize, store: &StableStore) {
+        self.ensure(idx);
         let durable = &mut self.durable[idx];
         durable.clear();
         durable.insert(DurableKey::Promise(Ballot::BOTTOM));
@@ -320,7 +359,7 @@ fn fast_name(m: &Msg<ActionBatch>) -> &'static str {
 mod tests {
     use super::*;
 
-    fn status(mode: Mode, alive: usize) -> ReplicaStatus {
+    fn status_in(mode: Mode, alive: usize, epoch: u64, n: usize) -> ReplicaStatus {
         ReplicaStatus {
             mode,
             leading: false,
@@ -328,16 +367,25 @@ mod tests {
             decided_upto: Slot(0),
             pending_proposals: 0,
             alive,
+            epoch,
+            n,
         }
     }
 
+    fn status(mode: Mode, alive: usize) -> ReplicaStatus {
+        status_in(mode, alive, 0, 4)
+    }
+
     fn promise_msg(ballot: Ballot) -> MwMsg<ActionBatch> {
-        MwMsg::Paxos(Msg::Promise {
-            ballot,
-            from_slot: Slot(0),
-            only_slot: None,
-            accepted: Vec::new(),
-        })
+        MwMsg::Paxos {
+            epoch: 0,
+            msg: Msg::Promise {
+                ballot,
+                from_slot: Slot(0),
+                only_slot: None,
+                accepted: Vec::new(),
+            },
+        }
     }
 
     #[test]
@@ -375,18 +423,35 @@ mod tests {
             seq,
         };
         let (a, b) = (pid(1), pid(2));
-        audit.on_applied(0, Slot(5), 0, a, 100);
-        audit.on_applied(1, Slot(5), 0, a, 110);
+        audit.on_applied(0, Slot(5), 0, a, 0, 100);
+        audit.on_applied(1, Slot(5), 0, a, 0, 110);
         assert_eq!(audit.report().total_violations, 0);
-        audit.on_applied(2, Slot(5), 0, b, 120);
+        audit.on_applied(2, Slot(5), 0, b, 0, 120);
         assert_eq!(audit.report().total_violations, 1, "conflicting decree");
 
-        audit.on_applied(0, Slot(4), 0, a, 130);
+        audit.on_applied(0, Slot(4), 0, a, 0, 130);
         assert_eq!(audit.report().total_violations, 2, "watermark regression");
         // A crash resets the incarnation's watermark: replay is legal.
         audit.on_crash(1);
-        audit.on_applied(1, Slot(5), 0, a, 140);
+        audit.on_applied(1, Slot(5), 0, a, 0, 140);
         assert_eq!(audit.report().total_violations, 2);
+    }
+
+    #[test]
+    fn epoch_disagreement_at_a_slot_is_caught() {
+        let mut audit = InvariantAuditor::new(3);
+        let pid = ProposalId {
+            node: paxos::ReplicaId(0),
+            epoch: 0,
+            seq: 1,
+        };
+        // Same decree, different configuration epochs: a fence bug.
+        audit.on_applied(0, Slot(5), 0, pid, 1, 100);
+        audit.on_applied(1, Slot(5), 0, pid, 2, 110);
+        assert_eq!(audit.report().total_violations, 1, "epoch mismatch");
+        // A spare index beyond the initial n is tracked, not a panic.
+        audit.on_applied(6, Slot(5), 0, pid, 1, 120);
+        assert_eq!(audit.report().total_violations, 1);
     }
 
     #[test]
@@ -398,33 +463,40 @@ mod tests {
             seq,
         };
         // One slot carrying a three-update batch: positions advance.
-        audit.on_applied(0, Slot(7), 0, pid(1), 100);
-        audit.on_applied(0, Slot(7), 1, pid(2), 101);
-        audit.on_applied(0, Slot(7), 2, pid(3), 102);
+        audit.on_applied(0, Slot(7), 0, pid(1), 0, 100);
+        audit.on_applied(0, Slot(7), 1, pid(2), 0, 101);
+        audit.on_applied(0, Slot(7), 2, pid(3), 0, 102);
         assert_eq!(audit.report().total_violations, 0);
 
         // Another replica must unpack the same batch the same way.
-        audit.on_applied(1, Slot(7), 0, pid(1), 110);
-        audit.on_applied(1, Slot(7), 1, pid(9), 111);
+        audit.on_applied(1, Slot(7), 0, pid(1), 0, 110);
+        audit.on_applied(1, Slot(7), 1, pid(9), 0, 111);
         assert_eq!(audit.report().total_violations, 1, "batch position differs");
 
         // Replaying an earlier position of the same slot regresses.
-        audit.on_applied(0, Slot(7), 1, pid(2), 120);
+        audit.on_applied(0, Slot(7), 1, pid(2), 0, 120);
         assert_eq!(audit.report().total_violations, 2, "index regression");
     }
 
     #[test]
     fn fast_path_requires_fast_mode_and_quorum() {
         let mut audit = InvariantAuditor::new(4);
-        let any = MwMsg::Paxos(Msg::Any {
-            ballot: Ballot::fast(1, paxos::ReplicaId(0)),
-            from_slot: Slot(0),
-        });
+        let any = MwMsg::Paxos {
+            epoch: 0,
+            msg: Msg::Any {
+                ballot: Ballot::fast(1, paxos::ReplicaId(0)),
+                from_slot: Slot(0),
+            },
+        };
         audit.on_send(0, &any, &status(Mode::Fast, 4), 10);
         assert_eq!(audit.report().total_violations, 0);
         audit.on_send(0, &any, &status(Mode::Classic, 3), 20);
         assert_eq!(audit.report().total_violations, 1, "classic mode fast send");
         audit.on_send(0, &any, &status(Mode::Fast, 2), 30);
         assert_eq!(audit.report().total_violations, 2, "mode/FD mismatch");
+        // The quorum check follows the sender's current epoch: after a
+        // remove shrinks the ensemble to 3, ⌈3·3/4⌉ = 3 alive suffices.
+        audit.on_send(0, &any, &status_in(Mode::Fast, 3, 1, 3), 40);
+        assert_eq!(audit.report().total_violations, 2, "shrunk epoch quorum");
     }
 }

@@ -116,6 +116,26 @@ impl ExperimentConfig {
     }
 }
 
+/// One administrative membership change as executed during a run.
+#[derive(Debug, Clone)]
+pub struct ReconfigIncident {
+    /// When the operator submitted the change (µs).
+    pub submitted_at_us: u64,
+    /// When a leader accepted the proposal (µs); `None` if no leader
+    /// ever took it.
+    pub accepted_at_us: Option<u64>,
+    /// When the new configuration first took effect at a replica (µs,
+    /// observed at the driver's 200 ms polling granularity); `None` if
+    /// the run ended first.
+    pub completed_at_us: Option<u64>,
+    /// The configuration epoch the change creates.
+    pub target_epoch: u64,
+    /// Concrete node ids joining the ensemble.
+    pub add: Vec<usize>,
+    /// Concrete node ids leaving the ensemble.
+    pub remove: Vec<usize>,
+}
+
 /// The observables of one run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -123,6 +143,8 @@ pub struct RunReport {
     pub recorder: Recorder,
     /// Observed crash/recovery spans.
     pub spans: Vec<RecoverySpan>,
+    /// Administrative membership changes executed during the run.
+    pub reconfigs: Vec<ReconfigIncident>,
     /// The paper's dependability measures.
     pub dependability: DependabilityReport,
     /// AWIPS over the whole measurement interval.
@@ -180,6 +202,16 @@ enum Admin {
         server: usize,
         fault: Option<DiskFault>,
     },
+    /// Submit membership change `incident` at some live replica
+    /// (retried at the next poll if no leader accepts it).
+    Reconfig {
+        incident: usize,
+    },
+    /// Poll for membership change `incident` taking effect, then
+    /// provision its joiners and take its removed nodes out of rotation.
+    AwaitEpoch {
+        incident: usize,
+    },
 }
 
 fn link_fault(spec: &LinkFaultSpec) -> LinkFault {
@@ -199,9 +231,14 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         seed: 0x7bc0_57a7e,
     };
     let replicas = config.replicas;
-    let proxy_node = NodeId(replicas);
-    let first_client = replicas + 1;
-    let total_nodes = replicas + 1 + config.client_nodes;
+    // Spare node ids follow the initial replicas; they stay unprovisioned
+    // (no process, empty disk) until a reconfiguration adds them. With no
+    // reconfig events the layout is identical to the pre-reconfig one.
+    let spares = config.faultload.spares_needed();
+    let server_nodes = replicas + spares;
+    let proxy_node = NodeId(server_nodes);
+    let first_client = server_nodes + 1;
+    let total_nodes = server_nodes + 1 + config.client_nodes;
 
     let mut engine: Engine<ClusterMsg> =
         Engine::new(total_nodes, SimConfig::default(), config.seed);
@@ -223,8 +260,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     }
 
     let mut auditor = InvariantAuditor::new(replicas);
-    let mut servers: Vec<Option<ServerNode>> = (0..replicas)
+    let mut servers: Vec<Option<ServerNode>> = (0..server_nodes)
         .map(|i| {
+            if i >= replicas {
+                return None; // spare: provisioned by a reconfiguration
+            }
             Some(ServerNode::new(
                 i,
                 params,
@@ -291,10 +331,44 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         });
         admin.push((event.at_us, Admin::Crash { server, span }));
         let restart_at = match event.recovery {
-            RecoveryKind::Autonomous => event.at_us + config.watchdog_delay_us,
-            RecoveryKind::Manual { at_us } => at_us,
+            RecoveryKind::Autonomous => Some(event.at_us + config.watchdog_delay_us),
+            RecoveryKind::Manual { at_us } => Some(at_us),
+            // Permanent hardware loss: only a reconfiguration replacing
+            // the machine restores the ensemble's spare capacity.
+            RecoveryKind::Never => None,
         };
-        admin.push((restart_at, Admin::Restart { server, span }));
+        if let Some(restart_at) = restart_at {
+            admin.push((restart_at, Admin::Restart { server, span }));
+        }
+    }
+    // Membership changes: assign each event its concrete joiner ids (the
+    // next free spare slots, in order) and resolve removals through the
+    // victim permutation.
+    let mut incidents: Vec<ReconfigIncident> = Vec::new();
+    let mut next_spare = replicas;
+    for rc in &config.faultload.reconfigs {
+        let add: Vec<usize> = (0..rc.add_spares)
+            .map(|_| {
+                let id = next_spare;
+                next_spare += 1;
+                id
+            })
+            .collect();
+        let remove: Vec<usize> = rc
+            .remove
+            .iter()
+            .map(|v| victims[*v % victims.len()])
+            .collect();
+        let incident = incidents.len();
+        incidents.push(ReconfigIncident {
+            submitted_at_us: rc.at_us,
+            accepted_at_us: None,
+            completed_at_us: None,
+            target_epoch: 0,
+            add,
+            remove,
+        });
+        admin.push((rc.at_us, Admin::Reconfig { incident }));
     }
     for nf in &config.faultload.net_faults {
         admin.push((
@@ -351,7 +425,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                 // so it crashes and the watchdog re-instantiates it (its
                 // recovery path re-reads whatever actually survived).
                 let server = node.index();
-                if server < replicas && servers[server].is_some() {
+                if server < server_nodes && servers[server].is_some() {
                     auditor.on_disk_write_failed(server, token);
                     auditor.on_crash(server);
                     engine.crash(node);
@@ -379,7 +453,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                     &mut proxy,
                     &mut clients,
                     &mut recorder,
-                    replicas,
+                    server_nodes,
                     first_client,
                     &mut auditor,
                 );
@@ -473,6 +547,92 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                 engine.trace(admin_node, obs::TraceEvent::PartitionHealed);
                                 engine.network_mut().heal_all();
                             }
+                            Admin::Reconfig { incident } => {
+                                let add: Vec<paxos::ReplicaId> = incidents[incident]
+                                    .add
+                                    .iter()
+                                    .map(|i| paxos::ReplicaId(*i as u32))
+                                    .collect();
+                                let remove: Vec<paxos::ReplicaId> = incidents[incident]
+                                    .remove
+                                    .iter()
+                                    .map(|i| paxos::ReplicaId(*i as u32))
+                                    .collect();
+                                let mut accepted = false;
+                                for server in servers.iter_mut().take(server_nodes) {
+                                    let Some(server) = server.as_mut() else {
+                                        continue;
+                                    };
+                                    if server.is_retired() {
+                                        continue;
+                                    }
+                                    let target = server.membership().epoch() + 1;
+                                    if server.execute_reconfig(
+                                        &mut engine,
+                                        add.clone(),
+                                        remove.clone(),
+                                        &mut auditor,
+                                    ) {
+                                        incidents[incident].accepted_at_us =
+                                            Some(engine.now().as_micros());
+                                        incidents[incident].target_epoch = target;
+                                        accepted = true;
+                                        break;
+                                    }
+                                }
+                                // Poll for completion, or retry the
+                                // submission until some leader takes it.
+                                let (delay, next) = if accepted {
+                                    (200_000, Admin::AwaitEpoch { incident })
+                                } else {
+                                    (500_000, Admin::Reconfig { incident })
+                                };
+                                let at = engine.now().as_micros() + delay;
+                                let pos = admin[admin_idx..].partition_point(|(t, _)| *t <= at)
+                                    + admin_idx;
+                                admin.insert(pos, (at, next));
+                            }
+                            Admin::AwaitEpoch { incident } => {
+                                let target = incidents[incident].target_epoch;
+                                let membership = servers.iter().flatten().find_map(|s| {
+                                    (!s.is_retired() && s.membership().epoch() >= target)
+                                        .then(|| s.membership().clone())
+                                });
+                                match membership {
+                                    Some(membership) => {
+                                        incidents[incident].completed_at_us =
+                                            Some(engine.now().as_micros());
+                                        // Provision the joiners under the
+                                        // new configuration (it contains
+                                        // them) and route around the
+                                        // removed nodes right away.
+                                        for idx in incidents[incident].add.clone() {
+                                            if servers[idx].is_none() {
+                                                servers[idx] = Some(ServerNode::join(
+                                                    idx,
+                                                    params,
+                                                    treplica_config.clone(),
+                                                    membership.clone(),
+                                                    config.service.clone(),
+                                                    &mut engine,
+                                                    &mut auditor,
+                                                ));
+                                                proxy.add_server(NodeId(idx));
+                                            }
+                                        }
+                                        for idx in incidents[incident].remove.clone() {
+                                            proxy.mark_down(&mut engine, idx);
+                                        }
+                                    }
+                                    None => {
+                                        let at = engine.now().as_micros() + 200_000;
+                                        let pos = admin[admin_idx..]
+                                            .partition_point(|(t, _)| *t <= at)
+                                            + admin_idx;
+                                        admin.insert(pos, (at, Admin::AwaitEpoch { incident }));
+                                    }
+                                }
+                            }
                         }
                         continue;
                     }
@@ -520,8 +680,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         .collect();
     let net_messages = engine.network().messages_sent();
     let net_bytes = engine.network().bytes_carried();
-    let disk_writes = (0..replicas).map(|i| engine.disk(NodeId(i)).writes()).sum();
-    let disk_appends = (0..replicas)
+    let disk_writes = (0..server_nodes)
+        .map(|i| engine.disk(NodeId(i)).writes())
+        .sum();
+    let disk_appends = (0..server_nodes)
         .map(|i| engine.disk(NodeId(i)).log_appends())
         .sum();
     let trace = engine.tracer_mut().take_records();
@@ -558,6 +720,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     RunReport {
         recorder,
         spans,
+        reconfigs: incidents,
         dependability,
         awips,
         mean_wirt_ms,
@@ -582,18 +745,18 @@ fn dispatch(
     proxy: &mut ProxyNode,
     clients: &mut [ClientNode],
     recorder: &mut Recorder,
-    replicas: usize,
+    server_nodes: usize,
     first_client: usize,
     auditor: &mut InvariantAuditor,
 ) {
     match event {
         Event::Message { from, to, payload } => {
             let t = to.index();
-            if t < replicas {
+            if t < server_nodes {
                 if let Some(server) = servers[t].as_mut() {
                     server.on_message(engine, from, payload, auditor);
                 }
-            } else if t == replicas {
+            } else if t == server_nodes {
                 proxy.on_message(engine, from, payload);
             } else {
                 clients[t - first_client].on_message(engine, payload, recorder);
@@ -601,11 +764,11 @@ fn dispatch(
         }
         Event::Timer { node, token } => {
             let t = node.index();
-            if t < replicas {
+            if t < server_nodes {
                 if let Some(server) = servers[t].as_mut() {
                     server.on_timer(engine, token, auditor);
                 }
-            } else if t == replicas {
+            } else if t == server_nodes {
                 proxy.on_timer(engine, token);
             } else {
                 clients[t - first_client].on_timer(engine, token, recorder);
@@ -613,7 +776,7 @@ fn dispatch(
         }
         Event::DiskWriteDone { node, token } => {
             let t = node.index();
-            if t < replicas {
+            if t < server_nodes {
                 if let Some(server) = servers[t].as_mut() {
                     server.on_disk_write_done(engine, token, auditor);
                 }
@@ -621,7 +784,7 @@ fn dispatch(
         }
         Event::DiskReadDone { node, token, value } => {
             let t = node.index();
-            if t < replicas {
+            if t < server_nodes {
                 if let Some(server) = servers[t].as_mut() {
                     server.on_disk_read_done(engine, token, value, auditor);
                 }

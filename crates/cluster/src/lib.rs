@@ -34,7 +34,7 @@ mod service;
 
 pub use audit::{AuditReport, InvariantAuditor};
 pub use client::ClientNode;
-pub use experiment::{run_experiment, ExperimentConfig, RunReport};
+pub use experiment::{run_experiment, ExperimentConfig, ReconfigIncident, RunReport};
 pub use msg::ClusterMsg;
 pub use proxy::{ProxyConfig, ProxyNode};
 pub use server::ServerNode;

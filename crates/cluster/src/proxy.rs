@@ -119,6 +119,40 @@ impl ProxyNode {
         }
     }
 
+    /// Registers a freshly provisioned backend (a node joining via
+    /// reconfiguration). It starts out of rotation and is admitted once
+    /// `rise` consecutive probes succeed — the same admission path a
+    /// recovered server takes. Backends must be added in node-id order:
+    /// a server's probe slot is indexed by its id.
+    pub fn add_server(&mut self, node: NodeId) {
+        debug_assert_eq!(
+            self.servers.len(),
+            node.index(),
+            "backends must be registered in node-id order"
+        );
+        self.servers.push(ServerHealth {
+            node,
+            healthy: false,
+            fails: 0,
+            rises: 0,
+            awaiting: None,
+        });
+    }
+
+    /// Takes a backend out of rotation immediately (a node the
+    /// configuration removed): its in-flight requests are failed over
+    /// like a detected crash, and probes keep it out for good because a
+    /// retired replica answers `ready: false`.
+    pub fn mark_down(&mut self, engine: &mut Engine<ClusterMsg>, server: usize) {
+        if let Some(s) = self.servers.get_mut(server) {
+            if s.healthy {
+                s.healthy = false;
+                s.rises = 0;
+                self.kill_in_flight(engine, server);
+            }
+        }
+    }
+
     /// Servers currently in rotation.
     pub fn healthy_count(&self) -> usize {
         self.servers.iter().filter(|s| s.healthy).count()

@@ -112,6 +112,47 @@ impl ServerNode {
         server
     }
 
+    /// Boots a brand-new replica joining an already-running ensemble
+    /// under `membership` (a spare provisioned by a reconfiguration).
+    /// The membership must already contain this node's id — it is the
+    /// *post*-reconfig configuration. The joiner starts from an empty
+    /// disk and catches up via log shipping / snapshot transfer.
+    pub fn join(
+        idx: usize,
+        params: PopulationParams,
+        config: TreplicaConfig,
+        membership: paxos::Membership,
+        service: ServiceModel,
+        engine: &mut Engine<ClusterMsg>,
+        auditor: &mut InvariantAuditor,
+    ) -> ServerNode {
+        let node = NodeId(idx);
+        let (mw, boot_fx) = Middleware::bootstrap_with_membership(
+            paxos::ReplicaId(idx as u32),
+            RobustStore::new(params),
+            config,
+            membership,
+            engine.now().as_micros(),
+        );
+        engine.set_timer(node, SimDuration::from_micros(TICK_US), TOKEN_TICK);
+        let mut server = ServerNode {
+            idx,
+            node,
+            mw,
+            facade: TpcwDatabase::new(0x00fa_cade ^ idx as u64),
+            service,
+            queue: VecDeque::new(),
+            busy: false,
+            outstanding: BTreeMap::new(),
+            ready: true,
+            cpu_debt_us: 0,
+            batch_timer_armed: None,
+            queue_sampled_sec: engine.now().as_micros() / 1_000_000,
+        };
+        server.apply_mw_effects(engine, boot_fx, auditor);
+        server
+    }
+
     /// Restarts a crashed replica from its durable disk. The node is
     /// not `ready` (health probes answer 503) until recovery completes.
     pub fn recover(
@@ -157,6 +198,32 @@ impl ServerNode {
     /// Whether the application is serving (post-recovery).
     pub fn is_ready(&self) -> bool {
         self.ready
+    }
+
+    /// The configuration this replica currently runs under.
+    pub fn membership(&self) -> &paxos::Membership {
+        self.mw.membership()
+    }
+
+    /// Whether a reconfiguration removed this replica from the ensemble.
+    pub fn is_retired(&self) -> bool {
+        self.mw.is_retired()
+    }
+
+    /// Submits an administrative membership change at this replica.
+    /// Returns `false` if it is not the leader (or a reconfiguration is
+    /// already pending) — the driver retries at another node.
+    pub fn execute_reconfig(
+        &mut self,
+        engine: &mut Engine<ClusterMsg>,
+        add: Vec<paxos::ReplicaId>,
+        remove: Vec<paxos::ReplicaId>,
+        auditor: &mut InvariantAuditor,
+    ) -> bool {
+        let now = engine.now().as_micros();
+        let (ok, fx) = self.mw.execute_reconfig(add, remove, now);
+        self.apply_mw_effects(engine, fx, auditor);
+        ok
     }
 
     /// Middleware introspection.
@@ -215,9 +282,10 @@ impl ServerNode {
                     slot,
                     index,
                     pid,
+                    epoch,
                     reply,
                 } => {
-                    auditor.on_applied(self.idx, slot, index, pid, engine.now().as_micros());
+                    auditor.on_applied(self.idx, slot, index, pid, epoch, engine.now().as_micros());
                     let cost_us = self.service.apply_cost_us();
                     self.enqueue(
                         engine,
@@ -226,6 +294,14 @@ impl ServerNode {
                             cost_us,
                         },
                     );
+                }
+                MwEffect::Reconfigured { members, .. } => {
+                    // A node the new configuration removed stops serving:
+                    // health probes answer 503, the proxy routes around
+                    // it, and the driver decommissions it.
+                    if !members.contains(&paxos::ReplicaId(self.idx as u32)) {
+                        self.ready = false;
+                    }
                 }
                 MwEffect::RecoveryComplete => {
                     self.ready = true;

@@ -6,7 +6,10 @@
 //! [`Wire::wire_size`] to charge serialization latency on the simulated
 //! network.
 
-use paxos::{AcceptedReport, Ballot, BallotClass, Batch, Decree, Msg, ProposalId, Record, Slot};
+use paxos::{
+    AcceptedReport, Ballot, BallotClass, Batch, Decree, Msg, ProposalId, Reconfig, Record,
+    ReplicaId, Slot,
+};
 
 use crate::wire::{Wire, WireError};
 
@@ -90,6 +93,36 @@ impl Wire for ProposalId {
     }
 }
 
+impl Wire for ReplicaId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ReplicaId(u32::decode(input)?))
+    }
+    fn wire_size(&self) -> u64 {
+        4
+    }
+}
+
+impl Wire for Reconfig {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.add.encode(buf);
+        self.remove.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Reconfig {
+            epoch: u64::decode(input)?,
+            add: Vec::decode(input)?,
+            remove: Vec::decode(input)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        self.epoch.wire_size() + self.add.wire_size() + self.remove.wire_size()
+    }
+}
+
 impl<A: Wire> Wire for Decree<A> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -99,12 +132,17 @@ impl<A: Wire> Wire for Decree<A> {
                 pid.encode(buf);
                 a.encode(buf);
             }
+            Decree::Reconfig(rc) => {
+                buf.push(2);
+                rc.encode(buf);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         match u8::decode(input)? {
             0 => Ok(Decree::Noop),
             1 => Ok(Decree::Value(ProposalId::decode(input)?, A::decode(input)?)),
+            2 => Ok(Decree::Reconfig(Reconfig::decode(input)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -112,6 +150,7 @@ impl<A: Wire> Wire for Decree<A> {
         match self {
             Decree::Noop => 1,
             Decree::Value(pid, a) => 1 + pid.wire_size() + a.wire_size(),
+            Decree::Reconfig(rc) => 1 + rc.wire_size(),
         }
     }
 }
@@ -401,6 +440,16 @@ mod tests {
         roundtrip(pid(1, 5));
         roundtrip(Decree::<u64>::Noop);
         roundtrip(Decree::Value(pid(0, 1), 99u64));
+        roundtrip(Decree::<u64>::Reconfig(Reconfig {
+            epoch: 3,
+            add: vec![ReplicaId(5), ReplicaId(6)],
+            remove: vec![ReplicaId(0)],
+        }));
+        roundtrip(Decree::<u64>::Reconfig(Reconfig {
+            epoch: 1,
+            add: vec![],
+            remove: vec![ReplicaId(4)],
+        }));
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::collections::BTreeMap;
 
 use obs::{EventBuf, TraceConfig, TraceEvent};
 use paxos::{
-    Ballot, Batch, Effect as PaxosEffect, Mode, Msg, PaxosConfig, PersistToken, ProposalId, Record,
-    Replica, ReplicaId, ReplicaStatus, Slot,
+    Ballot, Batch, Effect as PaxosEffect, Membership, Mode, Msg, PaxosConfig, PersistToken,
+    ProposalId, Record, Replica, ReplicaId, ReplicaStatus, Slot,
 };
 use simnet::{StableOp, StableStore};
 
@@ -95,6 +95,11 @@ pub struct Meta {
     /// Promise floor: the acceptor must never promise below this (covers
     /// `Promised` records dropped by log truncation).
     pub promised: Ballot,
+    /// Configuration epoch in force when the checkpoint was taken.
+    pub epoch: u64,
+    /// Member set of that epoch (restart resumes under it; newer epochs
+    /// are re-learned from the log or from peers).
+    pub members: Vec<ReplicaId>,
 }
 
 impl Meta {
@@ -109,16 +114,24 @@ impl Wire for Meta {
         self.checkpoint_slot.encode(buf);
         self.generation.encode(buf);
         self.promised.encode(buf);
+        self.epoch.encode(buf);
+        self.members.encode(buf);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         Ok(Meta {
             checkpoint_slot: Slot::decode(input)?,
             generation: u64::decode(input)?,
             promised: Ballot::decode(input)?,
+            epoch: u64::decode(input)?,
+            members: Vec::decode(input)?,
         })
     }
     fn wire_size(&self) -> u64 {
-        self.checkpoint_slot.wire_size() + 8 + self.promised.wire_size()
+        self.checkpoint_slot.wire_size()
+            + 8
+            + self.promised.wire_size()
+            + 8
+            + self.members.wire_size()
     }
 }
 
@@ -127,15 +140,29 @@ impl Wire for Meta {
 /// backlog fell past the peers' retained history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MwMsg<A> {
-    /// Consensus-layer traffic.
-    Paxos(Msg<A>),
+    /// Consensus-layer traffic, stamped with the sender's configuration
+    /// epoch so a reconfigured cohort can fence out stragglers: messages
+    /// from an older epoch are dropped (and traced) instead of being
+    /// counted under the new epoch's quorum rule.
+    Paxos {
+        /// Sender's configuration epoch at send time.
+        epoch: u64,
+        /// The consensus message.
+        msg: Msg<A>,
+    },
     /// A recovering replica asks a peer for its current state.
     SnapshotRequest,
     /// Full state transfer: `data` restores an application covering all
     /// slots below `covers`; `nominal` is the modeled transfer size.
+    /// Carries the sender's configuration so a freshly provisioned node
+    /// adopts the current member set along with the state.
     SnapshotReply {
         /// Delivery resumes at this slot after restoring.
         covers: Slot,
+        /// Configuration epoch of the snapshot.
+        epoch: u64,
+        /// Member set of that epoch.
+        members: Vec<ReplicaId>,
         /// Serialized application state.
         data: Vec<u8>,
         /// Modeled size (drives network transfer latency).
@@ -149,9 +176,11 @@ impl<A: Wire> MwMsg<A> {
     pub fn wire_bytes(&self) -> u64 {
         WIRE_OVERHEAD
             + match self {
-                MwMsg::Paxos(m) => 1 + m.wire_size(),
+                MwMsg::Paxos { msg, .. } => 1 + 8 + msg.wire_size(),
                 MwMsg::SnapshotRequest => 1,
-                MwMsg::SnapshotReply { nominal, .. } => 1 + 8 + 8 + *nominal,
+                MwMsg::SnapshotReply {
+                    members, nominal, ..
+                } => 1 + 8 + 8 + 8 + members.wire_size() + *nominal,
             }
     }
 }
@@ -203,8 +232,21 @@ pub enum MwEffect<App: Application> {
         index: u32,
         /// Proposal identity (matches the id returned by `execute`).
         pid: ProposalId,
+        /// Configuration epoch the slot was decided under.
+        epoch: u64,
         /// The application's reply.
         reply: App::Reply,
+    },
+    /// A reconfiguration decree reached its fence: this node now runs
+    /// under configuration `epoch` with the given member set (the driver
+    /// provisions joiners / decommissions leavers on this signal).
+    Reconfigured {
+        /// The fence slot.
+        slot: Slot,
+        /// The new configuration epoch.
+        epoch: u64,
+        /// Members of the new epoch.
+        members: Vec<ReplicaId>,
     },
     /// Recovery finished: checkpoint restored, log replayed, backlog
     /// re-learned. The replica now serves as if it had never crashed.
@@ -408,7 +450,23 @@ impl<App: Application> Middleware<App> {
         config: TreplicaConfig,
         now: u64,
     ) -> (Self, Vec<MwEffect<App>>) {
-        let mut mw = Self::new(id, app, config, now);
+        let membership = Membership::initial(config.paxos.n);
+        Self::bootstrap_with_membership(id, app, config, membership, now)
+    }
+
+    /// Like [`Middleware::bootstrap`], but under an explicit (possibly
+    /// post-reconfiguration) member set — how the driver provisions a
+    /// node joining mid-run: hand it the cluster's current configuration
+    /// and let catch-up (log shipping or snapshot transfer) fill its
+    /// state.
+    pub fn bootstrap_with_membership(
+        id: ReplicaId,
+        app: App,
+        config: TreplicaConfig,
+        membership: Membership,
+        now: u64,
+    ) -> (Self, Vec<MwEffect<App>>) {
+        let mut mw = Self::new_with_membership(id, app, config, membership, now);
         let mut out = Vec::new();
         mw.start_checkpoint(&mut out);
         (mw, out)
@@ -416,7 +474,19 @@ impl<App: Application> Middleware<App> {
 
     /// Creates a fresh replica (first boot, empty disk) hosting `app`.
     pub fn new(id: ReplicaId, app: App, config: TreplicaConfig, now: u64) -> Self {
-        let mut paxos = Replica::new(id, config.paxos.clone(), now);
+        let membership = Membership::initial(config.paxos.n);
+        Self::new_with_membership(id, app, config, membership, now)
+    }
+
+    /// [`Middleware::new`] under an explicit member set.
+    pub fn new_with_membership(
+        id: ReplicaId,
+        app: App,
+        config: TreplicaConfig,
+        membership: Membership,
+        now: u64,
+    ) -> Self {
+        let mut paxos = Replica::new_with_membership(id, config.paxos.clone(), membership, now);
         paxos.set_tracing(config.trace.enabled);
         let trace = EventBuf::new(config.trace.enabled);
         Middleware {
@@ -469,6 +539,13 @@ impl<App: Application> Middleware<App> {
             .map(|m| m.checkpoint_slot)
             .unwrap_or(Slot::ZERO);
         let promised_floor = meta.as_ref().map(|m| m.promised).unwrap_or(Ballot::BOTTOM);
+        // Resume under the checkpoint's configuration; any reconfiguration
+        // decided since is re-learned from the log suffix or from peers
+        // (whose snapshot replies carry their newer epoch).
+        let membership = match meta.as_ref() {
+            Some(m) if !m.members.is_empty() => Membership::new(m.epoch, m.members.clone()),
+            _ => Membership::initial(config.paxos.n),
+        };
 
         // Decode the surviving log records; the modeled read latency is
         // charged via the DiskReadRaw effect below. A crash mid-append
@@ -499,9 +576,10 @@ impl<App: Application> Middleware<App> {
             }
         }
         let floor_record = Record::Promised(promised_floor);
-        let mut paxos = Replica::recover(
+        let mut paxos = Replica::recover_with_membership(
             id,
             config.paxos.clone(),
+            membership,
             std::iter::once(&floor_record).chain(records.iter()),
             start_slot,
             epoch,
@@ -756,7 +834,33 @@ impl<App: Application> Middleware<App> {
             return Vec::new();
         }
         match msg {
-            MwMsg::Paxos(m) => {
+            MwMsg::Paxos { epoch, msg: m } => {
+                let local = self.paxos.config_epoch();
+                // Learning traffic is epoch-agnostic: it only reports
+                // already-decided slots, and it is exactly what carries a
+                // straggler (or a joiner) across a fence.
+                let epoch_agnostic = matches!(
+                    m,
+                    Msg::Alive { .. } | Msg::LearnRequest { .. } | Msg::LearnReply { .. }
+                );
+                if !epoch_agnostic {
+                    if epoch < local {
+                        // Stale configuration: the sender has not crossed
+                        // the fence yet. Counting its votes under the new
+                        // epoch's quorum rule would be unsound.
+                        self.trace.push(TraceEvent::StaleEpochRejected {
+                            from: from.0,
+                            msg_epoch: epoch,
+                            local_epoch: local,
+                        });
+                        return Vec::new();
+                    }
+                    if epoch > local {
+                        // We are behind the fence ourselves; only learning
+                        // traffic until catch-up delivers the switch.
+                        return Vec::new();
+                    }
+                }
                 let fx = self.paxos.on_message(from, m, now);
                 let mut out = self.lower(fx);
                 self.maybe_request_snapshot(&mut out);
@@ -772,6 +876,11 @@ impl<App: Application> Middleware<App> {
                         } = app.snapshot();
                         let reply = MwMsg::SnapshotReply {
                             covers: self.paxos.decided_upto(),
+                            // The epoch in force at `covers` (the
+                            // delivery watermark), which is what the
+                            // receiver resumes replay under.
+                            epoch: self.paxos.log_epoch(),
+                            members: self.paxos.membership().members().to_vec(),
                             data,
                             nominal: nominal_bytes,
                         };
@@ -785,7 +894,13 @@ impl<App: Application> Middleware<App> {
                 }
                 out
             }
-            MwMsg::SnapshotReply { covers, data, .. } => {
+            MwMsg::SnapshotReply {
+                covers,
+                epoch,
+                members,
+                data,
+                ..
+            } => {
                 let mut out = Vec::new();
                 if covers > self.paxos.decided_upto() {
                     if let Ok(app) = App::restore(&data) {
@@ -796,7 +911,13 @@ impl<App: Application> Middleware<App> {
                         {
                             *checkpoint_done = true;
                         }
-                        let fx = self.paxos.fast_forward(covers);
+                        // Adopt the sender's configuration along with its
+                        // state: slots at `covers` and above were decided
+                        // under it.
+                        if epoch > self.paxos.config_epoch() && !members.is_empty() {
+                            self.paxos.adopt_membership(Membership::new(epoch, members));
+                        }
+                        let fx = self.paxos.fast_forward(covers, epoch);
                         out.extend(self.lower(fx));
                     }
                 }
@@ -804,6 +925,37 @@ impl<App: Application> Middleware<App> {
                 out
             }
         }
+    }
+
+    /// Proposes a configuration change (the admin "add/remove/replace
+    /// node" operation). Succeeds only on the current leader with no
+    /// other reconfiguration in flight; the driver retries elsewhere on
+    /// `false`. Completion arrives as [`MwEffect::Reconfigured`] at every
+    /// member once the decree passes its fence.
+    pub fn execute_reconfig(
+        &mut self,
+        add: Vec<ReplicaId>,
+        remove: Vec<ReplicaId>,
+        now: u64,
+    ) -> (bool, Vec<MwEffect<App>>) {
+        self.now = self.now.max(now);
+        if self.is_recovering() {
+            return (false, Vec::new());
+        }
+        let (ok, fx) = self.paxos.propose_reconfig(add, remove);
+        let out = self.lower(fx);
+        (ok, out)
+    }
+
+    /// The configuration (epoch + member set) this node currently runs
+    /// under.
+    pub fn membership(&self) -> &Membership {
+        self.paxos.membership()
+    }
+
+    /// Whether a reconfiguration removed this node from the ensemble.
+    pub fn is_retired(&self) -> bool {
+        self.paxos.is_retired()
     }
 
     /// If a catch-up exchange revealed peers truncated past our
@@ -993,7 +1145,10 @@ impl<App: Application> Middleware<App> {
         for e in fx {
             match e {
                 PaxosEffect::Send { to, msg } => {
-                    let msg = MwMsg::Paxos(msg);
+                    let msg = MwMsg::Paxos {
+                        epoch: self.paxos.config_epoch(),
+                        msg,
+                    };
                     let bytes = msg.wire_bytes();
                     out.push(MwEffect::Send { to, msg, bytes });
                 }
@@ -1017,10 +1172,24 @@ impl<App: Application> Middleware<App> {
                     slot,
                     pid: _batch_pid,
                     value,
+                    epoch,
                 } => {
+                    // The effect carries the epoch the slot was decided
+                    // under (`Replica::log_epoch`); reading
+                    // `config_epoch()` here would be wrong — the core
+                    // switches epoch mid-drain, so by the time a
+                    // pre-fence slot is lowered it may already read the
+                    // new configuration.
                     for (i, (pid, action)) in value.items.into_iter().enumerate() {
-                        self.queue.push(slot, i as u32, pid, action);
+                        self.queue.push(slot, i as u32, pid, epoch, action);
                     }
+                }
+                PaxosEffect::Reconfigured { slot, membership } => {
+                    out.push(MwEffect::Reconfigured {
+                        slot,
+                        epoch: membership.epoch(),
+                        members: membership.members().to_vec(),
+                    });
                 }
             }
         }
@@ -1072,6 +1241,7 @@ impl<App: Application> Middleware<App> {
                 slot: entry.slot,
                 index: entry.index,
                 pid: entry.pid,
+                epoch: entry.epoch,
                 reply,
             });
         }
@@ -1110,6 +1280,8 @@ impl<App: Application> Middleware<App> {
             checkpoint_slot: self.paxos.decided_upto(),
             generation: self.checkpoint_generation,
             promised: self.paxos.status().ballot,
+            epoch: self.paxos.config_epoch(),
+            members: self.paxos.membership().members().to_vec(),
         };
         let key = Meta::ckpt_key(meta.generation);
         self.trace.push(TraceEvent::CheckpointWrite {
@@ -1256,6 +1428,7 @@ mod tests {
                     }
                     MwEffect::Applied { reply, .. } => applied.push(reply),
                     MwEffect::RecoveryComplete => {}
+                    MwEffect::Reconfigured { .. } => {}
                 }
             }
             queue = next;
@@ -1380,6 +1553,8 @@ mod tests {
             checkpoint_slot: Slot(9),
             generation: 3,
             promised: Ballot::BOTTOM,
+            epoch: 2,
+            members: vec![ReplicaId(0), ReplicaId(3), ReplicaId(7)],
         };
         assert_eq!(Meta::from_bytes(&m.to_bytes()).unwrap(), m);
         assert_eq!(Meta::ckpt_key(3), "treplica.ckpt.3");
@@ -1601,5 +1776,109 @@ mod tests {
         // (slot, index) regression).
         assert_eq!(replayed, vec![1, 3, 6, 10, 15]);
         assert_eq!(mw2.state().expect("state").total, 15);
+    }
+
+    /// Regression test for the epoch fence: after a reconfiguration is
+    /// delivered, protocol messages stamped with the old epoch must be
+    /// dropped (and traced), newer-epoch messages dropped silently, and
+    /// learning traffic must keep flowing regardless of epoch.
+    #[test]
+    fn reconfig_switches_epoch_and_rejects_stale_messages() {
+        let config = TreplicaConfig {
+            trace: TraceConfig::on(),
+            ..config()
+        };
+        let (mut mw, mut store) = active_single_with(config);
+        let _ = mw.take_trace();
+        assert_eq!(mw.membership().epoch(), 0);
+
+        let (ok, fx) = mw.execute_reconfig(vec![ReplicaId(1)], vec![], 0);
+        assert!(ok, "the leader accepts a reconfig proposal");
+        // Drive to completion: only messages addressed to this node loop
+        // back (the new member does not exist in this test).
+        let mut reconfigured = None;
+        let mut queue = fx;
+        while !queue.is_empty() {
+            let mut next = Vec::new();
+            for e in queue {
+                match e {
+                    MwEffect::Send {
+                        to: ReplicaId(0),
+                        msg,
+                        ..
+                    } => {
+                        next.extend(mw.on_message(ReplicaId(0), msg, 0));
+                    }
+                    MwEffect::DiskWrite { op, token, .. } => {
+                        store.apply(op);
+                        next.extend(mw.on_disk_write_done(token));
+                    }
+                    MwEffect::Reconfigured { epoch, members, .. } => {
+                        reconfigured = Some((epoch, members));
+                    }
+                    _ => {}
+                }
+            }
+            queue = next;
+        }
+        let (epoch, members) = reconfigured.expect("reconfig decree delivered");
+        assert_eq!(epoch, 1);
+        assert_eq!(members, vec![ReplicaId(0), ReplicaId(1)]);
+        assert_eq!(mw.membership().epoch(), 1);
+        let _ = mw.take_trace();
+
+        // A stale-epoch Accept is dropped and traced.
+        let stale = MwMsg::Paxos {
+            epoch: 0,
+            msg: Msg::Accept {
+                ballot: Ballot::BOTTOM,
+                slot: Slot(50),
+                decree: paxos::Decree::Noop,
+            },
+        };
+        let fx = mw.on_message(ReplicaId(1), stale, 0);
+        assert!(fx.is_empty(), "stale-epoch accept produces no effects");
+        let trace = mw.take_trace();
+        assert!(
+            trace.iter().any(|e| matches!(
+                e,
+                TraceEvent::StaleEpochRejected {
+                    from: 1,
+                    msg_epoch: 0,
+                    local_epoch: 1,
+                }
+            )),
+            "stale-epoch rejection is traced: {trace:?}"
+        );
+
+        // Messages from a newer epoch are dropped silently (this node
+        // must catch up before voting under an unknown quorum rule)...
+        let ahead = MwMsg::Paxos {
+            epoch: 7,
+            msg: Msg::Accept {
+                ballot: Ballot::BOTTOM,
+                slot: Slot(50),
+                decree: paxos::Decree::Noop,
+            },
+        };
+        let fx = mw.on_message(ReplicaId(1), ahead, 0);
+        assert!(fx.is_empty(), "ahead-epoch accept produces no effects");
+
+        // ...and learning traffic crosses the fence in both directions.
+        let learn = MwMsg::Paxos {
+            epoch: 0,
+            msg: Msg::LearnRequest {
+                from_slot: Slot::ZERO,
+            },
+        };
+        let fx = mw.on_message(ReplicaId(1), learn, 0);
+        assert!(!fx.is_empty(), "stale-epoch learn request is answered");
+        let trace = mw.take_trace();
+        assert!(
+            trace
+                .iter()
+                .all(|e| !matches!(e, TraceEvent::StaleEpochRejected { .. })),
+            "epoch-agnostic traffic is never rejected: {trace:?}"
+        );
     }
 }

@@ -29,6 +29,10 @@ pub struct QueueEntry<A> {
     pub index: u32,
     /// The proposal that produced it.
     pub pid: ProposalId,
+    /// Configuration epoch the slot was decided under (slots below a
+    /// reconfiguration fence carry the old epoch, slots at or above it
+    /// the new one).
+    pub epoch: u64,
     /// The element itself.
     pub action: A,
 }
@@ -40,7 +44,7 @@ pub struct QueueEntry<A> {
 /// use paxos::{ProposalId, ReplicaId, Slot};
 /// let mut q = PersistentQueue::new();
 /// let pid = ProposalId { node: ReplicaId(0), epoch: 0, seq: 1 };
-/// q.push(Slot(4), 0, pid, "action");
+/// q.push(Slot(4), 0, pid, 0, "action");
 /// assert_eq!(q.try_dequeue().unwrap().action, "action");
 /// ```
 #[derive(Debug)]
@@ -71,7 +75,7 @@ impl<A> PersistentQueue<A> {
     /// position pushed before — the consensus layer guarantees in-order,
     /// gap-checked delivery and the middleware unpacks batches front to
     /// back, so a violation here is a protocol bug, not an input error.
-    pub fn push(&mut self, slot: Slot, index: u32, pid: ProposalId, action: A) {
+    pub fn push(&mut self, slot: Slot, index: u32, pid: ProposalId, epoch: u64, action: A) {
         if let Some((last_slot, last_index)) = self.last_pos {
             assert!(
                 (slot, index) > (last_slot, last_index),
@@ -84,6 +88,7 @@ impl<A> PersistentQueue<A> {
             slot,
             index,
             pid,
+            epoch,
             action,
         });
     }
@@ -146,8 +151,8 @@ mod tests {
     #[test]
     fn fifo_order_preserved() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(1), 0, pid(1), "a");
-        q.push(Slot(2), 0, pid(2), "b");
+        q.push(Slot(1), 0, pid(1), 0, "a");
+        q.push(Slot(2), 0, pid(2), 0, "b");
         assert_eq!(q.len(), 2);
         assert_eq!(q.try_dequeue().unwrap().action, "a");
         assert_eq!(q.try_dequeue().unwrap().action, "b");
@@ -159,10 +164,10 @@ mod tests {
     #[test]
     fn same_slot_batch_entries_ordered_by_index() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(5), 0, pid(1), "a");
-        q.push(Slot(5), 1, pid(2), "b");
-        q.push(Slot(5), 2, pid(3), "c");
-        q.push(Slot(6), 0, pid(4), "d");
+        q.push(Slot(5), 0, pid(1), 0, "a");
+        q.push(Slot(5), 1, pid(2), 0, "b");
+        q.push(Slot(5), 2, pid(3), 0, "c");
+        q.push(Slot(6), 0, pid(4), 0, "d");
         let order: Vec<&str> = std::iter::from_fn(|| q.try_dequeue())
             .map(|e| e.action)
             .collect();
@@ -173,24 +178,24 @@ mod tests {
     #[should_panic(expected = "total order violation")]
     fn out_of_order_push_panics() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(5), 0, pid(1), "a");
-        q.push(Slot(5), 0, pid(2), "b");
+        q.push(Slot(5), 0, pid(1), 0, "a");
+        q.push(Slot(5), 0, pid(2), 0, "b");
     }
 
     #[test]
     #[should_panic(expected = "total order violation")]
     fn intra_batch_index_regression_panics() {
         let mut q = PersistentQueue::new();
-        q.push(Slot(5), 3, pid(1), "a");
-        q.push(Slot(5), 2, pid(2), "b");
+        q.push(Slot(5), 3, pid(1), 0, "a");
+        q.push(Slot(5), 2, pid(2), 0, "b");
     }
 
     #[test]
     fn gaps_in_slots_are_fine() {
         // No-op slots are filtered before the queue; gaps are expected.
         let mut q = PersistentQueue::new();
-        q.push(Slot(1), 0, pid(1), "a");
-        q.push(Slot(7), 0, pid(2), "b");
+        q.push(Slot(1), 0, pid(1), 0, "a");
+        q.push(Slot(7), 0, pid(2), 0, "b");
         assert_eq!(q.last_slot(), Some(Slot(7)));
     }
 

@@ -110,6 +110,10 @@ impl<App: Application + 'static> ReplicaThread<App> {
                             }
                         }
                     }
+                    MwEffect::Reconfigured { .. } => {
+                        // LocalCluster has a fixed replica set; the
+                        // simulated cluster crate drives reconfiguration.
+                    }
                     MwEffect::RecoveryComplete => {
                         self.recovered_flag.store(true, Ordering::SeqCst);
                     }

@@ -100,6 +100,8 @@ impl Cluster {
                 MwEffect::RecoveryComplete => {
                     self.recovered[node].push(self.engine.now().as_micros());
                 }
+                // This harness never reconfigures its replica set.
+                MwEffect::Reconfigured { .. } => {}
             }
         }
     }
@@ -338,6 +340,7 @@ fn recovery_time_scales_with_state_size() {
                     }
                     MwEffect::Applied { .. } => {}
                     MwEffect::RecoveryComplete => *recovered_at = Some(engine.now().as_micros()),
+                    MwEffect::Reconfigured { .. } => {}
                 }
             }
         };

@@ -30,5 +30,5 @@ mod spec;
 pub use measures::{performability, DependabilityReport, PerformabilityWindow, RecoverySpan};
 pub use spec::{
     DiskFaultEvent, FaultEvent, Faultload, LinkFaultSpec, NetFaultEvent, PartitionEvent,
-    RecoveryKind,
+    ReconfigEvent, RecoveryKind,
 };

@@ -24,6 +24,10 @@ pub enum RecoveryKind {
         /// Absolute restart time (µs since run start).
         at_us: u64,
     },
+    /// The machine is gone for good (hardware loss): the replica never
+    /// restarts. Availability is restored only by a
+    /// [`ReconfigEvent`] replacing it with a freshly provisioned node.
+    Never,
 }
 
 /// One injected fault.
@@ -101,6 +105,24 @@ pub struct DiskFaultEvent {
     pub torn_tail: bool,
 }
 
+/// An administrative membership change (configuration epoch bump)
+/// submitted to the ensemble at a given time.
+///
+/// `remove` names victims by index into the run's pseudo-random victim
+/// permutation (like [`FaultEvent::victim`]); `add_spares` is a count of
+/// brand-new nodes the operator provisions — the driver assigns them the
+/// next free node ids and boots them once the change is decided, so
+/// they catch up via log shipping or snapshot transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigEvent {
+    /// When the operator submits the change (µs since run start).
+    pub at_us: u64,
+    /// Freshly provisioned nodes joining the ensemble.
+    pub add_spares: usize,
+    /// Victim-permutation indices leaving the ensemble.
+    pub remove: Vec<usize>,
+}
+
 /// A faultload: a list of crash events injected during the run.
 ///
 /// ```
@@ -120,6 +142,8 @@ pub struct Faultload {
     pub net_faults: Vec<NetFaultEvent>,
     /// Disk-fault intervals, if any.
     pub disk_faults: Vec<DiskFaultEvent>,
+    /// Administrative membership changes, if any.
+    pub reconfigs: Vec<ReconfigEvent>,
 }
 
 impl Faultload {
@@ -143,9 +167,16 @@ impl Faultload {
 
     /// Paper §5.4: one crash at t=270 s, autonomous recovery.
     pub fn single_crash() -> Faultload {
+        Faultload::single_crash_at(270_000_000)
+    }
+
+    /// One autonomous-recovery crash of victim 0 at `at_us` — the §5.4
+    /// faultload at an explicit time (comparison baselines that must
+    /// align with a scenario's own incident time).
+    pub fn single_crash_at(at_us: u64) -> Faultload {
         Faultload {
             events: vec![FaultEvent {
-                at_us: 270_000_000,
+                at_us,
                 victim: 0,
                 recovery: RecoveryKind::Autonomous,
             }],
@@ -285,6 +316,85 @@ impl Faultload {
                 write_fail: 0.002,
                 torn_tail: true,
             }],
+            reconfigs: Vec::new(),
+        }
+    }
+
+    /// A planned scale-up: provision `count` fresh nodes at `at_us` and
+    /// add them to the ensemble (no one crashes).
+    pub fn reconfig_add(at_us: u64, count: usize) -> Faultload {
+        Faultload {
+            reconfigs: vec![ReconfigEvent {
+                at_us,
+                add_spares: count,
+                remove: Vec::new(),
+            }],
+            ..Faultload::default()
+        }
+    }
+
+    /// A planned scale-down: remove the given victims from the ensemble
+    /// at `at_us`. The removed replicas stay up but retire — the mode
+    /// rule thereafter tracks the shrunk N.
+    pub fn reconfig_remove(at_us: u64, remove: Vec<usize>) -> Faultload {
+        Faultload {
+            reconfigs: vec![ReconfigEvent {
+                at_us,
+                add_spares: 0,
+                remove,
+            }],
+            ..Faultload::default()
+        }
+    }
+
+    /// A planned replacement: one fresh node joins and victim `victim`
+    /// leaves in a single configuration change at `at_us`.
+    pub fn reconfig_replace(at_us: u64, victim: usize) -> Faultload {
+        Faultload {
+            reconfigs: vec![ReconfigEvent {
+                at_us,
+                add_spares: 1,
+                remove: vec![victim],
+            }],
+            ..Faultload::default()
+        }
+    }
+
+    /// A rolling restart (software-upgrade drill): `count` distinct
+    /// replicas crash and autonomously recover one at a time, `gap_us`
+    /// apart, starting at `start_us`. Membership never changes — this is
+    /// the availability baseline the reconfiguration scenarios compare
+    /// against.
+    pub fn rolling_restart(start_us: u64, gap_us: u64, count: usize) -> Faultload {
+        Faultload {
+            events: (0..count)
+                .map(|i| FaultEvent {
+                    at_us: start_us + gap_us * i as u64,
+                    victim: i,
+                    recovery: RecoveryKind::Autonomous,
+                })
+                .collect(),
+            ..Faultload::default()
+        }
+    }
+
+    /// Permanent machine loss with operator reprovisioning: victim 0's
+    /// hardware dies at `at_us` and never comes back; at
+    /// `reprovision_at_us` the operator replaces it with a fresh node
+    /// via a configuration change.
+    pub fn permanent_loss(at_us: u64, reprovision_at_us: u64) -> Faultload {
+        Faultload {
+            events: vec![FaultEvent {
+                at_us,
+                victim: 0,
+                recovery: RecoveryKind::Never,
+            }],
+            reconfigs: vec![ReconfigEvent {
+                at_us: reprovision_at_us,
+                add_spares: 1,
+                remove: vec![0],
+            }],
+            ..Faultload::default()
         }
     }
 
@@ -304,6 +414,7 @@ impl Faultload {
                         RecoveryKind::Manual { at_us } => RecoveryKind::Manual {
                             at_us: at_us * num / den,
                         },
+                        RecoveryKind::Never => RecoveryKind::Never,
                     },
                 })
                 .collect(),
@@ -334,7 +445,22 @@ impl Faultload {
                     ..*d
                 })
                 .collect(),
+            reconfigs: self
+                .reconfigs
+                .iter()
+                .map(|r| ReconfigEvent {
+                    at_us: r.at_us * num / den,
+                    add_spares: r.add_spares,
+                    remove: r.remove.clone(),
+                })
+                .collect(),
         }
+    }
+
+    /// Fresh nodes the driver must reserve ids for (the sum of
+    /// `add_spares` over all reconfiguration events).
+    pub fn spares_needed(&self) -> usize {
+        self.reconfigs.iter().map(|r| r.add_spares).sum()
     }
 
     /// Number of injected faults.
@@ -390,6 +516,31 @@ mod tests {
     #[test]
     fn none_is_empty() {
         assert_eq!(Faultload::none().fault_count(), 0);
+        assert_eq!(Faultload::none().spares_needed(), 0);
+    }
+
+    #[test]
+    fn reconfig_constructors_scale_and_count_spares() {
+        let add = Faultload::reconfig_add(90_000_000, 2).scaled(1, 3);
+        assert_eq!(add.reconfigs[0].at_us, 30_000_000);
+        assert_eq!(add.spares_needed(), 2);
+
+        let replace = Faultload::reconfig_replace(60_000_000, 1);
+        assert_eq!(replace.spares_needed(), 1);
+        assert_eq!(replace.reconfigs[0].remove, vec![1]);
+
+        let rolling = Faultload::rolling_restart(30_000_000, 20_000_000, 3);
+        assert_eq!(rolling.fault_count(), 3);
+        assert_eq!(rolling.events[2].at_us, 70_000_000);
+        let victims: Vec<usize> = rolling.events.iter().map(|e| e.victim).collect();
+        assert_eq!(victims, vec![0, 1, 2], "one replica at a time");
+        assert_eq!(rolling.spares_needed(), 0, "upgrade keeps membership");
+
+        let loss = Faultload::permanent_loss(40_000_000, 100_000_000).scaled(1, 2);
+        assert!(matches!(loss.events[0].recovery, RecoveryKind::Never));
+        assert_eq!(loss.reconfigs[0].at_us, 50_000_000);
+        assert_eq!(loss.spares_needed(), 1);
+        assert_eq!(loss.manual_recoveries(), 0, "no restart ever happens");
     }
 
     #[test]

@@ -81,6 +81,36 @@ pub enum TraceEvent {
         /// New mode.
         to: &'static str,
     },
+    /// The local leader proposed a configuration change.
+    ReconfigProposed {
+        /// The configuration epoch the change would create.
+        epoch: u64,
+        /// Replicas being added.
+        adds: u32,
+        /// Replicas being removed.
+        removes: u32,
+    },
+    /// The replica switched to a new configuration epoch at its fenced
+    /// slot (or adopted one wholesale from a snapshot, `slot` 0).
+    EpochChanged {
+        /// The configuration epoch now in force.
+        epoch: u64,
+        /// Ensemble size of the new configuration.
+        n: u32,
+        /// Fence slot of the reconfiguration decree (0 for adoption via
+        /// state transfer).
+        slot: u64,
+    },
+    /// The middleware dropped a protocol message stamped with an older
+    /// configuration epoch than the local one.
+    StaleEpochRejected {
+        /// Sending replica.
+        from: u32,
+        /// Epoch the message was stamped with.
+        msg_epoch: u64,
+        /// The local (newer) epoch.
+        local_epoch: u64,
+    },
 
     // --- replication middleware ---
     /// A locally submitted update received its per-epoch sequence number
@@ -274,6 +304,9 @@ impl TraceEvent {
             TraceEvent::PrepareStarted { .. } => "prepare_started",
             TraceEvent::LeaderElected { .. } => "leader_elected",
             TraceEvent::ModeSwitch { .. } => "mode_switch",
+            TraceEvent::ReconfigProposed { .. } => "reconfig_proposed",
+            TraceEvent::EpochChanged { .. } => "epoch_change",
+            TraceEvent::StaleEpochRejected { .. } => "stale_epoch_rejected",
             TraceEvent::UpdateSubmitted { .. } => "update_submitted",
             TraceEvent::BatchFlushed { .. } => "batch_flushed",
             TraceEvent::LogAppend { .. } => "log_append",
@@ -347,6 +380,21 @@ mod tests {
             TraceEvent::ModeSwitch {
                 from: MODE_FAST,
                 to: MODE_CLASSIC,
+            },
+            TraceEvent::ReconfigProposed {
+                epoch: 1,
+                adds: 1,
+                removes: 1,
+            },
+            TraceEvent::EpochChanged {
+                epoch: 1,
+                n: 5,
+                slot: 0,
+            },
+            TraceEvent::StaleEpochRejected {
+                from: 0,
+                msg_epoch: 0,
+                local_epoch: 1,
             },
             TraceEvent::UpdateSubmitted { seq: 0 },
             TraceEvent::BatchFlushed {

@@ -46,6 +46,21 @@ pub fn encode(rec: &TraceRecord) -> String {
         PrepareStarted { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
         LeaderElected { round, fast } => format!(",\"round\":{round},\"fast\":{fast}"),
         ModeSwitch { from, to } => format!(",\"from\":\"{from}\",\"to\":\"{to}\""),
+        ReconfigProposed {
+            epoch,
+            adds,
+            removes,
+        } => format!(",\"epoch\":{epoch},\"adds\":{adds},\"removes\":{removes}"),
+        // "replicas", not "n": the envelope already uses "n" for the
+        // node id and duplicate keys would corrupt the decode.
+        EpochChanged { epoch, n, slot } => {
+            format!(",\"epoch\":{epoch},\"replicas\":{n},\"slot\":{slot}")
+        }
+        StaleEpochRejected {
+            from,
+            msg_epoch,
+            local_epoch,
+        } => format!(",\"from\":{from},\"msg_epoch\":{msg_epoch},\"local_epoch\":{local_epoch}"),
         UpdateSubmitted { seq } => format!(",\"seq\":{seq}"),
         BatchFlushed {
             updates,
@@ -181,6 +196,21 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
         "mode_switch" => ModeSwitch {
             from: get_tag(f, "from")?,
             to: get_tag(f, "to")?,
+        },
+        "reconfig_proposed" => ReconfigProposed {
+            epoch: get_num(f, "epoch")?,
+            adds: get_num(f, "adds")? as u32,
+            removes: get_num(f, "removes")? as u32,
+        },
+        "epoch_change" => EpochChanged {
+            epoch: get_num(f, "epoch")?,
+            n: get_num(f, "replicas")? as u32,
+            slot: get_num(f, "slot")?,
+        },
+        "stale_epoch_rejected" => StaleEpochRejected {
+            from: get_num(f, "from")? as u32,
+            msg_epoch: get_num(f, "msg_epoch")?,
+            local_epoch: get_num(f, "local_epoch")?,
         },
         "update_submitted" => UpdateSubmitted {
             seq: get_num(f, "seq")?,
@@ -455,6 +485,21 @@ mod tests {
             ModeSwitch {
                 from: "fast",
                 to: "classic",
+            },
+            ReconfigProposed {
+                epoch: 2,
+                adds: 1,
+                removes: 2,
+            },
+            EpochChanged {
+                epoch: 2,
+                n: 5,
+                slot: 977,
+            },
+            StaleEpochRejected {
+                from: 3,
+                msg_epoch: 1,
+                local_epoch: 2,
             },
             UpdateSubmitted { seq: 12 },
             BatchFlushed {

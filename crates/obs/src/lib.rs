@@ -45,5 +45,7 @@ pub use analyze::{latency_summary, recovery_breakdowns, LatencySummary, Recovery
 pub use event::{TraceEvent, TraceRecord, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
 pub use metrics::{Hist, NodeMetrics};
 pub use spans::{SpanProfile, UpdateSpan, PHASES};
-pub use timeline::{availability_reports, AvailabilityReport, Timeline, TimelineConfig};
+pub use timeline::{
+    availability_reports, availability_reports_for, AvailabilityReport, Timeline, TimelineConfig,
+};
 pub use tracer::{EventBuf, TraceConfig, Tracer};

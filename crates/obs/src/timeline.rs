@@ -134,6 +134,8 @@ fn marker_kind(event: &TraceEvent) -> Option<&'static str> {
         | Restart { .. }
         | RecoveryComplete { .. }
         | LeaderElected { .. }
+        | ReconfigProposed { .. }
+        | EpochChanged { .. }
         | PartitionCut { .. }
         | PartitionHealed
         | NetFaultSet { .. }
@@ -419,11 +421,26 @@ impl AvailabilityReport {
 
 /// Derives one [`AvailabilityReport`] per crash marker in `tl`.
 pub fn availability_reports(tl: &Timeline, cfg: &TimelineConfig) -> Vec<AvailabilityReport> {
+    availability_reports_for(tl, cfg, &["crash"])
+}
+
+/// Derives one [`AvailabilityReport`] per marker whose kind is in
+/// `kinds` — the incident anchors the baseline/degradation analysis.
+/// Besides `"crash"`, useful anchors are `"reconfig_proposed"` (the
+/// operator submits a membership change) and `"epoch_change"` (the
+/// fence delivers). Note several replicas trace the same epoch change,
+/// one marker each; callers wanting one report per incident should
+/// keep the first report per anchor window.
+pub fn availability_reports_for(
+    tl: &Timeline,
+    cfg: &TimelineConfig,
+    kinds: &[&str],
+) -> Vec<AvailabilityReport> {
     let n = tl.windows.len();
     let wips: Vec<f64> = tl.windows.iter().map(|w| w.wips(tl.window_us)).collect();
     let mut out = Vec::new();
     for (mi, marker) in tl.markers.iter().enumerate() {
-        if marker.kind != "crash" {
+        if !kinds.contains(&marker.kind) {
             continue;
         }
         let cw = marker.window;

@@ -6,7 +6,7 @@
 //! scheme: every replica broadcasts `Alive` periodically; a peer not
 //! heard from within the timeout is suspected.
 
-use crate::types::{Quorums, ReplicaId};
+use crate::types::{Membership, Quorums, ReplicaId};
 
 /// The protocol operating mode derived from the live-replica estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,57 +19,95 @@ pub enum Mode {
     Blocked,
 }
 
-/// Heartbeat-based failure detector.
+/// Heartbeat-based failure detector, tracking the *current epoch's*
+/// member set (ids may be sparse after a reconfiguration).
 #[derive(Debug)]
 pub struct FailureDetector {
     id: ReplicaId,
     quorums: Quorums,
     timeout_us: u64,
-    /// Last heartbeat receipt time per peer (µs); `u64::MAX` marks
-    /// "never heard", treated as alive during the initial grace period.
+    /// The tracked members, sorted ascending.
+    members: Vec<ReplicaId>,
+    /// Last heartbeat receipt time per member (parallel to `members`,
+    /// µs); `u64::MAX` marks "never heard", treated as alive during the
+    /// initial grace period.
     last_heard: Vec<u64>,
     started_at: u64,
 }
 
 impl FailureDetector {
-    /// Creates a detector for replica `id` in an ensemble of `n`, with
-    /// the given suspicion timeout (µs). Peers get a grace period of one
-    /// timeout from `now` before they can be suspected.
+    /// Creates a detector for replica `id` in a dense ensemble of
+    /// `quorums.n()` replicas, with the given suspicion timeout (µs).
+    /// Peers get a grace period of one timeout from `now` before they
+    /// can be suspected.
     pub fn new(id: ReplicaId, quorums: Quorums, timeout_us: u64, now: u64) -> Self {
         FailureDetector {
             id,
             quorums,
             timeout_us,
+            members: (0..quorums.n() as u32).map(ReplicaId).collect(),
             last_heard: vec![u64::MAX; quorums.n()],
             started_at: now,
         }
     }
 
+    /// Switches the detector to a new configuration. Retained members
+    /// keep their heartbeat history; joining members count as heard at
+    /// `now`, giving them one full timeout of grace before suspicion.
+    /// The mode rule's N becomes the new epoch's ensemble size.
+    pub fn set_membership(&mut self, membership: &Membership, now: u64) {
+        let mut members = Vec::with_capacity(membership.n());
+        let mut last_heard = Vec::with_capacity(membership.n());
+        for &m in membership.members() {
+            let heard = self
+                .member_index(m)
+                .and_then(|i| self.last_heard.get(i).copied())
+                .unwrap_or(now);
+            members.push(m);
+            last_heard.push(heard);
+        }
+        self.members = members;
+        self.last_heard = last_heard;
+        self.quorums = membership.quorums();
+    }
+
+    fn member_index(&self, id: ReplicaId) -> Option<usize> {
+        self.members.binary_search(&id).ok()
+    }
+
     /// Records a heartbeat (or any message treated as liveness evidence)
     /// from `from` at time `now`.
     pub fn heard(&mut self, from: ReplicaId, now: u64) {
-        if let Some(t) = self.last_heard.get_mut(from.index()) {
+        if let Some(t) = self
+            .member_index(from)
+            .and_then(|i| self.last_heard.get_mut(i))
+        {
             *t = now;
         }
     }
 
     /// Whether `peer` is currently considered alive at time `now`.
-    /// Unknown replica ids (outside the ensemble) are never alive.
+    /// Unknown replica ids (outside the current configuration) are
+    /// never alive.
     pub fn is_alive(&self, peer: ReplicaId, now: u64) -> bool {
         if peer == self.id {
             return true;
         }
-        match self.last_heard.get(peer.index()) {
-            Some(&u64::MAX) => now.saturating_sub(self.started_at) < self.timeout_us,
-            Some(&t) => now.saturating_sub(t) < self.timeout_us,
+        match self
+            .member_index(peer)
+            .and_then(|i| self.last_heard.get(i).copied())
+        {
+            Some(u64::MAX) => now.saturating_sub(self.started_at) < self.timeout_us,
+            Some(t) => now.saturating_sub(t) < self.timeout_us,
             None => false,
         }
     }
 
     /// The replicas currently considered alive.
     pub fn alive(&self, now: u64) -> Vec<ReplicaId> {
-        (0..self.quorums.n() as u32)
-            .map(ReplicaId)
+        self.members
+            .iter()
+            .copied()
             .filter(|p| self.is_alive(*p, now))
             .collect()
     }
@@ -176,5 +214,38 @@ mod tests {
             d.heard(ReplicaId(0), t);
         }
         assert!(d.is_alive(ReplicaId(0), 10_300));
+    }
+
+    #[test]
+    fn set_membership_tracks_new_epoch() {
+        use crate::types::{Membership, Reconfig};
+        let mut d = fd();
+        let now = 10_000;
+        for i in [0u32, 1, 3, 4] {
+            d.heard(ReplicaId(i), now);
+        }
+        assert_eq!(d.mode(now), Mode::Fast);
+        // Replace r0 with r8: N stays 5, ids go sparse.
+        let m = Membership::initial(5)
+            .apply(&Reconfig {
+                epoch: 1,
+                add: vec![ReplicaId(8)],
+                remove: vec![ReplicaId(0)],
+            })
+            .expect("valid");
+        d.set_membership(&m, now);
+        // The removed replica is no longer alive or a candidate; the
+        // joiner counts as heard at the switch (grace), so the mode
+        // rule still sees 5 of 5.
+        assert!(!d.is_alive(ReplicaId(0), now + 1));
+        assert!(d.is_alive(ReplicaId(8), now + 1));
+        assert_eq!(d.alive_count(now + 1), 5);
+        assert_eq!(d.mode(now + 1), Mode::Fast);
+        assert_eq!(d.candidate(now + 1), ReplicaId(1));
+        // Retained members kept their history: r3 heard at `now` ages
+        // out together with the joiner.
+        assert_eq!(d.alive_count(now + 1_100), 1, "only self before refresh");
+        d.heard(ReplicaId(8), now + 1_200);
+        assert!(d.is_alive(ReplicaId(8), now + 1_300));
     }
 }

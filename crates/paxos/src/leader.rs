@@ -132,6 +132,12 @@ impl<V: Clone + Eq> Leader<V> {
         }
     }
 
+    /// Switches the quorum arithmetic to a new epoch's `N` (applied by
+    /// the replica exactly at the reconfiguration fence).
+    pub fn set_quorums(&mut self, quorums: Quorums) {
+        self.quorums = quorums;
+    }
+
     /// Tracks ballots seen in any message so fresh rounds are higher.
     pub fn observe_round(&mut self, round: u64) {
         if round > self.highest_round {

@@ -9,7 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::types::{Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
+use crate::types::{Ballot, Decree, ProposalId, Quorums, Reconfig, ReplicaId, Slot};
 
 /// One delivery produced by the learner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,10 @@ pub struct Learner<V> {
     next_deliver: Slot,
     delivered_pids: BTreeSet<ProposalId>,
     truncated_below: Slot,
+    /// A decided `Reconfig` sitting at the delivery watermark: the
+    /// fence. Delivery stops here until the replica applies the
+    /// membership switch and calls [`Learner::ack_reconfig`].
+    pending_reconfig: Option<(Slot, Reconfig)>,
 }
 
 /// Counts occurrences of each decree in `votes` without hashing: quorums
@@ -72,7 +76,14 @@ impl<V: Clone + Eq> Learner<V> {
             next_deliver: start,
             delivered_pids: BTreeSet::new(),
             truncated_below: start,
+            pending_reconfig: None,
         }
+    }
+
+    /// Switches the quorum arithmetic to a new epoch's `N` (applied by
+    /// the replica exactly at the reconfiguration fence).
+    pub fn set_quorums(&mut self, quorums: Quorums) {
+        self.quorums = quorums;
     }
 
     /// Slots below this are decided and delivered locally.
@@ -157,18 +168,44 @@ impl<V: Clone + Eq> Learner<V> {
     fn drain_deliveries(&mut self) -> Vec<Delivery<V>> {
         let mut out = Vec::new();
         while let Some(decree) = self.decided.get(&self.next_deliver) {
-            if let Decree::Value(pid, value) = decree {
-                if self.delivered_pids.insert(*pid) {
-                    out.push(Delivery {
-                        slot: self.next_deliver,
-                        pid: *pid,
-                        value: value.clone(),
-                    });
+            match decree {
+                Decree::Value(pid, value) => {
+                    if self.delivered_pids.insert(*pid) {
+                        out.push(Delivery {
+                            slot: self.next_deliver,
+                            pid: *pid,
+                            value: value.clone(),
+                        });
+                    }
+                }
+                Decree::Noop => {}
+                Decree::Reconfig(rc) => {
+                    // The fence: everything below this slot is delivered
+                    // under the old epoch. Stop here; the replica applies
+                    // the membership switch and resumes delivery with
+                    // `ack_reconfig`.
+                    self.pending_reconfig = Some((self.next_deliver, rc.clone()));
+                    break;
                 }
             }
             self.next_deliver = self.next_deliver.next();
         }
         out
+    }
+
+    /// Takes the reconfiguration decree blocking delivery, if any.
+    pub fn take_reconfig(&mut self) -> Option<(Slot, Reconfig)> {
+        self.pending_reconfig.take()
+    }
+
+    /// Acknowledges the fence at `slot` after the membership switch was
+    /// applied (or found stale): delivery resumes past it. Returns the
+    /// deliveries unlocked by crossing the fence.
+    pub fn ack_reconfig(&mut self, slot: Slot) -> Vec<Delivery<V>> {
+        if self.next_deliver == slot {
+            self.next_deliver = slot.next();
+        }
+        self.drain_deliveries()
     }
 
     /// Whether `pid` has been delivered already (proposer retry check).
@@ -255,6 +292,15 @@ impl<V: Clone + Eq> Learner<V> {
         self.next_deliver = slot;
         if self.truncated_below < slot {
             self.truncated_below = slot;
+        }
+        // A fence below the transfer watermark was subsumed by the
+        // snapshot (which carries the membership it installed).
+        if self
+            .pending_reconfig
+            .as_ref()
+            .is_some_and(|(s, _)| *s < slot)
+        {
+            self.pending_reconfig = None;
         }
     }
 
@@ -466,6 +512,46 @@ mod tests {
         let votes = l.votes_at(Slot(0), b).unwrap();
         assert_eq!(votes.len(), 2);
         assert!(l.votes_at(Slot(1), b).is_none());
+    }
+
+    #[test]
+    fn reconfig_decree_fences_delivery() {
+        let mut l = learner();
+        let b = Ballot::classic(1, ReplicaId(0));
+        let rc = Reconfig {
+            epoch: 1,
+            add: vec![],
+            remove: vec![ReplicaId(4)],
+        };
+        // Decide slots 0 (value), 1 (reconfig), 2 (value) out of order.
+        let out = l.on_learned(vec![
+            (Slot(0), Decree::Value(pid(0, 1), "a")),
+            (Slot(1), Decree::Reconfig(rc.clone())),
+            (Slot(2), Decree::Value(pid(0, 2), "b")),
+        ]);
+        // Delivery stops at the fence: only slot 0 comes out.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].slot, Slot(0));
+        assert_eq!(l.next_deliver(), Slot(1), "watermark parked at fence");
+        let (slot, got) = l.take_reconfig().expect("fence surfaced");
+        assert_eq!(slot, Slot(1));
+        assert_eq!(got, rc);
+        // New epoch has N=4: classic quorum drops to 3.
+        l.set_quorums(Quorums::new(4));
+        let resumed = l.ack_reconfig(Slot(1));
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].slot, Slot(2));
+        assert_eq!(l.next_deliver(), Slot(3));
+        // Quorum rule now follows the new N.
+        let d = Decree::Value(pid(0, 3), "c");
+        assert!(l
+            .on_accepted(ReplicaId(0), b, Slot(3), d.clone(), 0)
+            .is_empty());
+        assert!(l
+            .on_accepted(ReplicaId(1), b, Slot(3), d.clone(), 0)
+            .is_empty());
+        let out = l.on_accepted(ReplicaId(2), b, Slot(3), d, 0);
+        assert_eq!(out.len(), 1, "3 of 4 decides under the new epoch");
     }
 
     #[test]

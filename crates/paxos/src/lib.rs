@@ -55,4 +55,6 @@ pub use learner::{Delivery, Learner};
 pub use msg::{AcceptedReport, Effect, Effects, Msg, PersistToken, Record};
 pub use proposer::{PendingProposal, Proposer};
 pub use replica::{Replica, ReplicaStatus};
-pub use types::{Ballot, BallotClass, Batch, Decree, ProposalId, Quorums, ReplicaId, Slot};
+pub use types::{
+    Ballot, BallotClass, Batch, Decree, Membership, ProposalId, Quorums, Reconfig, ReplicaId, Slot,
+};

@@ -8,7 +8,7 @@
 //! when the driver calls back with that token — putting the paper's
 //! stable-storage latency on the write path.
 
-use crate::types::{Ballot, Decree, ProposalId, ReplicaId, Slot};
+use crate::types::{Ballot, Decree, Membership, ProposalId, ReplicaId, Slot};
 
 /// A promise's report of what an acceptor had already accepted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +169,20 @@ pub enum Effect<V> {
         pid: ProposalId,
         /// The decided value.
         value: V,
+        /// The configuration epoch the slot belongs to. Derived from the
+        /// log itself (the fences crossed up to this point of the
+        /// replay), so a late joiner replaying old slots reports the
+        /// epoch they were decided under, not its own boot epoch.
+        epoch: u64,
+    },
+    /// A [`crate::Reconfig`] decree reached its fenced slot: the replica
+    /// switched to `membership` and everything at or above `slot` now
+    /// runs under the new epoch's replica set and quorum rule.
+    Reconfigured {
+        /// The fence slot the reconfiguration occupied.
+        slot: Slot,
+        /// The newly installed configuration.
+        membership: Membership,
     },
 }
 
@@ -189,16 +203,18 @@ impl<V> Effects<V> {
         self.inner.push(Effect::Send { to, msg });
     }
 
-    /// Queues the same message to every replica in `0..n`, including the
+    /// Queues the same message to every listed member, including the
     /// local one (self-delivery is how the local acceptor/learner hears
-    /// its own coordinator, mirroring Treplica's in-process roles).
-    pub fn broadcast(&mut self, n: usize, msg: Msg<V>)
+    /// its own coordinator, mirroring Treplica's in-process roles). The
+    /// caller passes the *current epoch's* member list, so messages
+    /// never leak to replicas outside the active configuration.
+    pub fn broadcast(&mut self, members: &[ReplicaId], msg: Msg<V>)
     where
         Msg<V>: Clone,
     {
-        for i in 0..n {
+        for &to in members {
             self.inner.push(Effect::Send {
-                to: ReplicaId(i as u32),
+                to,
                 msg: msg.clone(),
             });
         }
@@ -209,9 +225,19 @@ impl<V> Effects<V> {
         self.inner.push(Effect::Persist { record, token });
     }
 
-    /// Queues a delivery.
-    pub fn deliver(&mut self, slot: Slot, pid: ProposalId, value: V) {
-        self.inner.push(Effect::Deliver { slot, pid, value });
+    /// Queues a delivery under the configuration epoch owning `slot`.
+    pub fn deliver(&mut self, slot: Slot, pid: ProposalId, value: V, epoch: u64) {
+        self.inner.push(Effect::Deliver {
+            slot,
+            pid,
+            value,
+            epoch,
+        });
+    }
+
+    /// Queues a membership-switch notification.
+    pub fn reconfigured(&mut self, slot: Slot, membership: Membership) {
+        self.inner.push(Effect::Reconfigured { slot, membership });
     }
 
     /// Appends all effects from `other`.
@@ -252,10 +278,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn broadcast_reaches_all_including_self() {
+    fn broadcast_reaches_all_members_including_self() {
         let mut fx: Effects<u8> = Effects::new();
+        // Sparse member ids (post-reconfiguration): the broadcast follows
+        // the list exactly, never the dense 0..n range.
         fx.broadcast(
-            3,
+            &[ReplicaId(0), ReplicaId(2), ReplicaId(7)],
             Msg::Alive {
                 ballot: Ballot::BOTTOM,
                 decided_upto: Slot::ZERO,
@@ -270,7 +298,7 @@ mod tests {
                 _ => panic!("expected send"),
             })
             .collect();
-        assert_eq!(dests, vec![0, 1, 2]);
+        assert_eq!(dests, vec![0, 2, 7]);
     }
 
     #[test]
@@ -284,6 +312,7 @@ mod tests {
                 seq: 1,
             },
             9,
+            0,
         );
         let mut b: Effects<u8> = Effects::new();
         b.persist(Record::Promised(Ballot::BOTTOM), PersistToken(7));

@@ -18,10 +18,10 @@ use crate::acceptor::{Acceptor, AcceptorOut, Dest};
 use crate::config::PaxosConfig;
 use crate::fd::{FailureDetector, Mode};
 use crate::leader::{Leader, LeaderPhase};
-use crate::learner::Learner;
+use crate::learner::{Delivery, Learner};
 use crate::msg::{Effect, Effects, Msg, PersistToken, Record};
 use crate::proposer::Proposer;
-use crate::types::{Ballot, Decree, ProposalId, Quorums, ReplicaId, Slot};
+use crate::types::{Ballot, Decree, Membership, ProposalId, Reconfig, ReplicaId, Slot};
 
 /// Introspection snapshot of a replica (metrics and tests).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,10 @@ pub struct ReplicaStatus {
     /// Replicas the failure detector currently counts alive (self
     /// included) — the mode rule requires ⌈3N/4⌉ of them for `Fast`.
     pub alive: usize,
+    /// Configuration epoch this replica currently operates under.
+    pub epoch: u64,
+    /// Ensemble size `N` of the current epoch (the mode rule's N).
+    pub n: usize,
 }
 
 /// A complete Paxos/Fast Paxos replica (sans-io).
@@ -76,6 +80,28 @@ pub struct Replica<V> {
     /// A catch-up response revealed the peer truncated its history past
     /// our watermark: the middleware must perform a snapshot transfer.
     snapshot_needed: Option<(ReplicaId, Slot)>,
+    /// The current configuration: epoch + member set. Quorum arithmetic,
+    /// broadcasts and the failure detector all follow it.
+    membership: Membership,
+    /// A reconfiguration accepted by [`Replica::propose_reconfig`] while
+    /// the coordinator held a fast ballot: assigned a slot as soon as
+    /// the classic re-prepare completes.
+    pending_reconfig: Option<Reconfig>,
+    /// The slot a proposed `Reconfig` decree occupies. While set, the
+    /// coordinator parks new assignments so no slot above the fence is
+    /// decided under the old epoch; delivery of the fence slot clears it.
+    reconfig_fence: Option<Slot>,
+    /// This replica was removed from the configuration: it stops
+    /// participating (it only answers catch-up requests) until the
+    /// driver decommissions it.
+    retired: bool,
+    /// The configuration epoch in force at the delivery watermark: the
+    /// epoch stamped onto [`Effect::Deliver`]. Starts at the replay
+    /// base (0 for an empty log, the checkpoint's epoch after recovery
+    /// or a snapshot transfer) and advances as replayed fences cross —
+    /// so it tracks the epoch slots were *decided* under, which for a
+    /// catching-up joiner lags its own configuration's epoch.
+    log_epoch: u64,
     /// Structured trace events (disabled by default: plain construction
     /// keeps every pre-existing test silent). The driver drains this via
     /// [`Replica::take_trace_events`].
@@ -95,9 +121,23 @@ fn mode_tag(mode: Mode) -> &'static str {
 
 impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     /// Creates a fresh replica (empty durable log), delivering from slot
-    /// 0 and proposing under epoch 0.
+    /// 0 and proposing under epoch 0, in the bootstrap configuration
+    /// (config epoch 0, dense members `0..config.n`).
     pub fn new(id: ReplicaId, config: PaxosConfig, now: u64) -> Self {
-        Self::with_state(id, config, Acceptor::new(), Slot::ZERO, 0, now)
+        let membership = Membership::initial(config.n);
+        Self::with_state(id, config, membership, Acceptor::new(), Slot::ZERO, 0, now)
+    }
+
+    /// Creates a fresh replica in an explicit (possibly sparse, possibly
+    /// later-epoch) configuration — how a node provisioned mid-run joins
+    /// the ensemble it was added to.
+    pub fn new_with_membership(
+        id: ReplicaId,
+        config: PaxosConfig,
+        membership: Membership,
+        now: u64,
+    ) -> Self {
+        Self::with_state(id, config, membership, Acceptor::new(), Slot::ZERO, 0, now)
     }
 
     /// Reconstructs a replica after a crash: `records` is the replica's
@@ -118,8 +158,30 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         I: IntoIterator<Item = &'a Record<V>>,
         V: 'a,
     {
+        let membership = Membership::initial(config.n);
+        Self::recover_with_membership(id, config, membership, records, start_slot, epoch, now)
+    }
+
+    /// [`Replica::recover`] with an explicit configuration — the one the
+    /// replica's durable metadata recorded at its last checkpoint. Log
+    /// replay and catch-up re-apply any reconfigurations decided after
+    /// that point (stale ones are ignored by the epoch check).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_with_membership<'a, I>(
+        id: ReplicaId,
+        config: PaxosConfig,
+        membership: Membership,
+        records: I,
+        start_slot: Slot,
+        epoch: u64,
+        now: u64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a Record<V>>,
+        V: 'a,
+    {
         let acceptor = Acceptor::recover(records);
-        let mut r = Self::with_state(id, config, acceptor, start_slot, epoch, now);
+        let mut r = Self::with_state(id, config, membership, acceptor, start_slot, epoch, now);
         r.recovering = true;
         r
     }
@@ -127,13 +189,16 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     fn with_state(
         id: ReplicaId,
         config: PaxosConfig,
+        membership: Membership,
         acceptor: Acceptor<V>,
         start_slot: Slot,
         epoch: u64,
         now: u64,
     ) -> Self {
-        let quorums = Quorums::new(config.n);
-        let fd = FailureDetector::new(id, quorums, config.fd_timeout_us, now);
+        let quorums = membership.quorums();
+        let mut fd = FailureDetector::new(id, quorums, config.fd_timeout_us, now);
+        fd.set_membership(&membership, now);
+        let retired = !membership.contains(id);
         Replica {
             id,
             acceptor,
@@ -153,6 +218,18 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             lag_since: None,
             recovering: false,
             snapshot_needed: None,
+            // Delivering from slot 0 means replaying history decided
+            // under epoch 0 regardless of the boot configuration; a
+            // recovery from a checkpoint resumes at its epoch.
+            log_epoch: if start_slot == Slot::ZERO {
+                0
+            } else {
+                membership.epoch()
+            },
+            membership,
+            pending_reconfig: None,
+            reconfig_fence: None,
+            retired,
             trace: EventBuf::default(),
             last_mode: Mode::Blocked,
             config,
@@ -203,7 +280,33 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             decided_upto: self.learner.next_deliver(),
             pending_proposals: self.proposer.pending_len() + self.unrouted.len(),
             alive: self.fd.alive_count(self.now),
+            epoch: self.membership.epoch(),
+            n: self.membership.n(),
         }
+    }
+
+    /// The current configuration (epoch + member set).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The configuration epoch this replica operates under.
+    pub fn config_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// The configuration epoch in force at the delivery watermark — the
+    /// epoch the *next* delivered slot belongs to. Lags
+    /// [`Replica::config_epoch`] while a joiner replays history decided
+    /// under earlier epochs.
+    pub fn log_epoch(&self) -> u64 {
+        self.log_epoch
+    }
+
+    /// Whether this replica was removed by a reconfiguration and is
+    /// waiting to be decommissioned.
+    pub fn is_retired(&self) -> bool {
+        self.retired
     }
 
     /// Contiguously decided watermark.
@@ -275,7 +378,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         for (dest, msg) in sends {
             match dest {
                 Dest::One(to) => fx.send(to, msg),
-                Dest::All => fx.broadcast(self.config.n, msg),
+                Dest::All => fx.broadcast(self.membership.members(), msg),
             }
         }
     }
@@ -327,7 +430,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 // ⌈3N/4⌉ alive, even if no higher ballot closed the
                 // window yet. Fall back to the coordinator instead.
                 if mode == Mode::Fast && self.fast_window.is_some() {
-                    fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                    fx.broadcast(self.membership.members(), Msg::FastPropose { pid, value });
                 } else {
                     let owner = self.highest_ballot.node;
                     if self.highest_ballot > Ballot::BOTTOM && self.fd.is_alive(owner, self.now) {
@@ -343,6 +446,24 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     /// Handles one incoming message.
     pub fn on_message(&mut self, from: ReplicaId, msg: Msg<V>, now: u64) -> Vec<Effect<V>> {
         self.now = self.now.max(now);
+        if self.retired {
+            // A removed replica no longer participates; it only answers
+            // catch-up requests until the driver decommissions it.
+            let mut fx = Effects::new();
+            if let Msg::LearnRequest { from_slot } = msg {
+                let (entries, truncated_below, decided_upto) =
+                    self.learner.serve_learn(from_slot, self.config.learn_chunk);
+                fx.send(
+                    from,
+                    Msg::LearnReply {
+                        entries,
+                        truncated_below,
+                        decided_upto,
+                    },
+                );
+            }
+            return fx.into_vec();
+        }
         self.fd.heard(from, self.now);
         self.trace_mode_edge();
         let mut fx = Effects::new();
@@ -371,7 +492,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                         .on_recovery_promise(from, ballot, slot, accepted)
                     {
                         fx.broadcast(
-                            self.config.n,
+                            self.membership.members(),
                             Msg::Accept {
                                 ballot,
                                 slot,
@@ -380,13 +501,18 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                         );
                         // Rescue collision losers right away: assign them
                         // fresh slots under the main ballot instead of
-                        // waiting out their proposers' retry timers.
+                        // waiting out their proposers' retry timers (or
+                        // park them while a reconfiguration fence holds).
                         for (pid, value) in losers {
                             if !self.learner.was_delivered(pid) && self.leader.is_leading() {
+                                if self.reconfig_fence.is_some() {
+                                    self.unrouted.push((pid, value));
+                                    continue;
+                                }
                                 let rescue_slot = self.leader.assign_slot();
                                 let main = self.leader.ballot;
                                 fx.broadcast(
-                                    self.config.n,
+                                    self.membership.members(),
                                     Msg::Accept {
                                         ballot: main,
                                         slot: rescue_slot,
@@ -440,7 +566,10 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                     if self.leader.ballot.is_fast() {
                         if self.fd.mode(self.now) == Mode::Fast {
                             // Relay onto the fast path on the proposer's behalf.
-                            fx.broadcast(self.config.n, Msg::FastPropose { pid, value });
+                            fx.broadcast(
+                                self.membership.members(),
+                                Msg::FastPropose { pid, value },
+                            );
                         } else {
                             // Fast ballot but the detector has degraded:
                             // park until the class-mismatch election
@@ -468,14 +597,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 let deliveries = self
                     .learner
                     .on_accepted(from, ballot, slot, decree, self.now);
-                for d in deliveries {
-                    self.trace.push(TraceEvent::Decided {
-                        slot: d.slot.0,
-                        noop: false,
-                    });
-                    self.proposer.delivered(d.pid);
-                    fx.deliver(d.slot, d.pid, d.value);
-                }
+                self.handle_deliveries(deliveries, &mut fx);
                 if self.learner.is_decided(slot) {
                     self.leader.finish_recovery(slot);
                 }
@@ -552,14 +674,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 decided_upto,
             } => {
                 let deliveries = self.learner.on_learned(entries);
-                for d in deliveries {
-                    self.trace.push(TraceEvent::Decided {
-                        slot: d.slot.0,
-                        noop: false,
-                    });
-                    self.proposer.delivered(d.pid);
-                    fx.deliver(d.slot, d.pid, d.value);
-                }
+                self.handle_deliveries(deliveries, &mut fx);
                 if truncated_below > self.learner.next_deliver() {
                     // The responder no longer stores the slots we need:
                     // flag for a middleware-level snapshot transfer.
@@ -585,9 +700,12 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     }
 
     /// Installs the result of an external state transfer covering all
-    /// slots below `slot`: delivery resumes there, and any decided
-    /// entries already known past the new watermark are delivered.
-    pub fn fast_forward(&mut self, slot: Slot) -> Vec<Effect<V>> {
+    /// slots below `slot`: delivery resumes there under `epoch` (the
+    /// configuration epoch in force at the transfer's watermark), and
+    /// any decided entries already known past the new watermark are
+    /// delivered.
+    pub fn fast_forward(&mut self, slot: Slot, epoch: u64) -> Vec<Effect<V>> {
+        self.log_epoch = self.log_epoch.max(epoch);
         self.learner.fast_forward(slot);
         if let Some((_, needed)) = self.snapshot_needed {
             if slot >= needed {
@@ -595,15 +713,81 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             }
         }
         let mut fx = Effects::new();
-        for d in self.learner.drain() {
-            self.trace.push(TraceEvent::Decided {
-                slot: d.slot.0,
-                noop: false,
-            });
-            self.proposer.delivered(d.pid);
-            fx.deliver(d.slot, d.pid, d.value);
-        }
+        let deliveries = self.learner.drain();
+        self.handle_deliveries(deliveries, &mut fx);
         fx.into_vec()
+    }
+
+    /// Installs a configuration learned out-of-band (a snapshot transfer
+    /// whose checkpoint postdates one or more reconfigurations). Ignored
+    /// unless strictly newer than the current epoch.
+    pub fn adopt_membership(&mut self, membership: Membership) {
+        if membership.epoch() <= self.membership.epoch() {
+            return;
+        }
+        self.install_membership(membership, None);
+    }
+
+    /// Emits deliveries, applying any reconfiguration fence the learner
+    /// surfaced and resuming delivery past it.
+    fn handle_deliveries(&mut self, deliveries: Vec<Delivery<V>>, fx: &mut Effects<V>) {
+        let mut batch = deliveries;
+        loop {
+            for d in batch {
+                self.trace.push(TraceEvent::Decided {
+                    slot: d.slot.0,
+                    noop: false,
+                });
+                self.proposer.delivered(d.pid);
+                fx.deliver(d.slot, d.pid, d.value, self.log_epoch);
+            }
+            match self.learner.take_reconfig() {
+                Some((slot, rc)) => {
+                    self.apply_reconfig(slot, rc, fx);
+                    batch = self.learner.ack_reconfig(slot);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Applies a delivered `Reconfig` decree: the fence at `slot` lifts
+    /// and (unless the decree is stale) the new configuration takes
+    /// over — quorum arithmetic, failure detection and broadcasts all
+    /// switch to the new epoch's member set from this slot on.
+    fn apply_reconfig(&mut self, slot: Slot, rc: Reconfig, fx: &mut Effects<V>) {
+        if self.reconfig_fence == Some(slot) {
+            self.reconfig_fence = None;
+        }
+        // Even a stale fence (replayed by a node already configured at
+        // or past `rc.epoch`) marks where the log's epoch advances:
+        // everything above this slot was decided under `rc.epoch`.
+        self.log_epoch = self.log_epoch.max(rc.epoch);
+        let Some(next) = self.membership.apply(&rc) else {
+            // Stale: a decree replayed through catch-up after the epoch
+            // already advanced. The fence still lifts; nothing changes.
+            return;
+        };
+        self.install_membership(next, Some(slot));
+        fx.reconfigured(slot, self.membership.clone());
+        if !self.retired {
+            // Proposals parked behind the fence can flow again.
+            self.flush_unrouted(fx);
+        }
+    }
+
+    fn install_membership(&mut self, membership: Membership, slot: Option<Slot>) {
+        self.membership = membership;
+        let quorums = self.membership.quorums();
+        self.learner.set_quorums(quorums);
+        self.leader.set_quorums(quorums);
+        self.fd.set_membership(&self.membership, self.now);
+        self.retired = !self.membership.contains(self.id);
+        self.trace.push(TraceEvent::EpochChanged {
+            epoch: self.membership.epoch(),
+            n: self.membership.n() as u32,
+            slot: slot.map(|s| s.0).unwrap_or(0),
+        });
     }
 
     /// The snapshot-transfer watermark a recovering peer asked us about:
@@ -612,15 +796,98 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         self.learner.truncated_below()
     }
 
+    /// Requests a membership change, ordered through the log as a fenced
+    /// [`Decree::Reconfig`]. Returns `false` (no effects) unless this
+    /// replica is currently leading with no other change in flight and
+    /// the command is valid against the current membership.
+    ///
+    /// Under a classic ballot the command is assigned its slot — the
+    /// fence — immediately; under a fast ballot the coordinator first
+    /// re-prepares classically (closing the fast window so no fast
+    /// proposal can claim a slot above the fence under the old epoch)
+    /// and assigns the command when phase 1 completes.
+    pub fn propose_reconfig(
+        &mut self,
+        add: Vec<ReplicaId>,
+        remove: Vec<ReplicaId>,
+    ) -> (bool, Vec<Effect<V>>) {
+        let mut fx = Effects::new();
+        if self.retired
+            || !self.leader.is_leading()
+            || self.pending_reconfig.is_some()
+            || self.reconfig_fence.is_some()
+            || self.fd.mode(self.now) == Mode::Blocked
+        {
+            return (false, fx.into_vec());
+        }
+        let rc = Reconfig {
+            epoch: self.membership.epoch().saturating_add(1),
+            add,
+            remove,
+        };
+        if self.membership.apply(&rc).is_none() {
+            return (false, fx.into_vec());
+        }
+        self.trace.push(TraceEvent::ReconfigProposed {
+            epoch: rc.epoch,
+            adds: rc.add.len() as u32,
+            removes: rc.remove.len() as u32,
+        });
+        if self.leader.ballot.is_fast() {
+            self.pending_reconfig = Some(rc);
+            let from_slot = self.learner.next_deliver();
+            let ballot = self.leader.start_prepare(false, from_slot);
+            self.trace.push(TraceEvent::PrepareStarted {
+                round: ballot.round,
+                fast: false,
+            });
+            self.highest_ballot = ballot;
+            self.fast_window = None;
+            self.prepare_started = self.now;
+            fx.broadcast(
+                self.membership.members(),
+                Msg::Prepare {
+                    ballot,
+                    from_slot,
+                    only_slot: None,
+                },
+            );
+        } else {
+            self.assign_reconfig(rc, &mut fx);
+        }
+        (true, fx.into_vec())
+    }
+
+    /// Assigns a validated reconfiguration its fence slot under the
+    /// current classic ballot.
+    fn assign_reconfig(&mut self, rc: Reconfig, fx: &mut Effects<V>) {
+        if rc.epoch != self.membership.epoch().saturating_add(1) {
+            return; // The epoch advanced since the request: stale.
+        }
+        let slot = self.leader.assign_slot();
+        self.reconfig_fence = Some(slot);
+        let ballot = self.leader.ballot;
+        fx.broadcast(
+            self.membership.members(),
+            Msg::Accept {
+                ballot,
+                slot,
+                decree: Decree::Reconfig(rc),
+            },
+        );
+    }
+
     fn classic_assign(&mut self, pid: ProposalId, value: V, fx: &mut Effects<V>) {
-        if self.fd.mode(self.now) == Mode::Blocked {
+        if self.fd.mode(self.now) == Mode::Blocked || self.reconfig_fence.is_some() {
+            // Blocked, or a reconfiguration fence holds: no slot above
+            // the fence may be assigned under the old epoch.
             self.unrouted.push((pid, value));
             return;
         }
         let slot = self.leader.assign_slot();
         let ballot = self.leader.ballot;
         fx.broadcast(
-            self.config.n,
+            self.membership.members(),
             Msg::Accept {
                 ballot,
                 slot,
@@ -644,7 +911,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         });
         for (slot, decree) in plan {
             fx.broadcast(
-                self.config.n,
+                self.membership.members(),
                 Msg::Accept {
                     ballot,
                     slot,
@@ -660,7 +927,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             // re-prepare with a classic ballot instead.
             if self.fd.mode(self.now) == Mode::Fast {
                 fx.broadcast(
-                    self.config.n,
+                    self.membership.members(),
                     Msg::Any {
                         ballot,
                         from_slot: next_free,
@@ -668,6 +935,11 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 );
             }
         } else {
+            // A reconfiguration waiting for this classic ballot gets its
+            // fence slot first, ahead of any parked proposals.
+            if let Some(rc) = self.pending_reconfig.take() {
+                self.assign_reconfig(rc, fx);
+            }
             self.flush_unrouted(fx);
         }
     }
@@ -701,7 +973,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             }
             if let Some(ballot) = self.leader.start_recovery(slot, self.now) {
                 fx.broadcast(
-                    self.config.n,
+                    self.membership.members(),
                     Msg::Prepare {
                         ballot,
                         from_slot: slot,
@@ -717,10 +989,13 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
     /// milliseconds of driver time.
     pub fn on_tick(&mut self, now: u64) -> Vec<Effect<V>> {
         self.now = self.now.max(now);
+        if self.retired {
+            return Vec::new();
+        }
         self.trace_mode_edge();
         let mut fx = Effects::new();
 
-        if self.recovering && self.config.n == 1 {
+        if self.recovering && self.membership.n() == 1 {
             // A singleton ensemble has no peers to learn from: its log
             // replay alone is complete recovery.
             self.recovering = false;
@@ -730,7 +1005,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         if self.now.saturating_sub(self.last_heartbeat) >= self.config.heartbeat_interval_us {
             self.last_heartbeat = self.now;
             fx.broadcast(
-                self.config.n,
+                self.membership.members(),
                 Msg::Alive {
                     ballot: self.highest_ballot,
                     decided_upto: self.learner.next_deliver(),
@@ -739,7 +1014,13 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         }
 
         let mode = self.fd.mode(self.now);
-        let want_fast = mode == Mode::Fast && self.config.fast_enabled;
+        // While a reconfiguration is in flight, hold the classic class:
+        // a fast re-prepare would reopen the window and let fast
+        // proposals claim slots above the fence under the old epoch.
+        let want_fast = mode == Mode::Fast
+            && self.config.fast_enabled
+            && self.pending_reconfig.is_none()
+            && self.reconfig_fence.is_none();
 
         if mode != Mode::Blocked && self.fd.candidate(self.now) == self.id {
             let owner_dead = self.highest_ballot != Ballot::BOTTOM
@@ -778,7 +1059,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 self.fast_window = None;
                 self.prepare_started = self.now;
                 fx.broadcast(
-                    self.config.n,
+                    self.membership.members(),
                     Msg::Prepare {
                         ballot,
                         from_slot,
@@ -839,7 +1120,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
                 self.leader.cancel_recovery(slot);
                 if let Some(ballot) = self.leader.start_recovery(slot, self.now) {
                     fx.broadcast(
-                        self.config.n,
+                        self.membership.members(),
                         Msg::Prepare {
                             ballot,
                             from_slot: slot,

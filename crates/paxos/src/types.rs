@@ -200,13 +200,131 @@ impl<V> Batch<V> {
     }
 }
 
-/// What a slot can hold: a real proposal or a gap-filling no-op.
+/// A membership-change command ordered through the log like any decree.
+///
+/// Deciding and *delivering* a `Reconfig` is what moves the ensemble
+/// from configuration epoch `epoch - 1` to `epoch`: the slot it occupies
+/// is the fence — everything below it runs under the old replica set,
+/// everything above under the new one ("Reconfigurable State Machine
+/// Replication from Non-Reconfigurable Building Blocks"-style, as used
+/// by Spinnaker's membership epochs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Reconfig {
+    /// The epoch this command creates (always the proposer's current
+    /// epoch + 1; anything else is stale and ignored at delivery).
+    pub epoch: u64,
+    /// Replicas joining the ensemble.
+    pub add: Vec<ReplicaId>,
+    /// Replicas leaving the ensemble.
+    pub remove: Vec<ReplicaId>,
+}
+
+/// An epoch-stamped replica set: which replicas form the ensemble and
+/// the configuration epoch that installed them.
+///
+/// Member ids need not be dense — a replaced replica keeps its id out
+/// of the set forever and its successor joins under a fresh id — so all
+/// per-member bookkeeping must key by [`ReplicaId`], not by index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Membership {
+    epoch: u64,
+    /// Sorted, deduplicated member ids.
+    members: Vec<ReplicaId>,
+}
+
+impl Membership {
+    /// The bootstrap membership: epoch 0, replicas `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn initial(n: usize) -> Membership {
+        assert!(n > 0, "ensemble must have at least one replica");
+        Membership {
+            epoch: 0,
+            members: (0..n as u32).map(ReplicaId).collect(),
+        }
+    }
+
+    /// Creates a membership at `epoch` from an explicit member list
+    /// (sorted and deduplicated here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(epoch: u64, mut members: Vec<ReplicaId>) -> Membership {
+        members.sort_unstable();
+        members.dedup();
+        assert!(
+            !members.is_empty(),
+            "ensemble must have at least one replica"
+        );
+        Membership { epoch, members }
+    }
+
+    /// The configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ensemble size `N` of this epoch — the mode rule's N.
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member ids, sorted ascending.
+    pub fn members(&self) -> &[ReplicaId] {
+        &self.members
+    }
+
+    /// Whether `id` belongs to this configuration.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// Quorum arithmetic for this epoch's `N`.
+    pub fn quorums(&self) -> Quorums {
+        Quorums::new(self.members.len())
+    }
+
+    /// Applies a reconfiguration command, yielding the next membership.
+    ///
+    /// Returns `None` if the command is stale (its epoch is not exactly
+    /// this epoch + 1 — e.g. a decree replayed during catch-up after
+    /// the switch already happened) or would empty the ensemble.
+    pub fn apply(&self, rc: &Reconfig) -> Option<Membership> {
+        if rc.epoch != self.epoch.checked_add(1)? {
+            return None;
+        }
+        let mut members: Vec<ReplicaId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !rc.remove.contains(m))
+            .chain(rc.add.iter().copied())
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return None;
+        }
+        Some(Membership {
+            epoch: rc.epoch,
+            members,
+        })
+    }
+}
+
+/// What a slot can hold: a real proposal, a gap-filling no-op, or a
+/// membership change.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Decree<V> {
     /// A no-op used by new leaders to finish unclaimed slots.
     Noop,
     /// A client proposal.
     Value(ProposalId, V),
+    /// A fenced membership change (see [`Reconfig`]).
+    Reconfig(Reconfig),
 }
 
 impl<V> Decree<V> {
@@ -215,6 +333,7 @@ impl<V> Decree<V> {
         match self {
             Decree::Noop => None,
             Decree::Value(pid, _) => Some(*pid),
+            Decree::Reconfig(_) => None,
         }
     }
 }
@@ -358,5 +477,89 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_ensemble_panics() {
         Quorums::new(0);
+    }
+
+    #[test]
+    fn initial_membership_is_dense_epoch_zero() {
+        let m = Membership::initial(5);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.n(), 5);
+        assert_eq!(m.quorums(), Quorums::new(5));
+        assert!(m.contains(ReplicaId(4)));
+        assert!(!m.contains(ReplicaId(5)));
+    }
+
+    #[test]
+    fn membership_apply_replaces_and_bumps_epoch() {
+        let m = Membership::initial(5);
+        let rc = Reconfig {
+            epoch: 1,
+            add: vec![ReplicaId(8)],
+            remove: vec![ReplicaId(0)],
+        };
+        let next = m.apply(&rc).expect("valid reconfig");
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(next.n(), 5, "replace keeps N constant");
+        assert!(!next.contains(ReplicaId(0)));
+        assert!(next.contains(ReplicaId(8)));
+        assert_eq!(
+            next.members(),
+            &[
+                ReplicaId(1),
+                ReplicaId(2),
+                ReplicaId(3),
+                ReplicaId(4),
+                ReplicaId(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn membership_apply_rejects_stale_and_empty() {
+        let m = Membership::initial(3);
+        // Wrong epoch: a replayed decree from the already-installed
+        // switch must be a no-op.
+        assert!(m
+            .apply(&Reconfig {
+                epoch: 0,
+                add: vec![],
+                remove: vec![ReplicaId(0)],
+            })
+            .is_none());
+        assert!(m
+            .apply(&Reconfig {
+                epoch: 2,
+                add: vec![],
+                remove: vec![ReplicaId(0)],
+            })
+            .is_none());
+        // Removing everyone is invalid.
+        assert!(m
+            .apply(&Reconfig {
+                epoch: 1,
+                add: vec![],
+                remove: vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)],
+            })
+            .is_none());
+        // Remove + add of N changes the quorum arithmetic.
+        let grown = m
+            .apply(&Reconfig {
+                epoch: 1,
+                add: vec![ReplicaId(3), ReplicaId(4)],
+                remove: vec![],
+            })
+            .expect("grow to 5");
+        assert_eq!(grown.quorums().classic(), 3);
+        assert_eq!(grown.quorums().fast(), 4);
+    }
+
+    #[test]
+    fn reconfig_decree_has_no_proposal_id() {
+        let d: Decree<&str> = Decree::Reconfig(Reconfig {
+            epoch: 1,
+            add: vec![],
+            remove: vec![ReplicaId(1)],
+        });
+        assert_eq!(d.proposal_id(), None);
     }
 }

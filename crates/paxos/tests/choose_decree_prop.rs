@@ -78,6 +78,7 @@ proptest! {
         match decree {
             Decree::Noop => prop_assert!(values.is_empty() || !reports.is_empty()),
             Decree::Value(_, v) => prop_assert!(values.contains(&v)),
+            Decree::Reconfig(rc) => prop_assert!(false, "invented reconfig {:?}", rc),
         }
     }
 

@@ -21,6 +21,8 @@ struct Ensemble {
     logs: Vec<Vec<Record<Value>>>,
     /// Delivered (slot, pid, value) per node, in delivery order.
     delivered: Vec<Vec<(Slot, ProposalId, Value)>>,
+    /// Observed `Reconfigured` effects per node: (fence slot, new epoch).
+    reconfigs: Vec<Vec<(Slot, u64)>>,
     inboxes: Vec<VecDeque<(ReplicaId, Msg<Value>)>>,
     config: PaxosConfig,
     now: u64,
@@ -36,10 +38,24 @@ impl Ensemble {
                 .collect(),
             logs: vec![Vec::new(); n],
             delivered: vec![Vec::new(); n],
+            reconfigs: vec![Vec::new(); n],
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             config,
             now: 0,
             epochs: vec![0; n],
+        }
+    }
+
+    /// Grows the per-node vectors so `idx` is addressable (joining
+    /// replicas get ids beyond the seed ensemble).
+    fn ensure_node(&mut self, idx: usize) {
+        while self.replicas.len() <= idx {
+            self.replicas.push(None);
+            self.logs.push(Vec::new());
+            self.delivered.push(Vec::new());
+            self.reconfigs.push(Vec::new());
+            self.inboxes.push(VecDeque::new());
+            self.epochs.push(0);
         }
     }
 
@@ -48,7 +64,7 @@ impl Ensemble {
         while let Some(effect) = queue.pop_front() {
             match effect {
                 Effect::Send { to, msg } => {
-                    if self.replicas[to.index()].is_some() {
+                    if let Some(Some(_)) = self.replicas.get(to.index()) {
                         self.inboxes[to.index()].push_back((ReplicaId(node as u32), msg));
                     }
                 }
@@ -59,8 +75,13 @@ impl Ensemble {
                         queue.extend(r.on_persisted(token));
                     }
                 }
-                Effect::Deliver { slot, pid, value } => {
+                Effect::Deliver {
+                    slot, pid, value, ..
+                } => {
                     self.delivered[node].push((slot, pid, value));
+                }
+                Effect::Reconfigured { slot, membership } => {
+                    self.reconfigs[node].push((slot, membership.epoch()));
                 }
             }
         }
@@ -117,6 +138,42 @@ impl Ensemble {
     fn crash(&mut self, node: usize) {
         self.replicas[node] = None;
         self.inboxes[node].clear();
+    }
+
+    /// Asks `node`'s leader role to reconfigure the ensemble; applies
+    /// the resulting effects and settles. Returns whether the leader
+    /// took the request.
+    fn reconfig(&mut self, node: usize, add: &[u32], remove: &[u32]) -> bool {
+        let (ok, fx) = self.replicas[node]
+            .as_mut()
+            .expect("reconfig on a live node")
+            .propose_reconfig(
+                add.iter().map(|&i| ReplicaId(i)).collect(),
+                remove.iter().map(|&i| ReplicaId(i)).collect(),
+            );
+        self.apply_effects(node, fx);
+        self.settle();
+        ok
+    }
+
+    /// Boots a brand-new replica `node` with the membership currently
+    /// installed at live replica `from` (the driver-level analogue of
+    /// provisioning a spare and handing it the cluster config).
+    fn join(&mut self, node: usize, from: usize) {
+        self.ensure_node(node);
+        assert!(self.replicas[node].is_none());
+        let membership = self.replicas[from]
+            .as_ref()
+            .expect("seed member alive")
+            .membership()
+            .clone();
+        let r = Replica::new_with_membership(
+            ReplicaId(node as u32),
+            self.config.clone(),
+            membership,
+            self.now,
+        );
+        self.replicas[node] = Some(r);
     }
 
     /// Restarts a crashed node from its durable log; `start_slot` is the
@@ -539,6 +596,99 @@ fn nudge_rebroadcasts_pending_proposal() {
     assert_eq!(e.delivered[0].len(), 1);
     // Nudging a delivered proposal is a no-op.
     assert!(e.replicas[0].as_mut().unwrap().nudge(pid).is_empty());
+}
+
+#[test]
+fn reconfig_replaces_member_and_new_node_catches_up() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    for i in 0..5 {
+        e.propose(i as usize % 5, i);
+    }
+    e.run(5, TICK);
+    // The leader swaps r4 for r5 at a fenced slot.
+    assert!(e.reconfig(0, &[5], &[4]), "leader accepts the reconfig");
+    e.run(5, TICK);
+    assert!(
+        e.reconfigs[0].iter().any(|(_, ep)| *ep == 1),
+        "epoch 1 installed at the leader"
+    );
+    assert_eq!(e.live_status(0).epoch, 1);
+    assert_eq!(e.live_status(0).n, 5);
+    // The removed replica also learned the decree and retired.
+    assert!(e.reconfigs[4].iter().any(|(_, ep)| *ep == 1));
+    // Provision the joiner with the new configuration and let it learn
+    // the whole backlog (including across the fence slot).
+    e.join(5, 0);
+    e.run(120, TICK);
+    for i in 10..15 {
+        e.propose(i as usize % 4, i); // old survivors propose
+    }
+    e.run(20, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 10);
+    assert_eq!(e.delivered[5].len(), 10, "joiner fully caught up");
+    assert_eq!(
+        e.delivered[4].len(),
+        5,
+        "retired replica sees nothing decided after the fence"
+    );
+}
+
+#[test]
+fn reconfig_remove_shrinks_quorum_rule() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    e.propose(0, 1);
+    assert!(e.reconfig(0, &[], &[4]));
+    e.run(5, TICK);
+    assert_eq!(e.live_status(0).n, 4, "mode rule tracks the new epoch's N");
+    // Majority of 4 is 3: one further crash must not block progress.
+    e.crash(3);
+    e.run(40, TICK);
+    e.propose(1, 42);
+    e.run(20, TICK);
+    e.assert_agreement();
+    assert!(e.delivered[1].iter().any(|(_, _, v)| *v == 42));
+}
+
+#[test]
+fn fast_mode_reconfig_closes_window_then_switches() {
+    let mut e = stabilized(PaxosConfig::lan(5));
+    assert_eq!(e.live_status(0).mode, Mode::Fast);
+    for i in 0..4 {
+        e.propose(i as usize, i);
+    }
+    e.run(5, TICK);
+    // Under a fast ballot the reconfig first re-prepares classically
+    // (closing the open fast window) and only then takes its fence slot.
+    assert!(e.reconfig(0, &[5], &[4]));
+    e.run(10, TICK);
+    assert_eq!(e.live_status(0).epoch, 1);
+    e.join(5, 0);
+    e.run(120, TICK);
+    for i in 10..16 {
+        e.propose(i as usize % 4, i);
+    }
+    // Leave time for the class-mismatch election to restore fast mode.
+    e.run(100, TICK);
+    e.assert_agreement();
+    assert_eq!(e.delivered[0].len(), 10);
+    assert_eq!(e.delivered[5].len(), 10);
+    assert_eq!(
+        e.live_status(0).mode,
+        Mode::Fast,
+        "fast mode restored under the new epoch"
+    );
+}
+
+#[test]
+fn reconfig_refused_by_followers_and_for_empty_result() {
+    let mut e = stabilized(PaxosConfig::lan_classic_only(5));
+    assert!(!e.reconfig(2, &[5], &[4]), "follower must refuse");
+    assert!(
+        !e.reconfig(0, &[], &[0, 1, 2, 3, 4]),
+        "removing everyone must refuse"
+    );
+    assert!(e.reconfig(0, &[5], &[4]), "leader accepts a valid one");
 }
 
 #[test]

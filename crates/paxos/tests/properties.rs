@@ -58,9 +58,11 @@ impl Harness {
                         q.extend(r.on_persisted(token));
                     }
                 }
-                Effect::Deliver { slot, pid, value } => {
-                    self.delivered[node].push((slot, pid, value))
-                }
+                Effect::Deliver {
+                    slot, pid, value, ..
+                } => self.delivered[node].push((slot, pid, value)),
+                // This harness never proposes reconfigurations.
+                Effect::Reconfigured { .. } => {}
             }
         }
     }

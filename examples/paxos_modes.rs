@@ -56,9 +56,11 @@ impl Harness {
                         q.extend(r.on_persisted(token));
                     }
                 }
-                Effect::Deliver { slot, pid, value } => {
-                    self.delivered[node].push((slot, pid, value))
-                }
+                Effect::Deliver {
+                    slot, pid, value, ..
+                } => self.delivered[node].push((slot, pid, value)),
+                // This walkthrough never proposes reconfigurations.
+                Effect::Reconfigured { .. } => {}
             }
         }
     }

@@ -65,6 +65,8 @@ fn apply_effects(
             MwEffect::RecoveryComplete => {
                 println!("[{}] node {node} recovered", engine.now());
             }
+            // This walkthrough never changes the membership.
+            MwEffect::Reconfigured { .. } => {}
         }
     }
 }

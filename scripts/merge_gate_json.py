@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Merges several ``exp_* --gate --json`` reports into one document.
+
+Usage: merge_gate_json.py OUT.json IN1.json IN2.json [...]
+
+The output keeps the inputs' runs in argument order under an
+``experiment`` name that joins the inputs' names with ``+``. Run labels
+must be unique across inputs — a duplicate is an error, because the
+perf gate keys on labels. This is how the committed
+``BENCH_baseline.json`` is regenerated (see ``perf_gate.py``'s
+docstring for the full recipe).
+
+Stdlib only; no third-party imports.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"merge: cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"merge: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        sys.exit(f"merge: {path} lacks a top-level \"runs\" array")
+    return doc
+
+
+def main(argv):
+    if len(argv) < 4:
+        sys.exit("usage: merge_gate_json.py OUT.json IN1.json IN2.json [...]")
+    out_path, in_paths = argv[1], argv[2:]
+    runs, names, modes, seen = [], [], set(), set()
+    for path in in_paths:
+        doc = load(path)
+        names.append(str(doc.get("experiment", path)))
+        modes.add(str(doc.get("mode", "?")))
+        for run in doc["runs"]:
+            label = run.get("label")
+            if label in seen:
+                sys.exit(f"merge: run label {label!r} appears twice")
+            seen.add(label)
+            runs.append(run)
+    if len(modes) > 1:
+        sys.exit(f"merge: inputs mix modes {sorted(modes)}")
+    merged = {
+        "experiment": "+".join(names),
+        "mode": modes.pop(),
+        "runs": runs,
+    }
+    try:
+        with open(out_path, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        sys.exit(f"merge: cannot write {out_path}: {e.strerror or e}")
+    print(f"merged {len(runs)} runs from {len(in_paths)} files into {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the group-commit batching hot path.
+"""CI perf-regression gate for the consensus hot path.
 
-Usage: perf_gate.py BASELINE.json CURRENT.json
+Usage: perf_gate.py BASELINE.json CURRENT.json [CURRENT2.json ...]
 
-Both files are ``exp_batching --gate --json`` reports. The gate fails
+The baseline is the committed union of the gate points (``exp_batching
+--gate --json`` and ``exp_reconfig --gate --json``, merged by
+``scripts/merge_gate_json.py``); the current side may be one merged
+file or the per-experiment files listed separately — their run arrays
+are merged, and a label appearing twice is an error. The gate fails
 (exit 1) when any labelled point's committed-updates/sec drops more than
 REGRESSION_TOLERANCE below the committed baseline, when the batch-8 over
 batch-1 speedup collapses below MIN_SPEEDUP, when a point that carries
 an availability decomposition ramps back to 95% of baseline WIPS more
-than RAMP_TOLERANCE slower than the committed baseline, or when the
+than RAMP_TOLERANCE slower than the committed baseline, when a
+membership change stops completing or completes more than
+RECONFIG_SLACK_US later than the committed baseline (or its own
+post-change WIPS ramp regresses past RAMP_TOLERANCE), or when the
 always-on consensus auditor reported any violation. The simulator is deterministic,
 so on unchanged code the current run reproduces the baseline bit-for-bit;
 a tripped gate always points at a real behavioural change.
@@ -23,7 +30,9 @@ scan), not CI-runner noise. Baselines predating those fields skip the
 check. After an intentional recalibration, regenerate the baseline
 with::
 
-    cargo run --release -p bench --bin exp_batching -- --gate --json BENCH_baseline.json
+    cargo run --release -p bench --bin exp_batching -- --gate --json /tmp/batching.json
+    cargo run --release -p bench --bin exp_reconfig -- --gate --json /tmp/reconfig.json
+    scripts/merge_gate_json.py BENCH_baseline.json /tmp/batching.json /tmp/reconfig.json
 
 Stdlib only; no third-party imports.
 """
@@ -39,6 +48,11 @@ MIN_SPEEDUP = 1.8
 # Post-crash ramp back to 95% of baseline WIPS may be up to 15% slower
 # than the committed baseline before the gate trips (higher is worse).
 RAMP_TOLERANCE = 0.15
+# A membership change may complete this much later than the committed
+# baseline (absolute, µs) before the gate trips. Absolute, not
+# relative: completion is quantised by the driver's epoch poll, so a
+# healthy baseline is a few hundred ms and a ratio would be noise.
+RECONFIG_SLACK_US = 2_000_000
 # Host-timing tolerances: engine events/sec may fall to half the
 # baseline, wall clock may stretch to 3x, before the gate trips. Loose
 # on purpose — CI runners vary; these exist to catch the hot path
@@ -75,11 +89,24 @@ def field(run, key, path):
     return value
 
 
+def merge_runs(paths):
+    """Loads and merges several gate reports into one label→run map."""
+    merged = {}
+    for path in paths:
+        for label, run in load_runs(path).items():
+            if label in merged:
+                sys.exit(f"perf gate: run label {label!r} appears twice "
+                         f"across {', '.join(paths)}")
+            merged[label] = run
+    return merged
+
+
 def main(argv):
-    if len(argv) != 3:
-        sys.exit("usage: perf_gate.py BASELINE.json CURRENT.json")
+    if len(argv) < 3:
+        sys.exit("usage: perf_gate.py BASELINE.json CURRENT.json [CURRENT2.json ...]")
     baseline = load_runs(argv[1])
-    current = load_runs(argv[2])
+    current = merge_runs(argv[2:])
+    current_name = ", ".join(argv[2:])
 
     failures = []
     print(f"{'point':<24} {'baseline':>10} {'current':>10} {'ratio':>7}")
@@ -89,7 +116,7 @@ def main(argv):
             failures.append(f"{label}: missing from current run")
             continue
         base_ups = field(base, "updates_per_sec", argv[1])
-        cur_ups = field(cur, "updates_per_sec", argv[2])
+        cur_ups = field(cur, "updates_per_sec", current_name)
         ratio = cur_ups / base_ups if base_ups else float("inf")
         print(f"{label:<24} {base_ups:>10.1f} {cur_ups:>10.1f} {ratio:>6.2f}x")
         if cur_ups < base_ups * (1.0 - REGRESSION_TOLERANCE):
@@ -105,7 +132,7 @@ def main(argv):
         # are host-dependent, unlike every other gated number.
         base_eps = base.get("events_per_sec")
         if isinstance(base_eps, (int, float)) and base_eps > 0:
-            cur_eps = field(cur, "events_per_sec", argv[2])
+            cur_eps = field(cur, "events_per_sec", current_name)
             eps_ratio = cur_eps / base_eps
             print(
                 f"{label + ' events/s':<24} {base_eps:>10.0f} "
@@ -119,7 +146,7 @@ def main(argv):
                 )
         base_wall = base.get("wall_clock_s")
         if isinstance(base_wall, (int, float)) and base_wall > 0:
-            cur_wall = field(cur, "wall_clock_s", argv[2])
+            cur_wall = field(cur, "wall_clock_s", current_name)
             if cur_wall > base_wall * WALL_TOLERANCE:
                 failures.append(
                     f"{label}: wall clock {cur_wall:.1f}s is more than "
@@ -149,10 +176,54 @@ def main(argv):
                     f"over baseline {base_ramp / 1e6:.1f}s"
                 )
 
+        # Reconfiguration: a baseline whose membership change completed
+        # pins the epoch-switch path — it must keep completing, must
+        # not complete more than RECONFIG_SLACK_US later, and its
+        # post-change WIPS ramp (measured from the operator's
+        # submission) must not regress past RAMP_TOLERANCE.
+        if base.get("reconfig_completed") == 1:
+            if cur.get("reconfig_completed") != 1:
+                failures.append(
+                    f"{label}: baseline's membership change completed but "
+                    f"the current run's did not"
+                )
+                continue
+            base_done = field(base, "reconfig_complete_us", argv[1])
+            cur_done = field(cur, "reconfig_complete_us", current_name)
+            print(
+                f"{label + ' reconfig(s)':<24} {base_done / 1e6:>10.1f} "
+                f"{cur_done / 1e6:>10.1f}"
+            )
+            if cur_done > base_done + RECONFIG_SLACK_US:
+                failures.append(
+                    f"{label}: membership change took {cur_done / 1e6:.1f}s, "
+                    f"more than {RECONFIG_SLACK_US / 1e6:.0f}s over baseline "
+                    f"{base_done / 1e6:.1f}s"
+                )
+        base_rramp = base.get("reconfig_ramp_to_95pct_us")
+        if isinstance(base_rramp, (int, float)) and base_rramp > 0:
+            cur_rramp = cur.get("reconfig_ramp_to_95pct_us")
+            if not isinstance(cur_rramp, (int, float)) or cur_rramp <= 0:
+                failures.append(
+                    f"{label}: baseline has reconfig_ramp_to_95pct_us but "
+                    f"current run reports {cur_rramp!r}"
+                )
+                continue
+            print(
+                f"{label + ' rc-ramp95(s)':<24} {base_rramp / 1e6:>10.1f} "
+                f"{cur_rramp / 1e6:>10.1f} {cur_rramp / base_rramp:>6.2f}x"
+            )
+            if cur_rramp > base_rramp * (1.0 + RAMP_TOLERANCE):
+                failures.append(
+                    f"{label}: post-reconfig ramp to 95% of baseline WIPS "
+                    f"took {cur_rramp / 1e6:.1f}s, more than "
+                    f"{RAMP_TOLERANCE:.0%} over baseline {base_rramp / 1e6:.1f}s"
+                )
+
     by_batch = {run.get("batch"): run for run in current.values()}
     if 1 in by_batch and 8 in by_batch:
-        ups1 = field(by_batch[1], "updates_per_sec", argv[2])
-        ups8 = field(by_batch[8], "updates_per_sec", argv[2])
+        ups1 = field(by_batch[1], "updates_per_sec", current_name)
+        ups8 = field(by_batch[8], "updates_per_sec", current_name)
         speedup = ups8 / ups1 if ups1 else float("inf")
         print(f"{'batch-8 speedup':<24} {'':>10} {'':>10} {speedup:>6.2f}x")
         if speedup < MIN_SPEEDUP:
