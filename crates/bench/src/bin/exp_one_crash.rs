@@ -1,7 +1,7 @@
 //! Figure 5 + Tables 1–2 — one crash, one autonomous recovery.
 use bench::render::{
     render_accuracy, render_autonomy, render_availability, render_fault_histogram,
-    render_performability,
+    render_fd_quality, render_performability,
 };
 use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
@@ -33,6 +33,10 @@ fn main() {
     con.say(render_autonomy("One failure: availability/autonomy", &runs));
     con.say(render_availability(
         "One failure: availability decomposition",
+        &runs,
+    ));
+    con.say(render_fd_quality(
+        "One failure: failure-detector quality",
         &runs,
     ));
 }

@@ -159,6 +159,18 @@ fn main() {
         for r in &reconfig_reports {
             say_breakdown(&con, "reconfig (from submit)", r);
         }
+        if !report.trace.is_empty() {
+            let fd = obs::fd_quality(&report.trace);
+            con.say(format_args!(
+                "    fd quality: {}/{} crash(es) detected (p50 {:.1}s), \
+                 {} false suspicion(s), mistake p50 {:.1}s",
+                fd.detected(),
+                fd.incidents.len(),
+                fd.detection_latency.quantile(0.5) as f64 / 1e6,
+                fd.false_suspicions,
+                fd.mistake_duration.quantile(0.5) as f64 / 1e6,
+            ));
+        }
 
         let mut extra: Vec<(&str, f64)> = Vec::new();
         if let Some(incident) = report.reconfigs.first() {

@@ -282,6 +282,44 @@ pub fn render_availability(title: &str, runs: &[FaultRun]) -> String {
     out
 }
 
+/// Renders the failure detectors' quality against the trace's ground
+/// truth: detection latency per real crash, plus false suspicions of
+/// live peers and how long those mistakes lasted. Empty when no run was
+/// traced (the metrics are derived from `peer_suspected`/`peer_cleared`
+/// records).
+pub fn render_fd_quality(title: &str, runs: &[FaultRun]) -> String {
+    let mut out = format!(
+        "{title}\n  R/P   | crashes | detected | detect p50(s) | detect max(s) | false susp | mistake p50(s)\n"
+    );
+    let mut any = false;
+    for run in runs {
+        if run.report.trace.is_empty() {
+            continue;
+        }
+        let fd = obs::fd_quality(&run.report.trace);
+        if fd.incidents.is_empty() && fd.false_suspicions == 0 {
+            continue;
+        }
+        any = true;
+        let secs = |us: u64| us as f64 / 1e6;
+        out.push_str(&format!(
+            "  {}/{} | {:7} | {:8} | {:13.1} | {:13.1} | {:10} | {:14.1}\n",
+            run.replicas,
+            &run.profile.name()[..1],
+            fd.incidents.len(),
+            fd.detected(),
+            secs(fd.detection_latency.quantile(0.5)),
+            secs(fd.detection_latency.max()),
+            fd.false_suspicions,
+            secs(fd.mistake_duration.quantile(0.5)),
+        ));
+    }
+    if !any {
+        out.push_str("  (no traced runs — re-run with --trace for detector quality)\n");
+    }
+    out
+}
+
 /// Renders one fault run's WIPS histogram with crash (c) and recovery
 /// (r) markers — the Figures 5/7/8 panels.
 pub fn render_fault_histogram(run: &FaultRun) -> String {

@@ -379,6 +379,7 @@ mod tests {
     fn promise_msg(ballot: Ballot) -> MwMsg<ActionBatch> {
         MwMsg::Paxos {
             epoch: 0,
+            tag: Default::default(),
             msg: Msg::Promise {
                 ballot,
                 from_slot: Slot(0),
@@ -483,6 +484,7 @@ mod tests {
         let mut audit = InvariantAuditor::new(4);
         let any = MwMsg::Paxos {
             epoch: 0,
+            tag: Default::default(),
             msg: Msg::Any {
                 ballot: Ballot::fast(1, paxos::ReplicaId(0)),
                 from_slot: Slot(0),

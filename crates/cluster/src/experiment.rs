@@ -60,8 +60,9 @@ pub struct ExperimentConfig {
     /// Group commit: max µs the first buffered update waits for company
     /// (0 = flush immediately).
     pub batch_window_us: u64,
-    /// Structured tracing (default off; a disabled tracer costs one
-    /// branch per would-be event).
+    /// Structured tracing. Full record capture defaults off; the bounded
+    /// flight ring ([`simnet::TraceConfig::flight_records`]) stays on by
+    /// default so audit-violation panics always dump recent context.
     pub trace: simnet::TraceConfig,
 }
 
@@ -690,27 +691,20 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     let metrics = engine.tracer().metrics().to_vec();
     let audit = auditor.report();
     if !audit.violations.is_empty() {
-        // With tracing on, attach the tail of the structured trace so
-        // the violation comes with its causal context.
-        let context: String = trace
-            .iter()
-            .rev()
-            .take(40)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .rev()
-            .map(obs::jsonl::encode)
-            .collect::<Vec<_>>()
-            .join("\n");
+        // Dump the flight recorder: a bounded ring of the most recent
+        // trace records that runs even when full tracing is off, so a
+        // violation always comes with its causal context.
+        let context = engine.tracer().flight_jsonl();
+        let flight = engine.tracer().flight_records().len();
         panic!(
             "consensus invariants violated (seed {}): {} violation(s), first: {}\n\
-             trace tail ({} records):\n{}",
+             flight recorder ({} records):\n{}",
             config.seed,
             audit.total_violations,
             audit.violations.first().map(String::as_str).unwrap_or(""),
-            trace.len().min(40),
+            flight,
             if context.is_empty() {
-                "(tracing disabled — re-run with tracing for context)"
+                "(flight recorder empty — re-run with tracing for context)"
             } else {
                 &context
             }

@@ -241,7 +241,7 @@ impl ServerNode {
     /// event if the auditor flagged anything since the last drain — so a
     /// violation sits in the trace right after the events that caused it.
     fn drain_trace(&mut self, engine: &mut Engine<ClusterMsg>, auditor: &mut InvariantAuditor) {
-        if !self.mw.trace_enabled() {
+        if !self.mw.trace_active() {
             return;
         }
         for ev in self.mw.take_trace() {
@@ -264,7 +264,34 @@ impl ServerNode {
                 MwEffect::Send { to, msg, bytes } => {
                     let now_us = engine.now().as_micros();
                     auditor.on_send(self.idx, &msg, &self.mw.status().paxos, now_us);
-                    engine.send_sized(self.node, NodeId(to.index()), ClusterMsg::Mw(msg), bytes);
+                    // Note the causal tag before the message moves into the
+                    // engine; the `MsgTag` record joins the transmission id
+                    // with the protocol-level provenance for `obs::causal`.
+                    let tag_info = match &msg {
+                        treplica::MwMsg::Paxos { tag, msg: m, .. } => Some((m.kind(), *tag)),
+                        _ => None,
+                    };
+                    let xid = engine.send_sized(
+                        self.node,
+                        NodeId(to.index()),
+                        ClusterMsg::Mw(msg),
+                        bytes,
+                    );
+                    if engine.trace_active() {
+                        if let Some((kind, tag)) = tag_info {
+                            engine.trace(
+                                self.node,
+                                obs::TraceEvent::MsgTag {
+                                    xid,
+                                    kind,
+                                    origin: tag.origin,
+                                    cseq: tag.seq,
+                                    slot: tag.slot,
+                                    round: tag.round,
+                                },
+                            );
+                        }
+                    }
                 }
                 MwEffect::DiskWrite { op, token, nominal } => {
                     if let (Some(nom), StableOp::Put { key, .. }) = (nominal, &op) {

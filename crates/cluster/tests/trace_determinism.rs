@@ -120,6 +120,48 @@ fn timeline_exports_are_deterministic_and_bracket_the_crash() {
     );
 }
 
+/// The cross-node causal DAG reconstructed from a traced crash run must
+/// attribute blame exactly: every decided slot's critical path telescopes
+/// to the measured commit latency, the synchronous log write shows up as
+/// disk-fsync blame, and the whole profile is a pure function of the
+/// trace (byte-identical exports across same-seed runs).
+#[test]
+fn causal_blame_telescopes_and_exports_deterministically() {
+    let a = run_experiment(&crash_config(true));
+    let b = run_experiment(&crash_config(true));
+    let pa = obs::CausalProfile::from_records(&a.trace);
+    let pb = obs::CausalProfile::from_records(&b.trace);
+    assert!(
+        !pa.paths.is_empty(),
+        "traced crash run must yield causal paths"
+    );
+    for path in &pa.paths {
+        assert!(path.telescopes(), "blame must telescope: {path:?}");
+    }
+    let by_cat = pa.blame_by_category();
+    assert!(
+        by_cat[obs::BlameCategory::DiskFsync.index()] > 0,
+        "synchronous log appends must appear as disk-fsync blame"
+    );
+    assert_eq!(
+        pa.to_jsonl(),
+        pb.to_jsonl(),
+        "same-seed causal JSONL must be byte-identical"
+    );
+    assert_eq!(
+        pa.blame_csv("run"),
+        pb.blame_csv("run"),
+        "same-seed blame CSV must be byte-identical"
+    );
+    // The trace names failure-detector incidents for the injected crash.
+    let fd = obs::fd_quality(&a.trace);
+    assert_eq!(fd.incidents.len(), 1, "one crash incident expected");
+    assert!(
+        fd.incidents[0].detection_latency_us.is_some(),
+        "some replica must suspect the crashed peer"
+    );
+}
+
 #[test]
 fn tracing_does_not_perturb_the_run() {
     let traced = run_experiment(&crash_config(true));
@@ -130,4 +172,13 @@ fn tracing_does_not_perturb_the_run() {
         .iter()
         .all(|m| { m.counters.is_empty() && m.hists.is_empty() }));
     assert_eq!(fingerprint(&traced), fingerprint(&untraced));
+
+    // The flight recorder (on by default) and a fully disabled tracer
+    // must agree too: causal tags and transmission ids advance
+    // unconditionally, so neither sink can perturb the run.
+    let mut dark = crash_config(false);
+    dark.trace.flight_records = 0;
+    let dark = run_experiment(&dark);
+    assert!(dark.trace.is_empty());
+    assert_eq!(fingerprint(&traced), fingerprint(&dark));
 }

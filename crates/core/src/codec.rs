@@ -7,8 +7,8 @@
 //! network.
 
 use paxos::{
-    AcceptedReport, Ballot, BallotClass, Batch, Decree, Msg, ProposalId, Reconfig, Record,
-    ReplicaId, Slot,
+    AcceptedReport, Ballot, BallotClass, Batch, CausalTag, Decree, Msg, ProposalId, Reconfig,
+    Record, ReplicaId, Slot,
 };
 
 use crate::wire::{Wire, WireError};
@@ -102,6 +102,29 @@ impl Wire for ReplicaId {
     }
     fn wire_size(&self) -> u64 {
         4
+    }
+}
+
+/// Fixed-size causal provenance stamp carried by every protocol
+/// message (see `paxos::CausalTag`): origin, monotone send counter,
+/// and slot/round provenance, `u64::MAX` marking "none".
+impl Wire for CausalTag {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.origin.encode(buf);
+        self.seq.encode(buf);
+        self.slot.encode(buf);
+        self.round.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CausalTag {
+            origin: u32::decode(input)?,
+            seq: u64::decode(input)?,
+            slot: u64::decode(input)?,
+            round: u64::decode(input)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        CausalTag::WIRE_SIZE
     }
 }
 
@@ -450,6 +473,19 @@ mod tests {
             add: vec![],
             remove: vec![ReplicaId(4)],
         }));
+    }
+
+    #[test]
+    fn causal_tags_roundtrip() {
+        roundtrip(CausalTag {
+            origin: 3,
+            seq: 123_456,
+            slot: 42,
+            round: 7,
+        });
+        // The sentinel for slot-less kinds survives the wire.
+        roundtrip(CausalTag::default());
+        assert_eq!(CausalTag::default().wire_size(), 28);
     }
 
     #[test]

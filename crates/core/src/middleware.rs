@@ -147,6 +147,13 @@ pub enum MwMsg<A> {
     Paxos {
         /// Sender's configuration epoch at send time.
         epoch: u64,
+        /// Causal provenance stamp (origin node, monotone send counter,
+        /// slot/ballot), carried on every transmission so receivers'
+        /// traces can be joined back to senders'. Stamped
+        /// unconditionally — the counter advances and the bytes ship
+        /// whether or not tracing is on, keeping traced and untraced
+        /// runs byte-identical.
+        tag: paxos::CausalTag,
         /// The consensus message.
         msg: Msg<A>,
     },
@@ -176,7 +183,7 @@ impl<A: Wire> MwMsg<A> {
     pub fn wire_bytes(&self) -> u64 {
         WIRE_OVERHEAD
             + match self {
-                MwMsg::Paxos { msg, .. } => 1 + 8 + msg.wire_size(),
+                MwMsg::Paxos { tag, msg, .. } => 1 + 8 + tag.wire_size() + msg.wire_size(),
                 MwMsg::SnapshotRequest => 1,
                 MwMsg::SnapshotReply {
                     members, nominal, ..
@@ -434,6 +441,10 @@ pub struct Middleware<App: Application> {
     /// Submit times of locally-issued updates, for commit-latency trace
     /// points. Only populated while tracing is enabled.
     submit_times: BTreeMap<ProposalId, u64>,
+    /// Monotone causal-tag counter, advanced on every protocol send.
+    /// Unconditional (not trace-gated): the counter shapes the bytes on
+    /// the wire, so it must not depend on whether anyone is watching.
+    causal_seq: u64,
     /// Reused encode buffer for the per-message persist path (one
     /// exact-sized allocation per record instead of a growth chain).
     scratch: crate::wire::EncodeScratch,
@@ -487,8 +498,10 @@ impl<App: Application> Middleware<App> {
         now: u64,
     ) -> Self {
         let mut paxos = Replica::new_with_membership(id, config.paxos.clone(), membership, now);
-        paxos.set_tracing(config.trace.enabled);
-        let trace = EventBuf::new(config.trace.enabled);
+        // Events feed both the full trace and the flight recorder, so
+        // the buffers run whenever either sink is configured.
+        paxos.set_tracing(config.trace.record_events());
+        let trace = EventBuf::new(config.trace.record_events());
         Middleware {
             id,
             config,
@@ -516,6 +529,7 @@ impl<App: Application> Middleware<App> {
             update_seq: 0,
             trace,
             submit_times: BTreeMap::new(),
+            causal_seq: 0,
             scratch: crate::wire::EncodeScratch::new(),
         }
     }
@@ -585,8 +599,8 @@ impl<App: Application> Middleware<App> {
             epoch,
             now,
         );
-        paxos.set_tracing(config.trace.enabled);
-        let trace = EventBuf::new(config.trace.enabled);
+        paxos.set_tracing(config.trace.record_events());
+        let trace = EventBuf::new(config.trace.record_events());
 
         let mut mw = Middleware {
             id,
@@ -619,6 +633,7 @@ impl<App: Application> Middleware<App> {
             update_seq: 0,
             trace,
             submit_times: BTreeMap::new(),
+            causal_seq: 0,
             scratch: crate::wire::EncodeScratch::new(),
         };
         let mut fx = Vec::new();
@@ -834,7 +849,7 @@ impl<App: Application> Middleware<App> {
             return Vec::new();
         }
         match msg {
-            MwMsg::Paxos { epoch, msg: m } => {
+            MwMsg::Paxos { epoch, msg: m, .. } => {
                 let local = self.paxos.config_epoch();
                 // Learning traffic is epoch-agnostic: it only reports
                 // already-decided slots, and it is exactly what carries a
@@ -1145,8 +1160,14 @@ impl<App: Application> Middleware<App> {
         for e in fx {
             match e {
                 PaxosEffect::Send { to, msg } => {
+                    // The causal sequence advances on every send, traced
+                    // or not, so the tag bytes on the wire — and hence
+                    // the whole simulation — are identical either way.
+                    self.causal_seq += 1;
+                    let tag = paxos::CausalTag::for_msg(self.id, self.causal_seq, &msg);
                     let msg = MwMsg::Paxos {
                         epoch: self.paxos.config_epoch(),
+                        tag,
                         msg,
                     };
                     let bytes = msg.wire_bytes();
@@ -1327,8 +1348,16 @@ impl<App: Application> Middleware<App> {
         self.epoch
     }
 
-    /// Whether structured tracing is enabled on this node.
+    /// Whether *full* structured tracing is enabled on this node (metrics,
+    /// latency observation, unbounded record capture).
     pub fn trace_enabled(&self) -> bool {
+        self.config.trace.enabled
+    }
+
+    /// Whether trace events are being recorded at all — either full
+    /// tracing or just the bounded flight ring. Drivers use this to
+    /// decide whether draining [`Self::take_trace`] is worthwhile.
+    pub fn trace_active(&self) -> bool {
         self.trace.enabled()
     }
 
@@ -1830,6 +1859,7 @@ mod tests {
         // A stale-epoch Accept is dropped and traced.
         let stale = MwMsg::Paxos {
             epoch: 0,
+            tag: Default::default(),
             msg: Msg::Accept {
                 ballot: Ballot::BOTTOM,
                 slot: Slot(50),
@@ -1855,6 +1885,7 @@ mod tests {
         // must catch up before voting under an unknown quorum rule)...
         let ahead = MwMsg::Paxos {
             epoch: 7,
+            tag: Default::default(),
             msg: Msg::Accept {
                 ballot: Ballot::BOTTOM,
                 slot: Slot(50),
@@ -1867,6 +1898,7 @@ mod tests {
         // ...and learning traffic crosses the fence in both directions.
         let learn = MwMsg::Paxos {
             epoch: 0,
+            tag: Default::default(),
             msg: Msg::LearnRequest {
                 from_slot: Slot::ZERO,
             },

@@ -323,7 +323,7 @@ fn recovery_time_scales_with_state_size() {
             for e in fx {
                 match e {
                     MwEffect::Send { to, msg, bytes } => {
-                        engine.send_sized(NodeId(node), NodeId(to.index()), msg, bytes)
+                        engine.send_sized(NodeId(node), NodeId(to.index()), msg, bytes);
                     }
                     MwEffect::DiskWrite { op, token, nominal } => {
                         if let (Some(nom), simnet::StableOp::Put { key, .. }) = (nominal, &op) {

@@ -196,6 +196,97 @@ pub fn latency_summary(records: &[TraceRecord]) -> LatencySummary {
     s
 }
 
+/// One real crash, as the failure detectors saw it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FdIncident {
+    /// The crashed replica.
+    pub peer: u32,
+    /// Crash time (µs).
+    pub crash_at_us: u64,
+    /// Crash → first `PeerSuspected` of this peer anywhere in the
+    /// cluster. `None` when no detector fired before the peer returned
+    /// (or the trace ended).
+    pub detection_latency_us: Option<u64>,
+    /// The node whose detector fired first.
+    pub detector: Option<u32>,
+}
+
+/// Failure-detector quality over one run: how fast real crashes were
+/// detected, and how often live peers were wrongly suspected — the
+/// completeness/accuracy trade the timeout encodes.
+#[derive(Debug, Clone, Default)]
+pub struct FdQuality {
+    /// Real crashes, in trace order.
+    pub incidents: Vec<FdIncident>,
+    /// Detection latencies of the incidents that were detected.
+    pub detection_latency: Hist,
+    /// `PeerSuspected` records naming a peer that was up — mistakes.
+    pub false_suspicions: u64,
+    /// How long each mistake lasted (`PeerCleared.suspected_us` for
+    /// suspicions that started while the peer was up).
+    pub mistake_duration: Hist,
+}
+
+impl FdQuality {
+    /// Incidents whose crash was detected by at least one peer.
+    pub fn detected(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| i.detection_latency_us.is_some())
+            .count()
+    }
+}
+
+/// Scores the failure detectors against the trace's ground truth:
+/// `Crash`/`Restart` records say when a peer was really down, so a
+/// suspicion of a down peer measures detection latency and a suspicion
+/// of a live peer counts as a false suspicion (its eventual
+/// `PeerCleared` contributes the mistake duration).
+pub fn fd_quality(records: &[TraceRecord]) -> FdQuality {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut q = FdQuality::default();
+    // Peers currently down, with the index of their open incident.
+    let mut down: BTreeMap<u32, usize> = BTreeMap::new();
+    // (observer, peer) suspicions that began while the peer was up.
+    let mut false_open: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for rec in records {
+        match rec.event {
+            TraceEvent::Crash => {
+                q.incidents.push(FdIncident {
+                    peer: rec.node,
+                    crash_at_us: rec.t_us,
+                    ..FdIncident::default()
+                });
+                down.insert(rec.node, q.incidents.len() - 1);
+            }
+            TraceEvent::Restart { .. } => {
+                down.remove(&rec.node);
+            }
+            TraceEvent::PeerSuspected { peer, .. } => {
+                if let Some(&i) = down.get(&peer) {
+                    let inc = &mut q.incidents[i];
+                    if inc.detection_latency_us.is_none() {
+                        let lat = rec.t_us.saturating_sub(inc.crash_at_us);
+                        inc.detection_latency_us = Some(lat);
+                        inc.detector = Some(rec.node);
+                        q.detection_latency.observe(lat);
+                    }
+                } else {
+                    q.false_suspicions += 1;
+                    false_open.insert((rec.node, peer));
+                }
+            }
+            TraceEvent::PeerCleared { peer, suspected_us }
+                if false_open.remove(&(rec.node, peer)) =>
+            {
+                q.mistake_duration.observe(suspected_us);
+            }
+            _ => {}
+        }
+    }
+    q
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +434,77 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].reelection_us, Some(1_000));
         assert_eq!(out[1].reelection_us, Some(1_000));
+    }
+
+    #[test]
+    fn fd_quality_scores_real_and_false_suspicions() {
+        let trace = vec![
+            // A false suspicion before any crash: node 1 wrongly
+            // suspects node 2 for 300µs.
+            rec(
+                500,
+                1,
+                TraceEvent::PeerSuspected {
+                    peer: 2,
+                    silent_us: 400_000,
+                },
+            ),
+            rec(
+                800,
+                1,
+                TraceEvent::PeerCleared {
+                    peer: 2,
+                    suspected_us: 300,
+                },
+            ),
+            // A real crash of node 0, detected first by node 2.
+            rec(1_000, 0, TraceEvent::Crash),
+            rec(
+                1_450,
+                2,
+                TraceEvent::PeerSuspected {
+                    peer: 0,
+                    silent_us: 450_000,
+                },
+            ),
+            // A second detector firing later must not overwrite.
+            rec(
+                1_500,
+                1,
+                TraceEvent::PeerSuspected {
+                    peer: 0,
+                    silent_us: 500_000,
+                },
+            ),
+            rec(4_000, 0, TraceEvent::Restart { incarnation: 1 }),
+            // Clears after restart: real suspicions, not mistakes.
+            rec(
+                4_100,
+                2,
+                TraceEvent::PeerCleared {
+                    peer: 0,
+                    suspected_us: 2_650,
+                },
+            ),
+        ];
+        let q = fd_quality(&trace);
+        assert_eq!(q.incidents.len(), 1);
+        assert_eq!(q.detected(), 1);
+        assert_eq!(q.incidents[0].peer, 0);
+        assert_eq!(q.incidents[0].detection_latency_us, Some(450));
+        assert_eq!(q.incidents[0].detector, Some(2));
+        assert_eq!(q.detection_latency.count(), 1);
+        assert_eq!(q.false_suspicions, 1);
+        assert_eq!(q.mistake_duration.count(), 1);
+    }
+
+    #[test]
+    fn fd_quality_undetected_crash_stays_open() {
+        let trace = vec![rec(1_000, 3, TraceEvent::Crash)];
+        let q = fd_quality(&trace);
+        assert_eq!(q.incidents.len(), 1);
+        assert_eq!(q.detected(), 0);
+        assert_eq!(q.incidents[0].detection_latency_us, None);
     }
 
     #[test]

@@ -243,19 +243,81 @@ pub enum TraceEvent {
     },
     /// An injected media error failed a durable write (fsync failure).
     DiskWriteFailed,
+    /// A message left its sender (traced against the sender at the
+    /// moment the engine accepted the transmission). Every send attempt
+    /// gets a fresh engine-global transmission id `xid`; the matching
+    /// [`TraceEvent::MsgRecv`] (or `MsgDropped` / `MsgDuplicated`)
+    /// carries the same id, which is how the causal reconstructor pairs
+    /// the two ends of a wire crossing.
+    MsgSent {
+        /// Engine-global transmission id.
+        xid: u64,
+        /// Intended receiver.
+        to: u32,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A message arrived at its destination (traced against the
+    /// receiver at delivery time, just before the handler runs).
+    MsgRecv {
+        /// Transmission id of the matching [`TraceEvent::MsgSent`].
+        xid: u64,
+        /// Sending node.
+        from: u32,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// The causal tag a protocol message carried on the wire (traced
+    /// against the sender right after its `MsgSent`). `slot` / `round`
+    /// use `u64::MAX` for "not applicable to this message kind".
+    MsgTag {
+        /// Transmission id of the tagged send.
+        xid: u64,
+        /// Protocol message kind (`"accept"`, `"accepted"`, …).
+        kind: &'static str,
+        /// Replica that stamped the tag (the protocol-level sender).
+        origin: u32,
+        /// Sender-local causal sequence number (monotone per replica).
+        cseq: u64,
+        /// Consensus slot provenance, `u64::MAX` when none.
+        slot: u64,
+        /// Ballot-round provenance, `u64::MAX` when none.
+        round: u64,
+    },
     /// The network model dropped an outgoing message.
     MsgDropped {
+        /// Transmission id of the lost send.
+        xid: u64,
         /// Intended receiver.
         to: u32,
         /// Wire size of the lost message.
         bytes: u64,
-        /// `"partition"` or `"loss"`.
+        /// `"partition"`, `"loss"`, or `"dest_down"`.
         reason: &'static str,
     },
-    /// The network model duplicated an outgoing message.
+    /// The network model duplicated an outgoing message (both copies
+    /// share the original send's `xid`).
     MsgDuplicated {
+        /// Transmission id of the duplicated send.
+        xid: u64,
         /// Receiver of both copies.
         to: u32,
+    },
+    /// The local failure detector started suspecting a peer (silence
+    /// exceeded the timeout).
+    PeerSuspected {
+        /// The suspected replica.
+        peer: u32,
+        /// How long the peer had been silent when suspicion began, µs.
+        silent_us: u64,
+    },
+    /// The local failure detector cleared a suspicion (the peer was
+    /// heard from again, or a membership change absolved it).
+    PeerCleared {
+        /// The no-longer-suspected replica.
+        peer: u32,
+        /// How long the suspicion lasted, µs.
+        suspected_us: u64,
     },
 
     // --- experiment harness ---
@@ -327,8 +389,13 @@ impl TraceEvent {
             TraceEvent::Restart { .. } => "restart",
             TraceEvent::TornWrite { .. } => "torn_write",
             TraceEvent::DiskWriteFailed => "disk_write_failed",
+            TraceEvent::MsgSent { .. } => "msg_sent",
+            TraceEvent::MsgRecv { .. } => "msg_recv",
+            TraceEvent::MsgTag { .. } => "msg_tag",
             TraceEvent::MsgDropped { .. } => "msg_dropped",
             TraceEvent::MsgDuplicated { .. } => "msg_duplicated",
+            TraceEvent::PeerSuspected { .. } => "peer_suspected",
+            TraceEvent::PeerCleared { .. } => "peer_cleared",
             TraceEvent::PartitionCut { .. } => "partition_cut",
             TraceEvent::PartitionHealed => "partition_healed",
             TraceEvent::NetFaultSet { .. } => "net_fault_set",
@@ -437,12 +504,39 @@ mod tests {
             TraceEvent::Restart { incarnation: 1 },
             TraceEvent::TornWrite { bytes_kept: 1 },
             TraceEvent::DiskWriteFailed,
+            TraceEvent::MsgSent {
+                xid: 0,
+                to: 0,
+                bytes: 0,
+            },
+            TraceEvent::MsgRecv {
+                xid: 0,
+                from: 0,
+                bytes: 0,
+            },
+            TraceEvent::MsgTag {
+                xid: 0,
+                kind: "accept",
+                origin: 0,
+                cseq: 0,
+                slot: 0,
+                round: 0,
+            },
             TraceEvent::MsgDropped {
+                xid: 0,
                 to: 0,
                 bytes: 0,
                 reason: "loss",
             },
-            TraceEvent::MsgDuplicated { to: 0 },
+            TraceEvent::MsgDuplicated { xid: 0, to: 0 },
+            TraceEvent::PeerSuspected {
+                peer: 0,
+                silent_us: 0,
+            },
+            TraceEvent::PeerCleared {
+                peer: 0,
+                suspected_us: 0,
+            },
             TraceEvent::PartitionCut { peers: 1 },
             TraceEvent::PartitionHealed,
             TraceEvent::NetFaultSet {

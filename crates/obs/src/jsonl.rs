@@ -4,11 +4,22 @@
 //! the variant's fields in declaration order), no whitespace: the
 //! rendering of a record vector is a *canonical form*, so two runs
 //! whose traces are equal produce byte-identical files. A trace file
-//! may also contain run-header lines (`{"run":"label"}`) separating
-//! the runs of a multi-configuration experiment.
+//! may also contain run-header lines (`{"run":"label","v":2}`)
+//! separating the runs of a multi-configuration experiment; `v` is the
+//! trace schema version ([`SCHEMA_VERSION`]) and is tolerated missing
+//! (v1 files carried none).
 //!
 //! The parser accepts exactly the flat single-object lines the encoder
 //! produces (stdlib only — the workspace vendors no JSON crate).
+//! [`decode`] is strict; [`decode_runs`] skips records whose event kind
+//! it does not know (a newer producer), so older analyzers keep working
+//! on newer traces — [`decode_runs_counting`] exposes the skip count
+//! for a warning.
+
+/// Trace schema version written into run headers. v2 added the causal
+/// vocabulary (msg_sent/msg_recv/msg_tag, xids on drops/dups) and the
+/// failure-detector events.
+pub const SCHEMA_VERSION: u64 = 2;
 
 use crate::event::{TraceEvent, TraceRecord};
 
@@ -24,7 +35,7 @@ pub enum Line {
 
 /// Renders a run-header line for `label`.
 pub fn encode_run_header(label: &str) -> String {
-    format!("{{\"run\":{}}}", quote(label))
+    format!("{{\"run\":{},\"v\":{SCHEMA_VERSION}}}", quote(label))
 }
 
 /// Renders one record as a canonical JSONL line (no trailing newline).
@@ -99,10 +110,35 @@ pub fn encode(rec: &TraceRecord) -> String {
         Restart { incarnation } => format!(",\"incarnation\":{incarnation}"),
         TornWrite { bytes_kept } => format!(",\"bytes_kept\":{bytes_kept}"),
         DiskWriteFailed => String::new(),
-        MsgDropped { to, bytes, reason } => {
-            format!(",\"to\":{to},\"bytes\":{bytes},\"reason\":\"{reason}\"")
+        MsgSent { xid, to, bytes } => format!(",\"xid\":{xid},\"to\":{to},\"bytes\":{bytes}"),
+        MsgRecv { xid, from, bytes } => {
+            format!(",\"xid\":{xid},\"from\":{from},\"bytes\":{bytes}")
         }
-        MsgDuplicated { to } => format!(",\"to\":{to}"),
+        MsgTag {
+            xid,
+            kind,
+            origin,
+            cseq,
+            slot,
+            round,
+        } => format!(
+            ",\"xid\":{xid},\"kind\":\"{kind}\",\"origin\":{origin},\"cseq\":{cseq},\"slot\":{slot},\"round\":{round}"
+        ),
+        MsgDropped {
+            xid,
+            to,
+            bytes,
+            reason,
+        } => {
+            format!(",\"xid\":{xid},\"to\":{to},\"bytes\":{bytes},\"reason\":\"{reason}\"")
+        }
+        MsgDuplicated { xid, to } => format!(",\"xid\":{xid},\"to\":{to}"),
+        PeerSuspected { peer, silent_us } => {
+            format!(",\"peer\":{peer},\"silent_us\":{silent_us}")
+        }
+        PeerCleared { peer, suspected_us } => {
+            format!(",\"peer\":{peer},\"suspected_us\":{suspected_us}")
+        }
         PartitionCut { peers } => format!(",\"peers\":{peers}"),
         PartitionHealed => String::new(),
         NetFaultSet { loss_pct, dup_pct } => {
@@ -127,35 +163,69 @@ pub fn encode_all(records: &[TraceRecord]) -> String {
     out
 }
 
-/// Parses one line; `None` for blank lines, `Err` for malformed ones.
-pub fn decode(line: &str) -> Result<Option<Line>, String> {
+/// Why a line failed to decode: a structurally sound record whose
+/// event kind this build does not know (newer producer — safe to skip)
+/// vs anything else (corrupt line — never skipped silently).
+enum DecodeErr {
+    UnknownKind(String),
+    Other(String),
+}
+
+fn decode_line(line: &str) -> Result<Option<Line>, DecodeErr> {
     let line = line.trim();
     if line.is_empty() {
         return Ok(None);
     }
-    let fields = parse_flat_object(line)?;
+    let fields = parse_flat_object(line).map_err(DecodeErr::Other)?;
     if let Some(Val::Str(label)) = get(&fields, "run") {
         return Ok(Some(Line::Run(label.clone())));
     }
-    let t_us = get_num(&fields, "t")?;
-    let node = get_num(&fields, "n")? as u32;
+    let t_us = get_num(&fields, "t").map_err(DecodeErr::Other)?;
+    let node = get_num(&fields, "n").map_err(DecodeErr::Other)? as u32;
     let kind = match get(&fields, "e") {
         Some(Val::Str(s)) => s.clone(),
-        _ => return Err("missing event kind `e`".into()),
+        _ => return Err(DecodeErr::Other("missing event kind `e`".into())),
     };
-    let event = decode_event(&kind, &fields)?;
+    let event = match decode_event(&kind, &fields).map_err(DecodeErr::Other)? {
+        Some(ev) => ev,
+        None => return Err(DecodeErr::UnknownKind(kind)),
+    };
     Ok(Some(Line::Record(TraceRecord { t_us, node, event })))
 }
 
+/// Parses one line; `None` for blank lines, `Err` for malformed ones
+/// (including unknown event kinds — this entry point is strict).
+pub fn decode(line: &str) -> Result<Option<Line>, String> {
+    decode_line(line).map_err(|e| match e {
+        DecodeErr::UnknownKind(k) => format!("unknown event kind {k:?}"),
+        DecodeErr::Other(s) => s,
+    })
+}
+
+/// One run's worth of decoded trace: `(run label, records)`.
+pub type Run = (String, Vec<TraceRecord>);
+
 /// Parses a whole file into `(run label, records)` groups. Records
-/// before any header land in a group labelled `""`.
-pub fn decode_runs(text: &str) -> Result<Vec<(String, Vec<TraceRecord>)>, String> {
-    let mut runs: Vec<(String, Vec<TraceRecord>)> = Vec::new();
+/// before any header land in a group labelled `""`. Records with an
+/// unknown event kind (from a newer producer) are skipped; use
+/// [`decode_runs_counting`] to learn how many.
+pub fn decode_runs(text: &str) -> Result<Vec<Run>, String> {
+    decode_runs_counting(text).map(|(runs, _)| runs)
+}
+
+/// Like [`decode_runs`], also returning the number of records skipped
+/// because their event kind was unknown — callers surface it as a
+/// warning.
+pub fn decode_runs_counting(text: &str) -> Result<(Vec<Run>, u64), String> {
+    let mut runs: Vec<Run> = Vec::new();
+    let mut skipped = 0u64;
     for (i, raw) in text.lines().enumerate() {
-        match decode(raw).map_err(|e| format!("line {}: {e}", i + 1))? {
-            None => {}
-            Some(Line::Run(label)) => runs.push((label, Vec::new())),
-            Some(Line::Record(rec)) => {
+        match decode_line(raw) {
+            Err(DecodeErr::UnknownKind(_)) => skipped += 1,
+            Err(DecodeErr::Other(e)) => return Err(format!("line {}: {e}", i + 1)),
+            Ok(None) => {}
+            Ok(Some(Line::Run(label))) => runs.push((label, Vec::new())),
+            Ok(Some(Line::Record(rec))) => {
                 if runs.is_empty() {
                     runs.push((String::new(), Vec::new()));
                 }
@@ -163,10 +233,12 @@ pub fn decode_runs(text: &str) -> Result<Vec<(String, Vec<TraceRecord>)>, String
             }
         }
     }
-    Ok(runs)
+    Ok((runs, skipped))
 }
 
-fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
+/// Decodes a record's event payload; `Ok(None)` means the kind is not
+/// in this build's vocabulary (the caller decides strict vs skip).
+fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<Option<TraceEvent>, String> {
     use TraceEvent::*;
     let ev = match kind {
         "proposal_issued" => ProposalIssued {
@@ -277,13 +349,41 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
             bytes_kept: get_num(f, "bytes_kept")?,
         },
         "disk_write_failed" => DiskWriteFailed,
+        "msg_sent" => MsgSent {
+            xid: get_num(f, "xid")?,
+            to: get_num(f, "to")? as u32,
+            bytes: get_num(f, "bytes")?,
+        },
+        "msg_recv" => MsgRecv {
+            xid: get_num(f, "xid")?,
+            from: get_num(f, "from")? as u32,
+            bytes: get_num(f, "bytes")?,
+        },
+        "msg_tag" => MsgTag {
+            xid: get_num(f, "xid")?,
+            kind: get_tag(f, "kind")?,
+            origin: get_num(f, "origin")? as u32,
+            cseq: get_num(f, "cseq")?,
+            slot: get_num(f, "slot")?,
+            round: get_num(f, "round")?,
+        },
         "msg_dropped" => MsgDropped {
+            xid: get_num(f, "xid")?,
             to: get_num(f, "to")? as u32,
             bytes: get_num(f, "bytes")?,
             reason: get_tag(f, "reason")?,
         },
         "msg_duplicated" => MsgDuplicated {
+            xid: get_num(f, "xid")?,
             to: get_num(f, "to")? as u32,
+        },
+        "peer_suspected" => PeerSuspected {
+            peer: get_num(f, "peer")? as u32,
+            silent_us: get_num(f, "silent_us")?,
+        },
+        "peer_cleared" => PeerCleared {
+            peer: get_num(f, "peer")? as u32,
+            suspected_us: get_num(f, "suspected_us")?,
         },
         "partition_cut" => PartitionCut {
             peers: get_num(f, "peers")?,
@@ -302,9 +402,9 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<TraceEvent, String> {
         "audit_violation" => AuditViolation {
             count: get_num(f, "count")?,
         },
-        other => return Err(format!("unknown event kind {other:?}")),
+        _ => return Ok(None),
     };
-    Ok(ev)
+    Ok(Some(ev))
 }
 
 /// Tag strings appear in events as `&'static str`; the decoder interns
@@ -320,6 +420,18 @@ fn get_tag(f: &[(String, Val)], key: &str) -> Result<&'static str, String> {
         "partition",
         "loss",
         "dest_down",
+        // Protocol message kinds carried by msg_tag records.
+        "prepare",
+        "promise",
+        "accept",
+        "any",
+        "fast_propose",
+        "propose",
+        "accepted",
+        "alive",
+        "learn_request",
+        "learn_reply",
+        "reconfig",
     ];
     match get(f, key) {
         Some(Val::Str(s)) => TAGS
@@ -528,10 +640,46 @@ mod tests {
             QueueSample { depth: 7 },
             Crash,
             Restart { incarnation: 2 },
+            MsgSent {
+                xid: 17,
+                to: 2,
+                bytes: 256,
+            },
+            MsgRecv {
+                xid: 17,
+                from: 0,
+                bytes: 256,
+            },
+            MsgTag {
+                xid: 17,
+                kind: "accept",
+                origin: 0,
+                cseq: 9,
+                slot: 4,
+                round: 1,
+            },
+            MsgTag {
+                xid: 18,
+                kind: "propose",
+                origin: 1,
+                cseq: 10,
+                slot: u64::MAX,
+                round: u64::MAX,
+            },
             MsgDropped {
+                xid: 19,
                 to: 4,
                 bytes: 512,
                 reason: "partition",
+            },
+            MsgDuplicated { xid: 20, to: 3 },
+            PeerSuspected {
+                peer: 2,
+                silent_us: 350_000,
+            },
+            PeerCleared {
+                peer: 2,
+                suspected_us: 4_200_000,
             },
             AuditViolation { count: 3 },
         ];
@@ -585,6 +733,40 @@ mod tests {
             assert!(decode(bad).is_err(), "should reject {bad:?}");
         }
         assert_eq!(decode("   ").expect("blank ok"), None);
+    }
+
+    #[test]
+    fn run_header_carries_schema_version() {
+        let line = encode_run_header("x");
+        assert_eq!(line, "{\"run\":\"x\",\"v\":2}");
+        // Old v1 headers (no "v") still parse.
+        match decode("{\"run\":\"old\"}").expect("parse").expect("line") {
+            Line::Run(label) => assert_eq!(label, "old"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_runs_skips_unknown_kinds_with_count() {
+        let mut text = String::new();
+        text.push_str(&encode_run_header("r"));
+        text.push('\n');
+        // A future event kind this build does not know.
+        text.push_str("{\"t\":1,\"n\":0,\"e\":\"warp_drive\",\"factor\":9}\n");
+        text.push_str(&encode(&TraceRecord {
+            t_us: 2,
+            node: 0,
+            event: TraceEvent::Crash,
+        }));
+        text.push('\n');
+        let (runs, skipped) = decode_runs_counting(&text).expect("lenient parse");
+        assert_eq!(skipped, 1);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].1.len(), 1, "known record survives the skip");
+        // The strict single-line entry point still rejects it.
+        assert!(decode("{\"t\":1,\"n\":0,\"e\":\"warp_drive\"}").is_err());
+        // Corrupt lines are errors even for the lenient parser.
+        assert!(decode_runs_counting("{\"t\":1}").is_err());
     }
 
     #[test]

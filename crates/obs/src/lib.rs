@@ -23,7 +23,15 @@
 //!   failover, dip depth, ramp back to 95 % of baseline);
 //! * [`spans`] — per-update critical-path spans
 //!   (submit→flush→accept→decide→apply→reply) whose phase latencies
-//!   sum exactly to the measured commit latency.
+//!   sum exactly to the measured commit latency;
+//! * [`causal`] — the cross-node layer over [`spans`]: happens-before
+//!   reconstruction per decided slot from `msg_sent`/`msg_recv`/
+//!   `msg_tag` records, distributed critical paths, and per-node /
+//!   per-link *blame* (net transit, retransmit stalls, disk fsync, CPU
+//!   service, queueing) telescoping exactly to each commit latency;
+//! * [`analyze::fd_quality`] — failure-detector scoring (detection
+//!   latency, false suspicions, mistake durations) against the trace's
+//!   crash/restart ground truth.
 //!
 //! Everything is gated on [`TraceConfig`], default off: a disabled
 //! tracer costs one branch per would-be event and allocates nothing.
@@ -34,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod causal;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
@@ -41,7 +50,11 @@ pub mod spans;
 pub mod timeline;
 pub mod tracer;
 
-pub use analyze::{latency_summary, recovery_breakdowns, LatencySummary, RecoveryBreakdown};
+pub use analyze::{
+    fd_quality, latency_summary, recovery_breakdowns, FdIncident, FdQuality, LatencySummary,
+    RecoveryBreakdown,
+};
+pub use causal::{BlameCategory, BlameSegment, CausalPath, CausalProfile, TAG_NONE};
 pub use event::{TraceEvent, TraceRecord, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
 pub use metrics::{Hist, NodeMetrics};
 pub use spans::{SpanProfile, UpdateSpan, PHASES};

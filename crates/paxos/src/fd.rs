@@ -19,6 +19,27 @@ pub enum Mode {
     Blocked,
 }
 
+/// A suspicion edge reported by [`FailureDetector::poll_transitions`]:
+/// pure observability output (detection-quality metrics), never fed
+/// back into the mode rule or any protocol decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdTransition {
+    /// `peer` crossed the timeout and is now suspected.
+    Suspected {
+        /// The newly suspected peer.
+        peer: ReplicaId,
+        /// How long the peer had been silent when suspicion fired (µs).
+        silent_us: u64,
+    },
+    /// A previously suspected `peer` was heard from again.
+    Cleared {
+        /// The peer whose suspicion is withdrawn.
+        peer: ReplicaId,
+        /// How long the suspicion lasted (µs).
+        suspected_us: u64,
+    },
+}
+
 /// Heartbeat-based failure detector, tracking the *current epoch's*
 /// member set (ids may be sparse after a reconfiguration).
 #[derive(Debug)]
@@ -32,6 +53,12 @@ pub struct FailureDetector {
     /// µs); `u64::MAX` marks "never heard", treated as alive during the
     /// initial grace period.
     last_heard: Vec<u64>,
+    /// Suspicion edge state per member (parallel to `members`):
+    /// `Some(t)` when the peer is currently suspected, with the time
+    /// suspicion fired. Only [`FailureDetector::poll_transitions`]
+    /// reads or writes this; `is_alive`/`mode` stay pure functions of
+    /// the heartbeat history.
+    suspected_at: Vec<Option<u64>>,
     started_at: u64,
 }
 
@@ -47,6 +74,7 @@ impl FailureDetector {
             timeout_us,
             members: (0..quorums.n() as u32).map(ReplicaId).collect(),
             last_heard: vec![u64::MAX; quorums.n()],
+            suspected_at: vec![None; quorums.n()],
             started_at: now,
         }
     }
@@ -58,16 +86,24 @@ impl FailureDetector {
     pub fn set_membership(&mut self, membership: &Membership, now: u64) {
         let mut members = Vec::with_capacity(membership.n());
         let mut last_heard = Vec::with_capacity(membership.n());
+        let mut suspected_at = Vec::with_capacity(membership.n());
         for &m in membership.members() {
-            let heard = self
-                .member_index(m)
+            let idx = self.member_index(m);
+            let heard = idx
                 .and_then(|i| self.last_heard.get(i).copied())
                 .unwrap_or(now);
+            // Retained members keep their suspicion edge; joiners start
+            // unsuspected (they have heartbeat grace anyway).
+            let suspected = idx
+                .and_then(|i| self.suspected_at.get(i).copied())
+                .flatten();
             members.push(m);
             last_heard.push(heard);
+            suspected_at.push(suspected);
         }
         self.members = members;
         self.last_heard = last_heard;
+        self.suspected_at = suspected_at;
         self.quorums = membership.quorums();
     }
 
@@ -132,6 +168,50 @@ impl FailureDetector {
     /// The live replica with the lowest id — the election candidate.
     pub fn candidate(&self, now: u64) -> ReplicaId {
         self.alive(now).into_iter().min().unwrap_or(self.id)
+    }
+
+    /// Compares the liveness estimate against the recorded suspicion
+    /// edges and returns the transitions since the last poll: a peer
+    /// newly crossing the timeout yields [`FdTransition::Suspected`]
+    /// (with its silence so far), a suspected peer heard from again
+    /// yields [`FdTransition::Cleared`] (with the mistake/outage
+    /// duration). Observability only — calling or not calling this
+    /// never changes `mode()`/`candidate()`.
+    pub fn poll_transitions(&mut self, now: u64) -> Vec<FdTransition> {
+        let mut out = Vec::new();
+        for (i, &peer) in self.members.iter().enumerate() {
+            if peer == self.id {
+                continue;
+            }
+            let alive = self.is_alive(peer, now);
+            let Some(edge) = self.suspected_at.get_mut(i) else {
+                continue;
+            };
+            match (alive, *edge) {
+                (false, None) => {
+                    let heard = self.last_heard.get(i).copied().unwrap_or(u64::MAX);
+                    let since = if heard == u64::MAX {
+                        self.started_at
+                    } else {
+                        heard
+                    };
+                    *edge = Some(now);
+                    out.push(FdTransition::Suspected {
+                        peer,
+                        silent_us: now.saturating_sub(since),
+                    });
+                }
+                (true, Some(at)) => {
+                    *edge = None;
+                    out.push(FdTransition::Cleared {
+                        peer,
+                        suspected_us: now.saturating_sub(at),
+                    });
+                }
+                _ => {}
+            }
+        }
+        out
     }
 }
 
@@ -214,6 +294,114 @@ mod tests {
             d.heard(ReplicaId(0), t);
         }
         assert!(d.is_alive(ReplicaId(0), 10_300));
+    }
+
+    #[test]
+    fn poll_transitions_reports_each_edge_once() {
+        let mut d = fd();
+        let now = 10_000;
+        d.heard(ReplicaId(0), now);
+        d.heard(ReplicaId(1), now);
+        d.heard(ReplicaId(3), now);
+        d.heard(ReplicaId(4), now);
+        assert!(d.poll_transitions(now).is_empty(), "everyone fresh");
+        // r3 and r4 go silent past the timeout.
+        let later = now + 1_500;
+        d.heard(ReplicaId(0), later);
+        d.heard(ReplicaId(1), later);
+        let trs = d.poll_transitions(later);
+        assert_eq!(
+            trs,
+            vec![
+                FdTransition::Suspected {
+                    peer: ReplicaId(3),
+                    silent_us: 1_500,
+                },
+                FdTransition::Suspected {
+                    peer: ReplicaId(4),
+                    silent_us: 1_500,
+                },
+            ]
+        );
+        assert!(d.poll_transitions(later + 10).is_empty(), "edge, not level");
+        // r3 comes back: one cleared edge with the suspicion duration.
+        // (r0/r1 refreshed so they don't age out in the meantime.)
+        d.heard(ReplicaId(0), later + 2_000);
+        d.heard(ReplicaId(1), later + 2_000);
+        d.heard(ReplicaId(3), later + 2_000);
+        let trs = d.poll_transitions(later + 2_000);
+        assert_eq!(
+            trs,
+            vec![FdTransition::Cleared {
+                peer: ReplicaId(3),
+                suspected_us: 2_000,
+            }]
+        );
+        assert!(d.poll_transitions(later + 2_001).is_empty());
+    }
+
+    #[test]
+    fn poll_transitions_never_suspects_self() {
+        let mut d = fd();
+        // All peers age out, far past grace.
+        let trs = d.poll_transitions(50_000);
+        assert_eq!(trs.len(), 4, "all peers but self: {trs:?}");
+        assert!(trs.iter().all(|t| !matches!(
+            t,
+            FdTransition::Suspected { peer, .. } if *peer == ReplicaId(2)
+        )));
+    }
+
+    #[test]
+    fn poll_transitions_is_observation_only() {
+        let mut d = fd();
+        let now = 20_000;
+        // Identical detector that is never polled.
+        let mut undisturbed = fd();
+        for i in [0u32, 1] {
+            d.heard(ReplicaId(i), now);
+            undisturbed.heard(ReplicaId(i), now);
+        }
+        let _ = d.poll_transitions(now + 100);
+        assert_eq!(d.mode(now + 100), undisturbed.mode(now + 100));
+        assert_eq!(d.candidate(now + 100), undisturbed.candidate(now + 100));
+        assert_eq!(d.alive_count(now + 100), undisturbed.alive_count(now + 100));
+    }
+
+    #[test]
+    fn set_membership_carries_suspicion_state() {
+        use crate::types::{Membership, Reconfig};
+        let mut d = fd();
+        let now = 10_000;
+        for i in [0u32, 1, 3, 4] {
+            d.heard(ReplicaId(i), now);
+        }
+        // r4 goes silent and gets suspected.
+        let later = now + 1_500;
+        for i in [0u32, 1, 3] {
+            d.heard(ReplicaId(i), later);
+        }
+        let trs = d.poll_transitions(later);
+        assert_eq!(trs.len(), 1);
+        // Replace r0 with r8: r4's open suspicion must survive so its
+        // eventual clear still reports a duration.
+        let m = Membership::initial(5)
+            .apply(&Reconfig {
+                epoch: 1,
+                add: vec![ReplicaId(8)],
+                remove: vec![ReplicaId(0)],
+            })
+            .expect("valid");
+        d.set_membership(&m, later);
+        d.heard(ReplicaId(4), later + 500);
+        let trs = d.poll_transitions(later + 500);
+        assert_eq!(
+            trs,
+            vec![FdTransition::Cleared {
+                peer: ReplicaId(4),
+                suspected_us: 500,
+            }]
+        );
     }
 
     #[test]

@@ -49,10 +49,10 @@ mod types;
 
 pub use acceptor::{Acceptor, AcceptorOut, Dest};
 pub use config::PaxosConfig;
-pub use fd::{FailureDetector, Mode};
+pub use fd::{FailureDetector, FdTransition, Mode};
 pub use leader::{choose_decree, Leader, LeaderPhase};
 pub use learner::{Delivery, Learner};
-pub use msg::{AcceptedReport, Effect, Effects, Msg, PersistToken, Record};
+pub use msg::{AcceptedReport, CausalTag, Effect, Effects, Msg, PersistToken, Record};
 pub use proposer::{PendingProposal, Proposer};
 pub use replica::{Replica, ReplicaStatus};
 pub use types::{

@@ -266,6 +266,29 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         }
     }
 
+    /// Polls the failure detector's suspicion edges into the trace
+    /// buffer ([`crate::FdTransition`] → `peer_suspected`/
+    /// `peer_cleared`). Pure observation: the edges never feed back
+    /// into `mode()` or any protocol decision, so tracing on or off
+    /// cannot perturb a run.
+    fn trace_fd_edges(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        for tr in self.fd.poll_transitions(self.now) {
+            self.trace.push(match tr {
+                crate::FdTransition::Suspected { peer, silent_us } => TraceEvent::PeerSuspected {
+                    peer: peer.0,
+                    silent_us,
+                },
+                crate::FdTransition::Cleared { peer, suspected_us } => TraceEvent::PeerCleared {
+                    peer: peer.0,
+                    suspected_us,
+                },
+            });
+        }
+    }
+
     /// This replica's id.
     pub fn id(&self) -> ReplicaId {
         self.id
@@ -466,6 +489,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
         }
         self.fd.heard(from, self.now);
         self.trace_mode_edge();
+        self.trace_fd_edges();
         let mut fx = Effects::new();
         match msg {
             Msg::Prepare {
@@ -993,6 +1017,7 @@ impl<V: Clone + Eq + std::fmt::Debug> Replica<V> {
             return Vec::new();
         }
         self.trace_mode_edge();
+        self.trace_fd_edges();
         let mut fx = Effects::new();
 
         if self.recovering && self.membership.n() == 1 {

@@ -104,6 +104,10 @@ enum Pending<M> {
         /// (destination down) can be traced with the same detail as a
         /// transmit-time drop.
         bytes: u64,
+        /// Transmission id stamped at send time; pairs the delivery (or
+        /// drop) trace record with its `MsgSent`. Duplicate copies of
+        /// one send share the id.
+        xid: u64,
     },
     Timer {
         node: NodeId,
@@ -163,6 +167,9 @@ pub struct Engine<M> {
     writes_failed: u64,
     torn_writes: u64,
     dispatched: u64,
+    /// Next transmission id. Advances on every send attempt, traced or
+    /// not, so a run's xids are identical with tracing on or off.
+    next_xid: u64,
     rng: StdRng,
     default_msg_bytes: u64,
     tracer: Tracer,
@@ -186,6 +193,7 @@ impl<M: std::fmt::Debug> Engine<M> {
             writes_failed: 0,
             torn_writes: 0,
             dispatched: 0,
+            next_xid: 0,
             rng: StdRng::seed_from_u64(seed),
             default_msg_bytes: 512,
             tracer: Tracer::disabled(),
@@ -217,6 +225,15 @@ impl<M: std::fmt::Debug> Engine<M> {
     #[inline]
     pub fn trace_enabled(&self) -> bool {
         self.tracer.enabled()
+    }
+
+    /// Whether any trace sink is live — full record capture *or* the
+    /// bounded flight ring. Drivers that build events for [`Engine::trace`]
+    /// should gate on this, not [`Engine::trace_enabled`], so the flight
+    /// recorder sees protocol events too.
+    #[inline]
+    pub fn trace_active(&self) -> bool {
+        self.tracer.active()
     }
 
     /// Records `event` against `node`, stamped with the current
@@ -286,22 +303,38 @@ impl<M: std::fmt::Debug> Engine<M> {
     /// Silently does nothing if `from` is down (a dead process sends no
     /// messages). The message may be dropped by the network model, or
     /// duplicated when a [`crate::LinkFault`] is installed on the link.
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M)
+    /// Returns the transmission id stamped on the send's trace records.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> u64
     where
         M: Clone,
     {
-        self.send_sized(from, to, payload, self.default_msg_bytes);
+        self.send_sized(from, to, payload, self.default_msg_bytes)
     }
 
     /// Sends with an explicit wire size in bytes (drives serialization
     /// latency; large state-transfer messages should use this).
-    pub fn send_sized(&mut self, from: NodeId, to: NodeId, payload: M, bytes: u64)
+    ///
+    /// Returns the transmission id: every call burns a fresh id (even
+    /// for a down sender, so ids are trace-independent), and the id
+    /// joins the `MsgSent` record with the matching `MsgRecv`,
+    /// `MsgDropped` or `MsgDuplicated` records of the same transmission.
+    pub fn send_sized(&mut self, from: NodeId, to: NodeId, payload: M, bytes: u64) -> u64
     where
         M: Clone,
     {
+        let xid = self.next_xid;
+        self.next_xid += 1;
         if !self.is_up(from) {
-            return;
+            return xid;
         }
+        self.trace(
+            from,
+            TraceEvent::MsgSent {
+                xid,
+                to: to.index() as u32,
+                bytes,
+            },
+        );
         match self.net.transmit(&mut self.rng, from, to, bytes) {
             Transmission::Deliver(delay) => {
                 let at = self.now + delay;
@@ -312,6 +345,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                         to,
                         payload,
                         bytes,
+                        xid,
                     },
                 );
             }
@@ -325,6 +359,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                         to,
                         payload: payload.clone(),
                         bytes,
+                        xid,
                     },
                 );
                 self.push(
@@ -334,11 +369,13 @@ impl<M: std::fmt::Debug> Engine<M> {
                         to,
                         payload,
                         bytes,
+                        xid,
                     },
                 );
                 self.trace(
                     from,
                     TraceEvent::MsgDuplicated {
+                        xid,
                         to: to.index() as u32,
                     },
                 );
@@ -347,6 +384,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                 self.trace(
                     from,
                     TraceEvent::MsgDropped {
+                        xid,
                         to: to.index() as u32,
                         bytes,
                         reason: reason.tag(),
@@ -354,6 +392,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                 );
             }
         }
+        xid
     }
 
     /// Sets a timer for the *current incarnation* of `node`; it fires as
@@ -597,9 +636,18 @@ impl<M: std::fmt::Debug> Engine<M> {
                     to,
                     payload,
                     bytes,
+                    xid,
                 } => {
                     if self.is_up(to) {
                         self.dispatched += 1;
+                        self.trace(
+                            to,
+                            TraceEvent::MsgRecv {
+                                xid,
+                                from: from.index() as u32,
+                                bytes,
+                            },
+                        );
                         return Some((self.now, Event::Message { from, to, payload }));
                     }
                     // The message reached a dead process: account for it
@@ -609,6 +657,7 @@ impl<M: std::fmt::Debug> Engine<M> {
                     self.trace(
                         from,
                         TraceEvent::MsgDropped {
+                            xid,
                             to: to.index() as u32,
                             bytes,
                             reason: DropReason::DestDown.tag(),

@@ -54,7 +54,7 @@ fn apply_effects(
     for e in effects {
         match e {
             MwEffect::Send { to, msg, bytes } => {
-                engine.send_sized(NodeId(node), NodeId(to.index()), msg, bytes)
+                engine.send_sized(NodeId(node), NodeId(to.index()), msg, bytes);
             }
             MwEffect::DiskWrite { op, token, .. } => engine.disk_write(NodeId(node), op, token),
             MwEffect::DiskRead { key, token } => engine.disk_read(NodeId(node), &key, token),

@@ -32,7 +32,16 @@ with::
 
     cargo run --release -p bench --bin exp_batching -- --gate --json /tmp/batching.json
     cargo run --release -p bench --bin exp_reconfig -- --gate --json /tmp/reconfig.json
-    scripts/merge_gate_json.py BENCH_baseline.json /tmp/batching.json /tmp/reconfig.json
+    cargo run --release -p bench --bin exp_reconfig -- --scenarios crash --quiet --trace /tmp/causal.jsonl
+    cargo run --release -p bench --bin exp_causal -- /tmp/causal.jsonl --gate --quiet --json /tmp/causal.json
+    scripts/merge_gate_json.py BENCH_baseline.json /tmp/batching.json /tmp/reconfig.json /tmp/causal.json
+
+Points produced by ``exp_causal --json`` carry no throughput numbers;
+instead their ``causal_quorum_decide_mean_us`` (mean flush→decide
+latency over every reconstructed critical path) gates the distributed
+consensus round-trip, with ``causal_paths`` and ``blame_disk_fsync_us``
+asserting the causal DAG keeps reconstructing and the synchronous log
+write stays visible on the critical path.
 
 Stdlib only; no third-party imports.
 """
@@ -53,6 +62,11 @@ RAMP_TOLERANCE = 0.15
 # relative: completion is quantised by the driver's epoch poll, so a
 # healthy baseline is a few hundred ms and a ratio would be noise.
 RECONFIG_SLACK_US = 2_000_000
+# Mean quorum-decide (flush→decide) latency from the causal profile may
+# rise this much over baseline before the gate trips. Simulated time,
+# deterministic — the slack absorbs intentional wire-format drift, not
+# host noise.
+CAUSAL_TOLERANCE = 0.15
 # Host-timing tolerances: engine events/sec may fall to half the
 # baseline, wall clock may stretch to 3x, before the gate trips. Loose
 # on purpose — CI runners vary; these exist to catch the hot path
@@ -115,17 +129,51 @@ def main(argv):
         if cur is None:
             failures.append(f"{label}: missing from current run")
             continue
-        base_ups = field(base, "updates_per_sec", argv[1])
-        cur_ups = field(cur, "updates_per_sec", current_name)
-        ratio = cur_ups / base_ups if base_ups else float("inf")
-        print(f"{label:<24} {base_ups:>10.1f} {cur_ups:>10.1f} {ratio:>6.2f}x")
-        if cur_ups < base_ups * (1.0 - REGRESSION_TOLERANCE):
-            failures.append(
-                f"{label}: {cur_ups:.1f} upd/s is more than "
-                f"{REGRESSION_TOLERANCE:.0%} below baseline {base_ups:.1f}"
-            )
+        # Throughput: skipped for points that never carried it (the
+        # causal-profile points gate latency, not updates/sec).
+        base_ups = base.get("updates_per_sec")
+        if isinstance(base_ups, (int, float)):
+            cur_ups = field(cur, "updates_per_sec", current_name)
+            ratio = cur_ups / base_ups if base_ups else float("inf")
+            print(f"{label:<24} {base_ups:>10.1f} {cur_ups:>10.1f} {ratio:>6.2f}x")
+            if cur_ups < base_ups * (1.0 - REGRESSION_TOLERANCE):
+                failures.append(
+                    f"{label}: {cur_ups:.1f} upd/s is more than "
+                    f"{REGRESSION_TOLERANCE:.0%} below baseline {base_ups:.1f}"
+                )
         if cur.get("audit_violations", 0) != 0:
             failures.append(f"{label}: {cur['audit_violations']} audit violations")
+
+        # Causal blame: a baseline that profiled the distributed quorum
+        # round-trip pins it. The causal DAG must keep reconstructing
+        # paths, the synchronous log write must stay on the critical
+        # path, and the mean flush→decide latency must hold.
+        base_qd = base.get("causal_quorum_decide_mean_us")
+        if isinstance(base_qd, (int, float)) and base_qd > 0:
+            cur_qd = cur.get("causal_quorum_decide_mean_us")
+            if not isinstance(cur_qd, (int, float)) or cur_qd <= 0:
+                failures.append(
+                    f"{label}: baseline has causal_quorum_decide_mean_us "
+                    f"but current run reports {cur_qd!r}"
+                )
+                continue
+            print(
+                f"{label + ' qdecide(ms)':<24} {base_qd / 1e3:>10.2f} "
+                f"{cur_qd / 1e3:>10.2f} {cur_qd / base_qd:>6.2f}x"
+            )
+            if cur_qd > base_qd * (1.0 + CAUSAL_TOLERANCE):
+                failures.append(
+                    f"{label}: mean quorum decide {cur_qd / 1e3:.2f}ms is "
+                    f"more than {CAUSAL_TOLERANCE:.0%} over baseline "
+                    f"{base_qd / 1e3:.2f}ms"
+                )
+            if cur.get("causal_paths", 0) <= 0:
+                failures.append(f"{label}: no causal paths reconstructed")
+            if cur.get("blame_disk_fsync_us", 0) <= 0:
+                failures.append(
+                    f"{label}: zero disk-fsync blame — the synchronous "
+                    f"log write left the critical path"
+                )
 
         # Host timing: only when the committed baseline carries the
         # fields (older baselines predate them), and loosely — these
