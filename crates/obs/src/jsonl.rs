@@ -229,7 +229,9 @@ pub fn decode_runs_counting(text: &str) -> Result<(Vec<Run>, u64), String> {
                 if runs.is_empty() {
                     runs.push((String::new(), Vec::new()));
                 }
-                runs.last_mut().expect("pushed").1.push(rec);
+                if let Some(run) = runs.last_mut() {
+                    run.1.push(rec);
+                }
             }
         }
     }

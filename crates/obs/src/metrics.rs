@@ -54,7 +54,9 @@ impl Hist {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         let idx = (64 - (v + 1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[idx] += 1;
+        if let Some(b) = self.buckets.get_mut(idx) {
+            *b += 1;
+        }
     }
 
     /// Number of samples recorded.

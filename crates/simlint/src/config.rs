@@ -1,4 +1,15 @@
-//! Waiver configuration: `simlint.toml` and inline allow comments.
+//! Configuration: root declarations, `simlint.toml` waivers, and inline
+//! allow comments.
+//!
+//! The `[roots]` table declares the workspace entry points the
+//! transitive rules traverse from (see [`crate::reach`] for pattern
+//! syntax):
+//!
+//! ```toml
+//! [roots]
+//! sim      = ["Engine::dispatch", "Middleware::on_tick"]
+//! protocol = ["Replica::on_message", "decode_*"]
+//! ```
 //!
 //! Two waiver channels, both requiring a written justification:
 //!
@@ -8,7 +19,7 @@
 //!
 //!    ```toml
 //!    [[waiver]]
-//!    rule = "wall-clock"
+//!    rule = "sim-taint"
 //!    path = "crates/core/src/runtime.rs"   # whole file …
 //!    line = 295                            # … or one line (optional)
 //!    reason = "LocalCluster is the real-thread runtime, not sim-reachable"
@@ -16,7 +27,8 @@
 //!
 //! Waivers that no longer match any diagnostic are *stale* and are
 //! themselves reported as errors, so the allowlist can only shrink as
-//! code is fixed — it cannot silently rot.
+//! code is fixed — it cannot silently rot. Root patterns that match no
+//! workspace function are reported the same way.
 
 use crate::lexer::Comment;
 
@@ -39,11 +51,33 @@ pub struct ConfigError {
     pub message: String,
 }
 
-/// Parses the minimal TOML subset used by `simlint.toml`: `[[waiver]]`
-/// tables with `key = "string"` / `key = integer` pairs and `#` comments.
-pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
-    let mut waivers: Vec<Waiver> = Vec::new();
+/// Full parsed `simlint.toml`.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub waivers: Vec<Waiver>,
+    /// `[roots] sim = […]`: entry points of simulated execution
+    /// (determinism wall — `sim-taint`).
+    pub sim_roots: Vec<String>,
+    /// `[roots] protocol = […]`: protocol step / codec entry points
+    /// (panic wall — `panic-taint`).
+    pub protocol_roots: Vec<String>,
+}
+
+/// Parses the minimal TOML subset used by `simlint.toml`: a `[roots]`
+/// table with string-array values (multi-line arrays supported) and
+/// `[[waiver]]` tables with `key = "string"` / `key = integer` pairs;
+/// `#` comments anywhere.
+pub fn parse_config(src: &str) -> Result<Config, ConfigError> {
+    enum Section {
+        None,
+        Waiver,
+        Roots,
+    }
+    let mut cfg = Config::default();
+    let mut section = Section::None;
     let mut current: Option<Waiver> = None;
+    // Multi-line array accumulation for [roots] keys.
+    let mut pending: Option<(String, String, u32)> = None; // (key, text, line)
 
     for (idx, raw) in src.lines().enumerate() {
         let lineno = idx as u32 + 1;
@@ -51,10 +85,21 @@ pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        if let Some((key, text, decl)) = pending.as_mut() {
+            let chunk = strip_comment(line);
+            text.push_str(&chunk);
+            if chunk.contains(']') {
+                let (key, text, decl) = (key.clone(), text.clone(), *decl);
+                pending = None;
+                set_root_key(&mut cfg, &key, &text, decl)?;
+            }
+            continue;
+        }
         if line == "[[waiver]]" {
             if let Some(w) = current.take() {
-                finish(w, &mut waivers)?;
+                finish(w, &mut cfg.waivers)?;
             }
+            section = Section::Waiver;
             current = Some(Waiver {
                 rule: String::new(),
                 path: String::new(),
@@ -64,10 +109,17 @@ pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
             });
             continue;
         }
+        if line == "[roots]" {
+            if let Some(w) = current.take() {
+                finish(w, &mut cfg.waivers)?;
+            }
+            section = Section::Roots;
+            continue;
+        }
         if line.starts_with('[') {
             return Err(ConfigError {
                 line: lineno,
-                message: format!("unknown table {line}; only [[waiver]] is supported"),
+                message: format!("unknown table {line}; only [roots] and [[waiver]] are supported"),
             });
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -76,37 +128,98 @@ pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
                 message: format!("expected `key = value`, got {line:?}"),
             });
         };
-        let Some(w) = current.as_mut() else {
-            return Err(ConfigError {
-                line: lineno,
-                message: "key outside a [[waiver]] table".into(),
-            });
-        };
         let key = key.trim();
         // Strip trailing same-line comments outside strings.
         let value = strip_comment(value.trim());
-        match key {
-            "rule" => w.rule = unquote(&value, lineno)?,
-            "path" => w.path = unquote(&value, lineno)?,
-            "reason" => w.reason = unquote(&value, lineno)?,
-            "line" => {
-                w.line = Some(value.parse().map_err(|_| ConfigError {
-                    line: lineno,
-                    message: format!("line must be an integer, got {value:?}"),
-                })?)
+        match section {
+            Section::Roots => {
+                if !value.starts_with('[') {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("[roots] {key} must be a string array, got {value:?}"),
+                    });
+                }
+                if value.contains(']') {
+                    set_root_key(&mut cfg, key, &value, lineno)?;
+                } else {
+                    pending = Some((key.to_string(), value, lineno));
+                }
             }
-            other => {
+            Section::Waiver => {
+                let w = current.as_mut().expect("waiver section implies a table");
+                match key {
+                    "rule" => w.rule = unquote(&value, lineno)?,
+                    "path" => w.path = unquote(&value, lineno)?,
+                    "reason" => w.reason = unquote(&value, lineno)?,
+                    "line" => {
+                        w.line = Some(value.parse().map_err(|_| ConfigError {
+                            line: lineno,
+                            message: format!("line must be an integer, got {value:?}"),
+                        })?)
+                    }
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown waiver key {other:?}"),
+                        })
+                    }
+                }
+            }
+            Section::None => {
                 return Err(ConfigError {
                     line: lineno,
-                    message: format!("unknown waiver key {other:?}"),
-                })
+                    message: "key outside a [roots] or [[waiver]] table".into(),
+                });
             }
         }
     }
-    if let Some(w) = current.take() {
-        finish(w, &mut waivers)?;
+    if let Some((key, _, decl)) = pending {
+        return Err(ConfigError {
+            line: decl,
+            message: format!("unterminated array for [roots] {key}"),
+        });
     }
-    Ok(waivers)
+    if let Some(w) = current.take() {
+        finish(w, &mut cfg.waivers)?;
+    }
+    Ok(cfg)
+}
+
+/// Splits an accumulated `[ "a", "b" ]` array body into unquoted
+/// strings and stores it under the `[roots]` key.
+fn set_root_key(cfg: &mut Config, key: &str, text: &str, lineno: u32) -> Result<(), ConfigError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("[roots] {key} must be a `[ … ]` array"),
+        })?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        items.push(unquote(part, lineno)?);
+    }
+    match key {
+        "sim" => cfg.sim_roots = items,
+        "protocol" => cfg.protocol_roots = items,
+        other => {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown [roots] key {other:?} (expected `sim` or `protocol`)"),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Back-compat helper: parses just the waivers.
+pub fn parse_waivers(src: &str) -> Result<Vec<Waiver>, ConfigError> {
+    parse_config(src).map(|c| c.waivers)
 }
 
 fn finish(w: Waiver, out: &mut Vec<Waiver>) -> Result<(), ConfigError> {
@@ -242,6 +355,36 @@ reason = "cache keyed by params; never iterated"
         assert_eq!(ws[0].rule, "wall-clock");
         assert_eq!(ws[0].line, None);
         assert_eq!(ws[1].line, Some(328));
+    }
+
+    #[test]
+    fn parses_roots_single_and_multi_line() {
+        let src = r#"
+[roots]
+sim = ["Engine::dispatch", "Middleware::on_tick"]  # inline
+protocol = [
+    "Replica::on_message",
+    "decode_*",  # codec glob
+]
+
+[[waiver]]
+rule = "state-growth"
+path = "crates/core/src/log.rs"
+reason = "compacted by snapshot task"
+"#;
+        let cfg = parse_config(src).unwrap();
+        assert_eq!(
+            cfg.sim_roots,
+            vec!["Engine::dispatch", "Middleware::on_tick"]
+        );
+        assert_eq!(cfg.protocol_roots, vec!["Replica::on_message", "decode_*"]);
+        assert_eq!(cfg.waivers.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_roots_key_and_unterminated_array() {
+        assert!(parse_config("[roots]\nfoo = [\"x\"]\n").is_err());
+        assert!(parse_config("[roots]\nsim = [\n\"x\",\n").is_err());
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct Diagnostic {
     pub snippet: String,
     /// Per-rule fix guidance.
     pub help: &'static str,
+    /// For transitive rules: the provenance chain from a declared root
+    /// down to this finding (`label (path:line)` per hop, root first).
+    /// Empty for file-scoped rules.
+    pub chain: Vec<String>,
 }
 
 /// Renders one diagnostic in rustc style.
@@ -34,6 +38,15 @@ pub fn render(d: &Diagnostic) -> String {
         .map(|c| if c == '\t' { '\t' } else { ' ' })
         .collect::<String>();
     let _ = writeln!(s, "{:g$} | {}^", "", caret_pad, g = gutter);
+    if !d.chain.is_empty() {
+        let _ = writeln!(
+            s,
+            "{:g$} = note: reachable via {}",
+            "",
+            d.chain.join(" → "),
+            g = gutter
+        );
+    }
     let _ = writeln!(s, "{:g$} = help: {}", "", d.help, g = gutter);
     s
 }
@@ -57,10 +70,17 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Serializes one diagnostic as a JSON object.
+/// Serializes one diagnostic as a JSON object (schema v2: includes the
+/// `chain` provenance array, empty for file-scoped rules).
 pub fn to_json(d: &Diagnostic) -> String {
+    let chain = d
+        .chain
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"help\":\"{}\"}}",
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"snippet\":\"{}\",\"help\":\"{}\",\"chain\":[{}]}}",
         json_escape(d.rule),
         json_escape(&d.path),
         d.line,
@@ -68,6 +88,7 @@ pub fn to_json(d: &Diagnostic) -> String {
         json_escape(&d.message),
         json_escape(d.snippet.trim_end()),
         json_escape(d.help),
+        chain,
     )
 }
 
@@ -84,6 +105,7 @@ mod tests {
             message: "std::collections::HashMap in sim-visible crate `x`".into(),
             snippet: "    HashMap::new()".into(),
             help: "use BTreeMap",
+            chain: Vec::new(),
         }
     }
 
@@ -93,6 +115,23 @@ mod tests {
         assert!(r.contains("error[simlint::hash-order]"));
         assert!(r.contains("--> crates/x/src/lib.rs:7:5"));
         assert!(r.contains("help: use BTreeMap"));
+        assert!(!r.contains("reachable via"));
+    }
+
+    #[test]
+    fn render_and_json_carry_chain() {
+        let mut d = sample();
+        d.chain = vec![
+            "Replica::on_message (crates/paxos/src/replica.rs:470)".into(),
+            "Replica::advance (crates/paxos/src/replica.rs:500)".into(),
+        ];
+        let r = render(&d);
+        assert!(r.contains(
+            "note: reachable via Replica::on_message (crates/paxos/src/replica.rs:470) \
+             → Replica::advance (crates/paxos/src/replica.rs:500)"
+        ));
+        let j = to_json(&d);
+        assert!(j.contains("\"chain\":[\"Replica::on_message"));
     }
 
     #[test]

@@ -1,0 +1,771 @@
+//! Item extraction: a dependency-free structural pass layered on the
+//! lexer.
+//!
+//! The transitive rules (sim-taint, panic-taint, state-growth,
+//! float-state, lossy-cast) need to know *which function* a token
+//! belongs to and *which functions it calls* — not just which file.
+//! This module extracts `fn`, `impl`, `mod`, `struct`, and `use` items
+//! from the token stream with exact body token ranges, plus the call
+//! sites inside each body, so [`crate::graph`] can assemble a workspace
+//! call graph.
+//!
+//! The parser is deliberately heuristic: no type checking, no macro
+//! expansion. Ambiguity is resolved *conservatively over-approximating*
+//! at the graph layer (a method call links to every workspace function
+//! of that name when the receiver type is unknown). Function bodies
+//! found inside `macro_rules!` templates are parsed like ordinary code:
+//! the template *is* the code of every expansion, so scanning it keeps
+//! macro-generated protocol paths (e.g. the wire codec impls) inside
+//! the lint wall.
+
+use crate::lexer::{in_spans, match_brace, Token};
+
+/// One function item (free function, inherent/trait method, or default
+/// trait method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The `impl`/`trait` target type name, when inside one.
+    pub self_ty: Option<String>,
+    /// Nested in-file module path (`mod a { mod b { … } }` → `["a","b"]`).
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range `(open, close)` of the body braces, inclusive
+    /// of both brace tokens; `None` for brace-less trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` span.
+    pub is_test: bool,
+}
+
+/// One struct field.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name (`"0"`, `"1"`, … for tuple structs).
+    pub name: String,
+    /// All identifiers appearing in the field's type, in order
+    /// (`BTreeMap<Slot, Vec<u8>>` → `["BTreeMap","Slot","Vec","u8"]`).
+    pub ty_idents: Vec<String>,
+    pub line: u32,
+}
+
+/// One struct item with its fields.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub fields: Vec<FieldItem>,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// One `use` declaration leaf: `use a::b::{C, d};` yields leaves `C`
+/// and `d` with prefix `["a","b"]`.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    pub leaf: String,
+    pub prefix: Vec<String>,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub uses: Vec<UseItem>,
+}
+
+/// The receiver shape of a method call, used for heuristic resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.method(…)` — resolve within the enclosing impl type first.
+    SelfDirect,
+    /// `self.field.method(…)` — resolve via the field's declared type.
+    SelfField(String),
+    /// Anything else (`expr.method(…)`) — resolve by name workspace-wide.
+    Other,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub enum Call {
+    /// `recv.name(…)`
+    Method { recv: Recv, name: String, line: u32 },
+    /// `qual::name(…)` (`qual` is the last path segment before the
+    /// name, `None` for bare `name(…)` calls).
+    Path {
+        qual: Option<String>,
+        name: String,
+        line: u32,
+    },
+}
+
+impl Call {
+    /// The callee name.
+    pub fn name(&self) -> &str {
+        match self {
+            Call::Method { name, .. } | Call::Path { name, .. } => name,
+        }
+    }
+
+    /// The call site line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Call::Method { line, .. } | Call::Path { line, .. } => *line,
+        }
+    }
+}
+
+/// Parses the items of one lexed file. `spans` are the test spans from
+/// [`crate::lexer::test_spans`], used to mark test-only items.
+pub fn parse_items(tokens: &[Token], spans: &[(u32, u32)]) -> FileItems {
+    let mut out = FileItems::default();
+    let mut module = Vec::new();
+    parse_region(tokens, 0, tokens.len(), &mut module, None, spans, &mut out);
+    out
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens.get(i).and_then(|t| t.ident())
+}
+
+fn is_punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(p))
+}
+
+/// Scans `lo..hi` for items; recurses into `mod`/`impl`/`trait` bodies.
+#[allow(clippy::too_many_arguments)]
+fn parse_region(
+    tokens: &[Token],
+    lo: usize,
+    hi: usize,
+    module: &mut Vec<String>,
+    self_ty: Option<&str>,
+    spans: &[(u32, u32)],
+    out: &mut FileItems,
+) {
+    let mut i = lo;
+    while i < hi {
+        let Some(id) = ident_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        match id {
+            "mod" => {
+                let Some(name) = ident_at(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if is_punct_at(tokens, i + 2, "{") {
+                    let end = match_brace(tokens, i + 2).min(hi.saturating_sub(1));
+                    module.push(name.to_string());
+                    parse_region(tokens, i + 3, end, module, None, spans, out);
+                    module.pop();
+                    i = end + 1;
+                } else {
+                    // `mod name;` — out-of-line module, nothing here.
+                    i += 2;
+                }
+            }
+            "impl" | "trait" => {
+                let is_trait = id == "trait";
+                // Scan the header up to `{` (or `;` for `trait X;`-like
+                // degenerate input), collecting depth-0 path idents and
+                // noting a top-level `for` (trait impls).
+                let mut j = i + 1;
+                let mut angle: i32 = 0;
+                let mut before_for: Vec<&str> = Vec::new();
+                let mut after_for: Vec<&str> = Vec::new();
+                let mut saw_for = false;
+                let mut saw_where = false;
+                while j < hi && !is_punct_at(tokens, j, "{") && !is_punct_at(tokens, j, ";") {
+                    let t = &tokens[j];
+                    if t.is_punct("<") {
+                        angle += 1;
+                    } else if t.is_punct(">") {
+                        angle -= 1;
+                    } else if t.is_punct(">>") {
+                        angle -= 2;
+                    } else if let Some(w) = t.ident() {
+                        if angle <= 0 {
+                            match w {
+                                "for" => saw_for = true,
+                                "where" => saw_where = true,
+                                _ if !saw_where => {
+                                    if saw_for {
+                                        after_for.push(w);
+                                    } else {
+                                        before_for.push(w);
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                let target = if saw_for {
+                    after_for.last().copied()
+                } else if is_trait {
+                    before_for.first().copied()
+                } else {
+                    before_for.last().copied()
+                };
+                if j < hi && is_punct_at(tokens, j, "{") {
+                    let end = match_brace(tokens, j).min(hi.saturating_sub(1));
+                    parse_region(tokens, j + 1, end, module, target, spans, out);
+                    i = end + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" => {
+                let Some(name) = ident_at(tokens, i + 1) else {
+                    // `fn(u8) -> u8` function-pointer type, not an item.
+                    i += 1;
+                    continue;
+                };
+                let line = tokens[i].line;
+                // Scan past the signature for the body `{` or a
+                // terminating `;`, tracking paren depth so default
+                // arguments never confuse the search (none exist in
+                // Rust, but `where` bounds with parens do).
+                let mut j = i + 2;
+                let mut paren: i32 = 0;
+                let mut body = None;
+                while j < hi {
+                    let t = &tokens[j];
+                    if t.is_punct("(") {
+                        paren += 1;
+                    } else if t.is_punct(")") {
+                        paren -= 1;
+                    } else if paren == 0 && t.is_punct("{") {
+                        let end = match_brace(tokens, j).min(hi.saturating_sub(1));
+                        body = Some((j, end));
+                        break;
+                    } else if paren == 0 && t.is_punct(";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.fns.push(FnItem {
+                    name: name.to_string(),
+                    self_ty: self_ty.map(str::to_string),
+                    module: module.clone(),
+                    line,
+                    body,
+                    is_test: in_spans(spans, line),
+                });
+                i = match body {
+                    Some((_, end)) => end + 1,
+                    None => j + 1,
+                };
+            }
+            "struct" => {
+                let Some(name) = ident_at(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let line = tokens[i].line;
+                let is_test = in_spans(spans, line);
+                // Skip generics / where clause to `{`, `(`, or `;`.
+                let mut j = i + 2;
+                while j < hi
+                    && !is_punct_at(tokens, j, "{")
+                    && !is_punct_at(tokens, j, "(")
+                    && !is_punct_at(tokens, j, ";")
+                {
+                    j += 1;
+                }
+                let mut fields = Vec::new();
+                if j < hi && is_punct_at(tokens, j, "{") {
+                    let end = match_brace(tokens, j).min(hi.saturating_sub(1));
+                    parse_named_fields(tokens, j + 1, end, &mut fields);
+                    i = end + 1;
+                } else if j < hi && is_punct_at(tokens, j, "(") {
+                    let end = match_paren(tokens, j).min(hi.saturating_sub(1));
+                    parse_tuple_fields(tokens, j + 1, end, &mut fields);
+                    i = end + 1;
+                } else {
+                    i = j + 1;
+                }
+                out.structs.push(StructItem {
+                    name: name.to_string(),
+                    fields,
+                    line,
+                    is_test,
+                });
+            }
+            "enum" | "union" => {
+                // Skip the body; variants hold no tracked state fields.
+                let mut j = i + 1;
+                while j < hi && !is_punct_at(tokens, j, "{") && !is_punct_at(tokens, j, ";") {
+                    j += 1;
+                }
+                if j < hi && is_punct_at(tokens, j, "{") {
+                    i = match_brace(tokens, j).min(hi.saturating_sub(1)) + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "use" => {
+                let mut j = i + 1;
+                let mut prefix: Vec<String> = Vec::new();
+                let mut group: Vec<String> = Vec::new();
+                let mut last: Option<String> = None;
+                while j < hi && !is_punct_at(tokens, j, ";") {
+                    let t = &tokens[j];
+                    if let Some(w) = t.ident() {
+                        last = Some(w.to_string());
+                    } else if t.is_punct("::") {
+                        if let Some(l) = last.take() {
+                            prefix.push(l);
+                        }
+                    } else if t.is_punct("{") || t.is_punct(",") || t.is_punct("}") {
+                        if let Some(l) = last.take() {
+                            group.push(l);
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(l) = last.take() {
+                    group.push(l);
+                }
+                for leaf in group {
+                    if leaf != "self" && leaf != "*" {
+                        out.uses.push(UseItem {
+                            leaf,
+                            prefix: prefix.clone(),
+                        });
+                    }
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut d = 0i64;
+    for (n, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            d += 1;
+        } else if t.is_punct(")") {
+            d -= 1;
+            if d == 0 {
+                return n;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Parses `name: Type` fields between `lo..hi` (inside struct braces).
+fn parse_named_fields(tokens: &[Token], lo: usize, hi: usize, out: &mut Vec<FieldItem>) {
+    let mut i = lo;
+    while i < hi {
+        // Skip attributes.
+        if is_punct_at(tokens, i, "#") && is_punct_at(tokens, i + 1, "[") {
+            let mut d = 0;
+            let mut j = i + 1;
+            while j < hi {
+                if tokens[j].is_punct("[") {
+                    d += 1;
+                } else if tokens[j].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        // Skip visibility.
+        if ident_at(tokens, i) == Some("pub") {
+            i += 1;
+            if is_punct_at(tokens, i, "(") {
+                i = match_paren(tokens, i).min(hi) + 1;
+            }
+            continue;
+        }
+        let (Some(name), true) = (ident_at(tokens, i), is_punct_at(tokens, i + 1, ":")) else {
+            i += 1;
+            continue;
+        };
+        let line = tokens[i].line;
+        // Collect type idents up to the field-separating `,` at angle
+        // depth 0 (generic argument commas sit at depth > 0).
+        let mut j = i + 2;
+        let mut angle: i32 = 0;
+        let mut ty_idents = Vec::new();
+        while j < hi {
+            let t = &tokens[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if t.is_punct(">>") {
+                angle -= 2;
+            } else if t.is_punct(",") && angle <= 0 {
+                break;
+            } else if let Some(w) = t.ident() {
+                ty_idents.push(w.to_string());
+            }
+            j += 1;
+        }
+        out.push(FieldItem {
+            name: name.to_string(),
+            ty_idents,
+            line,
+        });
+        i = j + 1;
+    }
+}
+
+/// Parses tuple-struct fields between `lo..hi` (inside parens); fields
+/// are named by position (`"0"`, `"1"`, …).
+fn parse_tuple_fields(tokens: &[Token], lo: usize, hi: usize, out: &mut Vec<FieldItem>) {
+    let mut i = lo;
+    let mut idx = 0usize;
+    let mut angle: i32 = 0;
+    let mut paren: i32 = 0;
+    let mut ty_idents: Vec<String> = Vec::new();
+    let mut line = tokens.get(lo).map_or(0, |t| t.line);
+    while i < hi {
+        let t = &tokens[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if t.is_punct("(") {
+            paren += 1;
+        } else if t.is_punct(")") {
+            paren -= 1;
+        } else if t.is_punct(",") && angle <= 0 && paren <= 0 {
+            out.push(FieldItem {
+                name: idx.to_string(),
+                ty_idents: std::mem::take(&mut ty_idents),
+                line,
+            });
+            idx += 1;
+            line = tokens.get(i + 1).map_or(line, |t| t.line);
+        } else if let Some(w) = t.ident() {
+            if w != "pub" {
+                ty_idents.push(w.to_string());
+            }
+        }
+        i += 1;
+    }
+    if !ty_idents.is_empty() {
+        out.push(FieldItem {
+            name: idx.to_string(),
+            ty_idents,
+            line,
+        });
+    }
+}
+
+/// Extracts every call site in the body token range `(open, close)`.
+pub fn extract_calls(tokens: &[Token], body: (usize, usize)) -> Vec<Call> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i <= close && i < tokens.len() {
+        let Some(name) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if is_keywordish(name) {
+            i += 1;
+            continue;
+        }
+        // `name(`, or `name::<…>(` (turbofish).
+        let mut call_paren = None;
+        if is_punct_at(tokens, i + 1, "(") {
+            call_paren = Some(i + 1);
+        } else if is_punct_at(tokens, i + 1, "::") && is_punct_at(tokens, i + 2, "<") {
+            // Find the matching `>` of the turbofish.
+            let mut d: i32 = 0;
+            let mut j = i + 2;
+            while j <= close && j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    d += 1;
+                } else if t.is_punct(">") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                } else if t.is_punct(">>") {
+                    d -= 2;
+                    if d <= 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if is_punct_at(tokens, j + 1, "(") {
+                call_paren = Some(j + 1);
+            }
+        }
+        let Some(_paren) = call_paren else {
+            i += 1;
+            continue;
+        };
+        let line = tokens[i].line;
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let call = match prev {
+            Some(p) if p.is_punct(".") => {
+                // Method call: classify the receiver.
+                let recv = if i >= 2 && ident_at(tokens, i - 2) == Some("self") {
+                    Recv::SelfDirect
+                } else if i >= 4
+                    && is_punct_at(tokens, i - 3, ".")
+                    && ident_at(tokens, i - 4) == Some("self")
+                {
+                    match ident_at(tokens, i - 2) {
+                        Some(field) => Recv::SelfField(field.to_string()),
+                        None => Recv::Other,
+                    }
+                } else {
+                    Recv::Other
+                };
+                Some(Call::Method {
+                    recv,
+                    name: name.to_string(),
+                    line,
+                })
+            }
+            Some(p) if p.is_punct("::") => {
+                let qual = i
+                    .checked_sub(2)
+                    .and_then(|q| ident_at(tokens, q))
+                    .map(str::to_string);
+                Some(Call::Path {
+                    qual,
+                    name: name.to_string(),
+                    line,
+                })
+            }
+            Some(p) if p.ident() == Some("fn") => None, // nested fn def
+            _ => Some(Call::Path {
+                qual: None,
+                name: name.to_string(),
+                line,
+            }),
+        };
+        if let Some(c) = call {
+            out.push(c);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Keywords and common builtins that look like calls but are not
+/// workspace function calls worth resolving.
+fn is_keywordish(id: &str) -> bool {
+    matches!(
+        id,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "let"
+            | "mut"
+            | "fn"
+            | "in"
+            | "for"
+            | "while"
+            | "loop"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+            | "impl"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "ref"
+            | "move"
+            | "unsafe"
+            | "dyn"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "Box"
+            | "Vec"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_spans};
+
+    fn parse(src: &str) -> FileItems {
+        let lx = lex(src);
+        let spans = test_spans(&lx.tokens);
+        parse_items(&lx.tokens, &spans)
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = "
+pub fn free(x: u8) -> u8 { x }
+impl Replica<V> {
+    pub fn on_message(&mut self) { self.helper(); }
+    fn helper(&mut self) {}
+}
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result { write(f) }
+}
+";
+        let items = parse(src);
+        let names: Vec<(String, Option<String>)> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("on_message".into(), Some("Replica".into())),
+                ("helper".into(), Some("Replica".into())),
+                ("fmt".into(), Some("Slot".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_modules_give_module_paths() {
+        let src = "mod outer { mod inner { fn deep() {} } fn mid() {} } fn top() {}";
+        let items = parse(src);
+        let by_name = |n: &str| items.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("deep").module, vec!["outer", "inner"]);
+        assert_eq!(by_name("mid").module, vec!["outer"]);
+        assert!(by_name("top").module.is_empty());
+    }
+
+    #[test]
+    fn struct_fields_with_generic_types() {
+        let src = "
+pub struct Learner<V> {
+    decided: BTreeMap<Slot, Vec<u8>>,
+    pub score: f64,
+    count: u64,
+}
+pub struct Slot(pub u64);
+";
+        let items = parse(src);
+        assert_eq!(items.structs.len(), 2);
+        let learner = &items.structs[0];
+        assert_eq!(learner.name, "Learner");
+        assert_eq!(learner.fields.len(), 3);
+        assert_eq!(
+            learner.fields[0].ty_idents,
+            vec!["BTreeMap", "Slot", "Vec", "u8"]
+        );
+        assert_eq!(learner.fields[1].ty_idents, vec!["f64"]);
+        let slot = &items.structs[1];
+        assert_eq!(slot.fields.len(), 1);
+        assert_eq!(slot.fields[0].name, "0");
+        assert_eq!(slot.fields[0].ty_idents, vec!["u64"]);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}";
+        let items = parse(src);
+        assert!(
+            items
+                .fns
+                .iter()
+                .find(|f| f.name == "helper")
+                .unwrap()
+                .is_test
+        );
+        assert!(!items.fns.iter().find(|f| f.name == "real").unwrap().is_test);
+    }
+
+    #[test]
+    fn call_extraction_classifies_receivers() {
+        let src = "
+impl Engine {
+    fn dispatch(&mut self) {
+        self.step();
+        self.queue.push(1);
+        helper();
+        wire::decode_u64(b);
+        Slot::next(s);
+        items.iter().map(|x| x.apply()).collect::<Vec<_>>();
+    }
+}
+";
+        let items = parse(src);
+        let lx = lex(src);
+        let f = &items.fns[0];
+        let calls = extract_calls(&lx.tokens, f.body.unwrap());
+        let shapes: Vec<String> = calls
+            .iter()
+            .map(|c| match c {
+                Call::Method { recv, name, .. } => format!("m:{recv:?}:{name}"),
+                Call::Path { qual, name, .. } => {
+                    format!("p:{}:{name}", qual.clone().unwrap_or_default())
+                }
+            })
+            .collect();
+        assert!(shapes.contains(&"m:SelfDirect:step".to_string()));
+        assert!(shapes.contains(&"m:SelfField(\"queue\"):push".to_string()));
+        assert!(shapes.contains(&"p::helper".to_string()));
+        assert!(shapes.contains(&"p:wire:decode_u64".to_string()));
+        assert!(shapes.contains(&"p:Slot:next".to_string()));
+        assert!(shapes.contains(&"m:Other:apply".to_string()));
+        assert!(shapes.contains(&"m:Other:collect".to_string()));
+    }
+
+    #[test]
+    fn use_items_collect_leaves() {
+        let src = "use a::b::{C, d};\nuse x::Y;\n";
+        let items = parse(src);
+        let leaves: Vec<&str> = items.uses.iter().map(|u| u.leaf.as_str()).collect();
+        assert_eq!(leaves, vec!["C", "d", "Y"]);
+        assert_eq!(items.uses[0].prefix, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn macro_rules_templates_are_scanned_as_code() {
+        // The template is the code of every expansion: its fns must be
+        // visible so macro-generated codec impls stay inside the wall.
+        let src = "
+macro_rules! impl_wire {
+    ($t:ty) => {
+        impl Wire for $t {
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                read_u16(input)
+            }
+        }
+    };
+}
+";
+        let items = parse(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "decode");
+    }
+}

@@ -26,12 +26,14 @@ pub enum TokKind {
     Char(char),
 }
 
-/// One token with its source position (1-based line and column).
+/// One token with its source position (1-based line and column) and
+/// the byte offset of its first character in the source.
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokKind,
     pub line: u32,
     pub col: u32,
+    pub byte: u32,
 }
 
 impl Token {
@@ -81,10 +83,12 @@ pub fn lex(src: &str) -> Lexed {
     let mut i = 0usize;
     let mut line: u32 = 1;
     let mut col: u32 = 1;
+    let mut byte: u32 = 0;
 
-    // Advances over one char, tracking line/col.
+    // Advances over one char, tracking line/col/byte.
     macro_rules! bump {
         () => {{
+            byte += bytes[i].len_utf8() as u32;
             if bytes[i] == '\n' {
                 line += 1;
                 col = 1;
@@ -97,7 +101,7 @@ pub fn lex(src: &str) -> Lexed {
 
     while i < bytes.len() {
         let c = bytes[i];
-        let (tline, tcol) = (line, col);
+        let (tline, tcol, tbyte) = (line, col, byte);
 
         // Whitespace.
         if c.is_whitespace() {
@@ -185,6 +189,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Literal,
                 line: tline,
                 col: tcol,
+                byte: tbyte,
             });
             while i < j.min(bytes.len()) {
                 bump!();
@@ -210,6 +215,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Literal,
                 line: tline,
                 col: tcol,
+                byte: tbyte,
             });
             while i < j.min(bytes.len()) {
                 bump!();
@@ -254,6 +260,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Literal,
                     line: tline,
                     col: tcol,
+                    byte: tbyte,
                 });
                 while i < j.min(bytes.len()) {
                     bump!();
@@ -270,6 +277,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Lifetime,
                     line: tline,
                     col: tcol,
+                    byte: tbyte,
                 });
                 while i < j {
                     bump!();
@@ -291,6 +299,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Ident(bytes[i..j].iter().collect()),
                 line: tline,
                 col: tcol,
+                byte: tbyte,
             });
             while i < j {
                 bump!();
@@ -315,6 +324,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Number(bytes[i..j].iter().collect()),
                 line: tline,
                 col: tcol,
+                byte: tbyte,
             });
             while i < j {
                 bump!();
@@ -336,6 +346,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokKind::Punct(p),
                 line: tline,
                 col: tcol,
+                byte: tbyte,
             });
             for _ in 0..p.len() {
                 bump!();
@@ -347,6 +358,7 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokKind::Char(c),
             line: tline,
             col: tcol,
+            byte: tbyte,
         });
         bump!();
     }
@@ -376,8 +388,71 @@ fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
     bytes.get(j) == Some(&'"')
 }
 
+/// Index of the `}` matching the `{` at `open` (or the last token if the
+/// stream ends unbalanced). Tracks nested brace depth over the full token
+/// stream — strings, chars, and comments are already opaque at this layer,
+/// so every brace token is structural.
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut d = 0i64;
+    for (n, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            d += 1;
+        } else if t.is_punct("}") {
+            d -= 1;
+            if d == 0 {
+                return n;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether the attribute body tokens `start..end` (between `#[` and the
+/// matching `]`) restrict the item to test builds.
+///
+/// True for `#[test]` and for `#[cfg(...)]` conditions where `test`
+/// appears *outside* any `not(...)`. `#[cfg(not(test))]` is the exact
+/// opposite of test-only code and must NOT be exempted — the old
+/// implementation treated any `test` token under `cfg` as an exemption
+/// and silently leaked it onto code that only compiles in non-test
+/// builds.
+fn attr_is_test(tokens: &[Token], start: usize, end: usize) -> bool {
+    let first = tokens.get(start).and_then(|t| t.ident());
+    match first {
+        Some("test") => true,
+        Some("cfg") => {
+            // Walk the condition tracking parenthesis depth and the
+            // depths at which a `not(` scope opened.
+            let mut depth = 0u32;
+            let mut not_depths: Vec<u32> = Vec::new();
+            let mut k = start + 1;
+            while k < end {
+                let t = &tokens[k];
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    if not_depths.last() == Some(&depth) {
+                        not_depths.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                } else if let Some(id) = t.ident() {
+                    if id == "not" && tokens.get(k + 1).is_some_and(|n| n.is_punct("(")) {
+                        not_depths.push(depth + 1);
+                    } else if id == "test" && not_depths.is_empty() {
+                        return true;
+                    }
+                }
+                k += 1;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
 /// Line spans (inclusive) of test-only code: items annotated with
-/// `#[cfg(test)]` or `#[test]`, including everything inside their braces.
+/// `#[cfg(test)]` or `#[test]`, including everything inside their braces
+/// (nested modules, closures, and inner items track brace depth exactly).
 /// Rules skip diagnostics inside these spans — test code may freely
 /// unwrap, print, and use wall-clock time.
 pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
@@ -386,29 +461,20 @@ pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     while idx < tokens.len() {
         if tokens[idx].is_punct("#") && tokens.get(idx + 1).is_some_and(|t| t.is_punct("[")) {
             // Collect the attribute's tokens up to the matching `]`.
-            let mut j = idx + 2;
+            let attr_start = idx + 2;
+            let mut j = attr_start;
             let mut depth = 1;
-            let mut is_test_attr = false;
-            let mut saw_cfg = false;
             while j < tokens.len() && depth > 0 {
                 if tokens[j].is_punct("[") {
                     depth += 1;
                 } else if tokens[j].is_punct("]") {
                     depth -= 1;
-                } else if let Some(id) = tokens[j].ident() {
-                    if id == "cfg" {
-                        saw_cfg = true;
-                    }
-                    if id == "test" {
-                        // `#[test]` directly, or `test` inside `#[cfg(...)]`.
-                        if saw_cfg || j == idx + 2 {
-                            is_test_attr = true;
-                        }
-                    }
                 }
                 j += 1;
             }
-            if is_test_attr {
+            // `j` is now one past the closing `]`; the body is
+            // `attr_start..j-1`.
+            if attr_is_test(tokens, attr_start, j.saturating_sub(1)) {
                 // Skip any further attributes, then span the next item.
                 let mut k = j;
                 while k < tokens.len()
@@ -447,19 +513,7 @@ pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
                     k += 1;
                 }
                 if let Some(open_idx) = open {
-                    let mut d = 0;
-                    let mut end = open_idx;
-                    for (n, t) in tokens.iter().enumerate().skip(open_idx) {
-                        if t.is_punct("{") {
-                            d += 1;
-                        } else if t.is_punct("}") {
-                            d -= 1;
-                            if d == 0 {
-                                end = n;
-                                break;
-                            }
-                        }
-                    }
+                    let end = match_brace(tokens, open_idx);
                     spans.push((tokens[idx].line, tokens[end].line));
                     idx = end + 1;
                     continue;
@@ -545,6 +599,58 @@ let r = r#"Instant::now()"#; /* SystemTime */ let x = 1;"##);
         let src = "#[cfg(feature = \"x\")]\nfn real() { a.unwrap(); }\n";
         let lx = lex(src);
         assert!(test_spans(&lx.tokens).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_never_exempt() {
+        // Regression: the old span logic treated any `test` ident under
+        // `#[cfg(...)]` as an exemption, so `#[cfg(not(test))]` items —
+        // code that only compiles OUTSIDE tests — were silently skipped.
+        let src = "#[cfg(not(test))]\nfn real() { a.unwrap(); }\n";
+        let lx = lex(src);
+        assert!(test_spans(&lx.tokens).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_with_not_still_sees_bare_test() {
+        let src = "#[cfg(any(not(feature_x), test))]\nmod tests { fn t() {} }\n";
+        let lx = lex(src);
+        assert_eq!(test_spans(&lx.tokens).len(), 1);
+    }
+
+    #[test]
+    fn nested_modules_and_closures_end_exactly_at_block_close() {
+        // Regression: the exemption must stop at the `mod tests` closing
+        // brace even when the block nests modules, closures, and match
+        // arms; the item after it is NOT exempt.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    mod inner {
+        fn t() {
+            let f = |x: u64| { x + 1 };
+            match f(1) { 2 => {} _ => {} }
+        }
+    }
+    fn u() { let g = || { () }; g() }
+}
+fn after() {}
+";
+        let lx = lex(src);
+        let spans = test_spans(&lx.tokens);
+        assert_eq!(spans, vec![(1, 10)]);
+        assert!(in_spans(&spans, 6));
+        assert!(!in_spans(&spans, 11));
+    }
+
+    #[test]
+    fn byte_offsets_are_strictly_monotone() {
+        let src = "fn f() { let s = \"αβγ\"; s.len() + 1 }";
+        let lx = lex(src);
+        for w in lx.tokens.windows(2) {
+            assert!(w[0].byte < w[1].byte);
+        }
+        assert_eq!(lx.tokens[0].byte, 0);
     }
 
     #[test]

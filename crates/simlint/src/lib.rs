@@ -10,25 +10,38 @@
 //! | rule | invariant |
 //! |------|-----------|
 //! | `hash-order` | no std `HashMap`/`HashSet` in sim-visible crates |
-//! | `wall-clock` | no wall-clock time / OS entropy reachable from the sim |
-//! | `panic-path` | no unwrap/expect/panic/indexing on protocol paths |
+//! | `sim-taint` | nothing reachable from a sim root touches wall-clock/entropy/env/threads |
+//! | `panic-taint` | nothing reachable from a protocol root can panic |
+//! | `state-growth` | root-held collections have a shrink site somewhere |
+//! | `float-state` | no f32/f64 in root-held consensus state |
+//! | `lossy-cast` | no `as` narrowing of ordinals on reachable paths |
 //! | `io-println` | no raw stdout/stderr printing in library crates |
 //! | `unchecked-slot-arith` | slot/watermark ordinals use checked ops |
 //!
-//! Run with `cargo run -p simlint` (human diagnostics) or
-//! `cargo run -p simlint -- --json -` (machine-readable report). Waivers
-//! live in `simlint.toml` or inline (`// simlint: allow(rule): why`);
-//! stale waivers are errors, so the allowlist can only shrink.
+//! The transitive rules run over a workspace call graph ([`items`] →
+//! [`graph`] → [`reach`]) rooted at the `[roots]` declared in
+//! `simlint.toml`; their diagnostics carry the full call chain from a
+//! root to the finding.
+//!
+//! Run with `cargo run -p simlint` (human diagnostics),
+//! `cargo run -p simlint -- --json -` (machine-readable report, schema
+//! v2), or `--graph-dot -` (Graphviz export of the reachable
+//! subgraph). Waivers live in `simlint.toml` or inline
+//! (`// simlint: allow(rule): why`); stale waivers and stale root
+//! patterns are errors, so the allowlist can only shrink.
 //!
 //! The analyzer is dependency-free by design: the build environment is
 //! offline (external crates are vendored shims), so instead of `syn` it
 //! uses a self-contained lexer (see [`lexer`]) that understands
 //! comments, strings, lifetimes, and `#[cfg(test)]` regions — enough
-//! for exact-span token-level rules.
+//! for exact-span token rules and heuristic item/call extraction.
 
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
 pub mod workspace;
 
@@ -37,8 +50,9 @@ use std::fmt::Write as _;
 use diag::json_escape;
 use workspace::Report;
 
-/// JSON schema version of the `--json` report.
-pub const JSON_VERSION: u32 = 1;
+/// JSON schema version of the `--json` report. v2 adds `chain` arrays
+/// on diagnostics and the `graph` summary block.
+pub const JSON_VERSION: u32 = 2;
 
 /// Serializes a [`Report`] as the stable `--json` document.
 pub fn report_to_json(report: &Report) -> String {
@@ -84,6 +98,18 @@ pub fn report_to_json(report: &Report) -> String {
         );
     }
     s.push_str("  ],\n");
+    let st = &report.stats;
+    let _ = writeln!(
+        s,
+        "  \"graph\": {{\"functions\": {}, \"edges\": {}, \"sim_roots\": {}, \"sim_reachable\": {}, \
+         \"protocol_roots\": {}, \"protocol_reachable\": {}}},",
+        st.functions,
+        st.edges,
+        st.sim_roots,
+        st.sim_reachable,
+        st.protocol_roots,
+        st.protocol_reachable
+    );
     let _ = writeln!(
         s,
         "  \"summary\": {{\"errors\": {}, \"waived\": {}, \"stale_waivers\": {}, \"files_scanned\": {}}}",
@@ -108,18 +134,24 @@ mod tests {
             ..Report::default()
         };
         r.errors.push(Diagnostic {
-            rule: "hash-order",
+            rule: "sim-taint",
             path: "crates/paxos/src/x.rs".into(),
             line: 5,
             col: 2,
             message: "m".into(),
             snippet: "s".into(),
             help: "h",
+            chain: vec!["a (f.rs:1)".into(), "b (g.rs:2)".into()],
         });
+        r.stats.functions = 10;
+        r.stats.sim_reachable = 4;
         let j = report_to_json(&r);
-        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"version\": 2"));
         assert!(j.contains("\"errors\": 1"));
         assert!(j.contains("\"files_scanned\": 3"));
-        assert!(j.contains("\"rule\":\"hash-order\""));
+        assert!(j.contains("\"rule\":\"sim-taint\""));
+        assert!(j.contains("\"chain\":[\"a (f.rs:1)\",\"b (g.rs:2)\"]"));
+        assert!(j.contains("\"graph\": {\"functions\": 10,"));
+        assert!(j.contains("\"sim_reachable\": 4"));
     }
 }

@@ -1,47 +1,97 @@
 //! The rule set: repo-specific determinism and safety invariants that
-//! clippy cannot express (scoping by crate role, protocol-path panic
-//! freedom, slot/watermark arithmetic discipline).
+//! clippy cannot express.
+//!
+//! Two rule families:
+//!
+//! * **File-scoped** (`hash-order`, `io-println`,
+//!   `unchecked-slot-arith`) — token patterns scoped by crate role,
+//!   exactly as in simlint v1.
+//! * **Transitive** (`sim-taint`, `panic-taint`, `state-growth`,
+//!   `float-state`, `lossy-cast`) — run over the workspace call graph
+//!   ([`crate::graph`]) from the `[roots]` declared in `simlint.toml`.
+//!   They replace v1's crate-scoped `wall-clock` rule and the
+//!   hardcoded `panic-path` file list: the wall now follows the *call
+//!   structure*, so a helper in an unscoped file can no longer smuggle
+//!   wall-clock or an `unwrap` into a protocol path, and host-side code
+//!   (e.g. a real TCP backend) needs no waiver as long as it is not
+//!   reachable from a sim root.
+
+use std::collections::BTreeMap;
 
 use crate::diag::Diagnostic;
+use crate::graph::Graph;
+use crate::items::FileItems;
 use crate::lexer::{in_spans, test_spans, Lexed, TokKind, Token};
+use crate::reach::{chain, Parents};
 
 /// Crates whose state or iteration order is visible to the simulation:
 /// a hash-ordered container here can silently break same-seed replay.
 pub const SIM_STATE_CRATES: &[&str] = &["paxos", "core", "cluster", "simnet"];
 
-/// Crates reachable from simulated execution: wall-clock time or OS
-/// entropy here breaks deterministic replay. Only `simnet` clock/RNG
-/// handles may introduce time and randomness.
-pub const SIM_REACHABLE_CRATES: &[&str] = &[
-    "paxos",
-    "core",
-    "cluster",
-    "simnet",
-    "tpcw",
-    "robuststore",
-    "faultload",
-    "obs",
-];
-
-/// Protocol message-handling files: a panic here kills a replica outside
-/// the fault model, invisible to the invariant auditor. Errors must be
-/// routed through typed events instead.
-pub const PANIC_PATH_FILES: &[&str] = &[
-    "crates/paxos/src/replica.rs",
-    "crates/paxos/src/acceptor.rs",
-    "crates/paxos/src/leader.rs",
-    "crates/paxos/src/learner.rs",
-    "crates/paxos/src/proposer.rs",
-    "crates/paxos/src/fd.rs",
-    "crates/paxos/src/msg.rs",
-    "crates/core/src/middleware.rs",
-    "crates/core/src/wire.rs",
-    "crates/core/src/codec.rs",
-    "crates/core/src/queue.rs",
-];
-
 /// Identifier fragments that mark consensus-ordinal arithmetic.
 const ORDINAL_NAMES: &[&str] = &["slot", "watermark", "generation"];
+
+/// Identifier fragments that mark consensus ordinals for `lossy-cast`
+/// (wider than [`ORDINAL_NAMES`]: ballots and epochs are compared, not
+/// incremented, so arithmetic on them is rare but narrowing is fatal).
+const CAST_ORDINAL_NAMES: &[&str] = &["slot", "ballot", "epoch", "watermark", "generation"];
+
+/// Cast targets that can truncate a u64 ordinal.
+const NARROW_TARGETS: &[&str] = &["f32", "f64", "i16", "i32", "i8", "u16", "u32", "u8"];
+
+/// Collection type heads whose unbounded growth `state-growth` tracks.
+const COLLECTIONS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "String",
+    "Vec",
+    "VecDeque",
+];
+
+/// Smart-pointer / cell wrappers looked through when classifying a
+/// field's type (`Option<Vec<…>>` is still a `Vec` field).
+const WRAPPERS: &[&str] = &[
+    "Arc", "Box", "Cell", "Mutex", "Option", "Rc", "RefCell", "RwLock",
+];
+
+/// Methods that add entries to a collection.
+const GROW_METHODS: &[&str] = &[
+    "append",
+    "entry",
+    "extend",
+    "insert",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "resize",
+];
+
+/// Methods that remove entries (any one of these anywhere in the
+/// workspace clears the field from `state-growth`).
+const SHRINK_METHODS: &[&str] = &[
+    "clear",
+    "dedup",
+    "drain",
+    "pop",
+    "pop_back",
+    "pop_first",
+    "pop_front",
+    "pop_last",
+    "remove",
+    "remove_entry",
+    "retain",
+    "split_off",
+    "swap_remove",
+    "take",
+    "truncate",
+];
 
 /// Metadata for one rule.
 pub struct RuleInfo {
@@ -56,12 +106,25 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no std HashMap/HashSet in sim-visible crates (paxos, core, cluster, simnet)",
     },
     RuleInfo {
-        name: "wall-clock",
-        summary: "no wall-clock time or OS entropy reachable from the simulation",
+        name: "sim-taint",
+        summary:
+            "nothing reachable from a [roots] sim entry may touch wall-clock/entropy/env/threads",
     },
     RuleInfo {
-        name: "panic-path",
-        summary: "no unwrap/expect/panic/indexing in protocol message-handling paths",
+        name: "panic-taint",
+        summary: "nothing reachable from a [roots] protocol entry may unwrap/expect/panic!/index",
+    },
+    RuleInfo {
+        name: "state-growth",
+        summary: "root-held collections need a remove/clear/truncate/drain site somewhere",
+    },
+    RuleInfo {
+        name: "float-state",
+        summary: "no f32/f64 fields in root-held consensus state structs",
+    },
+    RuleInfo {
+        name: "lossy-cast",
+        summary: "no `as` narrowing of slot/ballot/epoch ordinals on root-reachable paths",
     },
     RuleInfo {
         name: "io-println",
@@ -81,10 +144,18 @@ pub fn is_known_rule(name: &str) -> bool {
 const HELP_HASH_ORDER: &str = "use BTreeMap/BTreeSet (or a vendored IndexMap) so iteration order \
      is deterministic across runs; waive with `// simlint: allow(hash-order): <why>` only for \
      state that is provably never iterated";
-const HELP_WALL_CLOCK: &str = "take time from the simnet clock handle and randomness from the \
-     seeded simnet RNG; real-thread runtimes outside the simulation need a simlint.toml waiver";
-const HELP_PANIC_PATH: &str = "route the failure through a typed error event so the invariant \
+const HELP_SIM_TAINT: &str = "take time from the simnet clock handle and randomness from the \
+     seeded simnet RNG; if this function is genuinely host-side, break the call edge from the \
+     sim roots or add a simlint.toml waiver with the reason";
+const HELP_PANIC_TAINT: &str = "route the failure through a typed error event so the invariant \
      auditor observes it; use get()/checked access instead of indexing";
+const HELP_STATE_GROWTH: &str = "add a compaction/GC path (remove/clear/truncate/drain) or bound \
+     the collection; a root-held collection that only grows leaks across million-event runs and \
+     skews the paper's recovery-time measurements";
+const HELP_FLOAT_STATE: &str = "floats in replicated state break cross-platform determinism and \
+     have no total order; store integer fixed-point (e.g. micros as u64) instead";
+const HELP_LOSSY_CAST: &str = "use u64 end-to-end or an explicit try_into with error handling; \
+     silently truncating an ordinal corrupts consensus ordering after 2^32 slots";
 const HELP_IO_PRINTLN: &str = "emit through obs trace/metrics or the bench Console; raw stdout \
      from library code corrupts --json output and bypasses --quiet";
 const HELP_SLOT_ARITH: &str = "use checked_add/checked_sub/saturating_sub so ordinal overflow \
@@ -101,24 +172,22 @@ pub struct FileCtx<'a> {
     pub src: &'a str,
 }
 
-/// Runs every rule over one lexed file. Test spans (`#[cfg(test)]`,
-/// `#[test]`) are exempt from all rules.
+fn snippet_of(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .map(|s| s.to_string())
+        .unwrap_or_default()
+}
+
+/// Runs the file-scoped rules over one lexed file. Test spans
+/// (`#[cfg(test)]`, `#[test]`) are exempt from all rules.
 pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
     let spans = test_spans(&lexed.tokens);
-    let lines: Vec<&str> = ctx.src.lines().collect();
-    let snippet = |line: u32| -> String {
-        lines
-            .get(line.saturating_sub(1) as usize)
-            .map(|s| s.to_string())
-            .unwrap_or_default()
-    };
     let mut out = Vec::new();
     let toks = &lexed.tokens;
 
     let in_bin = ctx.rel_path.contains("/bin/");
     let hash_scope = SIM_STATE_CRATES.contains(&ctx.crate_name);
-    let clock_scope = SIM_REACHABLE_CRATES.contains(&ctx.crate_name) || ctx.crate_name == ".";
-    let panic_scope = PANIC_PATH_FILES.contains(&ctx.rel_path);
     let println_scope = ctx.crate_name != "bench" && ctx.crate_name != "simlint" && !in_bin;
     let arith_scope = SIM_STATE_CRATES.contains(&ctx.crate_name);
 
@@ -146,103 +215,9 @@ pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
                              across runs and breaks same-seed determinism",
                             ctx.crate_name
                         ),
-                        snippet: snippet(t.line),
+                        snippet: snippet_of(ctx.src, t.line),
                         help: HELP_HASH_ORDER,
-                    });
-                }
-            }
-        }
-
-        // --- wall-clock ---------------------------------------------------
-        if clock_scope {
-            if let Some(id) = t.ident() {
-                let flagged: Option<String> = match id {
-                    "SystemTime" => Some("std::time::SystemTime".into()),
-                    "Instant" => Some("std::time::Instant".into()),
-                    "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
-                        Some(format!("OS entropy source `{id}`"))
-                    }
-                    "random" if prev_is_path(toks, i, "rand") => Some("rand::random".into()),
-                    "var" | "var_os" | "vars" if prev_is_path(toks, i, "env") => {
-                        Some(format!("environment read `env::{id}`"))
-                    }
-                    _ => None,
-                };
-                if let Some(what) = flagged {
-                    out.push(Diagnostic {
-                        rule: "wall-clock",
-                        path: ctx.rel_path.to_string(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
-                            "{what} in sim-reachable crate `{}`: nondeterministic input \
-                             outside the simnet clock/RNG",
-                            ctx.crate_name
-                        ),
-                        snippet: snippet(t.line),
-                        help: HELP_WALL_CLOCK,
-                    });
-                }
-            }
-        }
-
-        // --- panic-path ---------------------------------------------------
-        if panic_scope {
-            if let Some(id) = t.ident() {
-                // `.unwrap()` / `.expect(`
-                if (id == "unwrap" || id == "expect")
-                    && i >= 1
-                    && toks[i - 1].is_punct(".")
-                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
-                {
-                    out.push(Diagnostic {
-                        rule: "panic-path",
-                        path: ctx.rel_path.to_string(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
-                            "`.{id}()` on a protocol message-handling path: a panic here \
-                             kills the replica outside the fault model"
-                        ),
-                        snippet: snippet(t.line),
-                        help: HELP_PANIC_PATH,
-                    });
-                }
-                // panic-family macros
-                if matches!(id, "panic" | "unreachable" | "todo" | "unimplemented")
-                    && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
-                {
-                    out.push(Diagnostic {
-                        rule: "panic-path",
-                        path: ctx.rel_path.to_string(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!("`{id}!` on a protocol message-handling path"),
-                        snippet: snippet(t.line),
-                        help: HELP_PANIC_PATH,
-                    });
-                }
-            }
-            // Indexing / slicing: `expr[...]` can panic on out-of-range.
-            if t.is_punct("[") && i >= 1 {
-                let prev = &toks[i - 1];
-                let prev_is_expr_end = match &prev.kind {
-                    TokKind::Ident(id) => !is_keyword(id),
-                    TokKind::Punct(p) => *p == "]",
-                    TokKind::Char(c) => *c == ')' || *c == ']' || *c == '?',
-                    _ => false,
-                };
-                if prev_is_expr_end {
-                    out.push(Diagnostic {
-                        rule: "panic-path",
-                        path: ctx.rel_path.to_string(),
-                        line: t.line,
-                        col: t.col,
-                        message: "index/slice expression on a protocol message-handling path \
-                                  can panic on out-of-range input"
-                            .into(),
-                        snippet: snippet(t.line),
-                        help: HELP_PANIC_PATH,
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -260,8 +235,9 @@ pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
                         line: t.line,
                         col: t.col,
                         message: format!("raw `{id}!` in library crate `{}`", ctx.crate_name),
-                        snippet: snippet(t.line),
+                        snippet: snippet_of(ctx.src, t.line),
                         help: HELP_IO_PRINTLN,
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -300,8 +276,9 @@ pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
                             "unchecked `{op}` on slot/watermark/generation ordinal: overflow \
                              wraps in release builds and corrupts consensus ordering"
                         ),
-                        snippet: snippet(t.line),
+                        snippet: snippet_of(ctx.src, t.line),
                         help: HELP_SLOT_ARITH,
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -311,15 +288,427 @@ pub fn check_file(ctx: &FileCtx<'_>, lexed: &Lexed) -> Vec<Diagnostic> {
     out
 }
 
+/// One scanned file, as assembled by the workspace driver.
+pub struct FileData {
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    pub krate: String,
+    pub src: String,
+    pub lexed: Lexed,
+    pub items: FileItems,
+}
+
+/// Inputs to the transitive rules.
+pub struct GraphCtx<'a> {
+    pub files: &'a [FileData],
+    pub graph: &'a Graph,
+    /// Root node ids and BFS parents for the sim wall.
+    pub sim_roots: &'a [usize],
+    pub sim: &'a Parents,
+    /// Root node ids and BFS parents for the protocol wall.
+    pub protocol_roots: &'a [usize],
+    pub protocol: &'a Parents,
+}
+
+/// Runs the transitive rules over the workspace graph.
+pub fn check_graph(ctx: &GraphCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    sim_taint(ctx, &mut out);
+    panic_taint(ctx, &mut out);
+    lossy_cast(ctx, &mut out);
+    // state-growth covers everything a root holds (sim infrastructure
+    // leaks matter too); float-state is about *replicated* state, so it
+    // only covers types held from protocol roots — fault-injection
+    // probabilities in sim config structs are inputs, not state.
+    let held_all = held_types(ctx, ctx.sim_roots.iter().chain(ctx.protocol_roots));
+    let held_protocol = held_types(ctx, ctx.protocol_roots.iter());
+    state_growth(ctx, &held_all, &mut out);
+    float_state(ctx, &held_protocol, &mut out);
+    out
+}
+
+/// Body token range iterator helper: yields `(index, token)` strictly
+/// inside the braces.
+fn body_tokens(toks: &[Token], body: (usize, usize)) -> impl Iterator<Item = (usize, &Token)> {
+    let (open, close) = body;
+    toks.iter().enumerate().take(close).skip(open + 1)
+}
+
+/// `sim-taint`: wall-clock / entropy / env / thread APIs in any
+/// function reachable from a sim root.
+fn sim_taint(ctx: &GraphCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for node in &ctx.graph.nodes {
+        if ctx.sim[node.id].is_none() {
+            continue;
+        }
+        let Some(body) = node.body else { continue };
+        let f = &ctx.files[node.file];
+        let toks = &f.lexed.tokens;
+        for (i, t) in body_tokens(toks, body) {
+            let Some(id) = t.ident() else { continue };
+            let flagged: Option<String> = match id {
+                "SystemTime" => Some("`std::time::SystemTime`".into()),
+                "Instant" => Some("`std::time::Instant`".into()),
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                    Some(format!("OS entropy source `{id}`"))
+                }
+                "random" if prev_is_path(toks, i, "rand") => Some("`rand::random`".into()),
+                "var" | "var_os" | "vars" if prev_is_path(toks, i, "env") => {
+                    Some(format!("environment read `env::{id}`"))
+                }
+                "spawn" | "sleep" | "park" | "yield_now" if prev_is_path(toks, i, "thread") => {
+                    Some(format!("thread API `thread::{id}`"))
+                }
+                "available_parallelism" => Some("`thread::available_parallelism`".into()),
+                _ => None,
+            };
+            if let Some(what) = flagged {
+                out.push(Diagnostic {
+                    rule: "sim-taint",
+                    path: node.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{what} in `{}`, which is reachable from a sim root: \
+                         nondeterministic input inside the simulation wall",
+                        node.label()
+                    ),
+                    snippet: snippet_of(&f.src, t.line),
+                    help: HELP_SIM_TAINT,
+                    chain: chain(ctx.graph, ctx.sim, node.id),
+                });
+            }
+        }
+    }
+}
+
+/// `panic-taint`: unwrap/expect/panic-macros/indexing in any function
+/// reachable from a protocol root.
+fn panic_taint(ctx: &GraphCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for node in &ctx.graph.nodes {
+        if ctx.protocol[node.id].is_none() {
+            continue;
+        }
+        let Some(body) = node.body else { continue };
+        let f = &ctx.files[node.file];
+        let toks = &f.lexed.tokens;
+        for (i, t) in body_tokens(toks, body) {
+            if let Some(id) = t.ident() {
+                // `.unwrap()` / `.expect(`
+                if (id == "unwrap" || id == "expect")
+                    && i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    out.push(Diagnostic {
+                        rule: "panic-taint",
+                        path: node.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{id}()` in `{}`, which is reachable from a protocol root: \
+                             a panic here kills the replica outside the fault model",
+                            node.label()
+                        ),
+                        snippet: snippet_of(&f.src, t.line),
+                        help: HELP_PANIC_TAINT,
+                        chain: chain(ctx.graph, ctx.protocol, node.id),
+                    });
+                }
+                // panic-family macros
+                if matches!(id, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                {
+                    out.push(Diagnostic {
+                        rule: "panic-taint",
+                        path: node.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{id}!` in `{}`, which is reachable from a protocol root",
+                            node.label()
+                        ),
+                        snippet: snippet_of(&f.src, t.line),
+                        help: HELP_PANIC_TAINT,
+                        chain: chain(ctx.graph, ctx.protocol, node.id),
+                    });
+                }
+            }
+            // Indexing / slicing: `expr[...]` can panic on out-of-range.
+            if t.is_punct("[") && i >= 1 {
+                let prev = &toks[i - 1];
+                let prev_is_expr_end = match &prev.kind {
+                    TokKind::Ident(id) => !is_keyword(id),
+                    TokKind::Punct(p) => *p == "]",
+                    TokKind::Char(c) => *c == ')' || *c == ']' || *c == '?',
+                    _ => false,
+                };
+                if prev_is_expr_end {
+                    out.push(Diagnostic {
+                        rule: "panic-taint",
+                        path: node.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "index/slice expression in `{}`, which is reachable from a \
+                             protocol root: can panic on out-of-range input",
+                            node.label()
+                        ),
+                        snippet: snippet_of(&f.src, t.line),
+                        help: HELP_PANIC_TAINT,
+                        chain: chain(ctx.graph, ctx.protocol, node.id),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `lossy-cast`: `<ordinal> as <narrow>` in any function reachable from
+/// either root set.
+fn lossy_cast(ctx: &GraphCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for node in &ctx.graph.nodes {
+        let (parents, _root_kind) = if ctx.sim[node.id].is_some() {
+            (ctx.sim, "sim")
+        } else if ctx.protocol[node.id].is_some() {
+            (ctx.protocol, "protocol")
+        } else {
+            continue;
+        };
+        let Some(body) = node.body else { continue };
+        let f = &ctx.files[node.file];
+        let toks = &f.lexed.tokens;
+        for (i, t) in body_tokens(toks, body) {
+            if t.ident() != Some("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1).and_then(|n| n.ident()) else {
+                continue;
+            };
+            if !NARROW_TARGETS.contains(&target) {
+                continue;
+            }
+            if let Some(ord) = cast_ordinal_on_left(toks, i) {
+                out.push(Diagnostic {
+                    rule: "lossy-cast",
+                    path: node.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{ord} as {target}` narrows a consensus ordinal in `{}`, which is \
+                         reachable from a declared root",
+                        node.label()
+                    ),
+                    snippet: snippet_of(&f.src, t.line),
+                    help: HELP_LOSSY_CAST,
+                    chain: chain(ctx.graph, parents, node.id),
+                });
+            }
+        }
+    }
+}
+
+/// Scans the postfix chain left of an `as` token for an ordinal-named
+/// identifier (`slot as u32`, `self.ballot.0 as u16`).
+fn cast_ordinal_on_left(toks: &[Token], as_idx: usize) -> Option<String> {
+    let mut j = as_idx;
+    let mut steps = 0;
+    while j > 0 && steps < 8 {
+        j -= 1;
+        steps += 1;
+        match &toks[j].kind {
+            TokKind::Ident(id) => {
+                let lower = id.to_ascii_lowercase();
+                if CAST_ORDINAL_NAMES.iter().any(|n| lower.contains(n)) {
+                    return Some(id.clone());
+                }
+                if is_keyword(id) {
+                    return None;
+                }
+                if j == 0 || !(toks[j - 1].is_punct(".") || toks[j - 1].is_punct("::")) {
+                    return None;
+                }
+            }
+            TokKind::Number(_) => {
+                if j == 0 || !toks[j - 1].is_punct(".") {
+                    return None;
+                }
+            }
+            TokKind::Punct(p) if *p == "]" || *p == "." || *p == "::" => {}
+            TokKind::Char(c) if *c == ')' || *c == ']' || *c == '?' || *c == '.' => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// A root-held struct and the provenance chain that makes it root-held.
+type HeldTypes = BTreeMap<String, Vec<String>>;
+
+/// Computes the set of workspace struct types transitively held by the
+/// given root functions' `self` types, with provenance chains for
+/// diagnostics.
+fn held_types<'a>(ctx: &GraphCtx<'_>, roots: impl Iterator<Item = &'a usize>) -> HeldTypes {
+    let mut held: HeldTypes = BTreeMap::new();
+    let mut queue: Vec<String> = Vec::new();
+    for &r in roots {
+        let node = &ctx.graph.nodes[r];
+        let Some(ty) = &node.self_ty else { continue };
+        if ctx.graph.structs.contains_key(ty) && !held.contains_key(ty) {
+            held.insert(
+                ty.clone(),
+                vec![format!(
+                    "root {} ({}:{})",
+                    node.label(),
+                    node.path,
+                    node.line
+                )],
+            );
+            queue.push(ty.clone());
+        }
+    }
+    while let Some(ty) = queue.pop() {
+        let prov = held[&ty].clone();
+        let Some((file, def)) = ctx.graph.structs.get(&ty) else {
+            continue;
+        };
+        let path = &ctx.files[*file].rel;
+        for fld in &def.fields {
+            for inner in &fld.ty_idents {
+                if ctx.graph.structs.contains_key(inner) && !held.contains_key(inner) {
+                    let mut p = prov.clone();
+                    p.push(format!("{ty}.{}: {inner} ({path}:{})", fld.name, fld.line));
+                    held.insert(inner.clone(), p);
+                    queue.push(inner.clone());
+                }
+            }
+        }
+    }
+    held
+}
+
+/// The collection head of a field's type, looking through wrappers.
+fn collection_head(ty_idents: &[String]) -> Option<&str> {
+    for id in ty_idents {
+        if COLLECTIONS.contains(&id.as_str()) {
+            return Some(id);
+        }
+        if !WRAPPERS.contains(&id.as_str()) {
+            return None;
+        }
+    }
+    None
+}
+
+/// `state-growth`: collection fields of root-held structs with at least
+/// one grow site and no shrink site anywhere in the workspace.
+fn state_growth(ctx: &GraphCtx<'_>, held: &HeldTypes, out: &mut Vec<Diagnostic>) {
+    for (ty, prov) in held {
+        let (file, def) = &ctx.graph.structs[ty];
+        let f = &ctx.files[*file];
+        for fld in &def.fields {
+            let Some(head) = collection_head(&fld.ty_idents) else {
+                continue;
+            };
+            let (grows, shrinks) = field_usage(ctx, &fld.name);
+            if grows && !shrinks {
+                out.push(Diagnostic {
+                    rule: "state-growth",
+                    path: f.rel.clone(),
+                    line: fld.line,
+                    col: 1,
+                    message: format!(
+                        "`{ty}.{}` ({head}) is root-held state that only grows: insert/push \
+                         sites exist but no remove/clear/truncate/drain anywhere in the \
+                         workspace",
+                        fld.name
+                    ),
+                    snippet: snippet_of(&f.src, fld.line),
+                    help: HELP_STATE_GROWTH,
+                    chain: prov.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Scans the whole workspace for `.field.grow(…)` / `.field.shrink(…)`
+/// sites, `.field = …` reassignment, and `mem::take/replace(&mut
+/// x.field)` (both count as shrink sites).
+fn field_usage(ctx: &GraphCtx<'_>, field: &str) -> (bool, bool) {
+    let mut grows = false;
+    let mut shrinks = false;
+    for f in ctx.files {
+        let toks = &f.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            let Some(id) = t.ident() else { continue };
+            if id == field {
+                // Require a field access: `<expr>.field…`.
+                if i == 0 || !toks[i - 1].is_punct(".") {
+                    continue;
+                }
+                // `.field.method(`
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(".")) {
+                    if let Some(m) = toks.get(i + 2).and_then(|n| n.ident()) {
+                        if toks.get(i + 3).is_some_and(|n| n.is_punct("(")) {
+                            if GROW_METHODS.contains(&m) {
+                                grows = true;
+                            }
+                            if SHRINK_METHODS.contains(&m) {
+                                shrinks = true;
+                            }
+                        }
+                    }
+                }
+                // `.field = …` (reassignment replaces the contents;
+                // `==` lexes as one Punct token, so it cannot match).
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("=")) {
+                    shrinks = true;
+                }
+            }
+            // `mem::take(&mut x.field)` / `mem::replace(&mut x.field, …)`
+            if (id == "take" || id == "replace") && prev_is_path(toks, i, "mem") {
+                for k in i + 1..(i + 9).min(toks.len()) {
+                    if toks[k].ident() == Some(field) && k >= 1 && toks[k - 1].is_punct(".") {
+                        shrinks = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (grows, shrinks)
+}
+
+/// `float-state`: f32/f64 fields in root-held structs.
+fn float_state(ctx: &GraphCtx<'_>, held: &HeldTypes, out: &mut Vec<Diagnostic>) {
+    for (ty, prov) in held {
+        let (file, def) = &ctx.graph.structs[ty];
+        let f = &ctx.files[*file];
+        for fld in &def.fields {
+            if let Some(fl) = fld.ty_idents.iter().find(|id| *id == "f32" || *id == "f64") {
+                out.push(Diagnostic {
+                    rule: "float-state",
+                    path: f.rel.clone(),
+                    line: fld.line,
+                    col: 1,
+                    message: format!(
+                        "`{ty}.{}` is `{fl}` inside root-held consensus state: floats have \
+                         platform-dependent rounding and no total order",
+                        fld.name
+                    ),
+                    snippet: snippet_of(&f.src, fld.line),
+                    help: HELP_FLOAT_STATE,
+                    chain: prov.clone(),
+                });
+            }
+        }
+    }
+}
+
 /// Whether token `i` is preceded by `prefix ::` (e.g. `rand :: random`).
 fn prev_is_path(toks: &[Token], i: usize, prefix: &str) -> bool {
-    i >= 2
-        && toks[i - 1].is_punct("::")
-        && toks[i - 2].ident().is_some_and(|id| {
-            id == prefix
-                // also match `std::env::var`
-                || (prefix == "env" && id == "env")
-        })
+    i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].ident().is_some_and(|id| id == prefix)
 }
 
 fn is_keyword(id: &str) -> bool {
@@ -483,7 +872,10 @@ fn ordinal_operand(toks: &[Token], i: usize, ordinal_impls: &[(u32, u32)], line:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{build, FileInput};
+    use crate::items::{extract_calls, parse_items};
     use crate::lexer::lex;
+    use crate::reach::{match_roots, reachable};
 
     fn check(crate_name: &str, rel_path: &str, src: &str) -> Vec<Diagnostic> {
         let lexed = lex(src);
@@ -497,42 +889,64 @@ mod tests {
         )
     }
 
+    /// Builds a tiny in-memory workspace and runs the transitive rules.
+    fn check_transitive(
+        files: &[(&str, &str, &str)],
+        sim: &[&str],
+        protocol: &[&str],
+    ) -> Vec<Diagnostic> {
+        let data: Vec<FileData> = files
+            .iter()
+            .map(|(rel, krate, src)| {
+                let lexed = lex(src);
+                let spans = test_spans(&lexed.tokens);
+                let items = parse_items(&lexed.tokens, &spans);
+                FileData {
+                    rel: rel.to_string(),
+                    krate: krate.to_string(),
+                    src: src.to_string(),
+                    lexed,
+                    items,
+                }
+            })
+            .collect();
+        let inputs: Vec<FileInput<'_>> = data
+            .iter()
+            .map(|f| FileInput {
+                path: &f.rel,
+                krate: &f.krate,
+                items: &f.items,
+            })
+            .collect();
+        let mut graph = build(&inputs);
+        for id in 0..graph.nodes.len() {
+            let (file, body) = (graph.nodes[id].file, graph.nodes[id].body);
+            if let Some(body) = body {
+                let calls = extract_calls(&data[file].lexed.tokens, body);
+                graph.add_calls(id, &calls);
+            }
+        }
+        let sim_pats: Vec<String> = sim.iter().map(|s| s.to_string()).collect();
+        let proto_pats: Vec<String> = protocol.iter().map(|s| s.to_string()).collect();
+        let sim_r = match_roots(&graph, &sim_pats);
+        let proto_r = match_roots(&graph, &proto_pats);
+        let sim_p = reachable(&graph, &sim_r.ids);
+        let proto_p = reachable(&graph, &proto_r.ids);
+        check_graph(&GraphCtx {
+            files: &data,
+            graph: &graph,
+            sim_roots: &sim_r.ids,
+            sim: &sim_p,
+            protocol_roots: &proto_r.ids,
+            protocol: &proto_p,
+        })
+    }
+
     #[test]
     fn hash_order_fires_in_scope_only() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 1);
         assert_eq!(check("bench", "crates/bench/src/x.rs", src).len(), 0);
-    }
-
-    #[test]
-    fn wall_clock_catches_instant_and_rand() {
-        let src = "let t = std::time::Instant::now();\nlet r = rand::random::<u8>();\n";
-        let diags = check("core", "crates/core/src/x.rs", src);
-        assert_eq!(diags.len(), 2);
-        assert!(diags.iter().all(|d| d.rule == "wall-clock"));
-    }
-
-    #[test]
-    fn panic_path_scoped_to_protocol_files() {
-        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
-        assert_eq!(check("paxos", "crates/paxos/src/replica.rs", src).len(), 1);
-        assert_eq!(check("paxos", "crates/paxos/src/config.rs", src).len(), 0);
-    }
-
-    #[test]
-    fn panic_path_indexing() {
-        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
-        let diags = check("core", "crates/core/src/wire.rs", src);
-        assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("index"));
-    }
-
-    #[test]
-    fn indexing_ignores_attributes_types_and_macros() {
-        // Attribute `#[…]`, array type `[u8; 4]`, and macro `vec![…]` are
-        // not index expressions: the token before `[` is `#`, `:`, `!`.
-        let src = "#[derive(Debug)]\nstruct S { buf: [u8; 4] }\nfn f() -> Vec<u8> { vec![1] }\n";
-        assert_eq!(check("core", "crates/core/src/wire.rs", src).len(), 0);
     }
 
     #[test]
@@ -577,5 +991,137 @@ mod tests {
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::<u8,u8>::new(); m.len(); }\n}\n";
         assert_eq!(check("paxos", "crates/paxos/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn sim_taint_follows_calls_across_files() {
+        let d = check_transitive(
+            &[
+                (
+                    "crates/simnet/src/engine.rs",
+                    "simnet",
+                    "impl Engine { pub fn dispatch(&mut self) { helper_tick(); } }",
+                ),
+                (
+                    "crates/obs/src/util.rs",
+                    "obs",
+                    "pub fn helper_tick() { let _ = std::time::Instant::now(); }",
+                ),
+                (
+                    "crates/bench/src/host.rs",
+                    "bench",
+                    "pub fn host_only() { let _ = std::time::Instant::now(); }",
+                ),
+            ],
+            &["Engine::dispatch"],
+            &[],
+        );
+        // Only the reachable helper is flagged; host_only is outside the wall.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "sim-taint");
+        assert_eq!(d[0].path, "crates/obs/src/util.rs");
+        assert_eq!(d[0].chain.len(), 2);
+        assert!(d[0].chain[0].starts_with("Engine::dispatch"));
+        assert!(d[0].chain[1].starts_with("helper_tick"));
+    }
+
+    #[test]
+    fn panic_taint_multi_hop() {
+        let d = check_transitive(
+            &[(
+                "crates/paxos/src/replica.rs",
+                "paxos",
+                "impl Replica {
+                    pub fn on_message(&mut self) { self.advance(); }
+                    fn advance(&mut self) { decode_inner(); }
+                }
+                fn decode_inner() { let v: Vec<u8> = Vec::new(); let _ = v[0]; }
+                fn unrelated(x: Option<u8>) { x.unwrap(); }",
+            )],
+            &[],
+            &["Replica::on_message"],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-taint");
+        assert_eq!(d[0].chain.len(), 3);
+    }
+
+    #[test]
+    fn state_growth_flags_grow_only_collections() {
+        let d = check_transitive(
+            &[(
+                "crates/paxos/src/replica.rs",
+                "paxos",
+                "pub struct Replica { log: Log }
+                 pub struct Log { entries: Vec<u8>, acked: Vec<u8> }
+                 impl Replica { pub fn on_message(&mut self) { self.log.record(1); } }
+                 impl Log {
+                     pub fn record(&mut self, b: u8) { self.entries.push(b); self.acked.push(b); }
+                     pub fn compact(&mut self) { self.acked.truncate(0); }
+                 }",
+            )],
+            &[],
+            &["Replica::on_message"],
+        );
+        let growth: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "state-growth").collect();
+        assert_eq!(growth.len(), 1);
+        assert!(growth[0].message.contains("Log.entries"));
+        // Chain: root → Replica.log field hop.
+        assert_eq!(growth[0].chain.len(), 2);
+        assert!(growth[0].chain[0].starts_with("root Replica::on_message"));
+        assert!(growth[0].chain[1].starts_with("Replica.log: Log"));
+    }
+
+    #[test]
+    fn float_state_flags_transitively_held_fields() {
+        let d = check_transitive(
+            &[(
+                "crates/paxos/src/replica.rs",
+                "paxos",
+                "pub struct Replica { stats: Stats }
+                 pub struct Stats { ewma: f64, count: u64 }
+                 impl Replica { pub fn on_message(&mut self) {} }",
+            )],
+            &[],
+            &["Replica::on_message"],
+        );
+        let floats: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "float-state").collect();
+        assert_eq!(floats.len(), 1);
+        assert!(floats[0].message.contains("Stats.ewma"));
+        assert_eq!(floats[0].chain.len(), 2);
+    }
+
+    #[test]
+    fn lossy_cast_on_reachable_paths_only() {
+        let d = check_transitive(
+            &[(
+                "crates/paxos/src/replica.rs",
+                "paxos",
+                "impl Replica { pub fn on_message(&mut self, slot: u64) { encode(slot); } }
+                 fn encode(slot: u64) -> u32 { slot as u32 }
+                 fn host_side(slot: u64) -> u32 { slot as u32 }",
+            )],
+            &[],
+            &["Replica::on_message"],
+        );
+        let casts: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == "lossy-cast").collect();
+        assert_eq!(casts.len(), 1);
+        assert_eq!(casts[0].chain.len(), 2);
+        assert!(casts[0].message.contains("slot as u32"));
+    }
+
+    #[test]
+    fn widening_cast_is_fine() {
+        let d = check_transitive(
+            &[(
+                "crates/paxos/src/replica.rs",
+                "paxos",
+                "impl Replica { pub fn on_message(&mut self, slot: u32) { widen(slot); } }
+                 fn widen(slot: u32) -> u64 { slot as u64 }",
+            )],
+            &[],
+            &["Replica::on_message"],
+        );
+        assert!(d.iter().all(|d| d.rule != "lossy-cast"));
     }
 }

@@ -1,21 +1,37 @@
-//! Workspace enumeration and the analysis driver: scan files, run rules,
-//! apply waivers, detect stale waivers, build the report.
+//! Workspace enumeration and the analysis driver: scan files, build the
+//! call graph, run file-scoped and transitive rules, apply waivers,
+//! detect stale waivers and stale roots, build the report.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::config::{inline_allows, parse_waivers, ConfigError};
+use crate::config::{inline_allows, parse_config, Config, ConfigError};
 use crate::diag::Diagnostic;
-use crate::lexer::lex;
-use crate::rules::{check_file, is_known_rule, FileCtx};
+use crate::graph::{build, FileInput};
+use crate::items::{extract_calls, parse_items};
+use crate::lexer::{lex, test_spans};
+use crate::reach::{match_roots, reachable};
+use crate::rules::{check_file, check_graph, is_known_rule, FileCtx, FileData, GraphCtx};
 
-/// A waiver that matched nothing (or is malformed) — itself an error.
+/// A waiver or root pattern that matched nothing (or is malformed) —
+/// itself an error.
 #[derive(Debug, Clone)]
 pub struct StaleWaiver {
-    /// Where the waiver is declared (`simlint.toml:12` or `file.rs:34`).
+    /// Where it is declared (`simlint.toml:12` or `file.rs:34`).
     pub declared_at: String,
     pub rule: String,
     pub message: String,
+}
+
+/// Call-graph statistics for the report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GraphStats {
+    pub functions: usize,
+    pub edges: usize,
+    pub sim_roots: usize,
+    pub sim_reachable: usize,
+    pub protocol_roots: usize,
+    pub protocol_reachable: usize,
 }
 
 /// Full analysis result for one run.
@@ -25,15 +41,25 @@ pub struct Report {
     pub errors: Vec<Diagnostic>,
     /// Violations suppressed by a waiver, with the justification.
     pub waived: Vec<(Diagnostic, String)>,
-    /// Stale or malformed waivers (also cause a non-zero exit).
+    /// Stale or malformed waivers and stale root patterns (also cause a
+    /// non-zero exit — code 3 when they are the *only* failure).
     pub stale: Vec<StaleWaiver>,
     pub files_scanned: usize,
+    pub stats: GraphStats,
+    /// Graphviz DOT of the root-reachable subgraph (for `--graph-dot`).
+    pub dot: String,
 }
 
 impl Report {
     /// Whether the run should exit non-zero.
     pub fn failed(&self) -> bool {
         !self.errors.is_empty() || !self.stale.is_empty()
+    }
+
+    /// Whether the *only* failure is staleness (dedicated exit code 3,
+    /// so CI can distinguish "code is dirty" from "allowlist rotted").
+    pub fn stale_only(&self) -> bool {
+        self.errors.is_empty() && !self.stale.is_empty()
     }
 }
 
@@ -88,11 +114,11 @@ pub fn crate_of(rel: &str) -> &str {
     }
 }
 
-/// Runs the full analysis over `root`, applying waivers from
-/// `waiver_src` (the contents of `simlint.toml`, empty string if absent).
-pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
-    let waivers = parse_waivers(waiver_src)?;
-    for w in &waivers {
+/// Runs the full analysis over `root`, applying configuration from
+/// `config_src` (the contents of `simlint.toml`, empty string if absent).
+pub fn analyze(root: &Path, config_src: &str) -> Result<Report, ConfigError> {
+    let cfg = parse_config(config_src)?;
+    for w in &cfg.waivers {
         if !is_known_rule(&w.rule) {
             return Err(ConfigError {
                 line: w.decl_line,
@@ -100,26 +126,121 @@ pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
             });
         }
     }
-    let files = collect_files(root);
-    let mut report = Report::default();
-    let mut waiver_hits = vec![0usize; waivers.len()];
 
-    for path in &files {
-        let rel = rel_path(root, path);
-        let Ok(src) = fs::read_to_string(path) else {
+    // Load every file once: lex, test spans, items.
+    let mut data: Vec<FileData> = Vec::new();
+    for path in collect_files(root) {
+        let rel = rel_path(root, &path);
+        let Ok(src) = fs::read_to_string(&path) else {
             continue;
         };
-        report.files_scanned += 1;
         let lexed = lex(&src);
-        let diags = check_file(
-            &FileCtx {
-                rel_path: &rel,
-                crate_name: crate_of(&rel),
-                src: &src,
-            },
-            &lexed,
-        );
-        let allows = inline_allows(&lexed.comments);
+        let spans = test_spans(&lexed.tokens);
+        let items = parse_items(&lexed.tokens, &spans);
+        data.push(FileData {
+            krate: crate_of(&rel).to_string(),
+            rel,
+            src,
+            lexed,
+            items,
+        });
+    }
+    Ok(analyze_sources(&data, &cfg))
+}
+
+/// Runs the analysis over pre-loaded sources (shared by [`analyze`] and
+/// the in-memory fixture tests).
+pub fn analyze_sources(data: &[FileData], cfg: &Config) -> Report {
+    let mut report = Report {
+        files_scanned: data.len(),
+        ..Report::default()
+    };
+
+    // --- call graph + reachability --------------------------------------
+    let inputs: Vec<FileInput<'_>> = data
+        .iter()
+        .map(|f| FileInput {
+            path: &f.rel,
+            krate: &f.krate,
+            items: &f.items,
+        })
+        .collect();
+    let mut graph = build(&inputs);
+    for id in 0..graph.nodes.len() {
+        let (file, body) = (graph.nodes[id].file, graph.nodes[id].body);
+        if let Some(body) = body {
+            let calls = extract_calls(&data[file].lexed.tokens, body);
+            graph.add_calls(id, &calls);
+        }
+    }
+    let sim_roots = match_roots(&graph, &cfg.sim_roots);
+    let protocol_roots = match_roots(&graph, &cfg.protocol_roots);
+    for (set, pat) in sim_roots
+        .unmatched
+        .iter()
+        .map(|p| ("sim", p))
+        .chain(protocol_roots.unmatched.iter().map(|p| ("protocol", p)))
+    {
+        report.stale.push(StaleWaiver {
+            declared_at: format!("simlint.toml [roots] {set}"),
+            rule: "roots".into(),
+            message: format!(
+                "root pattern {pat:?} matches no workspace function — the lint wall \
+                 silently shrank (fix the pattern or remove it)"
+            ),
+        });
+    }
+    let sim = reachable(&graph, &sim_roots.ids);
+    let protocol = reachable(&graph, &protocol_roots.ids);
+    report.stats = GraphStats {
+        functions: graph.nodes.len(),
+        edges: graph.edges.iter().map(Vec::len).sum(),
+        sim_roots: sim_roots.ids.len(),
+        sim_reachable: sim.iter().filter(|p| p.is_some()).count(),
+        protocol_roots: protocol_roots.ids.len(),
+        protocol_reachable: protocol.iter().filter(|p| p.is_some()).count(),
+    };
+    let keep: Vec<bool> = (0..graph.nodes.len())
+        .map(|i| sim[i].is_some() || protocol[i].is_some())
+        .collect();
+    report.dot = graph.to_dot(&keep);
+
+    // --- run rules -------------------------------------------------------
+    let mut per_file: Vec<Vec<Diagnostic>> = data
+        .iter()
+        .map(|f| {
+            check_file(
+                &FileCtx {
+                    rel_path: &f.rel,
+                    crate_name: &f.krate,
+                    src: &f.src,
+                },
+                &f.lexed,
+            )
+        })
+        .collect();
+    let transitive = check_graph(&GraphCtx {
+        files: data,
+        graph: &graph,
+        sim_roots: &sim_roots.ids,
+        sim: &sim,
+        protocol_roots: &protocol_roots.ids,
+        protocol: &protocol,
+    });
+    for d in transitive {
+        if let Some(fi) = data.iter().position(|f| f.rel == d.path) {
+            per_file[fi].push(d);
+        }
+    }
+    for diags in &mut per_file {
+        diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    }
+
+    // --- waivers ---------------------------------------------------------
+    let mut waiver_hits = vec![0usize; cfg.waivers.len()];
+    for (f, diags) in data.iter().zip(per_file) {
+        let rel = &f.rel;
+        let allows = inline_allows(&f.lexed.comments);
 
         // Track inline allow usage for stale detection.
         let mut allow_hits = vec![0usize; allows.len()];
@@ -161,7 +282,7 @@ pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
                 }
             }
             // Central waivers.
-            for (wi, w) in waivers.iter().enumerate() {
+            for (wi, w) in cfg.waivers.iter().enumerate() {
                 if w.rule == d.rule && w.path == d.path && w.line.is_none_or(|l| l == d.line) {
                     waiver_hits[wi] += 1;
                     report.waived.push((d, w.reason.clone()));
@@ -182,9 +303,9 @@ pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
         }
     }
 
-    for (wi, w) in waivers.iter().enumerate() {
+    for (wi, w) in cfg.waivers.iter().enumerate() {
         if waiver_hits[wi] == 0 {
-            let exists = root.join(&w.path).exists();
+            let exists = data.iter().any(|f| f.rel == w.path);
             report.stale.push(StaleWaiver {
                 declared_at: format!("simlint.toml:{}", w.decl_line),
                 rule: w.rule.clone(),
@@ -200,7 +321,11 @@ pub fn analyze(root: &Path, waiver_src: &str) -> Result<Report, ConfigError> {
         }
     }
 
-    Ok(report)
+    // Keep the report deterministic regardless of rule execution order.
+    report
+        .errors
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    report
 }
 
 /// Repo-relative path with forward slashes.

@@ -1,13 +1,17 @@
-//! Fixture-corpus integration tests: each rule is exercised against a
-//! committed mini-workspace with seeded violations (`bad_ws`), a clean
-//! twin (`good_ws`), and an inline-waiver case (`waived_ws`); the CLI
-//! binary is run end-to-end for exit codes and the `--json` schema; and
-//! the real repository is linted with its committed `simlint.toml` so a
-//! new violation or a stale waiver fails `cargo test` as well as CI.
+//! Fixture-corpus integration tests: each rule is exercised against
+//! committed mini-workspaces — seeded file-scoped violations
+//! (`bad_ws`), a clean twin (`good_ws`), an inline-waiver case
+//! (`waived_ws`), and a transitive corpus whose violations sit at the
+//! end of multi-hop cross-crate call chains (`taint_ws`). The CLI
+//! binary is run end-to-end for exit codes (including the dedicated
+//! stale-only exit 3) and the `--json` schema; and the real repository
+//! is linted with its committed `simlint.toml` so a new violation or a
+//! stale waiver fails `cargo test` as well as CI.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use simlint::diag::Diagnostic;
 use simlint::workspace::analyze;
 use simlint::{report_to_json, JSON_VERSION};
 
@@ -28,28 +32,154 @@ fn rule_count(report: &simlint::workspace::Report, rule: &str) -> usize {
     report.errors.iter().filter(|d| d.rule == rule).count()
 }
 
+fn only<'a>(report: &'a simlint::workspace::Report, rule: &str) -> &'a Diagnostic {
+    let mut it = report.errors.iter().filter(|d| d.rule == rule);
+    let first = it.next().unwrap_or_else(|| panic!("no {rule} diagnostic"));
+    assert!(it.next().is_none(), "more than one {rule} diagnostic");
+    first
+}
+
+/// The committed roots for the transitive corpus (also read by the CLI
+/// when it is pointed at the fixture directory).
+fn taint_roots() -> String {
+    std::fs::read_to_string(fixture("taint_ws").join("simlint.toml")).expect("taint_ws roots")
+}
+
 #[test]
-fn bad_workspace_flags_every_seeded_violation() {
+fn bad_workspace_flags_every_seeded_file_scoped_violation() {
     let report = analyze(&fixture("bad_ws"), "").expect("analyze");
     assert!(report.failed(), "seeded violations must fail the lint");
     // Exact counts pin both the detectors and their span logic: the
     // `#[cfg(test)]` Instant in clock.rs must NOT be in these numbers.
     assert_eq!(rule_count(&report, "hash-order"), 2, "import + signature");
+    assert_eq!(rule_count(&report, "io-println"), 2, "println + eprintln");
+    assert_eq!(rule_count(&report, "unchecked-slot-arith"), 1, "slot + 1");
+    assert_eq!(report.errors.len(), 5);
+    assert!(report.waived.is_empty());
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn declaring_roots_adds_transitive_findings_to_bad_workspace() {
+    // Without roots the wall-clock leak and the panics are invisible;
+    // declaring the fixture fns as roots surfaces them transitively.
+    let roots = r#"
+        [roots]
+        sim = ["now_us", "entropy"]
+        protocol = ["handle"]
+    "#;
+    let report = analyze(&fixture("bad_ws"), roots).expect("analyze");
     assert_eq!(
-        rule_count(&report, "wall-clock"),
+        rule_count(&report, "sim-taint"),
         2,
         "Instant + rand::random"
     );
     assert_eq!(
-        rule_count(&report, "panic-path"),
+        rule_count(&report, "panic-taint"),
         3,
         "indexing + unwrap + panic!"
     );
-    assert_eq!(rule_count(&report, "io-println"), 2, "println + eprintln");
-    assert_eq!(rule_count(&report, "unchecked-slot-arith"), 1, "slot + 1");
-    assert_eq!(report.errors.len(), 10);
-    assert!(report.waived.is_empty());
+    assert_eq!(report.errors.len(), 10, "5 file-scoped + 5 transitive");
+    assert!(report.stale.is_empty(), "all root patterns match");
+}
+
+#[test]
+fn transitive_corpus_flags_every_rule_with_call_chains() {
+    let report = analyze(&fixture("taint_ws"), &taint_roots()).expect("analyze");
+    assert_eq!(report.errors.len(), 5, "one finding per transitive rule");
     assert!(report.stale.is_empty());
+
+    // sim-taint: SystemTime four hops from the root, across crates.
+    let d = only(&report, "sim-taint");
+    assert_eq!(d.path, "crates/core/src/helpers.rs");
+    assert_eq!(d.line, 10);
+    assert_eq!(
+        d.chain.len(),
+        4,
+        "on_message → step → persist → stamp: {:?}",
+        d.chain
+    );
+    assert!(d.chain[0].starts_with("Replica::on_message (crates/paxos/src/replica.rs:"));
+    assert!(d.chain[1].starts_with("Replica::step ("));
+    assert!(d.chain[2].starts_with("persist (crates/core/src/helpers.rs:"));
+    assert!(d.chain[3].starts_with("stamp ("));
+
+    // panic-taint: the indexing expression in the same leaf fn.
+    let d = only(&report, "panic-taint");
+    assert_eq!(
+        (d.path.as_str(), d.line),
+        ("crates/core/src/helpers.rs", 12)
+    );
+    assert_eq!(d.chain.len(), 4);
+
+    // lossy-cast: `slot as u32` down the other helper chain.
+    let d = only(&report, "lossy-cast");
+    assert_eq!(
+        (d.path.as_str(), d.line),
+        ("crates/core/src/helpers.rs", 20)
+    );
+    assert_eq!(
+        d.chain.len(),
+        4,
+        "on_message → step → narrowed → narrow: {:?}",
+        d.chain
+    );
+    assert!(d.chain[3].starts_with("narrow ("));
+
+    // state-growth: `Log.entries` held via the `Replica.log` field; the
+    // chain is the held-type provenance, not a call path.
+    let d = only(&report, "state-growth");
+    assert_eq!(
+        (d.path.as_str(), d.line),
+        ("crates/paxos/src/replica.rs", 19)
+    );
+    assert!(d.message.contains("`Log.entries` (Vec)"));
+    assert!(d.chain[0].starts_with("root Replica::on_message ("));
+    assert!(d.chain[1].starts_with("Replica.log: Log ("));
+
+    // float-state: the f64 directly inside the root-held struct.
+    let d = only(&report, "float-state");
+    assert_eq!(
+        (d.path.as_str(), d.line),
+        ("crates/paxos/src/replica.rs", 15)
+    );
+    assert!(d.message.contains("`Replica.load_factor` is `f64`"));
+    assert!(d.chain[0].starts_with("root Replica::on_message ("));
+}
+
+#[test]
+fn transitive_corpus_graph_stats_and_dot_export() {
+    let report = analyze(&fixture("taint_ws"), &taint_roots()).expect("analyze");
+    assert_eq!(report.stats.functions, 6);
+    assert_eq!(report.stats.edges, 5);
+    assert_eq!(report.stats.sim_roots, 1);
+    assert_eq!(report.stats.sim_reachable, 6, "every fn is on a chain");
+    assert_eq!(report.stats.protocol_reachable, 6);
+    assert!(report.dot.starts_with("digraph simlint {"));
+    assert!(report.dot.contains("Replica::step"));
+    assert!(report.dot.contains("cluster_core"), "crate clustering");
+}
+
+#[test]
+fn deleting_a_root_is_caught_as_stale() {
+    // Satellite 6: if a declared entry point is renamed or deleted, the
+    // reachable set silently shrinks — simlint must refuse to pass.
+    let roots = r#"
+        [roots]
+        sim = ["Replica::on_message", "Replica::vanished_handler"]
+        protocol = ["Replica::on_message"]
+    "#;
+    let report = analyze(&fixture("taint_ws"), roots).expect("analyze");
+    assert!(report.failed());
+    let stale: Vec<_> = report.stale.iter().filter(|s| s.rule == "roots").collect();
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].declared_at.contains("[roots] sim"));
+    assert!(stale[0].message.contains("matches no workspace function"));
+    assert!(
+        stale[0].message.contains("vanished_handler"),
+        "names the missing pattern: {}",
+        stale[0].message
+    );
 }
 
 #[test]
@@ -88,7 +218,7 @@ fn toml_waiver_suppresses_matching_diagnostics() {
     let report = analyze(&fixture("bad_ws"), waivers).expect("analyze");
     assert_eq!(rule_count(&report, "io-println"), 0);
     assert_eq!(report.waived.len(), 2);
-    assert_eq!(report.errors.len(), 8, "other rules still fire");
+    assert_eq!(report.errors.len(), 3, "other rules still fire");
     assert!(report.stale.is_empty());
 }
 
@@ -118,6 +248,7 @@ fn stale_toml_waiver_is_an_error() {
     "#;
     let report = analyze(&fixture("good_ws"), waivers).expect("analyze");
     assert!(report.failed(), "a waiver matching nothing must fail");
+    assert!(report.stale_only(), "clean code + stale waiver = exit 3");
     assert_eq!(report.stale.len(), 1);
     assert!(report.stale[0].message.contains("stale waiver"));
 }
@@ -149,7 +280,7 @@ fn waiver_naming_unknown_rule_is_a_config_error() {
 
 #[test]
 fn json_report_matches_schema() {
-    let report = analyze(&fixture("bad_ws"), "").expect("analyze");
+    let report = analyze(&fixture("taint_ws"), &taint_roots()).expect("analyze");
     let doc = report_to_json(&report);
     // Stable top-level schema the CI job and external tooling key on.
     for key in [
@@ -159,22 +290,27 @@ fn json_report_matches_schema() {
         "\"diagnostics\"",
         "\"waived\"",
         "\"stale_waivers\"",
+        "\"graph\"",
         "\"summary\"",
     ] {
         assert!(doc.contains(key), "missing {key} in:\n{doc}");
     }
     assert!(doc.contains(&format!("\"version\": {JSON_VERSION}")));
-    assert!(doc.contains("\"errors\": 10"));
-    // Every diagnostic row carries the fields a consumer needs to locate it.
+    assert!(doc.contains("\"errors\": 5"));
+    // Every diagnostic row carries the fields a consumer needs to
+    // locate it — including the v2 call chain.
     for field in [
         "\"rule\":",
         "\"path\":",
         "\"line\":",
         "\"col\":",
         "\"message\":",
+        "\"chain\":[",
     ] {
         assert!(doc.contains(field), "diagnostic rows need {field}");
     }
+    assert!(doc.contains("\"functions\": 6"));
+    assert!(doc.contains("\"sim_reachable\": 6"));
 }
 
 #[test]
@@ -201,6 +337,45 @@ fn cli_fails_on_seeded_violations_and_passes_clean_tree() {
     assert!(
         !stdout.contains("simlint: "),
         "--json - must keep stdout pure JSON"
+    );
+}
+
+#[test]
+fn cli_picks_up_fixture_roots_and_exports_the_graph() {
+    // `--root taint_ws` reads the committed taint_ws/simlint.toml, so
+    // the CLI exercises the same [roots] parsing as the real repo.
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture("taint_ws"))
+        .args(["--graph-dot", "-"])
+        .output()
+        .expect("run simlint");
+    assert_eq!(out.status.code(), Some(1), "five seeded violations");
+    let dot = String::from_utf8(out.stdout).expect("utf8 dot");
+    assert!(dot.starts_with("digraph simlint {"));
+    assert!(dot.contains("Replica::on_message"));
+}
+
+#[test]
+fn cli_exits_3_when_only_failure_is_staleness() {
+    // Dedicated exit code so CI can tell "code is dirty" (1) apart
+    // from "the allowlist or the lint wall rotted" (3).
+    let cfg = std::env::temp_dir().join("simlint_stale_roots_test.toml");
+    std::fs::write(&cfg, "[roots]\nsim = [\"Replica::vanished_handler\"]\n")
+        .expect("write temp config");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture("taint_ws"))
+        .args(["--config"])
+        .arg(&cfg)
+        .arg("--quiet")
+        .output()
+        .expect("run simlint");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stale-only must exit 3, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
     );
 }
 
@@ -237,4 +412,9 @@ fn repository_is_clean_under_its_committed_waivers() {
             .join("\n")
     );
     assert!(report.stale.is_empty(), "stale waivers: {:?}", report.stale);
+    assert!(
+        report.stats.sim_reachable > 100 && report.stats.protocol_reachable > 100,
+        "sanity: the lint walls actually cover the workspace ({:?})",
+        report.stats
+    );
 }

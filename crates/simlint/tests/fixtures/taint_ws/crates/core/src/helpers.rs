@@ -1,0 +1,21 @@
+//! Helper crate for the transitive fixture: the actual violation
+//! tokens sit at the far end of cross-crate call chains, so a
+//! file-scoped scan of `replica.rs` alone would find nothing.
+
+pub fn persist(v: u64) -> u64 {
+    stamp(v)
+}
+
+fn stamp(v: u64) -> u64 {
+    let _t = std::time::SystemTime::now();
+    let arr = [v, 1];
+    arr[0]
+}
+
+pub fn narrowed(slot: u64) -> u32 {
+    narrow(slot)
+}
+
+fn narrow(slot: u64) -> u32 {
+    slot as u32
+}

@@ -271,7 +271,9 @@ impl<M: std::fmt::Debug> Engine<M> {
 
     /// Whether `node` is currently up.
     pub fn is_up(&self, node: NodeId) -> bool {
-        self.nodes[node.index()].status == NodeStatus::Up
+        self.nodes
+            .get(node.index())
+            .is_some_and(|n| n.status == NodeStatus::Up)
     }
 
     /// Lifecycle record of `node`.

@@ -150,7 +150,9 @@ impl<T> EventWheel<T> {
         } else if at < self.horizon() {
             let idx = ((at / BUCKET_WIDTH_US) as usize) & BUCKET_MASK;
             self.wheel_len += 1;
-            self.buckets[idx].push(entry);
+            if let Some(bucket) = self.buckets.get_mut(idx) {
+                bucket.push(entry);
+            }
         } else {
             self.overflow.push(Reverse(entry));
         }

@@ -278,7 +278,10 @@ impl Bookstore {
     pub fn customer(&self, id: CustomerId) -> Result<&Customer, StoreError> {
         let base_n = self.base.params.customers();
         if id.0 < base_n {
-            Ok(&self.base.customers[id.0 as usize])
+            self.base
+                .customers
+                .get(id.0 as usize)
+                .ok_or(StoreError::NoSuchCustomer)
         } else {
             self.overlay
                 .new_customers
@@ -414,7 +417,12 @@ impl Bookstore {
         }
         let mut v: Vec<(ItemId, u64)> = qty
             .into_iter()
-            .filter(|(id, _)| self.base.items[id.0 as usize].subject as usize == subject)
+            .filter(|(id, _)| {
+                self.base
+                    .items
+                    .get(id.0 as usize)
+                    .is_some_and(|it| it.subject as usize == subject)
+            })
             .collect();
         v.sort_by_key(|(id, q)| (std::cmp::Reverse(*q), *id));
         v.truncate(50);
@@ -512,7 +520,9 @@ impl Bookstore {
             Some(_) => return Err(StoreError::NoSuchCart),
             None => self.create_cart(now),
         };
-        let cart = self.overlay.carts.get_mut(&id.0).expect("cart exists");
+        let Some(cart) = self.overlay.carts.get_mut(&id.0) else {
+            return Err(StoreError::NoSuchCart);
+        };
         if let Some((item, qty)) = add {
             cart.update(item, qty.max(1));
         }
