@@ -9,7 +9,8 @@
 //! returning, so the numbers below are from runs whose agreement,
 //! durability ordering and mode discipline were checked end to end.
 
-use bench::{base_config, Console, JsonReport, Mode, TraceSink};
+use bench::render::render_fd_quality;
+use bench::{base_config, Console, FaultRun, JsonReport, Mode, TraceSink};
 use cluster::run_experiment;
 use faultload::{Faultload, LinkFaultSpec};
 use tpcw::Profile;
@@ -52,6 +53,7 @@ fn main() {
 
     let mut json = JsonReport::new("exp_adversarial", mode);
     let mut trace = TraceSink::from_args();
+    let mut runs: Vec<FaultRun> = Vec::new();
     con.say(format_args!(
         "Adversarial faultloads, 5 replicas, shopping mix ({mode:?} schedule):"
     ));
@@ -75,8 +77,18 @@ fn main() {
                 report.audit.checks,
                 report.audit.total_violations,
             ));
+            runs.push(FaultRun {
+                replicas: 5,
+                profile: Profile::Shopping,
+                ebs: config.ebs,
+                report,
+            });
         }
     }
+    con.say(render_fd_quality(
+        "Adversarial faultloads: failure-detector quality",
+        &runs,
+    ));
     json.write_if_requested();
     trace.write_if_requested();
 }

@@ -2,7 +2,7 @@
 //! (operator-triggered) recovery.
 use bench::render::{
     render_accuracy, render_autonomy, render_availability, render_fault_histogram,
-    render_performability_delayed,
+    render_fd_quality, render_performability_delayed,
 };
 use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
@@ -37,6 +37,10 @@ fn main() {
     ));
     con.say(render_availability(
         "Delayed recovery: availability decomposition",
+        &runs,
+    ));
+    con.say(render_fd_quality(
+        "Delayed recovery: failure-detector quality",
         &runs,
     ));
 }

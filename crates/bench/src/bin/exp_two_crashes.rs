@@ -1,7 +1,7 @@
 //! Figure 7 + Tables 3–4 — two overlapped crashes, autonomous recoveries.
 use bench::render::{
     render_accuracy, render_autonomy, render_availability, render_fault_histogram,
-    render_performability,
+    render_fd_quality, render_performability,
 };
 use bench::{dependability_grid, Console, JsonReport, Mode, TraceSink};
 use faultload::Faultload;
@@ -33,6 +33,10 @@ fn main() {
     con.say(render_autonomy("Two crashes: availability/autonomy", &runs));
     con.say(render_availability(
         "Two crashes: availability decomposition",
+        &runs,
+    ));
+    con.say(render_fd_quality(
+        "Two crashes: failure-detector quality",
         &runs,
     ));
 }

@@ -26,8 +26,9 @@ pub mod report;
 pub use parallel::run_parallel;
 pub use render::Console;
 pub use report::{
-    availability_from_run, committed_updates, json_path_from_args, reconfig_availability,
-    run_markers, timeline_from_run, trace_path_from_args, JsonReport, TraceSink,
+    alert_score_from_run, availability_from_run, committed_updates, json_path_from_args,
+    monitor_fields, reconfig_availability, run_markers, timeline_from_run, trace_path_from_args,
+    JsonReport, TraceSink,
 };
 
 use cluster::{run_experiment, ExperimentConfig, RunReport, ServiceModel};

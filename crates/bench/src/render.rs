@@ -320,6 +320,59 @@ pub fn render_fd_quality(title: &str, runs: &[FaultRun]) -> String {
     out
 }
 
+/// Renders the online monitor's alert quality per run: ground-truth
+/// incidents vs detected/missed, mean/max detection latency, false
+/// positives, and the mean time-to-resolve. Rows whose runs were not
+/// monitored (no alerts, no injections) still render — a fault-free
+/// monitored baseline with zero firings is exactly the result the
+/// false-positive column is for.
+pub fn render_alert_quality(title: &str, runs: &[(String, &cluster::RunReport)]) -> String {
+    let mut out = format!(
+        "{title}\n  run                            | inc | det | miss |  FP | fired | detect mean(s) | detect max(s) | resolve mean(s)\n"
+    );
+    for (label, report) in runs {
+        let score = crate::report::alert_score_from_run(report);
+        let detected: Vec<u64> = score
+            .incidents
+            .iter()
+            .filter_map(|i| i.detection_latency_us)
+            .collect();
+        let resolved: Vec<u64> = score
+            .incidents
+            .iter()
+            .filter_map(|i| i.resolve_latency_us)
+            .collect();
+        let mean_s = |v: &[u64]| {
+            if v.is_empty() {
+                "      -".to_string()
+            } else {
+                format!(
+                    "{:7.1}",
+                    v.iter().sum::<u64>() as f64 / v.len() as f64 / 1e6
+                )
+            }
+        };
+        let max_s = detected
+            .iter()
+            .max()
+            .map(|us| format!("{:7.1}", *us as f64 / 1e6))
+            .unwrap_or_else(|| "      -".to_string());
+        out.push_str(&format!(
+            "  {:<30} | {:3} | {:3} | {:4} | {:3} | {:5} |        {} |       {} |         {}\n",
+            label,
+            score.incidents.len(),
+            score.detected(),
+            score.missed(),
+            score.false_positives,
+            score.firings,
+            mean_s(&detected),
+            max_s,
+            mean_s(&resolved),
+        ));
+    }
+    out
+}
+
 /// Renders one fault run's WIPS histogram with crash (c) and recovery
 /// (r) markers — the Figures 5/7/8 panels.
 pub fn render_fault_histogram(run: &FaultRun) -> String {

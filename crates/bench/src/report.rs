@@ -299,8 +299,67 @@ pub fn run_markers(report: &RunReport) -> Vec<(u64, u32, &'static str)> {
             markers.push((t, node, "epoch_change"));
         }
     }
+    // Operator-visible alert windows from the online monitor (empty
+    // unless the run was monitored). Cluster-scoped alerts are pinned
+    // to the proxy/admin node so every marker has a plottable lane.
+    let admin_node = report.server_status.len() as u32;
+    for alert in &report.alerts.entries {
+        let node = if alert.subject == obs::SUBJECT_CLUSTER {
+            admin_node
+        } else {
+            alert.subject
+        };
+        match alert.phase {
+            obs::AlertPhase::Firing => markers.push((alert.t_us, node, "alert_firing")),
+            obs::AlertPhase::Resolved => markers.push((alert.t_us, node, "alert_resolved")),
+            obs::AlertPhase::Pending => {}
+        }
+    }
     markers.sort_unstable();
     markers
+}
+
+/// Scores the run's alert log against its own ground-truth injection
+/// log (disk-fault arming excluded — see
+/// [`faultload::InjectionLog::incidents`]).
+pub fn alert_score_from_run(report: &RunReport) -> obs::AlertScore {
+    let truth: Vec<obs::GroundTruth> = report
+        .injections
+        .incidents()
+        .map(|i| obs::GroundTruth {
+            at_us: i.at_us,
+            node: i.node,
+            kind: i.kind,
+        })
+        .collect();
+    obs::score_alerts(&report.alerts, &truth, &obs::ScoreConfig::default())
+}
+
+/// The monitor's JSON fields for a monitored run: alert counts, the
+/// scorer's verdicts, and the mean/max detection latency over detected
+/// incidents (0 when nothing was injected, as on the fault-free
+/// baseline).
+pub fn monitor_fields(report: &RunReport) -> Vec<(&'static str, f64)> {
+    let score = alert_score_from_run(report);
+    let detected: Vec<u64> = score
+        .incidents
+        .iter()
+        .filter_map(|i| i.detection_latency_us)
+        .collect();
+    let det_mean = if detected.is_empty() {
+        0.0
+    } else {
+        detected.iter().sum::<u64>() as f64 / detected.len() as f64
+    };
+    let det_max = detected.iter().copied().max().unwrap_or(0) as f64;
+    vec![
+        ("monitor_incidents", score.incidents.len() as f64),
+        ("monitor_missed_incidents", score.missed() as f64),
+        ("monitor_false_positives", score.false_positives as f64),
+        ("monitor_alerts_fired", score.firings as f64),
+        ("alert_detection_latency_us", det_mean),
+        ("alert_detection_max_us", det_max),
+    ]
 }
 
 /// The run's WIPS curve as an [`obs::Timeline`], with the markers from

@@ -7,10 +7,17 @@
 //! watchdog re-instantiating crashed servers, and returns the per-second
 //! WIPS histogram plus the dependability report.
 
-use faultload::{DependabilityReport, Faultload, LinkFaultSpec, RecoveryKind, RecoverySpan};
+use faultload::{
+    DependabilityReport, Faultload, InjectionLog, LinkFaultSpec, RecoveryKind, RecoverySpan,
+    INJECT_CLUSTER, INJECT_CRASH, INJECT_DISK_FAULT, INJECT_NET_FAULT, INJECT_PARTITION,
+    INJECT_RECONFIG,
+};
+use obs::monitor::{Monitor, MonitorConfig, NodeHealth, Scrape};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use simnet::{DiskFault, Engine, Event, LinkFault, NodeId, SimConfig, SimDuration, SimTime};
+use simnet::{
+    DiskFault, Engine, Event, LinkFault, NodeId, SimConfig, SimDuration, SimTime, TickSchedule,
+};
 use tpcw::{PopulationParams, Profile, RbeConfig, Recorder, Schedule};
 use treplica::TreplicaConfig;
 
@@ -64,6 +71,11 @@ pub struct ExperimentConfig {
     /// flight ring ([`simnet::TraceConfig::flight_records`]) stays on by
     /// default so audit-violation panics always dump recent context.
     pub trace: simnet::TraceConfig,
+    /// Online SLO monitoring. Defaults off with the tracer's
+    /// zero-overhead guarantee: a disabled monitor schedules no scrape
+    /// ticks, so the engine's event stream is byte-identical to an
+    /// unmonitored run.
+    pub monitor: MonitorConfig,
 }
 
 impl ExperimentConfig {
@@ -89,6 +101,7 @@ impl ExperimentConfig {
             batch_max_updates: 1,
             batch_window_us: 0,
             trace: simnet::TraceConfig::default(),
+            monitor: MonitorConfig::default(),
         }
     }
 
@@ -113,6 +126,7 @@ impl ExperimentConfig {
             batch_max_updates: 1,
             batch_window_us: 0,
             trace: simnet::TraceConfig::default(),
+            monitor: MonitorConfig::default(),
         }
     }
 }
@@ -178,6 +192,13 @@ pub struct RunReport {
     /// Observable events the engine dispatched during the run — the
     /// denominator for events-per-second throughput reporting.
     pub engine_events: u64,
+    /// Ground truth: every fault the driver actually applied, stamped
+    /// with its true application time (always recorded; the log is
+    /// empty on fault-free runs).
+    pub injections: InjectionLog,
+    /// The online monitor's alert-lifecycle log (empty unless
+    /// [`ExperimentConfig::monitor`] enabled it).
+    pub alerts: obs::AlertLog,
 }
 
 #[derive(Debug, Clone)]
@@ -413,12 +434,37 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
     admin.sort_by_key(|(t, _)| *t);
     let mut admin_idx = 0usize;
 
+    // Ground truth for alert scoring: every fault stamped as applied.
+    let mut injections = InjectionLog::default();
+    let mut reconfig_recorded = vec![false; incidents.len()];
+
+    // Online monitoring. When disabled nothing is constructed and no
+    // tick ever bounds the dispatch loop — literally zero overhead.
+    // When enabled, the engine is paused at exact scrape instants while
+    // the monitor *reads* cluster state, which leaves the event stream
+    // untouched; ticks cover only the measurement interval so ramp-up
+    // and ramp-down never feed the rule windows.
+    let mut monitor = config
+        .monitor
+        .enabled
+        .then(|| Monitor::new(&config.monitor));
+    let mut scrape_ticks = config.monitor.enabled.then(|| {
+        TickSchedule::new(
+            SimTime::from_micros(config.schedule.measure_start_us()),
+            SimDuration::from_micros(config.monitor.scrape_interval_us.max(1)),
+            SimTime::from_micros(config.schedule.measure_end_us()),
+        )
+    });
+
     let end = SimTime::from_micros(config.schedule.total_us());
     loop {
-        let limit = match admin.get(admin_idx) {
+        let mut limit = match admin.get(admin_idx) {
             Some((t, _)) => end.min(SimTime::from_micros(*t)),
             None => end,
         };
+        if let Some(due) = scrape_ticks.as_ref().and_then(TickSchedule::next_due) {
+            limit = limit.min(due);
+        }
         match engine.next_event_before(limit) {
             Some((_, Event::DiskWriteFailed { node, token })) => {
                 // A failed fsync is fail-stop: the replica cannot tell
@@ -432,6 +478,10 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                     engine.crash(node);
                     servers[server] = None;
                     let now_us = engine.now().as_micros();
+                    // Ground truth: the disk fault *bites* here — the
+                    // induced fail-stop crash is the operator-visible
+                    // incident, stamped at its true time.
+                    injections.record(now_us, server as u32, INJECT_CRASH);
                     let span = spans.len();
                     spans.push(RecoverySpan {
                         server,
@@ -460,7 +510,42 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                 );
             }
             None => {
-                // Clock is at `limit`: apply due admin actions or finish.
+                // Clock is at `limit`: scrape, apply due admin actions,
+                // or finish. The scrape runs first so that when a tick
+                // and a fault injection coincide, the monitor samples
+                // the pre-fault state — deterministic either way, but
+                // this order keeps detection latency honest.
+                if let Some(due) = scrape_ticks.as_ref().and_then(TickSchedule::next_due) {
+                    if engine.now() >= due {
+                        if let Some(ticks) = scrape_ticks.as_mut() {
+                            ticks.advance();
+                        }
+                        if let Some(mon) = monitor.as_mut() {
+                            let sample = scrape_sample(&servers, &proxy, &recorder);
+                            let now_us = engine.now().as_micros();
+                            for tr in mon.on_scrape(now_us, &sample) {
+                                let event = match tr.phase {
+                                    obs::AlertPhase::Pending => obs::TraceEvent::AlertPending {
+                                        rule: tr.rule,
+                                        subject: tr.subject,
+                                    },
+                                    obs::AlertPhase::Firing => obs::TraceEvent::AlertFiring {
+                                        rule: tr.rule,
+                                        subject: tr.subject,
+                                        pending_us: tr.elapsed_us,
+                                    },
+                                    obs::AlertPhase::Resolved => obs::TraceEvent::AlertResolved {
+                                        rule: tr.rule,
+                                        subject: tr.subject,
+                                        firing_us: tr.elapsed_us,
+                                    },
+                                };
+                                engine.trace(admin_node, event);
+                            }
+                        }
+                        continue;
+                    }
+                }
                 if let Some((t, action)) = admin.get(admin_idx).cloned() {
                     if engine.now() >= SimTime::from_micros(t) {
                         admin_idx += 1;
@@ -471,12 +556,22 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                     engine.crash(NodeId(server));
                                     servers[server] = None;
                                     spans[span].crash_at = engine.now().as_micros();
+                                    injections.record(
+                                        spans[span].crash_at,
+                                        server as u32,
+                                        INJECT_CRASH,
+                                    );
                                 }
                             }
                             Admin::Restart { server, span } => {
                                 if servers[server].is_none() {
                                     engine.restart(NodeId(server));
                                     spans[span].restart_at = engine.now().as_micros();
+                                    injections.clear_open(
+                                        server as u32,
+                                        INJECT_CRASH,
+                                        spans[span].restart_at,
+                                    );
                                     servers[server] = Some(ServerNode::recover(
                                         server,
                                         params,
@@ -489,6 +584,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                             }
                             Admin::NetFault { fault } => match fault {
                                 Some(f) => {
+                                    injections.record(
+                                        engine.now().as_micros(),
+                                        INJECT_CLUSTER,
+                                        INJECT_NET_FAULT,
+                                    );
                                     engine.trace(
                                         admin_node,
                                         obs::TraceEvent::NetFaultSet {
@@ -507,20 +607,37 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                     }
                                 }
                                 None => {
+                                    injections.clear_open(
+                                        INJECT_CLUSTER,
+                                        INJECT_NET_FAULT,
+                                        engine.now().as_micros(),
+                                    );
                                     engine.trace(admin_node, obs::TraceEvent::NetFaultCleared);
                                     engine.network_mut().clear_link_faults();
                                 }
                             },
                             Admin::DiskFault { server, fault } => {
                                 match &fault {
-                                    Some(f) => engine.trace(
-                                        NodeId(server),
-                                        obs::TraceEvent::DiskFaultSet {
-                                            fail_pct: (f.write_fail_probability * 100.0) as u64,
-                                            torn: f.torn_tail_on_crash,
-                                        },
-                                    ),
+                                    Some(f) => {
+                                        injections.record(
+                                            engine.now().as_micros(),
+                                            server as u32,
+                                            INJECT_DISK_FAULT,
+                                        );
+                                        engine.trace(
+                                            NodeId(server),
+                                            obs::TraceEvent::DiskFaultSet {
+                                                fail_pct: (f.write_fail_probability * 100.0) as u64,
+                                                torn: f.torn_tail_on_crash,
+                                            },
+                                        );
+                                    }
                                     None => {
+                                        injections.clear_open(
+                                            server as u32,
+                                            INJECT_DISK_FAULT,
+                                            engine.now().as_micros(),
+                                        );
                                         engine.trace(
                                             NodeId(server),
                                             obs::TraceEvent::DiskFaultCleared,
@@ -530,6 +647,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                 engine.set_disk_fault(NodeId(server), fault);
                             }
                             Admin::Cut { minority } => {
+                                injections.record(
+                                    engine.now().as_micros(),
+                                    INJECT_CLUSTER,
+                                    INJECT_PARTITION,
+                                );
                                 engine.trace(
                                     admin_node,
                                     obs::TraceEvent::PartitionCut {
@@ -545,10 +667,25 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                 engine.network_mut().partition(&majority, &isolated);
                             }
                             Admin::Heal => {
+                                injections.clear_open(
+                                    INJECT_CLUSTER,
+                                    INJECT_PARTITION,
+                                    engine.now().as_micros(),
+                                );
                                 engine.trace(admin_node, obs::TraceEvent::PartitionHealed);
                                 engine.network_mut().heal_all();
                             }
                             Admin::Reconfig { incident } => {
+                                // Recorded once per incident at the first
+                                // submission attempt, not per retry.
+                                if !reconfig_recorded[incident] {
+                                    reconfig_recorded[incident] = true;
+                                    injections.record(
+                                        engine.now().as_micros(),
+                                        INJECT_CLUSTER,
+                                        INJECT_RECONFIG,
+                                    );
+                                }
                                 let add: Vec<paxos::ReplicaId> = incidents[incident]
                                     .add
                                     .iter()
@@ -603,6 +740,11 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
                                     Some(membership) => {
                                         incidents[incident].completed_at_us =
                                             Some(engine.now().as_micros());
+                                        injections.clear_open(
+                                            INJECT_CLUSTER,
+                                            INJECT_RECONFIG,
+                                            engine.now().as_micros(),
+                                        );
                                         // Provision the joiners under the
                                         // new configuration (it contains
                                         // them) and route around the
@@ -728,6 +870,31 @@ pub fn run_experiment(config: &ExperimentConfig) -> RunReport {
         trace,
         metrics,
         engine_events: engine.events_dispatched(),
+        injections,
+        alerts: monitor.map(Monitor::into_log).unwrap_or_default(),
+    }
+}
+
+/// Assembles the monitor's out-of-band view of the cluster: cumulative
+/// client counters, per-slot process/readiness state, and the proxy's
+/// rotation size. Pure reads — scraping cannot perturb the run.
+fn scrape_sample(servers: &[Option<ServerNode>], proxy: &ProxyNode, recorder: &Recorder) -> Scrape {
+    Scrape {
+        ok_total: recorder.total_ok(),
+        err_total: recorder.total_errors(),
+        nodes: servers
+            .iter()
+            .map(|slot| match slot.as_ref() {
+                // Crashed, or a spare that was never provisioned.
+                None => NodeHealth::default(),
+                Some(server) => NodeHealth {
+                    present: true,
+                    ready: server.is_ready(),
+                    retired: server.is_retired(),
+                },
+            })
+            .collect(),
+        healthy_backends: proxy.healthy_count() as u64,
     }
 }
 

@@ -181,4 +181,82 @@ fn tracing_does_not_perturb_the_run() {
     let dark = run_experiment(&dark);
     assert!(dark.trace.is_empty());
     assert_eq!(fingerprint(&traced), fingerprint(&dark));
+
+    // The monitor is the same kind of pure observer: scrapes read
+    // counters the workload already maintains and alerts only add trace
+    // events, so a monitored run must fingerprint identically to the
+    // fully dark one.
+    let mut monitored = crash_config(false);
+    monitored.trace.flight_records = 0;
+    monitored.monitor = obs::MonitorConfig::on();
+    let monitored = run_experiment(&monitored);
+    assert!(
+        !monitored.alerts.entries.is_empty(),
+        "a monitored crash run must produce alert transitions"
+    );
+    assert_eq!(fingerprint(&traced), fingerprint(&monitored));
+}
+
+/// Same-seed monitored runs must produce byte-identical alert logs, and
+/// the alerts must actually score: the injected crash is detected with
+/// a positive latency and no false positives.
+#[test]
+fn same_seed_alert_logs_are_byte_identical_and_score_the_crash() {
+    let monitored = || {
+        let mut config = crash_config(false);
+        config.monitor = obs::MonitorConfig::on();
+        run_experiment(&config)
+    };
+    let a = monitored();
+    let b = monitored();
+    let lines = a.alerts.to_lines();
+    assert!(!lines.is_empty(), "crash run must log alert transitions");
+    assert_eq!(
+        lines,
+        b.alerts.to_lines(),
+        "same-seed alert logs must be byte-identical"
+    );
+    assert!(
+        !a.injections.is_empty(),
+        "the faultload's injections must be recorded as ground truth"
+    );
+
+    let truth: Vec<obs::GroundTruth> = a
+        .injections
+        .incidents()
+        .map(|i| obs::GroundTruth {
+            at_us: i.at_us,
+            node: i.node,
+            kind: i.kind,
+        })
+        .collect();
+    let score = obs::score_alerts(&a.alerts, &truth, &obs::ScoreConfig::default());
+    assert_eq!(score.incidents.len(), 1, "one crash incident expected");
+    assert_eq!(score.missed(), 0, "the crash must be detected");
+    assert_eq!(score.false_positives, 0, "no spurious firings");
+    assert!(
+        score.incidents[0]
+            .detection_latency_us
+            .is_some_and(|us| us > 0),
+        "detection latency must be positive"
+    );
+}
+
+/// A fault-free monitored run must stay silent: no firings, no false
+/// positives, at any of the swept sensitivities.
+#[test]
+fn fault_free_monitored_run_fires_nothing() {
+    for (pending, scale) in [(1u32, 50u64), (2, 100)] {
+        let mut config = ExperimentConfig::quick(5, Profile::Shopping);
+        config.monitor = obs::MonitorConfig::on().with_sensitivity(pending, scale);
+        let report = run_experiment(&config);
+        assert_eq!(
+            report.alerts.firings(),
+            0,
+            "fault-free run fired an alert at sensitivity ({pending}, {scale}): {:?}",
+            report.alerts.entries
+        );
+        let score = obs::score_alerts(&report.alerts, &[], &obs::ScoreConfig::default());
+        assert_eq!(score.false_positives, 0);
+    }
 }

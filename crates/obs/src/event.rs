@@ -352,6 +352,31 @@ pub enum TraceEvent {
         /// Cumulative violation count after this check.
         count: u64,
     },
+    /// The online monitor saw a rule breach (not yet debounced).
+    AlertPending {
+        /// Rule name from the monitor's declarative rule set.
+        rule: &'static str,
+        /// Node the alert is about, or `u32::MAX` for cluster scope.
+        subject: u32,
+    },
+    /// A monitor alert debounced into the firing state (a page).
+    AlertFiring {
+        /// Rule name.
+        rule: &'static str,
+        /// Node the alert is about, or `u32::MAX` for cluster scope.
+        subject: u32,
+        /// Time spent pending before firing, µs.
+        pending_us: u64,
+    },
+    /// A firing monitor alert stayed clean long enough to resolve.
+    AlertResolved {
+        /// Rule name.
+        rule: &'static str,
+        /// Node the alert is about, or `u32::MAX` for cluster scope.
+        subject: u32,
+        /// Time spent firing before resolving, µs.
+        firing_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -403,6 +428,9 @@ impl TraceEvent {
             TraceEvent::DiskFaultSet { .. } => "disk_fault_set",
             TraceEvent::DiskFaultCleared => "disk_fault_cleared",
             TraceEvent::AuditViolation { .. } => "audit_violation",
+            TraceEvent::AlertPending { .. } => "alert_pending",
+            TraceEvent::AlertFiring { .. } => "alert_firing",
+            TraceEvent::AlertResolved { .. } => "alert_resolved",
         }
     }
 }
@@ -550,6 +578,20 @@ mod tests {
             },
             TraceEvent::DiskFaultCleared,
             TraceEvent::AuditViolation { count: 1 },
+            TraceEvent::AlertPending {
+                rule: "replica_down",
+                subject: 0,
+            },
+            TraceEvent::AlertFiring {
+                rule: "replica_down",
+                subject: 0,
+                pending_us: 1,
+            },
+            TraceEvent::AlertResolved {
+                rule: "replica_down",
+                subject: 0,
+                firing_us: 1,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
         kinds.sort_unstable();

@@ -4,7 +4,7 @@
 //! the variant's fields in declaration order), no whitespace: the
 //! rendering of a record vector is a *canonical form*, so two runs
 //! whose traces are equal produce byte-identical files. A trace file
-//! may also contain run-header lines (`{"run":"label","v":2}`)
+//! may also contain run-header lines (`{"run":"label","v":3}`)
 //! separating the runs of a multi-configuration experiment; `v` is the
 //! trace schema version ([`SCHEMA_VERSION`]) and is tolerated missing
 //! (v1 files carried none).
@@ -18,8 +18,9 @@
 
 /// Trace schema version written into run headers. v2 added the causal
 /// vocabulary (msg_sent/msg_recv/msg_tag, xids on drops/dups) and the
-/// failure-detector events.
-pub const SCHEMA_VERSION: u64 = 2;
+/// failure-detector events; v3 added the online-monitor alert
+/// lifecycle (alert_pending/alert_firing/alert_resolved).
+pub const SCHEMA_VERSION: u64 = 3;
 
 use crate::event::{TraceEvent, TraceRecord};
 
@@ -148,6 +149,17 @@ pub fn encode(rec: &TraceRecord) -> String {
         DiskFaultSet { fail_pct, torn } => format!(",\"fail_pct\":{fail_pct},\"torn\":{torn}"),
         DiskFaultCleared => String::new(),
         AuditViolation { count } => format!(",\"count\":{count}"),
+        AlertPending { rule, subject } => format!(",\"rule\":\"{rule}\",\"subject\":{subject}"),
+        AlertFiring {
+            rule,
+            subject,
+            pending_us,
+        } => format!(",\"rule\":\"{rule}\",\"subject\":{subject},\"pending_us\":{pending_us}"),
+        AlertResolved {
+            rule,
+            subject,
+            firing_us,
+        } => format!(",\"rule\":\"{rule}\",\"subject\":{subject},\"firing_us\":{firing_us}"),
     };
     format!("{head}{fields}}}")
 }
@@ -404,6 +416,20 @@ fn decode_event(kind: &str, f: &[(String, Val)]) -> Result<Option<TraceEvent>, S
         "audit_violation" => AuditViolation {
             count: get_num(f, "count")?,
         },
+        "alert_pending" => AlertPending {
+            rule: get_tag(f, "rule")?,
+            subject: get_num(f, "subject")? as u32,
+        },
+        "alert_firing" => AlertFiring {
+            rule: get_tag(f, "rule")?,
+            subject: get_num(f, "subject")? as u32,
+            pending_us: get_num(f, "pending_us")?,
+        },
+        "alert_resolved" => AlertResolved {
+            rule: get_tag(f, "rule")?,
+            subject: get_num(f, "subject")? as u32,
+            firing_us: get_num(f, "firing_us")?,
+        },
         _ => return Ok(None),
     };
     Ok(Some(ev))
@@ -434,6 +460,12 @@ fn get_tag(f: &[(String, Val)], key: &str) -> Result<&'static str, String> {
         "learn_request",
         "learn_reply",
         "reconfig",
+        // Monitor rule names carried by alert_* records.
+        "replica_down",
+        "error_rate",
+        "slo_fast_burn",
+        "slo_slow_burn",
+        "wips_drop",
     ];
     match get(f, key) {
         Some(Val::Str(s)) => TAGS
@@ -684,6 +716,20 @@ mod tests {
                 suspected_us: 4_200_000,
             },
             AuditViolation { count: 3 },
+            AlertPending {
+                rule: "replica_down",
+                subject: 2,
+            },
+            AlertFiring {
+                rule: "slo_fast_burn",
+                subject: u32::MAX,
+                pending_us: 2_000_000,
+            },
+            AlertResolved {
+                rule: "wips_drop",
+                subject: u32::MAX,
+                firing_us: 17_000_000,
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
             roundtrip(TraceRecord {
@@ -740,7 +786,7 @@ mod tests {
     #[test]
     fn run_header_carries_schema_version() {
         let line = encode_run_header("x");
-        assert_eq!(line, "{\"run\":\"x\",\"v\":2}");
+        assert_eq!(line, "{\"run\":\"x\",\"v\":3}");
         // Old v1 headers (no "v") still parse.
         match decode("{\"run\":\"old\"}").expect("parse").expect("line") {
             Line::Run(label) => assert_eq!(label, "old"),

@@ -31,7 +31,12 @@
 //!   service, queueing) telescoping exactly to each commit latency;
 //! * [`analyze::fd_quality`] — failure-detector scoring (detection
 //!   latency, false suspicions, mistake durations) against the trace's
-//!   crash/restart ground truth.
+//!   crash/restart ground truth;
+//! * [`monitor`] — the one *online* layer: an in-sim SLO monitor fed
+//!   deterministic scrape ticks during the run (rolling windows,
+//!   threshold + multi-window burn-rate rules, a pending→firing→
+//!   resolved alert lifecycle) plus a scorer that joins fired alerts
+//!   against the faultload's ground-truth injection log.
 //!
 //! Everything is gated on [`TraceConfig`], default off: a disabled
 //! tracer costs one branch per would-be event and allocates nothing.
@@ -46,6 +51,7 @@ pub mod causal;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod monitor;
 pub mod spans;
 pub mod timeline;
 pub mod tracer;
@@ -57,6 +63,10 @@ pub use analyze::{
 pub use causal::{BlameCategory, BlameSegment, CausalPath, CausalProfile, TAG_NONE};
 pub use event::{TraceEvent, TraceRecord, MODE_BLOCKED, MODE_CLASSIC, MODE_FAST};
 pub use metrics::{Hist, NodeMetrics};
+pub use monitor::{
+    score_alerts, AlertLog, AlertPhase, AlertScore, AlertTransition, GroundTruth, IncidentScore,
+    Monitor, MonitorConfig, NodeHealth, Rule, RuleExpr, ScoreConfig, Scrape, SUBJECT_CLUSTER,
+};
 pub use spans::{SpanProfile, UpdateSpan, PHASES};
 pub use timeline::{
     availability_reports, availability_reports_for, AvailabilityReport, Timeline, TimelineConfig,

@@ -141,7 +141,12 @@ fn marker_kind(event: &TraceEvent) -> Option<&'static str> {
         | NetFaultSet { .. }
         | NetFaultCleared
         | DiskFaultSet { .. }
-        | DiskFaultCleared => Some(event.kind()),
+        | DiskFaultCleared
+        // Operator-visible alert windows next to the fault markers
+        // (pending transitions are deliberately omitted: they mark
+        // sub-debounce blips and would drown the plot).
+        | AlertFiring { .. }
+        | AlertResolved { .. } => Some(event.kind()),
         _ => None,
     }
 }
@@ -674,6 +679,45 @@ mod tests {
         let reports = availability_reports(&tl, &TimelineConfig::default());
         assert_eq!(reports.len(), 1);
         assert!(reports[0].ramp_to_95pct_us.is_some());
+    }
+
+    #[test]
+    fn alert_lifecycle_events_become_markers() {
+        let records = vec![
+            sample(0, 3),
+            rec(500_000, 0, TraceEvent::Crash),
+            rec(
+                2_000_000,
+                5,
+                TraceEvent::AlertPending {
+                    rule: "replica_down",
+                    subject: 0,
+                },
+            ),
+            rec(
+                3_000_000,
+                5,
+                TraceEvent::AlertFiring {
+                    rule: "replica_down",
+                    subject: 0,
+                    pending_us: 1_000_000,
+                },
+            ),
+            rec(
+                9_000_000,
+                5,
+                TraceEvent::AlertResolved {
+                    rule: "replica_down",
+                    subject: 0,
+                    firing_us: 6_000_000,
+                },
+            ),
+        ];
+        let tl = Timeline::from_records(&records, 5_000_000);
+        let kinds: Vec<&str> = tl.markers.iter().map(|m| m.kind).collect();
+        // Firing and resolve land next to the crash; pending stays out.
+        assert_eq!(kinds, ["crash", "alert_firing", "alert_resolved"]);
+        assert!(tl.window_events(0).contains("alert_firing:5"));
     }
 
     #[test]

@@ -34,7 +34,8 @@ with::
     cargo run --release -p bench --bin exp_reconfig -- --gate --json /tmp/reconfig.json
     cargo run --release -p bench --bin exp_reconfig -- --scenarios crash --quiet --trace /tmp/causal.jsonl
     cargo run --release -p bench --bin exp_causal -- /tmp/causal.jsonl --gate --quiet --json /tmp/causal.json
-    scripts/merge_gate_json.py BENCH_baseline.json /tmp/batching.json /tmp/reconfig.json /tmp/causal.json
+    cargo run --release -p bench --bin exp_monitor -- --gate --json /tmp/monitor.json
+    scripts/merge_gate_json.py BENCH_baseline.json /tmp/batching.json /tmp/reconfig.json /tmp/causal.json /tmp/monitor.json
 
 Points produced by ``exp_causal --json`` carry no throughput numbers;
 instead their ``causal_quorum_decide_mean_us`` (mean flush→decide
@@ -42,6 +43,14 @@ latency over every reconstructed critical path) gates the distributed
 consensus round-trip, with ``causal_paths`` and ``blame_disk_fsync_us``
 asserting the causal DAG keeps reconstructing and the synchronous log
 write stays visible on the critical path.
+
+Points produced by ``exp_monitor --gate --json`` pin the online SLO
+monitor: every ground-truth incident the baseline detected must stay
+detected (``monitor_missed_incidents`` must stay 0), monitored labels
+must stay free of false positives (``monitor_false_positives`` must
+stay 0 — the fault-free label exists for exactly this), and the mean
+``alert_detection_latency_us`` may not drift more than
+MONITOR_TOLERANCE over the committed baseline.
 
 Stdlib only; no third-party imports.
 """
@@ -67,6 +76,11 @@ RECONFIG_SLACK_US = 2_000_000
 # deterministic — the slack absorbs intentional wire-format drift, not
 # host noise.
 CAUSAL_TOLERANCE = 0.15
+# Mean alert detection latency from the online monitor may rise this
+# much over baseline before the gate trips. Simulated time and
+# quantised by the scrape interval, so a real drift here means the
+# scrape/debounce pipeline changed behaviour, not that CI was slow.
+MONITOR_TOLERANCE = 0.15
 # Host-timing tolerances: engine events/sec may fall to half the
 # baseline, wall clock may stretch to 3x, before the gate trips. Loose
 # on purpose — CI runners vary; these exist to catch the hot path
@@ -248,6 +262,38 @@ def main(argv):
                     f"more than {RECONFIG_SLACK_US / 1e6:.0f}s over baseline "
                     f"{base_done / 1e6:.1f}s"
                 )
+        # Online monitor: a baseline produced by a monitored faultload
+        # pins the alerting pipeline. Detection must stay complete,
+        # silence must stay silent, and latency must hold.
+        base_mi = base.get("monitor_incidents")
+        if isinstance(base_mi, (int, float)):
+            cur_missed = field(cur, "monitor_missed_incidents", current_name)
+            if cur_missed != 0:
+                failures.append(
+                    f"{label}: monitor missed {cur_missed:.0f} of "
+                    f"{field(cur, 'monitor_incidents', current_name):.0f} "
+                    f"ground-truth incidents"
+                )
+            cur_fp = field(cur, "monitor_false_positives", current_name)
+            if cur_fp != 0:
+                failures.append(
+                    f"{label}: monitor fired {cur_fp:.0f} false positive(s)"
+                )
+            base_dl = base.get("alert_detection_latency_us")
+            if isinstance(base_dl, (int, float)) and base_dl > 0:
+                cur_dl = field(cur, "alert_detection_latency_us", current_name)
+                print(
+                    f"{label + ' detect(s)':<24} {base_dl / 1e6:>10.1f} "
+                    f"{cur_dl / 1e6:>10.1f} {cur_dl / base_dl:>6.2f}x"
+                )
+                if cur_dl > base_dl * (1.0 + MONITOR_TOLERANCE):
+                    failures.append(
+                        f"{label}: mean alert detection took "
+                        f"{cur_dl / 1e6:.1f}s, more than "
+                        f"{MONITOR_TOLERANCE:.0%} over baseline "
+                        f"{base_dl / 1e6:.1f}s"
+                    )
+
         base_rramp = base.get("reconfig_ramp_to_95pct_us")
         if isinstance(base_rramp, (int, float)) and base_rramp > 0:
             cur_rramp = cur.get("reconfig_ramp_to_95pct_us")
